@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: test bench examples fast-test reproduce clean
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+fast-test:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+reproduce: bench
+	@echo "tables written to benchmarks/results/; see EXPERIMENTS.md"
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,83 @@
+"""ABLATION -- what the DMM's memory elements actually buy (Eqs. 1-2).
+
+Section IV: "The active elements are fundamental to this computing
+paradigm since they provide the necessary feedback to guide the machine
+towards the solution" and memcomputing "stands for computing in and with
+memory (time non-locality)".
+
+This ablation turns the two memory mechanisms off one at a time:
+
+* ``alpha = 0`` freezes the long-term memory at its floor (no
+  accumulated frustration weighting),
+* ``beta = 0`` freezes the short-term memory at its initial value (no
+  switching between gradient and rigidity behaviour),
+
+and compares solve rate and work against the full dynamics on planted
+3-SAT.  Expected shape: the full machine dominates; removing memory
+degrades success or inflates work -- the paper's "memory is the
+mechanism" argument, quantified.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.solver import DmmSolver
+
+VARIANTS = (
+    ("full dynamics", {}),
+    ("no long-term memory (alpha=0)", {"alpha": 0.0}),
+    ("no short-term memory (beta=0)", {"beta": 0.0}),
+)
+SIZES = (100, 200)
+SEEDS = (0, 1, 2, 3)
+STEP_BUDGET = 120_000
+
+
+def run_ablation():
+    """Solve the instance pool under each dynamics variant."""
+    rows = []
+    for label, params in VARIANTS:
+        solved = 0
+        total = 0
+        steps = []
+        for n in SIZES:
+            for seed in SEEDS:
+                formula = planted_ksat(n, int(4.2 * n), rng=97 * n + seed)
+                solver = DmmSolver(max_steps=STEP_BUDGET, params=params)
+                result = solver.solve(formula, rng=seed)
+                total += 1
+                if result.satisfied:
+                    solved += 1
+                    steps.append(result.steps)
+        rows.append((label, "%d/%d" % (solved, total),
+                     float(np.median(steps)) if steps else float("inf")))
+    return rows
+
+
+def test_ablation_memory_mechanisms(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit_table(
+        "ablation_dmm_memory",
+        "ABLATION: DMM memory mechanisms on planted 3-SAT "
+        "(budget %d steps)" % STEP_BUDGET,
+        ["dynamics variant", "solved", "median steps"],
+        rows,
+        notes=["Paper claim: the memory (active feedback) elements are "
+               "what make memcomputing work.",
+               "Reproduced: the full dynamics solves everything fastest; "
+               "ablating either memory mechanism degrades success rate "
+               "and/or work."],
+    )
+    by_label = {row[0]: row for row in rows}
+    full = by_label["full dynamics"]
+    assert full[1] == "%d/%d" % (len(SIZES) * len(SEEDS),
+                                 len(SIZES) * len(SEEDS))
+    # the long-term memory is load-bearing: without it nothing solves
+    no_long = by_label["no long-term memory (alpha=0)"]
+    assert no_long[1].startswith("0/"), "alpha=0 unexpectedly solved"
+    # the short-term memory is a work multiplier: measurably slower
+    no_short = by_label["no short-term memory (beta=0)"]
+    degraded = (no_short[1] != full[1]) \
+        or (no_short[2] >= 1.2 * full[2])
+    assert degraded, "beta=0 did not degrade the machine"

@@ -1,0 +1,77 @@
+"""CROSS -- three computing models, one problem family.
+
+The paper presents quantum annealing (via its D-Wave references),
+thermal annealing, and memcomputing as competing routes to hard
+optimization.  This benchmark puts all three implemented machines on
+identical frustrated-loop Ising instances (ground energy known by
+construction):
+
+* adiabatic quantum evolution (Section II's adiabatic model [35]),
+* simulated (thermal) annealing,
+* the digital memcomputing machine (Section IV),
+
+and reports the energy each reaches plus its success across seeds.  The
+instances are kept at 10 spins so the quantum register is exactly
+simulable -- the point is the *three-way comparison on equal footing*,
+which no single section of the paper can show.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.core.sat_instances import frustrated_loop_ising
+from repro.memcomputing.baselines import anneal_ising
+from repro.memcomputing.ising import solve_ising_dmm
+from repro.quantum.adiabatic import anneal_quantum
+
+NUM_SPINS = 10
+NUM_LOOPS = 3
+LOOP_LENGTH = 4
+SEEDS = (0, 1, 2, 3)
+
+
+def run_three_way():
+    """Solve each instance with all three machines."""
+    rows = []
+    for seed in SEEDS:
+        couplings, bound = frustrated_loop_ising(
+            NUM_SPINS, NUM_LOOPS, loop_length=LOOP_LENGTH, rng=seed)
+        quantum = anneal_quantum(couplings, NUM_SPINS, total_time=25.0,
+                                 steps=500, rng=seed + 10)
+        thermal = anneal_ising(couplings, NUM_SPINS, sweeps=300,
+                               rng=seed + 20)
+        dmm = solve_ising_dmm(couplings, NUM_SPINS, rng=seed + 30,
+                              max_steps=15_000)
+        rows.append((seed, bound, quantum.energy,
+                     quantum.success_probability, thermal.energy,
+                     dmm.energy))
+    return rows
+
+
+def test_cross_paradigm_ising(benchmark):
+    rows = benchmark.pedantic(run_three_way, rounds=1, iterations=1)
+    ground_hits = {"quantum": 0, "thermal": 0, "dmm": 0}
+    for _seed, bound, q_energy, _p, t_energy, d_energy in rows:
+        ground_hits["quantum"] += int(q_energy <= bound + 1e-9)
+        ground_hits["thermal"] += int(t_energy <= bound + 1e-9)
+        ground_hits["dmm"] += int(d_energy <= bound + 1e-9)
+    emit_table(
+        "cross_paradigm_ising",
+        "CROSS: frustrated-loop Ising (N=%d) -- adiabatic quantum vs "
+        "thermal annealing vs DMM" % NUM_SPINS,
+        ["seed", "ground bound", "quantum E", "quantum p_gs",
+         "thermal E", "DMM E"],
+        rows,
+        notes=["Context: the paper presents quantum annealing and "
+               "memcomputing as competing optimization substrates "
+               "(Sections II & IV and the D-Wave comparison in [55]).",
+               "Reproduced: ground-state hits over %d seeds -- quantum "
+               "%d, thermal %d, DMM %d; all three machines solve this "
+               "family at small scale." % (len(SEEDS),
+                                           ground_hits["quantum"],
+                                           ground_hits["thermal"],
+                                           ground_hits["dmm"])],
+    )
+    # every machine must reach the ground state on most seeds
+    for method, hits in ground_hits.items():
+        assert hits >= len(SEEDS) - 1, (method, hits)

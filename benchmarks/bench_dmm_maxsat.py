@@ -1,0 +1,68 @@
+"""DMM-MAXSAT -- memcomputing vs annealing on weighted MaxSAT ([54]).
+
+"in [54] it was shown that these simulations outperform specialized
+software specifically designed to tackle maximum satisfiability
+problems."
+
+The benchmark solves weighted partial MaxSAT instances (planted hard
+core + random soft preferences) with the DMM and a simulated-annealing
+baseline at comparable move budgets and reports the satisfied soft
+weight.  The reproduction target: the DMM matches or beats the baseline
+while always staying hard-feasible.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.core.sat_instances import planted_maxsat
+from repro.memcomputing.maxsat import DmmMaxSatSolver, anneal_maxsat
+
+INSTANCES = (
+    # (num_vars, num_hard, num_soft, seed)
+    (30, 90, 45, 0),
+    (40, 120, 60, 1),
+    (50, 150, 75, 2),
+)
+
+
+def run_maxsat():
+    """Solve each instance with both solvers."""
+    rows = []
+    for num_vars, num_hard, num_soft, seed in INSTANCES:
+        formula, _plant = planted_maxsat(num_vars, num_hard, num_soft,
+                                         rng=seed)
+        total = sum(c.weight for c in formula.soft_clauses)
+        dmm = DmmMaxSatSolver(max_steps=40_000).solve(formula, rng=seed)
+        annealed = anneal_maxsat(formula, sweeps=800, rng=seed)
+        rows.append((
+            "n=%d h=%d s=%d" % (num_vars, num_hard, num_soft),
+            total,
+            dmm.satisfied_weight,
+            annealed.satisfied_weight,
+            "yes" if dmm.hard_feasible else "NO",
+            "yes" if annealed.hard_feasible else "NO",
+        ))
+    return rows
+
+
+def test_dmm_maxsat_quality(benchmark):
+    rows = benchmark.pedantic(run_maxsat, rounds=1, iterations=1)
+    dmm_wins = sum(1 for row in rows if row[2] >= row[3] - 1e-9)
+    emit_table(
+        "dmm_maxsat",
+        "DMM-MAXSAT: satisfied soft weight, DMM vs simulated annealing",
+        ["instance", "total soft", "DMM weight", "SA weight",
+         "DMM feasible", "SA feasible"],
+        rows,
+        notes=["Paper claim ([54]): memcomputing outperforms dedicated "
+               "MaxSAT solvers.",
+               "Reproduced: DMM >= annealing on %d/%d instances at "
+               "comparable budgets, always hard-feasible."
+               % (dmm_wins, len(rows))],
+    )
+    assert all(row[4] == "yes" for row in rows)
+    # shape claim: DMM at least matches annealing on a majority
+    assert dmm_wins >= 2
+    # and is always within a whisker of the baseline when it loses
+    for row in rows:
+        assert row[2] >= 0.95 * row[3]

@@ -1,0 +1,53 @@
+"""DMM-NOISE -- robustness of the solution search to noise ([59]).
+
+"the solution search of DMMs is very robust to external perturbations, a
+fact that has also been shown explicitly by adding noise to Eqs. 1 and
+2."
+
+The benchmark solves a fixed pool of planted 3-SAT instances under
+increasing additive white noise on the voltage dynamics and reports the
+success rate and median work at each amplitude.  Shape target: a wide
+plateau of unimpaired solving before any degradation.
+"""
+
+from conftest import emit_table
+
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.noise import success_vs_noise
+
+SIGMAS = (0.0, 0.2, 0.5, 1.0, 2.0)
+INSTANCE_SEEDS = (0, 1, 2)
+NUM_VARS = 30
+
+
+def run_noise_sweep():
+    """Success statistics across the noise amplitudes."""
+    formulas = [planted_ksat(NUM_VARS, int(4.2 * NUM_VARS), rng=seed)
+                for seed in INSTANCE_SEEDS]
+    return success_vs_noise(formulas, SIGMAS, trials_per_sigma=3, rng=7,
+                            max_steps=250_000)
+
+
+def test_dmm_noise_robustness(benchmark):
+    rows_raw = benchmark.pedantic(run_noise_sweep, rounds=1, iterations=1)
+    rows = [(row["sigma"], row["success_rate"],
+             row["median_steps"] if row["median_steps"] is not None
+             else "-")
+            for row in rows_raw]
+    plateau = [row for row in rows_raw if row["sigma"] <= 1.0]
+    emit_table(
+        "dmm_noise",
+        "DMM-NOISE: solve success vs additive noise amplitude",
+        ["sigma", "success rate", "median steps"],
+        rows,
+        notes=["Paper claim ([59]): the DMM solution search is robust to "
+               "noise (critical points are topological objects).",
+               "Reproduced: success stays at %.0f %% through sigma <= 1.0 "
+               "(noise comparable to the deterministic drift)."
+               % (100 * min(row["success_rate"] for row in plateau))],
+    )
+    # the robustness plateau: perfect solving through sigma = 1.0
+    for row in plateau:
+        assert row["success_rate"] == 1.0
+    # the noiseless baseline is of course perfect too
+    assert rows_raw[0]["success_rate"] == 1.0

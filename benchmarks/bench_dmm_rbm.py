@@ -1,0 +1,80 @@
+"""DMM-RBM -- memcomputing-assisted RBM training ([55] / [57]).
+
+"by simulating DMMs one can accelerate ... the pre-training of RBMs as
+much as the reported hardware application of the quantum annealing
+method ... the memcomputing approach is found to perform far better than
+the D-Wave machine in terms of training-quality ... a quality advantage
+(>1 % in accuracy, corresponding to a 20 % reduction in error rate)."
+
+The benchmark trains the same RBM on the same synthetic stripe data with
+three negative-phase strategies -- pure CD-1, mode-assisted with the
+DMM, and mode-assisted with annealing (the D-Wave stand-in) -- and
+reports the exact KL divergence to the data distribution (the training-
+quality metric of the mode-assisted literature).  Shape targets: the DMM
+variant beats the annealer stand-in, and beats CD's final quality by a
+relative margin in the spirit of the paper's ~20 %.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.memcomputing.rbm import (
+    RestrictedBoltzmannMachine,
+    exact_kl_divergence,
+    synthetic_patterns,
+    train_rbm,
+)
+
+SEEDS = (3, 13, 23, 33, 43, 53)
+EPOCHS = 60
+
+
+def train_one(method, seed, data):
+    rbm = RestrictedBoltzmannMachine(9, 6, rng=seed)
+    train_rbm(rbm, data, epochs=EPOCHS, learning_rate=0.3, method=method,
+              mode_budget=1_200, rng=seed + 100)
+    return exact_kl_divergence(rbm, data)
+
+
+def run_training_comparison():
+    """Final exact KL per method, median over seeds."""
+    data, _labels = synthetic_patterns(150, side=3, noise=0.08, rng=2)
+    per_method = {}
+    for method in ("cd", "mem", "sa"):
+        kls = [train_one(method, seed, data) for seed in SEEDS]
+        per_method[method] = kls
+    return data, per_method
+
+
+def test_dmm_rbm_training_quality(benchmark):
+    _data, per_method = benchmark.pedantic(run_training_comparison,
+                                           rounds=1, iterations=1)
+    medians = {m: float(np.median(v)) for m, v in per_method.items()}
+    rows = [
+        ("CD-1 (conventional)", medians["cd"],
+         np.round(per_method["cd"], 3).tolist()),
+        ("mode-assisted, DMM (memcomputing)", medians["mem"],
+         np.round(per_method["mem"], 3).tolist()),
+        ("mode-assisted, annealer (D-Wave stand-in)", medians["sa"],
+         np.round(per_method["sa"], 3).tolist()),
+    ]
+    relative_gain = (medians["cd"] - medians["mem"]) / medians["cd"]
+    emit_table(
+        "dmm_rbm",
+        "DMM-RBM: final exact KL divergence after %d epochs (lower wins)"
+        % EPOCHS,
+        ["negative phase", "median KL", "per-seed KL"],
+        rows,
+        notes=["Paper claim ([55]): memcomputing-assisted pre-training "
+               "beats both CD and quantum annealing in training quality "
+               "(~20 % error-rate reduction).",
+               "Reproduced: DMM-assisted median KL %.3f vs CD %.3f "
+               "(%.0f %% lower) and vs annealer stand-in %.3f."
+               % (medians["mem"], medians["cd"], 100 * relative_gain,
+                  medians["sa"])],
+    )
+    # shape claims: memcomputing beats both comparators in median quality
+    assert medians["mem"] < medians["cd"]
+    assert medians["mem"] <= medians["sa"]
+    # and the margin over CD is material (paper: ~20 %)
+    assert relative_gain > 0.05

@@ -1,0 +1,66 @@
+"""DNA -- the in-text genomics claim of Section II.C.
+
+"we have to investigate whether the quantum approach can be used to
+calculate the similarity between two different DNA sequences."
+
+The benchmark scores pairs of sequences at controlled divergence with
+the SWAP-test similarity kernel and both classical baselines, reporting
+the rank agreement: the quantum score must order sequence pairs the same
+way the classical measures do, while encoding the 4^k-entry spectrum in
+2k qubits (the data-parallel encoding the paper highlights).
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.quantum.algorithms.dna import (
+    edit_distance,
+    kmer_similarity,
+    mutate,
+    quantum_similarity,
+    random_dna,
+)
+
+SEQUENCE_LENGTH = 24
+MUTATION_STEPS = (0, 2, 4, 8, 16)
+
+
+def run_similarity_sweep():
+    """Score pairs at increasing mutation distance."""
+    base = random_dna(SEQUENCE_LENGTH, rng=0)
+    rows = []
+    for mutations in MUTATION_STEPS:
+        other = mutate(base, mutations, rng=10 + mutations) \
+            if mutations else base
+        quantum = quantum_similarity(base, other, shots=4096,
+                                     rng=20 + mutations)
+        rows.append((
+            mutations,
+            edit_distance(base, other),
+            kmer_similarity(base, other),
+            quantum.similarity,
+            quantum.num_qubits,
+        ))
+    return rows
+
+
+def test_dna_similarity(benchmark):
+    rows = benchmark.pedantic(run_similarity_sweep, rounds=1, iterations=1)
+    quantum_scores = [row[3] for row in rows]
+    kmer_scores = [row[2] for row in rows]
+    correlation = float(np.corrcoef(quantum_scores, kmer_scores)[0, 1])
+    emit_table(
+        "dna",
+        "DNA: quantum SWAP-test similarity vs classical baselines",
+        ["mutations", "edit distance", "k-mer cosine",
+         "quantum similarity", "qubits"],
+        rows,
+        notes=["Paper claim: quantum encoding enables similarity "
+               "computation over whole data sets held in superposition.",
+               "Reproduced: the SWAP-test score tracks the classical "
+               "k-mer cosine (r = %.3f) while storing the 64-entry "
+               "spectrum in 6 qubits per sequence." % correlation],
+    )
+    assert rows[0][3] > 0.93                  # identical pair reads ~1
+    assert correlation > 0.95                 # rank/shape agreement
+    assert quantum_scores[0] > quantum_scores[-1]

@@ -1,0 +1,54 @@
+"""FIG3 -- frequency locking of two RC-coupled VO2 oscillators (Fig. 3).
+
+The paper's Fig. 3 shows two coupled IMT oscillators locking to one
+frequency.  This benchmark sweeps the gate-voltage detuning and reports
+the natural vs coupled frequencies: inside the locking range the coupled
+pair collapses onto a single plateau; outside it the two frequencies
+separate again.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.oscillators.locking import locking_curve
+
+
+def run_curve():
+    """Sweep detuning at the calibrated coupling point."""
+    deltas = [0.0, 0.02, 0.05, 0.08, 0.12, 0.25, 0.45]
+    return locking_curve(1.8, deltas, r_c=35e3, cycles=100)
+
+
+def test_fig3_frequency_locking(benchmark):
+    rows_raw = benchmark.pedantic(run_curve, rounds=1, iterations=1)
+    rows = []
+    for entry in rows_raw:
+        rows.append((
+            entry["delta_v_gs"],
+            entry["natural_freq_1"],
+            entry["natural_freq_2"],
+            entry["coupled_freq_1"] or float("nan"),
+            entry["coupled_freq_2"] or float("nan"),
+            "locked" if entry["locked"] else "-",
+        ))
+    locked_count = sum(1 for e in rows_raw if e["locked"])
+    emit_table(
+        "fig3_locking",
+        "FIG3: natural vs coupled frequencies across detuning (r_c=35k)",
+        ["dVgs (V)", "f1 natural", "f2 natural", "f1 coupled",
+         "f2 coupled", "state"],
+        rows,
+        notes=["Paper claim: sufficiently close frequencies lock (Fig. 3).",
+               "Reproduced: %d/%d sweep points locked; the locked plateau "
+               "covers small detunings and breaks at large ones."
+               % (locked_count, len(rows_raw))],
+    )
+    # small detunings lock; the largest detuning must not
+    assert rows_raw[0]["locked"]
+    assert rows_raw[1]["locked"]
+    assert not rows_raw[-1]["locked"]
+    # inside the locked region the coupled frequencies coincide
+    for entry in rows_raw:
+        if entry["locked"]:
+            assert np.isclose(entry["coupled_freq_1"],
+                              entry["coupled_freq_2"], rtol=0.01)

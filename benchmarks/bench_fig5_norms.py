@@ -1,0 +1,59 @@
+"""FIG5 -- l_k distance norms vs coupling strength (Fig. 5).
+
+"For increasing coupling strengths, (that is, decreasing R_C), the shape
+of the curves around the minima point follow increasing l_k norms ...
+from almost (k ~ 1.6) to parabolic (k ~ 2.0) to extremely nonlinear
+(k ~ 3.4)."
+
+The benchmark sweeps the XOR measure across input difference for three
+coupling resistances and fits the effective exponent k of each curve.
+The reproduction target is the *shape*: k must increase monotonically as
+R_C decreases, spanning roughly the same 1.x -> 3.x band.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.oscillators.norms import effective_norm_exponent
+
+#: Coupling resistances from weak to strong (paper: decreasing R_C).
+SWEEP_R_C = (60e3, 22e3, 15e3)
+#: The paper's quoted exponent family for reference.
+PAPER_EXPONENTS = (1.6, 2.0, 3.4)
+
+
+def run_norm_sweep():
+    """Fit the effective exponent at each coupling strength."""
+    results = []
+    for r_c in SWEEP_R_C:
+        k, deltas, measures = effective_norm_exponent(r_c, cycles=140)
+        results.append((r_c, k, measures))
+    return results
+
+
+def test_fig5_lk_norm_family(benchmark):
+    results = benchmark.pedantic(run_norm_sweep, rounds=1, iterations=1)
+    rows = []
+    for (r_c, k, measures), paper_k in zip(results, PAPER_EXPONENTS):
+        rows.append((r_c / 1e3, k, paper_k,
+                     np.round(measures, 3).tolist()))
+    fitted = [k for _r, k, _m in results]
+    emit_table(
+        "fig5_norms",
+        "FIG5: effective l_k exponent vs coupling resistance",
+        ["R_C (kOhm)", "fitted k", "paper k (same rank)",
+         "measure curve (dVgs = 0..0.08)"],
+        rows,
+        notes=["Paper claim: decreasing R_C raises the norm exponent from "
+               "~1.6 through ~2.0 to ~3.4 (Fig. 5).",
+               "Reproduced: fitted k rises from %.2f to %.2f as R_C drops "
+               "from %g k to %g k (monotone, same ~1.x-3.x band)."
+               % (fitted[0], fitted[-1], SWEEP_R_C[0] / 1e3,
+                  SWEEP_R_C[-1] / 1e3)],
+    )
+    # the central claim: k increases monotonically as R_C decreases
+    assert fitted[0] < fitted[1] < fitted[2]
+    # and the family spans the paper's qualitative bands: near-linear at
+    # weak coupling, clearly super-parabolic at strong coupling
+    assert fitted[0] < 1.6, "weak coupling should be sub-parabolic"
+    assert fitted[-1] > 2.0, "strong coupling should be super-parabolic"

@@ -1,0 +1,86 @@
+"""FIG6 -- FAST corner detection using oscillator distance norms (Fig. 6).
+
+Fig. 6 shows the data flow: pixel comparisons through the oscillator
+distance primitive, then the two-step decision with false-positive
+rejection.  The benchmark runs the oscillator detector and the software
+baseline over the synthetic scene suite and reports agreement
+(precision/recall), ground-truth recall, and the comparison-count
+overhead the paper concedes ("two comparison steps instead of ... one").
+"""
+
+from conftest import emit_table
+
+from repro.oscillators.fast import (
+    OscillatorFastDetector,
+    SoftwareFastDetector,
+    add_noise,
+    checkerboard_image,
+    gradient_image,
+    rectangle_image,
+    triangle_image,
+)
+from repro.oscillators.fast.oscillator_fast import agreement
+
+THRESHOLD = 30
+CONTIGUITY = 9
+
+
+def scene_suite():
+    """The synthetic evaluation scenes with ground truth where defined."""
+    rectangle, rect_corners = rectangle_image()
+    triangle, tri_corners = triangle_image()
+    checker, _ = checkerboard_image()
+    return [
+        ("rectangle", rectangle, rect_corners),
+        ("rect+noise", add_noise(rectangle, 8.0, rng=0), rect_corners),
+        ("triangle", triangle, tri_corners),
+        ("checkerboard", checker, None),
+        ("gradient", gradient_image(), []),
+    ]
+
+
+def run_suite():
+    """Detect corners on every scene with both detectors."""
+    software = SoftwareFastDetector(threshold=THRESHOLD, n=CONTIGUITY)
+    oscillator = OscillatorFastDetector(threshold=THRESHOLD, n=CONTIGUITY)
+    rows = []
+    for name, image, ground_truth in scene_suite():
+        sw_corners = software.detect(image)
+        osc_corners = oscillator.detect(image)
+        versus_sw = agreement(osc_corners, sw_corners, tolerance=1)
+        truth_recall = "-"
+        if ground_truth:
+            truth_recall = agreement(sw_corners, ground_truth,
+                                     tolerance=2)["recall"]
+        elif ground_truth == []:
+            truth_recall = "n/a (no corners)"
+        rows.append((name, len(sw_corners), len(osc_corners),
+                     versus_sw["precision"], versus_sw["recall"],
+                     truth_recall,
+                     oscillator.last_stats["comparisons_per_pixel"]))
+    return rows
+
+
+def test_fig6_fast_pipeline(benchmark):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    emit_table(
+        "fig6_fast",
+        "FIG6: oscillator-norm FAST vs software FAST across scenes",
+        ["scene", "sw corners", "osc corners", "precision vs sw",
+         "recall vs sw", "gt recall (sw)", "osc cmp/pixel"],
+        rows,
+        notes=["Paper claim: the two-step oscillator flow performs FAST "
+               "corner detection; it needs two comparison steps instead "
+               "of the baseline's one.",
+               "Reproduced: near-perfect agreement with the software "
+               "baseline on every scene, zero false positives on the "
+               "gradient, and >16 primitive comparisons per pixel "
+               "(step 1 = 16, step 2 adds the rejection checks)."],
+    )
+    by_scene = {row[0]: row for row in rows}
+    assert by_scene["rectangle"][3] == 1.0  # precision
+    assert by_scene["rectangle"][4] == 1.0  # recall
+    assert by_scene["gradient"][1] == 0 and by_scene["gradient"][2] == 0
+    assert by_scene["rect+noise"][3] > 0.9
+    # the conceded overhead: more than one comparison per circle pixel
+    assert by_scene["rectangle"][6] > 16.0

@@ -1,0 +1,67 @@
+"""ILP -- memcomputing integer linear programming (the paper's [48]).
+
+"The problem is first written in Boolean form (or in algebraic form if
+the problem is an integer linear programming one, as seen in [48])."
+
+The benchmark solves random 0-1 knapsacks (the canonical ILP) via the
+exact BDD compilation to weighted MaxSAT and the DMM dynamics, reporting
+the optimality gap against brute-force optima plus feasibility.  The
+shape to reproduce: ILPs are *reachable* by the Boolean memcomputing
+pipeline with near-optimal anytime quality.
+"""
+
+import numpy as np
+from conftest import emit_table
+
+from repro.core.rngs import make_rng
+from repro.memcomputing.ilp import (
+    ilp_to_maxsat,
+    knapsack,
+    solve_ilp_bruteforce,
+    solve_ilp_memcomputing,
+)
+
+NUM_ITEMS = 10
+TRIALS = 6
+
+
+def run_knapsacks():
+    """Solve random knapsacks; report per-instance gaps."""
+    rng = make_rng(11)
+    rows = []
+    for trial in range(TRIALS):
+        values = rng.integers(1, 20, NUM_ITEMS).tolist()
+        weights = rng.integers(1, 15, NUM_ITEMS).tolist()
+        capacity = int(sum(weights) * 0.4)
+        program = knapsack(values, weights, capacity)
+        formula, _offset = ilp_to_maxsat(program)
+        exact = solve_ilp_bruteforce(program)
+        mem = solve_ilp_memcomputing(program, max_steps=60_000, rng=trial)
+        gap = (exact.objective - mem.objective) / exact.objective \
+            if mem.feasible else 1.0
+        rows.append((trial, exact.objective, mem.objective,
+                     100.0 * gap,
+                     "yes" if mem.feasible else "NO",
+                     formula.num_variables, formula.num_clauses))
+    return rows
+
+
+def test_memcomputing_ilp(benchmark):
+    rows = benchmark.pedantic(run_knapsacks, rounds=1, iterations=1)
+    gaps = [row[3] for row in rows]
+    emit_table(
+        "ilp",
+        "ILP: 0-1 knapsack via BDD-compiled weighted MaxSAT + DMM",
+        ["trial", "optimum", "DMM objective", "gap (%)", "feasible",
+         "CNF vars", "CNF clauses"],
+        rows,
+        notes=["Paper claim ([48]): memcomputing handles integer linear "
+               "programming.",
+               "Reproduced: all knapsacks solved feasibly through the "
+               "Boolean pipeline; median optimality gap %.1f %% "
+               "(anytime heuristic quality)." % float(np.median(gaps))],
+    )
+    assert all(row[4] == "yes" for row in rows)
+    assert float(np.median(gaps)) < 25.0
+    # encodings stay compact: auxiliaries scale with items * capacity
+    assert all(row[5] < 200 for row in rows)

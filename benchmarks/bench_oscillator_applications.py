@@ -1,0 +1,82 @@
+"""OSC-APPS -- the cited oscillator applications beyond FAST ([42], [44]).
+
+Section III's survey paragraph credits coupled oscillators with "vertex
+coloring of graphs [42]" and a co-processor for "sorting, degree of
+matching, etc." [44].  This extension benchmark exercises both on the
+library's physical oscillator model:
+
+* vertex coloring of structured graphs via anti-phase dynamics,
+* rank-order sorting via spike counting,
+* degree-of-match pattern retrieval via the XOR distance primitive.
+"""
+
+from conftest import emit_table
+
+from repro.oscillators.coloring import color_graph
+from repro.oscillators.coprocessor import best_match, rank_order_sort
+
+GRAPHS = (
+    ("path P4", [(0, 1), (1, 2), (2, 3)], 4, 2),
+    ("cycle C4", [(0, 1), (1, 2), (2, 3), (3, 0)], 4, 2),
+    ("triangle K3", [(0, 1), (1, 2), (0, 2)], 3, 3),
+    ("star S4", [(0, 1), (0, 2), (0, 3), (0, 4)], 5, 2),
+)
+
+
+def run_coloring():
+    """Color each benchmark graph by phase dynamics."""
+    rows = []
+    for name, edges, vertices, colors in GRAPHS:
+        result = color_graph(edges, vertices, colors, cycles=120)
+        rows.append((name, colors, result.num_colors, result.conflicts,
+                     "proper" if result.is_proper else "IMPROPER"))
+    return rows
+
+
+def run_sorting():
+    """Sort a value vector by oscillator spike counting."""
+    values = [30, 200, 90, 155, 10, 240, 65]
+    order, counts = rank_order_sort(values)
+    correct = order == sorted(range(len(values)), key=lambda i: values[i])
+    return values, order, counts, correct
+
+
+def run_matching():
+    """Retrieve the best-matching stored pattern for a noisy probe."""
+    stored = [
+        [10, 200, 10, 200, 10],
+        [200, 10, 200, 10, 200],
+        [100, 100, 100, 100, 100],
+    ]
+    probe = [18, 188, 22, 205, 5]  # noisy copy of pattern 0
+    index, scores = best_match(probe, stored)
+    return index, scores
+
+
+def test_oscillator_applications(benchmark):
+    coloring_rows = benchmark.pedantic(run_coloring, rounds=1,
+                                       iterations=1)
+    values, order, counts, sorted_ok = run_sorting()
+    match_index, match_scores = run_matching()
+    rows = list(coloring_rows)
+    rows.append(("rank-order sort of %s" % values, "-", "-", "-",
+                 "correct" if sorted_ok else "WRONG"))
+    rows.append(("pattern retrieval (noisy probe)", "-", "-", "-",
+                 "hit (scores %s)" % [round(s, 2) for s in match_scores]))
+    emit_table(
+        "oscillator_applications",
+        "OSC-APPS: cited oscillator applications ([42] coloring, "
+        "[44] co-processor)",
+        ["task", "budget", "colors used", "conflicts", "outcome"],
+        rows,
+        notes=["Paper claims ([42], [44]): coupled oscillators color "
+               "graphs via phase dynamics and accelerate sorting / "
+               "degree-of-matching.",
+               "Reproduced: proper colorings on all benchmark graphs, a "
+               "correct spike-count sort, and correct nearest-pattern "
+               "retrieval."],
+    )
+    for _name, _budget, _used, conflicts, outcome in coloring_rows:
+        assert outcome == "proper", outcome
+    assert sorted_ok
+    assert match_index == 0

@@ -1,0 +1,70 @@
+"""SHOR -- the in-text cryptography claim of Section II.C.
+
+"algorithms such as Shor's factorization have shown that a quantum
+computer has the potential to break any RSA-based encryption by finding
+the prime factors of the public key."
+
+The benchmark factors a family of semiprimes through quantum order
+finding and reports the resources the accelerator consumed: qubits,
+counting precision, order-finding attempts, and wall time on the
+simulated chip.
+"""
+
+import time
+
+from conftest import emit_table
+
+from repro.quantum.algorithms.shor import (
+    find_order,
+    order_finding_circuit,
+    shor_factor,
+)
+
+SEMIPRIMES = (15, 21, 35)
+
+
+def run_factoring():
+    """Factor each semiprime and collect resource counts."""
+    rows = []
+    for n in SEMIPRIMES:
+        circuit, t, work = order_finding_circuit(
+            _coprime_base(n), n)
+        start = time.perf_counter()
+        result = shor_factor(n, rng=n)
+        wall = time.perf_counter() - start
+        rows.append((n, result.factors, result.method, result.attempts,
+                     t + work, wall))
+    return rows
+
+
+def _coprime_base(n):
+    import math
+
+    for a in range(2, n):
+        if math.gcd(a, n) == 1:
+            return a
+    raise ValueError("no coprime base below %d" % n)
+
+
+def run_order_finding():
+    """One representative quantum order-finding call (the timed kernel)."""
+    return find_order(7, 15, rng=1)
+
+
+def test_shor_factoring(benchmark):
+    order = benchmark.pedantic(run_order_finding, rounds=3, iterations=1)
+    assert order == 4
+    rows = run_factoring()
+    emit_table(
+        "shor",
+        "SHOR: factoring semiprimes via quantum order finding",
+        ["N", "factors", "method", "base attempts", "qubits", "wall (s)"],
+        rows,
+        notes=["Paper claim: Shor's algorithm recovers prime factors, "
+               "breaking RSA-style keys.",
+               "Reproduced: every semiprime factored; order finding runs "
+               "phase estimation with 3n qubits (2n counting + n work)."],
+    )
+    for n, factors, _method, _attempts, _qubits, _wall in rows:
+        assert factors is not None
+        assert factors[0] * factors[1] == n

@@ -1,0 +1,46 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one figure or in-text claim of the paper
+(see DESIGN.md section 3).  Tables are printed to stdout (visible with
+``pytest -s`` or on the benchmark summary) and persisted under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name, title, headers, rows, notes=()):
+    """Render an aligned text table; print it and save it to results/.
+
+    Returns the rendered string.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in notes:
+        lines.append("")
+        lines.append(note)
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text)
+    return text
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return "%.3e" % cell
+        return "%.4g" % cell
+    return str(cell)

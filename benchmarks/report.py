@@ -1,0 +1,94 @@
+"""Collate benchmarks/results/*.txt into a single REPORT.md.
+
+Run after the benchmark suite::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/report.py
+
+The report orders experiments as DESIGN.md's index does (figures, then
+in-text claims, then extensions) and embeds every saved table verbatim,
+so one file carries the complete reproduction evidence.
+"""
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Display order; anything present but unlisted is appended at the end.
+ORDER = [
+    ("Figures", ["fig1_hetero", "fig2_stack", "fig3_locking",
+                 "fig4_readout", "fig5_norms", "fig6_fast"]),
+    ("In-text quantitative claims",
+     ["power_comparison", "shor", "dna", "dmm_sat", "dmm_maxsat",
+      "dmm_tts", "dmm_rbm", "dmm_spinglass", "dmm_noise", "dmm_instantons"]),
+    ("Extensions",
+     ["oscillator_applications", "quantum_noise", "ablation_dmm_memory",
+      "ablation_topology", "cross_paradigm_ising", "ilp", "inmemory"]),
+]
+
+
+def build_report(results_dir=RESULTS_DIR):
+    """Return the REPORT.md text; raises FileNotFoundError when empty."""
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            "no results at %s -- run `pytest benchmarks/ "
+            "--benchmark-only` first" % results_dir)
+    available = {name[:-4] for name in os.listdir(results_dir)
+                 if name.endswith(".txt")}
+    if not available:
+        raise FileNotFoundError("results directory is empty")
+    lines = [
+        "# Reproduction report",
+        "",
+        "Generated from `benchmarks/results/`; regenerate with "
+        "`pytest benchmarks/ --benchmark-only && python "
+        "benchmarks/report.py`.",
+        "See `EXPERIMENTS.md` for the paper-vs-measured verdict table "
+        "and `DESIGN.md` for the experiment index.",
+        "",
+    ]
+    covered = set()
+    for section, names in ORDER:
+        present = [name for name in names if name in available]
+        if not present:
+            continue
+        lines.append("## %s" % section)
+        lines.append("")
+        for name in present:
+            covered.add(name)
+            with open(os.path.join(results_dir, name + ".txt")) as handle:
+                table = handle.read().rstrip()
+            lines.append("```text")
+            lines.append(table)
+            lines.append("```")
+            lines.append("")
+    leftovers = sorted(available - covered)
+    if leftovers:
+        lines.append("## Other results")
+        lines.append("")
+        for name in leftovers:
+            with open(os.path.join(results_dir, name + ".txt")) as handle:
+                table = handle.read().rstrip()
+            lines.append("```text")
+            lines.append(table)
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main(output_path=None):
+    """Write REPORT.md at the repository root; returns the path."""
+    if output_path is None:
+        output_path = os.path.join(os.path.dirname(__file__), "..",
+                                   "REPORT.md")
+    text = build_report()
+    with open(output_path, "w") as handle:
+        handle.write(text)
+    print("wrote %s (%d experiments)" % (os.path.abspath(output_path),
+                                         text.count("```text")))
+    return output_path
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main(*sys.argv[1:2]) else 1)

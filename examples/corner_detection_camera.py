@@ -1,0 +1,86 @@
+"""Scenario: an always-on vision front-end built from VO2 oscillators.
+
+Section III motivates coupled-oscillator computing with latency-critical,
+power-starved computer vision.  This example plays that scenario end to
+end: a stream of synthetic "camera frames" is scanned for corners by
+
+* the oscillator FAST detector (Fig. 6 flow, analog distance primitive),
+* the software FAST baseline (what a CMOS accelerator computes),
+
+and the script reports per-frame agreement, cumulative detection
+statistics, and the block-power comparison that closes Section III
+(0.936 mW vs 3 mW in the paper).
+
+Usage::
+
+    python examples/corner_detection_camera.py
+"""
+
+import numpy as np
+
+from repro.core.rngs import make_rng
+from repro.oscillators.fast import (
+    OscillatorFastDetector,
+    SoftwareFastDetector,
+    add_noise,
+    rectangle_image,
+    triangle_image,
+)
+from repro.oscillators.fast.oscillator_fast import agreement
+from repro.oscillators.power import power_comparison
+
+NUM_FRAMES = 6
+NOISE_SIGMA = 6.0
+
+
+def synthetic_frame(index, rng):
+    """A moving rectangle or triangle with sensor noise."""
+    if index % 2 == 0:
+        offset = 4 + 3 * (index // 2)
+        image, corners = rectangle_image(top=offset, left=offset,
+                                         bottom=offset + 20,
+                                         right=offset + 22)
+    else:
+        image, corners = triangle_image()
+    return add_noise(image, NOISE_SIGMA, rng=rng), corners
+
+
+def main():
+    rng = make_rng(42)
+    oscillator = OscillatorFastDetector(threshold=30, n=9)
+    software = SoftwareFastDetector(threshold=30, n=9)
+
+    print("streaming %d frames through both detectors\n" % NUM_FRAMES)
+    precisions = []
+    recalls = []
+    comparisons = 0
+    for index in range(NUM_FRAMES):
+        frame, _truth = synthetic_frame(index, rng)
+        sw_corners = software.detect(frame)
+        osc_corners = oscillator.detect(frame)
+        report = agreement(osc_corners, sw_corners, tolerance=1)
+        comparisons += oscillator.last_stats["oscillator_comparisons"]
+        precisions.append(report["precision"])
+        recalls.append(report["recall"])
+        print("frame %d: software=%2d corners, oscillator=%2d corners, "
+              "precision=%.2f recall=%.2f"
+              % (index, len(sw_corners), len(osc_corners),
+                 report["precision"], report["recall"]))
+
+    print("\nmean agreement vs software baseline: precision=%.3f "
+          "recall=%.3f" % (np.mean(precisions), np.mean(recalls)))
+    print("total oscillator distance-primitive invocations: %d"
+          % comparisons)
+
+    power = power_comparison()
+    print("\nblock power comparison (Section III.B):")
+    print("  oscillator block (incl. XOR readout): %.3f mW  "
+          "(paper: 0.936 mW)" % (power["oscillator_w"] * 1e3))
+    print("  CMOS block at 32 nm:                  %.3f mW  "
+          "(paper: 3 mW)" % (power["cmos_w"] * 1e3))
+    print("  ratio: %.2fx in favour of the oscillators "
+          "(paper: 3.21x)" % power["ratio"])
+
+
+if __name__ == "__main__":
+    main()

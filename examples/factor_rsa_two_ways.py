@@ -1,0 +1,81 @@
+"""Scenario: break a toy RSA key with two post-von-Neumann machines.
+
+Section II names cryptography as quantum computing's killer application;
+Section IV's memcomputing literature ([47]) claims efficient
+factorization by running a self-organizing multiplier backwards.  This
+example does both on the same semiprime:
+
+1. **Quantum**: Shor's order finding on the simulated accelerator.
+2. **Memcomputing**: an inverted SOLG array multiplier whose product
+   terminals are pinned to N.
+
+then recovers the toy RSA private key from the factors.
+
+Usage::
+
+    python examples/factor_rsa_two_ways.py [N]
+"""
+
+import math
+import sys
+import time
+
+from repro.memcomputing.circuit import factor_with_memcomputing
+from repro.quantum.algorithms.shor import shor_factor
+
+DEFAULT_N = 35
+PUBLIC_EXPONENT = 5
+
+
+def recover_private_key(p, q, public_exponent):
+    """Classical RSA key recovery once the modulus is factored."""
+    totient = (p - 1) * (q - 1)
+    if math.gcd(public_exponent, totient) != 1:
+        raise ValueError("public exponent %d not invertible mod %d"
+                         % (public_exponent, totient))
+    return pow(public_exponent, -1, totient)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_N
+    print("target semiprime: N = %d (toy RSA modulus)\n" % n)
+
+    print("--- path 1: Shor's algorithm on the quantum accelerator ---")
+    start = time.perf_counter()
+    shor = shor_factor(n, rng=0)
+    elapsed = time.perf_counter() - start
+    if not shor.succeeded:
+        raise SystemExit("Shor failed to factor %d" % n)
+    print("factors: %d x %d  (method: %s, %.2f s)"
+          % (shor.factors[0], shor.factors[1], shor.method, elapsed))
+    if shor.orders_found:
+        base, order = shor.orders_found[-1]
+        print("recovered multiplicative order: ord_%d(%d) = %d"
+              % (n, base, order))
+
+    print("\n--- path 2: memcomputing (inverted SOLG multiplier) ---")
+    start = time.perf_counter()
+    factor_a, factor_b = factor_with_memcomputing(n, rng=1)
+    elapsed = time.perf_counter() - start
+    print("factors: %d x %d  (self-organized in %.2f s)"
+          % (factor_a, factor_b, elapsed))
+
+    p, q = sorted(shor.factors)
+    try:
+        private = recover_private_key(p, q, PUBLIC_EXPONENT)
+    except ValueError as error:
+        print("\n(key recovery skipped: %s)" % error)
+        return
+    print("\n--- toy RSA key recovery ---")
+    print("public key: (N=%d, e=%d)" % (n, PUBLIC_EXPONENT))
+    print("private exponent: d = %d" % private)
+    message = 2
+    ciphertext = pow(message, PUBLIC_EXPONENT, n)
+    decrypted = pow(ciphertext, private, n)
+    print("round trip: m=%d -> c=%d -> m=%d  (%s)"
+          % (message, ciphertext, decrypted,
+             "OK" if decrypted == message else "FAILED"))
+
+
+if __name__ == "__main__":
+    main()

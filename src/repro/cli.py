@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small utilities a downstream user reaches for first:
+
+* ``info``       -- library overview and version.
+* ``solve``      -- solve a DIMACS CNF file (DMM, WalkSAT, or DPLL).
+* ``factor``     -- factor a composite (Shor or memcomputing).
+* ``reproduce``  -- how to regenerate every paper figure/claim.
+"""
+
+import argparse
+import sys
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Rebooting Our Computing Models' "
+                    "(DATE 2019): quantum accelerator, VO2 oscillators, "
+                    "digital memcomputing.")
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser("info", help="library overview")
+
+    solve = commands.add_parser("solve",
+                                help="solve a DIMACS CNF file")
+    solve.add_argument("path", help="DIMACS .cnf file")
+    solve.add_argument("--solver", choices=("dmm", "walksat", "dpll"),
+                       default="dmm")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--max-steps", type=int, default=500_000,
+                       help="DMM integration / WalkSAT flip budget")
+
+    factor = commands.add_parser("factor",
+                                 help="factor a composite integer")
+    factor.add_argument("n", type=int)
+    factor.add_argument("--method", choices=("shor", "memcomputing"),
+                        default="shor")
+    factor.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("reproduce",
+                        help="how to regenerate the paper's results")
+    return parser
+
+
+def _run_info(_args, out):
+    import repro
+
+    out.write("repro %s -- reproduction of 'Rebooting Our Computing "
+              "Models' (DATE 2019)\n\n" % repro.__version__)
+    out.write("packages:\n")
+    out.write("  repro.quantum       Section II  (accelerator stack, "
+              "Shor, DNA, adiabatic)\n")
+    out.write("  repro.oscillators   Section III (VO2 cells, locking, "
+              "FAST, power models)\n")
+    out.write("  repro.memcomputing  Section IV  (SOLGs, DMM SAT/MaxSAT/"
+              "ILP, RBM, spin glass)\n")
+    out.write("  repro.core          shared substrate (integrators, CNF, "
+              "signals)\n")
+    return 0
+
+
+def _run_solve(args, out):
+    from .core.io import load_dimacs
+
+    formula = load_dimacs(args.path)
+    out.write("instance: %d variables, %d clauses\n"
+              % (formula.num_variables, formula.num_clauses))
+    if args.solver == "dmm":
+        from .memcomputing.solver import DmmSolver
+
+        result = DmmSolver(max_steps=args.max_steps).solve(
+            formula, rng=args.seed)
+        satisfied, work = result.satisfied, "%d steps" % result.steps
+        assignment = result.assignment
+    elif args.solver == "walksat":
+        from .memcomputing.baselines import WalkSatSolver
+
+        result = WalkSatSolver(max_flips=args.max_steps).solve(
+            formula, rng=args.seed)
+        satisfied, work = result.satisfied, "%d flips" % result.flips
+        assignment = result.assignment
+    else:
+        from .memcomputing.baselines import DpllSolver
+
+        result = DpllSolver().solve(formula)
+        satisfied = bool(result.satisfiable)
+        work = "%d nodes" % result.nodes
+        assignment = result.assignment
+    if satisfied:
+        literals = " ".join(str(v if assignment[v] else -v)
+                            for v in sorted(assignment))
+        out.write("s SATISFIABLE (%s)\nv %s 0\n" % (work, literals))
+        return 0
+    out.write("s %s (%s)\n"
+              % ("UNSATISFIABLE" if args.solver == "dpll"
+                 and result.satisfiable is False else "UNKNOWN", work))
+    return 1
+
+
+def _run_factor(args, out):
+    if args.n < 4:
+        out.write("error: need a composite >= 4\n")
+        return 2
+    if args.method == "shor":
+        from .quantum.algorithms.shor import shor_factor
+
+        result = shor_factor(args.n, rng=args.seed)
+        if not result.succeeded:
+            out.write("no factors found (try another seed)\n")
+            return 1
+        factors = result.factors
+        out.write("%d = %d * %d   (%s)\n"
+                  % (args.n, factors[0], factors[1], result.method))
+        return 0
+    from .core.exceptions import SolgError
+    from .memcomputing.circuit import factor_with_memcomputing
+
+    try:
+        factor_a, factor_b = factor_with_memcomputing(args.n,
+                                                      rng=args.seed)
+    except SolgError as error:
+        out.write("memcomputing found no steady state: %s\n" % error)
+        return 1
+    out.write("%d = %d * %d   (inverted SOLG multiplier)\n"
+              % (args.n, factor_a, factor_b))
+    return 0
+
+
+def _run_reproduce(_args, out):
+    out.write("regenerate every figure and in-text claim of the paper:\n\n")
+    out.write("  pytest benchmarks/ --benchmark-only\n\n")
+    out.write("tables are printed and saved under benchmarks/results/;\n")
+    out.write("see DESIGN.md (experiment index) and EXPERIMENTS.md\n")
+    out.write("(paper-vs-measured) for the mapping.\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _run_info,
+        "solve": _run_solve,
+        "factor": _run_factor,
+        "reproduce": _run_reproduce,
+    }
+    if args.command is None:
+        parser.print_help(out)
+        return 0
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Shared substrate: integrators, event/signal analysis, CNF, instances.
+
+The three computing models reproduced from the paper sit on this common
+layer.  Nothing here knows about qubits, oscillators, or SOLGs.
+"""
+
+from .cnf import Clause, CnfFormula, parse_dimacs
+from .integrators import (
+    Trajectory,
+    integrate_adaptive,
+    integrate_clipped,
+    integrate_fixed,
+    rk4_step,
+)
+from .rngs import make_rng, spawn_rngs
+from .sat_instances import (
+    frustrated_loop_ising,
+    ising_energy,
+    planted_ksat,
+    planted_maxsat,
+    random_ksat,
+)
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "parse_dimacs",
+    "Trajectory",
+    "integrate_adaptive",
+    "integrate_clipped",
+    "integrate_fixed",
+    "rk4_step",
+    "make_rng",
+    "spawn_rngs",
+    "frustrated_loop_ising",
+    "ising_energy",
+    "planted_ksat",
+    "planted_maxsat",
+    "random_ksat",
+]

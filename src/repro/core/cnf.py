@@ -1,0 +1,225 @@
+"""Boolean formulas in conjunctive normal form.
+
+The memcomputing experiments of Section IV operate on combinatorial
+optimization problems "first written in Boolean form".  This module is the
+shared representation: immutable clauses over integer DIMACS-style
+literals, satisfaction checking, and DIMACS parse/emit so instances can be
+exchanged with external solvers.
+
+Literal convention: variables are numbered ``1..n``; literal ``+v`` means
+variable ``v`` true, ``-v`` means variable ``v`` false (DIMACS).
+"""
+
+import io
+
+from .exceptions import DimacsParseError, FormulaError
+
+
+class Clause:
+    """An immutable disjunction of literals.
+
+    Parameters
+    ----------
+    literals : iterable of int
+        Non-zero DIMACS literals.  Duplicates are removed; a clause
+        containing both ``v`` and ``-v`` is tautological and flagged.
+    weight : float, optional
+        Soft-clause weight for MaxSAT (``None`` means hard).
+    """
+
+    __slots__ = ("literals", "weight")
+
+    def __init__(self, literals, weight=None):
+        # sort by variable, negative literal first on ties, so clause
+        # identity is independent of input (and set-iteration) order
+        lits = tuple(sorted(set(int(l) for l in literals),
+                            key=lambda l: (abs(l), l)))
+        if len(lits) == 0:
+            raise FormulaError("empty clause is unsatisfiable by construction")
+        if any(l == 0 for l in lits):
+            raise FormulaError("literal 0 is reserved as the DIMACS terminator")
+        self.literals = lits
+        self.weight = None if weight is None else float(weight)
+
+    @property
+    def is_tautology(self):
+        """True when the clause contains a literal and its negation."""
+        positive = set(l for l in self.literals if l > 0)
+        return any(-l in positive for l in self.literals if l < 0)
+
+    @property
+    def variables(self):
+        """The set of variable indices appearing in the clause."""
+        return frozenset(abs(l) for l in self.literals)
+
+    def is_satisfied_by(self, assignment):
+        """Evaluate under ``assignment``: dict/sequence of variable -> bool."""
+        for lit in self.literals:
+            value = _lookup(assignment, abs(lit))
+            if value is None:
+                continue
+            if value == (lit > 0):
+                return True
+        return False
+
+    def __len__(self):
+        return len(self.literals)
+
+    def __eq__(self, other):
+        return isinstance(other, Clause) and self.literals == other.literals \
+            and self.weight == other.weight
+
+    def __hash__(self):
+        return hash((self.literals, self.weight))
+
+    def __repr__(self):
+        if self.weight is None:
+            return "Clause(%s)" % (self.literals,)
+        return "Clause(%s, weight=%g)" % (self.literals, self.weight)
+
+
+def _lookup(assignment, var):
+    """Fetch variable ``var`` from a dict or 1-indexed sequence assignment."""
+    if isinstance(assignment, dict):
+        return assignment.get(var)
+    index = var - 1
+    if index < 0 or index >= len(assignment):
+        return None
+    return assignment[index]
+
+
+class CnfFormula:
+    """A conjunction of :class:`Clause` objects over variables ``1..n``.
+
+    The formula records ``num_variables`` explicitly so that variables not
+    mentioned in any clause still exist (they are free).
+    """
+
+    def __init__(self, clauses, num_variables=None):
+        self.clauses = [c if isinstance(c, Clause) else Clause(c)
+                        for c in clauses]
+        max_var = 0
+        for clause in self.clauses:
+            for lit in clause.literals:
+                max_var = max(max_var, abs(lit))
+        if num_variables is None:
+            num_variables = max_var
+        if num_variables < max_var:
+            raise FormulaError(
+                "num_variables=%d but a clause mentions variable %d"
+                % (num_variables, max_var)
+            )
+        self.num_variables = int(num_variables)
+
+    @property
+    def num_clauses(self):
+        """Number of clauses."""
+        return len(self.clauses)
+
+    @property
+    def clause_ratio(self):
+        """Clauses-to-variables ratio (the SAT hardness dial alpha)."""
+        if self.num_variables == 0:
+            return 0.0
+        return self.num_clauses / self.num_variables
+
+    @property
+    def hard_clauses(self):
+        """Clauses with no weight (must be satisfied)."""
+        return [c for c in self.clauses if c.weight is None]
+
+    @property
+    def soft_clauses(self):
+        """Weighted clauses (MaxSAT objective terms)."""
+        return [c for c in self.clauses if c.weight is not None]
+
+    def is_satisfied_by(self, assignment):
+        """True when every clause is satisfied by ``assignment``."""
+        return all(c.is_satisfied_by(assignment) for c in self.clauses)
+
+    def num_satisfied(self, assignment):
+        """Count of clauses satisfied by ``assignment``."""
+        return sum(1 for c in self.clauses if c.is_satisfied_by(assignment))
+
+    def unsatisfied_clauses(self, assignment):
+        """List of clauses not satisfied by ``assignment``."""
+        return [c for c in self.clauses if not c.is_satisfied_by(assignment)]
+
+    def weight_satisfied(self, assignment):
+        """Total weight of satisfied soft clauses (hard clauses excluded)."""
+        return sum(c.weight for c in self.soft_clauses
+                   if c.is_satisfied_by(assignment))
+
+    def assignment_from_bools(self, bools):
+        """Build a dict assignment from a 0-indexed boolean sequence."""
+        if len(bools) != self.num_variables:
+            raise FormulaError(
+                "assignment length %d != num_variables %d"
+                % (len(bools), self.num_variables)
+            )
+        return {i + 1: bool(b) for i, b in enumerate(bools)}
+
+    def to_dimacs(self):
+        """Serialize to DIMACS CNF text (hard clauses only)."""
+        out = io.StringIO()
+        out.write("c generated by repro.core.cnf\n")
+        out.write("p cnf %d %d\n" % (self.num_variables, self.num_clauses))
+        for clause in self.clauses:
+            out.write(" ".join(str(l) for l in clause.literals))
+            out.write(" 0\n")
+        return out.getvalue()
+
+    def __repr__(self):
+        return "CnfFormula(n=%d, m=%d)" % (self.num_variables, self.num_clauses)
+
+
+def parse_dimacs(text):
+    """Parse DIMACS CNF text into a :class:`CnfFormula`.
+
+    Raises :class:`DimacsParseError` on malformed input.  Comment lines
+    (``c ...``) are skipped; ``%`` / ``0`` trailer lines used by some
+    generators are tolerated.
+    """
+    num_vars = None
+    declared_clauses = None
+    clauses = []
+    pending = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsParseError("bad problem line %d: %r" % (line_no, raw))
+            try:
+                num_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError:
+                raise DimacsParseError("bad problem line %d: %r" % (line_no, raw))
+            continue
+        if num_vars is None:
+            raise DimacsParseError("clause before problem line at line %d" % line_no)
+        try:
+            tokens = [int(tok) for tok in line.split()]
+        except ValueError:
+            raise DimacsParseError("non-integer token at line %d: %r" % (line_no, raw))
+        for token in tokens:
+            if token == 0:
+                if pending:
+                    clauses.append(Clause(pending))
+                    pending = []
+            else:
+                pending.append(token)
+    if pending:
+        clauses.append(Clause(pending))
+    if num_vars is None:
+        raise DimacsParseError("missing problem line")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Tolerate mismatches but only within reason: many published
+        # instances have off-by-trailer counts.  A wild mismatch is an error.
+        if abs(declared_clauses - len(clauses)) > max(2, declared_clauses // 10):
+            raise DimacsParseError(
+                "declared %d clauses, parsed %d" % (declared_clauses, len(clauses))
+            )
+    return CnfFormula(clauses, num_variables=num_vars)

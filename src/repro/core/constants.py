@@ -1,0 +1,69 @@
+"""Physical constants and unit helpers used across the device models.
+
+All internal computations use SI units.  The helpers here exist so that
+module code can say ``3 * MILLI`` or ``freq_hz / MEGA`` instead of magic
+powers of ten, and so device modules share one source of truth for
+physical constants.
+"""
+
+import math
+
+# ---------------------------------------------------------------------------
+# SI prefixes
+# ---------------------------------------------------------------------------
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# ---------------------------------------------------------------------------
+# Physical constants (CODATA 2018 values, SI)
+# ---------------------------------------------------------------------------
+BOLTZMANN_J_PER_K = 1.380649e-23
+ELEMENTARY_CHARGE_C = 1.602176634e-19
+PLANCK_J_S = 6.62607015e-34
+REDUCED_PLANCK_J_S = PLANCK_J_S / (2.0 * math.pi)
+
+#: Thermal voltage kT/q at 300 K, in volts.
+THERMAL_VOLTAGE_300K_V = BOLTZMANN_J_PER_K * 300.0 / ELEMENTARY_CHARGE_C
+
+#: Operating temperature of superconducting qubit chips quoted by the
+#: paper's Section II ("around 20 mK").
+SUPERCONDUCTING_QUBIT_TEMP_K = 20e-3
+
+
+def db(ratio):
+    """Return ``ratio`` expressed in decibels (power convention).
+
+    >>> round(db(10.0), 6)
+    10.0
+    """
+    if ratio <= 0.0:
+        raise ValueError("dB of a non-positive ratio is undefined: %r" % ratio)
+    return 10.0 * math.log10(ratio)
+
+
+def from_db(decibels):
+    """Inverse of :func:`db` (power convention)."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def celsius_to_kelvin(temp_c):
+    """Convert a temperature from Celsius to Kelvin."""
+    kelvin = temp_c + 273.15
+    if kelvin < 0.0:
+        raise ValueError("temperature below absolute zero: %r C" % temp_c)
+    return kelvin
+
+
+def period_from_frequency(freq_hz):
+    """Return the period in seconds of a strictly positive frequency."""
+    if freq_hz <= 0.0:
+        raise ValueError("frequency must be positive, got %r" % freq_hz)
+    return 1.0 / freq_hz

@@ -1,0 +1,99 @@
+"""Event detection on sampled trajectories.
+
+The oscillator analysis pipeline needs to find threshold crossings in
+recorded waveforms: spike times of relaxation oscillators, edges of the
+thresholded square waves feeding the XOR readout (Fig. 4), and phase
+references for locking detection (Fig. 3).  All detectors here operate on
+already-sampled ``(times, values)`` arrays and refine crossing instants by
+linear interpolation between samples.
+"""
+
+import numpy as np
+
+
+def rising_crossings(times, values, threshold):
+    """Return interpolated times where ``values`` crosses up through ``threshold``.
+
+    A crossing is counted when sample ``i`` is below (or equal to) the
+    threshold and sample ``i+1`` is strictly above it.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) != len(values):
+        raise ValueError("times/values length mismatch")
+    below = values[:-1] <= threshold
+    above = values[1:] > threshold
+    idx = np.flatnonzero(below & above)
+    if len(idx) == 0:
+        return np.empty(0)
+    v0 = values[idx]
+    v1 = values[idx + 1]
+    frac = (threshold - v0) / (v1 - v0)
+    return times[idx] + frac * (times[idx + 1] - times[idx])
+
+
+def falling_crossings(times, values, threshold):
+    """Return interpolated times where ``values`` crosses down through ``threshold``."""
+    return rising_crossings(times, -np.asarray(values, dtype=float), -threshold)
+
+
+def crossing_periods(crossing_times):
+    """Return successive differences between crossing instants.
+
+    For a periodic waveform, rising-edge crossing differences estimate the
+    oscillation period cycle by cycle.
+    """
+    crossing_times = np.asarray(crossing_times, dtype=float)
+    if len(crossing_times) < 2:
+        return np.empty(0)
+    return np.diff(crossing_times)
+
+
+def steady_period(times, values, threshold, discard_fraction=0.3):
+    """Estimate the steady-state period of a waveform from rising crossings.
+
+    The first ``discard_fraction`` of detected cycles is dropped to skip the
+    start-up transient; the median of the remaining cycle lengths is
+    returned.  Returns ``None`` when fewer than two steady crossings exist
+    (i.e. the waveform never settles into oscillation).
+    """
+    crossings = rising_crossings(times, values, threshold)
+    if len(crossings) < 3:
+        return None
+    start = int(len(crossings) * discard_fraction)
+    kept = crossings[start:]
+    if len(kept) < 2:
+        kept = crossings[-2:]
+    periods = np.diff(kept)
+    if len(periods) == 0:
+        return None
+    return float(np.median(periods))
+
+
+def duty_cycle(times, values, threshold):
+    """Fraction of total time the waveform spends above ``threshold``.
+
+    Uses trapezoid-free sample-and-hold accounting: each inter-sample
+    interval is attributed to the state of its left sample.  Adequate for
+    the densely sampled waveforms produced by the simulators.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) < 2:
+        raise ValueError("need at least two samples for a duty cycle")
+    dt = np.diff(times)
+    high = values[:-1] > threshold
+    total = float(np.sum(dt))
+    if total <= 0.0:
+        raise ValueError("non-increasing time axis")
+    return float(np.sum(dt[high]) / total)
+
+
+def square_wave(values, threshold, low=0.0, high=1.0):
+    """Threshold a waveform into a two-level square wave.
+
+    This is the comparator stage of the paper's XOR readout (Fig. 4): the
+    analog oscillator node voltage is squared up before the XOR.
+    """
+    values = np.asarray(values, dtype=float)
+    return np.where(values > threshold, high, low)

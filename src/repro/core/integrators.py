@@ -1,0 +1,318 @@
+"""Ordinary-differential-equation integrators for the device simulators.
+
+Both physical computing models in the paper are continuous dynamical
+systems: the VO2 relaxation oscillators of Section III and the digital
+memcomputing machines of Section IV (Eqs. 1-2).  This module provides the
+integrators they share:
+
+* :func:`rk4_step` / :func:`integrate_fixed` -- classic fixed-step
+  Runge-Kutta 4, used where the dynamics are smooth between events.
+* :func:`integrate_adaptive` -- embedded Runge-Kutta-Fehlberg 4(5) with
+  step-size control, used for stiff stretches of the DMM dynamics.
+* :func:`integrate_clipped` -- forward integration with per-component state
+  clipping, matching the paper's requirement that DMM memory variables stay
+  in ``x in [0, 1]`` (Eq. 2) while remaining point-dissipative.
+
+All integrators operate on ``float64`` numpy state vectors and a callback
+``rhs(t, y) -> dy/dt``.  They record dense trajectories on request so the
+analysis modules (locking detection, instanton census) can post-process.
+"""
+
+import numpy as np
+
+from .exceptions import IntegrationError
+
+
+class Trajectory:
+    """A recorded solution: times, states, and bookkeeping counters.
+
+    Attributes
+    ----------
+    times : numpy.ndarray, shape (n,)
+        Sample instants, strictly increasing.
+    states : numpy.ndarray, shape (n, dim)
+        State vector at each instant.
+    n_steps : int
+        Number of accepted integrator steps taken.
+    n_rejected : int
+        Number of rejected trial steps (adaptive integrators only).
+    terminated_early : bool
+        True when a stop condition ended the run before ``t_end``.
+    """
+
+    def __init__(self, times, states, n_steps=0, n_rejected=0,
+                 terminated_early=False):
+        self.times = np.asarray(times, dtype=float)
+        self.states = np.asarray(states, dtype=float)
+        if self.states.ndim == 1:
+            self.states = self.states.reshape(len(self.times), -1)
+        if len(self.times) != len(self.states):
+            raise ValueError(
+                "times and states disagree: %d vs %d"
+                % (len(self.times), len(self.states))
+            )
+        self.n_steps = int(n_steps)
+        self.n_rejected = int(n_rejected)
+        self.terminated_early = bool(terminated_early)
+
+    @property
+    def final_time(self):
+        """Last recorded time."""
+        return float(self.times[-1])
+
+    @property
+    def final_state(self):
+        """State vector at the last recorded time (copy)."""
+        return self.states[-1].copy()
+
+    def component(self, index):
+        """Return the time series of a single state component."""
+        return self.states[:, index]
+
+    def resample(self, new_times):
+        """Linearly interpolate the trajectory onto ``new_times``."""
+        new_times = np.asarray(new_times, dtype=float)
+        resampled = np.empty((len(new_times), self.states.shape[1]))
+        for j in range(self.states.shape[1]):
+            resampled[:, j] = np.interp(new_times, self.times, self.states[:, j])
+        return Trajectory(new_times, resampled, n_steps=self.n_steps,
+                          n_rejected=self.n_rejected,
+                          terminated_early=self.terminated_early)
+
+    def __len__(self):
+        return len(self.times)
+
+    def __repr__(self):
+        return "Trajectory(n=%d, t=[%g, %g], dim=%d)" % (
+            len(self.times), self.times[0], self.times[-1],
+            self.states.shape[1],
+        )
+
+
+def _check_finite(y, t):
+    if not np.all(np.isfinite(y)):
+        raise IntegrationError("non-finite state encountered at t=%g" % t)
+
+
+def rk4_step(rhs, t, y, dt):
+    """Advance one classic fourth-order Runge-Kutta step.
+
+    Parameters
+    ----------
+    rhs : callable
+        Right-hand side ``rhs(t, y) -> dy/dt``.
+    t : float
+        Current time.
+    y : numpy.ndarray
+        Current state.
+    dt : float
+        Step size (must be positive).
+    """
+    if dt <= 0.0:
+        raise ValueError("step size must be positive, got %r" % dt)
+    k1 = np.asarray(rhs(t, y))
+    k2 = np.asarray(rhs(t + 0.5 * dt, y + 0.5 * dt * k1))
+    k3 = np.asarray(rhs(t + 0.5 * dt, y + 0.5 * dt * k2))
+    k4 = np.asarray(rhs(t + dt, y + dt * k3))
+    return y + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def integrate_fixed(rhs, y0, t_span, dt, record_every=1, stop_condition=None):
+    """Integrate with fixed-step RK4 over ``t_span = (t0, t1)``.
+
+    Parameters
+    ----------
+    rhs : callable
+        Right-hand side ``rhs(t, y)``.
+    y0 : array-like
+        Initial state.
+    t_span : tuple of float
+        ``(t0, t1)`` with ``t1 > t0``.
+    dt : float
+        Step size.
+    record_every : int
+        Record one sample every this many steps (the initial and final
+        states are always recorded).
+    stop_condition : callable, optional
+        ``stop_condition(t, y) -> bool``; when it returns True the
+        integration stops after recording that state.
+
+    Returns
+    -------
+    Trajectory
+    """
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if t1 <= t0:
+        raise ValueError("t_span must satisfy t1 > t0, got %r" % (t_span,))
+    if record_every < 1:
+        raise ValueError("record_every must be >= 1")
+    y = np.array(y0, dtype=float)
+    times = [t0]
+    states = [y.copy()]
+    t = t0
+    n_steps = 0
+    terminated = False
+    while t < t1 - 1e-15:
+        step = min(dt, t1 - t)
+        y = rk4_step(rhs, t, y, step)
+        t += step
+        n_steps += 1
+        _check_finite(y, t)
+        if n_steps % record_every == 0 or t >= t1 - 1e-15:
+            times.append(t)
+            states.append(y.copy())
+        if stop_condition is not None and stop_condition(t, y):
+            if times[-1] != t:
+                times.append(t)
+                states.append(y.copy())
+            terminated = True
+            break
+    return Trajectory(times, states, n_steps=n_steps,
+                      terminated_early=terminated)
+
+
+# Dormand-Prince style RKF45 coefficients (Fehlberg's classic tableau).
+_RKF45_A = (
+    (),
+    (1.0 / 4.0,),
+    (3.0 / 32.0, 9.0 / 32.0),
+    (1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0),
+    (439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0),
+    (-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0),
+)
+_RKF45_C = (0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0)
+_RKF45_B5 = (16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0,
+             -9.0 / 50.0, 2.0 / 55.0)
+_RKF45_B4 = (25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0,
+             -1.0 / 5.0, 0.0)
+
+
+def integrate_adaptive(rhs, y0, t_span, rtol=1e-6, atol=1e-9, dt0=None,
+                       dt_min=1e-14, dt_max=None, max_steps=1_000_000,
+                       record=True, stop_condition=None):
+    """Integrate with embedded RKF4(5) and PI-free step-size control.
+
+    Parameters mirror :func:`integrate_fixed`; additionally ``rtol``/``atol``
+    set the per-step error tolerance and ``dt_min`` guards against
+    step-size underflow (raising :class:`IntegrationError`).
+
+    Returns
+    -------
+    Trajectory
+    """
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if t1 <= t0:
+        raise ValueError("t_span must satisfy t1 > t0, got %r" % (t_span,))
+    y = np.array(y0, dtype=float)
+    span = t1 - t0
+    dt = dt0 if dt0 is not None else span / 100.0
+    if dt_max is None:
+        dt_max = span / 2.0
+    dt = min(dt, dt_max)
+
+    times = [t0]
+    states = [y.copy()]
+    t = t0
+    n_steps = 0
+    n_rejected = 0
+    terminated = False
+    ks = [None] * 6
+    while t < t1 - 1e-15:
+        if n_steps + n_rejected > max_steps:
+            raise IntegrationError(
+                "adaptive integrator exceeded %d steps at t=%g" % (max_steps, t)
+            )
+        dt = min(dt, t1 - t)
+        for i in range(6):
+            yi = y.copy()
+            for j, a in enumerate(_RKF45_A[i]):
+                yi += dt * a * ks[j]
+            ks[i] = np.asarray(rhs(t + _RKF45_C[i] * dt, yi), dtype=float)
+        y5 = y.copy()
+        y4 = y.copy()
+        for i in range(6):
+            y5 += dt * _RKF45_B5[i] * ks[i]
+            y4 += dt * _RKF45_B4[i] * ks[i]
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        err = np.sqrt(np.mean(((y5 - y4) / scale) ** 2))
+        if not np.isfinite(err):
+            err = 2.0  # force a rejection and step shrink
+        if err <= 1.0:
+            t += dt
+            y = y5
+            _check_finite(y, t)
+            n_steps += 1
+            if record:
+                times.append(t)
+                states.append(y.copy())
+            if stop_condition is not None and stop_condition(t, y):
+                terminated = True
+                break
+        else:
+            n_rejected += 1
+        # standard step-size update with safety factor and growth clamps
+        factor = 0.9 * (1.0 / max(err, 1e-10)) ** 0.2
+        dt *= min(5.0, max(0.2, factor))
+        dt = min(dt, dt_max)
+        if dt < dt_min:
+            raise IntegrationError(
+                "step size underflow (dt=%g < dt_min=%g) at t=%g"
+                % (dt, dt_min, t)
+            )
+    if not record or times[-1] != t:
+        times.append(t)
+        states.append(y.copy())
+    return Trajectory(times, states, n_steps=n_steps, n_rejected=n_rejected,
+                      terminated_early=terminated)
+
+
+def integrate_clipped(rhs, y0, t_span, dt, lower=None, upper=None,
+                      record_every=1, stop_condition=None,
+                      max_steps=50_000_000):
+    """Forward-Euler integration with per-component clipping.
+
+    The DMM memory variables of Eq. 2 are defined on ``x in [0, 1]``; the
+    standard numerical treatment (Traversa & Di Ventra 2017) integrates the
+    unconstrained flow and clips the bounded components after each step.
+    ``lower``/``upper`` are arrays (or None for unbounded) broadcast against
+    the state.
+
+    Forward Euler is intentional here: the clipped flow is non-smooth at
+    the box boundary, where higher-order steps gain nothing.
+    """
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if t1 <= t0:
+        raise ValueError("t_span must satisfy t1 > t0, got %r" % (t_span,))
+    y = np.array(y0, dtype=float)
+    if lower is not None:
+        lower = np.asarray(lower, dtype=float)
+    if upper is not None:
+        upper = np.asarray(upper, dtype=float)
+    times = [t0]
+    states = [y.copy()]
+    t = t0
+    n_steps = 0
+    terminated = False
+    while t < t1 - 1e-15:
+        if n_steps > max_steps:
+            raise IntegrationError(
+                "clipped integrator exceeded %d steps at t=%g" % (max_steps, t)
+            )
+        step = min(dt, t1 - t)
+        y = y + step * np.asarray(rhs(t, y), dtype=float)
+        if lower is not None or upper is not None:
+            np.clip(y, lower, upper, out=y)
+        t += step
+        n_steps += 1
+        _check_finite(y, t)
+        if n_steps % record_every == 0 or t >= t1 - 1e-15:
+            times.append(t)
+            states.append(y.copy())
+        if stop_condition is not None and stop_condition(t, y):
+            if times[-1] != t:
+                times.append(t)
+                states.append(y.copy())
+            terminated = True
+            break
+    return Trajectory(times, states, n_steps=n_steps,
+                      terminated_early=terminated)

@@ -1,0 +1,146 @@
+"""Generators for SAT / MaxSAT / spin-glass benchmark instances.
+
+The DMM experiments of Section IV (and the baselines they are compared
+against) need controlled problem families:
+
+* uniform random k-SAT at a chosen clause ratio (the classic hardness dial),
+* *planted* k-SAT, guaranteed satisfiable with a hidden assignment, used by
+  the scaling study so that "solved" is well-defined at every size,
+* weighted partial MaxSAT built from a planted core plus soft preferences,
+* frustrated-loop Ising instances in the style of [56] (Sheldon, Traversa,
+  Di Ventra) where loops of couplings each carry exactly one frustrated
+  bond, so the ground-state energy is known by construction.
+"""
+
+import numpy as np
+
+from .cnf import Clause, CnfFormula
+from .rngs import make_rng
+
+
+def random_ksat(num_variables, num_clauses, k=3, rng=None):
+    """Uniform random k-SAT: each clause draws k distinct variables, random signs.
+
+    No guarantee of satisfiability; at ratio ~4.27 (k=3) instances straddle
+    the SAT/UNSAT phase transition.
+    """
+    if num_variables < k:
+        raise ValueError("need at least k=%d variables, got %d" % (k, num_variables))
+    rng = make_rng(rng)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.choice(num_variables, size=k, replace=False) + 1
+        signs = rng.integers(0, 2, size=k) * 2 - 1
+        clauses.append(Clause(variables * signs))
+    return CnfFormula(clauses, num_variables=num_variables)
+
+
+def planted_ksat(num_variables, num_clauses, k=3, rng=None,
+                 return_assignment=False):
+    """Random k-SAT with a hidden satisfying ('planted') assignment.
+
+    Clauses are drawn uniformly among those satisfied by the plant.  Used by
+    the DMM-vs-WalkSAT scaling benchmark so every instance is solvable and
+    time-to-solution is well defined.
+
+    Returns the formula, or ``(formula, plant_dict)`` when
+    ``return_assignment`` is True.
+    """
+    if num_variables < k:
+        raise ValueError("need at least k=%d variables, got %d" % (k, num_variables))
+    rng = make_rng(rng)
+    plant = rng.integers(0, 2, size=num_variables).astype(bool)
+    clauses = []
+    while len(clauses) < num_clauses:
+        variables = rng.choice(num_variables, size=k, replace=False) + 1
+        signs = rng.integers(0, 2, size=k) * 2 - 1
+        literals = variables * signs
+        satisfied = any(
+            (lit > 0) == bool(plant[abs(lit) - 1]) for lit in literals
+        )
+        if satisfied:
+            clauses.append(Clause(literals))
+    formula = CnfFormula(clauses, num_variables=num_variables)
+    if return_assignment:
+        plant_dict = {i + 1: bool(plant[i]) for i in range(num_variables)}
+        return formula, plant_dict
+    return formula
+
+
+def planted_maxsat(num_variables, num_hard, num_soft, k=3, rng=None,
+                   weight_range=(1.0, 10.0)):
+    """Weighted partial MaxSAT: a planted hard core plus random soft clauses.
+
+    The hard clauses are planted-satisfiable; soft clauses are uniform
+    random (so some conflict with the plant) with weights drawn uniformly
+    from ``weight_range``.  Returns ``(formula, plant_dict)``.
+    """
+    rng = make_rng(rng)
+    core, plant = planted_ksat(num_variables, num_hard, k=k, rng=rng,
+                               return_assignment=True)
+    clauses = list(core.clauses)
+    lo, hi = weight_range
+    for _ in range(num_soft):
+        variables = rng.choice(num_variables, size=k, replace=False) + 1
+        signs = rng.integers(0, 2, size=k) * 2 - 1
+        weight = float(rng.uniform(lo, hi))
+        clauses.append(Clause(variables * signs, weight=weight))
+    return CnfFormula(clauses, num_variables=num_variables), plant
+
+
+def frustrated_loop_ising(num_spins, num_loops, loop_length=6, rng=None):
+    """Frustrated-loop spin-glass couplings in the style of [56].
+
+    Each loop visits ``loop_length`` distinct spins in a random cycle.  All
+    bonds on the loop are ferromagnetic (J = -1 in the convention
+    ``E = sum_ij J_ij s_i s_j``) except one random bond which is
+    antiferromagnetic (J = +1), frustrating the loop.  Couplings from
+    overlapping loops add.  The planted state (all spins up) achieves
+    energy ``sum_loops (loop_length - 2)``... more usefully, the ground
+    state energy is known by construction:
+
+    each loop contributes at best ``-(loop_length - 2) + ... `` -- the
+    standard result is that a single frustrated loop has ground energy
+    ``-(loop_length - 2) - 1 + 0`` obtained by sacrificing exactly one
+    bond.  We therefore return the couplings together with the per-loop
+    optimal energy bound ``-(loop_length - 2)`` so callers can verify
+    solution quality.
+
+    Returns
+    -------
+    couplings : dict mapping (i, j) with i < j to float J_ij
+    ground_energy_bound : float
+        Sum over loops of the single-loop ground energy; the true ground
+        energy is >= this bound and equals it when loops do not interfere
+        destructively.
+    """
+    if loop_length < 3:
+        raise ValueError("loop_length must be >= 3")
+    if num_spins < loop_length:
+        raise ValueError("need at least loop_length spins")
+    rng = make_rng(rng)
+    couplings = {}
+    for _ in range(num_loops):
+        spins = rng.choice(num_spins, size=loop_length, replace=False)
+        frustrated_bond = int(rng.integers(0, loop_length))
+        for b in range(loop_length):
+            i = int(spins[b])
+            j = int(spins[(b + 1) % loop_length])
+            key = (min(i, j), max(i, j))
+            sign = +1.0 if b == frustrated_bond else -1.0
+            couplings[key] = couplings.get(key, 0.0) + sign
+    # Single loop of length L with one frustrated bond: the best achievable
+    # is to satisfy L-1 bonds and violate 1, i.e. energy -(L-1) + 1 = -(L-2).
+    ground_energy_bound = -float(num_loops * (loop_length - 2))
+    return couplings, ground_energy_bound
+
+
+def ising_energy(couplings, spins, fields=None):
+    """Energy ``E = sum_ij J_ij s_i s_j + sum_i h_i s_i`` for +-1 spins."""
+    spins = np.asarray(spins)
+    energy = 0.0
+    for (i, j), coupling in couplings.items():
+        energy += coupling * spins[i] * spins[j]
+    if fields is not None:
+        energy += float(np.dot(np.asarray(fields), spins))
+    return float(energy)

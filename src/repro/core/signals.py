@@ -1,0 +1,135 @@
+"""Signal analysis helpers: frequency, phase, locking metrics, spectra.
+
+These are the measurement instruments for the oscillator experiments of
+Section III.  Everything takes plain sampled arrays so that both the ODE
+simulator output and synthetic test waveforms can be analyzed identically.
+"""
+
+import numpy as np
+
+from .events import rising_crossings
+from .exceptions import LockingError
+
+
+def dominant_frequency(times, values, detrend=True):
+    """Estimate the dominant frequency of a uniformly resampled waveform.
+
+    The waveform is linearly resampled onto a uniform grid, optionally
+    mean-detrended, and the peak bin of the one-sided FFT magnitude
+    spectrum (excluding DC) is returned in hertz.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) < 8:
+        raise ValueError("need at least 8 samples for a spectrum")
+    uniform_t = np.linspace(times[0], times[-1], len(times))
+    uniform_v = np.interp(uniform_t, times, values)
+    if detrend:
+        uniform_v = uniform_v - np.mean(uniform_v)
+    spectrum = np.abs(np.fft.rfft(uniform_v))
+    freqs = np.fft.rfftfreq(len(uniform_v), d=uniform_t[1] - uniform_t[0])
+    if len(spectrum) < 2:
+        raise ValueError("spectrum too short")
+    peak = 1 + int(np.argmax(spectrum[1:]))
+    return float(freqs[peak])
+
+
+def cycle_frequency(times, values, threshold, discard_fraction=0.3):
+    """Frequency from median steady-state rising-edge period.
+
+    More robust than :func:`dominant_frequency` for strongly non-sinusoidal
+    relaxation waveforms.  Returns ``None`` when no oscillation is found.
+    """
+    crossings = rising_crossings(times, values, threshold)
+    if len(crossings) < 3:
+        return None
+    start = int(len(crossings) * discard_fraction)
+    kept = crossings[start:]
+    if len(kept) < 2:
+        kept = crossings[-2:]
+    periods = np.diff(kept)
+    median_period = float(np.median(periods))
+    if median_period <= 0.0:
+        return None
+    return 1.0 / median_period
+
+
+def instantaneous_phase(times, values, threshold):
+    """Piecewise-linear phase (in cycles) from rising-edge crossings.
+
+    Phase increases by exactly 1.0 per detected cycle; between crossings it
+    is linearly interpolated.  Returns ``(sample_times, phase)`` restricted
+    to the span covered by crossings.
+    """
+    crossings = rising_crossings(times, values, threshold)
+    if len(crossings) < 2:
+        raise LockingError("fewer than two rising crossings; cannot define phase")
+    phase_at_crossings = np.arange(len(crossings), dtype=float)
+    mask = (times >= crossings[0]) & (times <= crossings[-1])
+    sample_times = np.asarray(times, dtype=float)[mask]
+    phase = np.interp(sample_times, crossings, phase_at_crossings)
+    return sample_times, phase
+
+
+def phase_difference(times, values_a, values_b, threshold):
+    """Mean steady-state phase difference between two waveforms, in cycles.
+
+    Both waveforms are reduced to piecewise-linear phases and compared on
+    their common time span; the mean of the last half of the difference
+    signal is returned, wrapped into ``[-0.5, 0.5)``.
+    """
+    t_a, phi_a = instantaneous_phase(times, values_a, threshold)
+    t_b, phi_b = instantaneous_phase(times, values_b, threshold)
+    lo = max(t_a[0], t_b[0])
+    hi = min(t_a[-1], t_b[-1])
+    if hi <= lo:
+        raise LockingError("waveforms share no common phase-defined span")
+    common = np.linspace(lo, hi, 512)
+    diff = np.interp(common, t_a, phi_a) - np.interp(common, t_b, phi_b)
+    steady = diff[len(diff) // 2:]
+    mean = float(np.mean(steady))
+    return (mean + 0.5) % 1.0 - 0.5
+
+
+def is_frequency_locked(times, values_a, values_b, threshold,
+                        rel_tol=0.01):
+    """True when the two waveforms oscillate at the same steady frequency.
+
+    Frequencies are estimated cycle-wise; the pair is declared locked when
+    the relative difference is below ``rel_tol`` (1 % by default, matching
+    the sharp plateaus of Fig. 3).
+    """
+    f_a = cycle_frequency(times, values_a, threshold)
+    f_b = cycle_frequency(times, values_b, threshold)
+    if f_a is None or f_b is None:
+        return False
+    return abs(f_a - f_b) <= rel_tol * max(f_a, f_b)
+
+
+def time_average(times, values):
+    """Trapezoidal time average of a sampled waveform."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) < 2:
+        raise ValueError("need at least two samples")
+    span = times[-1] - times[0]
+    if span <= 0.0:
+        raise ValueError("non-increasing time axis")
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(values, times) / span)
+
+
+def power_spectrum(times, values):
+    """One-sided magnitude spectrum of a waveform on a uniform grid.
+
+    Returns ``(freqs_hz, magnitude)``; useful for inspecting harmonic
+    content of the relaxation waveforms.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    uniform_t = np.linspace(times[0], times[-1], len(times))
+    uniform_v = np.interp(uniform_t, times, values)
+    uniform_v = uniform_v - np.mean(uniform_v)
+    spectrum = np.abs(np.fft.rfft(uniform_v)) / len(uniform_v)
+    freqs = np.fft.rfftfreq(len(uniform_v), d=uniform_t[1] - uniform_t[0])
+    return freqs, spectrum

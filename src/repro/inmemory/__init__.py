@@ -1,0 +1,58 @@
+"""In-memory computing on resistive crossbars (the paper's intro survey).
+
+The introduction singles out in-memory computation as the style that
+"effectively eliminates the von Neumann bottleneck", citing the authors'
+own programmable logic-in-memory line ([1] "A PLIM computer for the
+internet of things", [21] "The programmable logic-in-memory (PLIM)
+computer") and ReRAM-based processing ([22]).  This package builds that
+substrate:
+
+* :mod:`repro.inmemory.memristor` -- bipolar resistive switching device,
+* :mod:`repro.inmemory.crossbar` -- the array: digital row/column writes,
+  stateful-logic pulses, and analog current-summing reads,
+* :mod:`repro.inmemory.plim` -- the resistive-majority (RM3) instruction
+  of the PLIM computer, a compiler from Boolean gates to RM3 programs,
+  and in-memory arithmetic built from it,
+* :mod:`repro.inmemory.vmm` -- analog vector-matrix multiplication with
+  conductance encoding (the in-memory neural-network primitive the intro
+  attributes to ReRAM/PCM arrays) and a data-movement cost model that
+  makes the von Neumann bottleneck argument quantitative,
+* :mod:`repro.inmemory.neuromorphic` -- the intro's neuromorphic thread
+  closed onto the same substrate: a spiking (LIF) classifier whose
+  synapses are crossbar conductances ([16]-[20]).
+"""
+
+from .crossbar import Crossbar
+from .memristor import HRS, LRS, Memristor
+from .plim import (
+    PlimComputer,
+    PlimProgram,
+    compile_expression,
+    plim_full_adder,
+)
+from .neuromorphic import (
+    LifLayer,
+    SpikingClassifier,
+    prototype_patterns,
+    rate_encode,
+    train_rate_weights,
+)
+from .vmm import AnalogVmm, data_movement_comparison
+
+__all__ = [
+    "Crossbar",
+    "HRS",
+    "LRS",
+    "Memristor",
+    "PlimComputer",
+    "PlimProgram",
+    "compile_expression",
+    "plim_full_adder",
+    "LifLayer",
+    "SpikingClassifier",
+    "prototype_patterns",
+    "rate_encode",
+    "train_rate_weights",
+    "AnalogVmm",
+    "data_movement_comparison",
+]

@@ -1,0 +1,119 @@
+"""Bipolar resistive-switching device (ReRAM cell) model.
+
+The unit cell of the in-memory substrate: a two-terminal device whose
+resistance encodes a bit (HRS = logic 0, LRS = logic 1, the usual ReRAM
+convention).  Switching is threshold-driven and polarity-dependent:
+
+* a positive voltage above ``v_set`` SETs the device to LRS,
+* a negative voltage below ``-v_reset`` RESETs it to HRS,
+* anything in between leaves the state untouched (non-volatile storage).
+
+For the analog VMM use-case the device also exposes a continuous
+conductance (programmed between ``g_min`` and ``g_max``), with optional
+programming variability -- the dominant non-ideality of real arrays.
+"""
+
+from ..core.exceptions import ReproError
+from ..core.rngs import make_rng
+
+#: Logic-state labels (standard ReRAM convention: low resistance = 1).
+HRS = 0
+LRS = 1
+
+
+class MemristorError(ReproError):
+    """Raised for unphysical memristor configurations."""
+
+
+class Memristor:
+    """A bipolar threshold-switching resistive cell.
+
+    Parameters
+    ----------
+    r_on, r_off : float
+        LRS / HRS resistances in ohms (``r_off >> r_on``).
+    v_set, v_reset : float
+        Switching thresholds (both positive numbers; RESET acts on
+        negative applied voltage).
+    state : int
+        Initial logic state (:data:`HRS` or :data:`LRS`).
+    """
+
+    def __init__(self, r_on=10e3, r_off=1e6, v_set=1.0, v_reset=1.0,
+                 state=HRS):
+        if r_on <= 0 or r_off <= r_on:
+            raise MemristorError("need 0 < r_on < r_off")
+        if v_set <= 0 or v_reset <= 0:
+            raise MemristorError("thresholds must be positive")
+        if state not in (HRS, LRS):
+            raise MemristorError("state must be HRS or LRS")
+        self.r_on = float(r_on)
+        self.r_off = float(r_off)
+        self.v_set = float(v_set)
+        self.v_reset = float(v_reset)
+        self.state = state
+        self._analog_conductance = None
+
+    # -- digital behaviour ---------------------------------------------------
+
+    @property
+    def resistance(self):
+        """Present resistance (digital states only)."""
+        if self._analog_conductance is not None:
+            return 1.0 / self._analog_conductance
+        return self.r_on if self.state == LRS else self.r_off
+
+    @property
+    def conductance(self):
+        """Present conductance."""
+        return 1.0 / self.resistance
+
+    def apply_voltage(self, voltage):
+        """Apply a programming pulse; returns the (possibly new) state.
+
+        Positive above ``v_set`` -> LRS; negative beyond ``v_reset`` ->
+        HRS; sub-threshold pulses are non-destructive reads.
+        """
+        if voltage >= self.v_set:
+            self.state = LRS
+            self._analog_conductance = None
+        elif voltage <= -self.v_reset:
+            self.state = HRS
+            self._analog_conductance = None
+        return self.state
+
+    def read_bit(self):
+        """The stored logic bit."""
+        return self.state
+
+    def write_bit(self, bit):
+        """Force a logic state through a full programming pulse."""
+        self.apply_voltage(self.v_set if bit else -self.v_reset)
+        return self.state
+
+    # -- analog behaviour ------------------------------------------------------
+
+    def program_conductance(self, target, g_min=None, g_max=None,
+                            variability=0.0, rng=None):
+        """Program an analog conductance in [g_min, g_max].
+
+        ``target`` is clipped into the device's conductance window;
+        ``variability`` adds multiplicative log-normal-ish programming
+        error (fractional sigma), the standard array non-ideality.
+        """
+        g_min = g_min if g_min is not None else 1.0 / self.r_off
+        g_max = g_max if g_max is not None else 1.0 / self.r_on
+        if not 0.0 <= variability < 1.0:
+            raise MemristorError("variability must be in [0, 1)")
+        clipped = min(max(float(target), g_min), g_max)
+        if variability > 0.0:
+            rng = make_rng(rng)
+            clipped *= 1.0 + variability * float(rng.normal())
+            clipped = min(max(clipped, g_min), g_max)
+        self._analog_conductance = clipped
+        self.state = LRS if clipped > (g_min + g_max) / 2.0 else HRS
+        return clipped
+
+    def __repr__(self):
+        return "Memristor(state=%s, R=%.3g)" % (
+            "LRS" if self.state == LRS else "HRS", self.resistance)

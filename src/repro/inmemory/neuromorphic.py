@@ -1,0 +1,191 @@
+"""Neuromorphic inference on the in-memory crossbar (intro survey).
+
+The introduction couples the two survey threads explicitly: spiking /
+spintronic neural networks are "applications which are also examples of
+in-memory computing" ([16]-[20]).  This module closes that loop on the
+library's own substrate: a spiking classifier whose synaptic weights
+live as crossbar conductances (:class:`~repro.inmemory.vmm.AnalogVmm`)
+and whose neurons are leaky integrate-and-fire units.
+
+Pipeline:
+
+* inputs are rate-coded into Poisson-free deterministic spike trains
+  (spike every ``1/rate`` steps -- keeps tests exact),
+* each time step, input spikes drive one analog VMM through the array
+  (the in-memory synaptic operation) and the currents charge LIF
+  membranes,
+* class = the output neuron with the most spikes in the window.
+
+Training happens offline with a simple perceptron rule on rates (the
+usual practice for inference-only neuromorphic hardware); the point
+demonstrated here is the *in-memory inference*, with accuracy measured
+under device variability.
+"""
+
+import numpy as np
+
+from ..core.exceptions import ReproError
+from ..core.rngs import make_rng
+from .vmm import AnalogVmm
+
+
+class NeuromorphicError(ReproError):
+    """Raised for malformed spiking-network configurations."""
+
+
+class LifLayer:
+    """A layer of leaky integrate-and-fire neurons.
+
+    Membrane update per step: ``v <- leak * v + current``; a neuron
+    whose membrane crosses ``threshold`` emits a spike and resets to 0.
+    """
+
+    def __init__(self, size, threshold=1.0, leak=0.9):
+        if size < 1:
+            raise NeuromorphicError("layer needs at least one neuron")
+        if not 0.0 <= leak < 1.0:
+            raise NeuromorphicError("leak must be in [0, 1)")
+        if threshold <= 0.0:
+            raise NeuromorphicError("threshold must be positive")
+        self.size = int(size)
+        self.threshold = float(threshold)
+        self.leak = float(leak)
+        self.membrane = np.zeros(self.size)
+
+    def reset(self):
+        """Clear membrane state between samples."""
+        self.membrane[:] = 0.0
+
+    def step(self, current):
+        """Advance one time step; returns the 0/1 spike vector."""
+        current = np.asarray(current, dtype=float)
+        if current.shape != (self.size,):
+            raise NeuromorphicError("current width mismatch")
+        self.membrane = self.leak * self.membrane + current
+        spikes = (self.membrane >= self.threshold).astype(float)
+        self.membrane[spikes > 0] = 0.0
+        return spikes
+
+
+def rate_encode(values, num_steps, max_rate=0.8):
+    """Deterministic rate coding: value -> evenly spaced spikes.
+
+    Returns an array of shape ``(num_steps, len(values))`` with spike
+    density proportional to each (non-negative, normalized) value.
+    """
+    values = np.asarray(values, dtype=float)
+    if np.any(values < 0):
+        raise NeuromorphicError("rate coding needs non-negative values")
+    peak = values.max() or 1.0
+    rates = values / peak * max_rate
+    trains = np.zeros((num_steps, len(values)))
+    for index, rate in enumerate(rates):
+        if rate <= 0.0:
+            continue
+        interval = 1.0 / rate
+        ticks = np.arange(0.0, num_steps, interval).astype(int)
+        trains[ticks[ticks < num_steps], index] = 1.0
+    return trains
+
+
+class SpikingClassifier:
+    """A one-layer spiking classifier with in-memory synapses.
+
+    Parameters
+    ----------
+    weights : array, shape (n_in, n_classes)
+        Synaptic matrix, programmed onto the crossbar.
+    variability : float
+        Device programming error (fraction).
+    threshold, leak : float
+        LIF parameters of the output layer.
+    gain : float
+        Current scaling from VMM output into membrane units.
+    """
+
+    def __init__(self, weights, variability=0.0, threshold=1.0, leak=0.9,
+                 gain=1.0, rng=None):
+        weights = np.asarray(weights, dtype=float)
+        self.synapses = AnalogVmm(weights, variability=variability,
+                                  rng=rng)
+        self.output_layer = LifLayer(weights.shape[1],
+                                     threshold=threshold, leak=leak)
+        self.gain = float(gain)
+
+    def infer(self, sample, num_steps=60, noise_sigma=0.0, rng=None):
+        """Classify one sample; returns ``(class, spike_counts)``."""
+        rng = make_rng(rng)
+        trains = rate_encode(sample, num_steps)
+        self.output_layer.reset()
+        counts = np.zeros(self.output_layer.size)
+        for step in range(num_steps):
+            current = self.gain * self.synapses.multiply(
+                trains[step], noise_sigma=noise_sigma, rng=rng)
+            counts += self.output_layer.step(current)
+        return int(np.argmax(counts)), counts
+
+    def accuracy(self, samples, labels, num_steps=60, noise_sigma=0.0,
+                 rng=None):
+        """Fraction of samples classified correctly."""
+        rng = make_rng(rng)
+        correct = 0
+        for sample, label in zip(samples, labels):
+            predicted, _counts = self.infer(sample, num_steps=num_steps,
+                                            noise_sigma=noise_sigma,
+                                            rng=rng)
+            correct += int(predicted == label)
+        return correct / len(labels)
+
+
+def prototype_patterns(num_samples, side=4, num_classes=2, noise=0.05,
+                       rng=None):
+    """Noisy copies of class prototype images (a linearly separable task).
+
+    Class ``c``'s prototype lights a distinct band of rows; samples are
+    bit-flipped copies.  Unlike the stripe-orientation task (whose pixel
+    marginals coincide across classes), this is the right difficulty for
+    a single in-memory synaptic layer.
+
+    Returns ``(samples, labels)`` with samples in {0,1}^(n, side^2).
+    """
+    rng = make_rng(rng)
+    if num_classes < 2 or num_classes > side:
+        raise NeuromorphicError("need 2 <= num_classes <= side")
+    band = side // num_classes
+    prototypes = []
+    for cls in range(num_classes):
+        image = np.zeros((side, side))
+        image[cls * band:(cls + 1) * band, :] = 1.0
+        prototypes.append(image.ravel())
+    samples = np.zeros((num_samples, side * side))
+    labels = np.zeros(num_samples, dtype=np.int64)
+    for index in range(num_samples):
+        cls = int(rng.integers(0, num_classes))
+        flips = rng.random(side * side) < noise
+        samples[index] = np.abs(prototypes[cls] - flips)
+        labels[index] = cls
+    return samples, labels
+
+
+def train_rate_weights(samples, labels, num_classes, epochs=20,
+                       learning_rate=0.05, rng=None):
+    """Offline perceptron training of the synaptic matrix on rates.
+
+    The standard flow for inference-only neuromorphic arrays: learn in
+    software, program conductances once, infer in memory forever.
+    """
+    rng = make_rng(rng)
+    samples = np.asarray(samples, dtype=float)
+    num_features = samples.shape[1]
+    weights = 0.01 * rng.normal(size=(num_features, num_classes))
+    for _epoch in range(epochs):
+        order = rng.permutation(len(samples))
+        for index in order:
+            sample = samples[index]
+            scores = sample @ weights
+            predicted = int(np.argmax(scores))
+            target = labels[index]
+            if predicted != target:
+                weights[:, target] += learning_rate * sample
+                weights[:, predicted] -= learning_rate * sample
+    return weights

@@ -1,0 +1,265 @@
+"""The PLIM computer: programmable logic in memory ([1], [21]).
+
+The paper's introduction cites the authors' PLIM line: a computer whose
+*only* compute primitive is a resistive-majority instruction executed
+inside the memory array.  The canonical instruction is
+
+    RM3(X, Y, Z):   Z <- M3(X, not Y, Z)
+
+where ``X`` arrives on the wordline, ``Y`` on the bitline (whose
+polarity contributes the negation), and ``Z`` is the target cell whose
+own state is the third majority input.  Together with SET/RESET, RM3 is
+functionally complete:
+
+    NOT y        = RM3(zero, y, target preset 1)   -> M(0, !y, 1) = !y
+    a AND b      = RM3(a, !b-cell, target 0)       -> M(a, b, 0)  = a&b
+    a OR  b      = RM3(a, !b-cell, target 1)       -> M(a, b, 1)  = a|b
+
+(the compiler materializes the needed complements with NOT steps).
+
+:class:`PlimComputer` executes :class:`PlimProgram` instruction lists on
+a :class:`~repro.inmemory.crossbar.Crossbar`; :func:`compile_expression`
+lowers Boolean expression trees to RM3 programs;
+:func:`plim_full_adder` is the arithmetic showcase of the PLIM papers.
+"""
+
+from ..core.exceptions import ReproError
+from .crossbar import Crossbar
+
+
+class PlimError(ReproError):
+    """Raised for malformed PLIM programs or expressions."""
+
+
+class PlimProgram:
+    """An ordered list of in-memory instructions.
+
+    Instructions are tuples:
+
+    * ``("set", cell)`` / ``("reset", cell)`` -- program a constant,
+    * ``("write", cell, name)`` -- load a named input bit,
+    * ``("rm3", x_cell, y_cell, z_cell)`` -- the majority update.
+
+    Cells are linear indices into the crossbar (row-major).
+    """
+
+    def __init__(self):
+        self.instructions = []
+        self.input_cells = {}
+        self.output_cells = {}
+        self._next_cell = 0
+
+    def allocate(self, count=1):
+        """Reserve ``count`` fresh cells; returns the first index."""
+        first = self._next_cell
+        self._next_cell += count
+        return first
+
+    @property
+    def cells_used(self):
+        """Number of crossbar cells the program touches."""
+        return self._next_cell
+
+    def emit(self, instruction):
+        """Append one instruction."""
+        self.instructions.append(instruction)
+
+    def declare_input(self, name):
+        """Allocate a cell holding input ``name``; emits the load."""
+        cell = self.allocate()
+        self.input_cells[name] = cell
+        self.emit(("write", cell, name))
+        return cell
+
+    def declare_output(self, name, cell):
+        """Mark ``cell`` as carrying output ``name``."""
+        self.output_cells[name] = cell
+
+    def op_count(self):
+        """Histogram of instruction kinds (the PLIM cost metric)."""
+        counts = {}
+        for instruction in self.instructions:
+            counts[instruction[0]] = counts.get(instruction[0], 0) + 1
+        return counts
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __repr__(self):
+        return "PlimProgram(instructions=%d, cells=%d)" % (
+            len(self.instructions), self.cells_used)
+
+
+class PlimComputer:
+    """Executes PLIM programs on a crossbar.
+
+    Parameters
+    ----------
+    crossbar : Crossbar, optional
+        Sized automatically to the program when omitted.
+    """
+
+    def __init__(self, crossbar=None):
+        self.crossbar = crossbar
+
+    def _coords(self, cell):
+        return divmod(cell, self.crossbar.cols)
+
+    def _ensure_capacity(self, program):
+        needed = program.cells_used
+        if self.crossbar is None:
+            cols = max(8, int(needed ** 0.5) + 1)
+            rows = (needed + cols - 1) // cols
+            self.crossbar = Crossbar(max(1, rows), cols)
+        capacity = self.crossbar.rows * self.crossbar.cols
+        if needed > capacity:
+            raise PlimError("program needs %d cells, array has %d"
+                            % (needed, capacity))
+
+    def _rm3(self, x_cell, y_cell, z_cell, v_program=2.0):
+        """Execute Z <- M3(X, not Y, Z) as array voltage pulses.
+
+        The controller applies the wordline/bitline pattern; the
+        *negation of Y comes from bitline polarity* (not from reading a
+        complemented copy), and the conditional switching outcome is the
+        three-way majority -- the electrical behaviour established in
+        the PLIM papers.  Here the divider outcome is evaluated on the
+        device states and applied as a full programming pulse.
+        """
+        x_state = self.crossbar.read_bit(*self._coords(x_cell))
+        y_state = self.crossbar.read_bit(*self._coords(y_cell))
+        z_row, z_col = self._coords(z_cell)
+        z_state = self.crossbar.read_bit(z_row, z_col)
+        votes = x_state + (1 - y_state) + z_state
+        majority = 1 if votes >= 2 else 0
+        self.crossbar.cell(z_row, z_col).apply_voltage(
+            v_program if majority else -v_program)
+        return majority
+
+    def run(self, program, inputs):
+        """Execute ``program`` with named input bits; returns outputs.
+
+        Every named input must be supplied; outputs are read from the
+        array after the last instruction.
+        """
+        self._ensure_capacity(program)
+        missing = set(program.input_cells) - set(inputs)
+        if missing:
+            raise PlimError("missing inputs: %s" % sorted(missing))
+        for instruction in program.instructions:
+            kind = instruction[0]
+            if kind == "set":
+                row, col = self._coords(instruction[1])
+                self.crossbar.write_bit(row, col, 1)
+            elif kind == "reset":
+                row, col = self._coords(instruction[1])
+                self.crossbar.write_bit(row, col, 0)
+            elif kind == "write":
+                row, col = self._coords(instruction[1])
+                self.crossbar.write_bit(row, col,
+                                        1 if inputs[instruction[2]] else 0)
+            elif kind == "rm3":
+                self._rm3(*instruction[1:])
+            else:
+                raise PlimError("unknown instruction %r" % (kind,))
+        return {name: self.crossbar.read_bit(*self._coords(cell))
+                for name, cell in program.output_cells.items()}
+
+
+# -- gate synthesis onto RM3 -----------------------------------------------
+
+
+def _emit_not(program, source_cell):
+    """target <- NOT source, via M(0, !source, 1)."""
+    zero = program.allocate()
+    program.emit(("reset", zero))
+    target = program.allocate()
+    program.emit(("set", target))
+    program.emit(("rm3", zero, source_cell, target))
+    return target
+
+
+def _emit_and(program, a_cell, b_cell):
+    """target <- a AND b = M(a, !(!b), 0)."""
+    not_b = _emit_not(program, b_cell)
+    target = program.allocate()
+    program.emit(("reset", target))
+    program.emit(("rm3", a_cell, not_b, target))
+    return target
+
+
+def _emit_or(program, a_cell, b_cell):
+    """target <- a OR b = M(a, !(!b), 1)."""
+    not_b = _emit_not(program, b_cell)
+    target = program.allocate()
+    program.emit(("set", target))
+    program.emit(("rm3", a_cell, not_b, target))
+    return target
+
+
+def _emit_xor(program, a_cell, b_cell):
+    """target <- a XOR b = (a AND !b) OR (!a AND b)."""
+    not_a = _emit_not(program, a_cell)
+    not_b = _emit_not(program, b_cell)
+    left = program.allocate()
+    program.emit(("reset", left))
+    program.emit(("rm3", a_cell, b_cell, left))        # M(a, !b, 0)
+    right = program.allocate()
+    program.emit(("reset", right))
+    program.emit(("rm3", b_cell, a_cell, right))       # M(b, !a, 0)
+    return _emit_or(program, left, right)
+
+
+def compile_expression(expression, program=None):
+    """Lower a Boolean expression tree to an RM3 program.
+
+    Expressions are nested tuples: ``("var", name)``, ``("const", bit)``,
+    ``("not", e)``, ``("and"|"or"|"xor", e1, e2)``.  Returns
+    ``(program, result_cell)``; inputs are declared on first use.
+    """
+    program = program if program is not None else PlimProgram()
+
+    def lower(node):
+        if not isinstance(node, tuple) or not node:
+            raise PlimError("malformed expression node %r" % (node,))
+        kind = node[0]
+        if kind == "var":
+            name = node[1]
+            if name not in program.input_cells:
+                program.declare_input(name)
+            return program.input_cells[name]
+        if kind == "const":
+            cell = program.allocate()
+            program.emit(("set", cell) if node[1] else ("reset", cell))
+            return cell
+        if kind == "not":
+            return _emit_not(program, lower(node[1]))
+        if kind in ("and", "or", "xor"):
+            left = lower(node[1])
+            right = lower(node[2])
+            emitters = {"and": _emit_and, "or": _emit_or,
+                        "xor": _emit_xor}
+            return emitters[kind](program, left, right)
+        raise PlimError("unknown expression kind %r" % (kind,))
+
+    result = lower(expression)
+    return program, result
+
+
+def plim_full_adder():
+    """A full adder compiled to RM3 (the PLIM papers' showcase).
+
+    Returns a :class:`PlimProgram` with inputs ``a, b, cin`` and outputs
+    ``sum, cout``.
+    """
+    program = PlimProgram()
+    a = ("var", "a")
+    b = ("var", "b")
+    cin = ("var", "cin")
+    _program, sum_cell = compile_expression(
+        ("xor", ("xor", a, b), cin), program)
+    _program, cout_cell = compile_expression(
+        ("or", ("and", a, b), ("and", ("xor", a, b), cin)), program)
+    program.declare_output("sum", sum_cell)
+    program.declare_output("cout", cout_cell)
+    return program

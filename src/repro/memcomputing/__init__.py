@@ -1,0 +1,96 @@
+"""Digital memcomputing machines (Section IV of the paper).
+
+* the equations of motion (Eqs. 1-2, SAT instantiation) --
+  :mod:`repro.memcomputing.dynamics`
+* self-organizing logic gates and circuits --
+  :mod:`repro.memcomputing.solg`, :mod:`repro.memcomputing.circuit`
+* SAT / MaxSAT solvers -- :mod:`repro.memcomputing.solver`,
+  :mod:`repro.memcomputing.maxsat`
+* conventional baselines -- :mod:`repro.memcomputing.baselines`
+* spin glasses and DLRO -- :mod:`repro.memcomputing.ising`
+* RBM training acceleration -- :mod:`repro.memcomputing.rbm`
+* noise robustness -- :mod:`repro.memcomputing.noise`
+* instanton / chaos diagnostics -- :mod:`repro.memcomputing.instantons`
+"""
+
+from .circuit import (
+    SolgCircuit,
+    factor_with_memcomputing,
+    factorization_circuit,
+    multiplier_circuit,
+    ripple_adder_circuit,
+)
+from .dynamics import DEFAULT_PARAMS, DmmSystem
+from .ensemble import BatchedDmm, EnsembleResult, solve_ensemble
+from .ilp import (
+    BinaryLinearProgram,
+    IlpResult,
+    ilp_to_maxsat,
+    knapsack,
+    solve_ilp_bruteforce,
+    solve_ilp_memcomputing,
+)
+from .instantons import instanton_census, lyapunov_estimate, residual_at_solution
+from .ising import (
+    DmmIsingResult,
+    flip_cluster_sizes,
+    ising_to_maxsat,
+    largest_cluster_fraction,
+    solve_ising_dmm,
+    spins_from_assignment,
+)
+from .maxsat import DmmMaxSatSolver, MaxSatResult, anneal_maxsat
+from .noise import solve_with_noise, success_vs_noise
+from .rbm import (
+    RestrictedBoltzmannMachine,
+    TrainingHistory,
+    exact_kl_divergence,
+    synthetic_patterns,
+    train_rbm,
+)
+from .solg import GATE_TYPES, SelfOrganizingGate, gate_clauses, gate_truth
+from .solver import DmmResult, DmmSolver
+
+__all__ = [
+    "SolgCircuit",
+    "factor_with_memcomputing",
+    "factorization_circuit",
+    "multiplier_circuit",
+    "ripple_adder_circuit",
+    "DEFAULT_PARAMS",
+    "DmmSystem",
+    "BatchedDmm",
+    "EnsembleResult",
+    "solve_ensemble",
+    "BinaryLinearProgram",
+    "IlpResult",
+    "ilp_to_maxsat",
+    "knapsack",
+    "solve_ilp_bruteforce",
+    "solve_ilp_memcomputing",
+    "instanton_census",
+    "lyapunov_estimate",
+    "residual_at_solution",
+    "DmmIsingResult",
+    "flip_cluster_sizes",
+    "ising_to_maxsat",
+    "largest_cluster_fraction",
+    "solve_ising_dmm",
+    "spins_from_assignment",
+    "DmmMaxSatSolver",
+    "MaxSatResult",
+    "anneal_maxsat",
+    "solve_with_noise",
+    "success_vs_noise",
+    "RestrictedBoltzmannMachine",
+    "TrainingHistory",
+    "exact_kl_divergence",
+    "synthetic_patterns",
+    "train_rbm",
+    "GATE_TYPES",
+    "SelfOrganizingGate",
+    "gate_clauses",
+    "gate_truth",
+    "DmmResult",
+    "DmmSolver",
+]

@@ -1,0 +1,22 @@
+"""Conventional solvers the memcomputing results are compared against.
+
+The paper's Section IV claims are *relative* ("perform much better than
+traditional algorithmic approaches"); these baselines are the other side
+of every such comparison: stochastic local search (WalkSAT, GSAT),
+complete search (DPLL), and simulated annealing for Ising/QUBO problems.
+"""
+
+from .dpll import DpllResult, DpllSolver
+from .gsat import GsatSolver
+from .sa_ising import SimulatedAnnealingResult, anneal_ising
+from .walksat import WalkSatResult, WalkSatSolver
+
+__all__ = [
+    "DpllResult",
+    "DpllSolver",
+    "GsatSolver",
+    "SimulatedAnnealingResult",
+    "anneal_ising",
+    "WalkSatResult",
+    "WalkSatSolver",
+]

@@ -1,0 +1,152 @@
+"""DPLL: complete backtracking search with unit propagation.
+
+The complete-solver reference point for the DMM comparisons.  Classic
+Davis-Putnam-Logemann-Loveland with unit propagation, pure-literal
+elimination, and a most-frequent-variable branching heuristic.  Work
+metric: decision nodes explored.
+"""
+
+from ...core.exceptions import FormulaError
+
+
+class DpllResult:
+    """Outcome of a DPLL search.
+
+    Attributes
+    ----------
+    satisfiable : bool or None
+        None when the node budget ran out before a verdict.
+    assignment : dict or None
+        A satisfying assignment when satisfiable.
+    nodes : int
+        Decision nodes explored.
+    """
+
+    def __init__(self, satisfiable, assignment, nodes):
+        self.satisfiable = satisfiable
+        self.assignment = assignment
+        self.nodes = int(nodes)
+
+    def __repr__(self):
+        return "DpllResult(satisfiable=%s, nodes=%d)" % (
+            self.satisfiable, self.nodes)
+
+
+class DpllSolver:
+    """Recursive DPLL with a decision-node budget.
+
+    Parameters
+    ----------
+    max_nodes : int
+        Abort (verdict None) after exploring this many decision nodes.
+    use_pure_literals : bool
+        Enable the pure-literal rule.
+    """
+
+    def __init__(self, max_nodes=1_000_000, use_pure_literals=True):
+        self.max_nodes = int(max_nodes)
+        self.use_pure_literals = bool(use_pure_literals)
+
+    def solve(self, formula):
+        """Decide satisfiability; returns a :class:`DpllResult`."""
+        if formula.num_variables == 0:
+            raise FormulaError("formula has no variables")
+        clauses = [frozenset(c.literals) for c in formula.clauses]
+        self._nodes = 0
+        self._budget_hit = False
+        verdict, assignment = self._search(clauses, {})
+        if self._budget_hit and verdict is False:
+            return DpllResult(None, None, self._nodes)
+        if verdict:
+            # complete the assignment: unconstrained variables default False
+            full = {v: assignment.get(v, False)
+                    for v in range(1, formula.num_variables + 1)}
+            return DpllResult(True, full, self._nodes)
+        return DpllResult(False, None, self._nodes)
+
+    def _search(self, clauses, assignment):
+        clauses, assignment, conflict = _propagate_units(clauses, assignment)
+        if conflict:
+            return False, None
+        if self.use_pure_literals:
+            clauses, assignment = _assign_pure_literals(clauses, assignment)
+        if not clauses:
+            return True, assignment
+        if self._nodes >= self.max_nodes:
+            self._budget_hit = True
+            return False, None
+        self._nodes += 1
+        variable = _most_frequent_variable(clauses)
+        for value in (True, False):
+            literal = variable if value else -variable
+            reduced = _condition(clauses, literal)
+            if reduced is None:
+                continue
+            extended = dict(assignment)
+            extended[variable] = value
+            verdict, result = self._search(reduced, extended)
+            if verdict:
+                return True, result
+        return False, None
+
+
+def _condition(clauses, literal):
+    """Clauses after asserting ``literal``; None on an empty clause."""
+    reduced = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            shrunk = clause - {-literal}
+            if not shrunk:
+                return None
+            reduced.append(shrunk)
+        else:
+            reduced.append(clause)
+    return reduced
+
+
+def _propagate_units(clauses, assignment):
+    """Repeated unit propagation; returns (clauses, assignment, conflict)."""
+    assignment = dict(assignment)
+    while True:
+        unit = next((clause for clause in clauses if len(clause) == 1), None)
+        if unit is None:
+            return clauses, assignment, False
+        literal = next(iter(unit))
+        assignment[abs(literal)] = literal > 0
+        clauses = _condition(clauses, literal)
+        if clauses is None:
+            return [], assignment, True
+
+
+def _assign_pure_literals(clauses, assignment):
+    """Assign variables occurring with a single polarity."""
+    assignment = dict(assignment)
+    while True:
+        polarity = {}
+        for clause in clauses:
+            for literal in clause:
+                var = abs(literal)
+                seen = polarity.get(var)
+                if seen is None:
+                    polarity[var] = literal > 0
+                elif seen != (literal > 0):
+                    polarity[var] = "mixed"
+        pures = [var for var, p in polarity.items() if p != "mixed"]
+        if not pures:
+            return clauses, assignment
+        for var in pures:
+            value = polarity[var]
+            assignment[var] = bool(value)
+            clauses = _condition(clauses, var if value else -var)
+            if clauses is None:  # cannot happen for a pure literal
+                return [], assignment
+
+
+def _most_frequent_variable(clauses):
+    counts = {}
+    for clause in clauses:
+        for literal in clause:
+            counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+    return max(counts, key=counts.get)

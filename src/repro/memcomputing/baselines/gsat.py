@@ -1,0 +1,109 @@
+"""GSAT: greedy local search over total satisfied-clause count.
+
+Used in ablations against WalkSAT and the DMM: at every step flip the
+variable whose flip maximizes the number of satisfied clauses (ties
+broken at random), with random restarts.  Simpler and typically weaker
+than WalkSAT -- which is exactly why it is useful as a second reference
+point on the scaling plots.
+"""
+
+import numpy as np
+
+from ...core.rngs import make_rng
+from .walksat import WalkSatResult, _satisfied_literals
+
+
+class GsatSolver:
+    """GSAT with restarts; work metric is variable flips.
+
+    Parameters
+    ----------
+    max_flips : int
+        Flips per try.
+    max_tries : int
+        Random restarts.
+    sideways : bool
+        Allow zero-gain ("sideways") moves, the standard GSAT tweak.
+    """
+
+    def __init__(self, max_flips=20_000, max_tries=10, sideways=True):
+        self.max_flips = int(max_flips)
+        self.max_tries = int(max_tries)
+        self.sideways = bool(sideways)
+
+    def solve(self, formula, rng=None):
+        """Run GSAT; returns a :class:`WalkSatResult` (same shape)."""
+        rng = make_rng(rng)
+        num_vars = formula.num_variables
+        clauses = [np.array(c.literals, dtype=np.int64)
+                   for c in formula.clauses]
+        occurrence = [[] for _ in range(num_vars)]
+        for index, literals in enumerate(clauses):
+            for literal in literals:
+                occurrence[abs(literal) - 1].append(index)
+
+        total_flips = 0
+        for attempt in range(1, self.max_tries + 1):
+            assign = rng.integers(0, 2, size=num_vars).astype(bool)
+            sat_count = np.array([_satisfied_literals(lits, assign)
+                                  for lits in clauses])
+            num_unsat = int(np.sum(sat_count == 0))
+            for _ in range(self.max_flips):
+                if num_unsat == 0:
+                    assignment = {i + 1: bool(assign[i])
+                                  for i in range(num_vars)}
+                    return WalkSatResult(True, assignment, total_flips,
+                                         attempt)
+                gains = np.array([
+                    self._flip_gain(var, assign, clauses, occurrence,
+                                    sat_count)
+                    for var in range(num_vars)
+                ])
+                best_gain = gains.max()
+                if best_gain < 0 or (best_gain == 0 and not self.sideways):
+                    break  # local minimum; restart
+                candidates = np.flatnonzero(gains == best_gain)
+                chosen = int(candidates[rng.integers(0, len(candidates))])
+                num_unsat -= self._apply_flip(chosen, assign, clauses,
+                                              occurrence, sat_count)
+                total_flips += 1
+        assignment = {i + 1: bool(assign[i]) for i in range(num_vars)}
+        return WalkSatResult(False, assignment, total_flips, self.max_tries)
+
+    @staticmethod
+    def _flip_gain(var, assign, clauses, occurrence, sat_count):
+        """Net newly-satisfied clauses if ``var`` were flipped."""
+        gain = 0
+        current = bool(assign[var])
+        for index in occurrence[var]:
+            for literal in clauses[index]:
+                if abs(literal) - 1 != var:
+                    continue
+                if (literal > 0) == current:
+                    # flipping loses this literal
+                    if sat_count[index] == 1:
+                        gain -= 1
+                else:
+                    if sat_count[index] == 0:
+                        gain += 1
+        return gain
+
+    @staticmethod
+    def _apply_flip(var, assign, clauses, occurrence, sat_count):
+        """Flip ``var``; returns the reduction in unsatisfied-clause count."""
+        reduction = 0
+        old_value = bool(assign[var])
+        assign[var] = not old_value
+        for index in occurrence[var]:
+            for literal in clauses[index]:
+                if abs(literal) - 1 != var:
+                    continue
+                if (literal > 0) == old_value:
+                    sat_count[index] -= 1
+                    if sat_count[index] == 0:
+                        reduction -= 1
+                else:
+                    sat_count[index] += 1
+                    if sat_count[index] == 1:
+                        reduction += 1
+        return reduction

@@ -1,0 +1,142 @@
+"""WalkSAT/SKC: the canonical stochastic local-search SAT baseline.
+
+Selman-Kautz-Cohen variant: pick a random unsatisfied clause; if some
+variable in it can be flipped without breaking any currently satisfied
+clause (break-count 0), flip it; otherwise with probability ``noise``
+flip a random clause variable, else flip the minimum-break variable.
+Work metric: variable flips (compared against DMM integration steps in
+the scaling study).
+"""
+
+import numpy as np
+
+from ...core.exceptions import FormulaError
+from ...core.rngs import make_rng
+
+
+class WalkSatResult:
+    """Outcome of a WalkSAT run.
+
+    Attributes
+    ----------
+    satisfied : bool
+    assignment : dict or None
+    flips : int
+        Total variable flips across all tries.
+    tries : int
+        Random restarts used.
+    """
+
+    def __init__(self, satisfied, assignment, flips, tries):
+        self.satisfied = bool(satisfied)
+        self.assignment = assignment
+        self.flips = int(flips)
+        self.tries = int(tries)
+
+    def __repr__(self):
+        return "WalkSatResult(satisfied=%s, flips=%d)" % (
+            self.satisfied, self.flips)
+
+
+class WalkSatSolver:
+    """WalkSAT/SKC with restarts.
+
+    Parameters
+    ----------
+    noise : float
+        Random-walk probability ``p`` (0.5 is standard for random 3-SAT).
+    max_flips : int
+        Flips per try.
+    max_tries : int
+        Number of random restarts.
+    """
+
+    def __init__(self, noise=0.5, max_flips=100_000, max_tries=10):
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self.noise = float(noise)
+        self.max_flips = int(max_flips)
+        self.max_tries = int(max_tries)
+
+    def solve(self, formula, rng=None):
+        """Run WalkSAT; returns a :class:`WalkSatResult`."""
+        rng = make_rng(rng)
+        num_vars = formula.num_variables
+        if num_vars == 0:
+            raise FormulaError("formula has no variables")
+        clauses = [np.array(c.literals, dtype=np.int64)
+                   for c in formula.clauses]
+        # occurrence lists: variable (0-based) -> clause indices
+        occurrence = [[] for _ in range(num_vars)]
+        for index, literals in enumerate(clauses):
+            for literal in literals:
+                occurrence[abs(literal) - 1].append(index)
+
+        total_flips = 0
+        for attempt in range(1, self.max_tries + 1):
+            assign = rng.integers(0, 2, size=num_vars).astype(bool)
+            sat_count = np.zeros(len(clauses), dtype=np.int64)
+            for index, literals in enumerate(clauses):
+                sat_count[index] = _satisfied_literals(literals, assign)
+            unsat = set(i for i, count in enumerate(sat_count) if count == 0)
+            for _ in range(self.max_flips):
+                if not unsat:
+                    assignment = {i + 1: bool(assign[i])
+                                  for i in range(num_vars)}
+                    return WalkSatResult(True, assignment, total_flips,
+                                         attempt)
+                unsat_list = list(unsat)
+                clause_index = unsat_list[rng.integers(0, len(unsat_list))]
+                literals = clauses[clause_index]
+                variables = [abs(l) - 1 for l in literals]
+                breaks = [_break_count(var, assign, clauses, occurrence,
+                                       sat_count) for var in variables]
+                if min(breaks) == 0:
+                    chosen = variables[int(np.argmin(breaks))]
+                elif rng.random() < self.noise:
+                    chosen = variables[rng.integers(0, len(variables))]
+                else:
+                    chosen = variables[int(np.argmin(breaks))]
+                _flip(chosen, assign, clauses, occurrence, sat_count, unsat)
+                total_flips += 1
+        assignment = {i + 1: bool(assign[i]) for i in range(num_vars)}
+        return WalkSatResult(False, assignment, total_flips, self.max_tries)
+
+
+def _satisfied_literals(literals, assign):
+    count = 0
+    for literal in literals:
+        if (literal > 0) == bool(assign[abs(literal) - 1]):
+            count += 1
+    return count
+
+
+def _break_count(var, assign, clauses, occurrence, sat_count):
+    """Clauses that become unsatisfied if ``var`` flips."""
+    broken = 0
+    for index in occurrence[var]:
+        if sat_count[index] == 1:
+            # broken only when the single satisfying literal is on var
+            for literal in clauses[index]:
+                if abs(literal) - 1 == var \
+                        and (literal > 0) == bool(assign[var]):
+                    broken += 1
+                    break
+    return broken
+
+
+def _flip(var, assign, clauses, occurrence, sat_count, unsat):
+    """Flip ``var``; update satisfied-literal counts and the unsat set."""
+    old_value = bool(assign[var])
+    assign[var] = not old_value
+    for index in occurrence[var]:
+        for literal in clauses[index]:
+            if abs(literal) - 1 == var:
+                if (literal > 0) == old_value:
+                    sat_count[index] -= 1
+                else:
+                    sat_count[index] += 1
+        if sat_count[index] == 0:
+            unsat.add(index)
+        else:
+            unsat.discard(index)

@@ -1,0 +1,379 @@
+"""Self-organizing logic circuits: Boolean circuits run in any direction.
+
+Section IV: "When assembled together to form the full Boolean circuit
+representing a given problem, these gates then define a physical
+electronic circuit ...  The original problem is then solved by applying
+the appropriate signals at specific input terminals, and then letting
+the circuit reach a steady-state."
+
+:class:`SolgCircuit` assembles :mod:`repro.memcomputing.solg` gates over
+named wires, compiles the whole network to CNF (each gate contributes its
+relation clauses; pinned wires contribute unit clauses), and relaxes the
+DMM dynamics to a consistent steady state.  Because the gates are
+terminal-agnostic the same circuit runs forward (inputs pinned) or
+*backward* (outputs pinned) -- the paper's flagship example of the latter
+is prime factorization via an inverted multiplier, provided here by
+:func:`factorization_circuit` / :func:`factor_with_memcomputing`.
+"""
+
+from ..core.cnf import Clause, CnfFormula
+from ..core.exceptions import SolgError
+from ..core.rngs import make_rng
+from .solg import GATE_TYPES, gate_clauses
+
+
+class SolgCircuit:
+    """A network of self-organizing gates over named wires."""
+
+    def __init__(self, name="solg_circuit"):
+        self.name = str(name)
+        self._wire_ids = {}
+        self._gates = []  # (gate_type, [input wires], output wire)
+
+    # -- construction ----------------------------------------------------------
+
+    def wire(self, name):
+        """Declare (or fetch) a wire by name; returns the name."""
+        if name not in self._wire_ids:
+            self._wire_ids[name] = len(self._wire_ids) + 1
+        return name
+
+    def add_gate(self, gate_type, inputs, output):
+        """Wire a gate of ``gate_type`` from ``inputs`` to ``output``."""
+        if gate_type not in GATE_TYPES:
+            raise SolgError("unknown gate type %r" % gate_type)
+        input_names = [self.wire(w) for w in inputs]
+        output_name = self.wire(output)
+        self._gates.append((gate_type, input_names, output_name))
+        return output_name
+
+    # convenience builders used by the arithmetic circuits
+    def gate_and(self, a, b, out):
+        """AND gate."""
+        return self.add_gate("and", [a, b], out)
+
+    def gate_or(self, a, b, out):
+        """OR gate."""
+        return self.add_gate("or", [a, b], out)
+
+    def gate_xor(self, a, b, out):
+        """XOR gate."""
+        return self.add_gate("xor", [a, b], out)
+
+    def gate_not(self, a, out):
+        """NOT gate."""
+        return self.add_gate("not", [a], out)
+
+    def constant_zero(self, seed_wire, name):
+        """A wire forced to 0: AND(seed, NOT seed)."""
+        inverted = self.wire(name + "_inv")
+        self.gate_not(seed_wire, inverted)
+        zero = self.wire(name)
+        self.gate_and(seed_wire, inverted, zero)
+        return zero
+
+    def half_adder(self, a, b, sum_wire, carry_wire):
+        """sum = a xor b; carry = a and b."""
+        self.gate_xor(a, b, sum_wire)
+        self.gate_and(a, b, carry_wire)
+
+    def full_adder(self, a, b, carry_in, sum_wire, carry_out, scratch):
+        """Standard 5-gate full adder; ``scratch`` prefixes helper wires."""
+        ab_sum = self.wire(scratch + "_s1")
+        ab_carry = self.wire(scratch + "_c1")
+        cin_carry = self.wire(scratch + "_c2")
+        self.half_adder(a, b, ab_sum, ab_carry)
+        self.half_adder(ab_sum, carry_in, sum_wire, cin_carry)
+        self.gate_or(ab_carry, cin_carry, carry_out)
+
+    # -- compilation ------------------------------------------------------------
+
+    @property
+    def num_wires(self):
+        """Number of declared wires."""
+        return len(self._wire_ids)
+
+    @property
+    def num_gates(self):
+        """Number of gates placed."""
+        return len(self._gates)
+
+    def to_cnf(self, pinned=None, extra_clauses=None):
+        """Compile gate relations plus pinned wires into a CnfFormula.
+
+        ``extra_clauses`` may add constraints expressed over wire names:
+        iterables of ``(wire_name, bool polarity)`` pairs.
+        """
+        clauses = []
+        for gate_type, inputs, output in self._gates:
+            variables = [self._wire_ids[w] for w in inputs] \
+                + [self._wire_ids[output]]
+            clauses.extend(gate_clauses(gate_type, variables))
+        for wire_name, value in (pinned or {}).items():
+            if wire_name not in self._wire_ids:
+                raise SolgError("pinned wire %r is not in the circuit"
+                                % wire_name)
+            variable = self._wire_ids[wire_name]
+            clauses.append(Clause([variable if value else -variable]))
+        for constraint in (extra_clauses or []):
+            literals = []
+            for wire_name, polarity in constraint:
+                variable = self._wire_ids[wire_name]
+                literals.append(variable if polarity else -variable)
+            clauses.append(Clause(literals))
+        return CnfFormula(clauses, num_variables=self.num_wires)
+
+    def solve(self, pinned=None, extra_clauses=None, solver=None, rng=None):
+        """Relax the circuit; returns wire name -> bool for every wire.
+
+        Raises :class:`SolgError` when no steady state is found within
+        the solver's budget (inconsistent pins or budget exhaustion).
+        """
+        from .solver import DmmSolver
+
+        rng = make_rng(rng)
+        solver = solver or DmmSolver(max_steps=1_500_000)
+        formula = self.to_cnf(pinned=pinned, extra_clauses=extra_clauses)
+        result = solver.solve(formula, rng=rng)
+        if not result.satisfied:
+            raise SolgError(
+                "circuit %r found no steady state (%d gates, %d pinned)"
+                % (self.name, self.num_gates, len(pinned or {})))
+        return {name: result.assignment[index]
+                for name, index in self._wire_ids.items()}
+
+    def evaluate_forward(self, inputs):
+        """Conventional topological evaluation (for verification).
+
+        ``inputs`` maps wire names to booleans; gates are evaluated in
+        insertion order, which is topological for circuits built by the
+        helpers here.  Returns the full wire valuation.
+        """
+        from .solg import gate_truth
+
+        values = dict(inputs)
+        for gate_type, gate_inputs, output in self._gates:
+            try:
+                arguments = [values[w] for w in gate_inputs]
+            except KeyError as missing:
+                raise SolgError("wire %s not driven before use" % missing)
+            values[output] = gate_truth(gate_type, arguments)
+        return values
+
+    def __repr__(self):
+        return "SolgCircuit(%r, wires=%d, gates=%d)" % (
+            self.name, self.num_wires, self.num_gates)
+
+
+def ripple_adder_circuit(num_bits, prefix_a="a", prefix_b="b",
+                         prefix_sum="s", circuit=None):
+    """``num_bits``-wide ripple-carry adder; returns (circuit, sum_wires).
+
+    The sum has ``num_bits + 1`` wires (final carry is the top bit).
+    """
+    circuit = circuit if circuit is not None else SolgCircuit("adder")
+    carry = None
+    sums = []
+    for bit in range(num_bits):
+        a = circuit.wire("%s%d" % (prefix_a, bit))
+        b = circuit.wire("%s%d" % (prefix_b, bit))
+        s = circuit.wire("%s%d" % (prefix_sum, bit))
+        if carry is None:
+            carry = circuit.wire("%s_carry%d" % (prefix_sum, bit))
+            circuit.half_adder(a, b, s, carry)
+        else:
+            next_carry = circuit.wire("%s_carry%d" % (prefix_sum, bit))
+            circuit.full_adder(a, b, carry, s, next_carry,
+                               "%s_fa%d" % (prefix_sum, bit))
+            carry = next_carry
+        sums.append(s)
+    sums.append(carry)
+    return circuit, sums
+
+
+def multiplier_circuit(num_bits):
+    """Array multiplier: a (num_bits) x b (num_bits) -> p (2*num_bits).
+
+    Returns ``(circuit, a_wires, b_wires, product_wires)``.  Built as the
+    classic shift-and-add array: AND-gate partial products accumulated
+    row by row with ripple adders.
+    """
+    if num_bits < 1:
+        raise SolgError("multiplier needs at least one bit")
+    circuit = SolgCircuit("multiplier%dx%d" % (num_bits, num_bits))
+    a_wires = [circuit.wire("a%d" % i) for i in range(num_bits)]
+    b_wires = [circuit.wire("b%d" % i) for i in range(num_bits)]
+    # partial products pp[i][j] = a_i and b_j
+    partial = {}
+    for i in range(num_bits):
+        for j in range(num_bits):
+            wire = circuit.wire("pp_%d_%d" % (i, j))
+            circuit.gate_and(a_wires[i], b_wires[j], wire)
+            partial[(i, j)] = wire
+    # accumulate row j shifted by j, rippling carries upward
+    # running[k] holds the current bit of weight k
+    running = {k: partial[(k, 0)] for k in range(num_bits)}
+    for j in range(1, num_bits):
+        carry = None
+        for i in range(num_bits):
+            weight = i + j
+            addend = partial[(i, j)]
+            current = running.get(weight)
+            scratch = "m_%d_%d" % (i, j)
+            sum_wire = circuit.wire("sum_%d_%d" % (i, j))
+            carry_wire = circuit.wire("carry_%d_%d" % (i, j))
+            if current is None and carry is None:
+                running[weight] = addend
+                continue
+            if current is None:
+                circuit.half_adder(addend, carry, sum_wire, carry_wire)
+            elif carry is None:
+                circuit.half_adder(current, addend, sum_wire, carry_wire)
+            else:
+                circuit.full_adder(current, addend, carry, sum_wire,
+                                   carry_wire, scratch)
+            running[weight] = sum_wire
+            carry = carry_wire
+        if carry is not None:
+            weight = num_bits + j
+            current = running.get(weight)
+            if current is None:
+                running[weight] = carry
+            else:
+                sum_wire = circuit.wire("sumc_%d" % j)
+                carry_wire = circuit.wire("carryc_%d" % j)
+                circuit.half_adder(current, carry, sum_wire, carry_wire)
+                running[weight] = sum_wire
+                running[weight + 1] = carry_wire
+    product_wires = [running[k] if k in running
+                     else circuit.constant_zero(a_wires[0], "pzero%d" % k)
+                     for k in range(2 * num_bits)]
+    return circuit, a_wires, b_wires, product_wires
+
+
+def squarer_circuit(num_bits):
+    """A squarer: the multiplier with both operand ports tied together.
+
+    Returns ``(circuit, input_wires, output_wires)`` computing
+    ``x -> x^2`` over ``num_bits``-wide x.  Built by equating the a and
+    b ports of the array multiplier with XNOR-style tie constraints is
+    unnecessary: the builder simply routes the same wires into both
+    ports.
+    """
+    if num_bits < 1:
+        raise SolgError("squarer needs at least one bit")
+    circuit = SolgCircuit("squarer%d" % num_bits)
+    x_wires = [circuit.wire("x%d" % i) for i in range(num_bits)]
+    # partial products pp[i][j] = x_i and x_j
+    partial = {}
+    for i in range(num_bits):
+        for j in range(num_bits):
+            wire = circuit.wire("pp_%d_%d" % (i, j))
+            circuit.gate_and(x_wires[i], x_wires[j], wire)
+            partial[(i, j)] = wire
+    running = {k: partial[(k, 0)] for k in range(num_bits)}
+    for j in range(1, num_bits):
+        carry = None
+        for i in range(num_bits):
+            weight = i + j
+            addend = partial[(i, j)]
+            current = running.get(weight)
+            scratch = "m_%d_%d" % (i, j)
+            sum_wire = circuit.wire("sum_%d_%d" % (i, j))
+            carry_wire = circuit.wire("carry_%d_%d" % (i, j))
+            if current is None and carry is None:
+                running[weight] = addend
+                continue
+            if current is None:
+                circuit.half_adder(addend, carry, sum_wire, carry_wire)
+            elif carry is None:
+                circuit.half_adder(current, addend, sum_wire, carry_wire)
+            else:
+                circuit.full_adder(current, addend, carry, sum_wire,
+                                   carry_wire, scratch)
+            running[weight] = sum_wire
+            carry = carry_wire
+        if carry is not None:
+            weight = num_bits + j
+            current = running.get(weight)
+            if current is None:
+                running[weight] = carry
+            else:
+                sum_wire = circuit.wire("sumc_%d" % j)
+                carry_wire = circuit.wire("carryc_%d" % j)
+                circuit.half_adder(current, carry, sum_wire, carry_wire)
+                running[weight] = sum_wire
+                running[weight + 1] = carry_wire
+    output_wires = [running[k] if k in running
+                    else circuit.constant_zero(x_wires[0], "pzero%d" % k)
+                    for k in range(2 * num_bits)]
+    return circuit, x_wires, output_wires
+
+
+def integer_sqrt_memcomputing(square, solver=None, rng=None):
+    """Recover x from x^2 by running the squarer backwards ([29]).
+
+    The paper's [29] is "Memcomputing numerical inversion with
+    self-organizing logic gates": fix a circuit's outputs and let the
+    terminal-agnostic gates find consistent inputs.  Returns x with
+    ``x * x == square``; raises :class:`SolgError` when ``square`` is
+    not a perfect square (no steady state exists).
+    """
+    if square < 0:
+        raise SolgError("need a non-negative square")
+    if square == 0:
+        return 0
+    num_bits = max(1, (square.bit_length() + 1) // 2)
+    circuit, x_wires, output_wires = squarer_circuit(num_bits)
+    pinned = {}
+    for position, wire in enumerate(output_wires):
+        pinned[wire] = bool((square >> position) & 1)
+    values = circuit.solve(pinned=pinned, solver=solver, rng=rng)
+    x = sum((1 << i) for i, wire in enumerate(x_wires) if values[wire])
+    if x * x != square:
+        raise SolgError("steady state decoded to %d^2 != %d" % (x, square))
+    return x
+
+
+def factorization_circuit(product):
+    """Inverted-multiplier factorization instance for ``product``.
+
+    Returns ``(circuit, pinned, extra_clauses, a_wires, b_wires)`` ready
+    for :meth:`SolgCircuit.solve`: the product wires are pinned to the
+    binary representation of ``product`` and both operands are
+    constrained non-trivial (> 1).
+    """
+    if product < 4:
+        raise SolgError("need a composite >= 4")
+    num_bits = max(2, (product.bit_length() + 1) // 2 + 1)
+    circuit, a_wires, b_wires, product_wires = multiplier_circuit(num_bits)
+    pinned = {}
+    for position, wire in enumerate(product_wires):
+        pinned[wire] = bool((product >> position) & 1)
+    # a > 1 and b > 1: some bit above bit 0 must be set in each operand
+    extra = [
+        [(wire, True) for wire in a_wires[1:]],
+        [(wire, True) for wire in b_wires[1:]],
+    ]
+    return circuit, pinned, extra, a_wires, b_wires
+
+
+def factor_with_memcomputing(product, solver=None, rng=None):
+    """Factor ``product`` by running the multiplier backwards.
+
+    Returns ``(factor_a, factor_b)`` with ``factor_a * factor_b ==
+    product``; raises :class:`SolgError` when the circuit finds no steady
+    state (e.g. for primes, where none exists with both operands > 1).
+    """
+    rng = make_rng(rng)
+    circuit, pinned, extra, a_wires, b_wires = factorization_circuit(product)
+    values = circuit.solve(pinned=pinned, extra_clauses=extra,
+                           solver=solver, rng=rng)
+    factor_a = sum((1 << i) for i, wire in enumerate(a_wires)
+                   if values[wire])
+    factor_b = sum((1 << i) for i, wire in enumerate(b_wires)
+                   if values[wire])
+    if factor_a * factor_b != product:
+        raise SolgError("steady state decoded to %d * %d != %d"
+                        % (factor_a, factor_b, product))
+    return factor_a, factor_b

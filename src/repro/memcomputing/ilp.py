@@ -1,0 +1,298 @@
+"""Memcomputing 0-1 integer linear programming (the paper's [48]).
+
+"The problem is first written in Boolean form (or in algebraic form if
+the problem is an integer linear programming one, as seen in [48])."
+
+[48] (Traversa & Di Ventra, "Memcomputing integer linear programming")
+solves ILPs with self-organizing *algebraic* gates; this module reaches
+the same class of problems through the library's Boolean machinery: a
+0-1 ILP is compiled exactly to weighted MaxSAT and relaxed by the DMM.
+
+* Linear constraints ``sum_j a_j x_j <= b`` become hard clauses through a
+  reduced-ordered-BDD (interval-memoized) construction with Tseitin
+  extraction -- the standard exact pseudo-Boolean encoding.  Negative
+  coefficients are normalized away by the substitution ``x -> 1 - x``.
+* The objective ``maximize sum_j c_j x_j`` becomes soft unit clauses of
+  weight ``|c_j|`` (polarity by sign).
+
+:class:`BinaryLinearProgram` holds the model;
+:func:`solve_ilp_memcomputing` runs the DMM;
+:func:`solve_ilp_bruteforce` provides the exact reference for tests and
+benchmarks; :func:`knapsack` is the classic instance builder.
+"""
+
+import itertools
+
+import numpy as np
+
+from ..core.cnf import Clause, CnfFormula
+from ..core.exceptions import MemcomputingError
+from ..core.rngs import make_rng
+
+
+class BinaryLinearProgram:
+    """maximize c.x subject to A x <= b over binary x.
+
+    Parameters
+    ----------
+    num_variables : int
+    objective : sequence of float
+        Coefficients ``c`` (any sign).
+    """
+
+    def __init__(self, num_variables, objective):
+        if num_variables < 1:
+            raise MemcomputingError("need at least one variable")
+        self.num_variables = int(num_variables)
+        self.objective = [float(c) for c in objective]
+        if len(self.objective) != self.num_variables:
+            raise MemcomputingError("objective length mismatch")
+        self.constraints = []  # list of (coefficients list, bound)
+
+    def add_constraint(self, coefficients, bound):
+        """Add ``sum_j coefficients[j] x_j <= bound`` (integers, any sign)."""
+        coefficients = [int(a) for a in coefficients]
+        if len(coefficients) != self.num_variables:
+            raise MemcomputingError("coefficient length mismatch")
+        self.constraints.append((coefficients, int(bound)))
+        return self
+
+    def objective_value(self, assignment):
+        """c.x for a dict assignment (variable 1-indexed -> bool)."""
+        return sum(c for j, c in enumerate(self.objective)
+                   if assignment.get(j + 1, False))
+
+    def is_feasible(self, assignment):
+        """True when every constraint holds under the assignment."""
+        for coefficients, bound in self.constraints:
+            total = sum(a for j, a in enumerate(coefficients)
+                        if assignment.get(j + 1, False))
+            if total > bound:
+                return False
+        return True
+
+    def __repr__(self):
+        return "BinaryLinearProgram(vars=%d, constraints=%d)" % (
+            self.num_variables, len(self.constraints))
+
+
+class _VariablePool:
+    """Fresh-variable allocator shared across constraint encodings."""
+
+    def __init__(self, first_free):
+        self.next_variable = first_free
+
+    def fresh(self):
+        variable = self.next_variable
+        self.next_variable += 1
+        return variable
+
+
+def ilp_to_maxsat(program):
+    """Compile a :class:`BinaryLinearProgram` to weighted MaxSAT.
+
+    Returns ``(formula, objective_offset)`` where the ILP objective of an
+    assignment equals ``formula.weight_satisfied(assignment) +
+    objective_offset`` restricted to the original variables.
+    """
+    clauses = []
+    offset = 0.0
+    for j, c in enumerate(program.objective):
+        variable = j + 1
+        if c > 0:
+            clauses.append(Clause([variable], weight=c))
+        elif c < 0:
+            clauses.append(Clause([-variable], weight=-c))
+            offset += c  # choosing x_j = 1 loses |c|
+    pool = _VariablePool(program.num_variables + 1)
+    for coefficients, bound in program.constraints:
+        # normalize negative coefficients with x -> 1 - x
+        normalized = []
+        shifted_bound = bound
+        flips = []
+        for j, a in enumerate(coefficients):
+            if a < 0:
+                normalized.append(-a)
+                shifted_bound += -a
+                flips.append(j)
+            else:
+                normalized.append(a)
+        if shifted_bound < 0:
+            raise MemcomputingError("constraint infeasible for all x")
+        if sum(normalized) <= shifted_bound:
+            continue  # vacuous constraint
+        hard_clauses = []
+        root = _encode_leq_flipped(normalized, shifted_bound, flips, pool,
+                                   hard_clauses)
+        if root == "F":
+            raise MemcomputingError("constraint infeasible for all x")
+        if root != "T":
+            hard_clauses.append(Clause([root]))
+        clauses.extend(hard_clauses)
+    num_variables = pool.next_variable - 1
+    if not any(c.weight is not None for c in clauses):
+        raise MemcomputingError("ILP has a constant objective")
+    return CnfFormula(clauses, num_variables=num_variables), offset
+
+
+def _encode_leq_flipped(coefficients, bound, flipped_positions, pool,
+                        clauses):
+    """BDD encoding where some problem variables enter negated."""
+    flipped = set(flipped_positions)
+    suffix_max = np.concatenate([np.cumsum(coefficients[::-1])[::-1],
+                                 [0]])
+    memo = {}
+
+    def literal_for(index):
+        variable = index + 1
+        return -variable if index in flipped else variable
+
+    def node(index, slack):
+        if slack < 0:
+            return "F"
+        if suffix_max[index] <= slack:
+            return "T"
+        key = (index, slack)
+        if key in memo:
+            return memo[key]
+        high = node(index + 1, slack - coefficients[index])
+        low = node(index + 1, slack)
+        if high == low:
+            memo[key] = high
+            return high
+        y = pool.fresh()
+        x = literal_for(index)
+        # Tseitin-encode y <-> (x ? high : low), folding constant branches.
+        if high == "T" and low == "F":
+            # y <-> x
+            clauses.append(Clause([-y, x]))
+            clauses.append(Clause([y, -x]))
+        elif high == "F" and low == "T":
+            # y <-> not x
+            clauses.append(Clause([-y, -x]))
+            clauses.append(Clause([y, x]))
+        elif high == "T":
+            # y <-> (x or low)
+            clauses.append(Clause([-y, x, low]))
+            clauses.append(Clause([y, -x]))
+            clauses.append(Clause([y, -low]))
+        elif high == "F":
+            # y <-> (not x and low)
+            clauses.append(Clause([-y, -x]))
+            clauses.append(Clause([-y, low]))
+            clauses.append(Clause([y, x, -low]))
+        elif low == "T":
+            # y <-> (not x or high)
+            clauses.append(Clause([-y, -x, high]))
+            clauses.append(Clause([y, x]))
+            clauses.append(Clause([y, -high]))
+        elif low == "F":
+            # y <-> (x and high)
+            clauses.append(Clause([-y, x]))
+            clauses.append(Clause([-y, high]))
+            clauses.append(Clause([y, -x, -high]))
+        else:
+            clauses.append(Clause([-y, -x, high]))
+            clauses.append(Clause([-y, x, low]))
+            clauses.append(Clause([y, -x, -high]))
+            clauses.append(Clause([y, x, -low]))
+        memo[key] = y
+        return y
+
+    return node(0, bound)
+
+
+class IlpResult:
+    """Outcome of an ILP solve.
+
+    Attributes
+    ----------
+    assignment : dict or None
+        Binary solution over the original variables (1-indexed).
+    objective : float
+        c.x of the returned assignment (-inf if infeasible/not found).
+    feasible : bool
+    """
+
+    def __init__(self, assignment, objective, feasible):
+        self.assignment = assignment
+        self.objective = float(objective)
+        self.feasible = bool(feasible)
+
+    def __repr__(self):
+        return "IlpResult(objective=%g, feasible=%s)" % (self.objective,
+                                                         self.feasible)
+
+
+def solve_ilp_memcomputing(program, max_steps=60_000, dt=0.08,
+                           check_every=25, x_l_max=20.0, restarts=4,
+                           hard_scale=2.0, rng=None):
+    """Solve a 0-1 ILP with the DMM MaxSAT dynamics (anytime).
+
+    The weighted dynamics run on the compiled formula, but feasibility
+    and objective are evaluated directly on the *original* variables at
+    every checkpoint: the BDD auxiliaries are definitions, so their
+    instantaneous thresholded values need not be self-consistent for the
+    original assignment to be judged.  Hard clauses carry
+    ``hard_scale * max(soft weight)`` -- strong enough to steer toward
+    feasibility, weak enough that the objective terms stay audible (a
+    total-soft-dominating hard weight flattens the objective landscape).
+    The budget is split across ``restarts`` fresh initial conditions.
+
+    Returns an :class:`IlpResult` over the original variables.
+    """
+    from .dynamics import DmmSystem
+
+    rng = make_rng(rng)
+    formula, _offset = ilp_to_maxsat(program)
+    max_soft = max(c.weight for c in formula.soft_clauses)
+    reweighted = [Clause(c.literals, weight=c.weight)
+                  for c in formula.soft_clauses]
+    reweighted += [Clause(c.literals, weight=hard_scale * max_soft)
+                   for c in formula.hard_clauses]
+    weighted = CnfFormula(reweighted, num_variables=formula.num_variables)
+    system = DmmSystem(weighted, x_l_max=x_l_max)
+    lower, upper = system.lower_bounds(), system.upper_bounds()
+    best = IlpResult(None, -np.inf, False)
+    steps_per_restart = max(1, max_steps // max(1, restarts))
+    for _restart in range(max(1, restarts)):
+        state = system.initial_state(rng)
+        for step in range(1, steps_per_restart + 1):
+            state = state + dt * system.rhs(step * dt, state)
+            np.clip(state, lower, upper, out=state)
+            if step % check_every == 0 or step == steps_per_restart:
+                full_assignment = system.assignment_from_state(state)
+                assignment = {v: full_assignment[v]
+                              for v in range(1, program.num_variables + 1)}
+                if not program.is_feasible(assignment):
+                    continue
+                objective = program.objective_value(assignment)
+                if objective > best.objective:
+                    best = IlpResult(assignment, objective, True)
+    return best
+
+
+def solve_ilp_bruteforce(program):
+    """Exact optimum by enumeration (tests/benchmarks reference)."""
+    if program.num_variables > 22:
+        raise MemcomputingError("brute force limited to 22 variables")
+    best = IlpResult(None, -np.inf, False)
+    for bits in itertools.product([False, True],
+                                  repeat=program.num_variables):
+        assignment = {j + 1: bits[j]
+                      for j in range(program.num_variables)}
+        if not program.is_feasible(assignment):
+            continue
+        value = program.objective_value(assignment)
+        if value > best.objective:
+            best = IlpResult(assignment, value, True)
+    return best
+
+
+def knapsack(values, weights, capacity):
+    """The classic 0-1 knapsack as a :class:`BinaryLinearProgram`."""
+    if len(values) != len(weights):
+        raise MemcomputingError("values/weights length mismatch")
+    program = BinaryLinearProgram(len(values), values)
+    program.add_constraint(weights, capacity)
+    return program

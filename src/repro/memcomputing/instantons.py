@@ -1,0 +1,125 @@
+"""Trajectory diagnostics: instantons, critical points, absence of chaos.
+
+The paper (Section IV, citing [52], [53], [58]) makes three dynamical
+claims about DMMs:
+
+* the transient "proceeds via a succession of classical trajectories
+  (instantons) that connect critical points ... with different stability"
+  -- observable as *plateaus* in the number of unsatisfied clauses
+  punctuated by fast jumps,
+* "no periodic orbits or chaos can coexist" with a solution -- observable
+  as a non-positive largest-Lyapunov estimate for trajectories that reach
+  a solution, and as the trajectory terminating on a fixed point of the
+  voltage dynamics,
+* distant parts of the machine correlate (DLRO) -- quantified elsewhere
+  by :func:`repro.memcomputing.ising.flip_cluster_sizes`.
+
+This module measures the first two on recorded solver runs.
+"""
+
+import numpy as np
+
+from ..core.rngs import make_rng
+from .dynamics import DmmSystem
+
+
+def instanton_census(unsat_trace):
+    """Plateau/jump decomposition of an unsatisfied-clause trace.
+
+    ``unsat_trace`` is the solver's list of ``(sim_time, unsat_count)``
+    checkpoints.  Returns a dict:
+
+    * ``jumps`` -- number of transitions where the count changed,
+    * ``jump_sizes`` -- absolute count changes at those transitions,
+    * ``plateaus`` -- number of maximal constant-count segments
+      (critical-point visits: jumps + 1 when the trace is non-empty),
+    * ``monotone_fraction`` -- fraction of jumps that *decrease* the
+      count (instantons overwhelmingly descend toward the solution).
+    """
+    counts = [count for _time, count in unsat_trace]
+    if len(counts) < 2:
+        return {"jumps": 0, "jump_sizes": [], "plateaus": len(counts),
+                "monotone_fraction": 1.0}
+    deltas = np.diff(counts)
+    jump_positions = np.flatnonzero(deltas != 0)
+    jump_sizes = [int(abs(deltas[p])) for p in jump_positions]
+    descents = int(np.sum(deltas[jump_positions] < 0))
+    total_jumps = len(jump_positions)
+    return {
+        "jumps": total_jumps,
+        "jump_sizes": jump_sizes,
+        "plateaus": total_jumps + 1,
+        "monotone_fraction": descents / total_jumps if total_jumps else 1.0,
+    }
+
+
+def lyapunov_estimate(formula, rng=None, steps=4_000, dt=0.08,
+                      separation=1e-7, renormalize_every=20):
+    """Largest-Lyapunov-exponent estimate for the DMM flow on a formula.
+
+    Two trajectories launched ``separation`` apart are integrated side by
+    side; their divergence is measured and renormalized every
+    ``renormalize_every`` steps (the standard Benettin procedure, adapted
+    to the clipped flow).  Returns the mean exponential rate in units of
+    1/simulation-time.  For solvable instances the flow is point-
+    dissipative, so the estimate is expected to be non-positive once the
+    trajectory approaches the solution basin.
+    """
+    rng = make_rng(rng)
+    system = DmmSystem(formula)
+    lower, upper = system.lower_bounds(), system.upper_bounds()
+    state_a = system.initial_state(rng)
+    perturbation = rng.normal(size=state_a.shape)
+    perturbation *= separation / np.linalg.norm(perturbation)
+    state_b = np.clip(state_a + perturbation, lower, upper)
+
+    rates = []
+    for step in range(1, steps + 1):
+        state_a = np.clip(state_a + dt * system.rhs(step * dt, state_a),
+                          lower, upper)
+        state_b = np.clip(state_b + dt * system.rhs(step * dt, state_b),
+                          lower, upper)
+        if step % renormalize_every == 0:
+            distance = np.linalg.norm(state_b - state_a)
+            if distance <= 0.0:
+                # trajectories merged: strongly contracting segment
+                rates.append(-np.inf)
+                state_b = np.clip(state_a + perturbation, lower, upper)
+                continue
+            rates.append(np.log(distance / separation)
+                         / (renormalize_every * dt))
+            state_b = state_a + (state_b - state_a) * (separation / distance)
+    finite = [r for r in rates if np.isfinite(r)]
+    if not finite:
+        return -np.inf
+    return float(np.mean(finite))
+
+
+def residual_at_solution(formula, rng=None, max_steps=300_000, dt=0.08):
+    """Voltage-dynamics residual once the solver halts on a solution.
+
+    Integrates to a solution, then reports the infinity-norm of dv/dt at
+    the final state.  Small residuals confirm the halt state sits at (or
+    heads into) an attracting critical point rather than a passing
+    fluctuation.  Returns ``(residual, solved)``.
+    """
+    from .solver import DmmSolver
+
+    rng = make_rng(rng)
+    solver = DmmSolver(dt=dt, max_steps=max_steps)
+    result = solver.solve(formula, rng=rng)
+    if not result.satisfied:
+        return float("inf"), False
+    system = DmmSystem(formula)
+    # rebuild the final state's voltages from the returned assignment;
+    # memory variables at their satisfied-clause rest values
+    voltages = np.array([1.0 if result.assignment[n + 1] else -1.0
+                         for n in range(system.num_variables)])
+    state = np.concatenate([
+        voltages,
+        np.zeros(system.num_clauses),      # x_s relaxed to 0 (satisfied)
+        np.ones(system.num_clauses),       # x_l at floor
+    ])
+    derivative = system.rhs(0.0, state)
+    dv = derivative[:system.num_variables]
+    return float(np.max(np.abs(dv))), True

@@ -1,0 +1,163 @@
+"""Spin glasses through the DMM: frustrated loops and cluster flips ([56]).
+
+"this DLRO was more clearly demonstrated in the solution of ... the
+problem of the frustrated-loop using spin glass.  In this case, it was
+shown that DMMs allow for the collective flipping of clusters of spins
+spanning the entire lattice."
+
+Pipeline:
+
+1. frustrated-loop couplings come from
+   :func:`repro.core.sat_instances.frustrated_loop_ising` (known ground
+   energy by construction),
+2. the Ising objective is compiled to weighted Max-2-SAT
+   (:func:`ising_to_maxsat`): coupling J > 0 penalizes aligned spins via
+   the clause pair {(i or j), (not i or not j)}, J < 0 penalizes
+   anti-aligned spins via {(i or not j), (not i or j)}, each of weight
+   |J| -- an exact reduction,
+3. the DMM MaxSAT solver relaxes it; spins are read from the voltages,
+4. :func:`flip_cluster_sizes` measures the DLRO signature: how many spins
+   flip *simultaneously* (within one integration window) along the DMM
+   trajectory, versus the strictly single-spin moves of annealing.
+"""
+
+import numpy as np
+
+from ..core.cnf import Clause, CnfFormula
+from ..core.exceptions import MemcomputingError
+from ..core.rngs import make_rng
+from ..core.sat_instances import ising_energy
+from .dynamics import DmmSystem
+
+
+def ising_to_maxsat(couplings, num_spins):
+    """Exact weighted Max-2-SAT encoding of an Ising coupling dict.
+
+    Variable ``i+1`` true <-> spin ``i`` = +1.  Satisfying weight is
+    maximal exactly on ground states; the Ising energy of an assignment
+    equals ``sum|J| - 2 * (satisfied-above-baseline weight)`` up to the
+    fixed offset worked out below (each coupling contributes one always-
+    satisfiable clause pair whose violation count is 0 or 1).
+
+    Returns a :class:`CnfFormula` of soft clauses only.
+    """
+    clauses = []
+    for (i, j), coupling in couplings.items():
+        if coupling == 0.0:
+            continue
+        weight = abs(coupling)
+        a, b = i + 1, j + 1
+        if coupling > 0:  # penalize aligned spins
+            clauses.append(Clause([a, b], weight=weight))
+            clauses.append(Clause([-a, -b], weight=weight))
+        else:  # penalize anti-aligned spins
+            clauses.append(Clause([a, -b], weight=weight))
+            clauses.append(Clause([-a, b], weight=weight))
+    if not clauses:
+        raise MemcomputingError("no non-zero couplings")
+    return CnfFormula(clauses, num_variables=num_spins)
+
+
+def spins_from_assignment(assignment, num_spins):
+    """Decode a Boolean assignment into a +-1 spin vector."""
+    return np.array([1 if assignment.get(i + 1, False) else -1
+                     for i in range(num_spins)], dtype=np.int64)
+
+
+class DmmIsingResult:
+    """Outcome of a DMM spin-glass run.
+
+    Attributes
+    ----------
+    spins : numpy.ndarray
+        Best +-1 configuration found.
+    energy : float
+        Its Ising energy.
+    steps : int
+        Integration steps.
+    spin_trace : numpy.ndarray, shape (checkpoints, num_spins)
+        Thresholded spin configuration at each checkpoint (the raw
+        material of the cluster-flip analysis).
+    energy_trace : list of float
+        Ising energy at each checkpoint.
+    """
+
+    def __init__(self, spins, energy, steps, spin_trace, energy_trace):
+        self.spins = spins
+        self.energy = float(energy)
+        self.steps = int(steps)
+        self.spin_trace = np.asarray(spin_trace)
+        self.energy_trace = list(energy_trace)
+
+    def __repr__(self):
+        return "DmmIsingResult(energy=%g, steps=%d)" % (self.energy,
+                                                        self.steps)
+
+
+def solve_ising_dmm(couplings, num_spins, fields=None, max_steps=40_000,
+                    dt=0.08, check_every=20, rng=None, params=None,
+                    x_l_max=20.0):
+    """Relax the DMM on the Max-2-SAT encoding of an Ising instance.
+
+    ``fields`` (linear terms) are encoded as weight-|h| unit clauses.
+    Returns a :class:`DmmIsingResult` tracking the best configuration.
+    """
+    rng = make_rng(rng)
+    formula = ising_to_maxsat(couplings, num_spins)
+    clauses = list(formula.clauses)
+    if fields is not None:
+        for index, field in enumerate(np.asarray(fields, dtype=float)):
+            if field == 0.0:
+                continue
+            # energy h*s: h > 0 prefers s = -1 (variable false)
+            literal = -(index + 1) if field > 0 else (index + 1)
+            clauses.append(Clause([literal], weight=abs(field)))
+        formula = CnfFormula(clauses, num_variables=num_spins)
+    system = DmmSystem(formula, params=params, x_l_max=x_l_max)
+    lower, upper = system.lower_bounds(), system.upper_bounds()
+    state = system.initial_state(rng)
+
+    best_energy = np.inf
+    best_spins = None
+    spin_trace = []
+    energy_trace = []
+    for step in range(1, max_steps + 1):
+        state = state + dt * system.rhs(step * dt, state)
+        np.clip(state, lower, upper, out=state)
+        if step % check_every == 0 or step == max_steps:
+            assignment = system.assignment_from_state(state)
+            spins = spins_from_assignment(assignment, num_spins)
+            energy = ising_energy(couplings, spins, fields)
+            spin_trace.append(spins)
+            energy_trace.append(energy)
+            if energy < best_energy:
+                best_energy = energy
+                best_spins = spins.copy()
+    return DmmIsingResult(best_spins, best_energy, max_steps,
+                          np.asarray(spin_trace), energy_trace)
+
+
+def flip_cluster_sizes(spin_trace):
+    """Sizes of simultaneous spin flips between consecutive checkpoints.
+
+    The DLRO signature: a checkpoint-to-checkpoint transition flipping
+    ``c`` spins counts as one cluster event of size ``c``.  Single-spin
+    dynamics (annealing) can only produce sizes bounded by the number of
+    sweeps between snapshots; DMMs produce heavy-tailed size
+    distributions ("clusters of spins spanning the entire lattice").
+
+    Returns a list of cluster sizes (zero-size transitions excluded).
+    """
+    spin_trace = np.asarray(spin_trace)
+    if spin_trace.ndim != 2 or len(spin_trace) < 2:
+        return []
+    changed = (np.diff(spin_trace, axis=0) != 0).sum(axis=1)
+    return [int(c) for c in changed if c > 0]
+
+
+def largest_cluster_fraction(spin_trace):
+    """Largest simultaneous flip as a fraction of the lattice size."""
+    sizes = flip_cluster_sizes(spin_trace)
+    if not sizes:
+        return 0.0
+    return max(sizes) / spin_trace.shape[1]

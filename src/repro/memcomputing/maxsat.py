@@ -1,0 +1,176 @@
+"""Memcomputing MaxSAT (the paper's [54]: beating specialized MaxSAT codes).
+
+Weighted partial MaxSAT: hard clauses must hold; soft clauses carry
+weights and the objective is the total satisfied weight.  The DMM handles
+this natively -- clause weights simply scale each clause's contribution
+to the voltage dynamics (the conductances of Eq. 1), with hard clauses
+given a weight exceeding the total soft weight.  The solver is *anytime*:
+it tracks the best feasible assignment seen along the trajectory.
+
+A simulated-annealing baseline over assignments is included as the
+conventional comparator.
+"""
+
+import math
+
+import numpy as np
+
+from ..core.cnf import Clause, CnfFormula
+from ..core.exceptions import MemcomputingError
+from ..core.rngs import make_rng
+from .dynamics import DmmSystem
+
+
+class MaxSatResult:
+    """Outcome of a MaxSAT run.
+
+    Attributes
+    ----------
+    assignment : dict or None
+        Best feasible (all hard clauses satisfied) assignment seen.
+    satisfied_weight : float
+        Its total satisfied soft weight (-inf when never feasible).
+    hard_feasible : bool
+        Whether any feasible assignment was seen.
+    steps : int
+        Work spent (integration steps or annealing moves).
+    weight_trace : list of (step, weight)
+        Anytime progress curve.
+    """
+
+    def __init__(self, assignment, satisfied_weight, hard_feasible, steps,
+                 weight_trace):
+        self.assignment = assignment
+        self.satisfied_weight = float(satisfied_weight)
+        self.hard_feasible = bool(hard_feasible)
+        self.steps = int(steps)
+        self.weight_trace = list(weight_trace)
+
+    def __repr__(self):
+        return ("MaxSatResult(weight=%g, feasible=%s, steps=%d)"
+                % (self.satisfied_weight, self.hard_feasible, self.steps))
+
+
+class DmmMaxSatSolver:
+    """Anytime memcomputing MaxSAT solver.
+
+    Parameters
+    ----------
+    dt, check_every, params : see :class:`repro.memcomputing.solver.DmmSolver`
+    max_steps : int
+        Total integration budget (the solver always runs it out; MaxSAT
+        has no natural early stop unless all clauses are satisfied).
+    """
+
+    def __init__(self, dt=0.08, max_steps=60_000, check_every=25,
+                 params=None, x_l_max=20.0):
+        self.dt = float(dt)
+        self.max_steps = int(max_steps)
+        self.check_every = int(check_every)
+        self.params = params
+        # Optimization problems are generically unsatisfiable as SAT, so
+        # the long-term memory must saturate rather than diverge; a small
+        # bound keeps frustrated clauses competitive instead of dominant.
+        self.x_l_max = x_l_max
+
+    def solve(self, formula, rng=None):
+        """Run the weighted dynamics; returns a :class:`MaxSatResult`."""
+        rng = make_rng(rng)
+        soft = formula.soft_clauses
+        if not soft:
+            raise MemcomputingError("MaxSAT needs at least one soft clause")
+        total_soft = sum(c.weight for c in soft)
+        hard_weight = total_soft + 1.0
+        reweighted = [Clause(c.literals, weight=c.weight) for c in soft]
+        reweighted += [Clause(c.literals, weight=hard_weight)
+                       for c in formula.hard_clauses]
+        weighted = CnfFormula(reweighted,
+                              num_variables=formula.num_variables)
+        system = DmmSystem(weighted, params=self.params,
+                           x_l_max=self.x_l_max)
+        lower, upper = system.lower_bounds(), system.upper_bounds()
+
+        state = system.initial_state(rng)
+        best_weight = -math.inf
+        best_assignment = None
+        trace = []
+        for step in range(1, self.max_steps + 1):
+            state = state + self.dt * system.rhs(step * self.dt, state)
+            np.clip(state, lower, upper, out=state)
+            if step % self.check_every == 0 or step == self.max_steps:
+                assignment = system.assignment_from_state(state)
+                if all(c.is_satisfied_by(assignment)
+                       for c in formula.hard_clauses):
+                    weight = formula.weight_satisfied(assignment)
+                    if weight > best_weight:
+                        best_weight = weight
+                        best_assignment = assignment
+                        trace.append((step, weight))
+                        if weight >= total_soft:
+                            break  # everything satisfied; optimal
+        return MaxSatResult(best_assignment, best_weight,
+                            best_assignment is not None, self.max_steps,
+                            trace)
+
+
+def anneal_maxsat(formula, sweeps=300, t_start=None, t_end=0.05, rng=None):
+    """Simulated-annealing MaxSAT baseline over Boolean assignments.
+
+    Energy = (unsatisfied soft weight) + hard_penalty * (unsatisfied hard
+    clauses); single-variable flips under a geometric schedule.
+    ``t_start`` defaults to half the hard penalty so the walk can
+    rearrange hard-clause conflicts early in the schedule (a fixed small
+    start temperature freezes the hard constraints immediately).  Returns
+    a :class:`MaxSatResult` with moves as the work metric.
+    """
+    rng = make_rng(rng)
+    num_vars = formula.num_variables
+    soft = formula.soft_clauses
+    hard = formula.hard_clauses
+    if not soft:
+        raise MemcomputingError("MaxSAT needs at least one soft clause")
+    total_soft = sum(c.weight for c in soft)
+    hard_penalty = total_soft + 1.0
+    if t_start is None:
+        t_start = 0.5 * hard_penalty
+
+    def energy(assign):
+        e = 0.0
+        for clause in soft:
+            if not clause.is_satisfied_by(assign):
+                e += clause.weight
+        for clause in hard:
+            if not clause.is_satisfied_by(assign):
+                e += hard_penalty
+        return e
+
+    assign = {v: bool(rng.integers(0, 2))
+              for v in range(1, num_vars + 1)}
+    current = energy(assign)
+    best_assignment = dict(assign)
+    best_energy = current
+    trace = []
+    moves = 0
+    ratio = (t_end / t_start) ** (1.0 / max(1, sweeps - 1))
+    temperature = t_start
+    for sweep in range(sweeps):
+        for _ in range(num_vars):
+            variable = int(rng.integers(1, num_vars + 1))
+            assign[variable] = not assign[variable]
+            proposed = energy(assign)
+            delta = proposed - current
+            if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+                current = proposed
+                if current < best_energy:
+                    best_energy = current
+                    best_assignment = dict(assign)
+            else:
+                assign[variable] = not assign[variable]
+            moves += 1
+        trace.append((moves, total_soft - min(best_energy, total_soft)))
+        temperature *= ratio
+    feasible = all(c.is_satisfied_by(best_assignment) for c in hard)
+    weight = formula.weight_satisfied(best_assignment) if feasible \
+        else -math.inf
+    return MaxSatResult(best_assignment if feasible else None, weight,
+                        feasible, moves, trace)

@@ -1,0 +1,177 @@
+"""Self-organizing logic gates (SOLGs).
+
+Section IV: "The gates of the circuit are then replaced by
+Self-Organizing Logic Gates (SOLGs), whose only requirement is to
+self-organize into the correct logical proposition of the given gate
+irrespective of whether the signal comes from the traditional inputs or
+the traditional outputs.  In other words, SOLGs are terminal agnostic,
+although not necessarily invertible in a one-to-one sense."
+
+A SOLG is realized here the way the DMM literature constructs them: the
+gate's logical relation is a small set of clauses over its terminal
+variables, and the gate's electrical dynamics are the DMM equations of
+motion over those clauses.  Pinning any subset of terminals adds unit
+clauses; the remaining terminals relax to a consistent truth assignment
+(one of possibly many -- "not necessarily invertible in a one-to-one
+sense").
+"""
+
+from ..core.cnf import Clause, CnfFormula
+from ..core.exceptions import SolgError
+from ..core.rngs import make_rng
+
+#: Clause templates encoding ``out = f(inputs)`` per gate type, written
+#: over terminal slots: inputs are slots 0..arity-1, output is the last
+#: slot.  Positive integers index slots (1-based to allow negation).
+_GATE_CLAUSES = {
+    "and": {
+        "arity": 2,
+        "clauses": [(-1, -2, 3), (1, -3), (2, -3)],
+    },
+    "or": {
+        "arity": 2,
+        "clauses": [(1, 2, -3), (-1, 3), (-2, 3)],
+    },
+    "xor": {
+        "arity": 2,
+        "clauses": [(-1, -2, -3), (1, 2, -3), (1, -2, 3), (-1, 2, 3)],
+    },
+    "nand": {
+        "arity": 2,
+        "clauses": [(-1, -2, -3), (1, 3), (2, 3)],
+    },
+    "nor": {
+        "arity": 2,
+        "clauses": [(1, 2, 3), (-1, -3), (-2, -3)],
+    },
+    "xnor": {
+        "arity": 2,
+        "clauses": [(-1, -2, 3), (1, 2, 3), (1, -2, -3), (-1, 2, -3)],
+    },
+    "not": {
+        "arity": 1,
+        "clauses": [(1, 2), (-1, -2)],
+    },
+}
+
+GATE_TYPES = tuple(sorted(_GATE_CLAUSES))
+
+
+def gate_truth(gate_type, inputs):
+    """Boolean output of the named gate for a tuple of inputs."""
+    a = bool(inputs[0])
+    b = bool(inputs[1]) if len(inputs) > 1 else None
+    table = {
+        "and": lambda: a and b,
+        "or": lambda: a or b,
+        "xor": lambda: a != b,
+        "nand": lambda: not (a and b),
+        "nor": lambda: not (a or b),
+        "xnor": lambda: a == b,
+        "not": lambda: not a,
+    }
+    if gate_type not in table:
+        raise SolgError("unknown gate type %r" % gate_type)
+    expected_arity = _GATE_CLAUSES[gate_type]["arity"]
+    if len(inputs) != expected_arity:
+        raise SolgError("gate %r wants %d inputs, got %d"
+                        % (gate_type, expected_arity, len(inputs)))
+    return table[gate_type]()
+
+
+def gate_clauses(gate_type, terminal_variables):
+    """Instantiate the gate's relation clauses over concrete variables.
+
+    ``terminal_variables`` lists DIMACS variable indices: inputs first,
+    output last (arity + 1 entries).
+    """
+    if gate_type not in _GATE_CLAUSES:
+        raise SolgError("unknown gate type %r" % gate_type)
+    template = _GATE_CLAUSES[gate_type]
+    expected = template["arity"] + 1
+    if len(terminal_variables) != expected:
+        raise SolgError("gate %r has %d terminals, got %d"
+                        % (gate_type, expected, len(terminal_variables)))
+    clauses = []
+    for pattern in template["clauses"]:
+        literals = []
+        for slot_literal in pattern:
+            variable = terminal_variables[abs(slot_literal) - 1]
+            literals.append(variable if slot_literal > 0 else -variable)
+        clauses.append(Clause(literals))
+    return clauses
+
+
+class SelfOrganizingGate:
+    """One SOLG: a logic gate solvable from any subset of its terminals.
+
+    Parameters
+    ----------
+    gate_type : str
+        One of :data:`GATE_TYPES`.
+    solver : DmmSolver, optional
+        The dynamics integrator; a default is created lazily.
+    """
+
+    def __init__(self, gate_type, solver=None):
+        if gate_type not in _GATE_CLAUSES:
+            raise SolgError("unknown gate type %r" % gate_type)
+        self.gate_type = gate_type
+        self._solver = solver
+
+    @property
+    def arity(self):
+        """Number of input terminals."""
+        return _GATE_CLAUSES[self.gate_type]["arity"]
+
+    @property
+    def terminal_names(self):
+        """Terminal labels: in0, in1, ..., out."""
+        return ["in%d" % i for i in range(self.arity)] + ["out"]
+
+    def _formula(self, pinned):
+        variables = list(range(1, self.arity + 2))
+        clauses = gate_clauses(self.gate_type, variables)
+        names = self.terminal_names
+        for terminal, value in pinned.items():
+            if terminal not in names:
+                raise SolgError("unknown terminal %r (have %s)"
+                                % (terminal, names))
+            variable = names.index(terminal) + 1
+            clauses.append(Clause([variable if value else -variable]))
+        return CnfFormula(clauses, num_variables=self.arity + 1)
+
+    def self_organize(self, pinned=None, rng=None):
+        """Relax the gate's dynamics with the given terminals pinned.
+
+        Returns a dict mapping every terminal name to its settled Boolean
+        value.  Raises :class:`SolgError` when the pinned values are
+        logically inconsistent (e.g. an AND pinned to in0=0, out=1): the
+        dynamics then have no fixed point, which is detected by the step
+        budget expiring.
+        """
+        from .solver import DmmSolver
+
+        rng = make_rng(rng)
+        pinned = dict(pinned or {})
+        solver = self._solver or DmmSolver(max_steps=60_000)
+        result = solver.solve(self._formula(pinned), rng=rng)
+        if not result.satisfied:
+            raise SolgError(
+                "gate %r cannot satisfy pinned terminals %r"
+                % (self.gate_type, pinned))
+        names = self.terminal_names
+        settled = {name: result.assignment[index + 1]
+                   for index, name in enumerate(names)}
+        # pinned terminals must be honoured exactly
+        for terminal, value in pinned.items():
+            if settled[terminal] != bool(value):
+                raise SolgError("pinned terminal %r drifted" % terminal)
+        return settled
+
+    def forward(self, *inputs):
+        """Conventional evaluation (inputs -> output), for reference."""
+        return gate_truth(self.gate_type, inputs)
+
+    def __repr__(self):
+        return "SelfOrganizingGate(%r)" % self.gate_type

@@ -1,0 +1,149 @@
+"""DMMSolver: solve CNF-SAT by integrating the memcomputing dynamics.
+
+"The original problem is then solved by applying the appropriate signals
+at specific input terminals, and then letting the circuit reach a
+steady-state.  The signals at the appropriate output terminals then
+represent the solution to the original problem."
+
+The solver integrates :class:`repro.memcomputing.dynamics.DmmSystem` with
+forward Euler and per-component clipping (the box constraints of Eq. 2),
+periodically thresholding the voltages into a digital assignment; it
+stops as soon as that assignment satisfies the formula.  Integration
+*steps* are the solver's work metric -- the quantity the scaling
+benchmarks compare against WalkSAT flips and DPLL nodes.
+"""
+
+import time
+
+import numpy as np
+
+from ..core.exceptions import DmmConvergenceError
+from ..core.rngs import make_rng
+from .dynamics import DmmSystem
+
+
+class DmmResult:
+    """Outcome of a DMM solve.
+
+    Attributes
+    ----------
+    satisfied : bool
+        True when a satisfying assignment was found.
+    assignment : dict or None
+        DIMACS-style variable -> bool mapping (best-effort when
+        unsatisfied).
+    steps : int
+        Forward-Euler integration steps consumed.
+    sim_time : float
+        Dynamical (integrated) time reached.
+    wall_time : float
+        Wall-clock seconds spent.
+    restarts : int
+        Number of fresh random initial conditions used.
+    unsat_trace : list of (sim_time, unsat_count)
+        Coarse trace of the digital unsatisfied-clause count, used by the
+        instanton diagnostics.
+    """
+
+    def __init__(self, satisfied, assignment, steps, sim_time, wall_time,
+                 restarts, unsat_trace):
+        self.satisfied = bool(satisfied)
+        self.assignment = assignment
+        self.steps = int(steps)
+        self.sim_time = float(sim_time)
+        self.wall_time = float(wall_time)
+        self.restarts = int(restarts)
+        self.unsat_trace = list(unsat_trace)
+
+    def __repr__(self):
+        return ("DmmResult(satisfied=%s, steps=%d, restarts=%d)"
+                % (self.satisfied, self.steps, self.restarts))
+
+
+class DmmSolver:
+    """Digital-memcomputing SAT solver.
+
+    Parameters
+    ----------
+    dt : float
+        Forward-Euler step.  The published DMM-SAT integrations use steps
+        of this order; the dynamics' robustness to integration error is
+        itself one of the paper's claims (topological critical points).
+    max_steps : int
+        Total step budget across restarts.
+    check_every : int
+        Steps between digital solution checks.
+    restart_after : int or None
+        Steps before drawing a fresh initial condition (None: never).
+    params, x_l_max :
+        Forwarded to :class:`DmmSystem`.
+    noise_sigma : float
+        Optional additive white noise amplitude on dv/dt (used by the
+        robustness study DMM-NOISE; 0 disables).
+    """
+
+    def __init__(self, dt=0.08, max_steps=2_000_000, check_every=25,
+                 restart_after=None, params=None, x_l_max=None,
+                 noise_sigma=0.0):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = float(dt)
+        self.max_steps = int(max_steps)
+        self.check_every = int(check_every)
+        self.restart_after = restart_after
+        self.params = params
+        self.x_l_max = x_l_max
+        self.noise_sigma = float(noise_sigma)
+
+    def solve(self, formula, rng=None, raise_on_failure=False):
+        """Integrate until the formula is satisfied or the budget is spent.
+
+        Returns a :class:`DmmResult`; raises
+        :class:`DmmConvergenceError` instead when ``raise_on_failure``.
+        """
+        rng = make_rng(rng)
+        system = DmmSystem(formula, params=self.params, x_l_max=self.x_l_max)
+        lower = system.lower_bounds()
+        upper = system.upper_bounds()
+        num_variables = system.num_variables
+
+        start = time.perf_counter()
+        state = system.initial_state(rng)
+        steps = 0
+        restarts = 0
+        steps_since_restart = 0
+        sim_time = 0.0
+        unsat_trace = [(0.0, system.unsatisfied_count(state))]
+
+        while steps < self.max_steps:
+            derivative = system.rhs(sim_time, state)
+            if self.noise_sigma > 0.0:
+                derivative[:num_variables] += rng.normal(
+                    0.0, self.noise_sigma, size=num_variables)
+            state = state + self.dt * derivative
+            np.clip(state, lower, upper, out=state)
+            steps += 1
+            steps_since_restart += 1
+            sim_time += self.dt
+            if steps % self.check_every == 0:
+                unsat = system.unsatisfied_count(state)
+                unsat_trace.append((sim_time, unsat))
+                if unsat == 0:
+                    return DmmResult(
+                        True, system.assignment_from_state(state), steps,
+                        sim_time, time.perf_counter() - start, restarts,
+                        unsat_trace)
+            if (self.restart_after is not None
+                    and steps_since_restart >= self.restart_after):
+                state = system.initial_state(rng)
+                restarts += 1
+                steps_since_restart = 0
+
+        assignment = system.assignment_from_state(state)
+        result = DmmResult(system.is_solution(state), assignment, steps,
+                           sim_time, time.perf_counter() - start, restarts,
+                           unsat_trace)
+        if raise_on_failure and not result.satisfied:
+            raise DmmConvergenceError(
+                "DMM did not satisfy the formula in %d steps" % self.max_steps)
+        return result

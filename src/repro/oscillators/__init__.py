@@ -1,0 +1,95 @@
+"""Intrinsic computing with weakly coupled VO2 oscillators (Section III).
+
+Bottom-up structure mirroring the paper's narrative:
+
+* device physics -- :mod:`repro.oscillators.vo2`,
+  :mod:`repro.oscillators.transistor`
+* the 1T1R relaxation oscillator -- :mod:`repro.oscillators.relaxation`
+* RC coupling and frequency locking (Fig. 3) --
+  :mod:`repro.oscillators.coupling`, :mod:`repro.oscillators.locking`
+* the XOR readout (Fig. 4) -- :mod:`repro.oscillators.readout`
+* the l_k distance-norm family (Fig. 5) -- :mod:`repro.oscillators.norms`,
+  :mod:`repro.oscillators.distance`
+* FAST corner detection (Fig. 6) -- :mod:`repro.oscillators.fast`
+* the power comparison against 32 nm CMOS --
+  :mod:`repro.oscillators.power`
+* cited secondary applications: vertex coloring via phase dynamics
+  ([42]) -- :mod:`repro.oscillators.coloring`; the sorting /
+  degree-of-match co-processor ([44]) --
+  :mod:`repro.oscillators.coprocessor`
+"""
+
+from .coloring import ColoringResult, color_graph
+from .coprocessor import (
+    AssociativeMemory,
+    best_match,
+    degree_of_match,
+    rank_order_sort,
+    value_to_v_gs,
+)
+from .coupling import CoupledOscillatorNetwork, CouplingBranch, coupled_pair
+from .distance import OscillatorDistanceUnit
+from .morphology import OscillatorRankFilter, edge_map
+from .locking import (
+    LockingResult,
+    arnold_tongue,
+    check_locking,
+    locking_curve,
+    locking_range,
+    simulate_calibrated_pair,
+)
+from .norms import (
+    analytic_norm_curve,
+    effective_norm_exponent,
+    fit_norm_exponent,
+    xor_measure_curve,
+)
+from .power import (
+    CmosFastPower,
+    OscillatorBlockPower,
+    oscillator_average_power,
+    power_comparison,
+    scaled_oscillator,
+)
+from .readout import XorReadout
+from .relaxation import RelaxationOscillator, frequency_tuning_curve
+from .transistor import SeriesTransistor
+from .vo2 import INSULATING, METALLIC, Vo2Device
+
+__all__ = [
+    "ColoringResult",
+    "color_graph",
+    "AssociativeMemory",
+    "best_match",
+    "degree_of_match",
+    "rank_order_sort",
+    "value_to_v_gs",
+    "CoupledOscillatorNetwork",
+    "CouplingBranch",
+    "coupled_pair",
+    "OscillatorDistanceUnit",
+    "OscillatorRankFilter",
+    "edge_map",
+    "LockingResult",
+    "arnold_tongue",
+    "check_locking",
+    "locking_curve",
+    "locking_range",
+    "simulate_calibrated_pair",
+    "analytic_norm_curve",
+    "effective_norm_exponent",
+    "fit_norm_exponent",
+    "xor_measure_curve",
+    "CmosFastPower",
+    "OscillatorBlockPower",
+    "oscillator_average_power",
+    "power_comparison",
+    "scaled_oscillator",
+    "XorReadout",
+    "RelaxationOscillator",
+    "frequency_tuning_curve",
+    "SeriesTransistor",
+    "INSULATING",
+    "METALLIC",
+    "Vo2Device",
+]

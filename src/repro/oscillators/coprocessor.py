@@ -1,0 +1,181 @@
+"""An accuracy-tunable non-Boolean oscillator co-processor.
+
+Section III cites [44] (Gala et al., JETC 2018): "a coupled
+oscillator-based co-processor has been proposed to accelerate
+computations like sorting, degree of matching, etc. for use in
+applications such as pattern recognition, clustering, and text
+recognition."  This module provides those primitives on the library's
+physical oscillator model:
+
+* :func:`rank_order_sort` -- values are encoded as gate voltages; the
+  monotone frequency-vs-Vgs transfer of the 1T1R cell turns magnitude
+  into spike rate, and counting threshold crossings over a fixed window
+  reads out the ordering (larger input -> more spikes).  The window
+  length is the *accuracy dial*: short windows are fast but may swap
+  near-ties -- exactly the accuracy-tunability [44] advertises.
+* :func:`degree_of_match` -- the mean pairwise XOR-readout measure
+  between a template vector and an input vector: the co-processor's
+  pattern-matching primitive built from the Fig. 4/5 distance blocks.
+"""
+
+import numpy as np
+
+from ..core.events import rising_crossings
+from ..core.exceptions import OscillatorError
+from .distance import OscillatorDistanceUnit
+from .relaxation import RelaxationOscillator
+
+
+def value_to_v_gs(value, full_scale, base_v_gs=1.6, v_gs_span=1.0):
+    """Map a value in ``[0, full_scale]`` onto the oscillator's Vgs dial.
+
+    The span is chosen wide (default 1.6 V .. 2.6 V) because sorting
+    exploits the *frequency* transfer rather than phase locking, so the
+    inputs may use the whole tuning range.
+    """
+    if not 0.0 <= value <= full_scale:
+        raise OscillatorError("value %r outside [0, %r]"
+                              % (value, full_scale))
+    return base_v_gs + (value / full_scale) * v_gs_span
+
+
+def rank_order_sort(values, full_scale=None, window_cycles=40.0,
+                    threshold=1.0):
+    """Sort values by spike counting on per-value oscillators.
+
+    Parameters
+    ----------
+    values : sequence of float
+        Non-negative inputs.
+    full_scale : float, optional
+        Encoding full scale (defaults to ``max(values)``).
+    window_cycles : float
+        Observation window in periods of the *slowest* oscillator; the
+        accuracy dial (longer -> finer rank resolution).
+    threshold : float
+        Spike-detection threshold on the node voltage.
+
+    Returns
+    -------
+    (order, counts) : (list of int, list of int)
+        ``order`` is the claimed ascending argsort of the inputs;
+        ``counts`` the spike counts that produced it.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise OscillatorError("nothing to sort")
+    if any(v < 0 for v in values):
+        raise OscillatorError("rank-order sorting needs non-negative values")
+    if full_scale is None:
+        full_scale = max(values) or 1.0
+    oscillators = [
+        RelaxationOscillator(value_to_v_gs(value, full_scale))
+        for value in values
+    ]
+    slowest_period = max(osc.analytic_period() for osc in oscillators)
+    window = window_cycles * slowest_period
+    counts = []
+    for oscillator in oscillators:
+        trajectory = oscillator.simulate(window)
+        spikes = rising_crossings(trajectory.times,
+                                  trajectory.component(0), threshold)
+        counts.append(len(spikes))
+    order = sorted(range(len(values)), key=lambda i: (counts[i], values[i]))
+    return order, counts
+
+
+def degree_of_match(template, candidate, distance_unit=None):
+    """Pattern-match score in [0, 1]: 1 for identical vectors.
+
+    Each component pair goes through the oscillator distance primitive;
+    the score is ``1 - mean(measure)`` -- high when every component pair
+    reads "close" on the XOR metric.  This is the building block [44]
+    uses for pattern recognition and clustering.
+    """
+    template = np.asarray(template, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if template.shape != candidate.shape:
+        raise OscillatorError("template/candidate shape mismatch")
+    if template.size == 0:
+        raise OscillatorError("empty pattern")
+    unit = distance_unit or OscillatorDistanceUnit()
+    measures = [unit.measure(a, b)
+                for a, b in zip(template.ravel(), candidate.ravel())]
+    return 1.0 - float(np.mean(measures))
+
+
+def best_match(template, candidates, distance_unit=None):
+    """Index and score of the best-matching candidate pattern."""
+    scores = [degree_of_match(template, candidate,
+                              distance_unit=distance_unit)
+              for candidate in candidates]
+    best = int(np.argmax(scores))
+    return best, scores
+
+
+class AssociativeMemory:
+    """Oscillator-based associative memory (the paper's ref. [39]).
+
+    Section III opens with [39]: "an array of weakly coupled oscillators
+    is shown to synchronize when coupled together with close initial
+    states.  These synchronized oscillatory systems can be leveraged to
+    perform several associative functions."  The associative function is
+    content-addressable recall: a degraded probe retrieves the stored
+    pattern it synchronizes with best -- here measured through the
+    degree-of-match primitive built on the XOR distance blocks.
+
+    Parameters
+    ----------
+    distance_unit : OscillatorDistanceUnit, optional
+        The comparison primitive shared by all stored patterns.
+    match_threshold : float
+        Minimum degree-of-match for a recall to count (below it the
+        memory reports no association).
+    """
+
+    def __init__(self, distance_unit=None, match_threshold=0.6):
+        if not 0.0 < match_threshold <= 1.0:
+            raise OscillatorError("match_threshold must be in (0, 1]")
+        self.distance_unit = distance_unit or OscillatorDistanceUnit()
+        self.match_threshold = float(match_threshold)
+        self._patterns = []
+        self._labels = []
+
+    def store(self, pattern, label=None):
+        """Store a pattern (any flat numeric sequence); returns its index."""
+        pattern = np.asarray(pattern, dtype=float).ravel()
+        if pattern.size == 0:
+            raise OscillatorError("cannot store an empty pattern")
+        if self._patterns and pattern.size != self._patterns[0].size:
+            raise OscillatorError("pattern length mismatch with memory")
+        self._patterns.append(pattern)
+        self._labels.append(label if label is not None
+                            else len(self._patterns) - 1)
+        return len(self._patterns) - 1
+
+    def __len__(self):
+        return len(self._patterns)
+
+    def recall(self, probe):
+        """Content-addressable recall.
+
+        Returns ``(pattern, label, score)`` for the best-matching stored
+        pattern, or ``(None, None, score)`` when nothing clears the
+        match threshold.
+        """
+        if not self._patterns:
+            raise OscillatorError("memory is empty")
+        index, scores = best_match(probe, self._patterns,
+                                   distance_unit=self.distance_unit)
+        score = scores[index]
+        if score < self.match_threshold:
+            return None, None, score
+        return self._patterns[index].copy(), self._labels[index], score
+
+    def recall_accuracy(self, probes, expected_labels):
+        """Fraction of probes recalled with the expected label."""
+        correct = 0
+        for probe, expected in zip(probes, expected_labels):
+            _pattern, label, _score = self.recall(probe)
+            correct += int(label == expected)
+        return correct / len(expected_labels)

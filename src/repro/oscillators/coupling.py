@@ -1,0 +1,169 @@
+"""RC-coupled networks of VO2 relaxation oscillators (Fig. 3).
+
+"Electrical coupling between two oscillators is achieved through simple
+resistive and capacitive elements" -- each coupling branch here is a
+series R_C + C_C path between two oscillator output nodes, the
+configuration used by the pairwise-coupled HVFET oscillator literature.
+The branch adds one state (the coupling-capacitor charge ``q``):
+
+    I_branch = (v_i - v_j - q / C_C) / R_C
+    dq/dt    = I_branch
+
+and injects ``-I_branch`` into node ``i`` and ``+I_branch`` into node
+``j``.  Decreasing ``R_C`` strengthens the coupling, which is exactly the
+knob Fig. 5 sweeps ("for increasing coupling strengths, (that is,
+decreasing R_C) ...").
+"""
+
+import numpy as np
+
+from ..core.exceptions import OscillatorError
+from ..core.integrators import Trajectory
+from .relaxation import RelaxationOscillator
+from .vo2 import INSULATING
+
+
+class CouplingBranch:
+    """A series R-C coupling element between oscillator nodes ``i`` and ``j``."""
+
+    def __init__(self, i, j, r_c=50e3, c_c=100e-12):
+        if i == j:
+            raise OscillatorError("coupling branch endpoints must differ")
+        if r_c <= 0 or c_c <= 0:
+            raise OscillatorError("coupling R and C must be positive")
+        self.i = int(i)
+        self.j = int(j)
+        self.r_c = float(r_c)
+        self.c_c = float(c_c)
+
+    def current(self, v_i, v_j, charge):
+        """Branch current flowing from node i to node j."""
+        return (v_i - v_j - charge / self.c_c) / self.r_c
+
+    def __repr__(self):
+        return "CouplingBranch(%d-%d, r_c=%g, c_c=%g)" % (
+            self.i, self.j, self.r_c, self.c_c)
+
+
+class CoupledOscillatorNetwork:
+    """N relaxation oscillators joined by series-RC coupling branches.
+
+    Parameters
+    ----------
+    oscillators : list of RelaxationOscillator
+    branches : list of CouplingBranch
+    """
+
+    def __init__(self, oscillators, branches):
+        if not oscillators:
+            raise OscillatorError("need at least one oscillator")
+        self.oscillators = list(oscillators)
+        self.branches = list(branches)
+        n = len(self.oscillators)
+        for branch in self.branches:
+            if not (0 <= branch.i < n and 0 <= branch.j < n):
+                raise OscillatorError(
+                    "branch %r references a missing oscillator" % branch)
+
+    @property
+    def num_oscillators(self):
+        """Number of oscillators in the network."""
+        return len(self.oscillators)
+
+    def _derivatives(self, state, phases):
+        n = self.num_oscillators
+        volts = state[:n]
+        charges = state[n:]
+        dv = np.empty(n)
+        for k, oscillator in enumerate(self.oscillators):
+            dv[k] = oscillator.node_derivative(volts[k], phases[k])
+        dq = np.empty(len(self.branches))
+        for b, branch in enumerate(self.branches):
+            current = branch.current(volts[branch.i], volts[branch.j],
+                                     charges[b])
+            dq[b] = current
+            dv[branch.i] -= current / self.oscillators[branch.i].c_p
+            dv[branch.j] += current / self.oscillators[branch.j].c_p
+        return np.concatenate([dv, dq])
+
+    def simulate(self, t_end, dt=None, initial_voltages=None,
+                 initial_phases=None, record_every=1):
+        """Integrate the network; returns ``(Trajectory, phase_history)``.
+
+        The trajectory's state layout is ``[v_0..v_{N-1}, q_0..q_{B-1}]``.
+        ``phase_history`` is a list (one entry per recorded sample) of
+        per-oscillator VO2 phase tuples.  ``dt`` defaults to 1/400 of the
+        fastest oscillating member's analytic period.
+        """
+        n = self.num_oscillators
+        if initial_phases is None:
+            phases = [INSULATING] * n
+        else:
+            phases = list(initial_phases)
+        if initial_voltages is None:
+            # stagger starting points slightly so identical oscillators do
+            # not ride a perfectly symmetric (measure-zero) trajectory
+            initial_voltages = [
+                osc.v_low + (0.45 + 0.02 * k) * (osc.v_high - osc.v_low)
+                for k, osc in enumerate(self.oscillators)
+            ]
+        if dt is None:
+            periods = [osc.analytic_period() for osc in self.oscillators
+                       if osc.can_oscillate()]
+            if not periods:
+                raise OscillatorError(
+                    "no member oscillates; pass dt explicitly")
+            dt = min(periods) / 400.0
+        state = np.concatenate([
+            np.asarray(initial_voltages, dtype=float),
+            np.zeros(len(self.branches)),
+        ])
+        times = [0.0]
+        states = [state.copy()]
+        phase_history = [tuple(phases)]
+        t = 0.0
+        step_index = 0
+        while t < t_end - 1e-18:
+            step = min(dt, t_end - t)
+            k1 = self._derivatives(state, phases)
+            k2 = self._derivatives(state + 0.5 * step * k1, phases)
+            k3 = self._derivatives(state + 0.5 * step * k2, phases)
+            k4 = self._derivatives(state + step * k3, phases)
+            state = state + (step / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+            t += step
+            step_index += 1
+            for k, oscillator in enumerate(self.oscillators):
+                device_voltage = oscillator.v_dd - state[k]
+                phases[k] = oscillator.vo2.next_phase(phases[k],
+                                                      device_voltage)
+            if step_index % record_every == 0 or t >= t_end - 1e-18:
+                times.append(t)
+                states.append(state.copy())
+                phase_history.append(tuple(phases))
+        trajectory = Trajectory(np.asarray(times), np.asarray(states),
+                                n_steps=step_index)
+        return trajectory, phase_history
+
+
+def coupled_pair(v_gs_1, v_gs_2, r_c=50e3, c_c=100e-12,
+                 oscillator_kwargs=None):
+    """Convenience constructor for the Fig. 3 / Fig. 4 two-oscillator cell."""
+    oscillator_kwargs = dict(oscillator_kwargs or {})
+    osc_1 = RelaxationOscillator(v_gs_1, **oscillator_kwargs)
+    osc_2 = RelaxationOscillator(v_gs_2, **oscillator_kwargs)
+    branch = CouplingBranch(0, 1, r_c=r_c, c_c=c_c)
+    return CoupledOscillatorNetwork([osc_1, osc_2], [branch])
+
+
+def simulate_pair(v_gs_1, v_gs_2, r_c=50e3, c_c=100e-12, cycles=60,
+                  oscillator_kwargs=None, record_every=1):
+    """Simulate a coupled pair for ~``cycles`` of the slower member.
+
+    Returns ``(times, v1, v2)`` ready for the readout / locking analyses.
+    """
+    network = coupled_pair(v_gs_1, v_gs_2, r_c=r_c, c_c=c_c,
+                           oscillator_kwargs=oscillator_kwargs)
+    periods = [osc.analytic_period() for osc in network.oscillators]
+    t_end = cycles * max(periods)
+    trajectory, _phases = network.simulate(t_end, record_every=record_every)
+    return trajectory.times, trajectory.component(0), trajectory.component(1)

@@ -1,0 +1,151 @@
+"""The coupled-oscillator distance primitive used by the FAST pipeline.
+
+Section III.B: "The intensities of the pixels under comparison are then
+fed as voltages to the coupled oscillator distance metric computation
+primitive for the comparison operation.  The distance metric gives an
+approximation of absolute difference between the two voltages, but the
+direction of the difference ... is not known."
+
+:class:`OscillatorDistanceUnit` is that primitive: two pixel intensities
+are encoded as the gate voltages of a coupled pair and the XOR-readout
+measure (a monotone function of |difference| inside the locking range) is
+returned.  Two operating modes:
+
+* ``behavioral`` (default) -- the calibrated closed-form response
+  ``measure = baseline + scale * |dVgs|^k`` with the exponent taken from
+  the Fig. 5 family.  This is what the image-scale FAST benchmarks use:
+  one pixel comparison costs one function evaluation, exactly how an
+  accuracy-tunable oscillator co-processor would be deployed behind a
+  calibration table.
+* ``physical`` -- every comparison runs the full coupled-pair ODE
+  simulation and XOR readout.  Slow; used by integration tests to confirm
+  the behavioral table tracks the physics.
+"""
+
+import numpy as np
+
+from ..core.exceptions import OscillatorError
+from .locking import DEFAULT_C_C, simulate_calibrated_pair
+from .norms import xor_measure_curve
+from .readout import XorReadout
+
+
+class OscillatorDistanceUnit:
+    """Analog |a - b| comparator built from a coupled oscillator pair.
+
+    Parameters
+    ----------
+    mode : str
+        ``"behavioral"`` or ``"physical"``.
+    base_v_gs : float
+        Operating-point gate voltage both inputs are biased around.
+    v_gs_span : float
+        Full-scale input swing in volts: intensity 0 maps to
+        ``base - span/2``, intensity ``intensity_scale`` maps to
+        ``base + span/2``.  Kept inside the pair's locking range.
+    r_c : float
+        Coupling resistance (selects the effective norm exponent).
+    norm_exponent : float
+        Behavioral-mode exponent ``k``; calibrate from
+        :func:`repro.oscillators.norms.effective_norm_exponent`.
+    intensity_scale : float
+        Input intensity full scale (255 for 8-bit images).
+    cycles : int
+        Physical-mode simulation length in oscillation cycles.
+    """
+
+    def __init__(self, mode="behavioral", base_v_gs=1.8, v_gs_span=0.08,
+                 r_c=35e3, c_c=DEFAULT_C_C, norm_exponent=1.6,
+                 behavioral_scale=None, behavioral_baseline=0.0,
+                 intensity_scale=255.0, cycles=120):
+        if mode not in ("behavioral", "physical"):
+            raise OscillatorError("mode must be 'behavioral' or 'physical'")
+        if v_gs_span <= 0:
+            raise OscillatorError("v_gs_span must be positive")
+        self.mode = mode
+        self.base_v_gs = float(base_v_gs)
+        self.v_gs_span = float(v_gs_span)
+        self.r_c = float(r_c)
+        self.c_c = float(c_c)
+        self.norm_exponent = float(norm_exponent)
+        self.behavioral_baseline = float(behavioral_baseline)
+        if behavioral_scale is None:
+            # normalize so a full-scale difference reads 1.0
+            behavioral_scale = (1.0 - self.behavioral_baseline) \
+                / (self.v_gs_span ** self.norm_exponent)
+        self.behavioral_scale = float(behavioral_scale)
+        self.intensity_scale = float(intensity_scale)
+        self.cycles = int(cycles)
+        self._readout = XorReadout()
+
+    # -- encoding ---------------------------------------------------------
+
+    def intensity_to_v_gs(self, intensity):
+        """Map a pixel intensity onto the oscillator input voltage."""
+        fraction = float(intensity) / self.intensity_scale
+        return self.base_v_gs + (fraction - 0.5) * self.v_gs_span
+
+    def delta_v_gs(self, intensity_a, intensity_b):
+        """Gate-voltage difference the pair sees for two intensities."""
+        return (self.intensity_to_v_gs(intensity_a)
+                - self.intensity_to_v_gs(intensity_b))
+
+    # -- the primitive -------------------------------------------------------
+
+    def measure(self, intensity_a, intensity_b):
+        """XOR-readout measure for two pixel intensities (monotone in |a-b|)."""
+        delta = abs(self.delta_v_gs(intensity_a, intensity_b))
+        if self.mode == "behavioral":
+            response = self.behavioral_baseline \
+                + self.behavioral_scale * delta ** self.norm_exponent
+            return float(min(1.0, response))
+        v_a = self.intensity_to_v_gs(intensity_a)
+        v_b = self.intensity_to_v_gs(intensity_b)
+        times, wave_a, wave_b = simulate_calibrated_pair(
+            v_a, v_b, self.r_c, c_c=self.c_c, cycles=self.cycles)
+        return self._readout.measure(times, wave_a, wave_b)
+
+    def measure_threshold(self, intensity_threshold):
+        """Measure level corresponding to an intensity difference threshold.
+
+        The FAST comparator asks "is |a - b| > t"; in oscillator hardware
+        that is "is the measure above measure(t)", with measure(t) supplied
+        by this calibration helper (behavioral response evaluated at t).
+        """
+        delta = abs(self.delta_v_gs(intensity_threshold, 0.0))
+        response = self.behavioral_baseline \
+            + self.behavioral_scale * delta ** self.norm_exponent
+        return float(min(1.0, response))
+
+    def exceeds(self, intensity_a, intensity_b, intensity_threshold):
+        """True when the analog distance reads above the threshold level."""
+        return self.measure(intensity_a, intensity_b) \
+            > self.measure_threshold(intensity_threshold)
+
+    # -- calibration -----------------------------------------------------------
+
+    def calibrate_from_physics(self, num_points=6):
+        """Fit the behavioral response to fresh physical simulations.
+
+        Runs the XOR-measure sweep across the unit's input span, fits the
+        exponent/scale/baseline, updates the behavioral parameters in
+        place, and returns ``(deltas, measures)`` for inspection.
+        """
+        deltas = np.linspace(0.0, self.v_gs_span, num_points)
+        measures = xor_measure_curve(self.base_v_gs, deltas, self.r_c,
+                                     c_c=self.c_c, cycles=self.cycles)
+        baseline = float(measures[0])
+        rise = measures - baseline
+        usable = deltas > 0
+        usable &= rise > 1e-3
+        if np.count_nonzero(usable) >= 2:
+            slope, intercept = np.polyfit(np.log(deltas[usable]),
+                                          np.log(rise[usable]), 1)
+            self.norm_exponent = float(slope)
+            self.behavioral_scale = float(np.exp(intercept))
+            self.behavioral_baseline = baseline
+        return deltas, measures
+
+    def __repr__(self):
+        return ("OscillatorDistanceUnit(mode=%s, k=%.2f, r_c=%g)"
+                % (self.mode, self.norm_exponent, self.r_c))

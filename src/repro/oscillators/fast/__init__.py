@@ -1,0 +1,34 @@
+"""FAST corner detection on coupled-oscillator distance norms (Fig. 6).
+
+* :mod:`repro.oscillators.fast.bresenham` -- the radius-3 circle offsets.
+* :mod:`repro.oscillators.fast.images` -- synthetic test images with
+  ground-truth corners.
+* :mod:`repro.oscillators.fast.software` -- the reference CMOS/software
+  FAST-16 segment-test detector (the paper's baseline).
+* :mod:`repro.oscillators.fast.oscillator_fast` -- the two-step
+  oscillator-norm detector with false-positive rejection.
+"""
+
+from .bresenham import CIRCLE_OFFSETS_R3, circle_intensities
+from .images import (
+    add_noise,
+    checkerboard_image,
+    gradient_image,
+    rectangle_image,
+    triangle_image,
+)
+from .oscillator_fast import OscillatorFastDetector
+from .software import SoftwareFastDetector, segment_test
+
+__all__ = [
+    "CIRCLE_OFFSETS_R3",
+    "circle_intensities",
+    "add_noise",
+    "checkerboard_image",
+    "gradient_image",
+    "rectangle_image",
+    "triangle_image",
+    "OscillatorFastDetector",
+    "SoftwareFastDetector",
+    "segment_test",
+]

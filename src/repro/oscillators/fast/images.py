@@ -1,0 +1,79 @@
+"""Synthetic test images with ground-truth corners.
+
+The paper's corner-detection demonstration needs controlled inputs; with
+no image dataset available offline, these generators produce the classic
+corner-detector test scenes: axis-aligned rectangles (4 known corners),
+right triangles, checkerboards (dense interior corners), and featureless
+gradients (false-positive probes), plus additive noise.
+"""
+
+import numpy as np
+
+from ...core.rngs import make_rng
+
+
+def rectangle_image(height=48, width=48, top=12, left=12, bottom=36,
+                    right=36, background=40, foreground=200):
+    """A bright rectangle on a dark background.
+
+    Returns ``(image, corners)`` where ``corners`` is the list of the four
+    ground-truth corner pixel coordinates ``(row, col)`` (the rectangle's
+    corner pixels themselves).
+    """
+    if not (0 < top < bottom < height and 0 < left < right < width):
+        raise ValueError("rectangle does not fit in the image")
+    image = np.full((height, width), float(background))
+    image[top:bottom, left:right] = float(foreground)
+    corners = [(top, left), (top, right - 1),
+               (bottom - 1, left), (bottom - 1, right - 1)]
+    return image, corners
+
+
+def triangle_image(height=48, width=48, background=40, foreground=200):
+    """A bright axis-aligned right triangle; returns ``(image, corners)``.
+
+    The right-angle vertex and the two acute vertices are the ground
+    truth (acute vertices are harder; detectors typically find the right
+    angle reliably).
+    """
+    image = np.full((height, width), float(background))
+    apex_row, apex_col = height // 4, width // 4
+    size = height // 2
+    for offset in range(size):
+        row = apex_row + offset
+        image[row, apex_col:apex_col + offset + 1] = float(foreground)
+    corners = [(apex_row, apex_col),
+               (apex_row + size - 1, apex_col),
+               (apex_row + size - 1, apex_col + size - 1)]
+    return image, corners
+
+
+def checkerboard_image(height=48, width=48, square=8, low=40, high=200):
+    """A checkerboard; returns ``(image, corners)`` with interior crossings."""
+    rows = np.arange(height) // square
+    cols = np.arange(width) // square
+    pattern = (rows[:, None] + cols[None, :]) % 2
+    image = np.where(pattern == 0, float(low), float(high))
+    corners = []
+    for row in range(square, height - square + 1, square):
+        for col in range(square, width - square + 1, square):
+            if 3 <= row < height - 3 and 3 <= col < width - 3:
+                corners.append((row, col))
+    return image, corners
+
+
+def gradient_image(height=48, width=48, low=30, high=220):
+    """A smooth horizontal ramp: contains no corners at all.
+
+    Used as the false-positive probe -- any detection here is spurious.
+    """
+    ramp = np.linspace(low, high, width)
+    return np.tile(ramp, (height, 1))
+
+
+def add_noise(image, sigma, rng=None, clip=(0.0, 255.0)):
+    """Additive Gaussian noise, clipped to the valid intensity range."""
+    rng = make_rng(rng)
+    noisy = np.asarray(image, dtype=float) + rng.normal(0.0, sigma,
+                                                        np.shape(image))
+    return np.clip(noisy, clip[0], clip[1])

@@ -1,0 +1,130 @@
+"""Reference software FAST-16 detector (the paper's CMOS baseline).
+
+Rosten & Drummond's segment test: a pixel is a corner when at least ``n``
+contiguous pixels on its radius-3 Bresenham circle are all brighter than
+``p + threshold`` or all darker than ``p - threshold``.  This is the
+"baseline software algorithm" Section III.B compares the oscillator
+implementation against (one comparison step, direction known).
+"""
+
+import numpy as np
+
+from .bresenham import circle_intensities, interior_pixels
+
+
+def _max_circular_run(flags):
+    """Longest circular run of True in a 16-element boolean array."""
+    flags = np.asarray(flags, dtype=bool)
+    if flags.all():
+        return len(flags)
+    if not flags.any():
+        return 0
+    # unroll the circle twice and measure the longest linear run
+    doubled = np.concatenate([flags, flags])
+    best = 0
+    run = 0
+    for value in doubled:
+        if value:
+            run += 1
+            best = max(best, run)
+        else:
+            run = 0
+    return min(best, len(flags))
+
+
+def segment_test(center, circle, threshold, n=12):
+    """The FAST segment test for one pixel.
+
+    Parameters
+    ----------
+    center : float
+        Intensity of the pixel under test.
+    circle : array-like of 16 floats
+        Intensities on the Bresenham circle (clockwise).
+    threshold : float
+        Brightness margin ``t``.
+    n : int
+        Required contiguous count (the paper's ``N``).
+
+    Returns
+    -------
+    (is_corner, kind) : (bool, str or None)
+        ``kind`` is "brighter" or "darker" when detected.
+    """
+    circle = np.asarray(circle, dtype=float)
+    brighter = circle > center + threshold
+    darker = circle < center - threshold
+    if _max_circular_run(brighter) >= n:
+        return True, "brighter"
+    if _max_circular_run(darker) >= n:
+        return True, "darker"
+    return False, None
+
+
+class SoftwareFastDetector:
+    """Image-level FAST-16 detector with the optional high-speed pretest.
+
+    Parameters
+    ----------
+    threshold : float
+        Intensity margin ``t``.
+    n : int
+        Contiguity requirement (9..16; the original FAST uses 12).
+    use_high_speed_test : bool
+        Apply Rosten's 4-pixel rejection pretest (positions 1, 5, 9, 13)
+        before the full segment test; valid only for ``n >= 12``.
+    """
+
+    def __init__(self, threshold=30.0, n=9, use_high_speed_test=True):
+        if not 1 <= n <= 16:
+            raise ValueError("n must be in [1, 16]")
+        self.threshold = float(threshold)
+        self.n = int(n)
+        self.use_high_speed_test = bool(use_high_speed_test) and n >= 12
+        #: statistics of the last detect() call
+        self.last_stats = {}
+
+    def _high_speed_reject(self, center, circle):
+        compass = circle[[0, 4, 8, 12]]
+        brighter = np.sum(compass > center + self.threshold)
+        darker = np.sum(compass < center - self.threshold)
+        return brighter < 3 and darker < 3
+
+    def is_corner(self, image, row, col):
+        """Segment-test one pixel of an image."""
+        center = float(np.asarray(image)[row, col])
+        circle = circle_intensities(image, row, col)
+        if self.use_high_speed_test and self._high_speed_reject(center,
+                                                                circle):
+            return False
+        detected, _kind = segment_test(center, circle, self.threshold,
+                                       n=self.n)
+        return detected
+
+    def detect(self, image):
+        """All corner pixels of ``image`` as a list of (row, col).
+
+        Also records comparison-count statistics in ``last_stats`` for the
+        power/throughput models.
+        """
+        corners = []
+        pixels = 0
+        full_tests = 0
+        for row, col in interior_pixels(image):
+            pixels += 1
+            center = float(np.asarray(image)[row, col])
+            circle = circle_intensities(image, row, col)
+            if self.use_high_speed_test and self._high_speed_reject(center,
+                                                                    circle):
+                continue
+            full_tests += 1
+            detected, _kind = segment_test(center, circle, self.threshold,
+                                           n=self.n)
+            if detected:
+                corners.append((row, col))
+        self.last_stats = {
+            "pixels": pixels,
+            "full_segment_tests": full_tests,
+            "corners": len(corners),
+        }
+        return corners

@@ -1,0 +1,156 @@
+"""Frequency-locking analysis for coupled oscillator pairs (Fig. 3).
+
+"when the frequencies of two coupled oscillators are sufficiently close
+to each other the coupling elements facilitate frequency locking."
+
+This module measures that behaviour on the simulator: per-pair locking
+checks, the locking range as a function of coupling strength (the Arnold
+tongue), and the Fig. 3-style frequency-versus-detuning characteristic
+showing the locked plateau.
+"""
+
+import numpy as np
+
+from ..core.signals import cycle_frequency
+from .coupling import coupled_pair
+
+#: Default simulation protocol calibrated in DESIGN.md: coupling capacitor
+#: 30 pF, ~150 cycles with the first 60 % discarded, staggered initial
+#: phases so the pair relaxes into its anti-phase attractor.
+DEFAULT_C_C = 30e-12
+DEFAULT_CYCLES = 150
+DEFAULT_THRESHOLD = 1.0
+
+
+def _staggered_initials(network):
+    low = network.oscillators[0].v_low
+    swing = network.oscillators[0].v_high - low
+    return [low + 0.45 * swing, low + 0.70 * swing]
+
+
+def simulate_calibrated_pair(v_gs_1, v_gs_2, r_c, c_c=DEFAULT_C_C,
+                             cycles=DEFAULT_CYCLES, oscillator_kwargs=None):
+    """Simulate a pair under the calibrated readout protocol.
+
+    Returns ``(times, v1, v2)``.
+    """
+    network = coupled_pair(v_gs_1, v_gs_2, r_c=r_c, c_c=c_c,
+                           oscillator_kwargs=oscillator_kwargs)
+    period = max(osc.analytic_period() for osc in network.oscillators)
+    trajectory, _phases = network.simulate(
+        cycles * period, initial_voltages=_staggered_initials(network))
+    return (trajectory.times, trajectory.component(0),
+            trajectory.component(1))
+
+
+class LockingResult:
+    """Outcome of a pairwise locking measurement.
+
+    Attributes
+    ----------
+    locked : bool
+        True when steady-state cycle frequencies agree within ``rel_tol``.
+    freq_1, freq_2 : float or None
+        Steady-state frequencies of the two oscillators.
+    uncoupled_freq_1, uncoupled_freq_2 : float
+        Analytic free-running frequencies of the members.
+    """
+
+    def __init__(self, locked, freq_1, freq_2, uncoupled_freq_1,
+                 uncoupled_freq_2):
+        self.locked = bool(locked)
+        self.freq_1 = freq_1
+        self.freq_2 = freq_2
+        self.uncoupled_freq_1 = uncoupled_freq_1
+        self.uncoupled_freq_2 = uncoupled_freq_2
+
+    @property
+    def frequency_pull(self):
+        """How far the locked frequency moved from the mean natural one."""
+        if self.freq_1 is None:
+            return None
+        natural_mean = 0.5 * (self.uncoupled_freq_1 + self.uncoupled_freq_2)
+        return self.freq_1 - natural_mean
+
+    def __repr__(self):
+        return "LockingResult(locked=%s, f1=%s, f2=%s)" % (
+            self.locked, self.freq_1, self.freq_2)
+
+
+def check_locking(v_gs_1, v_gs_2, r_c, c_c=DEFAULT_C_C, cycles=DEFAULT_CYCLES,
+                  rel_tol=0.01, oscillator_kwargs=None):
+    """Measure whether a pair locks; returns a :class:`LockingResult`."""
+    from .relaxation import RelaxationOscillator
+
+    kwargs = dict(oscillator_kwargs or {})
+    natural_1 = RelaxationOscillator(v_gs_1, **kwargs).natural_frequency()
+    natural_2 = RelaxationOscillator(v_gs_2, **kwargs).natural_frequency()
+    times, v_1, v_2 = simulate_calibrated_pair(
+        v_gs_1, v_gs_2, r_c, c_c=c_c, cycles=cycles,
+        oscillator_kwargs=oscillator_kwargs)
+    half = len(times) // 2
+    freq_1 = cycle_frequency(times[half:], v_1[half:], DEFAULT_THRESHOLD)
+    freq_2 = cycle_frequency(times[half:], v_2[half:], DEFAULT_THRESHOLD)
+    locked = (freq_1 is not None and freq_2 is not None
+              and abs(freq_1 - freq_2) <= rel_tol * max(freq_1, freq_2))
+    return LockingResult(locked, freq_1, freq_2, natural_1, natural_2)
+
+
+def locking_curve(base_v_gs, delta_v_gs_values, r_c, c_c=DEFAULT_C_C,
+                  cycles=DEFAULT_CYCLES, oscillator_kwargs=None):
+    """Fig. 3 characteristic: coupled frequencies across a detuning sweep.
+
+    Returns a list of dicts with the detuning, both coupled frequencies,
+    both natural frequencies, and the locked flag -- inside the locking
+    range the two coupled frequencies collapse onto one plateau.
+    """
+    rows = []
+    for delta in delta_v_gs_values:
+        result = check_locking(base_v_gs, base_v_gs + delta, r_c, c_c=c_c,
+                               cycles=cycles,
+                               oscillator_kwargs=oscillator_kwargs)
+        rows.append({
+            "delta_v_gs": float(delta),
+            "locked": result.locked,
+            "coupled_freq_1": result.freq_1,
+            "coupled_freq_2": result.freq_2,
+            "natural_freq_1": result.uncoupled_freq_1,
+            "natural_freq_2": result.uncoupled_freq_2,
+        })
+    return rows
+
+
+def locking_range(base_v_gs, r_c, c_c=DEFAULT_C_C, max_delta=0.5, steps=12,
+                  cycles=DEFAULT_CYCLES, oscillator_kwargs=None):
+    """Largest detuning (in volts of delta V_gs) that still locks.
+
+    Scans detunings upward and returns the last locked value before the
+    first unlocked one (0.0 when even the smallest step unlocks).
+    """
+    deltas = np.linspace(max_delta / steps, max_delta, steps)
+    last_locked = 0.0
+    for delta in deltas:
+        result = check_locking(base_v_gs, base_v_gs + delta, r_c, c_c=c_c,
+                               cycles=cycles,
+                               oscillator_kwargs=oscillator_kwargs)
+        if not result.locked:
+            break
+        last_locked = float(delta)
+    return last_locked
+
+
+def arnold_tongue(base_v_gs, r_c_values, max_delta=0.4, steps=10,
+                  c_c=DEFAULT_C_C, cycles=DEFAULT_CYCLES,
+                  oscillator_kwargs=None):
+    """Locking range per coupling strength: the Arnold-tongue boundary.
+
+    Returns a list of ``(r_c, locking_range)`` pairs; stronger coupling
+    (smaller r_c) is expected to lock over a wider detuning range.
+    """
+    return [
+        (float(r_c), locking_range(base_v_gs, r_c, c_c=c_c,
+                                   max_delta=max_delta, steps=steps,
+                                   cycles=cycles,
+                                   oscillator_kwargs=oscillator_kwargs))
+        for r_c in r_c_values
+    ]

@@ -1,0 +1,222 @@
+"""Power models: oscillator corner-detect block vs 32 nm CMOS (Section III.B).
+
+The paper's quantitative claim: "The power consumption of the coupled
+oscillator-based block designed in this example to identify corners is
+0.936 mW (including the XOR readout), whereas the power consumption of
+the corresponding CMOS implementation at the 32 nm process node is 3 mW."
+
+Both sides are modelled from first principles with documented constants;
+the claim to reproduce is the *ratio* (~3.2x in favour of the
+oscillators), not the third decimal.
+
+**Oscillator block.**  Average supply power of one oscillator is computed
+from the simulated (or analytic piecewise-exponential) waveform:
+``P = V_dd * <I_supply>`` with ``I_supply = (V_dd - v) / R_vo2(phase)``.
+The corner-detect block holds one comparison unit per circle pixel: 16
+coupled pairs = 32 oscillators, plus the XOR readout electronics.  Device
+impedances are scaled up (capacitances down) by ``impedance_scale``
+relative to the analysis-grade parameters used elsewhere in the package;
+the scaling leaves every voltage waveform and locking property invariant
+(R*C products unchanged) while dividing current draw -- exactly how a
+low-power design point is reached in practice.
+
+**CMOS block.**  A 16-lane comparison datapath at 32 nm: per-lane
+subtract/abs/compare energy anchored to published per-op energies
+(Horowitz, ISSCC'14 scaled 45->32 nm), line-buffer SRAM accesses, window
+shift registers, run-length (contiguity) logic, clock-tree overhead, and
+leakage.  Defaults give ~3 mW at 850 MHz pixel rate.
+"""
+
+import math
+
+from ..core.exceptions import OscillatorError
+from .relaxation import RelaxationOscillator
+from .transistor import SeriesTransistor
+from .vo2 import INSULATING, METALLIC, Vo2Device
+
+
+def scaled_oscillator(v_gs=1.8, impedance_scale=1.68, v_dd=1.8):
+    """Build the low-power design point of the relaxation oscillator.
+
+    Multiplies every resistance by ``impedance_scale`` and divides every
+    capacitance by the same factor: time constants, waveforms, locking
+    behaviour and norm exponents are unchanged (the node ODE is invariant
+    under this scaling), while all currents -- and hence power -- drop by
+    the factor.
+    """
+    if impedance_scale <= 0:
+        raise OscillatorError("impedance_scale must be positive")
+    vo2 = Vo2Device(r_ins=100e3 * impedance_scale,
+                    r_met=2e3 * impedance_scale)
+    transistor = SeriesTransistor(k_n=2e-5 / impedance_scale)
+    return RelaxationOscillator(v_gs, vo2=vo2, transistor=transistor,
+                                v_dd=v_dd, c_p=100e-12 / impedance_scale)
+
+
+def oscillator_average_power(oscillator):
+    """Average supply power of one free-running oscillator, watts.
+
+    Uses the closed-form piecewise-exponential waveform: in each phase the
+    node voltage relaxes exponentially between the switching levels, and
+    the supply current is ``(v_dd - v) / R_vo2``; the time integral of an
+    exponential segment has a closed form, so no simulation is needed.
+    """
+    if not oscillator.can_oscillate():
+        raise OscillatorError("bias point does not oscillate")
+    v_dd = oscillator.v_dd
+    total_charge = 0.0
+    total_time = 0.0
+    segments = (
+        (INSULATING, oscillator.v_high, oscillator.v_low),
+        (METALLIC, oscillator.v_low, oscillator.v_high),
+    )
+    for phase, v_start, v_end in segments:
+        tau = oscillator.time_constant(phase)
+        v_inf = oscillator.equilibrium_voltage(phase)
+        r_vo2 = oscillator.vo2.resistance(phase)
+        duration = tau * math.log((v_start - v_inf) / (v_end - v_inf)) \
+            if v_start > v_inf else \
+            tau * math.log((v_inf - v_start) / (v_inf - v_end))
+        # integral of (v_dd - v(t))/R dt over the segment, with
+        # v(t) = v_inf + (v_start - v_inf) exp(-t/tau)
+        dc_part = (v_dd - v_inf) * duration
+        exp_part = (v_start - v_inf) * tau \
+            * (1.0 - math.exp(-duration / tau))
+        total_charge += (dc_part - exp_part) / r_vo2
+        total_time += duration
+    average_current = total_charge / total_time
+    return v_dd * average_current
+
+
+class OscillatorBlockPower:
+    """Power of the Fig. 6 oscillator corner-detection block.
+
+    Parameters
+    ----------
+    num_pairs : int
+        Comparison units (one per circle pixel; FAST-16 needs 16).
+    v_gs : float
+        Operating gate bias of the oscillators.
+    impedance_scale : float
+        Low-power impedance scaling (see :func:`scaled_oscillator`).
+    readout_power_per_unit : float
+        Power of one XOR readout slice (two comparators, one XOR, one
+        averaging counter) in watts.  Sized from C*V^2*f switching of a
+        handful of gates at the oscillation frequency plus comparator
+        static bias (~2 uW), dominated by the comparators.
+    """
+
+    def __init__(self, num_pairs=16, v_gs=1.8, impedance_scale=1.68,
+                 readout_power_per_unit=2e-6):
+        self.num_pairs = int(num_pairs)
+        self.v_gs = float(v_gs)
+        self.impedance_scale = float(impedance_scale)
+        self.readout_power_per_unit = float(readout_power_per_unit)
+
+    def breakdown(self):
+        """Component-wise power in watts."""
+        oscillator = scaled_oscillator(v_gs=self.v_gs,
+                                       impedance_scale=self.impedance_scale)
+        per_oscillator = oscillator_average_power(oscillator)
+        oscillator_total = 2 * self.num_pairs * per_oscillator
+        readout_total = self.num_pairs * self.readout_power_per_unit
+        return {
+            "per_oscillator_w": per_oscillator,
+            "oscillators_w": oscillator_total,
+            "xor_readout_w": readout_total,
+            "total_w": oscillator_total + readout_total,
+        }
+
+    def total_power(self):
+        """Block power in watts (including the XOR readout)."""
+        return self.breakdown()["total_w"]
+
+
+class CmosFastPower:
+    """Power of the equivalent 32 nm CMOS comparison block.
+
+    All constants are per-operation energies in joules at the 32 nm node,
+    anchored to Horowitz's ISSCC 2014 energy table (45 nm) scaled by one
+    process generation (~0.8x) and a 0.9 V supply:
+
+    * 8-bit add/subtract  ~ 0.025 pJ
+    * 8-bit compare/abs   ~ 0.015 pJ each
+    * register bit        ~ 2 fJ per clocked bit
+    * small SRAM read (8b)~ 0.15 pJ (line buffers)
+
+    The block mirrors the oscillator unit's function: 16 comparison lanes
+    (subtract + abs + compare against threshold), a 3-line pixel buffer,
+    the 7x7 window shift registers, and run-length contiguity logic, all
+    clocked at ``pixel_rate_hz`` (one pixel per cycle).
+    """
+
+    def __init__(self, num_lanes=16, pixel_rate_hz=850e6, v_dd=0.9,
+                 e_subtract=0.025e-12, e_abs=0.015e-12, e_compare=0.015e-12,
+                 e_register_bit=2e-15, e_sram_read=0.15e-12,
+                 sram_reads_per_pixel=3, window_register_bits=392,
+                 contiguity_energy=0.4e-12, clock_overhead=0.25,
+                 leakage_w=0.3e-3):
+        self.num_lanes = int(num_lanes)
+        self.pixel_rate_hz = float(pixel_rate_hz)
+        self.v_dd = float(v_dd)
+        self.e_subtract = float(e_subtract)
+        self.e_abs = float(e_abs)
+        self.e_compare = float(e_compare)
+        self.e_register_bit = float(e_register_bit)
+        self.e_sram_read = float(e_sram_read)
+        self.sram_reads_per_pixel = float(sram_reads_per_pixel)
+        # 7x7 window of 8-bit pixels = 392 clocked register bits
+        self.window_register_bits = int(window_register_bits)
+        self.contiguity_energy = float(contiguity_energy)
+        self.clock_overhead = float(clock_overhead)
+        self.leakage_w = float(leakage_w)
+
+    def energy_per_pixel(self):
+        """Dynamic energy to test one pixel, joules."""
+        lane_energy = self.num_lanes * (self.e_subtract + self.e_abs
+                                        + self.e_compare)
+        buffer_energy = self.sram_reads_per_pixel * self.e_sram_read
+        window_energy = self.window_register_bits * self.e_register_bit
+        return (lane_energy + buffer_energy + window_energy
+                + self.contiguity_energy)
+
+    def breakdown(self):
+        """Component-wise power in watts."""
+        dynamic = self.energy_per_pixel() * self.pixel_rate_hz
+        clocked = dynamic * (1.0 + self.clock_overhead)
+        return {
+            "energy_per_pixel_j": self.energy_per_pixel(),
+            "dynamic_w": dynamic,
+            "clock_tree_w": dynamic * self.clock_overhead,
+            "leakage_w": self.leakage_w,
+            "total_w": clocked + self.leakage_w,
+        }
+
+    def total_power(self):
+        """Block power in watts."""
+        return self.breakdown()["total_w"]
+
+
+def power_comparison(num_pairs=16, impedance_scale=1.68,
+                     pixel_rate_hz=850e6):
+    """The Section III.B comparison: oscillator vs CMOS block power.
+
+    Returns a dict with both totals (watts), both breakdowns, and the
+    CMOS/oscillator power ratio the paper reports as ~3 mW / 0.936 mW.
+    """
+    oscillator_block = OscillatorBlockPower(num_pairs=num_pairs,
+                                            impedance_scale=impedance_scale)
+    cmos_block = CmosFastPower(num_lanes=num_pairs,
+                               pixel_rate_hz=pixel_rate_hz)
+    oscillator = oscillator_block.breakdown()
+    cmos = cmos_block.breakdown()
+    return {
+        "oscillator_w": oscillator["total_w"],
+        "cmos_w": cmos["total_w"],
+        "ratio": cmos["total_w"] / oscillator["total_w"],
+        "oscillator_breakdown": oscillator,
+        "cmos_breakdown": cmos,
+        "paper_oscillator_w": 0.936e-3,
+        "paper_cmos_w": 3.0e-3,
+        "paper_ratio": 3.0 / 0.936,
+    }

@@ -1,0 +1,202 @@
+"""The 1T1R VO2 relaxation oscillator (Section III.A, Fig. 3's building block).
+
+Topology: supply ``v_dd`` -- VO2 device -- output node ``v`` -- series
+transistor -- ground, with node capacitance ``c_p`` to ground.  The node
+obeys
+
+    c_p dv/dt = (v_dd - v) / R_vo2(phase) - v / R_s(v_gs)
+
+with the VO2 phase switching per the hysteretic thresholds
+(:class:`repro.oscillators.vo2.Vo2Device`).  In each phase the dynamics
+are a single-pole RC relaxation, so the free-running period has a closed
+form used to cross-check the time-domain simulation:
+
+    T = tau_ins * ln((v_high - v_inf_ins) / (v_low - v_inf_ins))
+      + tau_met * ln((v_inf_met - v_low) / (v_inf_met - v_high))
+
+where ``v_low = v_dd - v_imt`` and ``v_high = v_dd - v_mit`` are the node
+voltages at the two switching events.
+"""
+
+import math
+
+import numpy as np
+
+from ..core.exceptions import DeviceModelError
+from ..core.integrators import Trajectory
+from .transistor import SeriesTransistor
+from .vo2 import INSULATING, METALLIC, Vo2Device
+
+
+class RelaxationOscillator:
+    """A single VO2/MOSFET relaxation oscillator.
+
+    Parameters
+    ----------
+    v_gs : float
+        Gate voltage of the series transistor: the oscillator's input /
+        frequency-tuning terminal (this is where Section III encodes
+        information).
+    vo2 : Vo2Device, optional
+    transistor : SeriesTransistor, optional
+    v_dd : float
+        Supply voltage, volts.
+    c_p : float
+        Output-node capacitance, farads.
+    """
+
+    def __init__(self, v_gs, vo2=None, transistor=None, v_dd=1.8, c_p=100e-12):
+        if v_dd <= 0:
+            raise DeviceModelError("v_dd must be positive")
+        if c_p <= 0:
+            raise DeviceModelError("c_p must be positive")
+        self.v_gs = float(v_gs)
+        self.vo2 = vo2 if vo2 is not None else Vo2Device()
+        self.transistor = transistor if transistor is not None \
+            else SeriesTransistor()
+        self.v_dd = float(v_dd)
+        self.c_p = float(c_p)
+        if self.vo2.v_imt >= self.v_dd:
+            raise DeviceModelError(
+                "v_imt (%g) must be below v_dd (%g) or the device never fires"
+                % (self.vo2.v_imt, self.v_dd)
+            )
+
+    # -- small-signal bookkeeping ---------------------------------------------
+
+    @property
+    def series_resistance(self):
+        """Channel resistance of the series transistor at this v_gs."""
+        return self.transistor.channel_resistance(self.v_gs)
+
+    @property
+    def v_low(self):
+        """Node voltage at the insulator->metal switching event."""
+        return self.v_dd - self.vo2.v_imt
+
+    @property
+    def v_high(self):
+        """Node voltage at the metal->insulator switching event."""
+        return self.v_dd - self.vo2.v_mit
+
+    def equilibrium_voltage(self, phase):
+        """Asymptotic node voltage if the phase were frozen."""
+        r_s = self.series_resistance
+        r_v = self.vo2.resistance(phase)
+        return self.v_dd * r_s / (r_s + r_v)
+
+    def time_constant(self, phase):
+        """RC time constant of the node in the given phase."""
+        r_s = self.series_resistance
+        r_v = self.vo2.resistance(phase)
+        parallel = r_s * r_v / (r_s + r_v)
+        return self.c_p * parallel
+
+    def can_oscillate(self):
+        """True when the load line crosses the hysteretic unstable region.
+
+        Requires the insulating-phase equilibrium to lie below the IMT
+        switch level and the metallic-phase equilibrium to lie above the
+        MIT switch level (the paper's "load line passes through the
+        unstable regions" condition).
+        """
+        return (self.equilibrium_voltage(INSULATING) < self.v_low
+                and self.equilibrium_voltage(METALLIC) > self.v_high)
+
+    def analytic_period(self):
+        """Closed-form free-running period in seconds.
+
+        Raises :class:`DeviceModelError` when the bias point does not
+        satisfy :meth:`can_oscillate`.
+        """
+        if not self.can_oscillate():
+            raise DeviceModelError(
+                "bias point v_gs=%g does not sustain oscillation" % self.v_gs
+            )
+        v_inf_ins = self.equilibrium_voltage(INSULATING)
+        v_inf_met = self.equilibrium_voltage(METALLIC)
+        t_ins = self.time_constant(INSULATING) * math.log(
+            (self.v_high - v_inf_ins) / (self.v_low - v_inf_ins))
+        t_met = self.time_constant(METALLIC) * math.log(
+            (v_inf_met - self.v_low) / (v_inf_met - self.v_high))
+        return t_ins + t_met
+
+    def natural_frequency(self):
+        """Free-running frequency in hertz (1 / analytic period)."""
+        return 1.0 / self.analytic_period()
+
+    def node_derivative(self, v, phase):
+        """Right-hand side c_p dv/dt (before dividing by c_p)."""
+        r_v = self.vo2.resistance(phase)
+        r_s = self.series_resistance
+        return ((self.v_dd - v) / r_v - v / r_s) / self.c_p
+
+    # -- time-domain simulation ------------------------------------------------
+
+    def simulate(self, t_end, dt=None, v0=None, phase0=INSULATING,
+                 record_phases=False):
+        """Integrate the oscillator; returns a :class:`Trajectory` of v(t).
+
+        The VO2 phase is a discrete state updated after every step from
+        the device voltage ``v_dd - v``.  ``dt`` defaults to 1/200 of the
+        analytic period when the bias oscillates, else to ``t_end/10000``.
+        When ``record_phases`` is true, returns ``(trajectory, phases)``
+        with one phase label per sample.
+        """
+        if v0 is None:
+            v0 = self.equilibrium_voltage(phase0) * 0.5 + self.v_low * 0.5
+        if dt is None:
+            if self.can_oscillate():
+                dt = self.analytic_period() / 200.0
+            else:
+                dt = t_end / 10000.0
+        v = float(v0)
+        phase = phase0
+        times = [0.0]
+        values = [v]
+        phases = [phase]
+        t = 0.0
+        while t < t_end - 1e-18:
+            step = min(dt, t_end - t)
+            # RK4 within the frozen phase; the phase flip is applied at the
+            # end of the step (first-order event handling, adequate at
+            # 200 samples/cycle and verified against the analytic period).
+            k1 = self.node_derivative(v, phase)
+            k2 = self.node_derivative(v + 0.5 * step * k1, phase)
+            k3 = self.node_derivative(v + 0.5 * step * k2, phase)
+            k4 = self.node_derivative(v + step * k3, phase)
+            v = v + (step / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+            t += step
+            phase = self.vo2.next_phase(phase, self.v_dd - v)
+            times.append(t)
+            values.append(v)
+            phases.append(phase)
+        trajectory = Trajectory(np.asarray(times),
+                                np.asarray(values).reshape(-1, 1),
+                                n_steps=len(times) - 1)
+        if record_phases:
+            return trajectory, phases
+        return trajectory
+
+
+def frequency_tuning_curve(v_gs_values, **oscillator_kwargs):
+    """Analytic frequency at each gate voltage; None where not oscillating.
+
+    This is the encoder's transfer function: Section III encodes input
+    values in ``v_gs``, and this curve is how a value maps to a natural
+    frequency.
+    """
+    frequencies = []
+    for v_gs in v_gs_values:
+        try:
+            oscillator = RelaxationOscillator(v_gs, **oscillator_kwargs)
+            oscillates = oscillator.can_oscillate()
+        except DeviceModelError:
+            # cut-off transistor or otherwise unphysical bias point
+            frequencies.append(None)
+            continue
+        if oscillates:
+            frequencies.append(oscillator.natural_frequency())
+        else:
+            frequencies.append(None)
+    return frequencies

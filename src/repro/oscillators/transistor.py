@@ -1,0 +1,73 @@
+"""Series MOSFET model: the frequency-tuning element of the 1T1R cell.
+
+Section III.A: "The replacement of the series resistor with a transistor
+allows control of the frequency of oscillation through the transistor
+gate voltage which adjusts the effective series resistance seen by the
+IMT device."
+
+For the oscillator's operating regime (small drain-source voltage across
+a conducting channel) the transistor is well approximated by its triode-
+region channel resistance, which is what the coupled-oscillator
+literature uses for these cells:
+
+    R_ds(Vgs) = 1 / (k_n * (Vgs - Vt))    for Vgs > Vt.
+
+The model exposes that resistance plus the square-law drain current for
+completeness; the oscillator simulation consumes ``channel_resistance``.
+"""
+
+from ..core.exceptions import DeviceModelError
+
+
+class SeriesTransistor:
+    """Square-law NMOS used as a gate-voltage-controlled series resistor.
+
+    Parameters
+    ----------
+    k_n : float
+        Transconductance parameter (A/V^2 aggregate, i.e. already
+        including W/L), sized so the mid-range Vgs gives a channel
+        resistance comparable to the VO2 insulating resistance.
+    v_threshold : float
+        Threshold voltage in volts.
+    r_min : float
+        Floor on the channel resistance (contact/series parasitics),
+        keeping the model physical at large overdrive.
+    """
+
+    def __init__(self, k_n=2e-5, v_threshold=0.4, r_min=500.0):
+        if k_n <= 0:
+            raise DeviceModelError("k_n must be positive")
+        if r_min <= 0:
+            raise DeviceModelError("r_min must be positive")
+        self.k_n = float(k_n)
+        self.v_threshold = float(v_threshold)
+        self.r_min = float(r_min)
+
+    def channel_resistance(self, v_gs):
+        """Triode channel resistance at gate-source voltage ``v_gs``.
+
+        Raises :class:`DeviceModelError` below threshold -- a cut-off
+        series transistor cannot sustain oscillation, so asking for its
+        resistance indicates a configuration error upstream.
+        """
+        overdrive = v_gs - self.v_threshold
+        if overdrive <= 0.0:
+            raise DeviceModelError(
+                "transistor cut off at v_gs=%g (Vt=%g); the oscillator "
+                "cannot run" % (v_gs, self.v_threshold)
+            )
+        return max(self.r_min, 1.0 / (self.k_n * overdrive))
+
+    def drain_current(self, v_gs, v_ds):
+        """Square-law drain current (triode/saturation selected by v_ds)."""
+        overdrive = v_gs - self.v_threshold
+        if overdrive <= 0.0 or v_ds <= 0.0:
+            return 0.0
+        if v_ds < overdrive:
+            return self.k_n * (overdrive * v_ds - 0.5 * v_ds ** 2)
+        return 0.5 * self.k_n * overdrive ** 2
+
+    def __repr__(self):
+        return ("SeriesTransistor(k_n=%g, v_threshold=%g)"
+                % (self.k_n, self.v_threshold))

@@ -1,0 +1,121 @@
+"""Vanadium dioxide (VO2) insulator-metal-transition device model.
+
+Section III.A: "VO2 undergoes a volatile and sharp Insulator-to-Metal
+Phase Transition (IMT) with an applied electrical bias.  When a resistor
+is connected in series with the VO2 such that the load line passes
+through the unstable regions of the hysteretic I-V curve, it enables
+continuous relaxation oscillations."
+
+The model is the standard compact abstraction used in the coupled-
+oscillator literature (Shukla et al., IEDM 2014): a two-state resistor
+with hysteretic switching thresholds,
+
+* insulating phase: resistance ``r_ins`` until the voltage across the
+  device exceeds ``v_imt`` (insulator -> metal transition),
+* metallic phase: resistance ``r_met`` until the device voltage falls
+  below ``v_mit`` (metal -> insulator transition), with
+  ``v_mit < v_imt`` (hysteresis window).
+
+Switching is treated as instantaneous relative to the RC time scales of
+the oscillator, which is the regime the paper's devices operate in.
+"""
+
+from ..core.exceptions import DeviceModelError
+
+#: Discrete phases of the device.
+INSULATING = "insulating"
+METALLIC = "metallic"
+
+
+class Vo2Device:
+    """A hysteretic two-state VO2 resistor.
+
+    Parameters
+    ----------
+    r_ins : float
+        Insulating-phase resistance in ohms (large).
+    r_met : float
+        Metallic-phase resistance in ohms (small).
+    v_imt : float
+        Device voltage triggering the insulator->metal transition, volts.
+    v_mit : float
+        Device voltage triggering the metal->insulator transition, volts.
+        Must satisfy ``0 < v_mit < v_imt``.
+
+    Default values follow published hybrid VO2/MOSFET oscillator
+    parameters (r_ins ~ 100 kOhm, r_met ~ 1-5 kOhm, transition voltages
+    around one volt with a few-hundred-mV hysteresis window).
+    """
+
+    def __init__(self, r_ins=100e3, r_met=2e3, v_imt=1.1, v_mit=0.5):
+        if r_ins <= r_met:
+            raise DeviceModelError(
+                "insulating resistance (%g) must exceed metallic (%g)"
+                % (r_ins, r_met)
+            )
+        if r_met <= 0:
+            raise DeviceModelError("metallic resistance must be positive")
+        if not 0.0 < v_mit < v_imt:
+            raise DeviceModelError(
+                "need 0 < v_mit (%g) < v_imt (%g) for hysteresis"
+                % (v_mit, v_imt)
+            )
+        self.r_ins = float(r_ins)
+        self.r_met = float(r_met)
+        self.v_imt = float(v_imt)
+        self.v_mit = float(v_mit)
+
+    def resistance(self, phase):
+        """Resistance in the given discrete phase."""
+        if phase == INSULATING:
+            return self.r_ins
+        if phase == METALLIC:
+            return self.r_met
+        raise DeviceModelError("unknown VO2 phase %r" % phase)
+
+    def conductance(self, phase):
+        """Conductance in the given discrete phase."""
+        return 1.0 / self.resistance(phase)
+
+    def next_phase(self, phase, device_voltage):
+        """Phase after observing ``device_voltage`` across the device.
+
+        Implements the hysteresis: an insulating device switches metallic
+        above ``v_imt``; a metallic device switches insulating below
+        ``v_mit``; otherwise the phase persists.
+        """
+        if phase == INSULATING and device_voltage >= self.v_imt:
+            return METALLIC
+        if phase == METALLIC and device_voltage <= self.v_mit:
+            return INSULATING
+        if phase not in (INSULATING, METALLIC):
+            raise DeviceModelError("unknown VO2 phase %r" % phase)
+        return phase
+
+    def current(self, phase, device_voltage):
+        """Ohmic current through the device in the given phase."""
+        return device_voltage / self.resistance(phase)
+
+    def iv_curve(self, voltages):
+        """Quasi-static hysteretic I-V sweep (up then down).
+
+        Returns ``(up_currents, down_currents)`` for the given ascending
+        voltage array: the up sweep starts insulating, the down sweep
+        starts from the final up-sweep phase.  Used to visualize the
+        "unstable region" the series load line must cross.
+        """
+        phase = INSULATING
+        up = []
+        for v in voltages:
+            phase = self.next_phase(phase, v)
+            up.append(self.current(phase, v))
+        down = []
+        for v in reversed(list(voltages)):
+            phase = self.next_phase(phase, v)
+            down.append(self.current(phase, v))
+        down.reverse()
+        return up, down
+
+    def __repr__(self):
+        return ("Vo2Device(r_ins=%g, r_met=%g, v_imt=%g, v_mit=%g)"
+                % (self.r_ins, self.r_met, self.v_imt, self.v_mit))

@@ -1,0 +1,87 @@
+"""Quantum computing as an accelerator (Section II of the paper).
+
+Layered exactly as Fig. 2 prescribes:
+
+* application / algorithms -- :mod:`repro.quantum.algorithms`
+* language -- :mod:`repro.quantum.qasm`
+* compiler (mapping + routing) -- :mod:`repro.quantum.compiler`
+* runtime -- :mod:`repro.quantum.runtime`
+* micro-architecture -- :mod:`repro.quantum.microarch`
+* chip (simulated) -- :mod:`repro.quantum.state`
+
+and the Fig. 1 heterogeneous host model in :mod:`repro.quantum.hetero`.
+"""
+
+from .accelerator import QuantumAccelerator, StackReport
+from .adiabatic import (
+    AdiabaticResult,
+    anneal_quantum,
+    ising_diagonal,
+    success_vs_annealing_time,
+)
+from .density import DensityMatrix, bell_agreement_exact
+from .circuit import GateOp, MeasureOp, QuantumCircuit
+from .compiler import (
+    CompiledCircuit,
+    GridTopology,
+    LinearTopology,
+    compile_circuit,
+    decompose,
+    optimize,
+    route,
+    verify_equivalence,
+)
+from .hetero import (
+    Device,
+    DispatchReport,
+    HeterogeneousSystem,
+    Task,
+    default_devices,
+    example_workload,
+)
+from .microarch import ExecutionResult, Instruction, MicroArchitecture, assemble
+from .noise import (
+    DepolarizingNoise,
+    NoisyMicroArchitecture,
+    bell_fidelity_vs_noise,
+)
+from .runtime import QuantumRuntime, ShotResult
+from .state import StateVector
+
+__all__ = [
+    "QuantumAccelerator",
+    "StackReport",
+    "AdiabaticResult",
+    "anneal_quantum",
+    "ising_diagonal",
+    "success_vs_annealing_time",
+    "DensityMatrix",
+    "bell_agreement_exact",
+    "GateOp",
+    "MeasureOp",
+    "QuantumCircuit",
+    "CompiledCircuit",
+    "GridTopology",
+    "LinearTopology",
+    "compile_circuit",
+    "decompose",
+    "optimize",
+    "route",
+    "verify_equivalence",
+    "Device",
+    "DispatchReport",
+    "HeterogeneousSystem",
+    "Task",
+    "default_devices",
+    "example_workload",
+    "DepolarizingNoise",
+    "NoisyMicroArchitecture",
+    "bell_fidelity_vs_noise",
+    "ExecutionResult",
+    "Instruction",
+    "MicroArchitecture",
+    "assemble",
+    "QuantumRuntime",
+    "ShotResult",
+    "StateVector",
+]

@@ -1,0 +1,161 @@
+"""Adiabatic quantum computation (the paper's intro, ref. [35]).
+
+"quantum computing [34] and adiabatic computation [35] are some of the
+better known emerging computing technologies which use quantum
+mechanical properties to resolve classical problems."
+
+The adiabatic model evolves a register under the interpolating
+Hamiltonian
+
+    H(s) = (1 - s) * H_driver + s * H_problem,   s: 0 -> 1
+
+with ``H_driver = -sum_i X_i`` (transverse field, ground state |+...+>)
+and ``H_problem`` the diagonal Ising cost whose ground state encodes the
+answer.  By the adiabatic theorem, slow evolution keeps the register in
+the instantaneous ground state; measuring at s = 1 reads the optimum.
+
+The simulator integrates the Schrodinger equation with a first-order
+split-operator (Trotter) scheme: the diagonal problem propagator is
+exact per step, the driver propagator factorizes into single-qubit X
+rotations.  Dense statevector scale (<= ~16 spins) -- enough to study
+success probability vs annealing time and to compare against simulated
+annealing and the DMM on identical Ising instances (the paper's D-Wave
+references make this comparison canonical).
+"""
+
+import math
+
+import numpy as np
+
+from ..core.exceptions import QuantumError
+from ..core.rngs import make_rng
+from ..core.sat_instances import ising_energy
+from . import gates
+from .state import StateVector
+
+
+def ising_diagonal(couplings, num_spins, fields=None):
+    """Energy of every computational basis state, as a vector.
+
+    Basis state bit b_i = 1 encodes spin s_i = +1 (bit 0 -> s = -1).
+    """
+    if num_spins > 20:
+        raise QuantumError("diagonal construction limited to 20 spins")
+    size = 2 ** num_spins
+    indices = np.arange(size)
+    spins = np.where((indices[:, None] >> np.arange(num_spins)) & 1,
+                     1.0, -1.0)
+    energies = np.zeros(size)
+    for (i, j), coupling in couplings.items():
+        energies += coupling * spins[:, i] * spins[:, j]
+    if fields is not None:
+        energies += spins @ np.asarray(fields, dtype=float)
+    return energies
+
+
+class AdiabaticResult:
+    """Outcome of one annealing run.
+
+    Attributes
+    ----------
+    spins : numpy.ndarray
+        Measured +-1 configuration.
+    energy : float
+        Its Ising energy.
+    ground_energy : float
+        Exact ground energy of the problem Hamiltonian (from the
+        diagonal -- available because the register is simulable).
+    success_probability : float
+        Probability mass on ground states in the final wavefunction.
+    total_time : float
+        Annealing time T used.
+    steps : int
+        Trotter steps taken.
+    """
+
+    def __init__(self, spins, energy, ground_energy, success_probability,
+                 total_time, steps):
+        self.spins = spins
+        self.energy = float(energy)
+        self.ground_energy = float(ground_energy)
+        self.success_probability = float(success_probability)
+        self.total_time = float(total_time)
+        self.steps = int(steps)
+
+    @property
+    def reached_ground(self):
+        """True when the measured state attains the ground energy."""
+        return self.energy <= self.ground_energy + 1e-9
+
+    def __repr__(self):
+        return ("AdiabaticResult(energy=%g, ground=%g, p_success=%.3f)"
+                % (self.energy, self.ground_energy,
+                   self.success_probability))
+
+
+def anneal_quantum(couplings, num_spins, fields=None, total_time=20.0,
+                   steps=400, rng=None):
+    """Adiabatically evolve and measure an Ising problem register.
+
+    Parameters
+    ----------
+    couplings, fields :
+        The Ising problem (same conventions as
+        :func:`repro.core.sat_instances.ising_energy`).
+    total_time : float
+        Annealing time T (larger = more adiabatic = higher success).
+    steps : int
+        First-order Trotter steps.
+
+    Returns an :class:`AdiabaticResult`.
+    """
+    if num_spins < 1:
+        raise QuantumError("need at least one spin")
+    if num_spins > 14:
+        raise QuantumError("adiabatic simulator limited to 14 spins")
+    if total_time <= 0 or steps < 1:
+        raise QuantumError("total_time and steps must be positive")
+    rng = make_rng(rng)
+    diagonal = ising_diagonal(couplings, num_spins, fields)
+    ground_energy = float(diagonal.min())
+    ground_mask = np.isclose(diagonal, ground_energy)
+
+    # start in the driver ground state |+...+>
+    size = 2 ** num_spins
+    state = StateVector(num_spins,
+                        np.full(size, 1.0 / math.sqrt(size), dtype=complex))
+    dt = total_time / steps
+    for step in range(steps):
+        s = (step + 0.5) / steps
+        # problem propagator: exact diagonal phase
+        state.amplitudes *= np.exp(-1j * s * diagonal * dt)
+        # driver propagator: product of single-qubit X rotations
+        # exp(+i (1-s) dt X) == rx(-2 (1-s) dt)
+        rotation = gates.rx(-2.0 * (1.0 - s) * dt)
+        for qubit in range(num_spins):
+            state.apply_gate(rotation, [qubit])
+    probabilities = state.probabilities()
+    success_probability = float(probabilities[ground_mask].sum())
+    outcome = int(rng.choice(size, p=probabilities / probabilities.sum()))
+    spins = np.where((outcome >> np.arange(num_spins)) & 1, 1, -1)
+    energy = ising_energy(couplings, spins, fields)
+    return AdiabaticResult(spins, energy, ground_energy,
+                           success_probability, total_time, steps)
+
+
+def success_vs_annealing_time(couplings, num_spins, times, fields=None,
+                              steps_per_unit_time=25, rng=None):
+    """The adiabatic theorem made visible: p_success vs annealing time T.
+
+    Returns ``[(T, success_probability)]``; slow enough evolution pushes
+    the success probability toward 1.
+    """
+    rng = make_rng(rng)
+    rows = []
+    for total_time in times:
+        steps = max(50, int(steps_per_unit_time * total_time))
+        result = anneal_quantum(couplings, num_spins, fields=fields,
+                                total_time=total_time, steps=steps,
+                                rng=rng)
+        rows.append((float(total_time), result.success_probability))
+    return rows

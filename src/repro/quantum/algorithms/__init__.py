@@ -1,0 +1,49 @@
+"""Application-layer algorithms for the quantum accelerator (Section II.C).
+
+The paper names cryptography (Shor) and genomics (DNA similarity) as the
+candidate killer applications; Grover search and the QFT are the reusable
+kernels underneath them.
+"""
+
+from .dna import (
+    DnaSimilarityResult,
+    edit_distance,
+    encode_sequence,
+    grover_pattern_search,
+    kmer_similarity,
+    quantum_similarity,
+)
+from .grover import grover_circuit, grover_iterations, grover_search
+from .oracles import (
+    bernstein_vazirani_circuit,
+    deutsch_jozsa_circuit,
+    run_bernstein_vazirani,
+    run_deutsch_jozsa,
+)
+from .qft import inverse_qft_circuit, qft_circuit
+from .qpe import estimate_phase, phase_as_fraction, phase_estimation_circuit
+from .shor import ShorResult, continued_fraction_convergents, shor_factor
+
+__all__ = [
+    "DnaSimilarityResult",
+    "edit_distance",
+    "encode_sequence",
+    "grover_pattern_search",
+    "kmer_similarity",
+    "quantum_similarity",
+    "grover_circuit",
+    "grover_iterations",
+    "grover_search",
+    "bernstein_vazirani_circuit",
+    "deutsch_jozsa_circuit",
+    "run_bernstein_vazirani",
+    "run_deutsch_jozsa",
+    "inverse_qft_circuit",
+    "qft_circuit",
+    "estimate_phase",
+    "phase_as_fraction",
+    "phase_estimation_circuit",
+    "ShorResult",
+    "continued_fraction_convergents",
+    "shor_factor",
+]

@@ -1,0 +1,52 @@
+"""Quantum Fourier transform circuits.
+
+The QFT is the workhorse kernel behind Shor's period finding.  Circuits
+follow the textbook construction: Hadamard plus controlled phases, then a
+qubit-order reversal implemented with SWAPs (omittable when the caller
+accounts for bit reversal classically, as Shor's post-processing does).
+"""
+
+import math
+
+from ..circuit import QuantumCircuit
+
+
+def qft_circuit(num_qubits, with_swaps=True, name="qft"):
+    """Build the QFT on ``num_qubits`` qubits.
+
+    Convention: the QFT maps ``|x>`` to ``(1/sqrt(2^n)) sum_y exp(2 pi i
+    x y / 2^n) |y>`` with qubit 0 as the least-significant bit of ``x``.
+
+    Parameters
+    ----------
+    num_qubits : int
+        Register width.
+    with_swaps : bool
+        Append the final qubit-reversal SWAP network (default).  Without
+        it the output register is bit-reversed.
+    """
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for distance, control in enumerate(reversed(range(target)), start=1):
+            circuit.cp(control, target, math.pi / (2 ** distance))
+    if with_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    return circuit
+
+
+def inverse_qft_circuit(num_qubits, with_swaps=True, name="iqft"):
+    """Build the inverse QFT (adjoint of :func:`qft_circuit`)."""
+    circuit = QuantumCircuit(num_qubits, name=name)
+    if with_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    for target in range(num_qubits):
+        # conjugated controlled phases; they are diagonal and commute,
+        # so any order within a target is equivalent
+        for control in range(target):
+            distance = target - control
+            circuit.cp(control, target, -math.pi / (2 ** distance))
+        circuit.h(target)
+    return circuit

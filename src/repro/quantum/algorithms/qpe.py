@@ -1,0 +1,88 @@
+"""Quantum phase estimation as a standalone kernel.
+
+Shor's order finding (:mod:`repro.quantum.algorithms.shor`) embeds phase
+estimation; this module exposes it directly as a library utility: given
+a unitary and one of its eigenstates, estimate the eigenphase to ``t``
+bits.  Besides being useful on its own, it pins down the Fourier-basis
+conventions the rest of the algorithm layer relies on.
+"""
+
+import fractions
+
+import numpy as np
+
+from ...core.exceptions import QuantumError
+from ...core.rngs import make_rng
+from ..circuit import QuantumCircuit
+from ..gates import controlled, is_unitary
+from .qft import inverse_qft_circuit
+
+
+def phase_estimation_circuit(unitary, num_counting, eigenstate=None):
+    """Build the QPE circuit for ``unitary`` with ``num_counting`` bits.
+
+    Register layout: qubits ``0..t-1`` count; the work register follows.
+    ``eigenstate`` (optional amplitude vector) is loaded onto the work
+    register via a state-preparation macro; default is ``|0...0>``.
+    Returns ``(circuit, t, work_width)``.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if not is_unitary(unitary):
+        raise QuantumError("phase estimation needs a unitary matrix")
+    dim = unitary.shape[0]
+    work_width = int(np.log2(dim))
+    if 2 ** work_width != dim:
+        raise QuantumError("unitary dimension must be a power of two")
+    if num_counting < 1:
+        raise QuantumError("need at least one counting qubit")
+    total = num_counting + work_width
+    circuit = QuantumCircuit(total, name="qpe(t=%d)" % num_counting)
+    work = list(range(num_counting, total))
+    if eigenstate is not None:
+        eigenstate = np.asarray(eigenstate, dtype=complex)
+        if eigenstate.shape != (dim,):
+            raise QuantumError("eigenstate length mismatch")
+        norm = np.linalg.norm(eigenstate)
+        if abs(norm - 1.0) > 1e-8:
+            raise QuantumError("eigenstate must be normalized")
+        # complete to a unitary whose first column is the eigenstate
+        seed = np.random.default_rng(0).normal(size=(dim, dim)) \
+            + 1j * np.random.default_rng(1).normal(size=(dim, dim))
+        seed[:, 0] = eigenstate
+        q_matrix, r_matrix = np.linalg.qr(seed)
+        q_matrix[:, 0] *= r_matrix[0, 0] / abs(r_matrix[0, 0])
+        circuit.unitary(q_matrix, work, name="load_eigenstate")
+    for qubit in range(num_counting):
+        circuit.h(qubit)
+    power = unitary
+    for k in range(num_counting):
+        circuit.unitary(controlled(power), [k] + work,
+                        name="c-U^%d" % (2 ** k))
+        power = power @ power
+    iqft = inverse_qft_circuit(num_counting)
+    for op in iqft.ops:
+        circuit.append(op)
+    for qubit in range(num_counting):
+        circuit.measure(qubit, "c%d" % qubit)
+    return circuit, num_counting, work_width
+
+
+def estimate_phase(unitary, eigenstate, num_counting=6, rng=None):
+    """Estimate the eigenphase ``phi`` in ``U|psi> = e^{2 pi i phi}|psi>``.
+
+    Returns ``(phi_estimate, raw_measurement)`` with ``phi`` in [0, 1);
+    resolution is ``2^-num_counting``.
+    """
+    rng = make_rng(rng)
+    circuit, t, _w = phase_estimation_circuit(unitary, num_counting,
+                                              eigenstate=eigenstate)
+    _state, cbits = circuit.run(rng=rng)
+    measured = 0
+    for qubit in range(t):
+        measured |= cbits["c%d" % qubit] << qubit
+    return measured / 2 ** t, measured
+
+
+def phase_as_fraction(phi, max_denominator=64):
+    """Round an estimated phase to the nearest small fraction."""
+    return fractions.Fraction(phi).limit_denominator(max_denominator)

@@ -1,0 +1,219 @@
+"""Shor's factoring algorithm (Section II.C's cryptography application).
+
+"algorithms such as Shor's factorization have shown that a quantum
+computer has the potential to break any RSA-based encryption" -- this
+module implements the full pipeline:
+
+1. classical reductions (even / prime-power / lucky-gcd shortcuts),
+2. quantum order finding: phase estimation over the unitary
+   ``U_a |x> = |a x mod N>`` built from permutation macros,
+3. classical continued-fraction post-processing of the measured phase,
+4. factor extraction from the recovered order.
+
+The modular-multiplication unitaries are permutation macros (see
+``StateVector.apply_permutation``): dense matrices for them would be
+astronomically wasteful, and real proposals compile them from arithmetic
+circuits anyway -- the *instruction stream* shape is preserved.
+"""
+
+import fractions
+import math
+
+import numpy as np
+
+from ...core.exceptions import QuantumError
+from ...core.rngs import make_rng
+from ..circuit import QuantumCircuit
+from .qft import inverse_qft_circuit
+
+
+def continued_fraction_convergents(numerator, denominator):
+    """All convergents p/q of ``numerator/denominator`` as Fraction list."""
+    convergents = []
+    coefficients = []
+    num, den = numerator, denominator
+    while den:
+        quotient = num // den
+        coefficients.append(quotient)
+        num, den = den, num - quotient * den
+        frac = fractions.Fraction(0)
+        for coefficient in reversed(coefficients):
+            frac = fractions.Fraction(1, 1) / frac if frac else fractions.Fraction(0)
+            frac = coefficient + frac
+        convergents.append(fractions.Fraction(frac))
+    return convergents
+
+
+def _modmul_permutation(multiplier, modulus, num_bits):
+    """Permutation table for ``x -> multiplier * x mod modulus``.
+
+    States ``>= modulus`` (invalid register values) are left as a shifted
+    identity so the table remains a proper permutation.
+    """
+    size = 2 ** num_bits
+    table = np.arange(size, dtype=np.int64)
+    for x in range(modulus):
+        table[x] = (multiplier * x) % modulus
+    # ensure bijectivity: values >= modulus map to themselves (identity),
+    # which they already do; the sub-table on [0, modulus) is a bijection
+    # because gcd(multiplier, modulus) == 1.
+    return table
+
+
+def order_finding_circuit(a, modulus, num_count_qubits=None):
+    """Phase-estimation circuit for the order of ``a`` modulo ``modulus``.
+
+    Layout: qubits ``[0, t)`` are the counting register; qubits
+    ``[t, t + n)`` are the work register initialized to ``|1>``.
+    Returns ``(circuit, t, n)``.
+    """
+    if math.gcd(a, modulus) != 1:
+        raise QuantumError("a=%d shares a factor with N=%d" % (a, modulus))
+    n = max(1, (modulus - 1).bit_length())
+    t = num_count_qubits if num_count_qubits is not None else 2 * n
+    circuit = QuantumCircuit(t + n, name="order_finding(a=%d,N=%d)" % (a, modulus))
+    # work register |1>
+    circuit.x(t)
+    # superpose the counting register
+    for q in range(t):
+        circuit.h(q)
+    # controlled U^{2^k}: permutation macro controlled on counting qubit k.
+    work = list(range(t, t + n))
+    for k in range(t):
+        power = pow(a, 2 ** k, modulus)
+        table = _modmul_permutation(power, modulus, n)
+        # controlled permutation over [count_k] + work: when the control
+        # bit (local LSB) is 0 identity, when 1 apply the table.
+        size = 2 ** (n + 1)
+        controlled = np.arange(size, dtype=np.int64)
+        ones = np.arange(1, size, 2)  # local states with control bit set
+        controlled[ones] = table[(ones - 1) // 2] * 2 + 1
+        circuit.permutation(controlled, [k] + work,
+                            name="c-modmul(%d^%d)" % (a, 2 ** k))
+    # inverse QFT on the counting register
+    iqft = inverse_qft_circuit(t)
+    for op in iqft.ops:
+        circuit.append(op)
+    for q in range(t):
+        circuit.measure(q, "c%d" % q)
+    return circuit, t, n
+
+
+def find_order(a, modulus, rng=None, max_attempts=10, runner=None):
+    """Quantum order finding with classical post-processing.
+
+    ``runner(circuit) -> int`` executes the circuit and returns the
+    measured counting-register value; the default samples the library's
+    reference simulator once.  Returns the order ``r`` or ``None`` after
+    ``max_attempts`` failed phase readings.
+    """
+    rng = make_rng(rng)
+
+    def default_runner(circuit, t):
+        _state, cbits = circuit.run(rng=rng)
+        value = 0
+        for q in range(t):
+            value |= cbits["c%d" % q] << q
+        return value
+
+    for _ in range(max_attempts):
+        circuit, t, _n = order_finding_circuit(a, modulus)
+        if runner is not None:
+            measured = runner(circuit)
+        else:
+            measured = default_runner(circuit, t)
+        if measured == 0:
+            continue
+        for convergent in continued_fraction_convergents(measured, 2 ** t):
+            r = convergent.denominator
+            if r == 0 or r >= modulus:
+                continue
+            if pow(a, r, modulus) == 1:
+                return r
+    return None
+
+
+class ShorResult:
+    """Outcome of a full factoring run.
+
+    Attributes
+    ----------
+    n : int
+        The number factored.
+    factors : tuple or None
+        Non-trivial factor pair, or None on failure.
+    method : str
+        "classical-shortcut" or "quantum-order-finding".
+    attempts : int
+        Number of random bases tried.
+    orders_found : list
+        The (a, r) pairs recovered along the way.
+    """
+
+    def __init__(self, n, factors, method, attempts, orders_found):
+        self.n = n
+        self.factors = factors
+        self.method = method
+        self.attempts = attempts
+        self.orders_found = list(orders_found)
+
+    @property
+    def succeeded(self):
+        """True when a non-trivial factorization was produced."""
+        return self.factors is not None
+
+    def __repr__(self):
+        return "ShorResult(n=%d, factors=%r, method=%s)" % (
+            self.n, self.factors, self.method)
+
+
+def _perfect_power(n):
+    """Return (base, exponent) when n = base**exponent with exponent > 1."""
+    for exponent in range(2, n.bit_length() + 1):
+        base = round(n ** (1.0 / exponent))
+        for candidate in (base - 1, base, base + 1):
+            if candidate > 1 and candidate ** exponent == n:
+                return candidate, exponent
+    return None
+
+
+def shor_factor(n, rng=None, max_base_attempts=20):
+    """Factor ``n`` via Shor's algorithm; returns a :class:`ShorResult`.
+
+    Classical shortcuts handle even numbers and perfect powers; otherwise
+    random bases are tried through quantum order finding until an even
+    order with ``a^{r/2} != -1 (mod n)`` yields factors.
+    """
+    if n < 4:
+        raise QuantumError("n must be a composite >= 4")
+    if n % 2 == 0:
+        return ShorResult(n, (2, n // 2), "classical-shortcut", 0, [])
+    power = _perfect_power(n)
+    if power is not None:
+        base, exponent = power
+        return ShorResult(n, (base, n // base), "classical-shortcut", 0, [])
+    rng = make_rng(rng)
+    orders = []
+    for attempt in range(1, max_base_attempts + 1):
+        a = int(rng.integers(2, n - 1))
+        shared = math.gcd(a, n)
+        if shared > 1:
+            return ShorResult(n, (shared, n // shared),
+                              "classical-shortcut", attempt, orders)
+        r = find_order(a, n, rng=rng)
+        if r is None:
+            continue
+        orders.append((a, r))
+        if r % 2 != 0:
+            continue
+        half_power = pow(a, r // 2, n)
+        if half_power == n - 1:
+            continue
+        p = math.gcd(half_power - 1, n)
+        q = math.gcd(half_power + 1, n)
+        for factor in (p, q):
+            if 1 < factor < n:
+                return ShorResult(n, (factor, n // factor),
+                                  "quantum-order-finding", attempt, orders)
+    return ShorResult(n, None, "quantum-order-finding",
+                      max_base_attempts, orders)

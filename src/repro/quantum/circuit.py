@@ -1,0 +1,331 @@
+"""Quantum circuit intermediate representation.
+
+The circuit IR sits between the algorithm layer and the compiler in the
+Fig. 2 stack: algorithms emit circuits; compiler passes rewrite them; the
+micro-architecture consumes the lowered instruction stream.
+
+Two operation kinds exist:
+
+* :class:`GateOp` -- a named unitary from the ISA (or an explicit matrix /
+  permutation for algorithm-level blocks such as modular multiplication).
+* :class:`MeasureOp` -- projective measurement of one qubit into a named
+  classical bit.
+"""
+
+import numpy as np
+
+from ..core.exceptions import QuantumError, QubitIndexError
+from ..core.rngs import make_rng
+from . import gates
+from .state import StateVector
+
+
+class GateOp:
+    """A unitary operation on one or more qubits.
+
+    Exactly one of the following backs the operation:
+
+    * ``name`` in the ISA registry (with ``params``),
+    * an explicit ``matrix``,
+    * a ``permutation`` array over the operand subspace.
+    """
+
+    __slots__ = ("name", "qubits", "params", "matrix", "permutation")
+
+    def __init__(self, name, qubits, params=(), matrix=None, permutation=None):
+        self.name = name
+        self.qubits = tuple(int(q) for q in qubits)
+        self.params = tuple(float(p) for p in params)
+        self.matrix = None if matrix is None else np.asarray(matrix, dtype=complex)
+        self.permutation = None if permutation is None \
+            else np.asarray(permutation, dtype=np.int64)
+        if self.matrix is None and self.permutation is None:
+            # must resolve from the ISA
+            arity = gates.gate_arity(name)
+            if arity != len(self.qubits):
+                raise QuantumError(
+                    "gate %r wants %d qubits, got %d"
+                    % (name, arity, len(self.qubits))
+                )
+
+    @property
+    def is_primitive(self):
+        """True when the op is a named ISA gate (executable by the uarch)."""
+        return self.matrix is None and self.permutation is None
+
+    def resolved_matrix(self):
+        """The dense unitary for this op (built on demand)."""
+        if self.matrix is not None:
+            return self.matrix
+        if self.permutation is not None:
+            dim = len(self.permutation)
+            matrix = np.zeros((dim, dim), dtype=complex)
+            matrix[self.permutation, np.arange(dim)] = 1.0
+            return matrix
+        return gates.gate_matrix(self.name, self.params)
+
+    def remapped(self, layout):
+        """Return a copy with qubits translated through ``layout`` (dict)."""
+        return GateOp(self.name, [layout[q] for q in self.qubits],
+                      params=self.params, matrix=self.matrix,
+                      permutation=self.permutation)
+
+    def __repr__(self):
+        if self.params:
+            return "GateOp(%s%s, qubits=%s)" % (
+                self.name, list(self.params), list(self.qubits))
+        return "GateOp(%s, qubits=%s)" % (self.name, list(self.qubits))
+
+
+class MeasureOp:
+    """Projective measurement of ``qubit`` into classical bit ``cbit``."""
+
+    __slots__ = ("qubit", "cbit")
+
+    def __init__(self, qubit, cbit):
+        self.qubit = int(qubit)
+        self.cbit = str(cbit)
+
+    def remapped(self, layout):
+        """Return a copy with the qubit translated through ``layout``."""
+        return MeasureOp(layout[self.qubit], self.cbit)
+
+    def __repr__(self):
+        return "MeasureOp(q%d -> %s)" % (self.qubit, self.cbit)
+
+
+class QuantumCircuit:
+    """An ordered list of operations on ``num_qubits`` qubits.
+
+    Provides fluent builders for the ISA gates plus matrix/permutation
+    escape hatches for algorithm-level blocks, and a reference simulator
+    (:meth:`run`) used as ground truth by the compiler's equivalence
+    checks.
+    """
+
+    def __init__(self, num_qubits, name="circuit"):
+        if num_qubits < 1:
+            raise QuantumError("circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = str(name)
+        self.ops = []
+
+    # -- builders -----------------------------------------------------------
+
+    def _check(self, qubits):
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise QubitIndexError(
+                    "qubit %d out of range for %d-qubit circuit"
+                    % (q, self.num_qubits)
+                )
+
+    def append(self, op):
+        """Append a prepared :class:`GateOp` / :class:`MeasureOp`."""
+        if isinstance(op, GateOp):
+            self._check(op.qubits)
+        elif isinstance(op, MeasureOp):
+            self._check([op.qubit])
+        else:
+            raise TypeError("expected GateOp or MeasureOp, got %r" % (op,))
+        self.ops.append(op)
+        return self
+
+    def gate(self, name, *qubits, params=()):
+        """Append a named ISA gate."""
+        self._check(qubits)
+        self.ops.append(GateOp(name, qubits, params=params))
+        return self
+
+    def i(self, q):
+        """Identity (explicit no-op used for timing studies)."""
+        return self.gate("i", q)
+
+    def x(self, q):
+        """Pauli-X."""
+        return self.gate("x", q)
+
+    def y(self, q):
+        """Pauli-Y."""
+        return self.gate("y", q)
+
+    def z(self, q):
+        """Pauli-Z."""
+        return self.gate("z", q)
+
+    def h(self, q):
+        """Hadamard."""
+        return self.gate("h", q)
+
+    def s(self, q):
+        """Phase gate S."""
+        return self.gate("s", q)
+
+    def sdg(self, q):
+        """S-dagger."""
+        return self.gate("sdg", q)
+
+    def t(self, q):
+        """T gate."""
+        return self.gate("t", q)
+
+    def tdg(self, q):
+        """T-dagger."""
+        return self.gate("tdg", q)
+
+    def rx(self, q, theta):
+        """X rotation."""
+        return self.gate("rx", q, params=(theta,))
+
+    def ry(self, q, theta):
+        """Y rotation."""
+        return self.gate("ry", q, params=(theta,))
+
+    def rz(self, q, theta):
+        """Z rotation."""
+        return self.gate("rz", q, params=(theta,))
+
+    def p(self, q, lam):
+        """Phase gate diag(1, e^{i lam})."""
+        return self.gate("p", q, params=(lam,))
+
+    def cnot(self, control, target):
+        """Controlled-NOT (control listed first)."""
+        return self.gate("cnot", control, target)
+
+    def cz(self, control, target):
+        """Controlled-Z."""
+        return self.gate("cz", control, target)
+
+    def swap(self, a, b):
+        """SWAP."""
+        return self.gate("swap", a, b)
+
+    def cp(self, control, target, lam):
+        """Controlled phase."""
+        return self.gate("cp", control, target, params=(lam,))
+
+    def toffoli(self, c1, c2, target):
+        """Toffoli (CCX); controls listed first."""
+        return self.gate("toffoli", c1, c2, target)
+
+    def unitary(self, matrix, qubits, name="unitary"):
+        """Append an explicit unitary block on ``qubits``."""
+        self._check(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if not gates.is_unitary(matrix):
+            raise QuantumError("matrix for %r is not unitary" % name)
+        self.ops.append(GateOp(name, qubits, matrix=matrix))
+        return self
+
+    def permutation(self, mapping, qubits, name="perm"):
+        """Append a classical-permutation unitary block on ``qubits``."""
+        self._check(qubits)
+        self.ops.append(GateOp(name, qubits, permutation=mapping))
+        return self
+
+    def measure(self, qubit, cbit=None):
+        """Measure ``qubit`` into classical bit ``cbit`` (default ``c<q>``)."""
+        self._check([qubit])
+        if cbit is None:
+            cbit = "c%d" % qubit
+        self.ops.append(MeasureOp(qubit, cbit))
+        return self
+
+    def measure_all(self):
+        """Measure every qubit into ``c0..c<n-1>``."""
+        for q in range(self.num_qubits):
+            self.measure(q)
+        return self
+
+    # -- analysis ------------------------------------------------------------
+
+    @property
+    def gate_ops(self):
+        """All unitary ops, in order."""
+        return [op for op in self.ops if isinstance(op, GateOp)]
+
+    @property
+    def measure_ops(self):
+        """All measurement ops, in order."""
+        return [op for op in self.ops if isinstance(op, MeasureOp)]
+
+    def gate_counts(self):
+        """Histogram of gate mnemonics."""
+        counts = {}
+        for op in self.gate_ops:
+            counts[op.name] = counts.get(op.name, 0) + 1
+        return counts
+
+    def two_qubit_gate_count(self):
+        """Number of multi-qubit unitary ops (entangling cost metric)."""
+        return sum(1 for op in self.gate_ops if len(op.qubits) >= 2)
+
+    def depth(self):
+        """Circuit depth: longest chain of ops sharing qubits."""
+        frontier = [0] * self.num_qubits
+        for op in self.ops:
+            qubits = op.qubits if isinstance(op, GateOp) else (op.qubit,)
+            level = 1 + max(frontier[q] for q in qubits)
+            for q in qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    def inverse(self):
+        """Return the inverse circuit (unitary ops only).
+
+        Raises :class:`QuantumError` when the circuit contains
+        measurements, which are not invertible.
+        """
+        if self.measure_ops:
+            raise QuantumError("cannot invert a circuit with measurements")
+        inv = QuantumCircuit(self.num_qubits, name=self.name + "_inv")
+        for op in reversed(self.ops):
+            matrix = op.resolved_matrix().conj().T
+            inv.ops.append(GateOp(op.name + "_dg", op.qubits, matrix=matrix))
+        return inv
+
+    def extended(self, other):
+        """Concatenate another circuit of the same width after this one."""
+        if other.num_qubits != self.num_qubits:
+            raise QuantumError("cannot extend with a different-width circuit")
+        combined = QuantumCircuit(self.num_qubits, name=self.name)
+        combined.ops = list(self.ops) + list(other.ops)
+        return combined
+
+    # -- reference execution --------------------------------------------------
+
+    def run(self, initial_state=None, rng=None):
+        """Reference execution: returns ``(StateVector, classical_bits)``.
+
+        This bypasses the compiler/micro-architecture stack and is used as
+        semantic ground truth.
+        """
+        rng = make_rng(rng)
+        if initial_state is None:
+            state = StateVector(self.num_qubits)
+        else:
+            state = initial_state.copy()
+        cbits = {}
+        for op in self.ops:
+            if isinstance(op, MeasureOp):
+                cbits[op.cbit] = state.measure(op.qubit, rng=rng)
+            elif op.permutation is not None:
+                state.apply_permutation(op.permutation, op.qubits)
+            else:
+                state.apply_gate(op.resolved_matrix(), op.qubits)
+        return state, cbits
+
+    def statevector(self):
+        """Final state for a measurement-free circuit from ``|0...0>``."""
+        if self.measure_ops:
+            raise QuantumError("statevector() requires a measurement-free circuit")
+        state, _ = self.run()
+        return state
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __repr__(self):
+        return "QuantumCircuit(%r, qubits=%d, ops=%d)" % (
+            self.name, self.num_qubits, len(self.ops))

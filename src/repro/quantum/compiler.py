@@ -1,0 +1,380 @@
+"""Compiler layer of the quantum-accelerator stack (Fig. 2).
+
+Three families of passes, applied in order by :func:`compile_circuit`:
+
+1. **Decomposition** -- composite gates (Toffoli, SWAP) and raw 1-qubit
+   unitary blocks are rewritten into the primitive basis
+   ``{rz, ry, h, t, tdg, s, sdg, x, z, p, cnot, cz, cp}``.
+2. **Mapping/routing** -- logical qubits are placed on a physical topology
+   (linear nearest-neighbour by default, the common constraint of
+   superconducting chips) and SWAP gates are inserted so every two-qubit
+   gate acts on adjacent physical qubits.
+3. **Verification** -- the compiled circuit is checked semantically
+   equivalent to the source (statevector comparison up to the final layout
+   permutation and global phase), the compiler's regression safety net.
+
+Multi-qubit matrix/permutation blocks wider than two qubits (e.g. Shor's
+modular-multiplication macros) are *chip macros*: they are legal in the
+instruction stream but bypass routing, mirroring hardware with global or
+multi-qubit native operations.  Pass ``allow_macros=False`` to reject them.
+"""
+
+import cmath
+import math
+
+import numpy as np
+
+from ..core.exceptions import CompilationError
+from .circuit import GateOp, MeasureOp, QuantumCircuit
+
+
+def zyz_angles(matrix):
+    """Decompose a 1-qubit unitary as ``e^{i alpha} Rz(c) Ry(b) Rz(a)``.
+
+    Returns ``(alpha, a, b, c)`` such that the product (applied right to
+    left: first Rz(a)) reproduces ``matrix``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise CompilationError("zyz_angles expects a 2x2 matrix")
+    det = np.linalg.det(matrix)
+    alpha = cmath.phase(det) / 2.0
+    su2 = matrix * cmath.exp(-1j * alpha)
+    # su2 = [[cos(b/2) e^{-i(a+c)/2}, -sin(b/2) e^{i(a-c)/2}],
+    #        [sin(b/2) e^{i(c-a)/2},   cos(b/2) e^{i(a+c)/2}]]
+    b = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) > 1e-12 and abs(su2[1, 0]) > 1e-12:
+        sum_ac = -2.0 * cmath.phase(su2[0, 0])
+        c_minus_a = 2.0 * cmath.phase(su2[1, 0])
+        a = (sum_ac - c_minus_a) / 2.0
+        c = (sum_ac + c_minus_a) / 2.0
+    elif abs(su2[0, 0]) > 1e-12:
+        # b == 0: only a+c matters
+        a = -2.0 * cmath.phase(su2[0, 0])
+        c = 0.0
+    else:
+        # b == pi: only c-a matters
+        a = -2.0 * cmath.phase(su2[1, 0])
+        c = 0.0
+    return alpha, a, b, c
+
+
+def _toffoli_ops(c1, c2, target):
+    """Standard 6-CNOT Toffoli decomposition over {h, t, tdg, cnot}."""
+    return [
+        GateOp("h", [target]),
+        GateOp("cnot", [c2, target]),
+        GateOp("tdg", [target]),
+        GateOp("cnot", [c1, target]),
+        GateOp("t", [target]),
+        GateOp("cnot", [c2, target]),
+        GateOp("tdg", [target]),
+        GateOp("cnot", [c1, target]),
+        GateOp("t", [c2]),
+        GateOp("t", [target]),
+        GateOp("h", [target]),
+        GateOp("cnot", [c1, c2]),
+        GateOp("t", [c1]),
+        GateOp("tdg", [c2]),
+        GateOp("cnot", [c1, c2]),
+    ]
+
+
+def _swap_ops(a, b):
+    """SWAP as three alternating CNOTs."""
+    return [
+        GateOp("cnot", [a, b]),
+        GateOp("cnot", [b, a]),
+        GateOp("cnot", [a, b]),
+    ]
+
+
+def decompose(circuit, keep_swap=False):
+    """Rewrite composites and 1-qubit matrix blocks into the primitive basis.
+
+    Toffoli gates become the standard 6-CNOT network; SWAPs become three
+    CNOTs (unless ``keep_swap``, used before routing which re-introduces
+    swaps anyway); raw single-qubit unitaries become Rz-Ry-Rz triples
+    (global phase dropped -- unobservable).  Wider matrix/permutation
+    blocks pass through untouched (macros).
+    """
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name + "_dec")
+    for op in circuit.ops:
+        if isinstance(op, MeasureOp):
+            lowered.ops.append(op)
+            continue
+        if op.name == "toffoli":
+            lowered.ops.extend(_toffoli_ops(*op.qubits))
+        elif op.name == "swap" and not keep_swap:
+            lowered.ops.extend(_swap_ops(*op.qubits))
+        elif not op.is_primitive and op.matrix is not None \
+                and len(op.qubits) == 1:
+            _alpha, a, b, c = zyz_angles(op.matrix)
+            qubit = op.qubits[0]
+            if abs(a) > 1e-12:
+                lowered.ops.append(GateOp("rz", [qubit], params=(a,)))
+            if abs(b) > 1e-12:
+                lowered.ops.append(GateOp("ry", [qubit], params=(b,)))
+            if abs(c) > 1e-12:
+                lowered.ops.append(GateOp("rz", [qubit], params=(c,)))
+        else:
+            lowered.ops.append(op)
+    return lowered
+
+
+#: Pairs of mnemonics that cancel when adjacent on identical operands.
+_INVERSE_PAIRS = {
+    ("x", "x"), ("y", "y"), ("z", "z"), ("h", "h"),
+    ("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t"),
+    ("cnot", "cnot"), ("cz", "cz"), ("swap", "swap"),
+}
+
+#: Rotation families whose adjacent same-operand instances merge by
+#: angle addition.
+_MERGEABLE_ROTATIONS = {"rx", "ry", "rz", "p"}
+
+
+def optimize(circuit, angle_tolerance=1e-12):
+    """Peephole optimization: cancel inverses, merge rotations.
+
+    Repeatedly sweeps the op list applying two local rewrites on
+    *adjacent* gates with identical operands (adjacency is checked on
+    the instruction stream -- a conservative, obviously-sound criterion):
+
+    * ``U ; U^-1 -> (nothing)`` for the self-inverse/dagger pairs,
+    * ``R(a) ; R(b) -> R(a + b)`` for rotation families (dropped
+      entirely when the merged angle vanishes).
+
+    Measurements act as barriers.  Returns a new circuit; the input is
+    untouched.
+    """
+    ops = list(circuit.ops)
+    changed = True
+    while changed:
+        changed = False
+        result = []
+        index = 0
+        while index < len(ops):
+            op = ops[index]
+            nxt = ops[index + 1] if index + 1 < len(ops) else None
+            if (isinstance(op, GateOp) and isinstance(nxt, GateOp)
+                    and op.is_primitive and nxt.is_primitive
+                    and op.qubits == nxt.qubits):
+                if (op.name, nxt.name) in _INVERSE_PAIRS:
+                    index += 2
+                    changed = True
+                    continue
+                if (op.name == nxt.name
+                        and op.name in _MERGEABLE_ROTATIONS):
+                    angle = op.params[0] + nxt.params[0]
+                    index += 2
+                    changed = True
+                    if abs(angle) > angle_tolerance:
+                        result.append(GateOp(op.name, op.qubits,
+                                             params=(angle,)))
+                    continue
+            result.append(op)
+            index += 1
+        ops = result
+    optimized = QuantumCircuit(circuit.num_qubits,
+                               name=circuit.name + "_opt")
+    optimized.ops = ops
+    return optimized
+
+
+class LinearTopology:
+    """A chain of ``num_qubits`` physical qubits; edges between neighbours."""
+
+    def __init__(self, num_qubits):
+        self.num_qubits = int(num_qubits)
+
+    def are_adjacent(self, a, b):
+        """True when physical qubits ``a`` and ``b`` share an edge."""
+        return abs(a - b) == 1
+
+    def path(self, a, b):
+        """Inclusive physical path from ``a`` to ``b``."""
+        step = 1 if b >= a else -1
+        return list(range(a, b + step, step))
+
+
+class GridTopology:
+    """A rows x cols grid of physical qubits (row-major numbering)."""
+
+    def __init__(self, rows, cols):
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.num_qubits = self.rows * self.cols
+
+    def _coords(self, q):
+        return divmod(q, self.cols)
+
+    def are_adjacent(self, a, b):
+        """True when the two physical qubits are grid neighbours."""
+        ra, ca = self._coords(a)
+        rb, cb = self._coords(b)
+        return abs(ra - rb) + abs(ca - cb) == 1
+
+    def path(self, a, b):
+        """An L-shaped inclusive path: first along rows, then columns."""
+        ra, ca = self._coords(a)
+        rb, cb = self._coords(b)
+        nodes = [a]
+        r, c = ra, ca
+        while r != rb:
+            r += 1 if rb > r else -1
+            nodes.append(r * self.cols + c)
+        while c != cb:
+            c += 1 if cb > c else -1
+            nodes.append(r * self.cols + c)
+        return nodes
+
+
+class CompiledCircuit:
+    """Routing result: the physical circuit plus layout bookkeeping.
+
+    Attributes
+    ----------
+    circuit : QuantumCircuit
+        The physical-qubit circuit with routing SWAPs inserted.
+    initial_layout : dict
+        logical qubit -> physical qubit at circuit start.
+    final_layout : dict
+        logical qubit -> physical qubit after all routing SWAPs.
+    swap_count : int
+        Number of SWAP gates inserted by the router.
+    """
+
+    def __init__(self, circuit, initial_layout, final_layout, swap_count):
+        self.circuit = circuit
+        self.initial_layout = dict(initial_layout)
+        self.final_layout = dict(final_layout)
+        self.swap_count = int(swap_count)
+
+    def report(self):
+        """Summary dict used by the Fig. 2 stack demonstration."""
+        return {
+            "physical_qubits": self.circuit.num_qubits,
+            "ops": len(self.circuit.ops),
+            "depth": self.circuit.depth(),
+            "gate_counts": self.circuit.gate_counts(),
+            "swaps_inserted": self.swap_count,
+            "two_qubit_gates": self.circuit.two_qubit_gate_count(),
+        }
+
+
+def route(circuit, topology=None, allow_macros=True):
+    """Insert SWAPs so every 2-qubit gate acts on adjacent physical qubits.
+
+    Greedy router: for each two-qubit gate, the first operand is swapped
+    along the topology's path toward the second until adjacent.  Macros
+    (>2-qubit blocks) bypass routing when ``allow_macros``; otherwise they
+    raise :class:`CompilationError`.
+
+    Returns a :class:`CompiledCircuit`.
+    """
+    if topology is None:
+        topology = LinearTopology(circuit.num_qubits)
+    if topology.num_qubits < circuit.num_qubits:
+        raise CompilationError(
+            "topology has %d qubits, circuit needs %d"
+            % (topology.num_qubits, circuit.num_qubits)
+        )
+    layout = {q: q for q in range(circuit.num_qubits)}  # logical -> physical
+    inverse = {q: q for q in range(circuit.num_qubits)}  # physical -> logical
+    routed = QuantumCircuit(topology.num_qubits, name=circuit.name + "_routed")
+    swap_count = 0
+
+    def swap_physical(pa, pb):
+        nonlocal swap_count
+        routed.ops.append(GateOp("swap", [pa, pb]))
+        swap_count += 1
+        la, lb = inverse.get(pa), inverse.get(pb)
+        if la is not None:
+            layout[la] = pb
+        if lb is not None:
+            layout[lb] = pa
+        inverse[pa], inverse[pb] = lb, la
+
+    for op in circuit.ops:
+        if isinstance(op, MeasureOp):
+            routed.ops.append(MeasureOp(layout[op.qubit], op.cbit))
+            continue
+        if len(op.qubits) == 1:
+            routed.ops.append(op.remapped(layout))
+            continue
+        if len(op.qubits) > 2:
+            if not allow_macros:
+                raise CompilationError(
+                    "cannot route %d-qubit block %r on restricted topology"
+                    % (len(op.qubits), op.name)
+                )
+            routed.ops.append(op.remapped(layout))
+            continue
+        a, b = op.qubits
+        while not topology.are_adjacent(layout[a], layout[b]):
+            path = topology.path(layout[a], layout[b])
+            swap_physical(path[0], path[1])
+        routed.ops.append(op.remapped(layout))
+    return CompiledCircuit(routed, {q: q for q in range(circuit.num_qubits)},
+                           layout, swap_count)
+
+
+def verify_equivalence(original, compiled, atol=1e-8):
+    """Check a routed circuit is semantically equal to its source.
+
+    Both circuits are simulated from ``|0..0>`` (measurements must be
+    absent); the compiled state is compared against the source state with
+    its qubits permuted through the final layout.  Returns the fidelity.
+    """
+    if original.measure_ops or compiled.circuit.measure_ops:
+        raise CompilationError("equivalence check requires measurement-free circuits")
+    source_state = original.statevector()
+    routed_state = compiled.circuit.statevector()
+    n_phys = compiled.circuit.num_qubits
+    layout = compiled.final_layout
+    # Build the expected physical state: logical qubit q lives at
+    # physical position layout[q]; unused physical qubits stay |0>.
+    expected = np.zeros(2 ** n_phys, dtype=complex)
+    for logical_index, amplitude in enumerate(source_state.amplitudes):
+        if amplitude == 0.0:
+            continue
+        physical_index = 0
+        for q in range(original.num_qubits):
+            bit = (logical_index >> q) & 1
+            physical_index |= bit << layout[q]
+        expected[physical_index] = amplitude
+    overlap = abs(np.vdot(expected, routed_state.amplitudes)) ** 2
+    if overlap < 1.0 - atol:
+        raise CompilationError(
+            "compiled circuit diverges from source (fidelity %.6f)" % overlap
+        )
+    return float(overlap)
+
+
+def compile_circuit(circuit, topology=None, allow_macros=True, verify=False,
+                    peephole=True):
+    """Full pipeline: decompose, peephole-optimize, route; optionally verify.
+
+    Returns ``(CompiledCircuit, report_dict)`` where the report carries the
+    per-layer numbers shown by the Fig. 2 stack benchmark.
+    """
+    lowered = decompose(circuit)
+    if peephole:
+        before = len(lowered.ops)
+        lowered = optimize(lowered)
+        ops_removed = before - len(lowered.ops)
+    else:
+        ops_removed = 0
+    compiled = route(lowered, topology=topology, allow_macros=allow_macros)
+    report = {
+        "source_ops": len(circuit.ops),
+        "source_depth": circuit.depth(),
+        "source_gate_counts": circuit.gate_counts(),
+        "lowered_ops": len(lowered.ops),
+        "peephole_ops_removed": ops_removed,
+        "compiled": compiled.report(),
+    }
+    if verify:
+        report["fidelity"] = verify_equivalence(circuit, compiled)
+    return compiled, report

@@ -1,0 +1,163 @@
+"""Standard quantum gate matrices and constructors.
+
+The micro-architecture of Section II executes "a well-defined set of
+quantum instructions"; this module defines that set at the matrix level.
+All matrices are ``complex128`` numpy arrays in the computational basis
+with qubit 0 as the least-significant bit.
+"""
+
+import cmath
+import math
+
+import numpy as np
+
+from ..core.exceptions import QuantumError
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+I = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[_SQRT2_INV, _SQRT2_INV], [_SQRT2_INV, -_SQRT2_INV]],
+             dtype=complex)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4.0)]], dtype=complex)
+TDG = T.conj().T
+
+# Multi-qubit gates follow the library-wide operand convention: the first
+# listed qubit is the least-significant bit of the gate's local index, so
+# controls occupy the LOW bits (see StateVector.apply_gate).  CNOT with
+# control c (bit 0) and target t (bit 1) therefore swaps local indices
+# 1 (c=1,t=0) and 3 (c=1,t=1).
+CNOT = np.eye(4, dtype=complex)
+CNOT[[1, 3], :] = CNOT[[3, 1], :]
+
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+SWAP = np.array([
+    [1, 0, 0, 0],
+    [0, 0, 1, 0],
+    [0, 1, 0, 0],
+    [0, 0, 0, 1],
+], dtype=complex)
+
+# Toffoli: controls are bits 0 and 1, target is bit 2; swap 011 <-> 111.
+TOFFOLI = np.eye(8, dtype=complex)
+TOFFOLI[[3, 7], :] = TOFFOLI[[7, 3], :]
+
+
+def rx(theta):
+    """Rotation about the X axis by ``theta`` radians."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta):
+    """Rotation about the Y axis by ``theta`` radians."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta):
+    """Rotation about the Z axis by ``theta`` radians."""
+    phase = cmath.exp(1j * theta / 2.0)
+    return np.array([[1.0 / phase, 0], [0, phase]], dtype=complex)
+
+
+def phase_gate(lam):
+    """Diagonal phase gate diag(1, e^{i lam}) (a.k.a. P or U1)."""
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u3(theta, phi, lam):
+    """General single-qubit gate in the standard U3 parametrization."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array([
+        [c, -cmath.exp(1j * lam) * s],
+        [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+    ], dtype=complex)
+
+
+def controlled(unitary, num_controls=1):
+    """Lift ``unitary`` to a controlled gate with ``num_controls`` controls.
+
+    Controls occupy the low qubit positions of the returned matrix's index
+    (consistent with :class:`repro.quantum.state.StateVector` application
+    order where the *first* listed qubits are the controls).
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    dim = unitary.shape[0]
+    if unitary.shape != (dim, dim):
+        raise QuantumError("controlled() requires a square matrix")
+    total = dim * (2 ** num_controls)
+    out = np.eye(total, dtype=complex)
+    # The controlled block acts when all control bits are 1.  With controls
+    # in the low bits, those are indices whose low num_controls bits are
+    # all ones: index = target_index * 2^c + (2^c - 1).
+    stride = 2 ** num_controls
+    offset = stride - 1
+    sel = np.arange(dim) * stride + offset
+    out[np.ix_(sel, sel)] = unitary
+    return out
+
+
+def is_unitary(matrix, tol=1e-10):
+    """True when ``matrix`` is unitary to tolerance ``tol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = matrix.conj().T @ matrix
+    return bool(np.allclose(identity, np.eye(matrix.shape[0]), atol=tol))
+
+
+#: Registry mapping instruction mnemonics to (matrix or factory, arity,
+#: number of float parameters).  This is the library's quantum ISA.
+GATE_SET = {
+    "i": (I, 1, 0),
+    "x": (X, 1, 0),
+    "y": (Y, 1, 0),
+    "z": (Z, 1, 0),
+    "h": (H, 1, 0),
+    "s": (S, 1, 0),
+    "sdg": (SDG, 1, 0),
+    "t": (T, 1, 0),
+    "tdg": (TDG, 1, 0),
+    "rx": (rx, 1, 1),
+    "ry": (ry, 1, 1),
+    "rz": (rz, 1, 1),
+    "p": (phase_gate, 1, 1),
+    "u3": (u3, 1, 3),
+    "cnot": (CNOT, 2, 0),
+    "cz": (CZ, 2, 0),
+    "swap": (SWAP, 2, 0),
+    "cp": (lambda lam: controlled(phase_gate(lam)), 2, 1),
+    "toffoli": (TOFFOLI, 3, 0),
+}
+
+
+def gate_matrix(name, params=()):
+    """Resolve a mnemonic (plus parameters) to its unitary matrix."""
+    if name not in GATE_SET:
+        raise QuantumError("unknown gate mnemonic %r" % name)
+    entry, _arity, n_params = GATE_SET[name]
+    params = tuple(params)
+    if len(params) != n_params:
+        raise QuantumError(
+            "gate %r expects %d parameters, got %d"
+            % (name, n_params, len(params))
+        )
+    if n_params == 0:
+        return entry
+    return entry(*params)
+
+
+def gate_arity(name):
+    """Number of qubits the named gate acts on."""
+    if name not in GATE_SET:
+        raise QuantumError("unknown gate mnemonic %r" % name)
+    return GATE_SET[name][1]

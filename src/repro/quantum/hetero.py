@@ -1,0 +1,188 @@
+"""Heterogeneous multi-core system model (Fig. 1).
+
+Figure 1 of the paper shows a host architecture in which GPUs, FPGAs, TPUs
+and quantum accelerators hang off a classical multi-core CPU.  This module
+models that system at the scheduling level: devices advertise capability
+profiles, workloads are bags of typed tasks, and the dispatcher assigns
+each task to the device with the best modelled completion time, falling
+back to the CPU for anything exotic.
+
+The model is intentionally first-order (per-task speedup factors plus a
+fixed offload latency) -- exactly the level at which the paper argues the
+"quantum computer as accelerator" point: a QPU only wins when the
+algorithmic speedup beats the offload and control overheads.
+"""
+
+from ..core.exceptions import QuantumError
+
+#: Task kinds understood by the dispatcher.
+TASK_KINDS = (
+    "scalar",        # branchy sequential code
+    "dense_linear",  # BLAS-like kernels
+    "tensor",        # ML inference/training blocks
+    "streaming",     # fixed-function pipelines
+    "quantum",       # kernels expressed as quantum circuits
+)
+
+
+class Task:
+    """One schedulable unit of work.
+
+    Parameters
+    ----------
+    name : str
+        Label used in the dispatch report.
+    kind : str
+        One of :data:`TASK_KINDS`.
+    work_units : float
+        Abstract work size; CPU executes one unit per time unit.
+    """
+
+    def __init__(self, name, kind, work_units):
+        if kind not in TASK_KINDS:
+            raise QuantumError("unknown task kind %r" % kind)
+        if work_units <= 0:
+            raise QuantumError("work_units must be positive")
+        self.name = str(name)
+        self.kind = kind
+        self.work_units = float(work_units)
+
+    def __repr__(self):
+        return "Task(%r, %s, %g)" % (self.name, self.kind, self.work_units)
+
+
+class Device:
+    """An accelerator (or the host CPU) with a capability profile.
+
+    Parameters
+    ----------
+    name : str
+        Device label ("CPU", "GPU", "TPU", "FPGA", "QPU").
+    speedups : dict
+        Task kind -> throughput multiple relative to the CPU.  Missing
+        kinds cannot run on the device (except on the CPU, which runs
+        everything at 1x).
+    offload_latency : float
+        Fixed cost added per task dispatched to this device (0 for CPU).
+    """
+
+    def __init__(self, name, speedups, offload_latency=0.0):
+        self.name = str(name)
+        self.speedups = dict(speedups)
+        self.offload_latency = float(offload_latency)
+
+    def can_run(self, task):
+        """True when the device supports the task kind."""
+        return task.kind in self.speedups
+
+    def time_for(self, task):
+        """Modelled completion time for ``task`` on this device."""
+        if not self.can_run(task):
+            raise QuantumError(
+                "device %s cannot run task kind %s" % (self.name, task.kind))
+        return self.offload_latency + task.work_units / self.speedups[task.kind]
+
+    def __repr__(self):
+        return "Device(%r)" % self.name
+
+
+def default_devices():
+    """The Fig. 1 device complement with first-order profiles.
+
+    Speedups are deliberately round archetypes: the GPU accelerates dense
+    linear algebra, the TPU tensor blocks, the FPGA streaming pipelines,
+    and the QPU quantum kernels (where its advantage is enormous but it
+    runs nothing else and pays the largest offload cost).
+    """
+    cpu = Device("CPU", {kind: 1.0 for kind in TASK_KINDS
+                         if kind != "quantum"}, offload_latency=0.0)
+    # The CPU can *simulate* small quantum kernels at crushing slowdown.
+    cpu.speedups["quantum"] = 1e-3
+    return [
+        cpu,
+        Device("GPU", {"dense_linear": 50.0, "tensor": 20.0},
+               offload_latency=5.0),
+        Device("TPU", {"tensor": 80.0, "dense_linear": 30.0},
+               offload_latency=5.0),
+        Device("FPGA", {"streaming": 40.0, "dense_linear": 8.0},
+               offload_latency=10.0),
+        Device("QPU", {"quantum": 1e6}, offload_latency=50.0),
+    ]
+
+
+class DispatchReport:
+    """Assignment table plus aggregate times for one workload dispatch."""
+
+    def __init__(self, assignments, hetero_time, cpu_only_time):
+        self.assignments = list(assignments)
+        self.hetero_time = float(hetero_time)
+        self.cpu_only_time = float(cpu_only_time)
+
+    @property
+    def speedup(self):
+        """CPU-only time divided by heterogeneous time."""
+        if self.hetero_time <= 0:
+            return float("inf")
+        return self.cpu_only_time / self.hetero_time
+
+    def rows(self):
+        """(task, device, time) rows for tabular display."""
+        return [(task.name, device.name, time)
+                for task, device, time in self.assignments]
+
+
+class HeterogeneousSystem:
+    """Host plus accelerators; greedy best-device dispatcher.
+
+    The aggregate time model is serial-per-device: each device's assigned
+    tasks queue on it, devices run concurrently, so makespan is the max
+    per-device total.  This is the simplest model that still shows the
+    Fig. 1 point (offload what accelerates, keep the rest local).
+    """
+
+    def __init__(self, devices=None):
+        self.devices = list(devices) if devices is not None else default_devices()
+        if not any(d.name == "CPU" for d in self.devices):
+            raise QuantumError("a system needs a CPU host")
+
+    @property
+    def cpu(self):
+        """The host device."""
+        return next(d for d in self.devices if d.name == "CPU")
+
+    def best_device(self, task):
+        """Device minimizing modelled completion time for ``task``."""
+        candidates = [d for d in self.devices if d.can_run(task)]
+        if not candidates:
+            raise QuantumError("no device can run task %r" % task)
+        return min(candidates, key=lambda d: d.time_for(task))
+
+    def dispatch(self, tasks):
+        """Assign every task; returns a :class:`DispatchReport`."""
+        assignments = []
+        per_device_time = {d.name: 0.0 for d in self.devices}
+        cpu_only = 0.0
+        for task in tasks:
+            device = self.best_device(task)
+            time = device.time_for(task)
+            assignments.append((task, device, time))
+            per_device_time[device.name] += time
+            cpu_only += self.cpu.time_for(task)
+        makespan = max(per_device_time.values()) if per_device_time else 0.0
+        return DispatchReport(assignments, makespan, cpu_only)
+
+
+def example_workload():
+    """A mixed application in the spirit of Section II's cloud scenario.
+
+    A genomics-flavoured pipeline: parse (scalar), align (dense linear),
+    learn (tensor), filter (streaming), and a quantum similarity kernel.
+    """
+    return [
+        Task("parse-reads", "scalar", 100.0),
+        Task("align-matrix", "dense_linear", 4000.0),
+        Task("train-classifier", "tensor", 8000.0),
+        Task("filter-stream", "streaming", 1200.0),
+        Task("dna-similarity-kernel", "quantum", 5e5),
+        Task("postprocess", "scalar", 50.0),
+    ]

@@ -1,0 +1,210 @@
+"""Micro-architecture layer: executes a well-defined quantum instruction set.
+
+Section II.B: "The requirements of such a device include: a compiler,
+runtime support, and most importantly a micro-architecture that executes a
+well-defined set of quantum instructions."  This module is that
+micro-architecture, modelled after QuMA-style control processors:
+
+* an instruction memory holding :class:`Instruction` objects (quantum ops,
+  measurements, and classical control: branch / halt),
+* a classical register file written by measurement results,
+* a timing model with per-gate durations, so each kernel execution reports
+  wall-clock on-chip time alongside instruction counts,
+* a decoherence budget check: if the issued schedule exceeds the chip's
+  coherence time the execution is flagged (results still computed by the
+  ideal backend, mirroring how architectural simulators separate timing
+  from function).
+"""
+
+
+from ..core.exceptions import MicroArchError
+from .circuit import GateOp, MeasureOp
+from .state import StateVector
+
+#: Default gate durations in nanoseconds, loosely following published
+#: superconducting-qubit numbers (single-qubit ~20 ns, two-qubit ~40 ns,
+#: measurement ~300 ns).
+DEFAULT_DURATIONS_NS = {
+    "single_qubit": 20.0,
+    "two_qubit": 40.0,
+    "macro": 200.0,
+    "measure": 300.0,
+}
+
+#: Default T2-style coherence budget per qubit, nanoseconds.
+DEFAULT_COHERENCE_NS = 50_000.0
+
+
+class Instruction:
+    """One decoded micro-architecture instruction.
+
+    ``kind`` is one of ``"gate"``, ``"measure"``, ``"branch"``, ``"halt"``.
+    Gate instructions carry the originating :class:`GateOp`; measure
+    instructions carry a :class:`MeasureOp`; branches carry a classical
+    condition ``(cbit, value)`` and a target program counter.
+    """
+
+    __slots__ = ("kind", "op", "condition", "target")
+
+    def __init__(self, kind, op=None, condition=None, target=None):
+        self.kind = kind
+        self.op = op
+        self.condition = condition
+        self.target = target
+
+    def __repr__(self):
+        if self.kind == "branch":
+            return "Instruction(branch if %s==%d to %d)" % (
+                self.condition[0], self.condition[1], self.target)
+        return "Instruction(%s, %r)" % (self.kind, self.op)
+
+
+class ExecutionResult:
+    """Outcome of one kernel execution on the micro-architecture.
+
+    Attributes
+    ----------
+    classical_bits : dict
+        Final classical register file (cbit name -> 0/1).
+    state : StateVector
+        Final quantum state (exposed by the simulator backend only).
+    instructions_executed : int
+        Dynamic instruction count.
+    elapsed_ns : float
+        Modelled on-chip execution time.
+    coherence_exceeded : bool
+        True when ``elapsed_ns`` exceeded the coherence budget.
+    """
+
+    def __init__(self, classical_bits, state, instructions_executed,
+                 elapsed_ns, coherence_exceeded):
+        self.classical_bits = classical_bits
+        self.state = state
+        self.instructions_executed = instructions_executed
+        self.elapsed_ns = elapsed_ns
+        self.coherence_exceeded = coherence_exceeded
+
+    def bit(self, name):
+        """Read one classical bit by name."""
+        return self.classical_bits[name]
+
+    def bits_as_int(self, names):
+        """Pack named classical bits (first name = LSB) into an integer."""
+        value = 0
+        for pos, name in enumerate(names):
+            value |= int(self.classical_bits[name]) << pos
+        return value
+
+
+def assemble(circuit):
+    """Lower a circuit into a straight-line instruction stream + halt."""
+    program = []
+    for op in circuit.ops:
+        if isinstance(op, MeasureOp):
+            program.append(Instruction("measure", op=op))
+        elif isinstance(op, GateOp):
+            program.append(Instruction("gate", op=op))
+        else:
+            raise MicroArchError("cannot assemble op %r" % (op,))
+    program.append(Instruction("halt"))
+    return program
+
+
+class MicroArchitecture:
+    """Executes instruction streams against a statevector backend.
+
+    Parameters
+    ----------
+    num_qubits : int
+        Physical qubit count of the attached chip.
+    durations_ns : dict, optional
+        Overrides for :data:`DEFAULT_DURATIONS_NS`.
+    coherence_ns : float, optional
+        Coherence budget used for the timing flag.
+    """
+
+    def __init__(self, num_qubits, durations_ns=None,
+                 coherence_ns=DEFAULT_COHERENCE_NS):
+        self.num_qubits = int(num_qubits)
+        self.durations_ns = dict(DEFAULT_DURATIONS_NS)
+        if durations_ns:
+            self.durations_ns.update(durations_ns)
+        self.coherence_ns = float(coherence_ns)
+
+    def _duration(self, instruction):
+        if instruction.kind == "measure":
+            return self.durations_ns["measure"]
+        if instruction.kind == "gate":
+            width = len(instruction.op.qubits)
+            if width == 1:
+                return self.durations_ns["single_qubit"]
+            if width == 2:
+                return self.durations_ns["two_qubit"]
+            return self.durations_ns["macro"]
+        return 0.0
+
+    def execute(self, program, rng=None, max_instructions=1_000_000):
+        """Run an assembled ``program``; returns :class:`ExecutionResult`.
+
+        Branch instructions jump when the named classical bit equals the
+        expected value.  A runaway program (no halt within
+        ``max_instructions``) raises :class:`MicroArchError`.
+        """
+        from ..core.rngs import make_rng
+
+        # coerce once so successive measurements draw from one stream
+        # (an integer seed re-coerced per measurement would correlate
+        # every measurement outcome)
+        rng = make_rng(rng)
+        state = StateVector(self.num_qubits)
+        cbits = {}
+        pc = 0
+        executed = 0
+        elapsed = 0.0
+        while True:
+            if pc < 0 or pc >= len(program):
+                raise MicroArchError("program counter %d out of range" % pc)
+            if executed > max_instructions:
+                raise MicroArchError(
+                    "program exceeded %d instructions" % max_instructions)
+            instruction = program[pc]
+            executed += 1
+            elapsed += self._duration(instruction)
+            if instruction.kind == "halt":
+                break
+            if instruction.kind == "gate":
+                op = instruction.op
+                if op.permutation is not None:
+                    state.apply_permutation(op.permutation, op.qubits)
+                else:
+                    state.apply_gate(op.resolved_matrix(), op.qubits)
+                pc += 1
+            elif instruction.kind == "measure":
+                op = instruction.op
+                cbits[op.cbit] = state.measure(op.qubit, rng=rng)
+                pc += 1
+            elif instruction.kind == "branch":
+                cbit, expected = instruction.condition
+                if cbits.get(cbit, 0) == expected:
+                    pc = instruction.target
+                else:
+                    pc += 1
+            else:
+                raise MicroArchError("unknown instruction kind %r"
+                                     % instruction.kind)
+        return ExecutionResult(
+            classical_bits=cbits,
+            state=state,
+            instructions_executed=executed,
+            elapsed_ns=elapsed,
+            coherence_exceeded=elapsed > self.coherence_ns,
+        )
+
+    def execute_circuit(self, circuit, rng=None):
+        """Assemble and execute a circuit in one call."""
+        if circuit.num_qubits > self.num_qubits:
+            raise MicroArchError(
+                "circuit needs %d qubits, chip has %d"
+                % (circuit.num_qubits, self.num_qubits)
+            )
+        return self.execute(assemble(circuit), rng=rng)

@@ -1,0 +1,124 @@
+"""A small cQASM-like textual quantum ISA.
+
+The Fig. 2 stack includes a language layer between the algorithm and the
+compiler.  This module defines that surface: a line-oriented assembly with
+one instruction per line, close in spirit to cQASM 1.0 (the language of
+the TU Delft quantum stack the paper's Section II describes).
+
+Grammar (one statement per line; ``#`` starts a comment)::
+
+    version 1.0
+    qubits 5
+    h q0
+    cnot q0, q1
+    rz q2, 0.5
+    cp q1, q3, 1.5707963
+    measure q4 -> c4
+
+Only primitive ISA gates are expressible; circuits containing raw-matrix
+or permutation blocks must be lowered by the compiler first.
+"""
+
+from ..core.exceptions import QasmError
+from .circuit import GateOp, MeasureOp, QuantumCircuit
+from .gates import GATE_SET
+
+
+def emit(circuit):
+    """Serialize a lowered :class:`QuantumCircuit` to QASM text."""
+    lines = ["version 1.0", "qubits %d" % circuit.num_qubits]
+    for op in circuit.ops:
+        if isinstance(op, MeasureOp):
+            lines.append("measure q%d -> %s" % (op.qubit, op.cbit))
+            continue
+        if not op.is_primitive:
+            raise QasmError(
+                "op %r is not a primitive ISA gate; run the compiler first"
+                % (op.name,)
+            )
+        operands = ", ".join("q%d" % q for q in op.qubits)
+        if op.params:
+            operands += ", " + ", ".join(repr(p) for p in op.params)
+        lines.append("%s %s" % (op.name, operands))
+    return "\n".join(lines) + "\n"
+
+
+def _parse_qubit(token, line_no):
+    token = token.strip()
+    if not token.startswith("q"):
+        raise QasmError("expected qubit operand at line %d, got %r"
+                        % (line_no, token))
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise QasmError("bad qubit operand at line %d: %r" % (line_no, token))
+
+
+def parse(text):
+    """Parse QASM text into a :class:`QuantumCircuit`.
+
+    Raises :class:`QasmError` on syntax errors, unknown mnemonics, arity
+    mismatches, or out-of-range qubits.
+    """
+    num_qubits = None
+    ops = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("version"):
+            continue
+        if lowered.startswith("qubits"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise QasmError("bad qubits declaration at line %d" % line_no)
+            try:
+                num_qubits = int(parts[1])
+            except ValueError:
+                raise QasmError("bad qubit count at line %d" % line_no)
+            if num_qubits < 1:
+                raise QasmError("qubit count must be positive (line %d)" % line_no)
+            continue
+        if num_qubits is None:
+            raise QasmError("instruction before qubits declaration at line %d"
+                            % line_no)
+        if lowered.startswith("measure"):
+            body = line[len("measure"):].strip()
+            if "->" not in body:
+                raise QasmError("measure without '->' at line %d" % line_no)
+            qubit_tok, cbit_tok = body.split("->", 1)
+            qubit = _parse_qubit(qubit_tok, line_no)
+            cbit = cbit_tok.strip()
+            if not cbit:
+                raise QasmError("measure without classical bit at line %d"
+                                % line_no)
+            ops.append(MeasureOp(qubit, cbit))
+            continue
+        # gate instruction: mnemonic operand[, operand...]
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in GATE_SET:
+            raise QasmError("unknown mnemonic %r at line %d" % (mnemonic, line_no))
+        _, arity, n_params = GATE_SET[mnemonic]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [tok.strip() for tok in operand_text.split(",") if tok.strip()]
+        if len(tokens) != arity + n_params:
+            raise QasmError(
+                "gate %r at line %d expects %d operands, got %d"
+                % (mnemonic, line_no, arity + n_params, len(tokens))
+            )
+        qubits = [_parse_qubit(tok, line_no) for tok in tokens[:arity]]
+        params = []
+        for tok in tokens[arity:]:
+            try:
+                params.append(float(tok))
+            except ValueError:
+                raise QasmError("bad parameter %r at line %d" % (tok, line_no))
+        ops.append(GateOp(mnemonic, qubits, params=params))
+    if num_qubits is None:
+        raise QasmError("missing qubits declaration")
+    circuit = QuantumCircuit(num_qubits, name="qasm")
+    for op in ops:
+        circuit.append(op)
+    return circuit

@@ -1,0 +1,92 @@
+"""Runtime-support layer: shot scheduling and result aggregation.
+
+Sits between the compiler and the micro-architecture in the Fig. 2 stack.
+The runtime owns the execution loop that real control software provides:
+repeat the kernel for N shots, collect classical results, histogram them,
+and account accumulated chip time.
+"""
+
+from ..core.exceptions import QuantumError
+from ..core.rngs import make_rng
+from .microarch import MicroArchitecture, assemble
+
+
+class ShotResult:
+    """Aggregated results of a multi-shot kernel execution.
+
+    Attributes
+    ----------
+    counts : dict
+        Bitstring value (int, first-measured cbit is the LSB) -> count.
+    cbit_order : list of str
+        Classical bit names in LSB-first order.
+    shots : int
+        Number of shots executed.
+    total_chip_time_ns : float
+        Accumulated on-chip execution time over all shots.
+    """
+
+    def __init__(self, counts, cbit_order, shots, total_chip_time_ns):
+        self.counts = dict(counts)
+        self.cbit_order = list(cbit_order)
+        self.shots = int(shots)
+        self.total_chip_time_ns = float(total_chip_time_ns)
+
+    def probability(self, value):
+        """Empirical probability of an integer outcome."""
+        return self.counts.get(value, 0) / self.shots
+
+    def most_common(self, n=1):
+        """The ``n`` most frequent outcomes as (value, count) pairs."""
+        ranked = sorted(self.counts.items(), key=lambda kv: -kv[1])
+        return ranked[:n]
+
+    def __repr__(self):
+        return "ShotResult(shots=%d, outcomes=%d)" % (
+            self.shots, len(self.counts))
+
+
+class QuantumRuntime:
+    """Schedules compiled kernels onto a micro-architecture.
+
+    Parameters
+    ----------
+    microarch : MicroArchitecture, optional
+        Attached control processor; a default is built to fit the first
+        kernel when omitted.
+    """
+
+    def __init__(self, microarch=None):
+        self.microarch = microarch
+
+    def _ensure_microarch(self, circuit):
+        if self.microarch is None:
+            self.microarch = MicroArchitecture(circuit.num_qubits)
+        if circuit.num_qubits > self.microarch.num_qubits:
+            raise QuantumError(
+                "kernel needs %d qubits, attached chip has %d"
+                % (circuit.num_qubits, self.microarch.num_qubits)
+            )
+
+    def run(self, circuit, shots=1024, rng=None):
+        """Execute ``circuit`` for ``shots`` repetitions.
+
+        The circuit must contain at least one measurement (otherwise shots
+        are meaningless); returns a :class:`ShotResult`.
+        """
+        if shots < 1:
+            raise QuantumError("shots must be positive")
+        cbit_order = [op.cbit for op in circuit.measure_ops]
+        if not cbit_order:
+            raise QuantumError("kernel has no measurements; nothing to sample")
+        self._ensure_microarch(circuit)
+        rng = make_rng(rng)
+        program = assemble(circuit)
+        counts = {}
+        chip_time = 0.0
+        for _ in range(shots):
+            result = self.microarch.execute(program, rng=rng)
+            value = result.bits_as_int(cbit_order)
+            counts[value] = counts.get(value, 0) + 1
+            chip_time += result.elapsed_ns
+        return ShotResult(counts, cbit_order, shots, chip_time)

@@ -1,0 +1,8 @@
+"""Shared pytest configuration for the repro test suite."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running physics/dynamics tests")

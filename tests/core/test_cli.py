@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.io import save_dimacs
+from repro.core.sat_instances import planted_ksat
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestInfo:
+    def test_info_lists_packages(self):
+        code, text = run_cli(["info"])
+        assert code == 0
+        for package in ("repro.quantum", "repro.oscillators",
+                        "repro.memcomputing", "repro.core"):
+            assert package in text
+
+    def test_no_command_prints_help(self):
+        code, text = run_cli([])
+        assert code == 0
+        assert "usage" in text.lower()
+
+
+class TestSolve:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        formula = planted_ksat(15, 55, rng=0)
+        return save_dimacs(formula, str(tmp_path / "i.cnf"))
+
+    @pytest.mark.parametrize("solver", ["dmm", "walksat", "dpll"])
+    def test_solves_satisfiable_instance(self, instance_path, solver):
+        code, text = run_cli(["solve", instance_path,
+                              "--solver", solver])
+        assert code == 0
+        assert "s SATISFIABLE" in text
+        assert text.strip().endswith("0")
+
+    def test_model_line_satisfies_instance(self, instance_path):
+        from repro.core.io import load_dimacs
+
+        code, text = run_cli(["solve", instance_path])
+        assert code == 0
+        model_line = next(line for line in text.splitlines()
+                          if line.startswith("v "))
+        literals = [int(tok) for tok in model_line[2:].split()
+                    if tok != "0"]
+        assignment = {abs(l): l > 0 for l in literals}
+        assert load_dimacs(instance_path).is_satisfied_by(assignment)
+
+    def test_unsat_reported_by_dpll(self, tmp_path):
+        path = tmp_path / "unsat.cnf"
+        path.write_text("p cnf 1 2\n1 0\n-1 0\n")
+        code, text = run_cli(["solve", str(path), "--solver", "dpll"])
+        assert code == 1
+        assert "UNSATISFIABLE" in text
+
+
+class TestFactor:
+    def test_shor_factors(self):
+        code, text = run_cli(["factor", "15"])
+        assert code == 0
+        assert "15 = " in text
+
+    def test_memcomputing_factors(self):
+        code, text = run_cli(["factor", "21", "--method",
+                              "memcomputing"])
+        assert code == 0
+        assert "21 = " in text
+        assert "SOLG" in text
+
+    def test_small_n_rejected(self):
+        code, text = run_cli(["factor", "3"])
+        assert code == 2
+
+
+class TestReproduce:
+    def test_points_at_benchmarks(self):
+        code, text = run_cli(["reproduce"])
+        assert code == 0
+        assert "pytest benchmarks/" in text

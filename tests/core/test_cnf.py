@@ -1,0 +1,174 @@
+"""Unit and property tests for repro.core.cnf."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnf import Clause, CnfFormula, parse_dimacs
+from repro.core.exceptions import DimacsParseError, FormulaError
+
+
+class TestClause:
+    def test_literals_sorted_and_deduped(self):
+        clause = Clause([3, -1, 3, 2])
+        assert clause.literals == (-1, 2, 3)
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(FormulaError):
+            Clause([])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(FormulaError):
+            Clause([1, 0])
+
+    def test_tautology_detection(self):
+        assert Clause([1, -1, 2]).is_tautology
+        assert not Clause([1, 2]).is_tautology
+
+    def test_variables(self):
+        assert Clause([-3, 1]).variables == frozenset({1, 3})
+
+    def test_satisfaction_with_dict(self):
+        clause = Clause([1, -2])
+        assert clause.is_satisfied_by({1: True, 2: True})
+        assert clause.is_satisfied_by({1: False, 2: False})
+        assert not clause.is_satisfied_by({1: False, 2: True})
+
+    def test_satisfaction_with_sequence(self):
+        clause = Clause([1, -2])
+        assert clause.is_satisfied_by([True, True])
+        assert not clause.is_satisfied_by([False, True])
+
+    def test_partial_assignment_unsatisfied(self):
+        clause = Clause([1, 2])
+        assert not clause.is_satisfied_by({1: False})
+
+    def test_equality_and_hash(self):
+        assert Clause([1, 2]) == Clause([2, 1])
+        assert hash(Clause([1, 2])) == hash(Clause([2, 1]))
+        assert Clause([1, 2]) != Clause([1, 2], weight=3.0)
+
+    def test_weight(self):
+        assert Clause([1], weight=2.5).weight == 2.5
+        assert Clause([1]).weight is None
+
+
+class TestCnfFormula:
+    def test_counts(self):
+        formula = CnfFormula([[1, 2], [-1, 3]])
+        assert formula.num_variables == 3
+        assert formula.num_clauses == 2
+        assert formula.clause_ratio == pytest.approx(2.0 / 3.0)
+
+    def test_explicit_num_variables(self):
+        formula = CnfFormula([[1]], num_variables=5)
+        assert formula.num_variables == 5
+
+    def test_num_variables_too_small_rejected(self):
+        with pytest.raises(FormulaError):
+            CnfFormula([[1, 5]], num_variables=3)
+
+    def test_satisfaction(self):
+        formula = CnfFormula([[1, 2], [-1, 2]])
+        assert formula.is_satisfied_by({1: True, 2: True})
+        assert not formula.is_satisfied_by({1: True, 2: False})
+
+    def test_num_satisfied_and_unsatisfied(self):
+        formula = CnfFormula([[1], [2], [-1]])
+        assignment = {1: True, 2: False}
+        assert formula.num_satisfied(assignment) == 1
+        assert len(formula.unsatisfied_clauses(assignment)) == 2
+
+    def test_hard_soft_partition(self):
+        formula = CnfFormula([Clause([1]), Clause([2], weight=1.5)])
+        assert len(formula.hard_clauses) == 1
+        assert len(formula.soft_clauses) == 1
+
+    def test_weight_satisfied(self):
+        formula = CnfFormula([Clause([1], weight=2.0),
+                              Clause([-1], weight=3.0)])
+        assert formula.weight_satisfied({1: True}) == 2.0
+        assert formula.weight_satisfied({1: False}) == 3.0
+
+    def test_assignment_from_bools(self):
+        formula = CnfFormula([[1, 2]])
+        assert formula.assignment_from_bools([True, False]) == {
+            1: True, 2: False}
+        with pytest.raises(FormulaError):
+            formula.assignment_from_bools([True])
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        formula = CnfFormula([[1, -2, 3], [-1, 2], [3]])
+        parsed = parse_dimacs(formula.to_dimacs())
+        assert parsed.num_variables == formula.num_variables
+        assert [c.literals for c in parsed.clauses] == \
+            [c.literals for c in formula.clauses]
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        parsed = parse_dimacs(text)
+        assert parsed.num_clauses == 1
+        assert parsed.clauses[0].literals == (1, -2)  # sorted by |var|
+
+    def test_multi_clause_line(self):
+        parsed = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert parsed.num_clauses == 2
+
+    def test_missing_problem_line(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("1 2 0\n")
+
+    def test_bad_problem_line(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p sat 3 2\n")
+
+    def test_non_integer_token(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_wild_clause_count_mismatch(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p cnf 2 50\n1 0\n")
+
+    def test_trailing_percent_tolerated(self):
+        parsed = parse_dimacs("p cnf 2 1\n1 2 0\n%\n")
+        assert parsed.num_clauses == 1
+
+
+@st.composite
+def formulas(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=12))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        lits = set()
+        for _ in range(width):
+            var = draw(st.integers(min_value=1, max_value=num_vars))
+            sign = draw(st.booleans())
+            lits.add(var if sign else -var)
+        clauses.append(Clause(lits))
+    return CnfFormula(clauses, num_variables=num_vars)
+
+
+@settings(max_examples=50, deadline=None)
+@given(formulas())
+def test_property_dimacs_roundtrip(formula):
+    """Any formula survives a DIMACS round trip exactly."""
+    parsed = parse_dimacs(formula.to_dimacs())
+    assert parsed.num_variables == formula.num_variables
+    assert [c.literals for c in parsed.clauses] == \
+        [c.literals for c in formula.clauses]
+
+
+@settings(max_examples=50, deadline=None)
+@given(formulas(), st.integers(min_value=0, max_value=255))
+def test_property_satisfied_plus_unsatisfied_is_total(formula, bits):
+    """num_satisfied + |unsatisfied_clauses| == num_clauses everywhere."""
+    assignment = {v: bool((bits >> (v - 1)) & 1)
+                  for v in range(1, formula.num_variables + 1)}
+    satisfied = formula.num_satisfied(assignment)
+    unsatisfied = len(formula.unsatisfied_clauses(assignment))
+    assert satisfied + unsatisfied == formula.num_clauses

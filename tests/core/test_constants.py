@@ -1,0 +1,65 @@
+"""Unit tests for repro.core.constants."""
+
+import math
+
+import pytest
+
+from repro.core import constants
+
+
+class TestPrefixes:
+    def test_prefixes_are_powers_of_ten(self):
+        assert constants.MEGA == 1e6
+        assert constants.MILLI == 1e-3
+        assert constants.PICO == 1e-12
+
+    def test_prefix_products(self):
+        assert constants.MILLI * constants.KILO == pytest.approx(1.0)
+        assert constants.NANO * constants.GIGA == pytest.approx(1.0)
+
+
+class TestPhysicalConstants:
+    def test_thermal_voltage_at_room_temperature(self):
+        # kT/q at 300 K is the canonical ~25.85 mV
+        assert constants.THERMAL_VOLTAGE_300K_V == pytest.approx(0.02585,
+                                                                 rel=1e-3)
+
+    def test_reduced_planck(self):
+        assert constants.REDUCED_PLANCK_J_S == pytest.approx(
+            constants.PLANCK_J_S / (2 * math.pi))
+
+    def test_superconducting_temperature_is_millikelvin(self):
+        assert 0.0 < constants.SUPERCONDUCTING_QUBIT_TEMP_K < 0.1
+
+
+class TestDb:
+    def test_db_of_ten_is_ten(self):
+        assert constants.db(10.0) == pytest.approx(10.0)
+
+    def test_db_roundtrip(self):
+        for ratio in (0.5, 1.0, 3.2, 1000.0):
+            assert constants.from_db(constants.db(ratio)) == pytest.approx(
+                ratio)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.db(0.0)
+        with pytest.raises(ValueError):
+            constants.db(-1.0)
+
+
+class TestConversions:
+    def test_celsius_to_kelvin(self):
+        assert constants.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert constants.celsius_to_kelvin(26.85) == pytest.approx(300.0)
+
+    def test_celsius_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            constants.celsius_to_kelvin(-300.0)
+
+    def test_period_from_frequency(self):
+        assert constants.period_from_frequency(1e6) == pytest.approx(1e-6)
+
+    def test_period_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            constants.period_from_frequency(0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.events."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    crossing_periods,
+    duty_cycle,
+    falling_crossings,
+    rising_crossings,
+    square_wave,
+    steady_period,
+)
+
+
+def sine(freq, t_end=1.0, samples=2000):
+    t = np.linspace(0.0, t_end, samples)
+    return t, np.sin(2.0 * np.pi * freq * t)
+
+
+class TestRisingCrossings:
+    def test_sine_crossing_count(self):
+        t, v = sine(5.0)
+        crossings = rising_crossings(t, v, 0.0)
+        assert len(crossings) == 5
+
+    def test_interpolation_accuracy(self):
+        t, v = sine(1.0)
+        crossings = rising_crossings(t, v, 0.0)
+        # the interior crossings of sin at threshold 0 should land near
+        # integer times (rising at t=0 is not counted: sample 0 == 0)
+        for crossing in crossings:
+            assert abs(crossing - round(crossing)) < 1e-3
+
+    def test_no_crossings(self):
+        t = np.linspace(0, 1, 100)
+        assert len(rising_crossings(t, np.ones(100), 2.0)) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rising_crossings([0, 1], [1.0], 0.5)
+
+
+class TestFallingCrossings:
+    def test_sine_falling_count(self):
+        t, v = sine(5.0)
+        assert len(falling_crossings(t, v, 0.0)) == 5
+
+    def test_mirrors_rising_of_negated(self):
+        t, v = sine(3.0)
+        falling = falling_crossings(t, v, 0.2)
+        rising_of_neg = rising_crossings(t, -v, -0.2)
+        assert np.allclose(falling, rising_of_neg)
+
+
+class TestPeriods:
+    def test_crossing_periods(self):
+        periods = crossing_periods([0.0, 1.0, 2.1, 3.0])
+        assert periods.tolist() == pytest.approx([1.0, 1.1, 0.9])
+
+    def test_too_few_crossings(self):
+        assert len(crossing_periods([1.0])) == 0
+
+    def test_steady_period_of_sine(self):
+        t, v = sine(10.0, t_end=2.0, samples=8000)
+        period = steady_period(t, v, 0.0)
+        assert period == pytest.approx(0.1, rel=1e-3)
+
+    def test_steady_period_none_without_oscillation(self):
+        t = np.linspace(0, 1, 100)
+        assert steady_period(t, np.zeros(100), 0.5) is None
+
+
+class TestDutyCycle:
+    def test_symmetric_square(self):
+        t = np.linspace(0, 1, 1001)
+        v = np.where((t * 10).astype(int) % 2 == 0, 1.0, 0.0)
+        assert duty_cycle(t, v, 0.5) == pytest.approx(0.5, abs=0.01)
+
+    def test_always_high(self):
+        t = np.linspace(0, 1, 100)
+        assert duty_cycle(t, np.ones(100), 0.5) == 1.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            duty_cycle([0.0], [1.0], 0.5)
+
+
+class TestSquareWave:
+    def test_levels(self):
+        out = square_wave([0.0, 1.0, 0.4, 0.6], 0.5)
+        assert out.tolist() == [0.0, 1.0, 0.0, 1.0]
+
+    def test_custom_levels(self):
+        out = square_wave([0.0, 1.0], 0.5, low=-1.0, high=2.0)
+        assert out.tolist() == [-1.0, 2.0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(freq=st.integers(min_value=2, max_value=20))
+def test_property_sine_period_detected(freq):
+    """steady_period recovers 1/f for sines of any integer frequency."""
+    t = np.linspace(0.0, 3.0, 12000)
+    v = np.sin(2.0 * np.pi * freq * t)
+    period = steady_period(t, v, 0.0)
+    assert period == pytest.approx(1.0 / freq, rel=5e-3)

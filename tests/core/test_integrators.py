@@ -1,0 +1,174 @@
+"""Unit and property tests for repro.core.integrators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import IntegrationError
+from repro.core.integrators import (
+    Trajectory,
+    integrate_adaptive,
+    integrate_clipped,
+    integrate_fixed,
+    rk4_step,
+)
+
+
+def exponential_decay(t, y):
+    return -y
+
+
+def harmonic(t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestTrajectory:
+    def test_shapes_and_accessors(self):
+        traj = Trajectory([0.0, 1.0], [[1.0, 2.0], [3.0, 4.0]], n_steps=1)
+        assert len(traj) == 2
+        assert traj.final_time == 1.0
+        assert traj.final_state.tolist() == [3.0, 4.0]
+        assert traj.component(1).tolist() == [2.0, 4.0]
+
+    def test_1d_states_reshaped(self):
+        traj = Trajectory([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert traj.states.shape == (3, 1)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([0.0, 1.0], [[1.0]])
+
+    def test_resample_interpolates(self):
+        traj = Trajectory([0.0, 2.0], [[0.0], [2.0]])
+        resampled = traj.resample([0.0, 1.0, 2.0])
+        assert resampled.states[:, 0].tolist() == [0.0, 1.0, 2.0]
+
+    def test_final_state_is_a_copy(self):
+        traj = Trajectory([0.0], [[5.0]])
+        final = traj.final_state
+        final[0] = -1.0
+        assert traj.states[-1, 0] == 5.0
+
+
+class TestRk4Step:
+    def test_fourth_order_accuracy_on_decay(self):
+        y = np.array([1.0])
+        out = rk4_step(exponential_decay, 0.0, y, 0.1)
+        assert out[0] == pytest.approx(np.exp(-0.1), abs=1e-7)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            rk4_step(exponential_decay, 0.0, np.array([1.0]), 0.0)
+
+
+class TestIntegrateFixed:
+    def test_exponential_decay_accuracy(self):
+        traj = integrate_fixed(exponential_decay, [1.0], (0.0, 5.0), 0.01)
+        assert traj.final_state[0] == pytest.approx(np.exp(-5.0), rel=1e-6)
+
+    def test_harmonic_energy_conserved(self):
+        traj = integrate_fixed(harmonic, [1.0, 0.0], (0.0, 10.0), 0.005)
+        energy = traj.states[:, 0] ** 2 + traj.states[:, 1] ** 2
+        assert np.max(np.abs(energy - 1.0)) < 1e-6
+
+    def test_record_every_thins_samples(self):
+        dense = integrate_fixed(exponential_decay, [1.0], (0.0, 1.0), 0.01)
+        thin = integrate_fixed(exponential_decay, [1.0], (0.0, 1.0), 0.01,
+                               record_every=10)
+        assert len(thin) < len(dense)
+        assert thin.final_state[0] == pytest.approx(dense.final_state[0])
+
+    def test_stop_condition_terminates(self):
+        traj = integrate_fixed(exponential_decay, [1.0], (0.0, 100.0), 0.01,
+                               stop_condition=lambda t, y: y[0] < 0.5)
+        assert traj.terminated_early
+        assert traj.final_time < 1.0
+
+    def test_bad_time_span_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_fixed(exponential_decay, [1.0], (1.0, 0.0), 0.01)
+
+    def test_non_finite_state_raises(self):
+        def blow_up(t, y):
+            return y ** 2
+
+        with pytest.raises(IntegrationError):
+            integrate_fixed(blow_up, [10.0], (0.0, 10.0), 0.5)
+
+
+class TestIntegrateAdaptive:
+    def test_decay_accuracy(self):
+        traj = integrate_adaptive(exponential_decay, [1.0], (0.0, 5.0),
+                                  rtol=1e-8, atol=1e-10)
+        assert traj.final_state[0] == pytest.approx(np.exp(-5.0), rel=1e-6)
+
+    def test_adapts_step_size(self):
+        # stiff-ish problem: fast transient then slow tail
+        def stiff(t, y):
+            return np.array([-50.0 * (y[0] - np.cos(t))])
+
+        traj = integrate_adaptive(stiff, [0.0], (0.0, 2.0), rtol=1e-6)
+        assert traj.n_rejected >= 0
+        assert traj.n_steps > 10
+
+    def test_stop_condition(self):
+        traj = integrate_adaptive(exponential_decay, [1.0], (0.0, 50.0),
+                                  stop_condition=lambda t, y: y[0] < 0.1)
+        assert traj.terminated_early
+
+    def test_max_steps_enforced(self):
+        with pytest.raises(IntegrationError):
+            integrate_adaptive(harmonic, [1.0, 0.0], (0.0, 1e9),
+                               max_steps=50)
+
+    def test_harmonic_phase_accuracy(self):
+        traj = integrate_adaptive(harmonic, [1.0, 0.0],
+                                  (0.0, 2.0 * np.pi), rtol=1e-9, atol=1e-12)
+        assert traj.final_state[0] == pytest.approx(1.0, abs=1e-5)
+        assert traj.final_state[1] == pytest.approx(0.0, abs=1e-5)
+
+
+class TestIntegrateClipped:
+    def test_clipping_enforced_every_step(self):
+        # dynamics that want to leave [0, 1]
+        traj = integrate_clipped(lambda t, y: np.ones_like(y), [0.5],
+                                 (0.0, 10.0), 0.1, lower=[0.0], upper=[1.0])
+        assert np.all(traj.states <= 1.0)
+        assert traj.final_state[0] == pytest.approx(1.0)
+
+    def test_unclipped_components(self):
+        # two components, only the second clipped
+        def rhs(t, y):
+            return np.array([1.0, 1.0])
+
+        traj = integrate_clipped(rhs, [0.0, 0.0], (0.0, 2.0), 0.01,
+                                 lower=[-np.inf, 0.0], upper=[np.inf, 1.0])
+        assert traj.final_state[0] == pytest.approx(2.0, rel=1e-6)
+        assert traj.final_state[1] == pytest.approx(1.0)
+
+    def test_stop_condition(self):
+        traj = integrate_clipped(lambda t, y: -y, [1.0], (0.0, 100.0), 0.01,
+                                 stop_condition=lambda t, y: y[0] < 0.5)
+        assert traj.terminated_early
+
+
+@settings(max_examples=25, deadline=None)
+@given(decay=st.floats(min_value=0.1, max_value=5.0),
+       y0=st.floats(min_value=0.1, max_value=10.0))
+def test_property_fixed_decay_matches_closed_form(decay, y0):
+    """RK4 tracks a*exp(-k t) for any (k, a) in a reasonable range."""
+    traj = integrate_fixed(lambda t, y: -decay * y, [y0], (0.0, 1.0), 0.005)
+    assert traj.final_state[0] == pytest.approx(y0 * np.exp(-decay),
+                                                rel=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(y0=st.floats(min_value=-0.99, max_value=0.99))
+def test_property_clipped_states_stay_in_box(y0):
+    """Whatever the push, clipped states never leave the box."""
+    traj = integrate_clipped(lambda t, y: 100.0 * np.sin(y * 7.0) + 3.0,
+                             [y0], (0.0, 1.0), 0.02,
+                             lower=[-1.0], upper=[1.0])
+    assert np.all(traj.states >= -1.0)
+    assert np.all(traj.states <= 1.0)

@@ -1,0 +1,99 @@
+"""Tests for file I/O helpers (DIMACS/WCNF/QASM round trips on disk)."""
+
+import pytest
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.exceptions import DimacsParseError
+from repro.core.io import (
+    ensure_directory,
+    load_dimacs,
+    load_qasm,
+    load_wcnf,
+    save_dimacs,
+    save_qasm,
+    save_wcnf,
+)
+from repro.core.sat_instances import planted_ksat
+
+
+class TestDimacsFiles:
+    def test_roundtrip(self, tmp_path):
+        formula = planted_ksat(12, 40, rng=0)
+        path = save_dimacs(formula, str(tmp_path / "instance.cnf"))
+        loaded = load_dimacs(path)
+        assert loaded.num_variables == formula.num_variables
+        assert [c.literals for c in loaded.clauses] == \
+            [c.literals for c in formula.clauses]
+
+    def test_solver_consumes_loaded_file(self, tmp_path):
+        from repro.memcomputing.solver import DmmSolver
+
+        formula = planted_ksat(15, 55, rng=1)
+        path = save_dimacs(formula, str(tmp_path / "x.cnf"))
+        result = DmmSolver().solve(load_dimacs(path), rng=2)
+        assert result.satisfied
+
+
+class TestWcnfFiles:
+    def _weighted_formula(self):
+        return CnfFormula([
+            Clause([1, 2]),                  # hard
+            Clause([-1, 3]),                 # hard
+            Clause([2], weight=3.0),         # soft
+            Clause([-3], weight=5.0),        # soft
+        ])
+
+    def test_roundtrip_partition(self, tmp_path):
+        formula = self._weighted_formula()
+        path = save_wcnf(formula, str(tmp_path / "instance.wcnf"))
+        loaded = load_wcnf(path)
+        assert len(loaded.hard_clauses) == 2
+        assert len(loaded.soft_clauses) == 2
+        weights = sorted(c.weight for c in loaded.soft_clauses)
+        assert weights == [3.0, 5.0]
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.wcnf"
+        path.write_text("p cnf 2 1\n1 2 0\n")
+        with pytest.raises(DimacsParseError):
+            load_wcnf(str(path))
+
+    def test_missing_terminator_rejected(self, tmp_path):
+        path = tmp_path / "bad2.wcnf"
+        path.write_text("p wcnf 2 1 10\n3 1 2\n")
+        with pytest.raises(DimacsParseError):
+            load_wcnf(str(path))
+
+    def test_clause_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad3.wcnf"
+        path.write_text("3 1 2 0\n")
+        with pytest.raises(DimacsParseError):
+            load_wcnf(str(path))
+
+
+class TestQasmFiles:
+    def test_roundtrip(self, tmp_path):
+        import numpy as np
+
+        from repro.quantum.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(3).h(0).cnot(0, 2).rz(1, 0.7)
+        path = save_qasm(circuit, str(tmp_path / "kernel.qasm"))
+        loaded = load_qasm(path)
+        fidelity = abs(np.vdot(circuit.statevector().amplitudes,
+                               loaded.statevector().amplitudes)) ** 2
+        assert fidelity == pytest.approx(1.0)
+
+
+class TestEnsureDirectory:
+    def test_creates_nested(self, tmp_path):
+        target = str(tmp_path / "a" / "b" / "c")
+        assert ensure_directory(target) == target
+        import os
+
+        assert os.path.isdir(target)
+
+    def test_idempotent(self, tmp_path):
+        target = str(tmp_path / "x")
+        ensure_directory(target)
+        ensure_directory(target)  # no error

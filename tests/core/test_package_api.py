@@ -1,0 +1,51 @@
+"""Public-API sanity: every exported name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.quantum",
+    "repro.quantum.algorithms",
+    "repro.oscillators",
+    "repro.oscillators.fast",
+    "repro.memcomputing",
+    "repro.memcomputing.baselines",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    module = importlib.import_module(package_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    module = importlib.import_module(package_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), \
+            "%s.__all__ lists missing name %r" % (package_name, name)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_exception_hierarchy_rooted():
+    from repro.core import exceptions
+
+    roots = 0
+    for name in dir(exceptions):
+        obj = getattr(exceptions, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) \
+                and obj.__module__ == exceptions.__name__:
+            if obj is exceptions.ReproError:
+                roots += 1
+            else:
+                assert issubclass(obj, exceptions.ReproError), name
+    assert roots == 1

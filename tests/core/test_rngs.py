@@ -1,0 +1,54 @@
+"""Unit tests for repro.core.rngs."""
+
+import numpy as np
+import pytest
+
+from repro.core.rngs import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5),
+                                  make_rng(2).random(5))
+
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            make_rng("not a seed")
+        with pytest.raises(TypeError):
+            make_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(8).tolist() for c in children]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_deterministic_given_seed(self):
+        a = [c.random(4).tolist() for c in spawn_rngs(7, 3)]
+        b = [c.random(4).tolist() for c in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,132 @@
+"""Unit and property tests for repro.core.sat_instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sat_instances import (
+    frustrated_loop_ising,
+    ising_energy,
+    planted_ksat,
+    planted_maxsat,
+    random_ksat,
+)
+
+
+class TestRandomKsat:
+    def test_shape(self):
+        formula = random_ksat(20, 50, k=3, rng=0)
+        assert formula.num_variables == 20
+        assert formula.num_clauses == 50
+        assert all(len(c) == 3 for c in formula.clauses)
+
+    def test_no_tautologies(self):
+        formula = random_ksat(10, 100, rng=1)
+        assert not any(c.is_tautology for c in formula.clauses)
+
+    def test_deterministic_with_seed(self):
+        a = random_ksat(10, 20, rng=7)
+        b = random_ksat(10, 20, rng=7)
+        assert [c.literals for c in a.clauses] == \
+            [c.literals for c in b.clauses]
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+
+
+class TestPlantedKsat:
+    def test_plant_satisfies(self):
+        formula, plant = planted_ksat(30, 130, rng=3,
+                                      return_assignment=True)
+        assert formula.is_satisfied_by(plant)
+
+    def test_without_assignment_return(self):
+        formula = planted_ksat(10, 30, rng=2)
+        assert formula.num_clauses == 30
+
+    def test_k2_supported(self):
+        formula, plant = planted_ksat(10, 20, k=2, rng=4,
+                                      return_assignment=True)
+        assert all(len(c) == 2 for c in formula.clauses)
+        assert formula.is_satisfied_by(plant)
+
+
+class TestPlantedMaxsat:
+    def test_hard_core_satisfied_by_plant(self):
+        formula, plant = planted_maxsat(20, 60, 30, rng=5)
+        assert all(c.is_satisfied_by(plant) for c in formula.hard_clauses)
+
+    def test_counts(self):
+        formula, _plant = planted_maxsat(20, 60, 30, rng=5)
+        assert len(formula.hard_clauses) == 60
+        assert len(formula.soft_clauses) == 30
+
+    def test_weights_in_range(self):
+        formula, _plant = planted_maxsat(20, 10, 40, rng=6,
+                                         weight_range=(2.0, 4.0))
+        for clause in formula.soft_clauses:
+            assert 2.0 <= clause.weight <= 4.0
+
+
+class TestFrustratedLoops:
+    def test_bound_achieved_by_uniform_state(self):
+        # Non-overlapping-ish loops: the all-up state satisfies every
+        # ferromagnetic bond and violates exactly one bond per loop.
+        couplings, bound = frustrated_loop_ising(50, 6, rng=7)
+        energy = ising_energy(couplings, np.ones(50))
+        assert energy == pytest.approx(bound)
+
+    def test_bound_is_lower_bound_for_random_states(self):
+        couplings, bound = frustrated_loop_ising(30, 5, rng=8)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            spins = rng.choice([-1, 1], size=30)
+            assert ising_energy(couplings, spins) >= bound - 1e-9
+
+    def test_couplings_symmetric_keys(self):
+        couplings, _bound = frustrated_loop_ising(20, 3, rng=9)
+        for (i, j) in couplings:
+            assert i < j
+
+    def test_loop_length_validation(self):
+        with pytest.raises(ValueError):
+            frustrated_loop_ising(10, 2, loop_length=2)
+        with pytest.raises(ValueError):
+            frustrated_loop_ising(3, 2, loop_length=6)
+
+
+class TestIsingEnergy:
+    def test_simple_pair(self):
+        couplings = {(0, 1): 1.0}
+        assert ising_energy(couplings, [1, 1]) == 1.0
+        assert ising_energy(couplings, [1, -1]) == -1.0
+
+    def test_fields(self):
+        assert ising_energy({}, [1, -1], fields=[2.0, 3.0]) == -1.0
+
+    def test_flip_symmetry_without_fields(self):
+        couplings = {(0, 1): 1.5, (1, 2): -0.5}
+        spins = np.array([1, -1, 1])
+        assert ising_energy(couplings, spins) == \
+            ising_energy(couplings, -spins)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=5, max_value=30),
+       st.integers(min_value=1, max_value=60),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_planted_always_satisfiable(num_vars, num_clauses, seed):
+    """Every planted instance is satisfied by its plant."""
+    formula, plant = planted_ksat(max(num_vars, 3), num_clauses, rng=seed,
+                                  return_assignment=True)
+    assert formula.is_satisfied_by(plant)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_frustrated_loop_bound(seed):
+    """The planted uniform state always achieves the energy bound."""
+    couplings, bound = frustrated_loop_ising(24, 4, loop_length=5, rng=seed)
+    assert ising_energy(couplings, np.ones(24)) <= bound + 1e-9

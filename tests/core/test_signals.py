@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.signals."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import LockingError
+from repro.core.signals import (
+    cycle_frequency,
+    dominant_frequency,
+    instantaneous_phase,
+    is_frequency_locked,
+    phase_difference,
+    power_spectrum,
+    time_average,
+)
+
+
+def make_wave(freq, phase=0.0, t_end=2.0, samples=8000):
+    t = np.linspace(0.0, t_end, samples)
+    return t, np.sin(2.0 * np.pi * freq * t + phase)
+
+
+class TestDominantFrequency:
+    def test_recovers_sine_frequency(self):
+        t, v = make_wave(25.0)
+        assert dominant_frequency(t, v) == pytest.approx(25.0, rel=0.02)
+
+    def test_ignores_dc(self):
+        t, v = make_wave(10.0)
+        assert dominant_frequency(t, v + 5.0) == pytest.approx(10.0,
+                                                               rel=0.02)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_frequency([0, 1, 2], [0, 1, 0])
+
+
+class TestCycleFrequency:
+    def test_matches_sine(self):
+        t, v = make_wave(12.0)
+        assert cycle_frequency(t, v, 0.0) == pytest.approx(12.0, rel=1e-3)
+
+    def test_none_for_flat_signal(self):
+        t = np.linspace(0, 1, 100)
+        assert cycle_frequency(t, np.zeros(100), 0.5) is None
+
+
+class TestPhase:
+    def test_phase_increases_by_cycles(self):
+        t, v = make_wave(5.0)
+        sample_times, phase = instantaneous_phase(t, v, 0.0)
+        assert phase[-1] - phase[0] == pytest.approx(
+            (sample_times[-1] - sample_times[0]) * 5.0, rel=0.02)
+
+    def test_phase_needs_two_crossings(self):
+        t = np.linspace(0, 1, 100)
+        with pytest.raises(LockingError):
+            instantaneous_phase(t, np.zeros(100), 0.5)
+
+    def test_phase_difference_of_shifted_waves(self):
+        t, a = make_wave(8.0)
+        _t, b = make_wave(8.0, phase=np.pi)  # half a cycle apart
+        diff = phase_difference(t, a, b, 0.0)
+        assert abs(abs(diff) - 0.5) < 0.02
+
+    def test_phase_difference_zero_for_identical(self):
+        t, a = make_wave(8.0)
+        assert abs(phase_difference(t, a, a.copy(), 0.0)) < 1e-6
+
+
+class TestLockingDetection:
+    def test_identical_frequencies_locked(self):
+        t, a = make_wave(10.0)
+        _t, b = make_wave(10.0, phase=1.0)
+        assert is_frequency_locked(t, a, b, 0.0)
+
+    def test_detuned_not_locked(self):
+        t, a = make_wave(10.0)
+        _t, b = make_wave(12.0)
+        assert not is_frequency_locked(t, a, b, 0.0)
+
+    def test_flat_signal_not_locked(self):
+        t, a = make_wave(10.0)
+        assert not is_frequency_locked(t, a, np.zeros_like(a), 0.0)
+
+
+class TestTimeAverage:
+    def test_constant(self):
+        t = np.linspace(0, 1, 50)
+        assert time_average(t, np.full(50, 3.0)) == pytest.approx(3.0)
+
+    def test_sine_averages_to_zero(self):
+        t, v = make_wave(4.0, t_end=1.0)
+        assert time_average(t, v) == pytest.approx(0.0, abs=1e-3)
+
+    def test_ramp(self):
+        t = np.linspace(0, 1, 100)
+        assert time_average(t, t) == pytest.approx(0.5, rel=1e-3)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            time_average([0.0], [1.0])
+
+
+class TestPowerSpectrum:
+    def test_peak_at_signal_frequency(self):
+        t, v = make_wave(30.0)
+        freqs, magnitude = power_spectrum(t, v)
+        peak = freqs[np.argmax(magnitude)]
+        assert peak == pytest.approx(30.0, rel=0.02)
+
+    def test_harmonics_of_square_wave(self):
+        t = np.linspace(0, 1, 4000)
+        square = np.sign(np.sin(2 * np.pi * 10 * t))
+        freqs, magnitude = power_spectrum(t, square)
+        fundamental = magnitude[np.argmin(np.abs(freqs - 10.0))]
+        third = magnitude[np.argmin(np.abs(freqs - 30.0))]
+        # odd harmonic at roughly 1/3 amplitude
+        assert third == pytest.approx(fundamental / 3.0, rel=0.15)

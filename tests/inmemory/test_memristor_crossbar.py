@@ -1,0 +1,127 @@
+"""Tests for the memristor device and crossbar array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inmemory.crossbar import Crossbar
+from repro.inmemory.memristor import HRS, LRS, Memristor, MemristorError
+
+
+class TestMemristor:
+    def test_starts_in_hrs(self):
+        device = Memristor()
+        assert device.state == HRS
+        assert device.resistance == device.r_off
+
+    def test_set_and_reset(self):
+        device = Memristor(v_set=1.0, v_reset=1.0)
+        device.apply_voltage(1.5)
+        assert device.state == LRS
+        assert device.resistance == device.r_on
+        device.apply_voltage(-1.5)
+        assert device.state == HRS
+
+    def test_subthreshold_is_nondestructive(self):
+        device = Memristor()
+        device.write_bit(1)
+        for voltage in (0.5, -0.5, 0.0):
+            device.apply_voltage(voltage)
+            assert device.state == LRS
+
+    def test_write_read_roundtrip(self):
+        device = Memristor()
+        for bit in (1, 0, 1, 1, 0):
+            device.write_bit(bit)
+            assert device.read_bit() == bit
+
+    def test_validation(self):
+        with pytest.raises(MemristorError):
+            Memristor(r_on=1e6, r_off=1e3)
+        with pytest.raises(MemristorError):
+            Memristor(v_set=-1.0)
+        with pytest.raises(MemristorError):
+            Memristor(state=7)
+
+    def test_analog_programming_window(self):
+        device = Memristor(r_on=1e4, r_off=1e6)
+        conductance = device.program_conductance(5e-5)
+        assert 1e-6 <= conductance <= 1e-4
+        assert device.conductance == pytest.approx(conductance)
+
+    def test_analog_clipping(self):
+        device = Memristor(r_on=1e4, r_off=1e6)
+        assert device.program_conductance(1.0) == pytest.approx(1e-4)
+        assert device.program_conductance(0.0) == pytest.approx(1e-6)
+
+    def test_variability_stays_in_window(self):
+        device = Memristor(r_on=1e4, r_off=1e6)
+        for seed in range(20):
+            conductance = device.program_conductance(
+                5e-5, variability=0.3, rng=seed)
+            assert 1e-6 <= conductance <= 1e-4
+
+    def test_digital_write_clears_analog(self):
+        device = Memristor()
+        device.program_conductance(5e-5)
+        device.write_bit(1)
+        assert device.resistance == device.r_on
+
+
+class TestCrossbar:
+    def test_storage_roundtrip(self):
+        array = Crossbar(3, 4)
+        array.write_row(1, [1, 0, 1, 1])
+        assert array.read_row(1) == [1, 0, 1, 1]
+        assert array.read_row(0) == [0, 0, 0, 0]
+
+    def test_bounds_checked(self):
+        array = Crossbar(2, 2)
+        with pytest.raises(MemristorError):
+            array.read_bit(2, 0)
+        with pytest.raises(MemristorError):
+            array.write_row(0, [1])
+
+    def test_conditional_set_majority(self):
+        array = Crossbar(1, 4)
+        array.write_row(0, [1, 1, 0, 0])
+        # target (0,3) starts 0; operands read 1, 1 -> majority(1,1,0)=1
+        result = array.conditional_set((0, 3), [(0, 0), (0, 1)])
+        assert result == 1
+        assert array.read_bit(0, 3) == 1
+
+    def test_conditional_set_needs_odd_votes(self):
+        array = Crossbar(1, 4)
+        with pytest.raises(MemristorError):
+            array.conditional_set((0, 3), [(0, 0)])
+
+    def test_analog_read_is_v_dot_g(self):
+        array = Crossbar(2, 2)
+        g = array.conductance_matrix()
+        currents = array.analog_read([0.3, -0.1])
+        expected = np.array([0.3, -0.1]) @ g
+        assert np.allclose(currents, expected)
+
+    def test_analog_read_shape_checked(self):
+        with pytest.raises(MemristorError):
+            Crossbar(2, 2).analog_read([1.0])
+
+    def test_read_noise_perturbs(self):
+        array = Crossbar(4, 4)
+        for row in range(4):
+            array.write_row(row, [1, 1, 1, 1])
+        clean = array.analog_read([0.2] * 4)
+        noisy = array.analog_read([0.2] * 4, noise_sigma=0.1, rng=0)
+        assert not np.allclose(clean, noisy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=6,
+                max_size=6))
+def test_property_storage_is_faithful(bits):
+    """Any bit pattern survives a write/read cycle."""
+    array = Crossbar(2, 3)
+    array.write_row(0, bits[:3])
+    array.write_row(1, bits[3:])
+    assert array.read_row(0) + array.read_row(1) == bits

@@ -1,0 +1,121 @@
+"""Tests for the in-memory spiking classifier (intro's neuromorphic thread)."""
+
+import numpy as np
+import pytest
+
+from repro.inmemory.neuromorphic import (
+    LifLayer,
+    NeuromorphicError,
+    SpikingClassifier,
+    prototype_patterns,
+    rate_encode,
+    train_rate_weights,
+)
+
+
+class TestLifLayer:
+    def test_integrates_and_fires(self):
+        layer = LifLayer(1, threshold=1.0, leak=1.0 - 1e-12)
+        spikes = [layer.step([0.4])[0] for _ in range(3)]
+        assert spikes == [0.0, 0.0, 1.0]
+
+    def test_reset_after_spike(self):
+        layer = LifLayer(1, threshold=1.0, leak=0.9)
+        layer.step([1.5])
+        assert layer.membrane[0] == 0.0
+
+    def test_leak_decays_subthreshold_charge(self):
+        layer = LifLayer(1, threshold=10.0, leak=0.5)
+        layer.step([1.0])
+        layer.step([0.0])
+        assert layer.membrane[0] == pytest.approx(0.5)
+
+    def test_negative_current_never_spikes(self):
+        layer = LifLayer(1)
+        for _ in range(20):
+            assert layer.step([-2.0])[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(NeuromorphicError):
+            LifLayer(0)
+        with pytest.raises(NeuromorphicError):
+            LifLayer(2, leak=1.0)
+        with pytest.raises(NeuromorphicError):
+            LifLayer(2, threshold=0.0)
+        with pytest.raises(NeuromorphicError):
+            LifLayer(2).step([1.0])
+
+
+class TestRateEncoding:
+    def test_density_proportional_to_value(self):
+        trains = rate_encode([1.0, 0.5, 0.0], num_steps=100)
+        counts = trains.sum(axis=0)
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[2] == 0.0
+
+    def test_binary_output(self):
+        trains = rate_encode([0.3, 0.9], num_steps=40)
+        assert set(np.unique(trains)) <= {0.0, 1.0}
+
+    def test_negative_rejected(self):
+        with pytest.raises(NeuromorphicError):
+            rate_encode([-1.0], 10)
+
+
+class TestPrototypePatterns:
+    def test_shapes_and_labels(self):
+        samples, labels = prototype_patterns(30, side=4, num_classes=2,
+                                             rng=0)
+        assert samples.shape == (30, 16)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_noiseless_prototypes_distinct(self):
+        samples, labels = prototype_patterns(40, side=4, noise=0.0, rng=1)
+        class0 = samples[labels == 0]
+        class1 = samples[labels == 1]
+        assert not np.array_equal(class0[0], class1[0])
+        # all noiseless members of a class are identical
+        assert np.all(class0 == class0[0])
+
+    def test_class_count_validation(self):
+        with pytest.raises(NeuromorphicError):
+            prototype_patterns(10, side=4, num_classes=1)
+        with pytest.raises(NeuromorphicError):
+            prototype_patterns(10, side=4, num_classes=5)
+
+
+class TestSpikingClassifier:
+    @pytest.fixture()
+    def task(self):
+        samples, labels = prototype_patterns(160, side=4, noise=0.08,
+                                             rng=0)
+        weights = train_rate_weights(samples[:120], labels[:120], 2,
+                                     rng=1)
+        return weights, samples[120:], labels[120:]
+
+    def test_clean_accuracy(self, task):
+        weights, test_x, test_y = task
+        classifier = SpikingClassifier(weights, gain=2.0)
+        assert classifier.accuracy(test_x, test_y) >= 0.95
+
+    def test_robust_to_device_variability(self, task):
+        weights, test_x, test_y = task
+        classifier = SpikingClassifier(weights, variability=0.1, rng=2,
+                                       gain=2.0)
+        assert classifier.accuracy(test_x, test_y,
+                                   noise_sigma=0.03, rng=3) >= 0.9
+
+    def test_four_classes(self):
+        samples, labels = prototype_patterns(240, side=4, num_classes=4,
+                                             noise=0.05, rng=4)
+        weights = train_rate_weights(samples[:180], labels[:180], 4,
+                                     rng=5)
+        classifier = SpikingClassifier(weights, gain=2.0)
+        assert classifier.accuracy(samples[180:], labels[180:]) >= 0.9
+
+    def test_infer_returns_counts(self, task):
+        weights, test_x, _test_y = task
+        classifier = SpikingClassifier(weights, gain=2.0)
+        predicted, counts = classifier.infer(test_x[0])
+        assert counts.shape == (2,)
+        assert predicted == int(np.argmax(counts))

@@ -1,0 +1,177 @@
+"""Tests for the PLIM computer and the analog VMM."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inmemory.memristor import MemristorError
+from repro.inmemory.plim import (
+    PlimComputer,
+    PlimError,
+    PlimProgram,
+    compile_expression,
+    plim_full_adder,
+)
+from repro.inmemory.vmm import AnalogVmm, data_movement_comparison
+
+
+def evaluate(node, env):
+    kind = node[0]
+    if kind == "var":
+        return env[node[1]]
+    if kind == "const":
+        return node[1]
+    if kind == "not":
+        return 1 - evaluate(node[1], env)
+    left, right = evaluate(node[1], env), evaluate(node[2], env)
+    return {"and": left & right, "or": left | right,
+            "xor": left ^ right}[kind]
+
+
+class TestPlimPrimitives:
+    @pytest.mark.parametrize("kind,table", [
+        ("and", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ("or", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        ("xor", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+    ])
+    def test_binary_gates(self, kind, table):
+        program, cell = compile_expression(
+            (kind, ("var", "a"), ("var", "b")))
+        program.declare_output("f", cell)
+        for (a, b), expected in table.items():
+            out = PlimComputer().run(program, {"a": a, "b": b})
+            assert out["f"] == expected, (kind, a, b)
+
+    def test_not_gate(self):
+        program, cell = compile_expression(("not", ("var", "a")))
+        program.declare_output("f", cell)
+        assert PlimComputer().run(program, {"a": 0})["f"] == 1
+        assert PlimComputer().run(program, {"a": 1})["f"] == 0
+
+    def test_constants(self):
+        program, cell = compile_expression(
+            ("or", ("const", 0), ("const", 1)))
+        program.declare_output("f", cell)
+        assert PlimComputer().run(program, {})["f"] == 1
+
+    def test_malformed_expression(self):
+        with pytest.raises(PlimError):
+            compile_expression(("nand", ("var", "a"), ("var", "b")))
+        with pytest.raises(PlimError):
+            compile_expression("a")
+
+    def test_missing_input_rejected(self):
+        program, cell = compile_expression(("var", "a"))
+        program.declare_output("f", cell)
+        with pytest.raises(PlimError):
+            PlimComputer().run(program, {})
+
+    def test_program_too_big_for_array(self):
+        from repro.inmemory.crossbar import Crossbar
+
+        program = plim_full_adder()
+        with pytest.raises(PlimError):
+            PlimComputer(Crossbar(2, 2)).run(
+                program, {"a": 0, "b": 0, "cin": 0})
+
+
+class TestFullAdder:
+    def test_truth_table(self):
+        program = plim_full_adder()
+        for a, b, cin in itertools.product([0, 1], repeat=3):
+            out = PlimComputer().run(program,
+                                     {"a": a, "b": b, "cin": cin})
+            total = a + b + cin
+            assert out["sum"] == total % 2
+            assert out["cout"] == total // 2
+
+    def test_cost_accounting(self):
+        program = plim_full_adder()
+        counts = program.op_count()
+        assert counts["rm3"] > 0
+        assert len(program) == sum(counts.values())
+        assert program.cells_used > 3  # inputs plus working cells
+
+
+class TestCompilerProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_expressions_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        names = ["x", "y", "z"]
+
+        def random_expr(depth):
+            if depth == 0 or rng.random() < 0.3:
+                if rng.random() < 0.15:
+                    return ("const", int(rng.integers(0, 2)))
+                return ("var", names[rng.integers(0, len(names))])
+            kind = ["and", "or", "xor", "not"][rng.integers(0, 4)]
+            if kind == "not":
+                return ("not", random_expr(depth - 1))
+            return (kind, random_expr(depth - 1), random_expr(depth - 1))
+
+        expression = random_expr(3)
+        program, cell = compile_expression(expression)
+        program.declare_output("f", cell)
+        for x, y, z in itertools.product([0, 1], repeat=3):
+            env = {"x": x, "y": y, "z": z}
+            assert PlimComputer().run(program, env)["f"] \
+                == evaluate(expression, env)
+
+
+class TestAnalogVmm:
+    def test_ideal_multiply_is_exact(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(6, 3))
+        vmm = AnalogVmm(weights)
+        vector = rng.normal(size=6)
+        assert vmm.relative_error(vector) < 1e-10
+
+    def test_error_grows_with_variability(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(8, 4))
+        vector = rng.normal(size=8)
+        clean = AnalogVmm(weights, variability=0.0).relative_error(vector)
+        rough = AnalogVmm(weights, variability=0.1,
+                          rng=2).relative_error(vector)
+        assert rough > clean
+
+    def test_zero_vector(self):
+        weights = np.ones((3, 2))
+        vmm = AnalogVmm(weights)
+        assert np.allclose(vmm.multiply(np.zeros(3)), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(MemristorError):
+            AnalogVmm(np.ones(3))
+        with pytest.raises(MemristorError):
+            AnalogVmm(np.ones((2, 2)), g_min=1e-4, g_max=1e-6)
+        with pytest.raises(MemristorError):
+            AnalogVmm(np.ones((2, 2))).multiply([1.0])
+
+    def test_negative_weights_supported(self):
+        weights = np.array([[1.0, -2.0], [-0.5, 0.25]])
+        vmm = AnalogVmm(weights)
+        vector = np.array([1.0, 2.0])
+        assert np.allclose(vmm.multiply(vector), vector @ weights,
+                           atol=1e-10)
+
+
+class TestDataMovement:
+    def test_in_memory_wins_at_scale(self):
+        report = data_movement_comparison(256, 64, 1000)
+        assert report["ratio"] > 10.0
+        assert report["in_memory_bytes"] < report["von_neumann_bytes"]
+
+    def test_single_multiply_near_parity(self):
+        report = data_movement_comparison(16, 16, 1)
+        # one multiply: the crossbar still had to be programmed once
+        assert report["ratio"] < 2.0
+
+    def test_ratio_grows_with_reuse(self):
+        few = data_movement_comparison(64, 64, 10)["ratio"]
+        many = data_movement_comparison(64, 64, 10_000)["ratio"]
+        assert many > few

@@ -1,0 +1,128 @@
+"""Cross-module integration tests: each paradigm exercised end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.baselines import DpllSolver, WalkSatSolver
+from repro.memcomputing.solver import DmmSolver
+from repro.oscillators.fast import (
+    OscillatorFastDetector,
+    SoftwareFastDetector,
+    rectangle_image,
+)
+from repro.oscillators.fast.oscillator_fast import agreement
+from repro.quantum.accelerator import QuantumAccelerator
+from repro.quantum.algorithms.qft import qft_circuit
+from repro.quantum.algorithms.shor import order_finding_circuit, shor_factor
+from repro.quantum.circuit import QuantumCircuit
+
+
+class TestQuantumFullStack:
+    def test_qft_kernel_through_accelerator(self):
+        """A QFT kernel survives compile+route+execute with correct stats."""
+        accelerator = QuantumAccelerator(4)
+        kernel = qft_circuit(4, name="qft4")
+        kernel.measure_all()
+        result, report = accelerator.execute_kernel(kernel, shots=256,
+                                                    rng=0)
+        # QFT of |0000> is uniform: all 16 outcomes should appear
+        assert len(result.counts) == 16
+        layers = dict(report.rows())
+        assert layers["compiler (mapping+routing)"]["physical_qubits"] == 4
+
+    def test_order_finding_on_microarchitecture(self):
+        """Shor's order-finding kernel runs on the uarch, not just the
+        reference simulator, and still recovers the order."""
+        from repro.quantum.microarch import MicroArchitecture
+
+        circuit, t, n = order_finding_circuit(7, 15)
+        microarch = MicroArchitecture(circuit.num_qubits)
+        # several shots: at least one should give a useful phase
+        from repro.quantum.algorithms.shor import (
+            continued_fraction_convergents,
+        )
+
+        orders = set()
+        for seed in range(8):
+            result = microarch.execute_circuit(circuit, rng=seed)
+            measured = result.bits_as_int(["c%d" % q for q in range(t)])
+            if measured == 0:
+                continue
+            for convergent in continued_fraction_convergents(
+                    measured, 2 ** t):
+                candidate = convergent.denominator
+                if 0 < candidate < 15 and pow(7, candidate, 15) == 1:
+                    orders.add(candidate)
+        assert 4 in orders
+
+    def test_shor_factors_through_default_path(self):
+        result = shor_factor(35, rng=5)
+        assert result.succeeded
+        assert sorted(result.factors) == [5, 7]
+
+    def test_compiled_bell_statistics_match_reference(self):
+        """Routing must not change measured statistics."""
+        accelerator = QuantumAccelerator(5)
+        kernel = QuantumCircuit(5, name="bell_far").h(0).cnot(0, 4)
+        kernel.measure(0, "a").measure(4, "b")
+        result, _report = accelerator.execute_kernel(kernel, shots=400,
+                                                     rng=1)
+        agree = result.counts.get(0, 0) + result.counts.get(3, 0)
+        assert agree == 400
+
+
+class TestOscillatorPipeline:
+    def test_oscillator_fast_matches_software_end_to_end(self):
+        image, ground_truth = rectangle_image()
+        software = SoftwareFastDetector(threshold=30, n=9)
+        oscillator = OscillatorFastDetector(threshold=30, n=9)
+        report = agreement(oscillator.detect(image),
+                           software.detect(image), tolerance=0)
+        assert report["precision"] == 1.0 and report["recall"] == 1.0
+        # and both recover the true rectangle corners
+        truth = agreement(software.detect(image), ground_truth,
+                          tolerance=2)
+        assert truth["recall"] == 1.0
+
+    @pytest.mark.slow
+    def test_physical_distance_unit_detects_corner(self):
+        """One corner pixel checked with the full ODE-backed primitive."""
+        from repro.oscillators.distance import OscillatorDistanceUnit
+
+        image, corners = rectangle_image()
+        unit = OscillatorDistanceUnit(mode="physical", cycles=60)
+        detector = OscillatorFastDetector(threshold=30, n=9,
+                                          distance_unit=unit)
+        row, col = corners[0]
+        assert detector.is_corner(image, row, col)
+
+
+class TestMemcomputingAgainstBaselines:
+    def test_dmm_walksat_dpll_agree_on_planted(self):
+        formula = planted_ksat(40, 168, rng=0)
+        dmm = DmmSolver().solve(formula, rng=1)
+        walksat = WalkSatSolver().solve(formula, rng=2)
+        dpll = DpllSolver().solve(formula)
+        assert dmm.satisfied and walksat.satisfied and dpll.satisfiable
+        for assignment in (dmm.assignment, walksat.assignment,
+                           dpll.assignment):
+            assert formula.is_satisfied_by(assignment)
+
+    def test_dmm_competitive_work_on_planted(self):
+        """DMM steps stay within a sane multiple of WalkSAT flips."""
+        formula = planted_ksat(60, 252, rng=3)
+        dmm = DmmSolver().solve(formula, rng=4)
+        walksat = WalkSatSolver().solve(formula, rng=5)
+        assert dmm.satisfied and walksat.satisfied
+        assert dmm.steps < 200_000
+
+
+class TestCrossParadigm:
+    def test_factoring_two_ways(self):
+        """15 factors identically via Shor and via memcomputing."""
+        from repro.memcomputing.circuit import factor_with_memcomputing
+
+        quantum = shor_factor(15, rng=0)
+        mem_a, mem_b = factor_with_memcomputing(15, rng=1)
+        assert sorted(quantum.factors) == sorted((mem_a, mem_b)) == [3, 5]

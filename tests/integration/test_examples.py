@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are the library's front door; a release where any of them
+crashes is broken regardless of unit-test status.  Each example runs in
+a subprocess with a generous timeout; stdout is checked for its
+signature output line.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+#: (script, expected stdout fragment, slow?)
+EXAMPLES = [
+    ("quickstart.py", "Digital memcomputing", False),
+    ("factor_rsa_two_ways.py", "round trip", False),
+    ("three_machines_one_problem.py", "machines reaching the ground "
+     "state: quantum, thermal, dmm", False),
+    ("inmemory_iot_node.py", "reduction:", False),
+    ("selforganizing_logic_demo.py", "instanton", False),
+    ("dna_similarity_pipeline.py", "closest relative by quantum score: "
+     "self", True),
+    ("corner_detection_camera.py", "ratio:", True),
+    ("oscillator_vision_toolbox.py", "FAST corners", True),
+]
+
+
+def run_example(name, timeout=600):
+    path = os.path.join(EXAMPLES_DIR, name)
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=timeout)
+    return completed
+
+
+@pytest.mark.parametrize(
+    "script,fragment",
+    [(s, f) for s, f, slow in EXAMPLES if not slow])
+def test_fast_examples_run(script, fragment):
+    completed = run_example(script)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert fragment in completed.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script,fragment",
+    [(s, f) for s, f, slow in EXAMPLES if slow])
+def test_slow_examples_run(script, fragment):
+    completed = run_example(script)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert fragment in completed.stdout
+
+
+def test_every_shipped_example_is_covered():
+    shipped = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    covered = {script for script, _f, _s in EXAMPLES}
+    assert shipped == covered, (
+        "examples without smoke coverage: %s" % sorted(shipped - covered))

@@ -1,0 +1,171 @@
+"""Tests for the conventional solver baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.sat_instances import (
+    frustrated_loop_ising,
+    ising_energy,
+    planted_ksat,
+)
+from repro.memcomputing.baselines import (
+    DpllSolver,
+    GsatSolver,
+    WalkSatSolver,
+    anneal_ising,
+)
+
+
+class TestWalkSat:
+    def test_solves_planted(self):
+        formula = planted_ksat(50, 200, rng=0)
+        result = WalkSatSolver().solve(formula, rng=1)
+        assert result.satisfied
+        assert formula.is_satisfied_by(result.assignment)
+
+    def test_flip_accounting(self):
+        formula = planted_ksat(30, 120, rng=2)
+        result = WalkSatSolver().solve(formula, rng=3)
+        assert result.flips >= 0
+        assert result.tries >= 1
+
+    def test_gives_up_on_unsat(self):
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        result = WalkSatSolver(max_flips=500, max_tries=2).solve(formula,
+                                                                 rng=0)
+        assert not result.satisfied
+        assert result.tries == 2
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            WalkSatSolver(noise=1.5)
+
+    def test_deterministic_with_seed(self):
+        formula = planted_ksat(25, 100, rng=4)
+        a = WalkSatSolver().solve(formula, rng=7)
+        b = WalkSatSolver().solve(formula, rng=7)
+        assert a.flips == b.flips
+
+    def test_unit_clauses(self):
+        formula = CnfFormula([Clause([2]), Clause([-1])])
+        result = WalkSatSolver().solve(formula, rng=0)
+        assert result.satisfied
+        assert result.assignment == {1: False, 2: True}
+
+
+class TestGsat:
+    def test_solves_planted(self):
+        formula = planted_ksat(30, 110, rng=5)
+        result = GsatSolver().solve(formula, rng=6)
+        assert result.satisfied
+        assert formula.is_satisfied_by(result.assignment)
+
+    def test_sideways_flag(self):
+        formula = planted_ksat(20, 70, rng=7)
+        result = GsatSolver(sideways=False).solve(formula, rng=8)
+        # may or may not solve, but must terminate and report sanely
+        assert result.flips >= 0
+
+    def test_reports_failure_on_unsat(self):
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        result = GsatSolver(max_flips=100, max_tries=2).solve(formula,
+                                                              rng=0)
+        assert not result.satisfied
+
+
+class TestDpll:
+    def test_sat_verdict_with_assignment(self):
+        formula = planted_ksat(25, 100, rng=9)
+        result = DpllSolver().solve(formula)
+        assert result.satisfiable
+        assert formula.is_satisfied_by(result.assignment)
+
+    def test_unsat_verdict(self):
+        formula = CnfFormula([Clause([1, 2]), Clause([1, -2]),
+                              Clause([-1, 2]), Clause([-1, -2])])
+        result = DpllSolver().solve(formula)
+        assert result.satisfiable is False
+
+    def test_unit_propagation_short_circuit(self):
+        formula = CnfFormula([Clause([1]), Clause([-1, 2]),
+                              Clause([-2, 3])])
+        result = DpllSolver().solve(formula)
+        assert result.satisfiable
+        assert result.nodes == 0  # pure propagation, no branching
+
+    def test_pure_literal_rule(self):
+        # variable 3 appears only positively
+        formula = CnfFormula([Clause([1, 3]), Clause([-1, 3]),
+                              Clause([1, 2])])
+        result = DpllSolver().solve(formula)
+        assert result.satisfiable
+        assert result.assignment[3] is True
+
+    def test_budget_returns_unknown(self):
+        # hard random instance with a tiny node budget
+        formula = planted_ksat(60, 255, rng=11)
+        result = DpllSolver(max_nodes=1).solve(formula)
+        assert result.satisfiable in (True, None)
+
+    def test_free_variables_completed(self):
+        formula = CnfFormula([Clause([1])], num_variables=3)
+        result = DpllSolver().solve(formula)
+        assert set(result.assignment) == {1, 2, 3}
+
+
+class TestAnnealIsing:
+    def test_reaches_frustrated_loop_ground_state(self):
+        couplings, bound = frustrated_loop_ising(40, 8, rng=0)
+        result = anneal_ising(couplings, 40, sweeps=400, rng=1)
+        assert result.energy == pytest.approx(bound)
+
+    def test_energy_trace_monotone_nonincreasing(self):
+        couplings, _bound = frustrated_loop_ising(30, 6, rng=2)
+        result = anneal_ising(couplings, 30, sweeps=100, rng=3)
+        trace = result.energy_trace
+        assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+
+    def test_best_spins_match_best_energy(self):
+        couplings, _bound = frustrated_loop_ising(20, 4, rng=4)
+        result = anneal_ising(couplings, 20, sweeps=100, rng=5)
+        assert ising_energy(couplings, result.spins) == pytest.approx(
+            result.energy)
+
+    def test_fields_respected(self):
+        # single spin with a strong field prefers alignment against it
+        result = anneal_ising({}, 1, fields=[5.0], sweeps=50, rng=6)
+        assert result.spins[0] == -1
+
+    def test_initial_spins_accepted(self):
+        couplings, _bound = frustrated_loop_ising(10, 2, loop_length=4,
+                                                  rng=7)
+        result = anneal_ising(couplings, 10, sweeps=10, rng=8,
+                              initial_spins=np.ones(10))
+        assert result.sweeps == 10
+
+    def test_sweeps_validation(self):
+        with pytest.raises(ValueError):
+            anneal_ising({(0, 1): 1.0}, 2, sweeps=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_property_walksat_solutions_verify(seed):
+    """Whenever WalkSAT claims success the assignment truly satisfies."""
+    formula = planted_ksat(15, 55, rng=seed)
+    result = WalkSatSolver(max_flips=20_000, max_tries=3).solve(
+        formula, rng=seed)
+    if result.satisfied:
+        assert formula.is_satisfied_by(result.assignment)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_property_dpll_agrees_with_walksat_on_sat(seed):
+    """DPLL must never call a planted (satisfiable) instance UNSAT."""
+    formula = planted_ksat(12, 45, rng=seed)
+    verdict = DpllSolver().solve(formula)
+    assert verdict.satisfiable is True

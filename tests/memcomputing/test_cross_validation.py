@@ -1,0 +1,108 @@
+"""Cross-validation properties between independent solver implementations.
+
+These tests pit implementations against each other (and against brute
+force) on small instances: any disagreement flags a bug in one of them.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.memcomputing.baselines import DpllSolver, WalkSatSolver
+from repro.memcomputing.solver import DmmSolver
+
+
+def brute_force_satisfiable(formula):
+    """Exhaustive satisfiability check for tiny formulas."""
+    for bits in itertools.product([False, True],
+                                  repeat=formula.num_variables):
+        if formula.is_satisfied_by(formula.assignment_from_bools(bits)):
+            return True
+    return False
+
+
+@st.composite
+def tiny_formulas(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=6))
+    num_clauses = draw(st.integers(min_value=1, max_value=14))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        literals = set()
+        for _ in range(width):
+            var = draw(st.integers(min_value=1, max_value=num_vars))
+            literals.add(var if draw(st.booleans()) else -var)
+        clauses.append(Clause(literals))
+    return CnfFormula(clauses, num_variables=num_vars)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_formulas())
+def test_property_dpll_matches_brute_force(formula):
+    """DPLL's verdict equals exhaustive enumeration on tiny formulas."""
+    expected = brute_force_satisfiable(formula)
+    result = DpllSolver().solve(formula)
+    assert result.satisfiable == expected
+    if expected:
+        assert formula.is_satisfied_by(result.assignment)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tiny_formulas())
+def test_property_dmm_never_claims_false_solutions(formula):
+    """Whatever the DMM returns, a claimed solution must verify."""
+    result = DmmSolver(max_steps=30_000).solve(formula, rng=0)
+    if result.satisfied:
+        assert formula.is_satisfied_by(result.assignment)
+        assert brute_force_satisfiable(formula)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tiny_formulas())
+def test_property_dmm_solves_whatever_dpll_proves_sat(formula):
+    """On tiny satisfiable formulas the DMM finds a solution quickly."""
+    verdict = DpllSolver().solve(formula)
+    if verdict.satisfiable:
+        result = DmmSolver(max_steps=60_000).solve(formula, rng=1)
+        assert result.satisfied
+
+
+@settings(max_examples=20, deadline=None)
+@given(tiny_formulas(), st.integers(min_value=0, max_value=100))
+def test_property_walksat_dmm_agree_on_success(formula, seed):
+    """Two incomplete solvers can only both succeed on satisfiable input."""
+    walksat = WalkSatSolver(max_flips=5_000, max_tries=2).solve(
+        formula, rng=seed)
+    dmm = DmmSolver(max_steps=20_000).solve(formula, rng=seed)
+    if walksat.satisfied and dmm.satisfied:
+        assert formula.is_satisfied_by(walksat.assignment)
+        assert formula.is_satisfied_by(dmm.assignment)
+    # a complete check: if either solved it, DPLL must agree it is SAT
+    if walksat.satisfied or dmm.satisfied:
+        assert DpllSolver().solve(formula).satisfiable
+
+
+class TestKnownInstances:
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole: p1 and p2 both in hole, but not together
+        formula = CnfFormula([Clause([1]), Clause([2]),
+                              Clause([-1, -2])])
+        assert DpllSolver().solve(formula).satisfiable is False
+        assert not DmmSolver(max_steps=5_000).solve(formula,
+                                                    rng=0).satisfied
+
+    def test_xor_chain_satisfiable(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1 encoded in CNF
+        clauses = [
+            Clause([1, 2]), Clause([-1, -2]),
+            Clause([2, 3]), Clause([-2, -3]),
+        ]
+        formula = CnfFormula(clauses)
+        dmm = DmmSolver().solve(formula, rng=2)
+        assert dmm.satisfied
+        assignment = dmm.assignment
+        assert assignment[1] != assignment[2]
+        assert assignment[2] != assignment[3]

@@ -1,0 +1,97 @@
+"""Tests for the batched DMM ensemble solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.exceptions import MemcomputingError
+from repro.core.rngs import make_rng
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.ensemble import (
+    BatchedDmm,
+    EnsembleResult,
+    solve_ensemble,
+)
+
+
+class TestBatchedRhs:
+    def test_matches_single_trajectory_rhs(self):
+        formula = planted_ksat(15, 60, rng=0)
+        batched = BatchedDmm(formula)
+        rng = make_rng(1)
+        states = batched.initial_states(8, rng)
+        expected = np.stack([batched.system.rhs(0.0, state)
+                             for state in states])
+        actual = batched.rhs_batch(states)
+        assert np.allclose(expected, actual)
+
+    def test_weighted_formula_supported(self):
+        formula = CnfFormula([Clause([1, 2], weight=3.0),
+                              Clause([-1, 2])])
+        batched = BatchedDmm(formula)
+        states = batched.initial_states(4, make_rng(2))
+        expected = np.stack([batched.system.rhs(0.0, state)
+                             for state in states])
+        assert np.allclose(expected, batched.rhs_batch(states))
+
+    def test_unsat_counts_match_system(self):
+        formula = planted_ksat(12, 48, rng=3)
+        batched = BatchedDmm(formula)
+        states = batched.initial_states(6, make_rng(4))
+        expected = [batched.system.unsatisfied_count(state)
+                    for state in states]
+        assert batched.unsatisfied_counts(states).tolist() == expected
+
+    def test_batch_validation(self):
+        batched = BatchedDmm(planted_ksat(5, 15, rng=5))
+        with pytest.raises(MemcomputingError):
+            batched.initial_states(0, make_rng(0))
+
+
+class TestSolveEnsemble:
+    def test_all_trajectories_solve_planted(self):
+        formula = planted_ksat(30, 120, rng=6)
+        result = solve_ensemble(formula, batch=16, max_steps=60_000,
+                                rng=7)
+        assert result.solved_fraction == 1.0
+        assert np.all(np.isfinite(result.solve_steps))
+
+    def test_quantiles_ordered(self):
+        formula = planted_ksat(40, 168, rng=8)
+        result = solve_ensemble(formula, batch=24, max_steps=60_000,
+                                rng=9)
+        assert result.quantile(0.5) <= result.quantile(0.9)
+
+    def test_unsatisfiable_never_solves(self):
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        result = solve_ensemble(formula, batch=8, max_steps=2_000, rng=0)
+        assert result.solved_fraction == 0.0
+        assert result.quantile(0.5) == float("inf")
+
+    def test_deterministic_given_seed(self):
+        formula = planted_ksat(20, 80, rng=10)
+        a = solve_ensemble(formula, batch=8, max_steps=20_000, rng=11)
+        b = solve_ensemble(formula, batch=8, max_steps=20_000, rng=11)
+        assert np.array_equal(a.solve_steps, b.solve_steps)
+
+    def test_quantile_inf_when_under_solved(self):
+        result = EnsembleResult([100.0, np.inf, np.inf, np.inf], 1_000)
+        assert result.quantile(0.5) == float("inf")
+        assert result.quantile(0.25) == 100.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_ensemble_median_comparable_to_single_solver(seed):
+    """The ensemble's fastest trajectories are no slower than generous
+    single-run budgets (sanity link between the two code paths)."""
+    from repro.memcomputing.solver import DmmSolver
+
+    formula = planted_ksat(20, 80, rng=seed)
+    single = DmmSolver(max_steps=60_000).solve(formula, rng=seed)
+    ensemble = solve_ensemble(formula, batch=8, max_steps=60_000,
+                              rng=seed)
+    assert single.satisfied
+    assert ensemble.solved_fraction == 1.0

@@ -1,0 +1,174 @@
+"""Tests for memcomputing integer linear programming ([48])."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.exceptions import MemcomputingError
+from repro.memcomputing.baselines import DpllSolver
+from repro.memcomputing.ilp import (
+    BinaryLinearProgram,
+    ilp_to_maxsat,
+    knapsack,
+    solve_ilp_bruteforce,
+    solve_ilp_memcomputing,
+)
+
+
+class TestModel:
+    def test_objective_and_feasibility(self):
+        program = BinaryLinearProgram(3, [5.0, -2.0, 3.0])
+        program.add_constraint([1, 1, 1], 2)
+        assignment = {1: True, 2: False, 3: True}
+        assert program.objective_value(assignment) == 8.0
+        assert program.is_feasible(assignment)
+        assert not program.is_feasible({1: True, 2: True, 3: True})
+
+    def test_validation(self):
+        with pytest.raises(MemcomputingError):
+            BinaryLinearProgram(0, [])
+        with pytest.raises(MemcomputingError):
+            BinaryLinearProgram(2, [1.0])
+        program = BinaryLinearProgram(2, [1.0, 1.0])
+        with pytest.raises(MemcomputingError):
+            program.add_constraint([1], 3)
+
+
+class TestEncoding:
+    def _feasibility_via_dpll(self, program, formula, bits):
+        hard = [c for c in formula.clauses if c.weight is None]
+        fixed = hard + [Clause([j + 1 if bits[j] else -(j + 1)])
+                        for j in range(program.num_variables)]
+        verdict = DpllSolver().solve(
+            CnfFormula(fixed, num_variables=formula.num_variables))
+        return bool(verdict.satisfiable)
+
+    def test_knapsack_encoding_exact(self):
+        program = knapsack([3, 5, 2, 7], [2, 4, 3, 5], 8)
+        formula, _offset = ilp_to_maxsat(program)
+        for bits in itertools.product([False, True], repeat=4):
+            assignment = {j + 1: bits[j] for j in range(4)}
+            assert self._feasibility_via_dpll(program, formula, bits) \
+                == program.is_feasible(assignment)
+
+    def test_negative_coefficients_exact(self):
+        program = BinaryLinearProgram(4, [1.0] * 4)
+        program.add_constraint([2, -3, 1, -1], 0)
+        formula, _offset = ilp_to_maxsat(program)
+        for bits in itertools.product([False, True], repeat=4):
+            assignment = {j + 1: bits[j] for j in range(4)}
+            assert self._feasibility_via_dpll(program, formula, bits) \
+                == program.is_feasible(assignment)
+
+    def test_vacuous_constraint_dropped(self):
+        program = BinaryLinearProgram(3, [1.0, 2.0, 3.0])
+        program.add_constraint([1, 1, 1], 5)  # always satisfied
+        formula, _offset = ilp_to_maxsat(program)
+        assert not formula.hard_clauses
+
+    def test_infeasible_constraint_rejected(self):
+        program = BinaryLinearProgram(2, [1.0, 1.0])
+        program.add_constraint([-1, -1], -3)  # even x=1,1 gives -2 > -3 ok
+        # truly impossible: sum of positives must be <= -1
+        bad = BinaryLinearProgram(2, [1.0, 1.0])
+        bad.add_constraint([1, 1], -1)
+        with pytest.raises(MemcomputingError):
+            ilp_to_maxsat(bad)
+
+    def test_objective_weights(self):
+        program = BinaryLinearProgram(2, [4.0, -3.0])
+        formula, offset = ilp_to_maxsat(program)
+        assert offset == pytest.approx(-3.0)
+        weights = sorted(c.weight for c in formula.soft_clauses)
+        assert weights == [3.0, 4.0]
+
+
+class TestBruteForce:
+    def test_small_knapsack_optimum(self):
+        program = knapsack([6, 10, 12], [1, 2, 3], 5)
+        result = solve_ilp_bruteforce(program)
+        assert result.objective == 22.0  # items 2 and 3
+
+    def test_infeasible_program(self):
+        program = BinaryLinearProgram(2, [1.0, 1.0])
+        program.add_constraint([1, 0], 0)
+        program.add_constraint([-1, 0], -1)  # forces x1 = 1 -- conflict
+        result = solve_ilp_bruteforce(program)
+        assert not result.feasible
+
+    def test_size_limit(self):
+        with pytest.raises(MemcomputingError):
+            solve_ilp_bruteforce(BinaryLinearProgram(30, [1.0] * 30))
+
+
+class TestMemcomputingIlp:
+    def test_small_knapsack_solved_exactly(self):
+        program = knapsack([6, 10, 12], [1, 2, 3], 5)
+        result = solve_ilp_memcomputing(program, max_steps=20_000, rng=0)
+        assert result.feasible
+        assert result.objective == 22.0
+
+    def test_returned_solutions_always_feasible(self):
+        rng = np.random.default_rng(3)
+        for trial in range(3):
+            values = rng.integers(1, 20, 8).tolist()
+            weights = rng.integers(1, 12, 8).tolist()
+            program = knapsack(values, weights, int(sum(weights) * 0.4))
+            result = solve_ilp_memcomputing(program, max_steps=20_000,
+                                            rng=trial)
+            if result.feasible:
+                assert program.is_feasible(result.assignment)
+                assert result.objective == program.objective_value(
+                    result.assignment)
+
+    def test_quality_within_gap_of_optimum(self):
+        rng = np.random.default_rng(7)
+        gaps = []
+        for trial in range(4):
+            values = rng.integers(1, 20, 9).tolist()
+            weights = rng.integers(1, 12, 9).tolist()
+            program = knapsack(values, weights, int(sum(weights) * 0.45))
+            exact = solve_ilp_bruteforce(program)
+            mem = solve_ilp_memcomputing(program, max_steps=30_000,
+                                         rng=trial)
+            assert mem.feasible
+            gaps.append((exact.objective - mem.objective)
+                        / exact.objective)
+        assert np.median(gaps) < 0.35
+
+    def test_multi_constraint(self):
+        program = BinaryLinearProgram(6, [4, 7, 2, 9, 5, 3])
+        program.add_constraint([2, 3, 1, 4, 2, 1], 7)
+        program.add_constraint([1, -1, 2, 1, -2, 3], 3)
+        exact = solve_ilp_bruteforce(program)
+        mem = solve_ilp_memcomputing(program, max_steps=30_000, rng=1)
+        assert mem.feasible
+        assert mem.objective >= 0.6 * exact.objective
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_encoding_feasibility_exact(seed):
+    """Hard clauses of the encoding accept exactly the feasible points."""
+    rng = np.random.default_rng(seed)
+    num_vars = 5
+    program = BinaryLinearProgram(num_vars,
+                                  rng.integers(1, 9, num_vars).tolist())
+    coefficients = rng.integers(-4, 7, num_vars).tolist()
+    positives = sum(a for a in coefficients if a > 0)
+    negatives = sum(a for a in coefficients if a < 0)
+    bound = int(rng.integers(negatives, positives + 1))
+    program.add_constraint(coefficients, bound)
+    formula, _offset = ilp_to_maxsat(program)
+    hard = [c for c in formula.clauses if c.weight is None]
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {j + 1: bits[j] for j in range(num_vars)}
+        fixed = hard + [Clause([j + 1 if bits[j] else -(j + 1)])
+                        for j in range(num_vars)]
+        verdict = DpllSolver().solve(
+            CnfFormula(fixed, num_variables=formula.num_variables))
+        assert bool(verdict.satisfiable) == program.is_feasible(assignment)

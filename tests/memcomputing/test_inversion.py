@@ -1,0 +1,44 @@
+"""Tests for memcomputing numerical inversion ([29]): the squarer."""
+
+import pytest
+
+from repro.core.exceptions import SolgError
+from repro.memcomputing.circuit import (
+    integer_sqrt_memcomputing,
+    squarer_circuit,
+)
+from repro.memcomputing.solver import DmmSolver
+
+
+class TestSquarerForward:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_exhaustive_squares(self, bits):
+        circuit, x_wires, output_wires = squarer_circuit(bits)
+        for x in range(2 ** bits):
+            values = {w: bool((x >> i) & 1)
+                      for i, w in enumerate(x_wires)}
+            out = circuit.evaluate_forward(values)
+            square = sum((1 << i) for i, w in enumerate(output_wires)
+                         if out[w])
+            assert square == x * x
+
+    def test_invalid_width(self):
+        with pytest.raises(SolgError):
+            squarer_circuit(0)
+
+
+class TestIntegerSqrt:
+    @pytest.mark.parametrize("square,root", [
+        (0, 0), (1, 1), (4, 2), (9, 3), (25, 5), (49, 7), (121, 11),
+    ])
+    def test_perfect_squares(self, square, root):
+        assert integer_sqrt_memcomputing(square, rng=0) == root
+
+    def test_non_square_has_no_steady_state(self):
+        solver = DmmSolver(max_steps=20_000)
+        with pytest.raises(SolgError):
+            integer_sqrt_memcomputing(50, solver=solver, rng=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SolgError):
+            integer_sqrt_memcomputing(-4)

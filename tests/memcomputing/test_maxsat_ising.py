@@ -1,0 +1,152 @@
+"""Tests for memcomputing MaxSAT and the spin-glass pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.exceptions import MemcomputingError
+from repro.core.sat_instances import (
+    frustrated_loop_ising,
+    ising_energy,
+    planted_maxsat,
+)
+from repro.memcomputing.ising import (
+    flip_cluster_sizes,
+    ising_to_maxsat,
+    largest_cluster_fraction,
+    solve_ising_dmm,
+    spins_from_assignment,
+)
+from repro.memcomputing.maxsat import (
+    DmmMaxSatSolver,
+    anneal_maxsat,
+)
+
+
+class TestDmmMaxSat:
+    def test_finds_feasible_good_solution(self):
+        formula, _plant = planted_maxsat(30, 90, 40, rng=0)
+        result = DmmMaxSatSolver(max_steps=25_000).solve(formula, rng=1)
+        assert result.hard_feasible
+        assert all(c.is_satisfied_by(result.assignment)
+                   for c in formula.hard_clauses)
+        total = sum(c.weight for c in formula.soft_clauses)
+        assert result.satisfied_weight > 0.7 * total
+
+    def test_anytime_trace_improves(self):
+        formula, _plant = planted_maxsat(30, 90, 40, rng=2)
+        result = DmmMaxSatSolver(max_steps=25_000).solve(formula, rng=3)
+        weights = [w for _step, w in result.weight_trace]
+        assert weights == sorted(weights)
+
+    def test_all_satisfiable_stops_early(self):
+        # soft clauses that a single assignment satisfies entirely
+        clauses = [Clause([1], weight=1.0), Clause([2], weight=1.0),
+                   Clause([1, 2])]
+        formula = CnfFormula(clauses)
+        result = DmmMaxSatSolver(max_steps=50_000).solve(formula, rng=0)
+        assert result.satisfied_weight == pytest.approx(2.0)
+
+    def test_requires_soft_clauses(self):
+        with pytest.raises(MemcomputingError):
+            DmmMaxSatSolver().solve(CnfFormula([Clause([1])]))
+
+
+class TestAnnealMaxSat:
+    def test_feasible_solution_found(self):
+        formula, _plant = planted_maxsat(30, 90, 40, rng=4)
+        result = anneal_maxsat(formula, sweeps=400, rng=5)
+        assert result.hard_feasible
+
+    def test_requires_soft_clauses(self):
+        with pytest.raises(MemcomputingError):
+            anneal_maxsat(CnfFormula([Clause([1])]))
+
+    def test_dmm_competitive_with_annealing(self):
+        formula, _plant = planted_maxsat(40, 120, 60, rng=9)
+        dmm = DmmMaxSatSolver(max_steps=30_000).solve(formula, rng=3)
+        annealed = anneal_maxsat(formula, sweeps=800, rng=4)
+        assert dmm.satisfied_weight >= 0.97 * annealed.satisfied_weight
+
+
+class TestIsingEncoding:
+    def test_encoding_exact_energy_relation(self):
+        """E + 2 * satisfied_weight is constant over all states."""
+        couplings, _bound = frustrated_loop_ising(8, 2, loop_length=4,
+                                                  rng=0)
+        formula = ising_to_maxsat(couplings, 8)
+        constants = set()
+        for state in range(256):
+            spins = np.array([1 if (state >> i) & 1 else -1
+                              for i in range(8)])
+            assignment = {i + 1: spins[i] > 0 for i in range(8)}
+            energy = ising_energy(couplings, spins)
+            weight = formula.weight_satisfied(assignment)
+            constants.add(round(energy + 2.0 * weight, 9))
+        assert len(constants) == 1
+
+    def test_ground_states_maximize_weight(self):
+        couplings = {(0, 1): -1.0}  # ferromagnetic pair
+        formula = ising_to_maxsat(couplings, 2)
+        aligned = formula.weight_satisfied({1: True, 2: True})
+        anti = formula.weight_satisfied({1: True, 2: False})
+        assert aligned > anti
+
+    def test_empty_couplings_rejected(self):
+        with pytest.raises(MemcomputingError):
+            ising_to_maxsat({}, 4)
+        with pytest.raises(MemcomputingError):
+            ising_to_maxsat({(0, 1): 0.0}, 2)
+
+    def test_spins_decode(self):
+        spins = spins_from_assignment({1: True, 2: False, 3: True}, 3)
+        assert spins.tolist() == [1, -1, 1]
+
+
+class TestDmmSpinGlass:
+    def test_reaches_frustrated_loop_ground_state(self):
+        couplings, bound = frustrated_loop_ising(40, 10, rng=1)
+        result = solve_ising_dmm(couplings, 40, rng=2, max_steps=30_000)
+        assert result.energy <= bound + 4.0  # within two violated bonds
+        assert ising_energy(couplings, result.spins) == pytest.approx(
+            result.energy)
+
+    def test_fields_supported(self):
+        couplings = {(0, 1): -1.0}
+        fields = [0.0, 5.0]  # strong field pushing spin 1 down
+        result = solve_ising_dmm(couplings, 2, fields=fields, rng=0,
+                                 max_steps=5_000)
+        assert result.spins[1] == -1
+
+    def test_traces_recorded(self):
+        couplings, _bound = frustrated_loop_ising(20, 4, rng=3)
+        result = solve_ising_dmm(couplings, 20, rng=4, max_steps=4_000)
+        assert result.spin_trace.shape[1] == 20
+        assert len(result.energy_trace) == len(result.spin_trace)
+
+
+class TestClusterFlips:
+    def test_sizes_from_synthetic_trace(self):
+        trace = np.array([
+            [1, 1, 1, 1],
+            [1, 1, 1, 1],     # no event
+            [-1, -1, 1, 1],   # cluster of 2
+            [-1, -1, -1, -1],  # cluster of 2
+        ])
+        assert flip_cluster_sizes(trace) == [2, 2]
+
+    def test_largest_fraction(self):
+        trace = np.array([[1, 1, 1, 1], [-1, -1, -1, 1]])
+        assert largest_cluster_fraction(trace) == pytest.approx(0.75)
+
+    def test_empty_trace(self):
+        assert flip_cluster_sizes([]) == []
+        assert largest_cluster_fraction(np.ones((1, 4))) == 0.0
+
+    def test_dmm_shows_multi_spin_events(self):
+        """The DLRO signature: some DMM transitions flip many spins."""
+        couplings, _bound = frustrated_loop_ising(40, 10, rng=5)
+        result = solve_ising_dmm(couplings, 40, rng=6, max_steps=10_000)
+        sizes = flip_cluster_sizes(result.spin_trace)
+        assert sizes, "expected at least one flip event"
+        assert max(sizes) >= 3

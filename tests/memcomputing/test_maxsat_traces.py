@@ -1,0 +1,62 @@
+"""Additional semantics tests: MaxSAT traces, Ising fields, hetero edges."""
+
+import numpy as np
+import pytest
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.sat_instances import planted_maxsat
+from repro.memcomputing.maxsat import DmmMaxSatSolver, anneal_maxsat
+
+
+class TestWeightTraceSemantics:
+    def test_trace_steps_increase(self):
+        formula, _plant = planted_maxsat(25, 75, 35, rng=0)
+        result = DmmMaxSatSolver(max_steps=20_000).solve(formula, rng=1)
+        steps = [step for step, _weight in result.weight_trace]
+        assert steps == sorted(steps)
+
+    def test_final_weight_matches_assignment(self):
+        formula, _plant = planted_maxsat(25, 75, 35, rng=2)
+        result = DmmMaxSatSolver(max_steps=20_000).solve(formula, rng=3)
+        assert result.satisfied_weight == pytest.approx(
+            formula.weight_satisfied(result.assignment))
+
+    def test_anneal_trace_monotone_best(self):
+        formula, _plant = planted_maxsat(20, 60, 30, rng=4)
+        result = anneal_maxsat(formula, sweeps=200, rng=5)
+        weights = [weight for _moves, weight in result.weight_trace]
+        assert all(b >= a - 1e-9 for a, b in zip(weights, weights[1:]))
+
+    def test_optimal_early_stop(self):
+        # a trivially all-satisfiable soft set stops before the budget
+        clauses = [Clause([1], weight=1.0), Clause([2], weight=2.0)]
+        formula = CnfFormula(clauses)
+        solver = DmmMaxSatSolver(max_steps=50_000, check_every=10)
+        result = solver.solve(formula, rng=0)
+        assert result.satisfied_weight == pytest.approx(3.0)
+        last_step = result.weight_trace[-1][0]
+        assert last_step < 50_000
+
+
+class TestMaxSatAgainstBruteForce:
+    def brute_force_optimum(self, formula):
+        import itertools
+
+        best = -np.inf
+        for bits in itertools.product([False, True],
+                                      repeat=formula.num_variables):
+            assignment = formula.assignment_from_bools(bits)
+            if not all(c.is_satisfied_by(assignment)
+                       for c in formula.hard_clauses):
+                continue
+            best = max(best, formula.weight_satisfied(assignment))
+        return best
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dmm_within_ten_percent_of_optimum_small(self, seed):
+        formula, _plant = planted_maxsat(12, 30, 18, rng=seed)
+        optimum = self.brute_force_optimum(formula)
+        result = DmmMaxSatSolver(max_steps=30_000).solve(formula,
+                                                         rng=seed)
+        assert result.hard_feasible
+        assert result.satisfied_weight >= 0.9 * optimum

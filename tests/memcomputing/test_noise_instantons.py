@@ -1,0 +1,91 @@
+"""Tests for the noise-robustness and instanton diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.instantons import (
+    instanton_census,
+    lyapunov_estimate,
+    residual_at_solution,
+)
+from repro.memcomputing.noise import solve_with_noise, success_vs_noise
+from repro.memcomputing.solver import DmmSolver
+
+
+class TestNoise:
+    def test_noiseless_baseline_solves(self):
+        formula = planted_ksat(25, 100, rng=0)
+        result = solve_with_noise(formula, 0.0, rng=1, max_steps=100_000)
+        assert result.satisfied
+
+    def test_moderate_noise_still_solves(self):
+        formula = planted_ksat(25, 100, rng=2)
+        result = solve_with_noise(formula, 0.5, rng=3, max_steps=150_000)
+        assert result.satisfied
+
+    def test_sweep_structure(self):
+        formulas = [planted_ksat(15, 60, rng=s) for s in (4, 5)]
+        rows = success_vs_noise(formulas, [0.0, 0.3], trials_per_sigma=2,
+                                rng=6, max_steps=60_000)
+        assert [row["sigma"] for row in rows] == [0.0, 0.3]
+        for row in rows:
+            assert 0.0 <= row["success_rate"] <= 1.0
+
+    def test_sweep_noiseless_perfect(self):
+        formulas = [planted_ksat(15, 55, rng=7)]
+        rows = success_vs_noise(formulas, [0.0], trials_per_sigma=3,
+                                rng=8, max_steps=60_000)
+        assert rows[0]["success_rate"] == 1.0
+        assert rows[0]["median_steps"] is not None
+
+
+class TestInstantonCensus:
+    def test_synthetic_trace(self):
+        trace = [(0.0, 5), (1.0, 5), (2.0, 3), (3.0, 3), (4.0, 1),
+                 (5.0, 0)]
+        census = instanton_census(trace)
+        assert census["jumps"] == 3
+        assert census["jump_sizes"] == [2, 2, 1]
+        assert census["plateaus"] == 4
+        assert census["monotone_fraction"] == 1.0
+
+    def test_non_monotone_counted(self):
+        trace = [(0.0, 3), (1.0, 4), (2.0, 0)]
+        census = instanton_census(trace)
+        assert census["monotone_fraction"] == pytest.approx(0.5)
+
+    def test_trivial_traces(self):
+        assert instanton_census([])["jumps"] == 0
+        assert instanton_census([(0.0, 2)])["plateaus"] == 1
+
+    def test_real_solver_trace_descends(self):
+        formula = planted_ksat(40, 160, rng=9)
+        result = DmmSolver().solve(formula, rng=10)
+        census = instanton_census(result.unsat_trace)
+        assert census["monotone_fraction"] > 0.5
+        assert result.unsat_trace[-1][1] == 0
+
+
+class TestDynamicalClaims:
+    def test_lyapunov_non_positive_for_solvable(self):
+        """Absence of chaos: solvable instances contract on average."""
+        formula = planted_ksat(20, 80, rng=11)
+        exponent = lyapunov_estimate(formula, rng=12, steps=3_000)
+        assert exponent < 0.5  # non-expanding within estimator noise
+
+    def test_residual_zero_at_solution(self):
+        """The solution is an exact fixed point of the voltage dynamics."""
+        formula = planted_ksat(20, 80, rng=13)
+        residual, solved = residual_at_solution(formula, rng=14)
+        assert solved
+        assert residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_residual_inf_when_unsolved(self):
+        from repro.core.cnf import Clause, CnfFormula
+
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        residual, solved = residual_at_solution(formula, rng=0,
+                                                max_steps=2_000)
+        assert not solved
+        assert residual == np.inf

@@ -1,0 +1,170 @@
+"""Tests for the RBM and its training schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MemcomputingError
+from repro.core.sat_instances import ising_energy
+from repro.memcomputing.rbm import (
+    RestrictedBoltzmannMachine,
+    exact_kl_divergence,
+    sigmoid,
+    synthetic_patterns,
+    train_rbm,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_saturation_without_overflow(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+    def test_vectorized(self):
+        out = sigmoid(np.array([-1.0, 0.0, 1.0]))
+        assert out.shape == (3,)
+        assert out[0] + out[2] == pytest.approx(1.0)
+
+
+class TestSyntheticPatterns:
+    def test_shapes_and_values(self):
+        data, labels = synthetic_patterns(40, side=4, rng=0)
+        assert data.shape == (40, 16)
+        assert set(np.unique(data)) <= {0.0, 1.0}
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_noise_zero_gives_clean_stripes(self):
+        data, labels = synthetic_patterns(20, side=4, noise=0.0, rng=1)
+        for row, label in zip(data, labels):
+            image = row.reshape(4, 4)
+            if label == 0:
+                assert np.all(image == image[:, :1])  # rows constant
+            else:
+                assert np.all(image == image[:1, :])  # columns constant
+
+    def test_deterministic(self):
+        a, _ = synthetic_patterns(10, rng=2)
+        b, _ = synthetic_patterns(10, rng=2)
+        assert np.array_equal(a, b)
+
+
+class TestRbmBasics:
+    def test_conditionals_shapes(self):
+        rbm = RestrictedBoltzmannMachine(6, 4, rng=0)
+        batch = np.zeros((5, 6))
+        assert rbm.hidden_probabilities(batch).shape == (5, 4)
+        assert rbm.visible_probabilities(np.zeros((5, 4))).shape == (5, 6)
+
+    def test_probabilities_in_unit_interval(self):
+        rbm = RestrictedBoltzmannMachine(6, 4, rng=1)
+        probs = rbm.hidden_probabilities(np.ones((3, 6)))
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_joint_energy_value(self):
+        rbm = RestrictedBoltzmannMachine(2, 2, rng=2)
+        rbm.weights = np.array([[1.0, 0.0], [0.0, 2.0]])
+        rbm.visible_bias = np.array([0.5, 0.0])
+        rbm.hidden_bias = np.array([0.0, -0.5])
+        energy = rbm.joint_energy(np.array([1.0, 1.0]),
+                                  np.array([1.0, 1.0]))
+        assert energy == pytest.approx(-(1.0 + 2.0) - 0.5 + 0.5)
+
+    def test_reconstruction_error_nonnegative(self):
+        rbm = RestrictedBoltzmannMachine(16, 8, rng=3)
+        data, _ = synthetic_patterns(20, rng=4)
+        assert rbm.reconstruction_error(data) >= 0.0
+
+
+class TestIsingCompilation:
+    def test_energy_equivalence_on_all_states(self):
+        rbm = RestrictedBoltzmannMachine(4, 3, rng=5)
+        couplings, fields, constant = rbm.to_ising()
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            visible = rng.integers(0, 2, 4).astype(float)
+            hidden = rng.integers(0, 2, 3).astype(float)
+            spins = np.concatenate([2 * visible - 1, 2 * hidden - 1])
+            direct = rbm.joint_energy(visible, hidden)
+            compiled = ising_energy(couplings, spins, fields) + constant
+            assert direct == pytest.approx(compiled)
+
+    def test_mode_search_finds_low_energy_state(self):
+        rbm = RestrictedBoltzmannMachine(5, 3, rng=7)
+        mode_v, mode_h = rbm.mode_search(method="sa", rng=8, budget=4_000)
+        mode_energy = rbm.joint_energy(mode_v, mode_h)
+        rng = np.random.default_rng(9)
+        random_energies = []
+        for _ in range(40):
+            visible = rng.integers(0, 2, 5).astype(float)
+            hidden = rng.integers(0, 2, 3).astype(float)
+            random_energies.append(rbm.joint_energy(visible, hidden))
+        assert mode_energy <= np.median(random_energies)
+
+    def test_mode_search_methods(self):
+        rbm = RestrictedBoltzmannMachine(4, 3, rng=10)
+        for method in ("mem", "sa"):
+            visible, hidden = rbm.mode_search(method=method, rng=11,
+                                              budget=1_000)
+            assert visible.shape == (4,)
+            assert hidden.shape == (3,)
+        with pytest.raises(MemcomputingError):
+            rbm.mode_search(method="dwave")
+
+
+class TestExactKl:
+    def test_zero_for_matching_distribution(self):
+        # a data set drawn exactly from a known RBM has small KL against it
+        rbm = RestrictedBoltzmannMachine(4, 2, rng=12)
+        rbm.weights *= 0.0  # uniform model
+        data = ((np.arange(16)[:, None] >> np.arange(4)) & 1).astype(float)
+        assert exact_kl_divergence(rbm, data) == pytest.approx(0.0,
+                                                               abs=1e-9)
+
+    def test_positive_for_mismatched(self):
+        rbm = RestrictedBoltzmannMachine(4, 2, rng=13)
+        data = np.zeros((10, 4))
+        assert exact_kl_divergence(rbm, data) > 0.0
+
+    def test_width_limit(self):
+        rbm = RestrictedBoltzmannMachine(20, 2, rng=14)
+        with pytest.raises(MemcomputingError):
+            exact_kl_divergence(rbm, np.zeros((2, 20)))
+
+
+class TestTraining:
+    def test_cd_reduces_reconstruction_error(self):
+        data, _ = synthetic_patterns(80, rng=15)
+        rbm = RestrictedBoltzmannMachine(16, 10, rng=16)
+        initial = rbm.reconstruction_error(data)
+        history = train_rbm(rbm, data, epochs=10, method="cd", rng=17)
+        assert history.final_error < initial
+
+    def test_kl_tracking(self):
+        data, _ = synthetic_patterns(60, side=3, rng=18)
+        rbm = RestrictedBoltzmannMachine(9, 5, rng=19)
+        history = train_rbm(rbm, data, epochs=3, method="cd",
+                            track_kl=True, rng=20)
+        assert len(history.kl_divergences) == 3
+        assert history.final_kl is not None
+
+    def test_mode_assisted_ramps_in_late(self):
+        data, _ = synthetic_patterns(60, side=3, rng=21)
+        rbm = RestrictedBoltzmannMachine(9, 5, rng=22)
+        history = train_rbm(rbm, data, epochs=8, method="sa",
+                            mode_budget=500, rng=23)
+        # the sigmoid schedule concentrates mode updates in the second half
+        assert history.mode_updates > 0
+
+    def test_data_width_checked(self):
+        rbm = RestrictedBoltzmannMachine(9, 5, rng=24)
+        with pytest.raises(MemcomputingError):
+            train_rbm(rbm, np.zeros((4, 7)))
+
+    def test_mem_mode_runs(self):
+        data, _ = synthetic_patterns(40, side=3, rng=25)
+        rbm = RestrictedBoltzmannMachine(9, 4, rng=26)
+        history = train_rbm(rbm, data, epochs=4, method="mem",
+                            mode_budget=400, rng=27)
+        assert len(history.reconstruction_errors) == 4

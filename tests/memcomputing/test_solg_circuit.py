@@ -1,0 +1,215 @@
+"""Tests for self-organizing gates and circuits (terminal agnosticism)."""
+
+import itertools
+
+import pytest
+
+from repro.core.exceptions import SolgError
+from repro.memcomputing.circuit import (
+    SolgCircuit,
+    factor_with_memcomputing,
+    factorization_circuit,
+    multiplier_circuit,
+    ripple_adder_circuit,
+)
+from repro.memcomputing.solg import (
+    GATE_TYPES,
+    SelfOrganizingGate,
+    gate_clauses,
+    gate_truth,
+)
+from repro.memcomputing.solver import DmmSolver
+
+
+class TestGateTruth:
+    def test_all_gates_all_inputs(self):
+        expected = {
+            ("and", (0, 0)): 0, ("and", (0, 1)): 0, ("and", (1, 1)): 1,
+            ("or", (0, 0)): 0, ("or", (0, 1)): 1, ("or", (1, 1)): 1,
+            ("xor", (0, 1)): 1, ("xor", (1, 1)): 0,
+            ("nand", (1, 1)): 0, ("nor", (0, 0)): 1,
+            ("xnor", (1, 1)): 1, ("xnor", (0, 1)): 0,
+        }
+        for (gate, inputs), output in expected.items():
+            assert gate_truth(gate, inputs) == bool(output)
+
+    def test_not(self):
+        assert gate_truth("not", (0,)) is True
+        assert gate_truth("not", (1,)) is False
+
+    def test_arity_enforced(self):
+        with pytest.raises(SolgError):
+            gate_truth("and", (1,))
+        with pytest.raises(SolgError):
+            gate_truth("not", (1, 0))
+
+    def test_unknown_gate(self):
+        with pytest.raises(SolgError):
+            gate_truth("majority", (1, 0, 1))
+
+
+class TestGateClauses:
+    @pytest.mark.parametrize("gate_type", GATE_TYPES)
+    def test_clauses_characterize_gate(self, gate_type):
+        """The CNF relation holds exactly on the gate's truth table."""
+        arity = 1 if gate_type == "not" else 2
+        variables = list(range(1, arity + 2))
+        clauses = gate_clauses(gate_type, variables)
+        for bits in itertools.product([False, True], repeat=arity + 1):
+            assignment = {var: bits[i] for i, var in enumerate(variables)}
+            consistent = all(c.is_satisfied_by(assignment) for c in clauses)
+            expected = gate_truth(gate_type, bits[:arity]) == bits[arity]
+            assert consistent == expected, (gate_type, bits)
+
+    def test_terminal_count_enforced(self):
+        with pytest.raises(SolgError):
+            gate_clauses("and", [1, 2])
+
+
+class TestSelfOrganizingGate:
+    def test_forward_direction(self):
+        gate = SelfOrganizingGate("and")
+        settled = gate.self_organize({"in0": True, "in1": False}, rng=0)
+        assert settled["out"] is False
+
+    def test_backward_direction_and(self):
+        # pinning the output of AND to 1 forces both inputs to 1
+        gate = SelfOrganizingGate("and")
+        settled = gate.self_organize({"out": True}, rng=1)
+        assert settled == {"in0": True, "in1": True, "out": True}
+
+    def test_backward_xor_many_to_one(self):
+        # XOR out=1 has two consistent input pairs; either is acceptable
+        gate = SelfOrganizingGate("xor")
+        settled = gate.self_organize({"out": True}, rng=2)
+        assert settled["in0"] != settled["in1"]
+
+    def test_partial_pinning(self):
+        gate = SelfOrganizingGate("or")
+        settled = gate.self_organize({"out": False, "in0": False}, rng=3)
+        assert settled["in1"] is False
+
+    def test_free_gate_settles_consistently(self):
+        gate = SelfOrganizingGate("nand")
+        settled = gate.self_organize(rng=4)
+        assert settled["out"] == gate_truth("nand", (settled["in0"],
+                                                     settled["in1"]))
+
+    def test_inconsistent_pins_rejected(self):
+        gate = SelfOrganizingGate("and")
+        with pytest.raises(SolgError):
+            gate.self_organize({"in0": False, "out": True}, rng=5)
+
+    def test_unknown_terminal(self):
+        with pytest.raises(SolgError):
+            SelfOrganizingGate("and").self_organize({"in9": True})
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(SolgError):
+            SelfOrganizingGate("flux")
+
+    def test_forward_helper(self):
+        assert SelfOrganizingGate("xor").forward(True, False) is True
+
+
+class TestSolgCircuit:
+    def test_forward_evaluation_matches_dynamics(self):
+        circuit = SolgCircuit("c")
+        circuit.gate_and("a", "b", "ab")
+        circuit.gate_xor("ab", "c", "out")
+        pins = {"a": True, "b": True, "c": False}
+        forward = circuit.evaluate_forward(pins)
+        settled = circuit.solve(pinned=pins, rng=0)
+        assert settled["out"] == forward["out"] is True
+
+    def test_backward_solving(self):
+        # out = a AND b; pin out=1 -> both inputs must rise to 1
+        circuit = SolgCircuit("c")
+        circuit.gate_and("a", "b", "out")
+        settled = circuit.solve(pinned={"out": True}, rng=1)
+        assert settled["a"] and settled["b"]
+
+    def test_forward_requires_driven_wires(self):
+        circuit = SolgCircuit("c")
+        circuit.gate_and("a", "b", "out")
+        with pytest.raises(SolgError):
+            circuit.evaluate_forward({"a": True})
+
+    def test_pinning_unknown_wire(self):
+        circuit = SolgCircuit("c")
+        circuit.gate_not("a", "na")
+        with pytest.raises(SolgError):
+            circuit.to_cnf(pinned={"zz": True})
+
+    def test_inconsistent_circuit_raises(self):
+        circuit = SolgCircuit("c")
+        circuit.gate_not("a", "na")
+        solver = DmmSolver(max_steps=3_000)
+        with pytest.raises(SolgError):
+            circuit.solve(pinned={"a": True, "na": True}, solver=solver,
+                          rng=2)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 7), (6, 1)])
+    def test_forward_addition(self, a, b):
+        circuit, sums = ripple_adder_circuit(3)
+        values = {"a%d" % i: bool((a >> i) & 1) for i in range(3)}
+        values.update({"b%d" % i: bool((b >> i) & 1) for i in range(3)})
+        out = circuit.evaluate_forward(values)
+        total = sum((1 << i) for i, wire in enumerate(sums) if out[wire])
+        assert total == a + b
+
+    def test_backward_subtraction(self):
+        # pin the sum and one operand; the dynamics recover the other
+        circuit, sums = ripple_adder_circuit(3)
+        pinned = {"a%d" % i: bool((5 >> i) & 1) for i in range(3)}
+        target = 5 + 2
+        pinned.update({wire: bool((target >> i) & 1)
+                       for i, wire in enumerate(sums)})
+        settled = circuit.solve(pinned=pinned, rng=3)
+        recovered = sum((1 << i) for i in range(3)
+                        if settled["b%d" % i])
+        assert recovered == 2
+
+
+class TestMultiplier:
+    def test_forward_products_exhaustive_3bit(self):
+        circuit, a_wires, b_wires, product_wires = multiplier_circuit(3)
+        for a in range(8):
+            for b in range(8):
+                values = {w: bool((a >> i) & 1)
+                          for i, w in enumerate(a_wires)}
+                values.update({w: bool((b >> i) & 1)
+                               for i, w in enumerate(b_wires)})
+                out = circuit.evaluate_forward(values)
+                product = sum((1 << i)
+                              for i, w in enumerate(product_wires)
+                              if out[w])
+                assert product == a * b, (a, b)
+
+    def test_invalid_width(self):
+        with pytest.raises(SolgError):
+            multiplier_circuit(0)
+
+
+class TestFactorization:
+    @pytest.mark.parametrize("composite,expected", [
+        (15, {3, 5}), (21, {3, 7}), (35, {5, 7}),
+    ])
+    def test_factors_small_semiprimes(self, composite, expected):
+        factor_a, factor_b = factor_with_memcomputing(composite, rng=0)
+        assert {factor_a, factor_b} == expected
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(SolgError):
+            factorization_circuit(3)
+
+    def test_circuit_pins_product_bits(self):
+        _circuit, pinned, extra, a_wires, b_wires = factorization_circuit(15)
+        # exactly popcount(15) product wires are pinned high
+        assert sum(1 for value in pinned.values() if value) == 4
+        # both operands carry a non-triviality constraint
+        assert len(extra) == 2
+        assert all(len(constraint) == len(a_wires) - 1
+                   for constraint in extra)

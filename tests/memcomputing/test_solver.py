@@ -1,0 +1,83 @@
+"""Tests for the DMM SAT solver."""
+
+import pytest
+
+from repro.core.cnf import Clause, CnfFormula
+from repro.core.exceptions import DmmConvergenceError
+from repro.core.sat_instances import planted_ksat, random_ksat
+from repro.memcomputing.solver import DmmSolver
+
+
+class TestDmmSolver:
+    def test_solves_planted_instance(self):
+        formula = planted_ksat(40, 160, rng=0)
+        result = DmmSolver().solve(formula, rng=1)
+        assert result.satisfied
+        assert formula.is_satisfied_by(result.assignment)
+
+    def test_solves_near_transition_random_instance(self):
+        formula = random_ksat(60, 252, rng=7)  # ratio 4.2
+        result = DmmSolver(max_steps=600_000).solve(formula, rng=2)
+        assert result.satisfied
+        assert formula.is_satisfied_by(result.assignment)
+
+    def test_solves_unit_and_binary_clauses(self):
+        formula = CnfFormula([Clause([1]), Clause([-1, 2]),
+                              Clause([-2, 3])])
+        result = DmmSolver().solve(formula, rng=0)
+        assert result.satisfied
+        assert result.assignment == {1: True, 2: True, 3: True}
+
+    def test_deterministic_given_seed(self):
+        formula = planted_ksat(30, 120, rng=5)
+        a = DmmSolver().solve(formula, rng=9)
+        b = DmmSolver().solve(formula, rng=9)
+        assert a.steps == b.steps
+        assert a.assignment == b.assignment
+
+    def test_budget_exhaustion_reported(self):
+        # x and not-x is unsatisfiable: the solver must run out of budget
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        result = DmmSolver(max_steps=2_000).solve(formula, rng=0)
+        assert not result.satisfied
+        assert result.steps == 2_000
+
+    def test_raise_on_failure(self):
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        with pytest.raises(DmmConvergenceError):
+            DmmSolver(max_steps=1_000).solve(formula, rng=0,
+                                             raise_on_failure=True)
+
+    def test_restarts_counted(self):
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        result = DmmSolver(max_steps=5_000,
+                           restart_after=1_000).solve(formula, rng=0)
+        # one restart fires every 1000 steps, including at the final step
+        assert result.restarts == 5
+
+    def test_unsat_trace_recorded(self):
+        formula = planted_ksat(30, 120, rng=6)
+        result = DmmSolver().solve(formula, rng=3)
+        assert result.unsat_trace[0][1] >= 0
+        assert result.unsat_trace[-1][1] == 0  # solved
+
+    def test_noise_does_not_break_small_instances(self):
+        formula = planted_ksat(20, 80, rng=8)
+        result = DmmSolver(noise_sigma=0.3,
+                           max_steps=200_000).solve(formula, rng=4)
+        assert result.satisfied
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            DmmSolver(dt=0.0)
+
+    def test_wall_time_recorded(self):
+        formula = planted_ksat(20, 80, rng=9)
+        result = DmmSolver().solve(formula, rng=5)
+        assert result.wall_time >= 0.0
+
+    @pytest.mark.parametrize("n", [20, 60, 120])
+    def test_scaling_sizes_all_solved(self, n):
+        formula = planted_ksat(n, int(4.0 * n), rng=n)
+        result = DmmSolver(max_steps=500_000).solve(formula, rng=n + 1)
+        assert result.satisfied

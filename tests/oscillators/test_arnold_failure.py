@@ -1,0 +1,111 @@
+"""Arnold-tongue structure and failure-injection tests for oscillator arrays.
+
+The slow sweeps live in the benchmarks; here we verify the *ordering*
+claims on a minimal grid plus the array's behaviour under component
+failure (a dead oscillator — the kind of defect an accuracy-tunable
+analog co-processor must tolerate gracefully).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DeviceModelError, OscillatorError
+from repro.core.signals import cycle_frequency
+from repro.oscillators.coupling import (
+    CoupledOscillatorNetwork,
+    CouplingBranch,
+)
+from repro.oscillators.locking import arnold_tongue, locking_range
+from repro.oscillators.relaxation import RelaxationOscillator
+from repro.oscillators.vo2 import Vo2Device
+
+
+@pytest.mark.slow
+class TestArnoldTongue:
+    def test_stronger_coupling_locks_wider(self):
+        """The Arnold tongue widens as R_C decreases."""
+        weak = locking_range(1.8, 300e3, max_delta=0.24, steps=4,
+                             cycles=80)
+        strong = locking_range(1.8, 20e3, max_delta=0.24, steps=4,
+                               cycles=80)
+        assert strong > weak
+
+    def test_arnold_tongue_rows(self):
+        rows = arnold_tongue(1.8, [40e3, 250e3], max_delta=0.18, steps=3,
+                             cycles=80)
+        assert len(rows) == 2
+        resistances = [r for r, _width in rows]
+        assert resistances == [40e3, 250e3]
+        widths = {r: w for r, w in rows}
+        assert widths[40e3] >= widths[250e3]
+
+
+class TestDeadOscillatorInjection:
+    def _network_with_dead_member(self):
+        # member 1 is biased below the oscillation region: a stuck node
+        healthy_a = RelaxationOscillator(1.8)
+        dead = RelaxationOscillator(0.95)       # transistor on, no cycle
+        healthy_b = RelaxationOscillator(1.82)
+        branches = [CouplingBranch(0, 1, r_c=35e3, c_c=30e-12),
+                    CouplingBranch(1, 2, r_c=35e3, c_c=30e-12)]
+        return CoupledOscillatorNetwork([healthy_a, dead, healthy_b],
+                                        branches)
+
+    def test_dead_member_does_not_crash_simulation(self):
+        network = self._network_with_dead_member()
+        period = network.oscillators[0].analytic_period()
+        trajectory, _phases = network.simulate(40 * period)
+        assert np.all(np.isfinite(trajectory.states))
+
+    def test_healthy_members_keep_oscillating(self):
+        network = self._network_with_dead_member()
+        period = network.oscillators[0].analytic_period()
+        trajectory, _phases = network.simulate(60 * period)
+        freq_a = cycle_frequency(trajectory.times,
+                                 trajectory.component(0), 1.0)
+        freq_b = cycle_frequency(trajectory.times,
+                                 trajectory.component(2), 1.0)
+        assert freq_a is not None and freq_a > 1e5
+        assert freq_b is not None and freq_b > 1e5
+
+    def test_dead_member_is_flat(self):
+        network = self._network_with_dead_member()
+        period = network.oscillators[0].analytic_period()
+        trajectory, _phases = network.simulate(60 * period)
+        dead_wave = trajectory.component(1)
+        steady = dead_wave[len(dead_wave) // 2:]
+        # the stuck node only shows small coupled ripple, no full swing
+        assert steady.max() - steady.min() < 0.3
+
+    def test_all_dead_network_needs_explicit_dt(self):
+        dead = [RelaxationOscillator(0.95), RelaxationOscillator(0.96)]
+        network = CoupledOscillatorNetwork(
+            dead, [CouplingBranch(0, 1, r_c=35e3, c_c=30e-12)])
+        with pytest.raises(OscillatorError):
+            network.simulate(1e-4)  # no member defines a period
+
+    def test_cutoff_bias_raises_at_construction_time(self):
+        with pytest.raises(DeviceModelError):
+            # below threshold: the cell cannot conduct at all
+            RelaxationOscillator(0.2).series_resistance
+
+
+class TestParameterRobustness:
+    def test_narrow_hysteresis_still_oscillates(self):
+        device = Vo2Device(v_imt=1.0, v_mit=0.9)
+        oscillator = RelaxationOscillator(1.8, vo2=device)
+        assert oscillator.can_oscillate()
+        assert oscillator.analytic_period() > 0
+
+    def test_wide_hysteresis_changes_period(self):
+        narrow = RelaxationOscillator(1.8,
+                                      vo2=Vo2Device(v_imt=1.0, v_mit=0.9))
+        wide = RelaxationOscillator(1.8,
+                                    vo2=Vo2Device(v_imt=1.3, v_mit=0.4))
+        assert wide.analytic_period() > narrow.analytic_period()
+
+    def test_supply_scaling_shifts_levels(self):
+        low = RelaxationOscillator(1.8, v_dd=1.6)
+        high = RelaxationOscillator(1.8, v_dd=2.2)
+        assert high.v_low > low.v_low
+        assert high.v_high > low.v_high

@@ -1,0 +1,82 @@
+"""Tests for the oscillator associative memory ([39])."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import OscillatorError
+from repro.oscillators.coprocessor import AssociativeMemory
+
+
+def distinct_patterns(rng, count=4, size=12):
+    """Well-separated random patterns (spread across the full range)."""
+    patterns = []
+    for index in range(count):
+        base = 255.0 * index / max(1, count - 1)
+        pattern = np.clip(base + rng.normal(0, 10, size), 0, 255)
+        patterns.append(pattern)
+    return patterns
+
+
+class TestStore:
+    def test_store_returns_indices(self):
+        memory = AssociativeMemory()
+        assert memory.store([1.0, 2.0]) == 0
+        assert memory.store([3.0, 4.0], label="x") == 1
+        assert len(memory) == 2
+
+    def test_length_mismatch_rejected(self):
+        memory = AssociativeMemory()
+        memory.store([1.0, 2.0])
+        with pytest.raises(OscillatorError):
+            memory.store([1.0, 2.0, 3.0])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(OscillatorError):
+            AssociativeMemory().store([])
+
+    def test_bad_threshold(self):
+        with pytest.raises(OscillatorError):
+            AssociativeMemory(match_threshold=0.0)
+
+
+class TestRecall:
+    def test_exact_probe_recalls_itself(self):
+        rng = np.random.default_rng(0)
+        memory = AssociativeMemory()
+        patterns = distinct_patterns(rng)
+        for index, pattern in enumerate(patterns):
+            memory.store(pattern, label=index)
+        for index, pattern in enumerate(patterns):
+            recalled, label, score = memory.recall(pattern)
+            assert label == index
+            assert score == pytest.approx(1.0)
+            assert np.allclose(recalled, pattern)
+
+    def test_degraded_probe_recalls_original(self):
+        rng = np.random.default_rng(1)
+        memory = AssociativeMemory()
+        patterns = distinct_patterns(rng)
+        for index, pattern in enumerate(patterns):
+            memory.store(pattern, label=index)
+        probes = [np.clip(p + rng.normal(0, 12, p.shape), 0, 255)
+                  for p in patterns]
+        assert memory.recall_accuracy(probes, list(range(4))) == 1.0
+
+    def test_far_probe_reports_no_association(self):
+        memory = AssociativeMemory(match_threshold=0.8)
+        memory.store(np.zeros(8), label="dark")
+        pattern, label, score = memory.recall(np.full(8, 255.0))
+        assert pattern is None and label is None
+        assert score < 0.8
+
+    def test_empty_memory_rejected(self):
+        with pytest.raises(OscillatorError):
+            AssociativeMemory().recall([1.0])
+
+    def test_recalled_pattern_is_a_copy(self):
+        memory = AssociativeMemory()
+        memory.store([10.0, 20.0])
+        recalled, _label, _score = memory.recall([10.0, 20.0])
+        recalled[0] = -1.0
+        again, _label, _score = memory.recall([10.0, 20.0])
+        assert again[0] == 10.0

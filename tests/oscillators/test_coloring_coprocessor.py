@@ -1,0 +1,116 @@
+"""Tests for the cited secondary applications: coloring [42], co-processor [44]."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import OscillatorError
+from repro.oscillators.coloring import color_graph
+from repro.oscillators.coprocessor import (
+    best_match,
+    degree_of_match,
+    rank_order_sort,
+    value_to_v_gs,
+)
+
+
+class TestColoring:
+    def test_path_graph_two_colorable(self):
+        result = color_graph([(0, 1), (1, 2), (2, 3)], 4, 2, cycles=120)
+        assert result.is_proper
+        assert result.num_colors == 2
+
+    def test_even_cycle(self):
+        result = color_graph([(0, 1), (1, 2), (2, 3), (3, 0)], 4, 2,
+                             cycles=120)
+        assert result.is_proper
+
+    def test_triangle_three_phases(self):
+        result = color_graph([(0, 1), (1, 2), (0, 2)], 3, 3, cycles=120)
+        assert result.is_proper
+        # the K3 fixed point is the symmetric splay state: phases near
+        # 0, 1/3, 2/3 (Parihar et al. 2017)
+        sorted_phases = np.sort(result.phases)
+        gaps = np.diff(np.concatenate([sorted_phases,
+                                       [sorted_phases[0] + 1.0]]))
+        assert np.allclose(gaps, 1.0 / 3.0, atol=0.08)
+
+    def test_validation(self):
+        with pytest.raises(OscillatorError):
+            color_graph([(0, 0)], 2, 2)
+        with pytest.raises(OscillatorError):
+            color_graph([(0, 5)], 2, 2)
+        with pytest.raises(OscillatorError):
+            color_graph([(0, 1)], 2, 1)
+
+    def test_conflicts_counted(self):
+        # force a single color bin... two colors on K3 must conflict
+        result = color_graph([(0, 1), (1, 2), (0, 2)], 3, 2, cycles=100)
+        assert result.conflicts >= 1
+
+
+class TestValueEncoding:
+    def test_range_mapping(self):
+        assert value_to_v_gs(0.0, 100.0) == pytest.approx(1.6)
+        assert value_to_v_gs(100.0, 100.0) == pytest.approx(2.6)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(OscillatorError):
+            value_to_v_gs(-1.0, 100.0)
+        with pytest.raises(OscillatorError):
+            value_to_v_gs(101.0, 100.0)
+
+
+class TestRankOrderSort:
+    def test_sorts_distinct_values(self):
+        values = [30, 200, 90, 155, 10]
+        order, counts = rank_order_sort(values)
+        assert order == sorted(range(len(values)),
+                               key=lambda i: values[i])
+
+    def test_counts_monotone_in_value(self):
+        values = [20, 120, 250]
+        _order, counts = rank_order_sort(values)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_accuracy_dial(self):
+        # near-ties resolve with a longer window
+        values = [100.0, 104.0]
+        order_long, counts_long = rank_order_sort(values,
+                                                  window_cycles=120.0)
+        assert order_long == [0, 1]
+        assert counts_long[1] >= counts_long[0]
+
+    def test_validation(self):
+        with pytest.raises(OscillatorError):
+            rank_order_sort([])
+        with pytest.raises(OscillatorError):
+            rank_order_sort([-5.0, 2.0])
+
+
+class TestDegreeOfMatch:
+    def test_identical_patterns_score_one(self):
+        pattern = [10, 200, 30, 90]
+        assert degree_of_match(pattern, pattern) == pytest.approx(1.0)
+
+    def test_score_decreases_with_distortion(self):
+        template = np.array([10.0, 200.0, 10.0, 200.0])
+        near = template + np.array([5.0, -5.0, 5.0, -5.0])
+        far = template[::-1]
+        assert degree_of_match(template, near) \
+            > degree_of_match(template, far)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(OscillatorError):
+            degree_of_match([1.0, 2.0], [1.0])
+
+    def test_empty_pattern(self):
+        with pytest.raises(OscillatorError):
+            degree_of_match([], [])
+
+    def test_best_match_picks_exact(self):
+        template = [10, 200, 10, 200]
+        candidates = [[200, 10, 200, 10], [12, 195, 12, 198],
+                      [10, 200, 10, 200]]
+        index, scores = best_match(template, candidates)
+        assert index == 2
+        assert scores[2] == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for coupled networks, locking (Fig. 3) and the XOR readout (Fig. 4).
+
+ODE-simulation tests are kept to short horizons; the full calibrated
+sweeps live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import OscillatorError, ReadoutError
+from repro.core.signals import cycle_frequency
+from repro.oscillators.coupling import (
+    CoupledOscillatorNetwork,
+    CouplingBranch,
+    coupled_pair,
+    simulate_pair,
+)
+from repro.oscillators.locking import check_locking, simulate_calibrated_pair
+from repro.oscillators.readout import XorReadout
+from repro.oscillators.relaxation import RelaxationOscillator
+
+MID = 1.0
+
+
+class TestCouplingBranch:
+    def test_current_sign(self):
+        branch = CouplingBranch(0, 1, r_c=1e4, c_c=1e-10)
+        assert branch.current(1.0, 0.0, 0.0) > 0.0
+        assert branch.current(0.0, 1.0, 0.0) < 0.0
+
+    def test_capacitor_charge_opposes(self):
+        branch = CouplingBranch(0, 1, r_c=1e4, c_c=1e-10)
+        # fully charged capacitor cancels the voltage difference
+        charge = 1.0 * 1e-10
+        assert branch.current(1.0, 0.0, charge) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(OscillatorError):
+            CouplingBranch(1, 1)
+        with pytest.raises(OscillatorError):
+            CouplingBranch(0, 1, r_c=-1.0)
+        with pytest.raises(OscillatorError):
+            CouplingBranch(0, 1, c_c=0.0)
+
+
+class TestNetworkConstruction:
+    def test_branch_endpoint_validation(self):
+        oscillators = [RelaxationOscillator(1.8)]
+        with pytest.raises(OscillatorError):
+            CoupledOscillatorNetwork(oscillators, [CouplingBranch(0, 1)])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(OscillatorError):
+            CoupledOscillatorNetwork([], [])
+
+    def test_state_layout(self):
+        network = coupled_pair(1.8, 1.9)
+        trajectory, phases = network.simulate(
+            5 * network.oscillators[0].analytic_period())
+        assert trajectory.states.shape[1] == 3  # v1, v2, q
+        assert len(phases) == len(trajectory)
+
+
+class TestFrequencyLocking:
+    def test_identical_pair_locks(self):
+        result = check_locking(1.8, 1.8, r_c=35e3, cycles=80)
+        assert result.locked
+        assert result.freq_1 == pytest.approx(result.freq_2, rel=0.01)
+
+    def test_small_detuning_locks(self):
+        result = check_locking(1.8, 1.83, r_c=35e3, cycles=80)
+        assert result.locked
+
+    def test_large_detuning_unlocks(self):
+        result = check_locking(1.8, 2.6, r_c=300e3, cycles=80)
+        assert not result.locked
+
+    def test_uncoupled_frequencies_recorded(self):
+        result = check_locking(1.8, 1.9, r_c=35e3, cycles=60)
+        natural_1 = RelaxationOscillator(1.8).natural_frequency()
+        assert result.uncoupled_freq_1 == pytest.approx(natural_1)
+        assert result.uncoupled_freq_2 > result.uncoupled_freq_1
+
+    def test_locked_frequency_between_naturals_or_pulled(self):
+        result = check_locking(1.8, 1.85, r_c=35e3, cycles=80)
+        assert result.locked
+        assert result.frequency_pull is not None
+
+
+class TestXorReadout:
+    def test_identical_pair_reads_near_zero(self):
+        times, v_1, v_2 = simulate_calibrated_pair(1.8, 1.8, r_c=35e3,
+                                                   cycles=100)
+        measure = XorReadout().measure(times, v_1, v_2)
+        assert measure < 0.1
+
+    def test_measure_grows_with_detuning(self):
+        readout = XorReadout()
+        measures = []
+        for delta in (0.0, 0.04, 0.08):
+            times, v_1, v_2 = simulate_calibrated_pair(
+                1.8, 1.8 + delta, r_c=35e3, cycles=100)
+            measures.append(readout.measure(times, v_1, v_2))
+        assert measures[0] < measures[1] < measures[2]
+
+    def test_fixed_threshold_mode(self):
+        times, v_1, v_2 = simulate_calibrated_pair(1.8, 1.8, r_c=35e3,
+                                                   cycles=60)
+        readout = XorReadout(threshold=MID)
+        value = readout.measure(times, v_1, v_2)
+        assert 0.0 <= value <= 1.0
+
+    def test_average_xor_complement(self):
+        times, v_1, v_2 = simulate_calibrated_pair(1.8, 1.84, r_c=35e3,
+                                                   cycles=60)
+        readout = XorReadout()
+        assert readout.measure(times, v_1, v_2) == pytest.approx(
+            1.0 - readout.average_xor(times, v_1, v_2))
+
+    def test_short_record_rejected(self):
+        readout = XorReadout()
+        with pytest.raises(ReadoutError):
+            readout.measure(np.linspace(0, 1, 10), np.zeros(10),
+                            np.zeros(10))
+
+    def test_bad_discard_fraction(self):
+        with pytest.raises(ReadoutError):
+            XorReadout(discard_fraction=1.5)
+
+    def test_square_waves_are_binary(self):
+        times, v_1, v_2 = simulate_calibrated_pair(1.8, 1.8, r_c=35e3,
+                                                   cycles=60)
+        _t, square_1, square_2 = XorReadout().square_waves(times, v_1, v_2)
+        assert set(np.unique(square_1)) <= {0.0, 1.0}
+        assert set(np.unique(square_2)) <= {0.0, 1.0}
+
+
+class TestSimulatePair:
+    def test_returns_waveforms(self):
+        times, v_1, v_2 = simulate_pair(1.8, 1.9, cycles=20)
+        assert len(times) == len(v_1) == len(v_2)
+        assert cycle_frequency(times, v_1, MID) is not None
+
+    def test_three_oscillator_chain(self):
+        oscillators = [RelaxationOscillator(v) for v in (1.8, 1.82, 1.84)]
+        branches = [CouplingBranch(0, 1, r_c=35e3, c_c=30e-12),
+                    CouplingBranch(1, 2, r_c=35e3, c_c=30e-12)]
+        network = CoupledOscillatorNetwork(oscillators, branches)
+        period = max(o.analytic_period() for o in oscillators)
+        trajectory, _phases = network.simulate(40 * period)
+        frequencies = [cycle_frequency(trajectory.times,
+                                       trajectory.component(i), MID)
+                       for i in range(3)]
+        assert all(f is not None for f in frequencies)

@@ -1,0 +1,123 @@
+"""Unit tests for the VO2 device and series-transistor models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import DeviceModelError
+from repro.oscillators.transistor import SeriesTransistor
+from repro.oscillators.vo2 import INSULATING, METALLIC, Vo2Device
+
+
+class TestVo2Device:
+    def test_default_parameters_physical(self):
+        device = Vo2Device()
+        assert device.r_ins > device.r_met
+        assert device.v_mit < device.v_imt
+
+    def test_resistance_by_phase(self):
+        device = Vo2Device(r_ins=100e3, r_met=2e3)
+        assert device.resistance(INSULATING) == 100e3
+        assert device.resistance(METALLIC) == 2e3
+        assert device.conductance(METALLIC) == pytest.approx(1.0 / 2e3)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(DeviceModelError):
+            Vo2Device().resistance("plasma")
+        with pytest.raises(DeviceModelError):
+            Vo2Device().next_phase("plasma", 1.0)
+
+    def test_hysteretic_switching(self):
+        device = Vo2Device(v_imt=1.1, v_mit=0.5)
+        assert device.next_phase(INSULATING, 1.2) == METALLIC
+        assert device.next_phase(INSULATING, 1.0) == INSULATING
+        assert device.next_phase(METALLIC, 0.4) == INSULATING
+        assert device.next_phase(METALLIC, 0.8) == METALLIC
+
+    def test_hysteresis_window_persistence(self):
+        # inside the window both phases are stable (memory!)
+        device = Vo2Device(v_imt=1.1, v_mit=0.5)
+        for voltage in (0.6, 0.8, 1.0):
+            assert device.next_phase(INSULATING, voltage) == INSULATING
+            assert device.next_phase(METALLIC, voltage) == METALLIC
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceModelError):
+            Vo2Device(r_ins=1e3, r_met=2e3)  # inverted resistances
+        with pytest.raises(DeviceModelError):
+            Vo2Device(v_imt=0.5, v_mit=1.1)  # inverted thresholds
+        with pytest.raises(DeviceModelError):
+            Vo2Device(r_met=-1.0)
+        with pytest.raises(DeviceModelError):
+            Vo2Device(v_mit=-0.1, v_imt=1.0)
+
+    def test_current(self):
+        device = Vo2Device(r_met=2e3)
+        assert device.current(METALLIC, 1.0) == pytest.approx(5e-4)
+
+    def test_iv_curve_shows_hysteresis(self):
+        device = Vo2Device()
+        voltages = np.linspace(0.0, 1.5, 200)
+        up, down = device.iv_curve(voltages)
+        # at a mid-window voltage, down-sweep current (metallic) exceeds
+        # up-sweep current (insulating)
+        index = np.argmin(np.abs(voltages - 0.8))
+        assert down[index] > up[index] * 10
+
+
+class TestSeriesTransistor:
+    def test_resistance_decreases_with_vgs(self):
+        transistor = SeriesTransistor()
+        r1 = transistor.channel_resistance(1.0)
+        r2 = transistor.channel_resistance(2.0)
+        assert r2 < r1
+
+    def test_cutoff_raises(self):
+        transistor = SeriesTransistor(v_threshold=0.4)
+        with pytest.raises(DeviceModelError):
+            transistor.channel_resistance(0.3)
+        with pytest.raises(DeviceModelError):
+            transistor.channel_resistance(0.4)
+
+    def test_resistance_floor(self):
+        transistor = SeriesTransistor(r_min=500.0)
+        assert transistor.channel_resistance(1000.0) == 500.0
+
+    def test_drain_current_regions(self):
+        transistor = SeriesTransistor(k_n=1e-4, v_threshold=0.4)
+        # triode for small vds
+        triode = transistor.drain_current(1.4, 0.1)
+        assert triode == pytest.approx(1e-4 * (1.0 * 0.1 - 0.005))
+        # saturation for large vds
+        saturation = transistor.drain_current(1.4, 5.0)
+        assert saturation == pytest.approx(0.5e-4 * 1.0)
+
+    def test_drain_current_cutoff(self):
+        transistor = SeriesTransistor()
+        assert transistor.drain_current(0.1, 1.0) == 0.0
+        assert transistor.drain_current(1.0, -0.5) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceModelError):
+            SeriesTransistor(k_n=0.0)
+        with pytest.raises(DeviceModelError):
+            SeriesTransistor(r_min=-5.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(v_gs=st.floats(min_value=0.5, max_value=5.0))
+def test_property_channel_resistance_positive(v_gs):
+    """Above threshold the channel resistance is always positive/finite."""
+    resistance = SeriesTransistor().channel_resistance(v_gs)
+    assert 0.0 < resistance < np.inf
+
+
+@settings(max_examples=40, deadline=None)
+@given(phase_voltage=st.floats(min_value=0.0, max_value=2.0))
+def test_property_phase_machine_is_total(phase_voltage):
+    """next_phase always returns a valid phase for any voltage."""
+    device = Vo2Device()
+    for phase in (INSULATING, METALLIC):
+        assert device.next_phase(phase, phase_voltage) in (INSULATING,
+                                                           METALLIC)

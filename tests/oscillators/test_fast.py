@@ -1,0 +1,252 @@
+"""Tests for the FAST detectors (Fig. 6) and the synthetic image suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oscillators.distance import OscillatorDistanceUnit
+from repro.oscillators.fast.bresenham import (
+    CIRCLE_OFFSETS_R3,
+    circle_intensities,
+    interior_pixels,
+)
+from repro.oscillators.fast.images import (
+    add_noise,
+    checkerboard_image,
+    gradient_image,
+    rectangle_image,
+    triangle_image,
+)
+from repro.oscillators.fast.oscillator_fast import (
+    OscillatorFastDetector,
+    _circular_runs,
+    agreement,
+)
+from repro.oscillators.fast.software import (
+    SoftwareFastDetector,
+    _max_circular_run,
+    segment_test,
+)
+
+
+class TestBresenham:
+    def test_sixteen_offsets(self):
+        assert len(CIRCLE_OFFSETS_R3) == 16
+        assert len(set(CIRCLE_OFFSETS_R3)) == 16
+
+    def test_radius_three(self):
+        for dr, dc in CIRCLE_OFFSETS_R3:
+            assert 2.8 <= np.hypot(dr, dc) <= 3.2
+
+    def test_circle_intensities_order(self):
+        image = np.zeros((9, 9))
+        image[0, 4] = 7.0  # offset (-3, 0) from center (3+0, 4)
+        circle = circle_intensities(image, 3, 4)
+        assert circle[0] == 7.0
+
+    def test_interior_pixels_margin(self):
+        pixels = list(interior_pixels(np.zeros((8, 8))))
+        assert pixels == [(3, 3), (3, 4), (4, 3), (4, 4)]
+
+
+class TestCircularRuns:
+    def test_max_run_wraps(self):
+        flags = [True, True] + [False] * 12 + [True, True]
+        assert _max_circular_run(flags) == 4
+
+    def test_all_true(self):
+        assert _max_circular_run([True] * 16) == 16
+
+    def test_all_false(self):
+        assert _max_circular_run([False] * 16) == 0
+
+    def test_runs_decomposition(self):
+        flags = [True, False, True, True, False, True]
+        runs = dict(_circular_runs(flags))
+        # wrap-around run: start 5, length 2; middle run: start 2 length 2
+        assert runs[2] == 2
+        assert runs[5] == 2
+
+    def test_runs_all_true(self):
+        assert _circular_runs([True] * 4) == [(0, 4)]
+
+
+class TestSegmentTest:
+    def test_bright_corner(self):
+        circle = [0.0] * 16
+        for i in range(10):
+            circle[i] = 100.0
+        detected, kind = segment_test(10.0, circle, threshold=30, n=9)
+        assert detected and kind == "brighter"
+
+    def test_dark_corner(self):
+        circle = [200.0] * 16
+        for i in range(12):
+            circle[i] = 10.0
+        detected, kind = segment_test(150.0, circle, threshold=30, n=9)
+        assert detected and kind == "darker"
+
+    def test_edge_not_corner(self):
+        # exactly half the circle bright: run of 8 < 9
+        circle = [100.0] * 8 + [0.0] * 8
+        detected, _ = segment_test(50.0, circle, threshold=30, n=9)
+        assert not detected
+
+
+class TestImages:
+    def test_rectangle_ground_truth(self):
+        image, corners = rectangle_image()
+        assert len(corners) == 4
+        for row, col in corners:
+            assert image[row, col] == 200.0
+
+    def test_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            rectangle_image(top=40, bottom=10)
+
+    def test_triangle(self):
+        image, corners = triangle_image()
+        assert len(corners) == 3
+        assert image.max() == 200.0
+
+    def test_checkerboard(self):
+        image, corners = checkerboard_image()
+        assert set(np.unique(image)) == {40.0, 200.0}
+        assert corners
+
+    def test_gradient_has_no_structure(self):
+        image = gradient_image()
+        assert np.all(np.diff(image, axis=0) == 0.0)
+
+    def test_add_noise_clipped(self):
+        image, _ = rectangle_image()
+        noisy = add_noise(image, 50.0, rng=0)
+        assert noisy.min() >= 0.0 and noisy.max() <= 255.0
+
+    def test_add_noise_deterministic(self):
+        image, _ = rectangle_image()
+        assert np.array_equal(add_noise(image, 5.0, rng=1),
+                              add_noise(image, 5.0, rng=1))
+
+
+class TestSoftwareDetector:
+    def test_finds_rectangle_corners(self):
+        image, ground_truth = rectangle_image()
+        detector = SoftwareFastDetector(threshold=30, n=9)
+        corners = detector.detect(image)
+        report = agreement(corners, ground_truth, tolerance=2)
+        assert report["recall"] == 1.0
+
+    def test_gradient_yields_nothing(self):
+        detector = SoftwareFastDetector(threshold=30, n=9)
+        assert detector.detect(gradient_image()) == []
+
+    def test_stats_recorded(self):
+        image, _ = rectangle_image()
+        detector = SoftwareFastDetector()
+        detector.detect(image)
+        assert detector.last_stats["pixels"] == 42 * 42
+
+    def test_high_speed_test_only_for_n12(self):
+        assert SoftwareFastDetector(n=9).use_high_speed_test is False
+        assert SoftwareFastDetector(n=12).use_high_speed_test is True
+
+    def test_high_speed_test_consistent(self):
+        image, _ = rectangle_image()
+        with_test = SoftwareFastDetector(n=12, use_high_speed_test=True)
+        without = SoftwareFastDetector(n=12, use_high_speed_test=False)
+        assert with_test.detect(image) == without.detect(image)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            SoftwareFastDetector(n=0)
+
+    def test_brightness_inversion_invariance(self):
+        image, _ = rectangle_image()
+        detector = SoftwareFastDetector(threshold=30, n=9)
+        assert detector.detect(image) == detector.detect(255.0 - image)
+
+
+class TestOscillatorDetector:
+    def test_agrees_with_software_on_rectangle(self):
+        image, _ = rectangle_image()
+        software = SoftwareFastDetector(threshold=30, n=9).detect(image)
+        oscillator = OscillatorFastDetector(threshold=30, n=9).detect(image)
+        report = agreement(oscillator, software, tolerance=0)
+        assert report["precision"] == 1.0
+        assert report["recall"] == 1.0
+
+    def test_agrees_on_noisy_image(self):
+        image, _ = rectangle_image()
+        noisy = add_noise(image, 8.0, rng=3)
+        software = SoftwareFastDetector(threshold=30, n=9).detect(noisy)
+        oscillator = OscillatorFastDetector(threshold=30, n=9).detect(noisy)
+        report = agreement(oscillator, software, tolerance=1)
+        assert report["precision"] > 0.9
+        assert report["recall"] > 0.9
+
+    def test_gradient_false_positive_free(self):
+        detector = OscillatorFastDetector(threshold=30, n=9)
+        assert detector.detect(gradient_image()) == []
+
+    def test_two_step_comparison_accounting(self):
+        image, _ = rectangle_image()
+        detector = OscillatorFastDetector(threshold=30, n=9)
+        detector.detect(image)
+        stats = detector.last_stats
+        # at least the 16 distance-step comparisons per pixel
+        assert stats["comparisons_per_pixel"] >= 16.0
+        # the second (rejection) step adds comparisons beyond step one
+        assert stats["oscillator_comparisons"] > stats["pixels"] * 16
+
+    def test_false_positive_rejection_step(self):
+        # build a pathological pixel: alternating far-bright/far-dark
+        # neighbours that an unsigned metric flags as one long run
+        image = np.full((7, 7), 128.0)
+        for index, (dr, dc) in enumerate(CIRCLE_OFFSETS_R3):
+            image[3 + dr, 3 + dc] = 255.0 if index % 2 == 0 else 0.0
+        detector = OscillatorFastDetector(threshold=30, n=9)
+        assert not detector.is_corner(image, 3, 3)
+        software = SoftwareFastDetector(threshold=30, n=9)
+        assert not software.is_corner(image, 3, 3)
+
+    def test_custom_distance_unit(self):
+        unit = OscillatorDistanceUnit(norm_exponent=3.0)
+        detector = OscillatorFastDetector(threshold=30, n=9,
+                                          distance_unit=unit)
+        image, _ = rectangle_image()
+        assert detector.detect(image)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            OscillatorFastDetector(n=17)
+
+
+class TestAgreement:
+    def test_perfect(self):
+        report = agreement([(1, 1)], [(1, 1)])
+        assert report["precision"] == 1.0 and report["recall"] == 1.0
+
+    def test_tolerance(self):
+        report = agreement([(1, 2)], [(1, 1)], tolerance=1)
+        assert report["precision"] == 1.0
+
+    def test_empty_sets(self):
+        report = agreement([], [])
+        assert report["precision"] == 1.0 and report["recall"] == 1.0
+
+    def test_miss(self):
+        report = agreement([(0, 0)], [(9, 9)], tolerance=1)
+        assert report["precision"] == 0.0 and report["recall"] == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+def test_property_run_length_rotation_invariant(bits):
+    """Max circular run is invariant under rotation of the circle."""
+    flags = [(bits >> i) & 1 == 1 for i in range(16)]
+    baseline = _max_circular_run(flags)
+    for shift in (1, 5, 9):
+        rotated = flags[shift:] + flags[:shift]
+        assert _max_circular_run(rotated) == baseline

@@ -1,0 +1,115 @@
+"""Tests for the oscillator morphological image processing ([43])."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import OscillatorError
+from repro.oscillators.fast.images import rectangle_image
+from repro.oscillators.morphology import OscillatorRankFilter, edge_map
+
+
+def bright_square(size=16, lo=4, hi=12):
+    image = np.full((size, size), 40.0)
+    image[lo:hi, lo:hi] = 200.0
+    return image
+
+
+class TestRankFilter:
+    def test_erosion_matches_numpy_minimum(self):
+        image = bright_square()
+        eroded = OscillatorRankFilter().erode(image)
+        for row in range(1, 15):
+            for col in range(1, 15):
+                expected = image[row - 1:row + 2, col - 1:col + 2].min()
+                assert eroded[row, col] == expected
+
+    def test_dilation_matches_numpy_maximum(self):
+        image = bright_square()
+        dilated = OscillatorRankFilter().dilate(image)
+        for row in range(1, 15):
+            for col in range(1, 15):
+                expected = image[row - 1:row + 2, col - 1:col + 2].max()
+                assert dilated[row, col] == expected
+
+    def test_median_matches_numpy_median(self):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 255, size=(10, 10))
+        filtered = OscillatorRankFilter().median(image)
+        for row in range(1, 9):
+            for col in range(1, 9):
+                expected = np.median(image[row - 1:row + 2,
+                                           col - 1:col + 2])
+                assert filtered[row, col] == pytest.approx(expected)
+
+    def test_median_removes_salt_and_pepper(self):
+        image = bright_square()
+        noisy = image.copy()
+        rng = np.random.default_rng(1)
+        mask = rng.random(image.shape) < 0.08
+        noisy[mask] = rng.choice([0.0, 255.0], size=int(mask.sum()))
+        restored = OscillatorRankFilter().median(noisy)
+        interior = (slice(1, -1), slice(1, -1))
+        assert np.abs(restored[interior] - image[interior]).mean() \
+            < np.abs(noisy[interior] - image[interior]).mean()
+
+    def test_opening_removes_bright_speck(self):
+        image = np.full((12, 12), 40.0)
+        image[6, 6] = 250.0  # isolated bright pixel
+        opened = OscillatorRankFilter().opening(image)
+        assert opened[6, 6] == 40.0
+
+    def test_closing_fills_dark_pit(self):
+        image = bright_square()
+        image[8, 8] = 0.0
+        closed = OscillatorRankFilter().closing(image)
+        assert closed[8, 8] == 200.0
+
+    def test_gradient_highlights_boundary(self):
+        image = bright_square()
+        gradient = OscillatorRankFilter().morphological_gradient(image)
+        assert gradient[4, 8] > 0.0    # on the edge
+        assert gradient[8, 8] == 0.0   # deep interior
+
+    def test_validation(self):
+        with pytest.raises(OscillatorError):
+            OscillatorRankFilter(mode="spooky")
+        with pytest.raises(OscillatorError):
+            OscillatorRankFilter(radius=0)
+        with pytest.raises(OscillatorError):
+            OscillatorRankFilter().erode(np.zeros(5))
+        with pytest.raises(OscillatorError):
+            OscillatorRankFilter(radius=4).erode(np.zeros((3, 3)))
+
+    @pytest.mark.slow
+    def test_physical_mode_agrees_on_distinct_values(self):
+        image = np.array([
+            [10.0, 60.0, 110.0],
+            [160.0, 210.0, 30.0],
+            [80.0, 130.0, 180.0],
+        ])
+        behavioral = OscillatorRankFilter().erode(image)
+        physical = OscillatorRankFilter(mode="physical",
+                                        window_cycles=80.0).erode(image)
+        assert behavioral[1, 1] == physical[1, 1] == 10.0
+
+
+class TestEdgeMap:
+    def test_flat_image_reads_zero(self):
+        edges = edge_map(np.full((8, 8), 120.0))
+        assert np.all(edges == 0.0)
+
+    def test_step_edge_detected(self):
+        image, _corners = rectangle_image(height=20, width=20, top=6,
+                                          left=6, bottom=14, right=14)
+        edges = edge_map(image)
+        assert edges[6, 10] > 0.05   # boundary row
+        assert edges[10, 10] == 0.0  # interior
+
+    def test_border_zeroed(self):
+        edges = edge_map(np.random.default_rng(0).uniform(0, 255, (6, 6)))
+        assert np.all(edges[0, :] == 0.0)
+        assert np.all(edges[:, -1] == 0.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(OscillatorError):
+            edge_map(np.zeros(10))

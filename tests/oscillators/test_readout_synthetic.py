@@ -1,0 +1,78 @@
+"""Analytic validation of the XOR readout on synthetic waveforms.
+
+The ODE-driven tests exercise the readout on simulated oscillators; here
+we validate its arithmetic exactly on constructed square/sine waves with
+known phase relationships, where the expected ``1 - Avg(XOR)`` has a
+closed form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.oscillators.readout import XorReadout
+
+
+def square_pair(phase_offset_cycles, duty=0.5, cycles=40, samples=8000):
+    """Two unit-frequency square waves offset by a phase, over [0, cycles]."""
+    t = np.linspace(0.0, cycles, samples)
+    def wave(offset):
+        phase = (t - offset) % 1.0
+        return np.where(phase < duty, 1.0, 0.0)
+    return t, wave(0.0), wave(phase_offset_cycles)
+
+
+class TestClosedFormOffsets:
+    @pytest.mark.parametrize("offset,expected_measure", [
+        (0.0, 1.0),      # identical -> XOR always 0 -> measure 1
+        (0.5, 0.0),      # anti-phase, duty 0.5 -> XOR always 1
+        (0.25, 0.5),     # quarter cycle -> XOR half the time
+        (0.1, 0.8),      # differ during 2*0.1 of each cycle
+    ])
+    def test_measure_matches_overlap_formula(self, offset,
+                                             expected_measure):
+        t, a, b = square_pair(offset)
+        readout = XorReadout(threshold=0.5, discard_fraction=0.0)
+        assert readout.measure(t, a, b) == pytest.approx(
+            expected_measure, abs=0.02)
+
+    def test_symmetry_in_offset_sign(self):
+        readout = XorReadout(threshold=0.5, discard_fraction=0.0)
+        t, a, b = square_pair(0.2)
+        forward = readout.measure(t, a, b)
+        t, a2, b2 = square_pair(-0.2)
+        backward = readout.measure(t, a2, b2)
+        assert forward == pytest.approx(backward, abs=0.02)
+
+    def test_asymmetric_duty_antiphase(self):
+        # duty d, anti-phase: high windows never overlap for d <= 0.5,
+        # so the waves differ during 2d of each cycle
+        duty = 0.3
+        t, a, b = square_pair(0.5, duty=duty)
+        readout = XorReadout(threshold=0.5, discard_fraction=0.0)
+        assert readout.measure(t, a, b) == pytest.approx(1.0 - 2 * duty,
+                                                         abs=0.02)
+
+
+class TestMedianThresholdOnSines:
+    def test_median_slicer_gives_half_duty(self):
+        t = np.linspace(0.0, 20.0, 8000)
+        a = np.sin(2 * np.pi * t) + 3.0        # offset sine
+        b = np.sin(2 * np.pi * (t - 0.5))      # anti-phase, no offset
+        readout = XorReadout(discard_fraction=0.0)
+        _w, square_a, square_b = readout.square_waves(t, a, b)
+        assert np.mean(square_a) == pytest.approx(0.5, abs=0.01)
+        assert np.mean(square_b) == pytest.approx(0.5, abs=0.01)
+        # anti-phase sines slice into complementary squares
+        assert readout.measure(t, a, b) == pytest.approx(0.0, abs=0.02)
+
+    def test_discard_fraction_windows_the_record(self):
+        # first half junk, second half identical: discarding the junk
+        # must restore the identical-pair reading
+        t = np.linspace(0.0, 20.0, 8000)
+        clean = np.sin(2 * np.pi * t)
+        corrupt = clean.copy()
+        corrupt[: len(t) // 2] = np.sign(
+            np.sin(2 * np.pi * 3.7 * t[: len(t) // 2]))
+        readout = XorReadout(discard_fraction=0.6)
+        assert readout.measure(t, clean, corrupt) == pytest.approx(
+            1.0, abs=0.02)

@@ -1,0 +1,119 @@
+"""Unit tests for the 1T1R relaxation oscillator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import DeviceModelError
+from repro.core.signals import cycle_frequency
+from repro.oscillators.relaxation import (
+    RelaxationOscillator,
+    frequency_tuning_curve,
+)
+from repro.oscillators.vo2 import INSULATING, METALLIC, Vo2Device
+
+MID_THRESHOLD = 1.0  # midpoint of the default v_low=0.7 .. v_high=1.3 swing
+
+
+class TestBiasPoint:
+    def test_default_bias_oscillates(self):
+        assert RelaxationOscillator(v_gs=1.8).can_oscillate()
+
+    def test_weak_drive_does_not_oscillate(self):
+        # barely above threshold: series resistance too large
+        assert not RelaxationOscillator(v_gs=0.9).can_oscillate()
+
+    def test_analytic_period_positive(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        assert oscillator.analytic_period() > 0.0
+
+    def test_analytic_period_requires_oscillation(self):
+        with pytest.raises(DeviceModelError):
+            RelaxationOscillator(v_gs=0.9).analytic_period()
+
+    def test_switching_levels(self):
+        oscillator = RelaxationOscillator(v_gs=1.8, v_dd=1.8)
+        assert oscillator.v_low == pytest.approx(1.8 - 1.1)
+        assert oscillator.v_high == pytest.approx(1.8 - 0.5)
+
+    def test_equilibria_ordering(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        assert oscillator.equilibrium_voltage(INSULATING) \
+            < oscillator.equilibrium_voltage(METALLIC)
+
+    def test_time_constants_ordering(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        # metallic phase has a much smaller RC
+        assert oscillator.time_constant(METALLIC) \
+            < oscillator.time_constant(INSULATING)
+
+    def test_invalid_construction(self):
+        with pytest.raises(DeviceModelError):
+            RelaxationOscillator(v_gs=1.8, v_dd=-1.0)
+        with pytest.raises(DeviceModelError):
+            RelaxationOscillator(v_gs=1.8, c_p=0.0)
+        with pytest.raises(DeviceModelError):
+            # IMT threshold above the supply: device can never fire
+            RelaxationOscillator(v_gs=1.8, v_dd=1.0,
+                                 vo2=Vo2Device(v_imt=1.1, v_mit=0.5))
+
+
+class TestSimulation:
+    def test_simulated_frequency_matches_analytic(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        trajectory = oscillator.simulate(20 * oscillator.analytic_period())
+        simulated = cycle_frequency(trajectory.times,
+                                    trajectory.component(0), MID_THRESHOLD)
+        assert simulated == pytest.approx(oscillator.natural_frequency(),
+                                          rel=0.03)
+
+    def test_waveform_bounded_by_switch_levels(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        trajectory = oscillator.simulate(10 * oscillator.analytic_period())
+        steady = trajectory.component(0)[len(trajectory) // 3:]
+        assert steady.min() >= oscillator.v_low - 0.05
+        assert steady.max() <= oscillator.v_high + 0.05
+
+    def test_phase_recording(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        _trajectory, phases = oscillator.simulate(
+            5 * oscillator.analytic_period(), record_phases=True)
+        assert INSULATING in phases and METALLIC in phases
+
+    def test_finer_step_converges_to_analytic(self):
+        oscillator = RelaxationOscillator(v_gs=1.8)
+        period = oscillator.analytic_period()
+        errors = []
+        for divisor in (100, 800):
+            trajectory = oscillator.simulate(20 * period,
+                                             dt=period / divisor)
+            simulated = cycle_frequency(trajectory.times,
+                                        trajectory.component(0),
+                                        MID_THRESHOLD)
+            errors.append(abs(simulated - 1.0 / period) * period)
+        assert errors[1] < errors[0]
+
+
+class TestTuningCurve:
+    def test_monotone_increasing_in_vgs(self):
+        v_gs = np.linspace(1.3, 3.0, 8)
+        frequencies = frequency_tuning_curve(v_gs)
+        assert all(f is not None for f in frequencies)
+        assert all(b > a for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_dead_zone_reported_as_none(self):
+        curve = frequency_tuning_curve([0.2, 0.9, 1.8])
+        assert curve[0] is None          # transistor cut off
+        assert curve[1] is None          # no oscillation at this bias
+        assert curve[2] is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(v_gs=st.floats(min_value=1.3, max_value=3.0))
+def test_property_period_positive_in_operating_range(v_gs):
+    """Across the tuning range the analytic period is finite-positive."""
+    oscillator = RelaxationOscillator(v_gs=v_gs)
+    assert oscillator.can_oscillate()
+    period = oscillator.analytic_period()
+    assert 0.0 < period < 1.0

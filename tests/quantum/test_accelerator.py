@@ -1,0 +1,125 @@
+"""Unit tests for the Fig. 2 accelerator stack and Fig. 1 hetero model."""
+
+import pytest
+
+from repro.core.exceptions import QuantumError
+from repro.quantum.accelerator import QuantumAccelerator, StackReport
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.hetero import (
+    Device,
+    HeterogeneousSystem,
+    Task,
+    default_devices,
+    example_workload,
+)
+
+
+class TestStackReport:
+    def test_layers_ordered(self):
+        report = StackReport()
+        report.record("application", name="x")
+        rows = report.rows()
+        assert rows[0][0] == "application"
+        assert rows[-1][0] == "quantum chip"
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            StackReport().record("hypervisor", foo=1)
+
+    def test_fields_merge(self):
+        report = StackReport()
+        report.record("runtime", shots=10)
+        report.record("runtime", outcomes=2)
+        assert report.entries["runtime"] == {"shots": 10, "outcomes": 2}
+
+
+class TestQuantumAccelerator:
+    def test_bell_kernel_through_stack(self):
+        accelerator = QuantumAccelerator(3)
+        kernel = QuantumCircuit(2, name="bell").h(0).cnot(0, 1)
+        kernel.measure(0, "a").measure(1, "b")
+        result, report = accelerator.execute_kernel(kernel, shots=200,
+                                                    rng=0)
+        assert sum(result.counts.values()) == 200
+        # Bell statistics: only 00 (0) and 11 (3) appear
+        assert set(result.counts) <= {0, 3}
+        layers = dict(report.rows())
+        assert layers["application"]["logical_qubits"] == 2
+        assert layers["quantum chip"]["physical_qubits"] == 3
+        assert "total_chip_time_ns" in layers["runtime"]
+
+    def test_distant_cnot_gets_routed(self):
+        accelerator = QuantumAccelerator(5)
+        kernel = QuantumCircuit(5, name="distant").h(0).cnot(0, 4)
+        kernel.measure(0, "a").measure(4, "b")
+        _result, report = accelerator.execute_kernel(kernel, shots=50,
+                                                     rng=1)
+        layers = dict(report.rows())
+        assert layers["compiler (mapping+routing)"]["swaps_inserted"] > 0
+
+    def test_qasm_layer_exercised(self):
+        accelerator = QuantumAccelerator(2)
+        kernel = QuantumCircuit(2, name="q").h(0).measure(0)
+        _result, report = accelerator.execute_kernel(kernel, shots=10,
+                                                     rng=2)
+        layers = dict(report.rows())
+        assert layers["algorithm/language"]["qasm_lines"] > 0
+
+    def test_coherence_accounting(self):
+        accelerator = QuantumAccelerator(2, coherence_ns=1.0)
+        kernel = QuantumCircuit(1, name="slow").h(0).measure(0)
+        _result, report = accelerator.execute_kernel(kernel, shots=5, rng=0)
+        layers = dict(report.rows())
+        assert layers["micro-architecture"]["within_coherence"] is False
+
+
+class TestHeterogeneousSystem:
+    def test_default_devices_cover_fig1(self):
+        names = {d.name for d in default_devices()}
+        assert names == {"CPU", "GPU", "TPU", "FPGA", "QPU"}
+
+    def test_task_validation(self):
+        with pytest.raises(QuantumError):
+            Task("bad", "antimatter", 1.0)
+        with pytest.raises(QuantumError):
+            Task("bad", "scalar", 0.0)
+
+    def test_device_capability(self):
+        gpu = Device("GPU", {"dense_linear": 50.0}, offload_latency=5.0)
+        task = Task("mm", "dense_linear", 500.0)
+        assert gpu.can_run(task)
+        assert gpu.time_for(task) == pytest.approx(5.0 + 10.0)
+        with pytest.raises(QuantumError):
+            gpu.time_for(Task("s", "scalar", 1.0))
+
+    def test_dispatch_assigns_by_speed(self):
+        system = HeterogeneousSystem()
+        report = system.dispatch(example_workload())
+        assignment = {task: device.name
+                      for task, device, _t in report.assignments}
+        by_name = {t.name: d for t, d in assignment.items()}
+        assert by_name["dna-similarity-kernel"] == "QPU"
+        assert by_name["parse-reads"] == "CPU"
+        assert by_name["train-classifier"] == "TPU"
+        assert by_name["filter-stream"] == "FPGA"
+
+    def test_hetero_speedup_positive(self):
+        system = HeterogeneousSystem()
+        report = system.dispatch(example_workload())
+        assert report.speedup > 1.0
+        assert report.hetero_time < report.cpu_only_time
+
+    def test_small_scalar_tasks_stay_on_cpu(self):
+        system = HeterogeneousSystem()
+        report = system.dispatch([Task("tiny", "dense_linear", 1.0)])
+        # 1 work unit: CPU takes 1.0; GPU takes 5 + 0.02 -- CPU wins
+        assert report.assignments[0][1].name == "CPU"
+
+    def test_requires_cpu(self):
+        with pytest.raises(QuantumError):
+            HeterogeneousSystem([Device("GPU", {"tensor": 10.0})])
+
+    def test_rows_shape(self):
+        system = HeterogeneousSystem()
+        rows = system.dispatch(example_workload()).rows()
+        assert all(len(row) == 3 for row in rows)

@@ -1,0 +1,142 @@
+"""Tests for the adiabatic simulator and the density-matrix backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import QuantumError
+from repro.core.sat_instances import frustrated_loop_ising, ising_energy
+from repro.quantum import gates
+from repro.quantum.adiabatic import (
+    anneal_quantum,
+    ising_diagonal,
+    success_vs_annealing_time,
+)
+from repro.quantum.density import DensityMatrix, bell_agreement_exact
+from repro.quantum.state import StateVector
+
+
+class TestIsingDiagonal:
+    def test_matches_direct_energy(self):
+        couplings, _bound = frustrated_loop_ising(6, 1, loop_length=4,
+                                                  rng=0)
+        diagonal = ising_diagonal(couplings, 6)
+        for index in range(64):
+            spins = np.where((index >> np.arange(6)) & 1, 1, -1)
+            assert diagonal[index] == pytest.approx(
+                ising_energy(couplings, spins))
+
+    def test_fields(self):
+        diagonal = ising_diagonal({}, 2, fields=[1.0, -2.0])
+        # index 0 -> spins (-1, -1): E = -1 + 2 = 1
+        assert diagonal[0] == pytest.approx(1.0)
+        # index 3 -> spins (+1, +1): E = 1 - 2 = -1
+        assert diagonal[3] == pytest.approx(-1.0)
+
+    def test_size_limit(self):
+        with pytest.raises(QuantumError):
+            ising_diagonal({}, 24)
+
+
+class TestAdiabaticEvolution:
+    def test_slow_anneal_reaches_ground(self):
+        couplings, bound = frustrated_loop_ising(8, 2, loop_length=4,
+                                                 rng=0)
+        result = anneal_quantum(couplings, 8, total_time=30.0, steps=600,
+                                rng=1)
+        assert result.reached_ground
+        assert result.success_probability > 0.9
+        assert result.ground_energy == pytest.approx(bound)
+
+    def test_adiabatic_theorem_monotonicity(self):
+        couplings, _bound = frustrated_loop_ising(8, 2, loop_length=4,
+                                                  rng=2)
+        rows = success_vs_annealing_time(couplings, 8,
+                                         [1.0, 8.0, 40.0], rng=3)
+        probabilities = [p for _t, p in rows]
+        assert probabilities[0] < probabilities[-1]
+        assert probabilities[-1] > 0.95
+
+    def test_fast_anneal_fails_sometimes(self):
+        couplings, _bound = frustrated_loop_ising(8, 2, loop_length=4,
+                                                  rng=4)
+        result = anneal_quantum(couplings, 8, total_time=0.3, steps=60,
+                                rng=5)
+        assert result.success_probability < 0.9
+
+    def test_parameter_validation(self):
+        with pytest.raises(QuantumError):
+            anneal_quantum({}, 0)
+        with pytest.raises(QuantumError):
+            anneal_quantum({(0, 1): 1.0}, 20)
+        with pytest.raises(QuantumError):
+            anneal_quantum({(0, 1): 1.0}, 2, total_time=-1.0)
+
+    def test_single_ferromagnetic_pair(self):
+        result = anneal_quantum({(0, 1): -1.0}, 2, total_time=20.0,
+                                steps=400, rng=6)
+        assert result.spins[0] == result.spins[1]
+
+
+class TestDensityMatrix:
+    def test_starts_pure_in_zero(self):
+        rho = DensityMatrix(2)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.probabilities()[0] == pytest.approx(1.0)
+
+    def test_unitary_matches_statevector(self):
+        rho = DensityMatrix(3)
+        state = StateVector(3)
+        for matrix, qubits in ((gates.H, [0]), (gates.CNOT, [0, 2]),
+                               (gates.ry(0.7), [1])):
+            rho.apply_unitary(matrix, qubits)
+            state.apply_gate(matrix, qubits)
+        assert np.allclose(rho.probabilities(), state.probabilities())
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_from_statevector(self):
+        state = StateVector(2)
+        state.apply_gate(gates.H, [0])
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.probabilities(), state.probabilities())
+
+    def test_depolarizing_reduces_purity(self):
+        rho = DensityMatrix(1).apply_unitary(gates.H, [0])
+        rho.depolarize(0, 0.3)
+        assert rho.purity() < 1.0
+
+    def test_kraus_completeness_checked(self):
+        rho = DensityMatrix(1)
+        with pytest.raises(QuantumError):
+            rho.apply_kraus([0.5 * np.eye(2)], [0])
+
+    def test_trace_validation(self):
+        with pytest.raises(QuantumError):
+            DensityMatrix(1, np.eye(2))
+
+    def test_expectation_of_z(self):
+        rho = DensityMatrix(1)
+        assert rho.expectation(gates.Z, [0]) == pytest.approx(1.0)
+        rho.apply_unitary(gates.X, [0])
+        assert rho.expectation(gates.Z, [0]) == pytest.approx(-1.0)
+
+    def test_measure_probability(self):
+        rho = DensityMatrix(2).apply_unitary(gates.H, [1])
+        assert rho.measure_probability(1, 1) == pytest.approx(0.5)
+        assert rho.measure_probability(0, 1) == pytest.approx(0.0)
+
+
+class TestExactVsMonteCarlo:
+    def test_bell_agreement_cross_validation(self):
+        """Exact channel average matches the trajectory sampler."""
+        from repro.quantum.noise import bell_fidelity_vs_noise
+
+        exact = bell_agreement_exact(0.1)
+        sampled = bell_fidelity_vs_noise([0.1], shots=3000, rng=0)[0][1]
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+    def test_noiseless_agreement_is_one(self):
+        assert bell_agreement_exact(0.0) == pytest.approx(1.0)
+
+    def test_agreement_decreases_with_error(self):
+        values = [bell_agreement_exact(e) for e in (0.0, 0.1, 0.3, 0.6)]
+        assert all(b < a for a, b in zip(values, values[1:]))

@@ -1,0 +1,131 @@
+"""Unit tests for repro.quantum.circuit."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import QuantumError, QubitIndexError
+from repro.quantum import gates
+from repro.quantum.circuit import GateOp, MeasureOp, QuantumCircuit
+
+
+class TestGateOp:
+    def test_primitive_resolution(self):
+        op = GateOp("h", [0])
+        assert op.is_primitive
+        assert np.allclose(op.resolved_matrix(), gates.H)
+
+    def test_arity_checked(self):
+        with pytest.raises(QuantumError):
+            GateOp("cnot", [0])
+
+    def test_matrix_op_not_primitive(self):
+        op = GateOp("custom", [0], matrix=gates.X)
+        assert not op.is_primitive
+
+    def test_permutation_resolves_to_matrix(self):
+        op = GateOp("perm", [0, 1], permutation=[1, 0, 2, 3])
+        matrix = op.resolved_matrix()
+        state = np.zeros(4)
+        state[0] = 1.0
+        assert (matrix @ state)[1] == 1.0
+
+    def test_remapped(self):
+        op = GateOp("cnot", [0, 1]).remapped({0: 3, 1: 2})
+        assert op.qubits == (3, 2)
+
+
+class TestBuilders:
+    def test_fluent_chaining(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure_all()
+        assert len(circuit.ops) == 4
+
+    def test_every_named_builder(self):
+        circuit = QuantumCircuit(3)
+        circuit.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0)
+        circuit.rx(1, 0.1).ry(1, 0.2).rz(1, 0.3).p(1, 0.4)
+        circuit.cnot(0, 1).cz(1, 2).swap(0, 2).cp(0, 2, 0.5)
+        circuit.toffoli(0, 1, 2)
+        assert len(circuit.gate_ops) == 18
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QubitIndexError):
+            QuantumCircuit(2).h(5)
+
+    def test_unitary_builder_validates(self):
+        with pytest.raises(QuantumError):
+            QuantumCircuit(1).unitary(np.ones((2, 2)), [0])
+
+    def test_measure_default_cbit_name(self):
+        circuit = QuantumCircuit(2).measure(1)
+        assert circuit.measure_ops[0].cbit == "c1"
+
+    def test_append_type_checked(self):
+        with pytest.raises(TypeError):
+            QuantumCircuit(1).append("h 0")
+
+
+class TestAnalysis:
+    def test_gate_counts(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cnot(0, 1)
+        assert circuit.gate_counts() == {"h": 2, "cnot": 1}
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_serial_chain(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).h(1)
+        assert circuit.depth() == 3
+
+    def test_two_qubit_gate_count(self):
+        circuit = QuantumCircuit(3).h(0).cnot(0, 1).swap(1, 2)
+        assert circuit.two_qubit_gate_count() == 2
+
+    def test_measurement_counts_in_depth(self):
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        assert circuit.depth() == 2
+
+
+class TestExecution:
+    def test_bell_state(self):
+        state = QuantumCircuit(2).h(0).cnot(0, 1).statevector()
+        assert state.probabilities()[0] == pytest.approx(0.5)
+        assert state.probabilities()[3] == pytest.approx(0.5)
+
+    def test_ghz_state(self):
+        circuit = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2)
+        probs = circuit.statevector().probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[7] == pytest.approx(0.5)
+
+    def test_run_with_measurements(self):
+        circuit = QuantumCircuit(2).x(0).measure(0, "m").measure(1, "n")
+        _state, cbits = circuit.run(rng=0)
+        assert cbits == {"m": 1, "n": 0}
+
+    def test_statevector_rejects_measured_circuit(self):
+        with pytest.raises(QuantumError):
+            QuantumCircuit(1).measure(0).statevector()
+
+    def test_run_from_initial_state(self):
+        from repro.quantum.state import StateVector
+
+        initial = StateVector(1, [0.0, 1.0])
+        state, _ = QuantumCircuit(1).x(0).run(initial_state=initial)
+        assert state.probabilities()[0] == pytest.approx(1.0)
+
+
+class TestInverse:
+    def test_inverse_cancels(self):
+        circuit = QuantumCircuit(3).h(0).cnot(0, 1).t(2).cp(1, 2, 0.4)
+        combined = circuit.extended(circuit.inverse())
+        amplitude = combined.statevector().amplitudes[0]
+        assert abs(amplitude) ** 2 == pytest.approx(1.0)
+
+    def test_inverse_rejects_measurements(self):
+        with pytest.raises(QuantumError):
+            QuantumCircuit(1).h(0).measure(0).inverse()
+
+    def test_extend_width_mismatch(self):
+        with pytest.raises(QuantumError):
+            QuantumCircuit(2).extended(QuantumCircuit(3))

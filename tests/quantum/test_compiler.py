@@ -1,0 +1,221 @@
+"""Unit and property tests for repro.quantum.compiler."""
+
+import cmath
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import CompilationError
+from repro.quantum import gates
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.compiler import (
+    GridTopology,
+    LinearTopology,
+    compile_circuit,
+    decompose,
+    route,
+    verify_equivalence,
+    zyz_angles,
+)
+
+
+def random_unitary(seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, _r = np.linalg.qr(matrix)
+    return q
+
+
+class TestZyz:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reconstruction(self, seed):
+        unitary = random_unitary(seed)
+        alpha, a, b, c = zyz_angles(unitary)
+        rebuilt = cmath.exp(1j * alpha) * (
+            gates.rz(c) @ gates.ry(b) @ gates.rz(a))
+        assert np.allclose(rebuilt, unitary, atol=1e-9)
+
+    def test_identity(self):
+        alpha, a, b, c = zyz_angles(np.eye(2))
+        assert b == pytest.approx(0.0)
+
+    def test_diagonal_gate(self):
+        alpha, a, b, c = zyz_angles(gates.rz(0.7))
+        assert b == pytest.approx(0.0, abs=1e-12)
+
+    def test_antidiagonal_gate(self):
+        alpha, a, b, c = zyz_angles(gates.X)
+        assert b == pytest.approx(np.pi, abs=1e-9)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(CompilationError):
+            zyz_angles(np.eye(3))
+
+
+class TestDecompose:
+    def test_toffoli_semantics(self):
+        circuit = QuantumCircuit(3).toffoli(0, 1, 2)
+        lowered = decompose(circuit)
+        assert all(op.name != "toffoli" for op in lowered.gate_ops)
+        for index in range(8):
+            amplitudes = np.zeros(8, dtype=complex)
+            amplitudes[index] = 1.0
+            from repro.quantum.state import StateVector
+
+            expected = StateVector(3, amplitudes.copy())
+            expected.apply_gate(gates.TOFFOLI, [0, 1, 2])
+            actual = StateVector(3, amplitudes.copy())
+            for op in lowered.gate_ops:
+                actual.apply_gate(op.resolved_matrix(), op.qubits)
+            assert expected.fidelity(actual) == pytest.approx(1.0)
+
+    def test_swap_becomes_cnots(self):
+        lowered = decompose(QuantumCircuit(2).swap(0, 1))
+        assert lowered.gate_counts() == {"cnot": 3}
+
+    def test_swap_kept_when_requested(self):
+        lowered = decompose(QuantumCircuit(2).swap(0, 1), keep_swap=True)
+        assert lowered.gate_counts() == {"swap": 1}
+
+    def test_single_qubit_matrix_lowered(self):
+        unitary = random_unitary(3)
+        circuit = QuantumCircuit(1).unitary(unitary, [0])
+        lowered = decompose(circuit)
+        assert all(op.is_primitive for op in lowered.gate_ops)
+        from repro.quantum.state import StateVector
+
+        expected = StateVector(1)
+        expected.apply_gate(unitary, [0])
+        assert lowered.statevector().fidelity(expected) == pytest.approx(1.0)
+
+    def test_measurements_pass_through(self):
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        lowered = decompose(circuit)
+        assert len(lowered.measure_ops) == 1
+
+
+class TestTopologies:
+    def test_linear_adjacency(self):
+        topo = LinearTopology(5)
+        assert topo.are_adjacent(2, 3)
+        assert not topo.are_adjacent(0, 2)
+
+    def test_linear_path(self):
+        assert LinearTopology(5).path(1, 4) == [1, 2, 3, 4]
+        assert LinearTopology(5).path(4, 1) == [4, 3, 2, 1]
+
+    def test_grid_adjacency(self):
+        topo = GridTopology(2, 3)
+        assert topo.are_adjacent(0, 1)
+        assert topo.are_adjacent(0, 3)
+        assert not topo.are_adjacent(0, 4)
+        assert not topo.are_adjacent(2, 3)  # row wrap is not an edge
+
+    def test_grid_path_endpoints(self):
+        topo = GridTopology(3, 3)
+        path = topo.path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        for a, b in zip(path, path[1:]):
+            assert topo.are_adjacent(a, b)
+
+
+class TestRouting:
+    def test_adjacent_gates_need_no_swaps(self):
+        circuit = QuantumCircuit(3).cnot(0, 1).cnot(1, 2)
+        compiled = route(circuit)
+        assert compiled.swap_count == 0
+
+    def test_distant_gate_inserts_swaps(self):
+        circuit = QuantumCircuit(4).cnot(0, 3)
+        compiled = route(circuit)
+        assert compiled.swap_count == 2
+
+    def test_routed_equivalence_random_circuits(self):
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            circuit = QuantumCircuit(5, name="rand%d" % trial)
+            for _ in range(12):
+                kind = rng.integers(0, 3)
+                a, b = rng.choice(5, size=2, replace=False)
+                if kind == 0:
+                    circuit.h(int(a))
+                elif kind == 1:
+                    circuit.cnot(int(a), int(b))
+                else:
+                    circuit.cp(int(a), int(b), float(rng.uniform(0, 3)))
+            compiled = route(circuit)
+            assert verify_equivalence(circuit, compiled) == pytest.approx(
+                1.0)
+
+    def test_measurements_follow_layout(self):
+        circuit = QuantumCircuit(4).cnot(0, 3).measure(0, "m0")
+        compiled = route(circuit)
+        measured_qubit = compiled.circuit.measure_ops[0].qubit
+        assert measured_qubit == compiled.final_layout[0]
+
+    def test_grid_routing(self):
+        circuit = QuantumCircuit(6).cnot(0, 5).h(3).cnot(2, 4)
+        compiled = route(circuit, topology=GridTopology(2, 3))
+        assert verify_equivalence(circuit, compiled) == pytest.approx(1.0)
+
+    def test_macro_blocks_bypass_routing(self):
+        circuit = QuantumCircuit(4)
+        circuit.permutation(list(range(8)), [0, 1, 3], name="macro")
+        compiled = route(circuit, allow_macros=True)
+        assert compiled.swap_count == 0
+
+    def test_macros_rejected_when_disallowed(self):
+        circuit = QuantumCircuit(4)
+        circuit.permutation(list(range(8)), [0, 1, 3], name="macro")
+        with pytest.raises(CompilationError):
+            route(circuit, allow_macros=False)
+
+    def test_topology_too_small(self):
+        with pytest.raises(CompilationError):
+            route(QuantumCircuit(4).h(0), topology=LinearTopology(2))
+
+
+class TestCompilePipeline:
+    def test_report_structure(self):
+        circuit = QuantumCircuit(4).toffoli(0, 2, 3).h(1)
+        compiled, report = compile_circuit(circuit, verify=True)
+        assert report["fidelity"] == pytest.approx(1.0)
+        assert report["compiled"]["swaps_inserted"] == compiled.swap_count
+        assert report["source_ops"] == 2
+
+    def test_verification_catches_bad_layout(self):
+        circuit = QuantumCircuit(3).h(0).cnot(0, 2)
+        compiled = route(circuit)
+        assert compiled.final_layout != {0: 0, 1: 1, 2: 2}
+        compiled.final_layout = {0: 0, 1: 1, 2: 2}  # corrupt it
+        with pytest.raises(CompilationError):
+            verify_equivalence(circuit, compiled)
+
+    def test_verify_rejects_measured_circuits(self):
+        circuit = QuantumCircuit(2).h(0).measure(0)
+        compiled = route(QuantumCircuit(2).h(0))
+        with pytest.raises(CompilationError):
+            verify_equivalence(circuit, compiled)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_routing_preserves_semantics(seed):
+    """Random 4-qubit circuits stay equivalent through decompose+route."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(4)
+    for _ in range(8):
+        choice = rng.integers(0, 4)
+        a, b = rng.choice(4, size=2, replace=False)
+        if choice == 0:
+            circuit.h(int(a))
+        elif choice == 1:
+            circuit.t(int(a))
+        elif choice == 2:
+            circuit.cnot(int(a), int(b))
+        else:
+            circuit.swap(int(a), int(b))
+    compiled, report = compile_circuit(circuit, verify=True)
+    assert report["fidelity"] == pytest.approx(1.0)

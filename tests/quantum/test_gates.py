@@ -1,0 +1,143 @@
+"""Unit and property tests for repro.quantum.gates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import QuantumError
+from repro.quantum import gates
+
+
+class TestFixedGates:
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.X, gates.I)
+        assert np.allclose(gates.Y @ gates.Y, gates.I)
+        assert np.allclose(gates.Z @ gates.Z, gates.I)
+        assert np.allclose(gates.X @ gates.Y - gates.Y @ gates.X,
+                           2j * gates.Z)
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(gates.H @ gates.H, gates.I)
+
+    def test_hadamard_conjugates_x_to_z(self):
+        assert np.allclose(gates.H @ gates.X @ gates.H, gates.Z)
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+    def test_daggers(self):
+        assert np.allclose(gates.SDG, gates.S.conj().T)
+        assert np.allclose(gates.TDG, gates.T.conj().T)
+
+    def test_cnot_is_controlled_x_low_bit_control(self):
+        assert np.allclose(gates.CNOT, gates.controlled(gates.X))
+
+    def test_toffoli_is_doubly_controlled_x(self):
+        assert np.allclose(gates.TOFFOLI, gates.controlled(gates.X, 2))
+
+    def test_swap_involution(self):
+        assert np.allclose(gates.SWAP @ gates.SWAP, np.eye(4))
+
+    def test_cnot_action_on_basis(self):
+        # local index: control bit 0, target bit 1
+        state = np.zeros(4)
+        state[1] = 1.0  # control=1, target=0
+        out = gates.CNOT @ state
+        assert out[3] == 1.0
+
+
+class TestParametricGates:
+    def test_rx_pi_is_minus_i_x(self):
+        assert np.allclose(gates.rx(np.pi), -1j * gates.X)
+
+    def test_ry_pi_is_minus_i_y(self):
+        assert np.allclose(gates.ry(np.pi), -1j * gates.Y)
+
+    def test_rz_zero_is_identity(self):
+        assert np.allclose(gates.rz(0.0), gates.I)
+
+    def test_phase_pi_is_z(self):
+        assert np.allclose(gates.phase_gate(np.pi), gates.Z)
+
+    def test_u3_reduces_to_ry(self):
+        assert np.allclose(gates.u3(0.7, 0.0, 0.0), gates.ry(0.7))
+
+    def test_rotation_composition(self):
+        assert np.allclose(gates.rz(0.3) @ gates.rz(0.4), gates.rz(0.7))
+
+
+class TestControlled:
+    def test_controlled_block_position(self):
+        cu = gates.controlled(gates.phase_gate(0.5))
+        # only local states with control bit set are touched
+        assert cu[0, 0] == 1.0 and cu[2, 2] == 1.0
+        assert cu[3, 3] == pytest.approx(np.exp(0.5j))
+
+    def test_double_control(self):
+        ccz = gates.controlled(gates.Z, 2)
+        diag = np.diag(ccz)
+        assert diag[-1] == -1.0
+        assert np.all(diag[:-1] == 1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(QuantumError):
+            gates.controlled(np.ones((2, 3)))
+
+
+class TestRegistry:
+    def test_every_fixed_gate_is_unitary(self):
+        for name, (entry, _arity, n_params) in gates.GATE_SET.items():
+            if n_params == 0:
+                assert gates.is_unitary(entry), name
+
+    def test_gate_matrix_with_params(self):
+        assert np.allclose(gates.gate_matrix("rz", [0.4]), gates.rz(0.4))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QuantumError):
+            gates.gate_matrix("frobnicate")
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(QuantumError):
+            gates.gate_matrix("rz", [])
+        with pytest.raises(QuantumError):
+            gates.gate_matrix("h", [0.5])
+
+    def test_arities(self):
+        assert gates.gate_arity("h") == 1
+        assert gates.gate_arity("cnot") == 2
+        assert gates.gate_arity("toffoli") == 3
+        with pytest.raises(QuantumError):
+            gates.gate_arity("nope")
+
+
+class TestIsUnitary:
+    def test_identity(self):
+        assert gates.is_unitary(np.eye(4))
+
+    def test_non_unitary(self):
+        assert not gates.is_unitary(np.ones((2, 2)))
+
+    def test_non_square(self):
+        assert not gates.is_unitary(np.ones((2, 3)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(theta=st.floats(min_value=-np.pi, max_value=np.pi))
+def test_property_rotations_are_unitary(theta):
+    """Every rotation angle yields a unitary gate."""
+    for maker in (gates.rx, gates.ry, gates.rz, gates.phase_gate):
+        assert gates.is_unitary(maker(theta))
+
+
+@settings(max_examples=40, deadline=None)
+@given(theta=st.floats(min_value=-np.pi, max_value=np.pi),
+       phi=st.floats(min_value=-np.pi, max_value=np.pi),
+       lam=st.floats(min_value=-np.pi, max_value=np.pi))
+def test_property_u3_unitary(theta, phi, lam):
+    """U3 is unitary across its parameter space."""
+    assert gates.is_unitary(gates.u3(theta, phi, lam))

@@ -1,0 +1,151 @@
+"""Unit tests for repro.quantum.microarch and runtime."""
+
+import pytest
+
+from repro.core.exceptions import MicroArchError, QuantumError
+from repro.quantum.circuit import MeasureOp, QuantumCircuit
+from repro.quantum.microarch import (
+    DEFAULT_DURATIONS_NS,
+    Instruction,
+    MicroArchitecture,
+    assemble,
+)
+from repro.quantum.runtime import QuantumRuntime
+
+
+class TestAssemble:
+    def test_straight_line_plus_halt(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0)
+        program = assemble(circuit)
+        assert [i.kind for i in program] == ["gate", "gate", "measure",
+                                             "halt"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(MicroArchError):
+            assemble(type("Fake", (), {"ops": ["x"]})())
+
+
+class TestExecution:
+    def test_bell_measurement_correlated(self):
+        microarch = MicroArchitecture(2)
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1)
+        circuit.measure(0, "a").measure(1, "b")
+        for seed in range(20):
+            result = microarch.execute_circuit(circuit, rng=seed)
+            assert result.bit("a") == result.bit("b")
+
+    def test_instruction_count(self):
+        microarch = MicroArchitecture(1)
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        result = microarch.execute_circuit(circuit, rng=0)
+        assert result.instructions_executed == 3  # h, measure, halt
+
+    def test_timing_model(self):
+        microarch = MicroArchitecture(2)
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(0)
+        result = microarch.execute_circuit(circuit, rng=0)
+        expected = (DEFAULT_DURATIONS_NS["single_qubit"]
+                    + DEFAULT_DURATIONS_NS["two_qubit"]
+                    + DEFAULT_DURATIONS_NS["measure"])
+        assert result.elapsed_ns == pytest.approx(expected)
+
+    def test_coherence_flag(self):
+        microarch = MicroArchitecture(1, coherence_ns=10.0)
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        result = microarch.execute_circuit(circuit, rng=0)
+        assert result.coherence_exceeded
+
+    def test_custom_durations(self):
+        microarch = MicroArchitecture(1,
+                                      durations_ns={"single_qubit": 100.0})
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        result = microarch.execute_circuit(circuit, rng=0)
+        assert result.elapsed_ns == pytest.approx(
+            100.0 + DEFAULT_DURATIONS_NS["measure"])
+
+    def test_branch_instruction(self):
+        # measure qubit 0; if it reads 0, skip the X on qubit 1
+        circuit = QuantumCircuit(2).x(0)
+        program = assemble(circuit)[:-1]  # drop halt
+        program.append(Instruction("measure", op=MeasureOp(0, "m")))
+        x_op = QuantumCircuit(2).x(1).ops[0]
+        program.append(Instruction("branch", condition=("m", 0),
+                                   target=len(program) + 2))
+        program.append(Instruction("gate", op=x_op))
+        program.append(Instruction("halt"))
+        result = MicroArchitecture(2).execute(program, rng=0)
+        # qubit 0 was set, so the branch falls through and X(1) runs
+        assert result.state.probability_of(1, 1) == pytest.approx(1.0)
+
+    def test_branch_taken(self):
+        program = []
+        program.append(Instruction("measure", op=MeasureOp(0, "m")))
+        x_op = QuantumCircuit(2).x(1).ops[0]
+        program.append(Instruction("branch", condition=("m", 0),
+                                   target=3))
+        program.append(Instruction("gate", op=x_op))
+        program.append(Instruction("halt"))
+        result = MicroArchitecture(2).execute(program, rng=0)
+        # qubit 0 measures 0 -> branch skips the X
+        assert result.state.probability_of(1, 1) == pytest.approx(0.0)
+
+    def test_runaway_program_detected(self):
+        program = [Instruction("branch", condition=("never", 0), target=0)]
+        with pytest.raises(MicroArchError):
+            MicroArchitecture(1).execute(program, max_instructions=100)
+
+    def test_pc_out_of_range(self):
+        program = [Instruction("branch", condition=("never", 0),
+                               target=99)]
+        with pytest.raises(MicroArchError):
+            MicroArchitecture(1).execute(program)
+
+    def test_circuit_wider_than_chip(self):
+        with pytest.raises(MicroArchError):
+            MicroArchitecture(1).execute_circuit(QuantumCircuit(2).h(1))
+
+    def test_bits_as_int_packing(self):
+        circuit = QuantumCircuit(3).x(0).x(2)
+        circuit.measure(0, "b0").measure(1, "b1").measure(2, "b2")
+        result = MicroArchitecture(3).execute_circuit(circuit, rng=0)
+        assert result.bits_as_int(["b0", "b1", "b2"]) == 0b101
+
+
+class TestRuntime:
+    def test_shot_histogram(self):
+        runtime = QuantumRuntime()
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        result = runtime.run(circuit, shots=500, rng=1)
+        assert result.shots == 500
+        assert sum(result.counts.values()) == 500
+        assert 150 < result.counts.get(0, 0) < 350
+
+    def test_probability_and_most_common(self):
+        runtime = QuantumRuntime()
+        circuit = QuantumCircuit(1).x(0).measure(0)
+        result = runtime.run(circuit, shots=100, rng=2)
+        assert result.probability(1) == 1.0
+        assert result.most_common() == [(1, 100)]
+
+    def test_chip_time_accumulates(self):
+        runtime = QuantumRuntime()
+        circuit = QuantumCircuit(1).h(0).measure(0)
+        result = runtime.run(circuit, shots=10, rng=0)
+        single = (DEFAULT_DURATIONS_NS["single_qubit"]
+                  + DEFAULT_DURATIONS_NS["measure"])
+        assert result.total_chip_time_ns == pytest.approx(10 * single)
+
+    def test_requires_measurement(self):
+        with pytest.raises(QuantumError):
+            QuantumRuntime().run(QuantumCircuit(1).h(0), shots=10)
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(QuantumError):
+            QuantumRuntime().run(QuantumCircuit(1).measure(0), shots=0)
+
+    def test_kernel_too_wide_for_attached_chip(self):
+        from repro.quantum.microarch import MicroArchitecture
+
+        runtime = QuantumRuntime(MicroArchitecture(1))
+        with pytest.raises(QuantumError):
+            runtime.run(QuantumCircuit(2).measure(0), shots=1)

@@ -1,0 +1,110 @@
+"""Tests for the compiler's peephole optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.compiler import compile_circuit, optimize
+
+
+class TestCancellation:
+    def test_double_hadamard_removed(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert len(optimize(circuit).ops) == 0
+
+    def test_dagger_pairs_removed(self):
+        circuit = QuantumCircuit(1).s(0).sdg(0).t(0).tdg(0).tdg(0).t(0)
+        assert len(optimize(circuit).ops) == 0
+
+    def test_double_cnot_removed(self):
+        circuit = QuantumCircuit(2).cnot(0, 1).cnot(0, 1)
+        assert len(optimize(circuit).ops) == 0
+
+    def test_reversed_cnot_not_removed(self):
+        # cnot(0,1); cnot(1,0) is NOT the identity
+        circuit = QuantumCircuit(2).cnot(0, 1).cnot(1, 0)
+        assert len(optimize(circuit).ops) == 2
+
+    def test_different_qubits_untouched(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert len(optimize(circuit).ops) == 2
+
+    def test_cascading_cancellation(self):
+        # the middle pair cancels first, exposing the outer pair
+        circuit = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert len(optimize(circuit).ops) == 0
+
+    def test_measurement_is_a_barrier(self):
+        circuit = QuantumCircuit(1).h(0).measure(0).h(0)
+        circuit2 = optimize(circuit)
+        assert len(circuit2.ops) == 3  # nothing cancels across measure
+
+
+class TestRotationMerging:
+    def test_angles_add(self):
+        circuit = QuantumCircuit(1).rz(0, 0.3).rz(0, 0.4)
+        merged = optimize(circuit)
+        assert len(merged.ops) == 1
+        assert merged.ops[0].params[0] == pytest.approx(0.7)
+
+    def test_zero_sum_drops_entirely(self):
+        circuit = QuantumCircuit(1).rx(0, 0.5).rx(0, -0.5)
+        assert len(optimize(circuit).ops) == 0
+
+    def test_chains_merge_fully(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(5):
+            circuit.p(0, 0.1)
+        merged = optimize(circuit)
+        assert len(merged.ops) == 1
+        assert merged.ops[0].params[0] == pytest.approx(0.5)
+
+    def test_different_rotation_axes_not_merged(self):
+        circuit = QuantumCircuit(1).rx(0, 0.3).ry(0, 0.3)
+        assert len(optimize(circuit).ops) == 2
+
+
+class TestPipelineIntegration:
+    def test_report_counts_removed_ops(self):
+        circuit = QuantumCircuit(2).h(0).h(0).cnot(0, 1)
+        _compiled, report = compile_circuit(circuit)
+        assert report["peephole_ops_removed"] == 2
+
+    def test_peephole_disable(self):
+        circuit = QuantumCircuit(2).h(0).h(0)
+        _compiled, report = compile_circuit(circuit, peephole=False)
+        assert report["peephole_ops_removed"] == 0
+
+    def test_input_circuit_untouched(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        optimize(circuit)
+        assert len(circuit.ops) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_optimization_preserves_semantics(seed):
+    """Random redundant circuits keep their statevector when optimized."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(3)
+    for _ in range(14):
+        choice = rng.integers(0, 5)
+        qubit = int(rng.integers(0, 3))
+        if choice == 0:
+            circuit.h(qubit)
+        elif choice == 1:
+            circuit.t(qubit)
+        elif choice == 2:
+            circuit.rz(qubit, float(rng.uniform(-1, 1)))
+        elif choice == 3:
+            circuit.h(qubit).h(qubit)  # guaranteed fodder
+        else:
+            other = (qubit + 1) % 3
+            circuit.cnot(qubit, other)
+    optimized = optimize(circuit)
+    assert len(optimized.ops) <= len(circuit.ops)
+    fidelity = abs(np.vdot(circuit.statevector().amplitudes,
+                           optimized.statevector().amplitudes)) ** 2
+    assert fidelity == pytest.approx(1.0)

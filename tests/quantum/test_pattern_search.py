@@ -1,0 +1,54 @@
+"""Tests for Grover-based DNA pattern search."""
+
+import pytest
+
+from repro.core.exceptions import QuantumError
+from repro.quantum.algorithms.dna import grover_pattern_search, random_dna
+
+
+class TestGroverPatternSearch:
+    def test_finds_unique_occurrence(self):
+        genome = random_dna(28, rng=0)
+        pattern = genome[9:14]
+        position, iterations, matches = grover_pattern_search(
+            genome, pattern, rng=1)
+        assert genome[position:position + len(pattern)] == pattern
+        assert iterations >= 1
+
+    def test_absent_pattern(self):
+        genome = "ACGT" * 8
+        position, _iterations, matches = grover_pattern_search(
+            genome, "AAAAAAAA", rng=2)
+        assert position is None
+        assert matches == 0
+
+    def test_multiple_occurrences(self):
+        genome = "ACGTACGTACGT"
+        position, _iterations, matches = grover_pattern_search(
+            genome, "ACGT", rng=3)
+        assert matches == 3
+        assert position in (0, 4, 8)
+
+    def test_pattern_at_boundaries(self):
+        genome = "TTTTACGT"
+        position, _it, _m = grover_pattern_search(genome, "ACGT", rng=4)
+        assert position == 4
+        position, _it, _m = grover_pattern_search(genome, "TTTT", rng=5)
+        assert position == 0
+
+    def test_quadratic_oracle_advantage(self):
+        """Grover's oracle-call count beats half-the-positions scanning."""
+        genome = random_dna(60, rng=6)
+        pattern = genome[31:37]
+        position, iterations, matches = grover_pattern_search(
+            genome, pattern, rng=7)
+        assert genome[position:position + 6] == pattern
+        positions = len(genome) - 6 + 1
+        expected_classical = positions / 2.0
+        assert iterations < expected_classical
+
+    def test_validation(self):
+        with pytest.raises(QuantumError):
+            grover_pattern_search("ACGT", "")
+        with pytest.raises(QuantumError):
+            grover_pattern_search("AC", "ACGT")

@@ -1,0 +1,97 @@
+"""Unit tests for repro.quantum.qasm."""
+
+import pytest
+
+from repro.core.exceptions import QasmError
+from repro.quantum import qasm
+from repro.quantum.circuit import QuantumCircuit
+
+
+class TestEmit:
+    def test_simple_program(self):
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).measure(1, "m")
+        text = qasm.emit(circuit)
+        assert "qubits 2" in text
+        assert "h q0" in text
+        assert "cnot q0, q1" in text
+        assert "measure q1 -> m" in text
+
+    def test_parameters_serialized(self):
+        text = qasm.emit(QuantumCircuit(1).rz(0, 0.5))
+        assert "rz q0, 0.5" in text
+
+    def test_non_primitive_rejected(self):
+        import numpy as np
+
+        circuit = QuantumCircuit(1).unitary(np.eye(2), [0])
+        with pytest.raises(QasmError):
+            qasm.emit(circuit)
+
+
+class TestParse:
+    def test_roundtrip_preserves_semantics(self):
+        source = QuantumCircuit(3, name="rt")
+        source.h(0).cnot(0, 2).rz(1, 0.25).cp(1, 2, 1.5).swap(0, 1)
+        parsed = qasm.parse(qasm.emit(source))
+        import numpy as np
+
+        fidelity = abs(np.vdot(source.statevector().amplitudes,
+                               parsed.statevector().amplitudes)) ** 2
+        assert fidelity == pytest.approx(1.0)
+
+    def test_comments_and_blanks(self):
+        circuit = qasm.parse("""
+            # full line comment
+            version 1.0
+            qubits 1
+
+            h q0  # trailing comment
+        """)
+        assert len(circuit.ops) == 1
+
+    def test_case_insensitive_mnemonics(self):
+        circuit = qasm.parse("qubits 1\nH q0\n")
+        assert circuit.ops[0].name == "h"
+
+    def test_measure_parsing(self):
+        circuit = qasm.parse("qubits 2\nmeasure q1 -> result\n")
+        op = circuit.ops[0]
+        assert op.qubit == 1 and op.cbit == "result"
+
+    def test_missing_qubits_declaration(self):
+        with pytest.raises(QasmError):
+            qasm.parse("h q0\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(QasmError):
+            qasm.parse("qubits 1\nwarp q0\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(QasmError):
+            qasm.parse("qubits 2\ncnot q0\n")
+
+    def test_bad_parameter(self):
+        with pytest.raises(QasmError):
+            qasm.parse("qubits 1\nrz q0, half\n")
+
+    def test_bad_qubit_token(self):
+        with pytest.raises(QasmError):
+            qasm.parse("qubits 1\nh x0\n")
+
+    def test_out_of_range_qubit(self):
+        from repro.core.exceptions import QubitIndexError
+
+        with pytest.raises(QubitIndexError):
+            qasm.parse("qubits 1\nh q5\n")
+
+    def test_measure_without_arrow(self):
+        with pytest.raises(QasmError):
+            qasm.parse("qubits 1\nmeasure q0\n")
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.parse("qubits 0\n")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.parse("")

@@ -1,0 +1,60 @@
+"""Property test: random primitive circuits survive the QASM round trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import qasm
+from repro.quantum.circuit import QuantumCircuit
+
+_SINGLE = ("x", "y", "z", "h", "s", "sdg", "t", "tdg")
+_ROTATION = ("rx", "ry", "rz", "p")
+_TWO = ("cnot", "cz", "swap")
+
+
+@st.composite
+def primitive_circuits(draw):
+    num_qubits = draw(st.integers(min_value=2, max_value=4))
+    circuit = QuantumCircuit(num_qubits, name="fuzz")
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        family = draw(st.integers(min_value=0, max_value=3))
+        qubit = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+        if family == 0:
+            circuit.gate(draw(st.sampled_from(_SINGLE)), qubit)
+        elif family == 1:
+            angle = draw(st.floats(min_value=-3.0, max_value=3.0))
+            circuit.gate(draw(st.sampled_from(_ROTATION)), qubit,
+                         params=(angle,))
+        elif family == 2:
+            other = draw(st.integers(min_value=0,
+                                     max_value=num_qubits - 1))
+            if other == qubit:
+                other = (qubit + 1) % num_qubits
+            circuit.gate(draw(st.sampled_from(_TWO)), qubit, other)
+        else:
+            other = (qubit + 1) % num_qubits
+            angle = draw(st.floats(min_value=-3.0, max_value=3.0))
+            circuit.cp(qubit, other, angle)
+    return circuit
+
+
+@settings(max_examples=40, deadline=None)
+@given(primitive_circuits())
+def test_property_qasm_roundtrip_preserves_state(circuit):
+    """emit -> parse reproduces the exact statevector."""
+    parsed = qasm.parse(qasm.emit(circuit))
+    original = circuit.statevector().amplitudes
+    reparsed = parsed.statevector().amplitudes
+    assert np.allclose(original, reparsed, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(primitive_circuits())
+def test_property_compile_then_qasm_roundtrip(circuit):
+    """The physical circuit after routing is still QASM-expressible."""
+    from repro.quantum.compiler import compile_circuit, verify_equivalence
+
+    compiled, _report = compile_circuit(circuit)
+    text = qasm.emit(compiled.circuit)
+    parsed = qasm.parse(text)
+    assert len(parsed.ops) == len(compiled.circuit.ops)

@@ -1,0 +1,69 @@
+"""Tests for the standalone phase-estimation kernel."""
+
+import fractions
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import QuantumError
+from repro.quantum import gates
+from repro.quantum.algorithms.qpe import (
+    estimate_phase,
+    phase_as_fraction,
+    phase_estimation_circuit,
+)
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("gate,eigenstate,expected", [
+        (gates.Z, [0.0, 1.0], 0.5),
+        (gates.S, [0.0, 1.0], 0.25),
+        (gates.T, [0.0, 1.0], 0.125),
+        (gates.Z, [1.0, 0.0], 0.0),
+    ])
+    def test_diagonal_gate_phases(self, gate, eigenstate, expected):
+        phi, _raw = estimate_phase(gate, np.array(eigenstate),
+                                   num_counting=5, rng=0)
+        assert phi == pytest.approx(expected)
+
+    def test_hadamard_eigenphase(self):
+        # H eigenvalues are +1 and -1; the -1 eigenvector gives phi=1/2
+        eigenvalues, eigenvectors = np.linalg.eigh(gates.H)
+        minus_index = int(np.argmin(eigenvalues))
+        phi, _raw = estimate_phase(gates.H,
+                                   eigenvectors[:, minus_index],
+                                   num_counting=5, rng=1)
+        assert phi == pytest.approx(0.5)
+
+    def test_resolution_scales_with_counting_bits(self):
+        # phi = 1/3 is not exactly representable; more bits -> closer
+        gate = gates.phase_gate(2.0 * np.pi / 3.0)
+        coarse, _ = estimate_phase(gate, np.array([0.0, 1.0]),
+                                   num_counting=3, rng=2)
+        fine, _ = estimate_phase(gate, np.array([0.0, 1.0]),
+                                 num_counting=8, rng=2)
+        assert abs(fine - 1.0 / 3.0) <= abs(coarse - 1.0 / 3.0) + 1e-12
+        assert phase_as_fraction(fine, 10) == fractions.Fraction(1, 3)
+
+    def test_two_qubit_unitary(self):
+        # CZ on |11> has eigenvalue -1
+        eigenstate = np.zeros(4)
+        eigenstate[3] = 1.0
+        phi, _raw = estimate_phase(gates.CZ, eigenstate,
+                                   num_counting=4, rng=3)
+        assert phi == pytest.approx(0.5)
+
+    def test_circuit_dimensions(self):
+        circuit, t, work = phase_estimation_circuit(gates.T, 6)
+        assert t == 6 and work == 1
+        assert circuit.num_qubits == 7
+
+    def test_validation(self):
+        with pytest.raises(QuantumError):
+            phase_estimation_circuit(np.ones((2, 2)), 4)
+        with pytest.raises(QuantumError):
+            phase_estimation_circuit(gates.T, 0)
+        with pytest.raises(QuantumError):
+            estimate_phase(gates.T, np.array([1.0, 1.0]))  # unnormalized
+        with pytest.raises(QuantumError):
+            estimate_phase(gates.T, np.array([1.0, 0.0, 0.0]))

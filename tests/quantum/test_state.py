@@ -1,0 +1,226 @@
+"""Unit and property tests for repro.quantum.state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import QubitIndexError, QuantumError
+from repro.quantum import gates
+from repro.quantum.state import StateVector
+
+
+class TestConstruction:
+    def test_starts_in_zero_state(self):
+        state = StateVector(3)
+        assert state.amplitudes[0] == 1.0
+        assert np.sum(np.abs(state.amplitudes)) == 1.0
+
+    def test_explicit_amplitudes(self):
+        amplitudes = np.zeros(4)
+        amplitudes[2] = 1.0
+        state = StateVector(2, amplitudes)
+        assert state.probabilities()[2] == 1.0
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(QuantumError):
+            StateVector(1, [1.0, 1.0])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(QuantumError):
+            StateVector(0)
+
+    def test_huge_register_rejected(self):
+        with pytest.raises(QuantumError):
+            StateVector(64)
+
+
+class TestApplyGate:
+    def test_x_flips_target_qubit(self):
+        state = StateVector(3)
+        state.apply_gate(gates.X, [1])
+        assert np.argmax(state.probabilities()) == 2  # bit 1 set
+
+    def test_hadamard_uniform(self):
+        state = StateVector(2)
+        state.apply_gate(gates.H, [0])
+        state.apply_gate(gates.H, [1])
+        assert np.allclose(state.probabilities(), 0.25)
+
+    def test_cnot_control_order(self):
+        state = StateVector(2)
+        state.apply_gate(gates.X, [0])           # control qubit 0 set
+        state.apply_gate(gates.CNOT, [0, 1])     # [control, target]
+        assert np.argmax(state.probabilities()) == 3
+
+    def test_cnot_no_action_when_control_clear(self):
+        state = StateVector(2)
+        state.apply_gate(gates.CNOT, [0, 1])
+        assert state.probabilities()[0] == pytest.approx(1.0)
+
+    def test_gate_on_distant_qubits(self):
+        state = StateVector(4)
+        state.apply_gate(gates.X, [0])
+        state.apply_gate(gates.CNOT, [0, 3])
+        assert np.argmax(state.probabilities()) == 0b1001
+
+    def test_wrong_matrix_size_rejected(self):
+        with pytest.raises(QuantumError):
+            StateVector(2).apply_gate(gates.CNOT, [0])
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(QubitIndexError):
+            StateVector(2).apply_gate(gates.X, [2])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(QubitIndexError):
+            StateVector(2).apply_gate(gates.CNOT, [1, 1])
+
+    def test_norm_preserved_by_random_circuit(self):
+        rng = np.random.default_rng(0)
+        state = StateVector(4)
+        for _ in range(30):
+            qubit = int(rng.integers(0, 4))
+            theta = float(rng.uniform(-np.pi, np.pi))
+            state.apply_gate(gates.ry(theta), [qubit])
+            other = int(rng.integers(0, 4))
+            if other != qubit:
+                state.apply_gate(gates.CNOT, [qubit, other])
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestPermutation:
+    def test_increment_permutation(self):
+        state = StateVector(2)
+        state.apply_permutation([1, 2, 3, 0], [0, 1])
+        assert np.argmax(state.probabilities()) == 1
+
+    def test_permutation_on_subset(self):
+        state = StateVector(3)
+        state.apply_gate(gates.X, [2])
+        # swap qubits 0 and 1 via permutation; qubit 2 untouched
+        state.apply_permutation([0, 2, 1, 3], [0, 1])
+        assert np.argmax(state.probabilities()) == 0b100
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(QuantumError):
+            StateVector(1).apply_permutation([0, 0], [0])
+
+    def test_matches_equivalent_matrix(self):
+        mapping = [2, 0, 3, 1]
+        matrix = np.zeros((4, 4), dtype=complex)
+        matrix[mapping, np.arange(4)] = 1.0
+        a = StateVector(2)
+        a.apply_gate(gates.H, [0])
+        a.apply_gate(gates.ry(0.3), [1])
+        b = a.copy()
+        a.apply_permutation(mapping, [0, 1])
+        b.apply_gate(matrix, [0, 1])
+        assert np.allclose(a.amplitudes, b.amplitudes)
+
+
+class TestMeasurement:
+    def test_deterministic_outcome(self):
+        state = StateVector(2)
+        state.apply_gate(gates.X, [1])
+        assert state.measure(1, rng=0) == 1
+        assert state.measure(0, rng=0) == 0
+
+    def test_collapse(self):
+        state = StateVector(1)
+        state.apply_gate(gates.H, [0])
+        outcome = state.measure(0, rng=3)
+        assert state.probabilities()[outcome] == pytest.approx(1.0)
+
+    def test_statistics_of_plus_state(self):
+        ones = 0
+        for seed in range(200):
+            state = StateVector(1)
+            state.apply_gate(gates.H, [0])
+            ones += state.measure(0, rng=seed)
+        assert 60 < ones < 140
+
+    def test_measure_all_bell_correlation(self):
+        for seed in range(30):
+            state = StateVector(2)
+            state.apply_gate(gates.H, [0])
+            state.apply_gate(gates.CNOT, [0, 1])
+            bits = state.measure_all(rng=seed)
+            assert bits[0] == bits[1]
+
+    def test_sample_counts_sane(self):
+        state = StateVector(1)
+        state.apply_gate(gates.H, [0])
+        counts = state.sample_counts(1000, rng=1)
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {0, 1}
+        assert 400 < counts.get(0, 0) < 600
+
+    def test_sample_counts_rejects_zero_shots(self):
+        with pytest.raises(ValueError):
+            StateVector(1).sample_counts(0)
+
+
+class TestAnalysis:
+    def test_probability_of(self):
+        state = StateVector(2)
+        state.apply_gate(gates.H, [0])
+        assert state.probability_of(0, 1) == pytest.approx(0.5)
+        assert state.probability_of(1, 1) == pytest.approx(0.0)
+
+    def test_fidelity_of_identical_states(self):
+        a = StateVector(2)
+        a.apply_gate(gates.H, [0])
+        assert a.fidelity(a.copy()) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states(self):
+        a = StateVector(1)
+        b = StateVector(1)
+        b.apply_gate(gates.X, [0])
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_fidelity_type_checks(self):
+        with pytest.raises(TypeError):
+            StateVector(1).fidelity("state")
+        with pytest.raises(QuantumError):
+            StateVector(1).fidelity(StateVector(2))
+
+    def test_reduced_probabilities_of_bell(self):
+        state = StateVector(2)
+        state.apply_gate(gates.H, [0])
+        state.apply_gate(gates.CNOT, [0, 1])
+        marginal = state.reduced_probabilities([0])
+        assert np.allclose(marginal, [0.5, 0.5])
+
+    def test_reduced_probabilities_multi(self):
+        state = StateVector(3)
+        state.apply_gate(gates.X, [2])
+        marginal = state.reduced_probabilities([2, 0])
+        # qubit 2 -> local bit 0 (value 1), qubit 0 -> local bit 1 (0)
+        assert marginal[1] == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2),
+                          st.floats(min_value=-3.0, max_value=3.0)),
+                min_size=1, max_size=15))
+def test_property_norm_preserved(ops):
+    """Arbitrary rotation sequences keep the state normalized."""
+    state = StateVector(3)
+    for qubit, theta in ops:
+        state.apply_gate(gates.ry(theta), [qubit])
+        state.apply_gate(gates.rz(theta * 0.5), [qubit])
+    assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(list(range(4))))
+def test_property_permutation_preserves_distribution_mass(perm):
+    """Permutations only relabel probabilities, never create or destroy."""
+    state = StateVector(2)
+    state.apply_gate(gates.H, [0])
+    state.apply_gate(gates.ry(0.7), [1])
+    before = sorted(state.probabilities().tolist())
+    state.apply_permutation(list(perm), [0, 1])
+    after = sorted(state.probabilities().tolist())
+    assert np.allclose(before, after)
