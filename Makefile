@@ -2,10 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test reproduce clean
+.PHONY: test bench examples fast-test reproduce lint check clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+lint:
+	$(PYTHON) -m compileall -q src benchmarks tools examples
+	$(PYTHON) tools/lint_no_stdout.py
+
+check: lint test
 
 fast-test:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"

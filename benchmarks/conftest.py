@@ -3,18 +3,47 @@
 Every benchmark regenerates one figure or in-text claim of the paper
 (see DESIGN.md section 3).  Tables are printed to stdout (visible with
 ``pytest -s`` or on the benchmark summary) and persisted under
-``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+``benchmarks/results/`` -- both as the human-readable ``.txt`` table and
+as a machine-readable ``.json`` document carrying the same rows plus a
+snapshot of the telemetry registry that was live during the run, so
+downstream tooling (``benchmarks/report.py``, EXPERIMENTS.md checks,
+perf dashboards) never has to scrape text.
+
+A per-test :class:`~repro.core.telemetry.MetricsRegistry` is installed
+by an autouse fixture, so every benchmark runs fully instrumented; the
+snapshot is also attached to pytest-benchmark's ``extra_info`` when the
+``benchmark`` fixture is in play.
 """
 
+import json
 import os
 
+import pytest
+
+from repro.core import telemetry
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(autouse=True)
+def telemetry_registry(request):
+    """Fresh metrics registry per benchmark; snapshot attached afterwards."""
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use_registry(registry):
+        yield registry
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None:
+        try:
+            benchmark.extra_info["telemetry"] = registry.snapshot()
+        except (AttributeError, TypeError):
+            pass  # benchmark fixture disabled or incompatible
 
 
 def emit_table(name, title, headers, rows, notes=()):
     """Render an aligned text table; print it and save it to results/.
 
-    Returns the rendered string.
+    Also writes ``results/<name>.json`` with the same payload plus the
+    active telemetry registry's snapshot.  Returns the rendered string.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
@@ -33,7 +62,26 @@ def emit_table(name, title, headers, rows, notes=()):
     print("\n" + text)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
         handle.write(text)
+    emit_json(name, title, headers, rows, notes)
     return text
+
+
+def emit_json(name, title, headers, rows, notes=()):
+    """Write the machine-readable companion document for one experiment."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "name": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "notes": list(notes),
+        "telemetry": telemetry.get_registry().snapshot(),
+    }
+    path = os.path.join(RESULTS_DIR, name + ".json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
 
 
 def _fmt(cell):

@@ -1,4 +1,4 @@
-"""Collate benchmarks/results/*.txt into a single REPORT.md.
+"""Collate benchmarks/results/ into REPORT.md plus a machine-readable index.
 
 Run after the benchmark suite::
 
@@ -7,9 +7,14 @@ Run after the benchmark suite::
 
 The report orders experiments as DESIGN.md's index does (figures, then
 in-text claims, then extensions) and embeds every saved table verbatim,
-so one file carries the complete reproduction evidence.
+so one file carries the complete reproduction evidence.  Alongside the
+markdown, every ``results/<name>.json`` companion (rows + telemetry
+registry snapshot, written by ``conftest.emit_table``) is collated into
+``results/report.json`` so perf tooling can diff runs without scraping
+text.
 """
 
+import json
 import os
 import sys
 
@@ -24,7 +29,8 @@ ORDER = [
       "dmm_tts", "dmm_rbm", "dmm_spinglass", "dmm_noise", "dmm_instantons"]),
     ("Extensions",
      ["oscillator_applications", "quantum_noise", "ablation_dmm_memory",
-      "ablation_topology", "cross_paradigm_ising", "ilp", "inmemory"]),
+      "ablation_topology", "cross_paradigm_ising", "ilp", "inmemory",
+      "telemetry_overhead"]),
 ]
 
 
@@ -77,6 +83,45 @@ def build_report(results_dir=RESULTS_DIR):
     return "\n".join(lines) + "\n"
 
 
+def _ordered_names():
+    """Every experiment name in DESIGN.md display order."""
+    return [name for _section, names in ORDER for name in names]
+
+
+def build_json_report(results_dir=RESULTS_DIR):
+    """Collate the per-experiment JSON documents into one index dict.
+
+    Returns ``{"experiments": [payload, ...]}`` ordered like the
+    markdown report; experiments missing a JSON companion (older runs)
+    are skipped.
+    """
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            "no results at %s -- run `pytest benchmarks/ "
+            "--benchmark-only` first" % results_dir)
+    available = {name[:-5] for name in os.listdir(results_dir)
+                 if name.endswith(".json") and name != "report.json"}
+    ordered = [name for name in _ordered_names() if name in available]
+    ordered += sorted(available - set(ordered))
+    experiments = []
+    for name in ordered:
+        with open(os.path.join(results_dir, name + ".json")) as handle:
+            experiments.append(json.load(handle))
+    return {"experiments": experiments}
+
+
+def write_json_report(results_dir=RESULTS_DIR):
+    """Write ``results/report.json``; returns its path (None when empty)."""
+    index = build_json_report(results_dir)
+    if not index["experiments"]:
+        return None
+    path = os.path.join(results_dir, "report.json")
+    with open(path, "w") as handle:
+        json.dump(index, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def main(output_path=None):
     """Write REPORT.md at the repository root; returns the path."""
     if output_path is None:
@@ -85,8 +130,12 @@ def main(output_path=None):
     text = build_report()
     with open(output_path, "w") as handle:
         handle.write(text)
-    print("wrote %s (%d experiments)" % (os.path.abspath(output_path),
-                                         text.count("```text")))
+    json_path = write_json_report()
+    print("wrote %s (%d experiments)%s"
+          % (os.path.abspath(output_path), text.count("```text"),
+             "" if json_path is None
+             else "; machine-readable index at %s"
+             % os.path.abspath(json_path)))
     return output_path
 
 

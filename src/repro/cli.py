@@ -5,11 +5,66 @@ Small utilities a downstream user reaches for first:
 * ``info``       -- library overview and version.
 * ``solve``      -- solve a DIMACS CNF file (DMM, WalkSAT, or DPLL).
 * ``factor``     -- factor a composite (Shor or memcomputing).
+* ``distance``   -- one oscillator distance-primitive evaluation.
 * ``reproduce``  -- how to regenerate every paper figure/claim.
+
+``solve``, ``factor``, and ``distance`` accept the shared observability
+flags: ``--trace out.jsonl`` streams telemetry spans/events to a JSONL
+file, and ``--metrics`` prints the metrics summary table after the run
+(see ``docs/observability.md``).
 """
 
 import argparse
+import contextlib
 import sys
+
+
+def _add_observability_flags(subparser):
+    subparser.add_argument("--trace", metavar="PATH", default=None,
+                           help="write telemetry spans/events to a JSONL "
+                                "trace file")
+    subparser.add_argument("--metrics", action="store_true",
+                           help="print the metrics summary table after "
+                                "the run")
+
+
+@contextlib.contextmanager
+def _telemetry_scope(args, out):
+    """Enable telemetry for one command when --trace/--metrics ask for it.
+
+    Installs a fresh registry (with a JSONL sink when tracing), restores
+    the previous registry afterwards, and renders the summary table when
+    requested.
+    """
+    from .core import telemetry
+    from .core.tracing import JsonlSink
+
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", False)):
+        yield None
+        return
+    registry = telemetry.MetricsRegistry()
+    sink = None
+    if args.trace:
+        # fail fast on an unwritable path, and truncate: each CLI run
+        # produces its own trace (the sink itself appends, for library
+        # users who share one file across runs).
+        try:
+            open(args.trace, "w").close()
+        except OSError as error:
+            raise SystemExit("repro: cannot write trace file %r: %s"
+                             % (args.trace, error))
+        sink = registry.add_sink(JsonlSink(args.trace))
+    try:
+        with telemetry.use_registry(registry):
+            yield registry
+    finally:
+        if sink is not None:
+            sink.close()
+            out.write("trace: %d events -> %s\n"
+                      % (sink.events_written, sink.path))
+        if args.metrics:
+            out.write("\n" + telemetry.render_summary(registry.snapshot())
+                      + "\n")
 
 
 def _build_parser():
@@ -30,6 +85,7 @@ def _build_parser():
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--max-steps", type=int, default=500_000,
                        help="DMM integration / WalkSAT flip budget")
+    _add_observability_flags(solve)
 
     factor = commands.add_parser("factor",
                                  help="factor a composite integer")
@@ -37,6 +93,19 @@ def _build_parser():
     factor.add_argument("--method", choices=("shor", "memcomputing"),
                         default="shor")
     factor.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(factor)
+
+    distance = commands.add_parser(
+        "distance",
+        help="evaluate the oscillator distance primitive on two "
+             "intensities")
+    distance.add_argument("a", type=float)
+    distance.add_argument("b", type=float)
+    distance.add_argument("--mode", choices=("behavioral", "physical"),
+                          default="behavioral",
+                          help="closed-form calibrated response or full "
+                               "coupled-pair ODE simulation")
+    _add_observability_flags(distance)
 
     commands.add_parser("reproduce",
                         help="how to regenerate the paper's results")
@@ -127,6 +196,20 @@ def _run_factor(args, out):
     return 0
 
 
+def _run_distance(args, out):
+    from .core import telemetry
+    from .oscillators.distance import OscillatorDistanceUnit
+
+    unit = OscillatorDistanceUnit(mode=args.mode)
+    with telemetry.span("oscillator.distance.evaluate", mode=args.mode,
+                        a=args.a, b=args.b) as eval_span:
+        measure = unit.measure(args.a, args.b)
+        eval_span.set_attr("measure", measure)
+    out.write("distance(%g, %g) = %.6f   (mode=%s, |delta|=%g)\n"
+              % (args.a, args.b, measure, args.mode, abs(args.a - args.b)))
+    return 0
+
+
 def _run_reproduce(_args, out):
     out.write("regenerate every figure and in-text claim of the paper:\n\n")
     out.write("  pytest benchmarks/ --benchmark-only\n\n")
@@ -145,12 +228,14 @@ def main(argv=None, out=None):
         "info": _run_info,
         "solve": _run_solve,
         "factor": _run_factor,
+        "distance": _run_distance,
         "reproduce": _run_reproduce,
     }
     if args.command is None:
         parser.print_help(out)
         return 0
-    return handlers[args.command](args, out)
+    with _telemetry_scope(args, out):
+        return handlers[args.command](args, out)
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ The three computing models reproduced from the paper sit on this common
 layer.  Nothing here knows about qubits, oscillators, or SOLGs.
 """
 
+from . import telemetry, tracing
 from .cnf import Clause, CnfFormula, parse_dimacs
 from .integrators import (
     Trajectory,
@@ -22,6 +23,8 @@ from .sat_instances import (
 )
 
 __all__ = [
+    "telemetry",
+    "tracing",
     "Clause",
     "CnfFormula",
     "parse_dimacs",

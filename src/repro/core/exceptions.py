@@ -27,6 +27,10 @@ class DimacsParseError(FormulaError):
     """DIMACS CNF text could not be parsed."""
 
 
+class TelemetryError(CoreError):
+    """Telemetry misuse (metric kind clash, negative counter increment)."""
+
+
 class QuantumError(ReproError):
     """Errors from the quantum accelerator model (Section II)."""
 

@@ -1,0 +1,256 @@
+"""Nestable timed spans and pluggable trace sinks.
+
+A *span* measures one timed region (a DMM solve, a compiler pass, a
+kernel execution).  Spans nest through a per-thread stack, survive
+exceptions (the span closes with ``status="error"`` and re-raises), and
+on close both
+
+* observe their duration into the histogram ``<name>.seconds`` on the
+  active registry, and
+* emit a JSON-friendly event dict to the registry's sinks.
+
+Three sinks cover the observability edges:
+
+* :class:`JsonlSink` -- appends one JSON object per line to a file; the
+  format behind the CLI's ``--trace out.jsonl``.
+* :class:`ConsoleSink` -- pretty-prints events to a stream (the only
+  place besides the CLI allowed to write to stdout).
+* :class:`NullSink` -- swallows events; useful to keep a registry's
+  metric side live while silencing its trace side.
+
+When telemetry is disabled (the default), :func:`span` returns a shared
+no-op context manager, so an instrumented region pays two attribute
+lookups and no clock read.
+"""
+
+import json
+import threading
+import time
+
+from . import telemetry
+
+
+def point_event(name, attrs=None, clock=time.time):
+    """Event dict for an instantaneous occurrence (no duration)."""
+    event = {"type": "event", "name": name, "ts": clock()}
+    if attrs:
+        event["attrs"] = dict(attrs)
+    return event
+
+
+class _NullSpan:
+    """Shared no-op span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __bool__(self):
+        return False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set_attr(self, key, value):
+        """No-op."""
+
+    def __repr__(self):
+        return "NULL_SPAN"
+
+
+#: The single disabled span instance.
+NULL_SPAN = _NullSpan()
+
+_stacks = threading.local()
+
+
+def _stack():
+    stack = getattr(_stacks, "spans", None)
+    if stack is None:
+        stack = _stacks.spans = []
+    return stack
+
+
+class Span:
+    """One timed, attributed region bound to a registry.
+
+    Use through :func:`span`; attributes passed at creation or via
+    :meth:`set_attr` land in the emitted event's ``attrs`` field.
+    """
+
+    __slots__ = ("registry", "name", "attrs", "depth", "parent", "status",
+                 "start_ts", "_start_perf", "duration_s")
+
+    def __init__(self, registry, name, attrs=None):
+        self.registry = registry
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.depth = 0
+        self.parent = None
+        self.status = "ok"
+        self.start_ts = None
+        self._start_perf = None
+        self.duration_s = None
+
+    def __bool__(self):
+        return True
+
+    def set_attr(self, key, value):
+        """Attach one attribute; visible in the emitted trace event."""
+        self.attrs[key] = value
+
+    def __enter__(self):
+        stack = _stack()
+        self.depth = len(stack)
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self.start_ts = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration_s = time.perf_counter() - self._start_perf
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # defensive: out-of-order close
+            stack.remove(self)
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.registry.histogram(self.name + ".seconds").observe(
+            self.duration_s)
+        self.registry.emit(self.to_event())
+        return False  # never swallow the exception
+
+    def to_event(self):
+        """The span's JSON-friendly trace event."""
+        event = {
+            "type": "span",
+            "name": self.name,
+            "ts": self.start_ts,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "status": self.status,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+    def __repr__(self):
+        return "Span(%s, depth=%d, status=%s)" % (
+            self.name, self.depth, self.status)
+
+
+def span(name, **attrs):
+    """A timed span on the active registry (no-op when disabled).
+
+    >>> with span("dmm.solver.solve", variables=20) as sp:
+    ...     sp.set_attr("satisfied", True)
+    """
+    registry = telemetry.get_registry()
+    if not registry.enabled:
+        return NULL_SPAN
+    return Span(registry, name, attrs)
+
+
+def current_span():
+    """The innermost open span on this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+# -- sinks -----------------------------------------------------------------
+
+class TraceSink:
+    """Interface: anything with ``emit(event_dict)`` (and ``close()``)."""
+
+    def emit(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Release resources; emitting after close is an error."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class NullSink(TraceSink):
+    """Swallows every event."""
+
+    def emit(self, event):
+        """No-op."""
+
+
+class JsonlSink(TraceSink):
+    """Appends one compact JSON object per event to ``path``.
+
+    The file is opened lazily on the first event (so attaching the sink
+    is free when nothing fires) and each line is flushed immediately --
+    traces survive a crashed run.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+        self._lock = threading.Lock()
+        self.events_written = 0
+
+    def emit(self, event):
+        line = json.dumps(event, default=str, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.events_written += 1
+
+    def close(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_jsonl(path):
+    """Load a JSONL trace back into a list of event dicts."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class ConsoleSink(TraceSink):
+    """Pretty-prints events, one line each, to a writable stream.
+
+    ``stream`` is required rather than defaulted to ``sys.stdout``: the
+    library never writes to stdout on its own, only the CLI decides to.
+    """
+
+    def __init__(self, stream):
+        self.stream = stream
+
+    def emit(self, event):
+        indent = "  " * int(event.get("depth", 0))
+        if event.get("type") == "span":
+            duration = telemetry.fmt_seconds(event.get("duration_s") or 0.0)
+            line = "%s[span] %s %s" % (indent, event["name"], duration)
+            if event.get("status") != "ok":
+                line += " status=%s" % event["status"]
+        else:
+            line = "%s[event] %s" % (indent, event.get("name", "?"))
+        attrs = event.get("attrs")
+        if attrs:
+            line += "  " + " ".join(
+                "%s=%s" % (key, telemetry.fmt_quantity(attrs[key]))
+                for key in sorted(attrs))
+        self.stream.write(line + "\n")

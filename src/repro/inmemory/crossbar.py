@@ -15,6 +15,7 @@ stack:
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.rngs import make_rng
 from .memristor import Memristor, MemristorError
 
@@ -38,6 +39,18 @@ class Crossbar:
         factory = device_factory or Memristor
         self.cells = [[factory() for _ in range(self.cols)]
                       for _ in range(self.rows)]
+        # Per-array instruments, bound once (no-op singletons when
+        # telemetry is disabled): read/write/MAC accounting is the
+        # observable the data-movement argument is made with.
+        registry = telemetry.get_registry()
+        registry.counter("inmemory.crossbar.arrays").inc()
+        self._read_counter = registry.counter("inmemory.crossbar.bit_reads")
+        self._write_counter = registry.counter("inmemory.crossbar.bit_writes")
+        self._analog_read_counter = registry.counter(
+            "inmemory.crossbar.analog_reads")
+        self._mac_counter = registry.counter("inmemory.crossbar.macs")
+        self._pulse_counter = registry.counter(
+            "inmemory.crossbar.logic_pulses")
 
     # -- digital storage -------------------------------------------------------
 
@@ -49,10 +62,12 @@ class Crossbar:
 
     def write_bit(self, row, col, bit):
         """Program one cell to a logic state."""
+        self._write_counter.inc()
         return self.cell(row, col).write_bit(bit)
 
     def read_bit(self, row, col):
         """Read one cell's logic state (non-destructive)."""
+        self._read_counter.inc()
         return self.cell(row, col).read_bit()
 
     def write_row(self, row, bits):
@@ -83,6 +98,7 @@ class Crossbar:
         for an odd total count, which is exactly the resistive-majority
         RM3 update when two operands are supplied.
         """
+        self._pulse_counter.inc()
         votes = [self.read_bit(r, c) for r, c in operands]
         votes.append(self.read_bit(*target))
         if len(votes) % 2 == 0:
@@ -112,6 +128,8 @@ class Crossbar:
         voltages = np.asarray(row_voltages, dtype=float)
         if voltages.shape != (self.rows,):
             raise MemristorError("need one voltage per row")
+        self._analog_read_counter.inc()
+        self._mac_counter.inc(self.rows * self.cols)
         currents = voltages @ self.conductance_matrix()
         if noise_sigma > 0.0:
             rng = make_rng(rng)

@@ -17,6 +17,7 @@ the crossbar.
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.rngs import make_rng
 from .crossbar import Crossbar
 from .memristor import Memristor, MemristorError
@@ -57,6 +58,17 @@ class AnalogVmm:
             device_factory=lambda: Memristor(r_on=1.0 / g_max,
                                              r_off=1.0 / g_min))
         span = self.g_max - self.g_min
+        with telemetry.span("inmemory.vmm.program", rows=n_in,
+                            cols=2 * n_out):
+            self._program(weights, span, variability, rng)
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter("inmemory.vmm.arrays_programmed").inc()
+            registry.counter("inmemory.vmm.cells_programmed").inc(
+                2 * n_in * n_out)
+
+    def _program(self, weights, span, variability, rng):
+        n_in, n_out = weights.shape
         for i in range(n_in):
             for j in range(n_out):
                 weight = weights[i, j] / self.scale  # in [-1, 1]
@@ -79,6 +91,11 @@ class AnalogVmm:
         vector = np.asarray(vector, dtype=float)
         if vector.shape != (self.weights.shape[0],):
             raise MemristorError("input length mismatch")
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            n_in, n_out = self.weights.shape
+            registry.counter("inmemory.vmm.multiplies").inc()
+            registry.counter("inmemory.vmm.macs").inc(n_in * n_out)
         v_scale = float(np.max(np.abs(vector))) or 1.0
         voltages = vector / v_scale * v_read
         currents = self.crossbar.analog_read(voltages,

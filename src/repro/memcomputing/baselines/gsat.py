@@ -7,8 +7,11 @@ than WalkSAT -- which is exactly why it is useful as a second reference
 point on the scaling plots.
 """
 
+import time
+
 import numpy as np
 
+from ...core import telemetry
 from ...core.rngs import make_rng
 from .walksat import WalkSatResult, _satisfied_literals
 
@@ -34,6 +37,8 @@ class GsatSolver:
     def solve(self, formula, rng=None):
         """Run GSAT; returns a :class:`WalkSatResult` (same shape)."""
         rng = make_rng(rng)
+        start = time.perf_counter()
+        flip_counter = telemetry.counter("dmm.gsat.flips")
         num_vars = formula.num_variables
         clauses = [np.array(c.literals, dtype=np.int64)
                    for c in formula.clauses]
@@ -52,8 +57,10 @@ class GsatSolver:
                 if num_unsat == 0:
                     assignment = {i + 1: bool(assign[i])
                                   for i in range(num_vars)}
+                    flip_counter.inc(total_flips)
                     return WalkSatResult(True, assignment, total_flips,
-                                         attempt)
+                                         attempt,
+                                         time.perf_counter() - start)
                 gains = np.array([
                     self._flip_gain(var, assign, clauses, occurrence,
                                     sat_count)
@@ -68,7 +75,9 @@ class GsatSolver:
                                               occurrence, sat_count)
                 total_flips += 1
         assignment = {i + 1: bool(assign[i]) for i in range(num_vars)}
-        return WalkSatResult(False, assignment, total_flips, self.max_tries)
+        flip_counter.inc(total_flips)
+        return WalkSatResult(False, assignment, total_flips, self.max_tries,
+                             time.perf_counter() - start)
 
     @staticmethod
     def _flip_gain(var, assign, clauses, occurrence, sat_count):

@@ -8,8 +8,11 @@ Work metric: variable flips (compared against DMM integration steps in
 the scaling study).
 """
 
+import time
+
 import numpy as np
 
+from ...core import telemetry
 from ...core.exceptions import FormulaError
 from ...core.rngs import make_rng
 
@@ -25,17 +28,22 @@ class WalkSatResult:
         Total variable flips across all tries.
     tries : int
         Random restarts used.
+    wall_time : float
+        Wall-clock seconds spent.
     """
 
-    def __init__(self, satisfied, assignment, flips, tries):
+    def __init__(self, satisfied, assignment, flips, tries, wall_time=0.0):
         self.satisfied = bool(satisfied)
         self.assignment = assignment
         self.flips = int(flips)
         self.tries = int(tries)
+        self.wall_time = float(wall_time)
 
     def __repr__(self):
-        return "WalkSatResult(satisfied=%s, flips=%d)" % (
-            self.satisfied, self.flips)
+        return ("WalkSatResult(satisfied=%s, flips=%s, wall_time=%s, "
+                "tries=%d)"
+                % (self.satisfied, telemetry.fmt_quantity(self.flips),
+                   telemetry.fmt_seconds(self.wall_time), self.tries))
 
 
 class WalkSatSolver:
@@ -64,6 +72,20 @@ class WalkSatSolver:
         num_vars = formula.num_variables
         if num_vars == 0:
             raise FormulaError("formula has no variables")
+        registry = telemetry.get_registry()
+        with telemetry.span("dmm.walksat.solve", variables=num_vars,
+                            clauses=formula.num_clauses) as solve_span:
+            result = self._search(formula, rng, num_vars)
+            solve_span.set_attr("satisfied", result.satisfied)
+            solve_span.set_attr("flips", result.flips)
+        if registry.enabled:
+            registry.counter("dmm.walksat.solves").inc()
+            registry.counter("dmm.walksat.flips").inc(result.flips)
+            registry.counter("dmm.walksat.tries").inc(result.tries)
+        return result
+
+    def _search(self, formula, rng, num_vars):
+        start = time.perf_counter()
         clauses = [np.array(c.literals, dtype=np.int64)
                    for c in formula.clauses]
         # occurrence lists: variable (0-based) -> clause indices
@@ -84,7 +106,8 @@ class WalkSatSolver:
                     assignment = {i + 1: bool(assign[i])
                                   for i in range(num_vars)}
                     return WalkSatResult(True, assignment, total_flips,
-                                         attempt)
+                                         attempt,
+                                         time.perf_counter() - start)
                 unsat_list = list(unsat)
                 clause_index = unsat_list[rng.integers(0, len(unsat_list))]
                 literals = clauses[clause_index]
@@ -100,7 +123,8 @@ class WalkSatSolver:
                 _flip(chosen, assign, clauses, occurrence, sat_count, unsat)
                 total_flips += 1
         assignment = {i + 1: bool(assign[i]) for i in range(num_vars)}
-        return WalkSatResult(False, assignment, total_flips, self.max_tries)
+        return WalkSatResult(False, assignment, total_flips, self.max_tries,
+                             time.perf_counter() - start)
 
 
 def _satisfied_literals(literals, assign):

@@ -40,6 +40,7 @@ implementing the time non-locality that gives memcomputing its name.
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.cnf import CnfFormula
 from ..core.exceptions import MemcomputingError
 
@@ -108,6 +109,17 @@ class DmmSystem:
         self._slot_mask = np.ones_like(sign)
         for row, clause in enumerate(formula.clauses):
             self._slot_mask[row, len(clause.literals):] = 0.0
+        # Instruments are bound once against the registry active at
+        # construction; when telemetry is disabled they are shared no-ops,
+        # keeping the rhs hot path at a single extra method call.
+        registry = telemetry.get_registry()
+        registry.counter("dmm.dynamics.systems").inc()
+        if registry.enabled:
+            registry.histogram("dmm.dynamics.variables").observe(
+                self.num_variables)
+            registry.histogram("dmm.dynamics.clauses").observe(
+                self.num_clauses)
+        self._rhs_counter = registry.counter("dmm.dynamics.rhs_evals")
 
     # -- state helpers ---------------------------------------------------------
 
@@ -154,6 +166,7 @@ class DmmSystem:
 
     def rhs(self, _t, state):
         """The full DMM vector field ``d(state)/dt``."""
+        self._rhs_counter.inc()
         p = self.params
         v, x_s, x_l = self.unpack(state)
         q, big_c = self.clause_functions(v)

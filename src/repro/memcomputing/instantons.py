@@ -19,6 +19,7 @@ This module measures the first two on recorded solver runs.
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.rngs import make_rng
 from .dynamics import DmmSystem
 
@@ -36,6 +37,7 @@ def instanton_census(unsat_trace):
     * ``monotone_fraction`` -- fraction of jumps that *decrease* the
       count (instantons overwhelmingly descend toward the solution).
     """
+    telemetry.counter("dmm.instantons.censuses").inc()
     counts = [count for _time, count in unsat_trace]
     if len(counts) < 2:
         return {"jumps": 0, "jump_sizes": [], "plateaus": len(counts),
@@ -45,6 +47,7 @@ def instanton_census(unsat_trace):
     jump_sizes = [int(abs(deltas[p])) for p in jump_positions]
     descents = int(np.sum(deltas[jump_positions] < 0))
     total_jumps = len(jump_positions)
+    telemetry.histogram("dmm.instantons.jumps_per_trace").observe(total_jumps)
     return {
         "jumps": total_jumps,
         "jump_sizes": jump_sizes,
@@ -66,6 +69,13 @@ def lyapunov_estimate(formula, rng=None, steps=4_000, dt=0.08,
     trajectory approaches the solution basin.
     """
     rng = make_rng(rng)
+    with telemetry.span("dmm.instantons.lyapunov", steps=steps):
+        return _lyapunov_estimate(formula, rng, steps, dt, separation,
+                                  renormalize_every)
+
+
+def _lyapunov_estimate(formula, rng, steps, dt, separation,
+                       renormalize_every):
     system = DmmSystem(formula)
     lower, upper = system.lower_bounds(), system.upper_bounds()
     state_a = system.initial_state(rng)

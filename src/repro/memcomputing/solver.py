@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.exceptions import DmmConvergenceError
 from ..core.rngs import make_rng
 from .dynamics import DmmSystem
@@ -56,8 +57,11 @@ class DmmResult:
         self.unsat_trace = list(unsat_trace)
 
     def __repr__(self):
-        return ("DmmResult(satisfied=%s, steps=%d, restarts=%d)"
-                % (self.satisfied, self.steps, self.restarts))
+        return ("DmmResult(satisfied=%s, steps=%s, sim_time=%s, "
+                "wall_time=%s, restarts=%d)"
+                % (self.satisfied, telemetry.fmt_quantity(self.steps),
+                   telemetry.fmt_quantity(self.sim_time),
+                   telemetry.fmt_seconds(self.wall_time), self.restarts))
 
 
 class DmmSolver:
@@ -100,12 +104,33 @@ class DmmSolver:
 
         Returns a :class:`DmmResult`; raises
         :class:`DmmConvergenceError` instead when ``raise_on_failure``.
+
+        Telemetry (when enabled): a ``dmm.solver.solve`` span, counters
+        for steps / checkpoints / restarts / instanton events (checkpoint
+        transitions where the digital unsat count jumped), and a
+        ``dmm.solver.instanton`` trace event per jump.
         """
         rng = make_rng(rng)
+        registry = telemetry.get_registry()
+        with telemetry.span("dmm.solver.solve",
+                            variables=formula.num_variables,
+                            clauses=formula.num_clauses) as solve_span:
+            result = self._integrate(formula, rng, registry)
+            solve_span.set_attr("satisfied", result.satisfied)
+            solve_span.set_attr("steps", result.steps)
+            solve_span.set_attr("restarts", result.restarts)
+        if raise_on_failure and not result.satisfied:
+            raise DmmConvergenceError(
+                "DMM did not satisfy the formula in %d steps" % self.max_steps)
+        return result
+
+    def _integrate(self, formula, rng, registry):
+        """The forward-Euler loop; returns a :class:`DmmResult`."""
         system = DmmSystem(formula, params=self.params, x_l_max=self.x_l_max)
         lower = system.lower_bounds()
         upper = system.upper_bounds()
         num_variables = system.num_variables
+        enabled = registry.enabled
 
         start = time.perf_counter()
         state = system.initial_state(rng)
@@ -113,7 +138,10 @@ class DmmSolver:
         restarts = 0
         steps_since_restart = 0
         sim_time = 0.0
-        unsat_trace = [(0.0, system.unsatisfied_count(state))]
+        satisfied = None
+        last_unsat = system.unsatisfied_count(state)
+        instanton_events = 0
+        unsat_trace = [(0.0, last_unsat)]
 
         while steps < self.max_steps:
             derivative = system.rhs(sim_time, state)
@@ -128,22 +156,35 @@ class DmmSolver:
             if steps % self.check_every == 0:
                 unsat = system.unsatisfied_count(state)
                 unsat_trace.append((sim_time, unsat))
+                if unsat != last_unsat:
+                    instanton_events += 1
+                    if enabled:
+                        telemetry.event("dmm.solver.instanton",
+                                        sim_time=sim_time,
+                                        unsat_from=last_unsat,
+                                        unsat_to=unsat)
+                    last_unsat = unsat
                 if unsat == 0:
-                    return DmmResult(
-                        True, system.assignment_from_state(state), steps,
-                        sim_time, time.perf_counter() - start, restarts,
-                        unsat_trace)
+                    satisfied = True
+                    break
             if (self.restart_after is not None
                     and steps_since_restart >= self.restart_after):
                 state = system.initial_state(rng)
                 restarts += 1
                 steps_since_restart = 0
 
-        assignment = system.assignment_from_state(state)
-        result = DmmResult(system.is_solution(state), assignment, steps,
-                           sim_time, time.perf_counter() - start, restarts,
-                           unsat_trace)
-        if raise_on_failure and not result.satisfied:
-            raise DmmConvergenceError(
-                "DMM did not satisfy the formula in %d steps" % self.max_steps)
-        return result
+        if satisfied is None:
+            satisfied = system.is_solution(state)
+        wall_time = time.perf_counter() - start
+        if enabled:
+            registry.counter("dmm.solver.solves").inc()
+            registry.counter("dmm.solver.steps").inc(steps)
+            registry.counter("dmm.solver.checkpoints").inc(
+                len(unsat_trace) - 1)
+            registry.counter("dmm.solver.restarts").inc(restarts)
+            registry.counter("dmm.solver.instanton_events").inc(
+                instanton_events)
+            registry.gauge("dmm.solver.sim_time").set(sim_time)
+            registry.histogram("dmm.solver.steps_per_solve").observe(steps)
+        return DmmResult(satisfied, system.assignment_from_state(state),
+                         steps, sim_time, wall_time, restarts, unsat_trace)

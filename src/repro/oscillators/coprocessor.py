@@ -20,6 +20,7 @@ physical oscillator model:
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.events import rising_crossings
 from ..core.exceptions import OscillatorError
 from .distance import OscillatorDistanceUnit
@@ -75,11 +76,17 @@ def rank_order_sort(values, full_scale=None, window_cycles=40.0,
     slowest_period = max(osc.analytic_period() for osc in oscillators)
     window = window_cycles * slowest_period
     counts = []
-    for oscillator in oscillators:
-        trajectory = oscillator.simulate(window)
-        spikes = rising_crossings(trajectory.times,
-                                  trajectory.component(0), threshold)
-        counts.append(len(spikes))
+    with telemetry.span("oscillator.coprocessor.rank_sort",
+                        values=len(values), window_cycles=window_cycles):
+        for oscillator in oscillators:
+            trajectory = oscillator.simulate(window)
+            spikes = rising_crossings(trajectory.times,
+                                      trajectory.component(0), threshold)
+            counts.append(len(spikes))
+    registry = telemetry.get_registry()
+    if registry.enabled:
+        registry.counter("oscillator.coprocessor.sorts").inc()
+        registry.counter("oscillator.coprocessor.spikes").inc(sum(counts))
     order = sorted(range(len(values)), key=lambda i: (counts[i], values[i]))
     return order, counts
 
@@ -99,6 +106,7 @@ def degree_of_match(template, candidate, distance_unit=None):
     if template.size == 0:
         raise OscillatorError("empty pattern")
     unit = distance_unit or OscillatorDistanceUnit()
+    telemetry.counter("oscillator.coprocessor.matches").inc()
     measures = [unit.measure(a, b)
                 for a, b in zip(template.ravel(), candidate.ravel())]
     return 1.0 - float(np.mean(measures))

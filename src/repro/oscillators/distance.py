@@ -22,8 +22,11 @@ returned.  Two operating modes:
   the behavioral table tracks the physics.
 """
 
+import time
+
 import numpy as np
 
+from ..core import telemetry
 from ..core.exceptions import OscillatorError
 from .locking import DEFAULT_C_C, simulate_calibrated_pair
 from .norms import xor_measure_curve
@@ -77,6 +80,12 @@ class OscillatorDistanceUnit:
         self.intensity_scale = float(intensity_scale)
         self.cycles = int(cycles)
         self._readout = XorReadout()
+        # Bound once at construction; no-op singletons when telemetry is
+        # disabled, so the per-comparison hot path stays branch-cheap.
+        registry = telemetry.get_registry()
+        self._eval_counter = registry.counter("oscillator.distance.evals")
+        self._eval_timer = registry.histogram(
+            "oscillator.distance.eval_seconds")
 
     # -- encoding ---------------------------------------------------------
 
@@ -94,6 +103,15 @@ class OscillatorDistanceUnit:
 
     def measure(self, intensity_a, intensity_b):
         """XOR-readout measure for two pixel intensities (monotone in |a-b|)."""
+        if self._eval_timer:
+            start = time.perf_counter()
+            result = self._measure(intensity_a, intensity_b)
+            self._eval_timer.observe(time.perf_counter() - start)
+            self._eval_counter.inc()
+            return result
+        return self._measure(intensity_a, intensity_b)
+
+    def _measure(self, intensity_a, intensity_b):
         delta = abs(self.delta_v_gs(intensity_a, intensity_b))
         if self.mode == "behavioral":
             response = self.behavioral_baseline \

@@ -23,6 +23,7 @@ throughput models can charge for them.
 
 import numpy as np
 
+from ...core import telemetry
 from ..distance import OscillatorDistanceUnit
 from .bresenham import circle_intensities, interior_pixels
 
@@ -110,10 +111,21 @@ class OscillatorFastDetector:
         self._comparisons = 0
         corners = []
         pixels = 0
-        for row, col in interior_pixels(image):
-            pixels += 1
-            if self.is_corner(image, row, col):
-                corners.append((row, col))
+        with telemetry.span("oscillator.fast.detect") as detect_span:
+            for row, col in interior_pixels(image):
+                pixels += 1
+                if self.is_corner(image, row, col):
+                    corners.append((row, col))
+            detect_span.set_attr("pixels", pixels)
+            detect_span.set_attr("corners", len(corners))
+            detect_span.set_attr("comparisons", self._comparisons)
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter("oscillator.fast.detections").inc()
+            registry.counter("oscillator.fast.pixels").inc(pixels)
+            registry.counter("oscillator.fast.comparisons").inc(
+                self._comparisons)
+            registry.counter("oscillator.fast.corners").inc(len(corners))
         self.last_stats = {
             "pixels": pixels,
             "oscillator_comparisons": self._comparisons,

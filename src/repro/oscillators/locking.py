@@ -11,6 +11,7 @@ showing the locked plateau.
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.signals import cycle_frequency
 from .coupling import coupled_pair
 
@@ -83,16 +84,24 @@ def check_locking(v_gs_1, v_gs_2, r_c, c_c=DEFAULT_C_C, cycles=DEFAULT_CYCLES,
     from .relaxation import RelaxationOscillator
 
     kwargs = dict(oscillator_kwargs or {})
-    natural_1 = RelaxationOscillator(v_gs_1, **kwargs).natural_frequency()
-    natural_2 = RelaxationOscillator(v_gs_2, **kwargs).natural_frequency()
-    times, v_1, v_2 = simulate_calibrated_pair(
-        v_gs_1, v_gs_2, r_c, c_c=c_c, cycles=cycles,
-        oscillator_kwargs=oscillator_kwargs)
-    half = len(times) // 2
-    freq_1 = cycle_frequency(times[half:], v_1[half:], DEFAULT_THRESHOLD)
-    freq_2 = cycle_frequency(times[half:], v_2[half:], DEFAULT_THRESHOLD)
-    locked = (freq_1 is not None and freq_2 is not None
-              and abs(freq_1 - freq_2) <= rel_tol * max(freq_1, freq_2))
+    registry = telemetry.get_registry()
+    with telemetry.span("oscillator.locking.check",
+                        delta_v_gs=abs(v_gs_2 - v_gs_1)) as check_span:
+        natural_1 = RelaxationOscillator(v_gs_1, **kwargs).natural_frequency()
+        natural_2 = RelaxationOscillator(v_gs_2, **kwargs).natural_frequency()
+        times, v_1, v_2 = simulate_calibrated_pair(
+            v_gs_1, v_gs_2, r_c, c_c=c_c, cycles=cycles,
+            oscillator_kwargs=oscillator_kwargs)
+        half = len(times) // 2
+        freq_1 = cycle_frequency(times[half:], v_1[half:], DEFAULT_THRESHOLD)
+        freq_2 = cycle_frequency(times[half:], v_2[half:], DEFAULT_THRESHOLD)
+        locked = (freq_1 is not None and freq_2 is not None
+                  and abs(freq_1 - freq_2) <= rel_tol * max(freq_1, freq_2))
+        check_span.set_attr("locked", locked)
+    if registry.enabled:
+        registry.counter("oscillator.locking.checks").inc()
+        registry.counter("oscillator.locking.locked"
+                         if locked else "oscillator.locking.unlocked").inc()
     return LockingResult(locked, freq_1, freq_2, natural_1, natural_2)
 
 

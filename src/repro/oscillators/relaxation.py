@@ -22,6 +22,7 @@ import math
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.exceptions import DeviceModelError
 from ..core.integrators import Trajectory
 from .transistor import SeriesTransistor
@@ -171,6 +172,11 @@ class RelaxationOscillator:
             times.append(t)
             values.append(v)
             phases.append(phase)
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            registry.counter("oscillator.relaxation.simulations").inc()
+            registry.counter("oscillator.relaxation.steps").inc(
+                len(times) - 1)
         trajectory = Trajectory(np.asarray(times),
                                 np.asarray(values).reshape(-1, 1),
                                 n_steps=len(times) - 1)

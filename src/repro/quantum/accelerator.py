@@ -8,6 +8,7 @@ kernel submitted, what each layer produced -- the artifact the FIG2
 benchmark prints.
 """
 
+from ..core import telemetry
 from ..core.rngs import make_rng
 from . import qasm
 from .compiler import LinearTopology, compile_circuit
@@ -78,6 +79,14 @@ class QuantumAccelerator:
         optional label recorded at the top layer (e.g. "shor(N=15)").
         """
         rng = make_rng(rng)
+        telemetry.counter("quantum.accelerator.kernels").inc()
+        with telemetry.span("quantum.accelerator.kernel",
+                            application=application or circuit.name,
+                            shots=shots):
+            return self._execute_kernel(circuit, shots, rng, verify,
+                                        application)
+
+    def _execute_kernel(self, circuit, shots, rng, verify, application):
         report = StackReport()
         report.record("application",
                       name=application or circuit.name,

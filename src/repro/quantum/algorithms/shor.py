@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from ...core import telemetry
 from ...core.exceptions import QuantumError
 from ...core.rngs import make_rng
 from ..circuit import QuantumCircuit
@@ -117,11 +118,14 @@ def find_order(a, modulus, rng=None, max_attempts=10, runner=None):
         return value
 
     for _ in range(max_attempts):
-        circuit, t, _n = order_finding_circuit(a, modulus)
-        if runner is not None:
-            measured = runner(circuit)
-        else:
-            measured = default_runner(circuit, t)
+        telemetry.counter("quantum.shor.order_finding_attempts").inc()
+        with telemetry.span("quantum.shor.order_finding", a=a,
+                            modulus=modulus):
+            circuit, t, _n = order_finding_circuit(a, modulus)
+            if runner is not None:
+                measured = runner(circuit)
+            else:
+                measured = default_runner(circuit, t)
         if measured == 0:
             continue
         for convergent in continued_fraction_convergents(measured, 2 ** t):
@@ -186,6 +190,18 @@ def shor_factor(n, rng=None, max_base_attempts=20):
     """
     if n < 4:
         raise QuantumError("n must be a composite >= 4")
+    registry = telemetry.get_registry()
+    if registry.enabled:
+        registry.counter("quantum.shor.factorizations").inc()
+        with telemetry.span("quantum.shor.factor", n=n) as factor_span:
+            result = _shor_factor(n, rng, max_base_attempts)
+            factor_span.set_attr("method", result.method)
+            factor_span.set_attr("succeeded", result.succeeded)
+        return result
+    return _shor_factor(n, rng, max_base_attempts)
+
+
+def _shor_factor(n, rng, max_base_attempts):
     if n % 2 == 0:
         return ShorResult(n, (2, n // 2), "classical-shortcut", 0, [])
     power = _perfect_power(n)

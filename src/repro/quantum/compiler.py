@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from ..core import telemetry
 from ..core.exceptions import CompilationError
 from .circuit import GateOp, MeasureOp, QuantumCircuit
 
@@ -359,22 +360,38 @@ def compile_circuit(circuit, topology=None, allow_macros=True, verify=False,
     Returns ``(CompiledCircuit, report_dict)`` where the report carries the
     per-layer numbers shown by the Fig. 2 stack benchmark.
     """
-    lowered = decompose(circuit)
-    if peephole:
-        before = len(lowered.ops)
-        lowered = optimize(lowered)
-        ops_removed = before - len(lowered.ops)
-    else:
-        ops_removed = 0
-    compiled = route(lowered, topology=topology, allow_macros=allow_macros)
-    report = {
-        "source_ops": len(circuit.ops),
-        "source_depth": circuit.depth(),
-        "source_gate_counts": circuit.gate_counts(),
-        "lowered_ops": len(lowered.ops),
-        "peephole_ops_removed": ops_removed,
-        "compiled": compiled.report(),
-    }
-    if verify:
-        report["fidelity"] = verify_equivalence(circuit, compiled)
+    registry = telemetry.get_registry()
+    with telemetry.span("quantum.compiler.compile",
+                        source_ops=len(circuit.ops)) as compile_span:
+        with telemetry.span("quantum.compiler.decompose"):
+            lowered = decompose(circuit)
+        if peephole:
+            before = len(lowered.ops)
+            with telemetry.span("quantum.compiler.peephole"):
+                lowered = optimize(lowered)
+            ops_removed = before - len(lowered.ops)
+        else:
+            ops_removed = 0
+        with telemetry.span("quantum.compiler.route"):
+            compiled = route(lowered, topology=topology,
+                             allow_macros=allow_macros)
+        report = {
+            "source_ops": len(circuit.ops),
+            "source_depth": circuit.depth(),
+            "source_gate_counts": circuit.gate_counts(),
+            "lowered_ops": len(lowered.ops),
+            "peephole_ops_removed": ops_removed,
+            "compiled": compiled.report(),
+        }
+        if verify:
+            with telemetry.span("quantum.compiler.verify"):
+                report["fidelity"] = verify_equivalence(circuit, compiled)
+        compile_span.set_attr("compiled_ops", len(compiled.circuit.ops))
+        compile_span.set_attr("swaps_inserted", compiled.swap_count)
+    if registry.enabled:
+        registry.counter("quantum.compiler.compiles").inc()
+        registry.counter("quantum.compiler.swaps_inserted").inc(
+            compiled.swap_count)
+        registry.counter("quantum.compiler.peephole_ops_removed").inc(
+            ops_removed)
     return compiled, report

@@ -6,6 +6,9 @@ repeat the kernel for N shots, collect classical results, histogram them,
 and account accumulated chip time.
 """
 
+import time
+
+from ..core import telemetry
 from ..core.exceptions import QuantumError
 from ..core.rngs import make_rng
 from .microarch import MicroArchitecture, assemble
@@ -24,13 +27,17 @@ class ShotResult:
         Number of shots executed.
     total_chip_time_ns : float
         Accumulated on-chip execution time over all shots.
+    wall_time : float
+        Host wall-clock seconds the runtime spent on the execution loop.
     """
 
-    def __init__(self, counts, cbit_order, shots, total_chip_time_ns):
+    def __init__(self, counts, cbit_order, shots, total_chip_time_ns,
+                 wall_time=0.0):
         self.counts = dict(counts)
         self.cbit_order = list(cbit_order)
         self.shots = int(shots)
         self.total_chip_time_ns = float(total_chip_time_ns)
+        self.wall_time = float(wall_time)
 
     def probability(self, value):
         """Empirical probability of an integer outcome."""
@@ -42,8 +49,11 @@ class ShotResult:
         return ranked[:n]
 
     def __repr__(self):
-        return "ShotResult(shots=%d, outcomes=%d)" % (
-            self.shots, len(self.counts))
+        return ("ShotResult(shots=%s, outcomes=%d, chip_time=%s, "
+                "wall_time=%s)"
+                % (telemetry.fmt_quantity(self.shots), len(self.counts),
+                   telemetry.fmt_seconds(self.total_chip_time_ns * 1e-9),
+                   telemetry.fmt_seconds(self.wall_time)))
 
 
 class QuantumRuntime:
@@ -81,12 +91,28 @@ class QuantumRuntime:
             raise QuantumError("kernel has no measurements; nothing to sample")
         self._ensure_microarch(circuit)
         rng = make_rng(rng)
-        program = assemble(circuit)
-        counts = {}
-        chip_time = 0.0
-        for _ in range(shots):
-            result = self.microarch.execute(program, rng=rng)
-            value = result.bits_as_int(cbit_order)
-            counts[value] = counts.get(value, 0) + 1
-            chip_time += result.elapsed_ns
-        return ShotResult(counts, cbit_order, shots, chip_time)
+        registry = telemetry.get_registry()
+        with telemetry.span("quantum.runtime.run", shots=shots,
+                            qubits=circuit.num_qubits) as run_span:
+            start = time.perf_counter()
+            program = assemble(circuit)
+            counts = {}
+            chip_time = 0.0
+            for _ in range(shots):
+                result = self.microarch.execute(program, rng=rng)
+                value = result.bits_as_int(cbit_order)
+                counts[value] = counts.get(value, 0) + 1
+                chip_time += result.elapsed_ns
+            wall_time = time.perf_counter() - start
+            run_span.set_attr("chip_time_ns", chip_time)
+        if registry.enabled:
+            registry.counter("quantum.runtime.runs").inc()
+            registry.counter("quantum.runtime.shots").inc(shots)
+            registry.counter("quantum.runtime.chip_time_ns").inc(chip_time)
+            # gates executed on-chip, by mnemonic, over all shots
+            for name, count in circuit.gate_counts().items():
+                registry.counter("quantum.runtime.gates.%s" % name).inc(
+                    count * shots)
+            registry.histogram("quantum.runtime.shot_time_ns").observe(
+                chip_time / shots)
+        return ShotResult(counts, cbit_order, shots, chip_time, wall_time)

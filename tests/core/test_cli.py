@@ -81,6 +81,77 @@ class TestFactor:
         assert code == 2
 
 
+class TestDistance:
+    def test_behavioral_mode(self):
+        code, text = run_cli(["distance", "120", "40"])
+        assert code == 0
+        assert "distance(120, 40)" in text
+        assert "mode=behavioral" in text
+
+    def test_physical_mode(self):
+        code, text = run_cli(["distance", "100", "100",
+                              "--mode", "physical"])
+        assert code == 0
+        assert "mode=physical" in text
+
+
+class TestObservability:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        formula = planted_ksat(15, 55, rng=0)
+        return save_dimacs(formula, str(tmp_path / "i.cnf"))
+
+    def test_solve_trace_writes_jsonl(self, instance_path, tmp_path):
+        from repro.core.tracing import read_jsonl
+
+        trace = str(tmp_path / "solve.jsonl")
+        code, text = run_cli(["solve", instance_path, "--trace", trace])
+        assert code == 0
+        assert "trace:" in text
+        events = read_jsonl(trace)
+        assert events  # non-empty trace
+        assert any(event["name"] == "dmm.solver.solve"
+                   for event in events)
+
+    def test_factor_trace_writes_jsonl(self, tmp_path):
+        from repro.core.tracing import read_jsonl
+
+        trace = str(tmp_path / "factor.jsonl")
+        code, _text = run_cli(["factor", "15", "--trace", trace])
+        assert code == 0
+        events = read_jsonl(trace)
+        assert any(event["name"].startswith("quantum.shor.")
+                   for event in events)
+
+    def test_distance_trace_writes_jsonl(self, tmp_path):
+        from repro.core.tracing import read_jsonl
+
+        trace = str(tmp_path / "distance.jsonl")
+        code, _text = run_cli(["distance", "120", "40",
+                               "--trace", trace])
+        assert code == 0
+        events = read_jsonl(trace)
+        assert any(event["name"] == "oscillator.distance.evaluate"
+                   for event in events)
+
+    def test_metrics_summary_table(self, instance_path):
+        code, text = run_cli(["solve", instance_path, "--metrics"])
+        assert code == 0
+        assert "telemetry summary" in text
+        assert "dmm.solver.steps" in text
+
+    def test_telemetry_restored_after_command(self, instance_path):
+        from repro.core import telemetry
+
+        run_cli(["solve", instance_path, "--metrics"])
+        assert telemetry.get_registry() is telemetry.NULL_REGISTRY
+
+    def test_no_flags_leaves_telemetry_disabled(self, instance_path):
+        code, text = run_cli(["solve", instance_path])
+        assert code == 0
+        assert "telemetry summary" not in text
+
+
 class TestReproduce:
     def test_points_at_benchmarks(self):
         code, text = run_cli(["reproduce"])

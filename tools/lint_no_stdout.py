@@ -1,0 +1,76 @@
+"""Lint: the library must never write to stdout on its own.
+
+Output is a CLI decision (``repro.cli``) or an explicit sink the caller
+constructed with a stream (``tracing.ConsoleSink``); a stray ``print``
+deep in a solver corrupts machine-readable output (DIMACS model lines,
+JSONL traces, piped tables).  This walks ``src/repro`` ASTs and flags
+
+* any ``print(...)`` call,
+* any ``sys.stdout`` / ``sys.stderr`` attribute access,
+
+outside the allowlist.  Docstrings and comments are naturally exempt
+(they never parse as calls).  Run directly or via ``make lint``::
+
+    python tools/lint_no_stdout.py
+"""
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LIBRARY_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Paths (relative to src/repro) that legitimately own process output.
+ALLOWLIST = frozenset({
+    "cli.py",  # the CLI is *the* place stdout decisions are made
+})
+
+
+def _violations_in(tree):
+    """Yield (lineno, message) for each stdout use in one module AST."""
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield node.lineno, "print() call"
+        elif (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "sys"
+                and node.attr in ("stdout", "stderr")):
+            yield node.lineno, "sys.%s access" % node.attr
+
+
+def lint(library_root=LIBRARY_ROOT, out=sys.stderr):
+    """Return the number of violations found (0 == clean)."""
+    count = 0
+    for dirpath, _dirnames, filenames in sorted(os.walk(library_root)):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, library_root)
+            if relative in ALLOWLIST:
+                continue
+            with open(path) as handle:
+                tree = ast.parse(handle.read(), filename=relative)
+            for lineno, message in _violations_in(tree):
+                out.write("%s:%d: %s (library modules must not write "
+                          "to stdout; see docs/observability.md)\n"
+                          % (os.path.join("src", "repro", relative),
+                             lineno, message))
+                count += 1
+    return count
+
+
+def main():
+    violations = lint()
+    if violations:
+        sys.stderr.write("lint_no_stdout: %d violation(s)\n" % violations)
+        return 1
+    sys.stderr.write("lint_no_stdout: clean\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
