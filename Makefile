@@ -2,10 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test reproduce lint check clean
+.PHONY: test bench examples fast-test test-parallel reproduce lint check clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Parallel engine + determinism suite, then the fan-out call sites
+# exercised with REPRO_WORKERS=2 as the ambient default.  Sets
+# PYTHONPATH=src so the target also works without an editable install.
+test-parallel:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/core/test_parallel.py \
+		tests/core/test_telemetry_merge.py -q
+	REPRO_WORKERS=2 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/core/test_cli.py \
+		tests/memcomputing/test_ensemble.py -q
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tools examples

@@ -39,6 +39,21 @@ def telemetry_registry(request):
             pass  # benchmark fixture disabled or incompatible
 
 
+def bench_workers(maximum=4):
+    """Worker counts for parallel-scaling sweeps: 1, 2, 4, ... up to
+    ``maximum``.
+
+    The ``REPRO_BENCH_MAX_WORKERS`` environment variable overrides the
+    cap, so scaling studies can be re-run wider on bigger hosts (or
+    narrowed to ``1`` on constrained CI) without editing the benchmark.
+    """
+    cap = int(os.environ.get("REPRO_BENCH_MAX_WORKERS", maximum))
+    counts = [1]
+    while counts[-1] * 2 <= cap:
+        counts.append(counts[-1] * 2)
+    return counts
+
+
 def emit_table(name, title, headers, rows, notes=()):
     """Render an aligned text table; print it and save it to results/.
 

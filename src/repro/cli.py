@@ -5,13 +5,16 @@ Small utilities a downstream user reaches for first:
 * ``info``       -- library overview and version.
 * ``solve``      -- solve a DIMACS CNF file (DMM, WalkSAT, or DPLL).
 * ``factor``     -- factor a composite (Shor or memcomputing).
-* ``distance``   -- one oscillator distance-primitive evaluation.
+* ``distance``   -- oscillator distance-primitive evaluations.
 * ``reproduce``  -- how to regenerate every paper figure/claim.
 
 ``solve``, ``factor``, and ``distance`` accept the shared observability
-flags: ``--trace out.jsonl`` streams telemetry spans/events to a JSONL
-file, and ``--metrics`` prints the metrics summary table after the run
-(see ``docs/observability.md``).
+flags -- ``--trace out.jsonl`` streams telemetry spans/events to a JSONL
+file, ``--metrics`` prints the metrics summary table after the run (see
+``docs/observability.md``) -- and the shared ``--workers N`` flag, which
+fans the command's hot loop out over the parallel execution engine
+(DMM restart portfolio, Shor order-finding attempts, distance pair
+scoring; see ``docs/parallelism.md``).
 """
 
 import argparse
@@ -26,6 +29,15 @@ def _add_observability_flags(subparser):
     subparser.add_argument("--metrics", action="store_true",
                            help="print the metrics summary table after "
                                 "the run")
+
+
+def _add_parallel_flags(subparser):
+    subparser.add_argument("--workers", type=int, default=None,
+                           metavar="N",
+                           help="worker processes for the command's "
+                                "fan-out path (default: REPRO_WORKERS "
+                                "env or 1 == serial; see "
+                                "docs/parallelism.md)")
 
 
 @contextlib.contextmanager
@@ -86,6 +98,7 @@ def _build_parser():
     solve.add_argument("--max-steps", type=int, default=500_000,
                        help="DMM integration / WalkSAT flip budget")
     _add_observability_flags(solve)
+    _add_parallel_flags(solve)
 
     factor = commands.add_parser("factor",
                                  help="factor a composite integer")
@@ -94,18 +107,21 @@ def _build_parser():
                         default="shor")
     factor.add_argument("--seed", type=int, default=0)
     _add_observability_flags(factor)
+    _add_parallel_flags(factor)
 
     distance = commands.add_parser(
         "distance",
-        help="evaluate the oscillator distance primitive on two "
-             "intensities")
-    distance.add_argument("a", type=float)
-    distance.add_argument("b", type=float)
+        help="evaluate the oscillator distance primitive on intensity "
+             "pairs")
+    distance.add_argument("values", type=float, nargs="+", metavar="V",
+                          help="an even number of intensities, read as "
+                               "(a, b) pairs")
     distance.add_argument("--mode", choices=("behavioral", "physical"),
                           default="behavioral",
                           help="closed-form calibrated response or full "
                                "coupled-pair ODE simulation")
     _add_observability_flags(distance)
+    _add_parallel_flags(distance)
 
     commands.add_parser("reproduce",
                         help="how to regenerate the paper's results")
@@ -135,12 +151,28 @@ def _run_solve(args, out):
     formula = load_dimacs(args.path)
     out.write("instance: %d variables, %d clauses\n"
               % (formula.num_variables, formula.num_clauses))
-    if args.solver == "dmm":
-        from .memcomputing.solver import DmmSolver
+    from .core.parallel import resolve_workers
 
-        result = DmmSolver(max_steps=args.max_steps).solve(
-            formula, rng=args.seed)
-        satisfied, work = result.satisfied, "%d steps" % result.steps
+    workers = resolve_workers(getattr(args, "workers", None))
+    if args.solver == "dmm":
+        from .memcomputing.solver import DmmSolver, solve_portfolio
+
+        if workers > 1:
+            portfolio = solve_portfolio(formula, attempts=workers,
+                                        workers=workers,
+                                        max_steps=args.max_steps,
+                                        rng=args.seed)
+            result = portfolio.best
+            if result is None:
+                out.write("s UNKNOWN (every portfolio member failed)\n")
+                return 1
+            satisfied = result.satisfied
+            work = "%d steps, best of %d restarts" % (result.steps,
+                                                      portfolio.attempts)
+        else:
+            result = DmmSolver(max_steps=args.max_steps).solve(
+                formula, rng=args.seed)
+            satisfied, work = result.satisfied, "%d steps" % result.steps
         assignment = result.assignment
     elif args.solver == "walksat":
         from .memcomputing.baselines import WalkSatSolver
@@ -174,7 +206,8 @@ def _run_factor(args, out):
     if args.method == "shor":
         from .quantum.algorithms.shor import shor_factor
 
-        result = shor_factor(args.n, rng=args.seed)
+        result = shor_factor(args.n, rng=args.seed,
+                             workers=getattr(args, "workers", None))
         if not result.succeeded:
             out.write("no factors found (try another seed)\n")
             return 1
@@ -200,13 +233,31 @@ def _run_distance(args, out):
     from .core import telemetry
     from .oscillators.distance import OscillatorDistanceUnit
 
+    if len(args.values) % 2 != 0:
+        out.write("error: distance needs an even number of intensities "
+                  "(read as (a, b) pairs)\n")
+        return 2
+    pairs = [(args.values[i], args.values[i + 1])
+             for i in range(0, len(args.values), 2)]
     unit = OscillatorDistanceUnit(mode=args.mode)
+    if len(pairs) == 1:
+        (a, b), = pairs
+        with telemetry.span("oscillator.distance.evaluate", mode=args.mode,
+                            a=a, b=b) as eval_span:
+            measure = unit.measure(a, b)
+            eval_span.set_attr("measure", measure)
+        out.write("distance(%g, %g) = %.6f   (mode=%s, |delta|=%g)\n"
+                  % (a, b, measure, args.mode, abs(a - b)))
+        return 0
     with telemetry.span("oscillator.distance.evaluate", mode=args.mode,
-                        a=args.a, b=args.b) as eval_span:
-        measure = unit.measure(args.a, args.b)
-        eval_span.set_attr("measure", measure)
-    out.write("distance(%g, %g) = %.6f   (mode=%s, |delta|=%g)\n"
-              % (args.a, args.b, measure, args.mode, abs(args.a - args.b)))
+                        pairs=len(pairs)) as eval_span:
+        measures = unit.measure_pairs(
+            pairs, workers=getattr(args, "workers", None))
+        eval_span.set_attr("pairs", len(pairs))
+    for (a, b), measure in zip(pairs, measures):
+        out.write("distance(%g, %g) = %.6f   (mode=%s, |delta|=%g)\n"
+                  % (a, b, measure, args.mode, abs(a - b)))
+    out.write("%d pairs scored\n" % len(pairs))
     return 0
 
 

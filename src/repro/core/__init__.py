@@ -4,8 +4,9 @@ The three computing models reproduced from the paper sit on this common
 layer.  Nothing here knows about qubits, oscillators, or SOLGs.
 """
 
-from . import telemetry, tracing
+from . import parallel, telemetry, tracing
 from .cnf import Clause, CnfFormula, parse_dimacs
+from .parallel import ParallelMap, TaskFailure, parallel_map
 from .integrators import (
     Trajectory,
     integrate_adaptive,
@@ -23,8 +24,12 @@ from .sat_instances import (
 )
 
 __all__ = [
+    "parallel",
     "telemetry",
     "tracing",
+    "ParallelMap",
+    "TaskFailure",
+    "parallel_map",
     "Clause",
     "CnfFormula",
     "parse_dimacs",

@@ -31,6 +31,10 @@ class TelemetryError(CoreError):
     """Telemetry misuse (metric kind clash, negative counter increment)."""
 
 
+class ParallelError(CoreError):
+    """The parallel execution engine was misused or a task failed."""
+
+
 class QuantumError(ReproError):
     """Errors from the quantum accelerator model (Section II)."""
 

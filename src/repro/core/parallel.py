@@ -1,0 +1,426 @@
+"""Chunked process-pool execution engine for the library's fan-out paths.
+
+The paper frames all three computing models as *accelerators* beside a
+classical host (Fig. 1/2); every hot workload in this reproduction --
+DMM time-to-solution ensembles, quantum shot loops, oscillator
+image-patch scoring -- is a bag of independent kernels.  This module is
+the host-side scheduler for those bags:
+
+* :func:`chunk_sizes` / :func:`chunk_list` -- deterministic chunking
+  that depends only on the task count and the chunk size, **never** on
+  the worker count, so results are bit-identical whether a run uses one
+  worker or eight,
+* :class:`ParallelMap` -- maps a module-level function over chunk
+  payloads on a bounded set of worker processes, with ordered result
+  collection, per-task timeouts, and crash recovery (a dead worker marks
+  its chunk failed and the run continues),
+* :class:`TaskFailure` -- the ordered-result placeholder for a chunk
+  that raised, timed out, or whose worker died.
+
+Seeding contract
+----------------
+Callers split their workload into chunks first, then spawn one child
+generator per chunk with :func:`repro.core.rngs.spawn_rngs` and ship the
+generator inside the chunk payload.  Because both the chunking and the
+spawn are functions of ``(task count, chunk size, root seed)`` alone,
+the worker count only decides *where* a chunk runs, never *what* it
+computes -- the determinism suite (``tests/core/test_parallel.py``)
+holds the library to that.
+
+Telemetry
+---------
+When the active registry is live at :meth:`ParallelMap.map` time, each
+worker process records into its own fresh
+:class:`~repro.core.telemetry.MetricsRegistry` (never into inherited
+parent sinks), and the worker's snapshot and buffered trace events are
+shipped back with its result and merged into the parent registry at
+join.  The engine itself records ``parallel.tasks``,
+``parallel.failures``, and the ``parallel.worker_seconds`` histogram,
+and wraps each map in a ``parallel.map`` span.
+
+Serial fallback
+---------------
+``workers=1`` (the default, also reachable through the ``REPRO_WORKERS``
+environment variable), a single-task map, or a platform without a usable
+multiprocessing start method all run the same chunk functions inline in
+the parent process -- same results, no subprocesses, no pickling.
+"""
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+
+from . import telemetry
+from .exceptions import ParallelError
+from .tracing import ListSink
+
+#: Default number of chunks a workload is split into when the caller
+#: gives no explicit chunk size.  A constant (rather than anything
+#: derived from the worker count) so chunking -- and therefore per-chunk
+#: RNG spawning -- is identical across worker counts.
+DEFAULT_CHUNKS = 8
+
+#: Environment variable consulted when ``workers=None``.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Grace period (seconds) for a result to drain out of a worker that
+#: already exited; after this the chunk is declared crashed.
+_DRAIN_GRACE_S = 0.5
+
+
+def resolve_workers(workers=None):
+    """Coerce a ``workers`` argument into a positive int.
+
+    ``None`` consults the ``REPRO_WORKERS`` environment variable and
+    falls back to 1 (serial) -- so library call sites stay serial unless
+    a caller, the CLI's ``--workers``, or the environment opts in.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ParallelError(
+                "%s must be an integer, got %r" % (WORKERS_ENV, raw))
+    workers = int(workers)
+    if workers < 1:
+        raise ParallelError("workers must be >= 1, got %d" % workers)
+    return workers
+
+
+def default_chunk_size(total):
+    """Chunk size splitting ``total`` tasks into ~:data:`DEFAULT_CHUNKS`."""
+    if total < 0:
+        raise ParallelError("total must be non-negative, got %d" % total)
+    return max(1, -(-total // DEFAULT_CHUNKS))
+
+
+def chunk_sizes(total, chunk_size=None):
+    """Deterministic chunk sizes covering ``total`` work units.
+
+    Every chunk has ``chunk_size`` units except a smaller trailing
+    remainder.  Depends only on ``(total, chunk_size)`` -- never on the
+    worker count (see the module's seeding contract).
+    """
+    if total < 0:
+        raise ParallelError("total must be non-negative, got %d" % total)
+    if total == 0:
+        return []
+    size = default_chunk_size(total) if chunk_size is None else int(chunk_size)
+    if size < 1:
+        raise ParallelError("chunk_size must be >= 1, got %d" % size)
+    full, remainder = divmod(total, size)
+    sizes = [size] * full
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
+def chunk_list(items, chunk_size=None):
+    """Split ``items`` into the :func:`chunk_sizes` chunks, in order."""
+    items = list(items)
+    chunks = []
+    start = 0
+    for size in chunk_sizes(len(items), chunk_size):
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+class TaskFailure:
+    """Ordered-result placeholder for a chunk that did not produce a value.
+
+    Attributes
+    ----------
+    index : int
+        The chunk's position in the task list (results stay ordered).
+    reason : str
+        ``"error"`` (the function raised), ``"timeout"`` (the per-task
+        deadline passed and the worker was terminated), or ``"crashed"``
+        (the worker process died without reporting a result).
+    message : str
+        Human-readable detail (exception repr, exit code, ...).
+    """
+
+    __slots__ = ("index", "reason", "message")
+
+    def __init__(self, index, reason, message=""):
+        self.index = int(index)
+        self.reason = str(reason)
+        self.message = str(message)
+
+    def __bool__(self):
+        # Falsy so ``[r for r in results if r]`` drops failures.
+        return False
+
+    def __repr__(self):
+        return "TaskFailure(index=%d, reason=%s, message=%r)" % (
+            self.index, self.reason, self.message)
+
+
+def _pick_context(start_method=None):
+    """A usable multiprocessing context, or None (forces serial).
+
+    Prefers ``fork`` (cheap, inherits the parent's loaded state); falls
+    back to ``spawn`` elsewhere; returns None when the platform offers
+    neither -- :class:`ParallelMap` then degrades gracefully to serial.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            return None
+        return multiprocessing.get_context(start_method)
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None
+
+
+def _worker_main(fn, task, index, out_queue, instrument):
+    """Subprocess entry point: run one chunk, ship result + telemetry.
+
+    Always replaces the inherited registry: a forked child must never
+    write into the parent's sinks (a JSONL sink would interleave), so it
+    records into a fresh registry (with a buffering sink) when telemetry
+    is on, or into the null registry when it is off.
+    """
+    start = time.perf_counter()
+    sink = None
+    try:
+        if instrument:
+            registry = telemetry.MetricsRegistry()
+            sink = registry.add_sink(ListSink())
+        else:
+            registry = telemetry.NULL_REGISTRY
+        with telemetry.use_registry(registry):
+            value = fn(task)
+        elapsed = time.perf_counter() - start
+        payload = (registry.snapshot(), sink.events) if instrument else None
+        out_queue.put((index, "ok", value, payload, elapsed))
+    except BaseException as error:  # noqa: BLE001 -- report, don't die silent
+        elapsed = time.perf_counter() - start
+        message = "%s: %s" % (type(error).__name__, error)
+        payload = (registry.snapshot(), sink.events) if sink is not None \
+            else None
+        out_queue.put((index, "error", message, payload, elapsed))
+
+
+class ParallelMap:
+    """Map a function over chunk payloads on a bounded worker pool.
+
+    Parameters
+    ----------
+    workers : int or None
+        Maximum concurrent worker processes.  ``None`` consults
+        ``REPRO_WORKERS`` (default 1 == serial inline execution).
+    timeout : float or None
+        Per-task wall-clock budget in seconds.  A worker past its
+        deadline is terminated and its chunk marked failed
+        (``reason="timeout"``).  Not enforceable on the serial path
+        (there is no one to preempt the task).
+    start_method : str or None
+        Force a multiprocessing start method (mostly for tests); the
+        default prefers ``fork`` and degrades to serial when the
+        platform has no usable method.
+
+    Notes
+    -----
+    ``fn`` must be a module-level callable and tasks/results must be
+    picklable (both are inherited for free under ``fork``, but the
+    contract keeps callers portable to ``spawn`` platforms).
+    """
+
+    def __init__(self, workers=None, timeout=None, start_method=None):
+        self.workers = resolve_workers(workers)
+        if timeout is not None and timeout <= 0:
+            raise ParallelError("timeout must be positive, got %r" % timeout)
+        self.timeout = timeout
+        self.start_method = start_method
+
+    def map(self, fn, tasks, on_error="raise"):
+        """Run ``fn`` over ``tasks``; return results in task order.
+
+        ``on_error="raise"`` re-raises the first failure as a
+        :class:`ParallelError` (after every task has been given the
+        chance to finish); ``on_error="return"`` leaves a
+        :class:`TaskFailure` in the failed slots instead.
+        """
+        if on_error not in ("raise", "return"):
+            raise ParallelError(
+                "on_error must be 'raise' or 'return', got %r" % on_error)
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = min(self.workers, len(tasks))
+        registry = telemetry.get_registry()
+        with telemetry.span("parallel.map", tasks=len(tasks),
+                            workers=workers) as map_span:
+            context = _pick_context(self.start_method) if workers > 1 \
+                else None
+            if context is None:
+                results = self._map_serial(fn, tasks, registry)
+            else:
+                results = self._map_processes(fn, tasks, workers, context,
+                                              registry)
+            failures = [r for r in results if isinstance(r, TaskFailure)]
+            if map_span:
+                map_span.set_attr("failures", len(failures))
+        if failures and on_error == "raise":
+            first = failures[0]
+            raise ParallelError(
+                "%d of %d parallel task(s) failed; first: task %d %s (%s)"
+                % (len(failures), len(tasks), first.index, first.reason,
+                   first.message))
+        return results
+
+    # -- serial fallback --------------------------------------------------
+
+    def _map_serial(self, fn, tasks, registry):
+        """Inline execution: same chunk functions, no subprocesses."""
+        enabled = registry.enabled
+        results = []
+        for index, task in enumerate(tasks):
+            start = time.perf_counter()
+            try:
+                value = fn(task)
+            except Exception as error:  # noqa: BLE001
+                value = TaskFailure(index, "error", "%s: %s"
+                                    % (type(error).__name__, error))
+                if enabled:
+                    registry.counter("parallel.failures").inc()
+            if enabled:
+                registry.counter("parallel.tasks").inc()
+                registry.histogram("parallel.worker_seconds").observe(
+                    time.perf_counter() - start)
+            results.append(value)
+        return results
+
+    # -- process pool -----------------------------------------------------
+
+    def _map_processes(self, fn, tasks, workers, context, registry):
+        """Bounded process-per-chunk scheduler with timeout + crash care."""
+        instrument = registry.enabled
+        out_queue = context.Queue()
+        pending = list(enumerate(tasks))
+        live = {}        # index -> (process, deadline or None)
+        draining = {}    # index -> (process, drain deadline)
+        outcomes = {}    # index -> ("ok", value, payload, elapsed) | failure
+        total = len(tasks)
+
+        try:
+            while len(outcomes) < total:
+                while pending and len(live) < workers:
+                    index, task = pending.pop(0)
+                    process = context.Process(
+                        target=_worker_main,
+                        args=(fn, task, index, out_queue, instrument),
+                        daemon=True)
+                    process.start()
+                    deadline = None if self.timeout is None \
+                        else time.monotonic() + self.timeout
+                    live[index] = (process, deadline)
+
+                self._drain(out_queue, outcomes)
+                now = time.monotonic()
+
+                for index in list(live):
+                    process, deadline = live[index]
+                    if index in outcomes:
+                        process.join(timeout=1.0)
+                        del live[index]
+                    elif deadline is not None and now > deadline:
+                        process.terminate()
+                        process.join(timeout=1.0)
+                        outcomes[index] = TaskFailure(
+                            index, "timeout",
+                            "exceeded %.3gs" % self.timeout)
+                        del live[index]
+                    elif not process.is_alive():
+                        # Exited without a visible result: give the queue
+                        # feeder a moment before declaring a crash.
+                        draining[index] = (process,
+                                           now + _DRAIN_GRACE_S)
+                        del live[index]
+
+                for index in list(draining):
+                    process, drain_deadline = draining[index]
+                    if index in outcomes:
+                        del draining[index]
+                    elif time.monotonic() > drain_deadline:
+                        outcomes[index] = TaskFailure(
+                            index, "crashed",
+                            "worker exited with code %r without a result"
+                            % process.exitcode)
+                        del draining[index]
+
+                if len(outcomes) < total:
+                    time.sleep(0.005)
+        finally:
+            for process, _deadline in list(live.values()) \
+                    + list(draining.values()):
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=1.0)
+            out_queue.close()
+
+        return self._collect(outcomes, total, registry, instrument)
+
+    @staticmethod
+    def _drain(out_queue, outcomes):
+        """Pull every currently available worker message off the queue."""
+        while True:
+            try:
+                message = out_queue.get(timeout=0.02)
+            except queue_module.Empty:
+                return
+            index, status, value, payload, elapsed = message
+            if status == "ok":
+                outcomes[index] = ("ok", value, payload, elapsed)
+            else:
+                outcomes[index] = ("error",
+                                   TaskFailure(index, "error", value),
+                                   payload, elapsed)
+
+    @staticmethod
+    def _collect(outcomes, total, registry, instrument):
+        """Ordered results + deterministic telemetry merge at join.
+
+        Worker registries are merged (and their buffered trace events
+        re-emitted, tagged with the worker's chunk index) in chunk order
+        regardless of completion order, so sink output and merged
+        metrics are reproducible.
+        """
+        enabled = registry.enabled
+        results = []
+        for index in range(total):
+            outcome = outcomes[index]
+            if isinstance(outcome, TaskFailure):      # timeout / crashed
+                if enabled:
+                    registry.counter("parallel.tasks").inc()
+                    registry.counter("parallel.failures").inc()
+                results.append(outcome)
+                continue
+            status, value, payload, elapsed = outcome
+            if enabled:
+                registry.counter("parallel.tasks").inc()
+                registry.histogram("parallel.worker_seconds").observe(
+                    elapsed)
+                if status != "ok":
+                    registry.counter("parallel.failures").inc()
+            if instrument and payload is not None:
+                snapshot, events = payload
+                registry.merge(snapshot)
+                for event in events:
+                    event.setdefault("worker", index)
+                    registry.emit(event)
+            results.append(value)
+        return results
+
+
+def parallel_map(fn, tasks, workers=None, timeout=None, on_error="raise"):
+    """One-shot convenience wrapper around :class:`ParallelMap`."""
+    return ParallelMap(workers=workers, timeout=timeout).map(
+        fn, tasks, on_error=on_error)

@@ -206,16 +206,43 @@ class Histogram:
         return math.sqrt(variance)
 
     def snapshot(self):
-        """JSON-friendly state dict."""
+        """JSON-friendly state dict (``sum_sq`` makes snapshots mergeable)."""
         return {
             "kind": self.kind,
             "count": self._count,
             "total": self._total,
+            "sum_sq": self._sum_sq,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
             "std": self.std,
         }
+
+    def merge_snapshot(self, entry):
+        """Fold another histogram's snapshot dict into this histogram.
+
+        Combines the moment accumulators directly, so merging is exact,
+        associative, and commutative (up to float addition) -- the
+        property the parallel engine's worker-registry merge relies on.
+        """
+        count = int(entry.get("count", 0))
+        if count == 0:
+            return
+        total = float(entry.get("total", 0.0))
+        sum_sq = entry.get("sum_sq")
+        if sum_sq is None:
+            # Pre-merge-era snapshot: reconstruct from mean/std.
+            mean = float(entry.get("mean") or 0.0)
+            std = float(entry.get("std") or 0.0)
+            sum_sq = (std * std + mean * mean) * count
+        with self._lock:
+            self._count += count
+            self._total += total
+            self._sum_sq += float(sum_sq)
+            if entry.get("min") is not None:
+                self._min = min(self._min, float(entry["min"]))
+            if entry.get("max") is not None:
+                self._max = max(self._max, float(entry["max"]))
 
     def __repr__(self):
         return "Histogram(%s, count=%d, mean=%s)" % (
@@ -305,6 +332,36 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def merge(self, snapshot):
+        """Fold a registry snapshot into this registry's live instruments.
+
+        The merge rule per instrument kind (see :func:`merge_snapshots`
+        for the pure-dict equivalent):
+
+        * counters add,
+        * histograms combine their moment accumulators,
+        * gauges take the incoming value (a level has no meaningful
+          sum; the most recently merged worker wins).
+
+        Used by :class:`repro.core.parallel.ParallelMap` to fold each
+        worker's local registry into the parent's at join.  Raises
+        :class:`TelemetryError` on a kind clash.
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name).set(entry.get("value", 0.0))
+            elif kind == "histogram":
+                self.histogram(name).merge_snapshot(entry)
+            else:
+                raise TelemetryError(
+                    "cannot merge metric %r of unknown kind %r"
+                    % (name, kind))
+        return self
+
 
 class _NullRegistry:
     """The disabled registry: hands out :data:`NULL_INSTRUMENT` only."""
@@ -326,6 +383,10 @@ class _NullRegistry:
 
     def emit(self, event):
         """No-op."""
+
+    def merge(self, snapshot):
+        """No-op (merging into a disabled registry drops the data)."""
+        return self
 
     def snapshot(self):
         return {}
@@ -415,6 +476,72 @@ def event(name, **attrs):
         registry.emit(tracing.point_event(name, attrs))
 
 
+# -- snapshot merging ------------------------------------------------------
+
+def _merge_histogram_entries(a, b):
+    """Combined snapshot dict of two histogram snapshot entries."""
+    count = int(a.get("count", 0)) + int(b.get("count", 0))
+    total = float(a.get("total", 0.0)) + float(b.get("total", 0.0))
+    sum_sq = float(a.get("sum_sq", 0.0)) + float(b.get("sum_sq", 0.0))
+    mins = [entry["min"] for entry in (a, b) if entry.get("min") is not None]
+    maxs = [entry["max"] for entry in (a, b) if entry.get("max") is not None]
+    mean = total / count if count else None
+    if count and mean is not None:
+        variance = max(0.0, sum_sq / count - mean * mean)
+        std = math.sqrt(variance)
+    else:
+        std = None
+    return {
+        "kind": "histogram",
+        "count": count,
+        "total": total,
+        "sum_sq": sum_sq,
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+        "mean": mean,
+        "std": std,
+    }
+
+
+def merge_snapshots(a, b):
+    """Pure merge of two registry snapshots into a new snapshot dict.
+
+    Counters add and histograms combine their moment accumulators, so
+    for those kinds the merge is associative *and* commutative --
+    ``merge_snapshots(a, b) == merge_snapshots(b, a)`` -- which is what
+    makes the parallel engine's at-join merge independent of worker
+    completion order.  Gauges are levels, not totals: the right-hand
+    value wins (so gauge merging is deliberately right-biased).
+
+    Raises :class:`TelemetryError` when the same name carries different
+    instrument kinds.
+    """
+    merged = dict(a)
+    for name, entry in b.items():
+        existing = merged.get(name)
+        if existing is None:
+            merged[name] = dict(entry)
+            continue
+        if existing.get("kind") != entry.get("kind"):
+            raise TelemetryError(
+                "cannot merge metric %r: kind %s vs %s"
+                % (name, existing.get("kind"), entry.get("kind")))
+        kind = entry.get("kind")
+        if kind == "counter":
+            merged[name] = {"kind": "counter",
+                            "value": existing.get("value", 0)
+                            + entry.get("value", 0)}
+        elif kind == "gauge":
+            merged[name] = {"kind": "gauge",
+                            "value": entry.get("value", 0.0)}
+        elif kind == "histogram":
+            merged[name] = _merge_histogram_entries(existing, entry)
+        else:
+            raise TelemetryError(
+                "cannot merge metric %r of unknown kind %r" % (name, kind))
+    return merged
+
+
 # -- formatting helpers ----------------------------------------------------
 
 def fmt_seconds(seconds):
@@ -496,6 +623,7 @@ from . import tracing  # noqa: E402
 from .tracing import (  # noqa: E402,F401
     ConsoleSink,
     JsonlSink,
+    ListSink,
     NullSink,
     Span,
     span,

@@ -188,6 +188,21 @@ class NullSink(TraceSink):
         """No-op."""
 
 
+class ListSink(TraceSink):
+    """Buffers events in memory (``.events``), in arrival order.
+
+    The parallel execution engine attaches one to each worker-local
+    registry so worker-side spans/events can be shipped back to the
+    parent process and re-emitted into the parent's sinks at join.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
 class JsonlSink(TraceSink):
     """Appends one compact JSON object per event to ``path``.
 

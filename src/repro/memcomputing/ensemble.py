@@ -15,8 +15,9 @@ trajectory-for-trajectory by the test suite.
 
 import numpy as np
 
+from ..core import parallel
 from ..core.exceptions import MemcomputingError
-from ..core.rngs import make_rng
+from ..core.rngs import make_rng, spawn_rngs
 from .dynamics import DmmSystem
 
 
@@ -39,21 +40,40 @@ class EnsembleResult:
         self.max_steps = int(max_steps)
 
     @property
+    def unsolved_mask(self):
+        """Boolean array: True where a trajectory never solved.
+
+        The ``inf`` entries of ``solve_steps`` are a sentinel, not data;
+        quantile summaries must slice them away through this mask rather
+        than rank the sentinel itself.
+        """
+        return ~np.isfinite(self.solve_steps)
+
+    @property
+    def solved_steps(self):
+        """Solve steps of the solved trajectories only (sentinel-free)."""
+        return self.solve_steps[~self.unsolved_mask]
+
+    @property
     def solved_fraction(self):
         """Fraction of trajectories that reached a solution."""
-        return float(np.mean(np.isfinite(self.solve_steps)))
+        return float(np.mean(~self.unsolved_mask))
 
     def quantile(self, q):
         """TTS quantile in steps; ``inf`` when too few runs solved.
 
         This is [54]'s headline statistic (they report the median and
-        higher quantiles of the TTS distribution).
+        higher quantiles of the TTS distribution).  The rank is taken
+        over the *whole* ensemble (unsolved trajectories count as
+        slower-than-everything), but the returned value is always read
+        from the solved subset -- the ``inf`` sentinels are excluded via
+        :attr:`unsolved_mask`.
         """
         if self.solved_fraction < q:
             return float("inf")
-        finite = np.sort(self.solve_steps)
-        index = int(np.ceil(q * len(finite))) - 1
-        return float(finite[max(0, index)])
+        finite = np.sort(self.solved_steps)
+        index = int(np.ceil(q * len(self.solve_steps))) - 1
+        return float(finite[max(0, min(index, len(finite) - 1))])
 
     def __repr__(self):
         return ("EnsembleResult(batch=%d, solved=%.0f%%, median=%s)"
@@ -137,14 +157,14 @@ class BatchedDmm:
         return (q.min(axis=2) >= 0.5).sum(axis=1)
 
 
-def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
-                   check_every=25, params=None, x_l_max=None, rng=None):
-    """Run ``batch`` trajectories; returns an :class:`EnsembleResult`.
+def _integrate_batch(formula, batch, dt, max_steps, check_every, params,
+                     x_l_max, rng):
+    """Advance ``batch`` trajectories; returns the solve-step array.
 
-    Solved trajectories are frozen (their state stops advancing) so the
-    remaining work shrinks as the ensemble drains.
+    The chunkable integration core behind :func:`solve_ensemble`: one
+    call integrates one contiguous block of trajectories with one RNG
+    stream, so the parallel engine can run blocks on separate workers.
     """
-    rng = make_rng(rng)
     batched = BatchedDmm(formula, params=params, x_l_max=x_l_max)
     system = batched.system
     lower = system.lower_bounds()[None, :]
@@ -173,4 +193,55 @@ def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
                 solved_indices = active_indices[freshly_solved]
                 solve_steps[solved_indices] = step
                 active[solved_indices] = False
-    return EnsembleResult(solve_steps, max_steps)
+    return solve_steps
+
+
+def _integrate_chunk(payload):
+    """Worker entry point: integrate one trajectory block.
+
+    Module-level (picklable) so :class:`repro.core.parallel.ParallelMap`
+    can ship it to worker processes.
+    """
+    (formula, batch, dt, max_steps, check_every, params, x_l_max,
+     rng) = payload
+    return _integrate_batch(formula, batch, dt, max_steps, check_every,
+                            params, x_l_max, rng)
+
+
+def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
+                   check_every=25, params=None, x_l_max=None, rng=None,
+                   workers=None, chunk_size=None):
+    """Run ``batch`` trajectories; returns an :class:`EnsembleResult`.
+
+    Solved trajectories are frozen (their state stops advancing) so the
+    remaining work shrinks as the ensemble drains.
+
+    Parameters (parallel execution)
+    -------------------------------
+    workers : int or None
+        Worker processes for the trajectory blocks (None: the
+        ``REPRO_WORKERS`` environment default, normally 1 == serial).
+    chunk_size : int or None
+        Trajectories per block.  ``workers=1`` with ``chunk_size=None``
+        keeps the historical single-stream path (all ``batch``
+        trajectories drawn from one generator); any other combination
+        uses the chunked path, whose chunking and per-chunk RNG
+        spawning depend only on ``(batch, chunk_size, rng)`` -- results
+        are bit-identical for every worker count (the determinism suite
+        checks serial vs. 2 vs. 4 workers).
+    """
+    workers = parallel.resolve_workers(workers)
+    if workers == 1 and chunk_size is None:
+        solve_steps = _integrate_batch(formula, batch, dt, max_steps,
+                                       check_every, params, x_l_max,
+                                       make_rng(rng))
+        return EnsembleResult(solve_steps, max_steps)
+    if batch < 1:
+        raise MemcomputingError("batch must be positive")
+    sizes = parallel.chunk_sizes(batch, chunk_size)
+    rngs = spawn_rngs(rng, len(sizes))
+    tasks = [(formula, size, dt, max_steps, check_every, params, x_l_max,
+              chunk_rng) for size, chunk_rng in zip(sizes, rngs)]
+    chunks = parallel.ParallelMap(workers=workers).map(
+        _integrate_chunk, tasks)
+    return EnsembleResult(np.concatenate(chunks), max_steps)

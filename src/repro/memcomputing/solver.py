@@ -17,9 +17,9 @@ import time
 
 import numpy as np
 
-from ..core import telemetry
+from ..core import parallel, telemetry
 from ..core.exceptions import DmmConvergenceError
-from ..core.rngs import make_rng
+from ..core.rngs import make_rng, spawn_rngs
 from .dynamics import DmmSystem
 
 
@@ -188,3 +188,90 @@ class DmmSolver:
             registry.histogram("dmm.solver.steps_per_solve").observe(steps)
         return DmmResult(satisfied, system.assignment_from_state(state),
                          steps, sim_time, wall_time, restarts, unsat_trace)
+
+
+class PortfolioResult:
+    """Outcome of a parallel-restart portfolio solve.
+
+    Attributes
+    ----------
+    results : list
+        One entry per portfolio member, in member order: a
+        :class:`DmmResult`, or a
+        :class:`~repro.core.parallel.TaskFailure` for a member whose
+        worker failed.
+    """
+
+    def __init__(self, results):
+        self.results = list(results)
+
+    @property
+    def attempts(self):
+        """Number of portfolio members launched."""
+        return len(self.results)
+
+    @property
+    def best(self):
+        """The winning member, chosen by a worker-count-independent rule.
+
+        Satisfied members win over unsatisfied; ties break on fewest
+        integration steps, then lowest member index -- a deterministic
+        function of the member results alone, so the winner does not
+        depend on which worker finished first.  ``None`` when every
+        member failed.
+        """
+        ranked = [
+            (not result.satisfied, result.steps, index)
+            for index, result in enumerate(self.results)
+            if isinstance(result, DmmResult)
+        ]
+        if not ranked:
+            return None
+        return self.results[min(ranked)[2]]
+
+    @property
+    def satisfied(self):
+        """True when any member satisfied the formula."""
+        best = self.best
+        return best is not None and best.satisfied
+
+    def __repr__(self):
+        return "PortfolioResult(attempts=%d, satisfied=%s, best=%r)" % (
+            self.attempts, self.satisfied, self.best)
+
+
+def _portfolio_attempt(payload):
+    """Worker entry point: one independent restart of the DMM solver."""
+    formula, solver_kwargs, rng = payload
+    return DmmSolver(**solver_kwargs).solve(formula, rng=rng)
+
+
+def solve_portfolio(formula, attempts=4, rng=None, workers=None,
+                    timeout=None, **solver_kwargs):
+    """Race ``attempts`` independent restarts; returns a portfolio result.
+
+    The parallel analogue of :class:`DmmSolver`'s ``restart_after``
+    budget: instead of restarting *sequentially* inside one step budget,
+    the portfolio draws ``attempts`` independent initial conditions
+    (child generators spawned from ``rng``, one per member, so the
+    streams do not depend on the worker count) and integrates them
+    concurrently.  Member results are collected in member order and the
+    winner picked by :attr:`PortfolioResult.best` -- deterministic given
+    the seed, whatever ``workers`` is.
+
+    ``timeout`` (seconds per member) and worker crashes mark individual
+    members failed without sinking the portfolio; ``solver_kwargs`` are
+    forwarded to every member's :class:`DmmSolver`.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be positive, got %r" % attempts)
+    rngs = spawn_rngs(rng, attempts)
+    tasks = [(formula, solver_kwargs, member_rng) for member_rng in rngs]
+    engine = parallel.ParallelMap(workers=workers, timeout=timeout)
+    with telemetry.span("dmm.portfolio.solve", attempts=attempts):
+        results = engine.map(_portfolio_attempt, tasks, on_error="return")
+    registry = telemetry.get_registry()
+    if registry.enabled:
+        registry.counter("dmm.portfolio.solves").inc()
+        registry.counter("dmm.portfolio.attempts").inc(attempts)
+    return PortfolioResult(results)

@@ -26,11 +26,23 @@ import time
 
 import numpy as np
 
-from ..core import telemetry
+from ..core import parallel, telemetry
 from ..core.exceptions import OscillatorError
 from .locking import DEFAULT_C_C, simulate_calibrated_pair
 from .norms import xor_measure_curve
 from .readout import XorReadout
+
+
+def _measure_pairs_chunk(payload):
+    """Worker entry point: score one block of intensity pairs.
+
+    Rebuilds the distance unit from its config dict inside the worker
+    (the unit binds telemetry instruments at construction, so each
+    worker's copy binds to that worker's local registry).
+    """
+    config, pairs = payload
+    unit = OscillatorDistanceUnit(**config)
+    return [unit.measure(a, b) for a, b in pairs]
 
 
 class OscillatorDistanceUnit:
@@ -122,6 +134,47 @@ class OscillatorDistanceUnit:
         times, wave_a, wave_b = simulate_calibrated_pair(
             v_a, v_b, self.r_c, c_c=self.c_c, cycles=self.cycles)
         return self._readout.measure(times, wave_a, wave_b)
+
+    def config(self):
+        """Constructor kwargs reproducing this unit (picklable dict).
+
+        The parallel fan-out ships this instead of the unit itself so
+        worker-side copies bind their telemetry instruments to the
+        worker's local registry.
+        """
+        return {
+            "mode": self.mode,
+            "base_v_gs": self.base_v_gs,
+            "v_gs_span": self.v_gs_span,
+            "r_c": self.r_c,
+            "c_c": self.c_c,
+            "norm_exponent": self.norm_exponent,
+            "behavioral_scale": self.behavioral_scale,
+            "behavioral_baseline": self.behavioral_baseline,
+            "intensity_scale": self.intensity_scale,
+            "cycles": self.cycles,
+        }
+
+    def measure_pairs(self, pairs, workers=None, chunk_size=None):
+        """Measures for a sequence of ``(a, b)`` intensity pairs, in order.
+
+        The image-scale fan-out path: pairs are split into blocks
+        (chunking depends only on the pair count and ``chunk_size``) and
+        scored on the parallel engine's workers; each worker's telemetry
+        (``oscillator.distance.evals`` etc.) merges into the active
+        registry at join.  The primitive is deterministic, so results
+        are identical for every worker count; ``workers=1`` with
+        ``chunk_size=None`` scores inline on this unit.
+        """
+        pairs = [(float(a), float(b)) for a, b in pairs]
+        workers = parallel.resolve_workers(workers)
+        if workers == 1 and chunk_size is None:
+            return [self.measure(a, b) for a, b in pairs]
+        chunks = parallel.chunk_list(pairs, chunk_size)
+        config = self.config()
+        blocks = parallel.ParallelMap(workers=workers).map(
+            _measure_pairs_chunk, [(config, chunk) for chunk in chunks])
+        return [measure for block in blocks for measure in block]
 
     def measure_threshold(self, intensity_threshold):
         """Measure level corresponding to an intensity difference threshold.

@@ -23,9 +23,24 @@ throughput models can charge for them.
 
 import numpy as np
 
-from ...core import telemetry
+from ...core import parallel, telemetry
 from ..distance import OscillatorDistanceUnit
 from .bresenham import circle_intensities, interior_pixels
+
+
+def _detect_chunk(payload):
+    """Worker entry point: segment-test one block of candidate pixels.
+
+    Rebuilds the detector (and its distance unit) from config inside the
+    worker; returns ``(corners, comparisons, pixels)`` for the block.
+    """
+    threshold, n, unit_config, image, pixels = payload
+    detector = OscillatorFastDetector(
+        threshold=threshold, n=n,
+        distance_unit=OscillatorDistanceUnit(**unit_config))
+    corners = [(row, col) for row, col in pixels
+               if detector.is_corner(image, row, col)]
+    return corners, detector._comparisons, len(pixels)
 
 
 def _circular_runs(flags):
@@ -106,16 +121,37 @@ class OscillatorFastDetector:
                 return True
         return False
 
-    def detect(self, image):
-        """All corners of ``image``; records primitive-invocation stats."""
+    def detect(self, image, workers=None, chunk_size=None):
+        """All corners of ``image``; records primitive-invocation stats.
+
+        ``workers``/``chunk_size`` split the interior pixels into blocks
+        scored on the parallel engine (image-patch scoring is pure, so
+        the corner list is identical for every worker count); worker
+        telemetry merges into the active registry at join.
+        """
         self._comparisons = 0
         corners = []
         pixels = 0
+        workers = parallel.resolve_workers(workers)
         with telemetry.span("oscillator.fast.detect") as detect_span:
-            for row, col in interior_pixels(image):
-                pixels += 1
-                if self.is_corner(image, row, col):
-                    corners.append((row, col))
+            if workers == 1 and chunk_size is None:
+                for row, col in interior_pixels(image):
+                    pixels += 1
+                    if self.is_corner(image, row, col):
+                        corners.append((row, col))
+            else:
+                image = np.asarray(image, dtype=float)
+                chunks = parallel.chunk_list(list(interior_pixels(image)),
+                                             chunk_size)
+                unit_config = self.distance_unit.config()
+                tasks = [(self.threshold, self.n, unit_config, image,
+                          chunk) for chunk in chunks]
+                blocks = parallel.ParallelMap(workers=workers).map(
+                    _detect_chunk, tasks)
+                for block_corners, comparisons, block_pixels in blocks:
+                    corners.extend(block_corners)
+                    self._comparisons += comparisons
+                    pixels += block_pixels
             detect_span.set_attr("pixels", pixels)
             detect_span.set_attr("corners", len(corners))
             detect_span.set_attr("comparisons", self._comparisons)

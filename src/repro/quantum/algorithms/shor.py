@@ -21,9 +21,9 @@ import math
 
 import numpy as np
 
-from ...core import telemetry
+from ...core import parallel, telemetry
 from ...core.exceptions import QuantumError
-from ...core.rngs import make_rng
+from ...core.rngs import make_rng, spawn_rngs
 from ..circuit import QuantumCircuit
 from .qft import inverse_qft_circuit
 
@@ -100,14 +100,58 @@ def order_finding_circuit(a, modulus, num_count_qubits=None):
     return circuit, t, n
 
 
-def find_order(a, modulus, rng=None, max_attempts=10, runner=None):
+def _order_from_measurement(a, modulus, measured, t):
+    """Continued-fraction post-processing of one phase reading."""
+    if measured == 0:
+        return None
+    for convergent in continued_fraction_convergents(measured, 2 ** t):
+        r = convergent.denominator
+        if r == 0 or r >= modulus:
+            continue
+        if pow(a, r, modulus) == 1:
+            return r
+    return None
+
+
+def _order_attempt(payload):
+    """Worker entry point: one phase-estimation attempt for ``a mod N``."""
+    a, modulus, rng = payload
+    telemetry.counter("quantum.shor.order_finding_attempts").inc()
+    with telemetry.span("quantum.shor.order_finding", a=a, modulus=modulus):
+        circuit, t, _n = order_finding_circuit(a, modulus)
+        _state, cbits = circuit.run(rng=rng)
+        measured = 0
+        for q in range(t):
+            measured |= cbits["c%d" % q] << q
+    return measured, t
+
+
+def find_order(a, modulus, rng=None, max_attempts=10, runner=None,
+               workers=None):
     """Quantum order finding with classical post-processing.
 
     ``runner(circuit) -> int`` executes the circuit and returns the
     measured counting-register value; the default samples the library's
     reference simulator once.  Returns the order ``r`` or ``None`` after
     ``max_attempts`` failed phase readings.
+
+    With ``workers > 1`` (and no custom ``runner``), the attempts run
+    concurrently on the parallel engine, each with its own child
+    generator spawned from ``rng``; phase readings are post-processed in
+    attempt order and the first usable order wins, so the result is a
+    deterministic function of the seed alone, whatever the worker count.
     """
+    workers = parallel.resolve_workers(workers)
+    if runner is None and workers > 1:
+        rngs = spawn_rngs(rng, max_attempts)
+        tasks = [(a, modulus, attempt_rng) for attempt_rng in rngs]
+        readings = parallel.ParallelMap(workers=workers).map(
+            _order_attempt, tasks)
+        for measured, t in readings:
+            r = _order_from_measurement(a, modulus, measured, t)
+            if r is not None:
+                return r
+        return None
     rng = make_rng(rng)
 
     def default_runner(circuit, t):
@@ -126,14 +170,9 @@ def find_order(a, modulus, rng=None, max_attempts=10, runner=None):
                 measured = runner(circuit)
             else:
                 measured = default_runner(circuit, t)
-        if measured == 0:
-            continue
-        for convergent in continued_fraction_convergents(measured, 2 ** t):
-            r = convergent.denominator
-            if r == 0 or r >= modulus:
-                continue
-            if pow(a, r, modulus) == 1:
-                return r
+        r = _order_from_measurement(a, modulus, measured, t)
+        if r is not None:
+            return r
     return None
 
 
@@ -181,12 +220,14 @@ def _perfect_power(n):
     return None
 
 
-def shor_factor(n, rng=None, max_base_attempts=20):
+def shor_factor(n, rng=None, max_base_attempts=20, workers=None):
     """Factor ``n`` via Shor's algorithm; returns a :class:`ShorResult`.
 
     Classical shortcuts handle even numbers and perfect powers; otherwise
     random bases are tried through quantum order finding until an even
-    order with ``a^{r/2} != -1 (mod n)`` yields factors.
+    order with ``a^{r/2} != -1 (mod n)`` yields factors.  ``workers``
+    forwards to :func:`find_order`, fanning each base's order-finding
+    attempts across worker processes (deterministic given the seed).
     """
     if n < 4:
         raise QuantumError("n must be a composite >= 4")
@@ -194,14 +235,14 @@ def shor_factor(n, rng=None, max_base_attempts=20):
     if registry.enabled:
         registry.counter("quantum.shor.factorizations").inc()
         with telemetry.span("quantum.shor.factor", n=n) as factor_span:
-            result = _shor_factor(n, rng, max_base_attempts)
+            result = _shor_factor(n, rng, max_base_attempts, workers)
             factor_span.set_attr("method", result.method)
             factor_span.set_attr("succeeded", result.succeeded)
         return result
-    return _shor_factor(n, rng, max_base_attempts)
+    return _shor_factor(n, rng, max_base_attempts, workers)
 
 
-def _shor_factor(n, rng, max_base_attempts):
+def _shor_factor(n, rng, max_base_attempts, workers=None):
     if n % 2 == 0:
         return ShorResult(n, (2, n // 2), "classical-shortcut", 0, [])
     power = _perfect_power(n)
@@ -216,7 +257,7 @@ def _shor_factor(n, rng, max_base_attempts):
         if shared > 1:
             return ShorResult(n, (shared, n // shared),
                               "classical-shortcut", attempt, orders)
-        r = find_order(a, n, rng=rng)
+        r = find_order(a, n, rng=rng, workers=workers)
         if r is None:
             continue
         orders.append((a, r))

@@ -8,10 +8,29 @@ and account accumulated chip time.
 
 import time
 
-from ..core import telemetry
+from ..core import parallel, telemetry
 from ..core.exceptions import QuantumError
-from ..core.rngs import make_rng
+from ..core.rngs import make_rng, spawn_rngs
 from .microarch import MicroArchitecture, assemble
+
+
+def _run_shot_chunk(payload):
+    """Worker entry point: execute one block of shots.
+
+    Module-level (picklable) for
+    :class:`repro.core.parallel.ParallelMap`; re-assembles the kernel in
+    the worker and returns ``(counts, chip_time_ns)`` for its block.
+    """
+    microarch, circuit, cbit_order, shots, rng = payload
+    program = assemble(circuit)
+    counts = {}
+    chip_time = 0.0
+    for _ in range(shots):
+        result = microarch.execute(program, rng=rng)
+        value = result.bits_as_int(cbit_order)
+        counts[value] = counts.get(value, 0) + 1
+        chip_time += result.elapsed_ns
+    return counts, chip_time
 
 
 class ShotResult:
@@ -78,11 +97,21 @@ class QuantumRuntime:
                 % (circuit.num_qubits, self.microarch.num_qubits)
             )
 
-    def run(self, circuit, shots=1024, rng=None):
+    def run(self, circuit, shots=1024, rng=None, workers=None,
+            chunk_size=None):
         """Execute ``circuit`` for ``shots`` repetitions.
 
         The circuit must contain at least one measurement (otherwise shots
         are meaningless); returns a :class:`ShotResult`.
+
+        ``workers``/``chunk_size`` fan the shot loop out over the
+        parallel engine: shots are split into blocks (chunking depends
+        only on ``shots`` and ``chunk_size``, never on the worker
+        count), each block samples its own child generator spawned from
+        ``rng``, and block histograms merge by exact integer addition --
+        so the counts are bit-identical for every worker count.
+        ``workers=1`` with ``chunk_size=None`` keeps the historical
+        single-stream loop.
         """
         if shots < 1:
             raise QuantumError("shots must be positive")
@@ -90,19 +119,35 @@ class QuantumRuntime:
         if not cbit_order:
             raise QuantumError("kernel has no measurements; nothing to sample")
         self._ensure_microarch(circuit)
-        rng = make_rng(rng)
+        workers = parallel.resolve_workers(workers)
         registry = telemetry.get_registry()
         with telemetry.span("quantum.runtime.run", shots=shots,
                             qubits=circuit.num_qubits) as run_span:
             start = time.perf_counter()
-            program = assemble(circuit)
-            counts = {}
-            chip_time = 0.0
-            for _ in range(shots):
-                result = self.microarch.execute(program, rng=rng)
-                value = result.bits_as_int(cbit_order)
-                counts[value] = counts.get(value, 0) + 1
-                chip_time += result.elapsed_ns
+            if workers == 1 and chunk_size is None:
+                rng = make_rng(rng)
+                program = assemble(circuit)
+                counts = {}
+                chip_time = 0.0
+                for _ in range(shots):
+                    result = self.microarch.execute(program, rng=rng)
+                    value = result.bits_as_int(cbit_order)
+                    counts[value] = counts.get(value, 0) + 1
+                    chip_time += result.elapsed_ns
+            else:
+                sizes = parallel.chunk_sizes(shots, chunk_size)
+                rngs = spawn_rngs(rng, len(sizes))
+                tasks = [(self.microarch, circuit, cbit_order, block,
+                          block_rng)
+                         for block, block_rng in zip(sizes, rngs)]
+                blocks = parallel.ParallelMap(workers=workers).map(
+                    _run_shot_chunk, tasks)
+                counts = {}
+                chip_time = 0.0
+                for block_counts, block_time in blocks:
+                    for value, count in block_counts.items():
+                        counts[value] = counts.get(value, 0) + count
+                    chip_time += block_time
             wall_time = time.perf_counter() - start
             run_span.set_attr("chip_time_ns", chip_time)
         if registry.enabled:

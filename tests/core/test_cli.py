@@ -152,6 +152,71 @@ class TestObservability:
         assert "telemetry summary" not in text
 
 
+class TestWorkersFlag:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        formula = planted_ksat(15, 55, rng=0)
+        return save_dimacs(formula, str(tmp_path / "i.cnf"))
+
+    def test_solve_portfolio_model_satisfies_instance(self, instance_path):
+        from repro.core.io import load_dimacs
+
+        code, text = run_cli(["solve", instance_path, "--workers", "2"])
+        assert code == 0
+        assert "s SATISFIABLE" in text
+        assert "best of 2 restarts" in text
+        model_line = next(line for line in text.splitlines()
+                          if line.startswith("v "))
+        literals = [int(token) for token in model_line[2:].split()
+                    if token != "0"]
+        assignment = {abs(literal): literal > 0 for literal in literals}
+        assert load_dimacs(instance_path).is_satisfied_by(assignment)
+
+    def test_factor_with_workers(self):
+        code, text = run_cli(["factor", "15", "--workers", "2"])
+        assert code == 0
+        assert "15 = " in text
+
+    def test_distance_pairs_with_workers(self):
+        code, text = run_cli(["distance", "120", "40", "10", "200",
+                              "--workers", "2"])
+        assert code == 0
+        assert "distance(120, 40)" in text
+        assert "distance(10, 200)" in text
+        assert "2 pairs scored" in text
+
+    def test_distance_odd_values_rejected(self):
+        code, text = run_cli(["distance", "120", "40", "10"])
+        assert code == 2
+        assert "even number" in text
+
+    def test_metrics_include_worker_side_spans(self, instance_path):
+        # Worker-local registries (including span histograms recorded
+        # inside worker processes) must merge into the summary table.
+        code, text = run_cli(["solve", instance_path, "--workers", "2",
+                              "--metrics"])
+        assert code == 0
+        assert "parallel.tasks" in text
+        assert "parallel.worker_seconds" in text
+        assert "dmm.solver.solve.seconds" in text
+        assert "dmm.solver.steps" in text
+
+    def test_trace_includes_worker_tagged_events(self, instance_path,
+                                                 tmp_path):
+        from repro.core.tracing import read_jsonl
+
+        trace = str(tmp_path / "parallel.jsonl")
+        code, _text = run_cli(["solve", instance_path, "--workers", "2",
+                               "--trace", trace])
+        assert code == 0
+        events = read_jsonl(trace)
+        worker_events = [event for event in events if "worker" in event]
+        assert worker_events
+        assert any(event["name"] == "dmm.solver.solve"
+                   for event in worker_events)
+        assert any(event["name"] == "parallel.map" for event in events)
+
+
 class TestReproduce:
     def test_points_at_benchmarks(self):
         code, text = run_cli(["reproduce"])

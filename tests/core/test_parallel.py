@@ -1,0 +1,335 @@
+"""Tests for the parallel execution engine (``repro.core.parallel``).
+
+Three layers:
+
+* engine mechanics -- chunking, ordered collection, failure/timeout/
+  crash handling, serial fallback, telemetry merge at join;
+* property-based guarantees -- arbitrary chunk sizes and worker counts
+  preserve result order and length, and a raising task never hangs the
+  pool;
+* the cross-paradigm determinism suite -- serial vs. 2 vs. 4 workers
+  produce bit-identical DMM ensemble TTS arrays, quantum shot counts,
+  and oscillator distances given the same seed.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import telemetry
+from repro.core.exceptions import ParallelError
+from repro.core.parallel import (
+    DEFAULT_CHUNKS,
+    ParallelMap,
+    TaskFailure,
+    WORKERS_ENV,
+    chunk_list,
+    chunk_sizes,
+    default_chunk_size,
+    parallel_map,
+    resolve_workers,
+)
+
+
+# -- module-level task functions (worker entry points must pickle) ---------
+
+def _square(x):
+    return x * x
+
+
+def _square_instrumented(x):
+    telemetry.counter("test.parallel.calls").inc()
+    with telemetry.span("test.parallel.work", x=x):
+        return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _exit_on_one(x):
+    if x == 1:
+        os._exit(9)
+    return x
+
+
+def _sleep_on_zero(x):
+    if x == 0:
+        time.sleep(30.0)
+    return x
+
+
+# -- chunking --------------------------------------------------------------
+
+class TestChunking:
+    def test_chunk_sizes_cover_total(self):
+        assert chunk_sizes(10, 3) == [3, 3, 3, 1]
+        assert chunk_sizes(9, 3) == [3, 3, 3]
+        assert chunk_sizes(1, 5) == [1]
+        assert chunk_sizes(0, 5) == []
+
+    def test_default_chunk_size_targets_default_chunks(self):
+        assert chunk_sizes(64) == [8] * DEFAULT_CHUNKS
+        assert default_chunk_size(1) == 1
+        assert default_chunk_size(0) == 1
+
+    def test_chunk_list_preserves_order(self):
+        items = list(range(7))
+        chunks = chunk_list(items, 3)
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6]]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_chunking_is_independent_of_workers(self):
+        # The determinism contract: chunking is a function of
+        # (total, chunk_size) only -- nothing about workers enters.
+        assert chunk_sizes(20, 6) == chunk_sizes(20, 6)
+
+    def test_validation(self):
+        with pytest.raises(ParallelError):
+            chunk_sizes(-1)
+        with pytest.raises(ParallelError):
+            chunk_sizes(4, 0)
+
+
+class TestResolveWorkers:
+    def test_explicit_value(self):
+        assert resolve_workers(3) == 3
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers(None) == 4
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ParallelError):
+            resolve_workers(0)
+        monkeypatch.setenv(WORKERS_ENV, "not-a-number")
+        with pytest.raises(ParallelError):
+            resolve_workers(None)
+
+
+# -- engine mechanics ------------------------------------------------------
+
+class TestParallelMap:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_ordered_results(self, workers):
+        results = ParallelMap(workers=workers).map(_square, list(range(10)))
+        assert results == [x * x for x in range(10)]
+
+    def test_empty_task_list(self):
+        assert ParallelMap(workers=2).map(_square, []) == []
+
+    def test_raising_task_marks_failure_and_continues(self):
+        results = ParallelMap(workers=2).map(
+            _raise_on_three, [1, 2, 3, 4], on_error="return")
+        assert results[0] == 1 and results[1] == 2 and results[3] == 4
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.reason == "error"
+        assert "three is right out" in failure.message
+        assert not failure  # falsy: filterable
+
+    def test_raising_task_raises_by_default(self):
+        with pytest.raises(ParallelError, match="three is right out"):
+            ParallelMap(workers=2).map(_raise_on_three, [1, 2, 3, 4])
+
+    def test_serial_fallback_matches_parallel(self):
+        serial = ParallelMap(workers=1).map(
+            _raise_on_three, [1, 2, 3, 4], on_error="return")
+        parallel = ParallelMap(workers=2).map(
+            _raise_on_three, [1, 2, 3, 4], on_error="return")
+        assert serial[:2] == parallel[:2] and serial[3] == parallel[3]
+        assert isinstance(serial[2], TaskFailure)
+        assert isinstance(parallel[2], TaskFailure)
+
+    def test_dead_worker_marks_chunk_failed_run_continues(self):
+        results = ParallelMap(workers=2).map(
+            _exit_on_one, [0, 1, 2], on_error="return")
+        assert results[0] == 0 and results[2] == 2
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].reason == "crashed"
+
+    def test_timeout_terminates_slow_task(self):
+        start = time.monotonic()
+        results = ParallelMap(workers=2, timeout=1.0).map(
+            _sleep_on_zero, [0, 1, 2], on_error="return")
+        elapsed = time.monotonic() - start
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].reason == "timeout"
+        assert results[1] == 1 and results[2] == 2
+        assert elapsed < 15.0  # never waits out the 30s sleep
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ParallelError):
+            ParallelMap(workers=2, timeout=0)
+        with pytest.raises(ParallelError):
+            ParallelMap(workers=2).map(_square, [1], on_error="explode")
+
+    def test_unknown_start_method_degrades_to_serial(self):
+        engine = ParallelMap(workers=4, start_method="no-such-method")
+        assert engine.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_map_convenience(self):
+        assert parallel_map(_square, [2, 3], workers=2) == [4, 9]
+
+
+class TestEngineTelemetry:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_tasks_and_worker_seconds_recorded(self, workers):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            ParallelMap(workers=workers).map(_square_instrumented,
+                                             [1, 2, 3, 4])
+        snapshot = registry.snapshot()
+        assert snapshot["parallel.tasks"]["value"] == 4
+        assert snapshot["parallel.worker_seconds"]["count"] == 4
+        # worker-side instruments merged into the parent registry
+        assert snapshot["test.parallel.calls"]["value"] == 4
+        assert snapshot["test.parallel.work.seconds"]["count"] == 4
+
+    def test_failures_counted(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            ParallelMap(workers=2).map(_raise_on_three, [1, 2, 3, 4],
+                                       on_error="return")
+        assert registry.counter("parallel.failures").value == 1
+        assert registry.counter("parallel.tasks").value == 4
+
+    def test_worker_events_reemitted_with_worker_tag(self):
+        registry = telemetry.MetricsRegistry()
+        sink = registry.add_sink(telemetry.ListSink())
+        with telemetry.use_registry(registry):
+            ParallelMap(workers=2).map(_square_instrumented, [1, 2])
+        worker_spans = [event for event in sink.events
+                        if event.get("name") == "test.parallel.work"]
+        assert len(worker_spans) == 2
+        assert sorted(event["worker"] for event in worker_spans) == [0, 1]
+
+    def test_disabled_registry_stays_silent(self):
+        telemetry.disable()
+        results = ParallelMap(workers=2).map(_square, [1, 2, 3])
+        assert results == [1, 4, 9]
+        assert telemetry.get_registry().snapshot() == {}
+
+
+# -- property-based guarantees ---------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(items=st.lists(st.integers(min_value=-1000, max_value=1000),
+                      max_size=40),
+       chunk_size=st.one_of(st.none(), st.integers(min_value=1,
+                                                   max_value=12)))
+def test_property_chunk_list_roundtrips(items, chunk_size):
+    chunks = chunk_list(items, chunk_size)
+    assert [x for chunk in chunks for x in chunk] == items
+    if chunk_size is not None:
+        assert all(len(chunk) <= chunk_size for chunk in chunks)
+
+
+@settings(max_examples=10, deadline=None)
+@given(items=st.lists(st.integers(min_value=0, max_value=100),
+                      min_size=1, max_size=12),
+       workers=st.sampled_from([1, 2, 3, 4]))
+def test_property_map_preserves_order_and_length(items, workers):
+    results = ParallelMap(workers=workers).map(_square, items)
+    assert results == [x * x for x in items]
+
+
+@settings(max_examples=5, deadline=None)
+@given(workers=st.sampled_from([1, 2, 4]))
+def test_property_raising_task_never_hangs(workers):
+    results = ParallelMap(workers=workers).map(
+        _raise_on_three, [3, 3, 1], on_error="return")
+    assert results[2] == 1
+    assert all(isinstance(r, TaskFailure) for r in results[:2])
+
+
+# -- the cross-paradigm determinism suite ----------------------------------
+
+class TestDeterminismSuite:
+    """Serial vs. workers=2 vs. workers=4: bit-identical outputs."""
+
+    def test_dmm_ensemble_tts_identical_across_worker_counts(self):
+        from repro.core.sat_instances import planted_ksat
+        from repro.memcomputing.ensemble import solve_ensemble
+
+        formula = planted_ksat(20, 80, rng=10)
+        runs = [solve_ensemble(formula, batch=8, max_steps=20_000, rng=11,
+                               workers=workers, chunk_size=4)
+                for workers in (1, 2, 4)]
+        for run in runs[1:]:
+            assert np.array_equal(runs[0].solve_steps, run.solve_steps)
+
+    def test_dmm_ensemble_default_chunking_identical(self):
+        from repro.core.sat_instances import planted_ksat
+        from repro.memcomputing.ensemble import solve_ensemble
+
+        formula = planted_ksat(15, 55, rng=1)
+        two = solve_ensemble(formula, batch=6, max_steps=20_000, rng=2,
+                             workers=2)
+        four = solve_ensemble(formula, batch=6, max_steps=20_000, rng=2,
+                              workers=4)
+        assert np.array_equal(two.solve_steps, four.solve_steps)
+
+    def test_quantum_shot_counts_identical_across_worker_counts(self):
+        from repro.quantum.circuit import QuantumCircuit
+        from repro.quantum.runtime import QuantumRuntime
+
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1) \
+            .measure(0, "a").measure(1, "b")
+        runs = [QuantumRuntime().run(circuit, shots=120, rng=5,
+                                     workers=workers, chunk_size=30)
+                for workers in (1, 2, 4)]
+        assert runs[0].counts == runs[1].counts == runs[2].counts
+        assert sum(runs[0].counts.values()) == 120
+
+    def test_shor_factors_identical_across_worker_counts(self):
+        from repro.quantum.algorithms.shor import shor_factor
+
+        two = shor_factor(15, rng=0, workers=2)
+        four = shor_factor(15, rng=0, workers=4)
+        assert two.succeeded and four.succeeded
+        assert sorted(two.factors) == sorted(four.factors) == [3, 5]
+
+    def test_oscillator_distances_identical_across_worker_counts(self):
+        from repro.oscillators.distance import OscillatorDistanceUnit
+
+        unit = OscillatorDistanceUnit()
+        pairs = [(a, 255 - a) for a in range(0, 256, 16)]
+        serial = unit.measure_pairs(pairs)
+        assert serial == unit.measure_pairs(pairs, workers=2, chunk_size=4)
+        assert serial == unit.measure_pairs(pairs, workers=4, chunk_size=4)
+
+    def test_oscillator_fast_corners_identical_across_worker_counts(self):
+        from repro.oscillators.fast.images import rectangle_image
+        from repro.oscillators.fast.oscillator_fast import (
+            OscillatorFastDetector,
+        )
+
+        image, _truth = rectangle_image(height=24, width=24, top=6,
+                                        left=6, bottom=18, right=18)
+        detector = OscillatorFastDetector()
+        serial = detector.detect(image)
+        assert serial == detector.detect(image, workers=2)
+        assert serial == detector.detect(image, workers=4)
+
+    def test_portfolio_winner_independent_of_worker_count(self):
+        from repro.core.sat_instances import planted_ksat
+        from repro.memcomputing.solver import solve_portfolio
+
+        formula = planted_ksat(15, 55, rng=0)
+        picks = [solve_portfolio(formula, attempts=4, workers=workers,
+                                 rng=3, max_steps=100_000)
+                 for workers in (1, 2, 4)]
+        assert all(p.satisfied for p in picks)
+        steps = {p.best.steps for p in picks}
+        assert len(steps) == 1

@@ -82,6 +82,64 @@ class TestSolveEnsemble:
         assert result.quantile(0.25) == 100.0
 
 
+class TestUnsolvedMask:
+    def test_mask_flags_inf_sentinels(self):
+        result = EnsembleResult([10.0, np.inf, 30.0, np.inf], 1_000)
+        assert result.unsolved_mask.tolist() == [False, True, False, True]
+        assert result.solved_steps.tolist() == [10.0, 30.0]
+        assert result.solved_fraction == 0.5
+
+    def test_all_solved_mask_empty(self):
+        result = EnsembleResult([5.0, 6.0], 100)
+        assert not result.unsolved_mask.any()
+        assert result.solved_steps.tolist() == [5.0, 6.0]
+
+    def test_quantile_reads_solved_subset_only(self):
+        # Rank is over the whole ensemble, but the returned value must
+        # come from the solved subset -- never the inf sentinel.
+        result = EnsembleResult([10.0, 20.0, np.inf, np.inf], 1_000)
+        assert result.quantile(0.5) == 20.0
+        assert result.quantile(0.25) == 10.0
+        assert result.quantile(0.75) == float("inf")
+
+    def test_quantile_never_returns_sentinel_when_guard_passes(self):
+        result = EnsembleResult([1.0, 2.0, 3.0, np.inf], 1_000)
+        for q in (0.1, 0.25, 0.5, 0.75):
+            assert np.isfinite(result.quantile(q))
+
+    def test_summaries_ignore_unsolved_trajectories(self):
+        solved = EnsembleResult([10.0, 20.0, 30.0, 40.0], 1_000)
+        partial = EnsembleResult([10.0, 20.0, 30.0, 40.0,
+                                  np.inf, np.inf, np.inf, np.inf], 1_000)
+        # the same solved values rank differently (the unsolved half
+        # occupies the slow tail) but the values read out stay finite
+        # and come from the solved subset
+        assert partial.quantile(0.5) == 40.0
+        assert np.median(partial.solved_steps) == \
+            np.median(solved.solved_steps)
+
+
+class TestParallelEnsemble:
+    def test_chunked_serial_matches_parallel(self):
+        formula = planted_ksat(20, 80, rng=10)
+        serial = solve_ensemble(formula, batch=8, max_steps=20_000,
+                                rng=11, workers=1, chunk_size=4)
+        parallel = solve_ensemble(formula, batch=8, max_steps=20_000,
+                                  rng=11, workers=2, chunk_size=4)
+        assert np.array_equal(serial.solve_steps, parallel.solve_steps)
+
+    def test_chunked_batch_size_preserved(self):
+        formula = planted_ksat(15, 55, rng=1)
+        result = solve_ensemble(formula, batch=7, max_steps=10_000,
+                                rng=2, workers=2, chunk_size=3)
+        assert len(result.solve_steps) == 7
+
+    def test_invalid_batch_rejected(self):
+        formula = planted_ksat(10, 30, rng=1)
+        with pytest.raises(MemcomputingError):
+            solve_ensemble(formula, batch=0, workers=2)
+
+
 @settings(max_examples=10, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=1_000))
 def test_property_ensemble_median_comparable_to_single_solver(seed):

@@ -3,10 +3,20 @@
 Output is a CLI decision (``repro.cli``) or an explicit sink the caller
 constructed with a stream (``tracing.ConsoleSink``); a stray ``print``
 deep in a solver corrupts machine-readable output (DIMACS model lines,
-JSONL traces, piped tables).  This walks ``src/repro`` ASTs and flags
+JSONL traces, piped tables).  The rule extends to the parallel
+execution engine's worker entry points (``core.parallel`` and the
+``_*_chunk``/``_*_attempt`` functions it dispatches): a forked worker
+inherits the parent's file descriptors, so a stray write from a child
+corrupts the parent's stdout just as surely -- and interleaved across
+processes.  This walks ``src/repro`` ASTs and flags
 
 * any ``print(...)`` call,
-* any ``sys.stdout`` / ``sys.stderr`` attribute access,
+* any ``sys.stdout`` / ``sys.stderr`` attribute access, including the
+  ``sys.__stdout__`` / ``sys.__stderr__`` originals workers could reach
+  after a redirect,
+* ``from sys import stdout`` (and ``stderr``) aliases,
+* ``os.write(1, ...)`` / ``os.write(2, ...)`` -- the raw-fd escape
+  hatch available inside a forked worker,
 
 outside the allowlist.  Docstrings and comments are naturally exempt
 (they never parse as calls).  Run directly or via ``make lint``::
@@ -18,6 +28,9 @@ import ast
 import os
 import sys
 
+#: sys attributes that reach the process's standard streams.
+_STREAM_ATTRS = ("stdout", "stderr", "__stdout__", "__stderr__")
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LIBRARY_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
@@ -27,18 +40,38 @@ ALLOWLIST = frozenset({
 })
 
 
+def _is_fd_write(node):
+    """True for ``os.write(1, ...)`` / ``os.write(2, ...)`` calls."""
+    return (isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+            and node.func.attr == "write"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value in (1, 2))
+
+
 def _violations_in(tree):
     """Yield (lineno, message) for each stdout use in one module AST."""
     for node in ast.walk(tree):
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "print"):
-            yield node.lineno, "print() call"
+        if isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield node.lineno, "print() call"
+            elif _is_fd_write(node):
+                yield (node.lineno,
+                       "os.write(%d, ...) call" % node.args[0].value)
         elif (isinstance(node, ast.Attribute)
                 and isinstance(node.value, ast.Name)
                 and node.value.id == "sys"
-                and node.attr in ("stdout", "stderr")):
+                and node.attr in _STREAM_ATTRS):
             yield node.lineno, "sys.%s access" % node.attr
+        elif (isinstance(node, ast.ImportFrom)
+                and node.module == "sys"):
+            for alias in node.names:
+                if alias.name in _STREAM_ATTRS:
+                    yield (node.lineno,
+                           "from sys import %s" % alias.name)
 
 
 def lint(library_root=LIBRARY_ROOT, out=sys.stderr):
