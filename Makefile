@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test test-parallel reproduce lint check clean
+.PHONY: test bench examples fast-test test-parallel test-resilience reproduce lint check clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -17,6 +17,19 @@ test-parallel:
 	REPRO_WORKERS=2 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) -m pytest tests/core/test_cli.py \
 		tests/memcomputing/test_ensemble.py -q
+
+# Recovery suite: retry/backoff, fault injection, checkpoint/resume,
+# then an end-to-end check that a fault plan injected through the
+# environment (REPRO_FAULTS) really reaches the engine.
+test-resilience:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/core/test_resilience.py \
+		tests/core/test_parallel.py -q
+	REPRO_FAULTS="0:1:raise" PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -c "from repro.core.parallel import ParallelMap, \
+TaskFailure; r = ParallelMap().map(abs, [-1, -2], on_error='return'); \
+assert isinstance(r[0], TaskFailure) and r[1] == 2, r; \
+print('REPRO_FAULTS env injection: ok')"
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tools examples

@@ -11,10 +11,13 @@ Small utilities a downstream user reaches for first:
 ``solve``, ``factor``, and ``distance`` accept the shared observability
 flags -- ``--trace out.jsonl`` streams telemetry spans/events to a JSONL
 file, ``--metrics`` prints the metrics summary table after the run (see
-``docs/observability.md``) -- and the shared ``--workers N`` flag, which
+``docs/observability.md``) -- the shared ``--workers N`` flag, which
 fans the command's hot loop out over the parallel execution engine
 (DMM restart portfolio, Shor order-finding attempts, distance pair
-scoring; see ``docs/parallelism.md``).
+scoring; see ``docs/parallelism.md``), and the shared resilience flags
+``--retries N`` / ``--timeout S`` / ``--checkpoint PATH`` / ``--resume
+PATH`` (per-chunk retry budget, wall-clock budget, and JSON
+checkpoint/resume; see ``docs/resilience.md``).
 """
 
 import argparse
@@ -38,6 +41,39 @@ def _add_parallel_flags(subparser):
                                 "fan-out path (default: REPRO_WORKERS "
                                 "env or 1 == serial; see "
                                 "docs/parallelism.md)")
+
+
+def _add_resilience_flags(subparser):
+    subparser.add_argument("--retries", type=int, default=None,
+                           metavar="N",
+                           help="attempts per failed parallel chunk "
+                                "(1 == no retry; see docs/resilience.md)")
+    subparser.add_argument("--timeout", type=float, default=None,
+                           metavar="S",
+                           help="per-chunk wall-clock budget in seconds "
+                                "(enforced when worker processes are in "
+                                "use)")
+    subparser.add_argument("--checkpoint", metavar="PATH", default=None,
+                           help="JSON checkpoint updated as chunks "
+                                "finish; an existing file is resumed "
+                                "(finished chunks are skipped)")
+    subparser.add_argument("--resume", metavar="PATH", default=None,
+                           help="resume from this checkpoint file (must "
+                                "exist; implies --checkpoint PATH)")
+
+
+def _resilience_kwargs(args):
+    """The resilience flags as call-site keyword arguments."""
+    return {"retry": getattr(args, "retries", None),
+            "timeout": getattr(args, "timeout", None),
+            "checkpoint": getattr(args, "checkpoint", None),
+            "resume_from": getattr(args, "resume", None)}
+
+
+def _wants_resilience(args):
+    """True when any resilience flag was given."""
+    return any(value is not None
+               for value in _resilience_kwargs(args).values())
 
 
 @contextlib.contextmanager
@@ -99,6 +135,7 @@ def _build_parser():
                        help="DMM integration / WalkSAT flip budget")
     _add_observability_flags(solve)
     _add_parallel_flags(solve)
+    _add_resilience_flags(solve)
 
     factor = commands.add_parser("factor",
                                  help="factor a composite integer")
@@ -108,6 +145,7 @@ def _build_parser():
     factor.add_argument("--seed", type=int, default=0)
     _add_observability_flags(factor)
     _add_parallel_flags(factor)
+    _add_resilience_flags(factor)
 
     distance = commands.add_parser(
         "distance",
@@ -122,6 +160,7 @@ def _build_parser():
                                "coupled-pair ODE simulation")
     _add_observability_flags(distance)
     _add_parallel_flags(distance)
+    _add_resilience_flags(distance)
 
     commands.add_parser("reproduce",
                         help="how to regenerate the paper's results")
@@ -157,11 +196,13 @@ def _run_solve(args, out):
     if args.solver == "dmm":
         from .memcomputing.solver import DmmSolver, solve_portfolio
 
-        if workers > 1:
-            portfolio = solve_portfolio(formula, attempts=workers,
+        if workers > 1 or _wants_resilience(args):
+            portfolio = solve_portfolio(formula,
+                                        attempts=max(workers, 2),
                                         workers=workers,
                                         max_steps=args.max_steps,
-                                        rng=args.seed)
+                                        rng=args.seed,
+                                        **_resilience_kwargs(args))
             result = portfolio.best
             if result is None:
                 out.write("s UNKNOWN (every portfolio member failed)\n")
@@ -206,8 +247,15 @@ def _run_factor(args, out):
     if args.method == "shor":
         from .quantum.algorithms.shor import shor_factor
 
+        # find_order's checkpoint is a rolling file pinned to the base
+        # and RNG state, so --resume is just the same path.
+        checkpoint = getattr(args, "checkpoint", None) \
+            or getattr(args, "resume", None)
         result = shor_factor(args.n, rng=args.seed,
-                             workers=getattr(args, "workers", None))
+                             workers=getattr(args, "workers", None),
+                             timeout=getattr(args, "timeout", None),
+                             retry=getattr(args, "retries", None),
+                             checkpoint=checkpoint)
         if not result.succeeded:
             out.write("no factors found (try another seed)\n")
             return 1
@@ -252,7 +300,8 @@ def _run_distance(args, out):
     with telemetry.span("oscillator.distance.evaluate", mode=args.mode,
                         pairs=len(pairs)) as eval_span:
         measures = unit.measure_pairs(
-            pairs, workers=getattr(args, "workers", None))
+            pairs, workers=getattr(args, "workers", None),
+            **_resilience_kwargs(args))
         eval_span.set_attr("pairs", len(pairs))
     for (a, b), measure in zip(pairs, measures):
         out.write("distance(%g, %g) = %.6f   (mode=%s, |delta|=%g)\n"

@@ -4,9 +4,10 @@ The three computing models reproduced from the paper sit on this common
 layer.  Nothing here knows about qubits, oscillators, or SOLGs.
 """
 
-from . import parallel, telemetry, tracing
+from . import parallel, resilience, telemetry, tracing
 from .cnf import Clause, CnfFormula, parse_dimacs
 from .parallel import ParallelMap, TaskFailure, parallel_map
+from .resilience import Checkpointer, FaultPlan, RetryPolicy, use_faults
 from .integrators import (
     Trajectory,
     integrate_adaptive,
@@ -25,11 +26,16 @@ from .sat_instances import (
 
 __all__ = [
     "parallel",
+    "resilience",
     "telemetry",
     "tracing",
     "ParallelMap",
     "TaskFailure",
     "parallel_map",
+    "Checkpointer",
+    "FaultPlan",
+    "RetryPolicy",
+    "use_faults",
     "Clause",
     "CnfFormula",
     "parse_dimacs",

@@ -35,6 +35,20 @@ class ParallelError(CoreError):
     """The parallel execution engine was misused or a task failed."""
 
 
+class ResilienceError(CoreError):
+    """Retry/checkpoint misuse (bad policy, unreadable or mismatched
+    checkpoint, malformed fault spec)."""
+
+
+class InjectedFault(CoreError):
+    """A deliberately injected failure from a resilience ``FaultPlan``.
+
+    Only ever raised under fault injection (tests, chaos drills); seen
+    in production it means a stale ``REPRO_FAULTS`` environment
+    variable.
+    """
+
+
 class QuantumError(ReproError):
     """Errors from the quantum accelerator model (Section II)."""
 

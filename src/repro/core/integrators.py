@@ -147,6 +147,7 @@ def integrate_fixed(rhs, y0, t_span, dt, record_every=1, stop_condition=None):
     if record_every < 1:
         raise ValueError("record_every must be >= 1")
     y = np.array(y0, dtype=float)
+    _check_finite(y, t0)
     times = [t0]
     states = [y.copy()]
     t = t0
@@ -154,7 +155,11 @@ def integrate_fixed(rhs, y0, t_span, dt, record_every=1, stop_condition=None):
     terminated = False
     while t < t1 - 1e-15:
         step = min(dt, t1 - t)
-        y = rk4_step(rhs, t, y, step)
+        # A diverging trajectory overflows inside the RK stages before
+        # the post-step finiteness check can raise; keep the error path
+        # warning-clean and let IntegrationError be the single signal.
+        with np.errstate(over="ignore", invalid="ignore"):
+            y = rk4_step(rhs, t, y, step)
         t += step
         n_steps += 1
         _check_finite(y, t)
@@ -204,6 +209,7 @@ def integrate_adaptive(rhs, y0, t_span, rtol=1e-6, atol=1e-9, dt0=None,
     if t1 <= t0:
         raise ValueError("t_span must satisfy t1 > t0, got %r" % (t_span,))
     y = np.array(y0, dtype=float)
+    _check_finite(y, t0)
     span = t1 - t0
     dt = dt0 if dt0 is not None else span / 100.0
     if dt_max is None:
@@ -223,18 +229,23 @@ def integrate_adaptive(rhs, y0, t_span, rtol=1e-6, atol=1e-9, dt0=None,
                 "adaptive integrator exceeded %d steps at t=%g" % (max_steps, t)
             )
         dt = min(dt, t1 - t)
-        for i in range(6):
-            yi = y.copy()
-            for j, a in enumerate(_RKF45_A[i]):
-                yi += dt * a * ks[j]
-            ks[i] = np.asarray(rhs(t + _RKF45_C[i] * dt, yi), dtype=float)
-        y5 = y.copy()
-        y4 = y.copy()
-        for i in range(6):
-            y5 += dt * _RKF45_B5[i] * ks[i]
-            y4 += dt * _RKF45_B4[i] * ks[i]
-        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
-        err = np.sqrt(np.mean(((y5 - y4) / scale) ** 2))
+        # Stage evaluations on a diverging trial step overflow before
+        # the non-finite error estimate can force a rejection; suppress
+        # the warnings -- rejection/IntegrationError is the signal.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for i in range(6):
+                yi = y.copy()
+                for j, a in enumerate(_RKF45_A[i]):
+                    yi += dt * a * ks[j]
+                ks[i] = np.asarray(rhs(t + _RKF45_C[i] * dt, yi),
+                                   dtype=float)
+            y5 = y.copy()
+            y4 = y.copy()
+            for i in range(6):
+                y5 += dt * _RKF45_B5[i] * ks[i]
+                y4 += dt * _RKF45_B4[i] * ks[i]
+            scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+            err = np.sqrt(np.mean(((y5 - y4) / scale) ** 2))
         if not np.isfinite(err):
             err = 2.0  # force a rejection and step shrink
         if err <= 1.0:
@@ -284,6 +295,7 @@ def integrate_clipped(rhs, y0, t_span, dt, lower=None, upper=None,
     if t1 <= t0:
         raise ValueError("t_span must satisfy t1 > t0, got %r" % (t_span,))
     y = np.array(y0, dtype=float)
+    _check_finite(y, t0)
     if lower is not None:
         lower = np.asarray(lower, dtype=float)
     if upper is not None:
@@ -299,7 +311,10 @@ def integrate_clipped(rhs, y0, t_span, dt, lower=None, upper=None,
                 "clipped integrator exceeded %d steps at t=%g" % (max_steps, t)
             )
         step = min(dt, t1 - t)
-        y = y + step * np.asarray(rhs(t, y), dtype=float)
+        # Same warning-clean error path as integrate_fixed: the post-step
+        # finiteness check is the signal, not a RuntimeWarning.
+        with np.errstate(over="ignore", invalid="ignore"):
+            y = y + step * np.asarray(rhs(t, y), dtype=float)
         if lower is not None or upper is not None:
             np.clip(y, lower, upper, out=y)
         t += step

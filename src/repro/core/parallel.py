@@ -12,10 +12,12 @@ the host-side scheduler for those bags:
   worker or eight,
 * :class:`ParallelMap` -- maps a module-level function over chunk
   payloads on a bounded set of worker processes, with ordered result
-  collection, per-task timeouts, and crash recovery (a dead worker marks
-  its chunk failed and the run continues),
+  collection, per-task timeouts, crash recovery (a dead worker marks
+  its chunk failed and the run continues), per-chunk retries
+  (:class:`~repro.core.resilience.RetryPolicy`), result validation, and
+  checkpoint/resume (:class:`~repro.core.resilience.Checkpointer`),
 * :class:`TaskFailure` -- the ordered-result placeholder for a chunk
-  that raised, timed out, or whose worker died.
+  that raised, timed out, failed validation, or whose worker died.
 
 Seeding contract
 ----------------
@@ -27,6 +29,13 @@ the worker count only decides *where* a chunk runs, never *what* it
 computes -- the determinism suite (``tests/core/test_parallel.py``)
 holds the library to that.
 
+Retries preserve the contract: a re-dispatched chunk re-runs its
+*original* payload (workers never mutate the parent's copy; the serial
+path deep-copies per attempt when retries or fault injection are
+active), so a chunk that eventually succeeds returns exactly what a
+fault-free run returns.  See :mod:`repro.core.resilience` and
+``docs/resilience.md``.
+
 Telemetry
 ---------
 When the active registry is live at :meth:`ParallelMap.map` time, each
@@ -34,24 +43,32 @@ worker process records into its own fresh
 :class:`~repro.core.telemetry.MetricsRegistry` (never into inherited
 parent sinks), and the worker's snapshot and buffered trace events are
 shipped back with its result and merged into the parent registry at
-join.  The engine itself records ``parallel.tasks``,
-``parallel.failures``, and the ``parallel.worker_seconds`` histogram,
-and wraps each map in a ``parallel.map`` span.
+join.  The engine itself records ``parallel.tasks`` (one per chunk
+*execution*, so retried chunks count each attempt),
+``parallel.failures``, ``parallel.retries``, ``parallel.giveups``, and
+the ``parallel.worker_seconds`` histogram, and wraps each map in a
+``parallel.map`` span.
 
 Serial fallback
 ---------------
 ``workers=1`` (the default, also reachable through the ``REPRO_WORKERS``
 environment variable), a single-task map, or a platform without a usable
 multiprocessing start method all run the same chunk functions inline in
-the parent process -- same results, no subprocesses, no pickling.
+the parent process -- same results, no subprocesses, no pickling.  The
+per-task ``timeout`` cannot be enforced there (nothing can preempt the
+inline call); the engine says so once per process with a
+``RuntimeWarning`` plus a ``parallel.timeout_unenforced`` counter/event
+instead of silently ignoring the budget.
 """
 
+import copy
 import multiprocessing
 import os
 import queue as queue_module
 import time
+import warnings
 
-from . import telemetry
+from . import resilience, telemetry
 from .exceptions import ParallelError
 from .tracing import ListSink
 
@@ -133,14 +150,22 @@ def chunk_list(items, chunk_size=None):
 class TaskFailure:
     """Ordered-result placeholder for a chunk that did not produce a value.
 
+    Filter failures out of a mixed result list with
+    ``[r for r in results if not isinstance(r, TaskFailure)]``.
+    (``TaskFailure`` is deliberately *truthy* like any other object: an
+    earlier falsy ``__bool__`` made ``if r`` filtering silently drop
+    legitimate falsy results such as ``0`` or ``[]``.)
+
     Attributes
     ----------
     index : int
         The chunk's position in the task list (results stay ordered).
     reason : str
         ``"error"`` (the function raised), ``"timeout"`` (the per-task
-        deadline passed and the worker was terminated), or ``"crashed"``
-        (the worker process died without reporting a result).
+        deadline passed and the worker was terminated), ``"crashed"``
+        (the worker process died without reporting a result), or
+        ``"invalid"`` (the result failed the caller's ``validate``
+        hook).
     message : str
         Human-readable detail (exception repr, exit code, ...).
     """
@@ -151,10 +176,6 @@ class TaskFailure:
         self.index = int(index)
         self.reason = str(reason)
         self.message = str(message)
-
-    def __bool__(self):
-        # Falsy so ``[r for r in results if r]`` drops failures.
-        return False
 
     def __repr__(self):
         return "TaskFailure(index=%d, reason=%s, message=%r)" % (
@@ -179,7 +200,36 @@ def _pick_context(start_method=None):
     return None
 
 
-def _worker_main(fn, task, index, out_queue, instrument):
+_timeout_warning_emitted = False
+
+
+def _reset_timeout_warning():
+    """Re-arm the one-time serial-timeout warning (tests only)."""
+    global _timeout_warning_emitted
+    _timeout_warning_emitted = False
+
+
+def _warn_timeout_unenforced(timeout, registry):
+    """Flag a ``timeout=`` that the serial path cannot enforce.
+
+    The telemetry counter/event fire on every affected ``map()`` call;
+    the ``RuntimeWarning`` fires once per process so a looped serial
+    caller is not spammed.
+    """
+    global _timeout_warning_emitted
+    if registry.enabled:
+        registry.counter("parallel.timeout_unenforced").inc()
+        telemetry.event("parallel.timeout_unenforced", timeout=timeout)
+    if not _timeout_warning_emitted:
+        _timeout_warning_emitted = True
+        warnings.warn(
+            "ParallelMap(timeout=%g) is not enforceable on the serial "
+            "path (workers=1 or no multiprocessing start method); the "
+            "task(s) will run to completion" % timeout,
+            RuntimeWarning, stacklevel=3)
+
+
+def _worker_main(fn, task, index, attempt, plan, out_queue, instrument):
     """Subprocess entry point: run one chunk, ship result + telemetry.
 
     Always replaces the inherited registry: a forked child must never
@@ -196,7 +246,7 @@ def _worker_main(fn, task, index, out_queue, instrument):
         else:
             registry = telemetry.NULL_REGISTRY
         with telemetry.use_registry(registry):
-            value = fn(task)
+            value = resilience.run_task(fn, task, index, attempt, plan)
         elapsed = time.perf_counter() - start
         payload = (registry.snapshot(), sink.events) if instrument else None
         out_queue.put((index, "ok", value, payload, elapsed))
@@ -219,8 +269,9 @@ class ParallelMap:
     timeout : float or None
         Per-task wall-clock budget in seconds.  A worker past its
         deadline is terminated and its chunk marked failed
-        (``reason="timeout"``).  Not enforceable on the serial path
-        (there is no one to preempt the task).
+        (``reason="timeout"``).  Not enforceable on the serial path --
+        the engine warns once (``parallel.timeout_unenforced``) instead
+        of silently dropping the budget.
     start_method : str or None
         Force a multiprocessing start method (mostly for tests); the
         default prefers ``fork`` and degrades to serial when the
@@ -240,13 +291,36 @@ class ParallelMap:
         self.timeout = timeout
         self.start_method = start_method
 
-    def map(self, fn, tasks, on_error="raise"):
+    def map(self, fn, tasks, on_error="raise", retry=None, validate=None,
+            checkpoint=None):
         """Run ``fn`` over ``tasks``; return results in task order.
 
-        ``on_error="raise"`` re-raises the first failure as a
-        :class:`ParallelError` (after every task has been given the
-        chance to finish); ``on_error="return"`` leaves a
-        :class:`TaskFailure` in the failed slots instead.
+        Parameters
+        ----------
+        on_error : str
+            ``"raise"`` re-raises the first *permanent* failure as a
+            :class:`ParallelError` (after every task has been given the
+            chance to finish and retry); ``"return"`` leaves a
+            :class:`TaskFailure` in the failed slots instead.
+        retry : None, int, or RetryPolicy
+            Per-chunk retry budget
+            (:func:`repro.core.resilience.resolve_retry`).  A failed
+            chunk whose reason the policy retries is re-dispatched with
+            its original payload -- results stay bit-identical to a
+            fault-free run -- after the policy's deterministic backoff
+            delay.  Failures that exhaust the budget (or are not
+            retryable) count into ``parallel.giveups``.
+        validate : callable, optional
+            Called on each successful result; returning falsy converts
+            the result into ``TaskFailure(reason="invalid")`` --
+            retryable -- so silently corrupted output (NaNs from a sick
+            accelerator) is caught instead of propagated.
+        checkpoint : Checkpointer, optional
+            Chunk results are recorded as they complete
+            (:meth:`~repro.core.resilience.Checkpointer.record`) and
+            chunks already completed in a resumed checkpoint are
+            skipped -- their recorded results fill the output slots
+            without re-execution.
         """
         if on_error not in ("raise", "return"):
             raise ParallelError(
@@ -254,17 +328,74 @@ class ParallelMap:
         tasks = list(tasks)
         if not tasks:
             return []
-        workers = min(self.workers, len(tasks))
+        retry = resilience.resolve_retry(retry)
+        plan = resilience.active_fault_plan()
+        total = len(tasks)
         registry = telemetry.get_registry()
-        with telemetry.span("parallel.map", tasks=len(tasks),
+        outcomes = {}
+        if checkpoint is not None:
+            for index, value in checkpoint.completed().items():
+                if 0 <= index < total:
+                    outcomes[index] = value
+        pending = [(index, task) for index, task in enumerate(tasks)
+                   if index not in outcomes]
+        workers = min(self.workers, total)
+        with telemetry.span("parallel.map", tasks=total,
                             workers=workers) as map_span:
+            # The context is chosen once per map and reused for every
+            # retry round: a round that shrinks to one pending chunk
+            # must NOT fall back to serial, or the timeout (and with it
+            # hang recovery) would silently stop being enforced.
             context = _pick_context(self.start_method) if workers > 1 \
                 else None
-            if context is None:
-                results = self._map_serial(fn, tasks, registry)
-            else:
-                results = self._map_processes(fn, tasks, workers, context,
-                                              registry)
+            if context is None and self.timeout is not None and pending:
+                _warn_timeout_unenforced(self.timeout, registry)
+            copy_tasks = retry is not None or plan is not None
+            attempt = 1
+            while pending:
+                if context is None:
+                    round_values = self._run_serial(
+                        fn, pending, registry, attempt, plan, copy_tasks)
+                else:
+                    round_values = self._run_processes(
+                        fn, pending, workers, context, registry, attempt,
+                        plan)
+                retry_pairs = []
+                for index, task in pending:
+                    value = round_values[index]
+                    if validate is not None \
+                            and not isinstance(value, TaskFailure) \
+                            and not validate(value):
+                        value = TaskFailure(
+                            index, "invalid",
+                            "validate() rejected the chunk result")
+                        if registry.enabled:
+                            registry.counter("parallel.failures").inc()
+                    if isinstance(value, TaskFailure):
+                        if retry is not None \
+                                and attempt < retry.max_attempts \
+                                and retry.retries(value.reason):
+                            retry_pairs.append((index, task))
+                            if registry.enabled:
+                                registry.counter("parallel.retries").inc()
+                            continue
+                        if retry is not None and registry.enabled:
+                            registry.counter("parallel.giveups").inc()
+                        outcomes[index] = value
+                    else:
+                        outcomes[index] = value
+                        if checkpoint is not None:
+                            checkpoint.record(index, value)
+                if retry_pairs:
+                    delay = max(retry.delay(index, attempt)
+                                for index, _task in retry_pairs)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                pending = retry_pairs
+                attempt += 1
+            if checkpoint is not None:
+                checkpoint.flush()
+            results = [outcomes[index] for index in range(total)]
             failures = [r for r in results if isinstance(r, TaskFailure)]
             if map_span:
                 map_span.set_attr("failures", len(failures))
@@ -272,20 +403,32 @@ class ParallelMap:
             first = failures[0]
             raise ParallelError(
                 "%d of %d parallel task(s) failed; first: task %d %s (%s)"
-                % (len(failures), len(tasks), first.index, first.reason,
+                % (len(failures), total, first.index, first.reason,
                    first.message))
         return results
 
     # -- serial fallback --------------------------------------------------
 
-    def _map_serial(self, fn, tasks, registry):
-        """Inline execution: same chunk functions, no subprocesses."""
+    @staticmethod
+    def _run_serial(fn, pairs, registry, attempt, plan, copy_tasks):
+        """Inline execution: same chunk functions, no subprocesses.
+
+        When retries or fault injection are active the task payload is
+        deep-copied per attempt: inline execution would otherwise
+        mutate payload state (a chunk's spawned RNG advances in place),
+        and a retry must replay the *original* payload to stay
+        bit-identical with a fault-free run.  Worker processes get this
+        for free -- fork copy-on-write and spawn pickling both leave
+        the parent's payload untouched.
+        """
         enabled = registry.enabled
-        results = []
-        for index, task in enumerate(tasks):
+        values = {}
+        for index, task in pairs:
             start = time.perf_counter()
+            payload = copy.deepcopy(task) if copy_tasks else task
             try:
-                value = fn(task)
+                value = resilience.run_task(fn, payload, index, attempt,
+                                            plan, serial=True)
             except Exception as error:  # noqa: BLE001
                 value = TaskFailure(index, "error", "%s: %s"
                                     % (type(error).__name__, error))
@@ -295,20 +438,21 @@ class ParallelMap:
                 registry.counter("parallel.tasks").inc()
                 registry.histogram("parallel.worker_seconds").observe(
                     time.perf_counter() - start)
-            results.append(value)
-        return results
+            values[index] = value
+        return values
 
     # -- process pool -----------------------------------------------------
 
-    def _map_processes(self, fn, tasks, workers, context, registry):
+    def _run_processes(self, fn, pairs, workers, context, registry,
+                       attempt, plan):
         """Bounded process-per-chunk scheduler with timeout + crash care."""
         instrument = registry.enabled
         out_queue = context.Queue()
-        pending = list(enumerate(tasks))
+        pending = list(pairs)
         live = {}        # index -> (process, deadline or None)
         draining = {}    # index -> (process, drain deadline)
         outcomes = {}    # index -> ("ok", value, payload, elapsed) | failure
-        total = len(tasks)
+        total = len(pending)
 
         try:
             while len(outcomes) < total:
@@ -316,7 +460,8 @@ class ParallelMap:
                     index, task = pending.pop(0)
                     process = context.Process(
                         target=_worker_main,
-                        args=(fn, task, index, out_queue, instrument),
+                        args=(fn, task, index, attempt, plan, out_queue,
+                              instrument),
                         daemon=True)
                     process.start()
                     deadline = None if self.timeout is None \
@@ -366,7 +511,7 @@ class ParallelMap:
                 process.join(timeout=1.0)
             out_queue.close()
 
-        return self._collect(outcomes, total, registry, instrument)
+        return self._collect(outcomes, registry, instrument)
 
     @staticmethod
     def _drain(out_queue, outcomes):
@@ -385,8 +530,8 @@ class ParallelMap:
                                    payload, elapsed)
 
     @staticmethod
-    def _collect(outcomes, total, registry, instrument):
-        """Ordered results + deterministic telemetry merge at join.
+    def _collect(outcomes, registry, instrument):
+        """Per-round results + deterministic telemetry merge at join.
 
         Worker registries are merged (and their buffered trace events
         re-emitted, tagged with the worker's chunk index) in chunk order
@@ -394,14 +539,14 @@ class ParallelMap:
         metrics are reproducible.
         """
         enabled = registry.enabled
-        results = []
-        for index in range(total):
+        values = {}
+        for index in sorted(outcomes):
             outcome = outcomes[index]
             if isinstance(outcome, TaskFailure):      # timeout / crashed
                 if enabled:
                     registry.counter("parallel.tasks").inc()
                     registry.counter("parallel.failures").inc()
-                results.append(outcome)
+                values[index] = outcome
                 continue
             status, value, payload, elapsed = outcome
             if enabled:
@@ -416,11 +561,12 @@ class ParallelMap:
                 for event in events:
                     event.setdefault("worker", index)
                     registry.emit(event)
-            results.append(value)
-        return results
+            values[index] = value
+        return values
 
 
-def parallel_map(fn, tasks, workers=None, timeout=None, on_error="raise"):
+def parallel_map(fn, tasks, workers=None, timeout=None, on_error="raise",
+                 retry=None):
     """One-shot convenience wrapper around :class:`ParallelMap`."""
     return ParallelMap(workers=workers, timeout=timeout).map(
-        fn, tasks, on_error=on_error)
+        fn, tasks, on_error=on_error, retry=retry)

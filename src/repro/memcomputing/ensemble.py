@@ -15,7 +15,7 @@ trajectory-for-trajectory by the test suite.
 
 import numpy as np
 
-from ..core import parallel
+from ..core import parallel, resilience
 from ..core.exceptions import MemcomputingError
 from ..core.rngs import make_rng, spawn_rngs
 from .dynamics import DmmSystem
@@ -208,9 +208,24 @@ def _integrate_chunk(payload):
                             params, x_l_max, rng)
 
 
+def _chunk_no_nan(solve_steps):
+    """Validate hook: a solve-step block may hold ``inf`` (the unsolved
+    sentinel) but never NaN -- NaN means a corrupted worker result."""
+    return not np.isnan(solve_steps).any()
+
+
+def _encode_steps(solve_steps):
+    return [float(step) for step in solve_steps]
+
+
+def _decode_steps(values):
+    return np.asarray(values, dtype=float)
+
+
 def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
                    check_every=25, params=None, x_l_max=None, rng=None,
-                   workers=None, chunk_size=None):
+                   workers=None, chunk_size=None, timeout=None, retry=None,
+                   checkpoint=None, resume_from=None, checkpoint_every=1):
     """Run ``batch`` trajectories; returns an :class:`EnsembleResult`.
 
     Solved trajectories are frozen (their state stops advancing) so the
@@ -223,15 +238,37 @@ def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
         ``REPRO_WORKERS`` environment default, normally 1 == serial).
     chunk_size : int or None
         Trajectories per block.  ``workers=1`` with ``chunk_size=None``
-        keeps the historical single-stream path (all ``batch``
-        trajectories drawn from one generator); any other combination
-        uses the chunked path, whose chunking and per-chunk RNG
-        spawning depend only on ``(batch, chunk_size, rng)`` -- results
-        are bit-identical for every worker count (the determinism suite
-        checks serial vs. 2 vs. 4 workers).
+        (and no resilience options) keeps the historical single-stream
+        path (all ``batch`` trajectories drawn from one generator); any
+        other combination uses the chunked path, whose chunking and
+        per-chunk RNG spawning depend only on ``(batch, chunk_size,
+        rng)`` -- results are bit-identical for every worker count (the
+        determinism suite checks serial vs. 2 vs. 4 workers).
+
+    Parameters (resilience)
+    -----------------------
+    timeout : float or None
+        Per-block wall-clock budget (enforced on the process path).
+    retry : None, int, or RetryPolicy
+        Retry budget per failed block; retried blocks replay their
+        original RNG stream, so results stay bit-identical to a
+        fault-free run.
+    checkpoint : str or None
+        Path of a JSON checkpoint updated as blocks complete; an
+        existing file is resumed (finished blocks are skipped).  The
+        checkpoint records the workload fingerprint -- batch, chunking,
+        physics parameters, RNG bookkeeping -- and refuses to resume a
+        mismatched run.
+    resume_from : str or None
+        Explicit checkpoint to resume (must exist); defaults to
+        ``checkpoint`` when that file exists.
+    checkpoint_every : int
+        Flush the checkpoint after this many newly finished blocks.
     """
     workers = parallel.resolve_workers(workers)
-    if workers == 1 and chunk_size is None:
+    resilient = (timeout is not None or retry is not None
+                 or checkpoint is not None or resume_from is not None)
+    if workers == 1 and chunk_size is None and not resilient:
         solve_steps = _integrate_batch(formula, batch, dt, max_steps,
                                        check_every, params, x_l_max,
                                        make_rng(rng))
@@ -239,9 +276,22 @@ def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
     if batch < 1:
         raise MemcomputingError("batch must be positive")
     sizes = parallel.chunk_sizes(batch, chunk_size)
+    ckpt = None
+    if checkpoint is not None or resume_from is not None:
+        # Fingerprint the RNG argument before spawn_rngs advances it.
+        meta = {"batch": int(batch), "dt": dt, "max_steps": int(max_steps),
+                "check_every": int(check_every), "sizes": sizes,
+                "params": params, "x_l_max": x_l_max,
+                "rng": resilience.rng_fingerprint(rng)}
+        ckpt = resilience.Checkpointer(
+            checkpoint if checkpoint is not None else resume_from,
+            "dmm-ensemble", meta=meta, encode=_encode_steps,
+            decode=_decode_steps, every=checkpoint_every,
+            resume_from=resume_from)
     rngs = spawn_rngs(rng, len(sizes))
     tasks = [(formula, size, dt, max_steps, check_every, params, x_l_max,
               chunk_rng) for size, chunk_rng in zip(sizes, rngs)]
-    chunks = parallel.ParallelMap(workers=workers).map(
-        _integrate_chunk, tasks)
+    chunks = parallel.ParallelMap(workers=workers, timeout=timeout).map(
+        _integrate_chunk, tasks, retry=retry, validate=_chunk_no_nan,
+        checkpoint=ckpt)
     return EnsembleResult(np.concatenate(chunks), max_steps)

@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from ..core import parallel, telemetry
+from ..core import parallel, resilience, telemetry
 from ..core.exceptions import DmmConvergenceError
 from ..core.rngs import make_rng, spawn_rngs
 from .dynamics import DmmSystem
@@ -246,8 +246,34 @@ def _portfolio_attempt(payload):
     return DmmSolver(**solver_kwargs).solve(formula, rng=rng)
 
 
+def _member_is_result(value):
+    """Validate hook: anything but a :class:`DmmResult` is corrupted."""
+    return isinstance(value, DmmResult)
+
+
+def _encode_member(result):
+    return {"satisfied": result.satisfied,
+            "assignment": None if result.assignment is None
+            else {str(var): bool(val)
+                  for var, val in result.assignment.items()},
+            "steps": result.steps, "sim_time": result.sim_time,
+            "wall_time": result.wall_time, "restarts": result.restarts,
+            "unsat_trace": [[float(t), int(u)]
+                            for t, u in result.unsat_trace]}
+
+
+def _decode_member(doc):
+    assignment = doc["assignment"]
+    if assignment is not None:
+        assignment = {int(var): bool(val) for var, val in assignment.items()}
+    return DmmResult(doc["satisfied"], assignment, doc["steps"],
+                     doc["sim_time"], doc["wall_time"], doc["restarts"],
+                     [tuple(entry) for entry in doc["unsat_trace"]])
+
+
 def solve_portfolio(formula, attempts=4, rng=None, workers=None,
-                    timeout=None, **solver_kwargs):
+                    timeout=None, retry=None, checkpoint=None,
+                    resume_from=None, checkpoint_every=1, **solver_kwargs):
     """Race ``attempts`` independent restarts; returns a portfolio result.
 
     The parallel analogue of :class:`DmmSolver`'s ``restart_after``
@@ -260,16 +286,34 @@ def solve_portfolio(formula, attempts=4, rng=None, workers=None,
     the seed, whatever ``workers`` is.
 
     ``timeout`` (seconds per member) and worker crashes mark individual
-    members failed without sinking the portfolio; ``solver_kwargs`` are
-    forwarded to every member's :class:`DmmSolver`.
+    members failed without sinking the portfolio; ``retry`` (attempt
+    budget or :class:`~repro.core.resilience.RetryPolicy`) re-runs a
+    failed member with its original stream before giving up;
+    ``checkpoint``/``resume_from`` (paths) persist finished members to a
+    JSON checkpoint so a killed portfolio resumes instead of restarting;
+    ``solver_kwargs`` are forwarded to every member's
+    :class:`DmmSolver`.
     """
     if attempts < 1:
         raise ValueError("attempts must be positive, got %r" % attempts)
+    ckpt = None
+    if checkpoint is not None or resume_from is not None:
+        # Fingerprint the RNG argument before spawn_rngs advances it.
+        meta = {"attempts": int(attempts),
+                "solver_kwargs": resilience.jsonable(solver_kwargs),
+                "rng": resilience.rng_fingerprint(rng)}
+        ckpt = resilience.Checkpointer(
+            checkpoint if checkpoint is not None else resume_from,
+            "dmm-portfolio", meta=meta, encode=_encode_member,
+            decode=_decode_member, every=checkpoint_every,
+            resume_from=resume_from)
     rngs = spawn_rngs(rng, attempts)
     tasks = [(formula, solver_kwargs, member_rng) for member_rng in rngs]
     engine = parallel.ParallelMap(workers=workers, timeout=timeout)
     with telemetry.span("dmm.portfolio.solve", attempts=attempts):
-        results = engine.map(_portfolio_attempt, tasks, on_error="return")
+        results = engine.map(_portfolio_attempt, tasks, on_error="return",
+                             retry=retry, validate=_member_is_result,
+                             checkpoint=ckpt)
     registry = telemetry.get_registry()
     if registry.enabled:
         registry.counter("dmm.portfolio.solves").inc()

@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from ..core import parallel, telemetry
+from ..core import parallel, resilience, telemetry
 from ..core.exceptions import OscillatorError
 from .locking import DEFAULT_C_C, simulate_calibrated_pair
 from .norms import xor_measure_curve
@@ -43,6 +43,15 @@ def _measure_pairs_chunk(payload):
     config, pairs = payload
     unit = OscillatorDistanceUnit(**config)
     return [unit.measure(a, b) for a, b in pairs]
+
+
+def _block_is_finite(values):
+    """Validate hook: every measure in a block must be a finite float."""
+    return bool(np.isfinite(values).all())
+
+
+def _encode_measures(values):
+    return [float(value) for value in values]
 
 
 class OscillatorDistanceUnit:
@@ -155,7 +164,9 @@ class OscillatorDistanceUnit:
             "cycles": self.cycles,
         }
 
-    def measure_pairs(self, pairs, workers=None, chunk_size=None):
+    def measure_pairs(self, pairs, workers=None, chunk_size=None,
+                      timeout=None, retry=None, checkpoint=None,
+                      resume_from=None, checkpoint_every=1):
         """Measures for a sequence of ``(a, b)`` intensity pairs, in order.
 
         The image-scale fan-out path: pairs are split into blocks
@@ -164,16 +175,31 @@ class OscillatorDistanceUnit:
         (``oscillator.distance.evals`` etc.) merges into the active
         registry at join.  The primitive is deterministic, so results
         are identical for every worker count; ``workers=1`` with
-        ``chunk_size=None`` scores inline on this unit.
+        ``chunk_size=None`` (and no resilience options) scores inline on
+        this unit.  ``timeout``/``retry`` bound and re-dispatch failed
+        blocks; ``checkpoint``/``resume_from`` (paths) persist finished
+        blocks so an interrupted image sweep resumes where it stopped.
         """
         pairs = [(float(a), float(b)) for a, b in pairs]
         workers = parallel.resolve_workers(workers)
-        if workers == 1 and chunk_size is None:
+        resilient = (timeout is not None or retry is not None
+                     or checkpoint is not None or resume_from is not None)
+        if workers == 1 and chunk_size is None and not resilient:
             return [self.measure(a, b) for a, b in pairs]
         chunks = parallel.chunk_list(pairs, chunk_size)
         config = self.config()
-        blocks = parallel.ParallelMap(workers=workers).map(
-            _measure_pairs_chunk, [(config, chunk) for chunk in chunks])
+        ckpt = None
+        if checkpoint is not None or resume_from is not None:
+            meta = {"pairs": len(pairs),
+                    "sizes": [len(chunk) for chunk in chunks],
+                    "config": resilience.jsonable(config)}
+            ckpt = resilience.Checkpointer(
+                checkpoint if checkpoint is not None else resume_from,
+                "oscillator-distance", meta=meta, encode=_encode_measures,
+                every=checkpoint_every, resume_from=resume_from)
+        blocks = parallel.ParallelMap(workers=workers, timeout=timeout).map(
+            _measure_pairs_chunk, [(config, chunk) for chunk in chunks],
+            retry=retry, validate=_block_is_finite, checkpoint=ckpt)
         return [measure for block in blocks for measure in block]
 
     def measure_threshold(self, intensity_threshold):

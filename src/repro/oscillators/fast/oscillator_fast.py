@@ -121,20 +121,24 @@ class OscillatorFastDetector:
                 return True
         return False
 
-    def detect(self, image, workers=None, chunk_size=None):
+    def detect(self, image, workers=None, chunk_size=None, timeout=None,
+               retry=None):
         """All corners of ``image``; records primitive-invocation stats.
 
         ``workers``/``chunk_size`` split the interior pixels into blocks
         scored on the parallel engine (image-patch scoring is pure, so
         the corner list is identical for every worker count); worker
         telemetry merges into the active registry at join.
+        ``timeout``/``retry`` bound each block and re-dispatch failed
+        ones before giving up.
         """
         self._comparisons = 0
         corners = []
         pixels = 0
         workers = parallel.resolve_workers(workers)
+        resilient = timeout is not None or retry is not None
         with telemetry.span("oscillator.fast.detect") as detect_span:
-            if workers == 1 and chunk_size is None:
+            if workers == 1 and chunk_size is None and not resilient:
                 for row, col in interior_pixels(image):
                     pixels += 1
                     if self.is_corner(image, row, col):
@@ -146,8 +150,9 @@ class OscillatorFastDetector:
                 unit_config = self.distance_unit.config()
                 tasks = [(self.threshold, self.n, unit_config, image,
                           chunk) for chunk in chunks]
-                blocks = parallel.ParallelMap(workers=workers).map(
-                    _detect_chunk, tasks)
+                blocks = parallel.ParallelMap(
+                    workers=workers, timeout=timeout).map(
+                    _detect_chunk, tasks, retry=retry)
                 for block_corners, comparisons, block_pixels in blocks:
                     corners.extend(block_corners)
                     self._comparisons += comparisons

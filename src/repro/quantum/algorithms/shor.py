@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-from ...core import parallel, telemetry
+from ...core import parallel, resilience, telemetry
 from ...core.exceptions import QuantumError
 from ...core.rngs import make_rng, spawn_rngs
 from ..circuit import QuantumCircuit
@@ -126,8 +126,24 @@ def _order_attempt(payload):
     return measured, t
 
 
+def _reading_is_sane(value):
+    """Validate hook: a phase reading is a pair of non-negative ints."""
+    measured, t = value
+    return (isinstance(measured, int) and isinstance(t, int)
+            and measured >= 0 and t > 0)
+
+
+def _encode_reading(value):
+    return [int(value[0]), int(value[1])]
+
+
+def _decode_reading(doc):
+    return int(doc[0]), int(doc[1])
+
+
 def find_order(a, modulus, rng=None, max_attempts=10, runner=None,
-               workers=None):
+               workers=None, timeout=None, retry=None, checkpoint=None,
+               resume_from=None, checkpoint_every=1):
     """Quantum order finding with classical post-processing.
 
     ``runner(circuit) -> int`` executes the circuit and returns the
@@ -140,13 +156,34 @@ def find_order(a, modulus, rng=None, max_attempts=10, runner=None,
     generator spawned from ``rng``; phase readings are post-processed in
     attempt order and the first usable order wins, so the result is a
     deterministic function of the seed alone, whatever the worker count.
+    ``timeout``/``retry`` bound and re-dispatch individual attempts;
+    ``checkpoint`` (a path) persists finished phase readings.  The
+    checkpoint is *rolling*: its metadata pins ``(a, modulus, RNG
+    state)``, and a run for a different base simply restarts the file
+    -- which lets :func:`shor_factor` thread one checkpoint path
+    through every base it tries.
     """
     workers = parallel.resolve_workers(workers)
-    if runner is None and workers > 1:
+    resilient = (timeout is not None or retry is not None
+                 or checkpoint is not None or resume_from is not None)
+    if runner is None and (workers > 1 or resilient):
+        ckpt = None
+        if checkpoint is not None or resume_from is not None:
+            # Fingerprint the RNG before spawn_rngs advances it.
+            meta = {"a": int(a), "modulus": int(modulus),
+                    "max_attempts": int(max_attempts),
+                    "rng": resilience.rng_fingerprint(rng)}
+            ckpt = resilience.Checkpointer(
+                checkpoint if checkpoint is not None else resume_from,
+                "shor-order", meta=meta, encode=_encode_reading,
+                decode=_decode_reading, every=checkpoint_every,
+                resume_from=resume_from, restart_on_mismatch=True)
         rngs = spawn_rngs(rng, max_attempts)
         tasks = [(a, modulus, attempt_rng) for attempt_rng in rngs]
-        readings = parallel.ParallelMap(workers=workers).map(
-            _order_attempt, tasks)
+        readings = parallel.ParallelMap(workers=workers,
+                                        timeout=timeout).map(
+            _order_attempt, tasks, retry=retry, validate=_reading_is_sane,
+            checkpoint=ckpt)
         for measured, t in readings:
             r = _order_from_measurement(a, modulus, measured, t)
             if r is not None:
@@ -220,14 +257,19 @@ def _perfect_power(n):
     return None
 
 
-def shor_factor(n, rng=None, max_base_attempts=20, workers=None):
+def shor_factor(n, rng=None, max_base_attempts=20, workers=None,
+                timeout=None, retry=None, checkpoint=None,
+                checkpoint_every=1):
     """Factor ``n`` via Shor's algorithm; returns a :class:`ShorResult`.
 
     Classical shortcuts handle even numbers and perfect powers; otherwise
     random bases are tried through quantum order finding until an even
-    order with ``a^{r/2} != -1 (mod n)`` yields factors.  ``workers``
-    forwards to :func:`find_order`, fanning each base's order-finding
-    attempts across worker processes (deterministic given the seed).
+    order with ``a^{r/2} != -1 (mod n)`` yields factors.  ``workers``,
+    ``timeout``, ``retry``, and ``checkpoint`` forward to
+    :func:`find_order` (deterministic given the seed); the checkpoint
+    path is shared by every base as a rolling file -- re-running after a
+    kill with the same seed resumes the interrupted base's remaining
+    attempts.
     """
     if n < 4:
         raise QuantumError("n must be a composite >= 4")
@@ -235,14 +277,18 @@ def shor_factor(n, rng=None, max_base_attempts=20, workers=None):
     if registry.enabled:
         registry.counter("quantum.shor.factorizations").inc()
         with telemetry.span("quantum.shor.factor", n=n) as factor_span:
-            result = _shor_factor(n, rng, max_base_attempts, workers)
+            result = _shor_factor(n, rng, max_base_attempts, workers,
+                                  timeout, retry, checkpoint,
+                                  checkpoint_every)
             factor_span.set_attr("method", result.method)
             factor_span.set_attr("succeeded", result.succeeded)
         return result
-    return _shor_factor(n, rng, max_base_attempts, workers)
+    return _shor_factor(n, rng, max_base_attempts, workers, timeout, retry,
+                        checkpoint, checkpoint_every)
 
 
-def _shor_factor(n, rng, max_base_attempts, workers=None):
+def _shor_factor(n, rng, max_base_attempts, workers=None, timeout=None,
+                 retry=None, checkpoint=None, checkpoint_every=1):
     if n % 2 == 0:
         return ShorResult(n, (2, n // 2), "classical-shortcut", 0, [])
     power = _perfect_power(n)
@@ -257,7 +303,9 @@ def _shor_factor(n, rng, max_base_attempts, workers=None):
         if shared > 1:
             return ShorResult(n, (shared, n // shared),
                               "classical-shortcut", attempt, orders)
-        r = find_order(a, n, rng=rng, workers=workers)
+        r = find_order(a, n, rng=rng, workers=workers, timeout=timeout,
+                       retry=retry, checkpoint=checkpoint,
+                       checkpoint_every=checkpoint_every)
         if r is None:
             continue
         orders.append((a, r))

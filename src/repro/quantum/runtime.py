@@ -6,9 +6,10 @@ repeat the kernel for N shots, collect classical results, histogram them,
 and account accumulated chip time.
 """
 
+import math
 import time
 
-from ..core import parallel, telemetry
+from ..core import parallel, resilience, telemetry
 from ..core.exceptions import QuantumError
 from ..core.rngs import make_rng, spawn_rngs
 from .microarch import MicroArchitecture, assemble
@@ -31,6 +32,26 @@ def _run_shot_chunk(payload):
         counts[value] = counts.get(value, 0) + 1
         chip_time += result.elapsed_ns
     return counts, chip_time
+
+
+def _block_is_sane(value):
+    """Validate hook: a shot block is ``(int counts, finite chip time)``."""
+    counts, chip_time = value
+    return (isinstance(chip_time, float) and math.isfinite(chip_time)
+            and all(isinstance(count, int) for count in counts.values()))
+
+
+def _encode_block(value):
+    counts, chip_time = value
+    # JSON objects cannot key on ints: store the histogram as pairs.
+    return {"counts": [[int(outcome), int(count)]
+                       for outcome, count in sorted(counts.items())],
+            "chip_time_ns": float(chip_time)}
+
+
+def _decode_block(doc):
+    return ({int(outcome): int(count) for outcome, count in doc["counts"]},
+            float(doc["chip_time_ns"]))
 
 
 class ShotResult:
@@ -98,7 +119,8 @@ class QuantumRuntime:
             )
 
     def run(self, circuit, shots=1024, rng=None, workers=None,
-            chunk_size=None):
+            chunk_size=None, timeout=None, retry=None, checkpoint=None,
+            resume_from=None, checkpoint_every=1):
         """Execute ``circuit`` for ``shots`` repetitions.
 
         The circuit must contain at least one measurement (otherwise shots
@@ -110,8 +132,14 @@ class QuantumRuntime:
         count), each block samples its own child generator spawned from
         ``rng``, and block histograms merge by exact integer addition --
         so the counts are bit-identical for every worker count.
-        ``workers=1`` with ``chunk_size=None`` keeps the historical
-        single-stream loop.
+        ``workers=1`` with ``chunk_size=None`` (and no resilience
+        options) keeps the historical single-stream loop.
+
+        ``timeout`` bounds each block (process path); ``retry`` re-runs
+        failed blocks with their original streams;
+        ``checkpoint``/``resume_from`` (paths) persist finished block
+        histograms so an interrupted sweep resumes with its remaining
+        blocks only (``checkpoint_every`` controls the flush cadence).
         """
         if shots < 1:
             raise QuantumError("shots must be positive")
@@ -120,11 +148,13 @@ class QuantumRuntime:
             raise QuantumError("kernel has no measurements; nothing to sample")
         self._ensure_microarch(circuit)
         workers = parallel.resolve_workers(workers)
+        resilient = (timeout is not None or retry is not None
+                     or checkpoint is not None or resume_from is not None)
         registry = telemetry.get_registry()
         with telemetry.span("quantum.runtime.run", shots=shots,
                             qubits=circuit.num_qubits) as run_span:
             start = time.perf_counter()
-            if workers == 1 and chunk_size is None:
+            if workers == 1 and chunk_size is None and not resilient:
                 rng = make_rng(rng)
                 program = assemble(circuit)
                 counts = {}
@@ -136,12 +166,28 @@ class QuantumRuntime:
                     chip_time += result.elapsed_ns
             else:
                 sizes = parallel.chunk_sizes(shots, chunk_size)
+                ckpt = None
+                if checkpoint is not None or resume_from is not None:
+                    # Fingerprint the RNG before spawn_rngs advances it.
+                    meta = {"shots": int(shots), "sizes": sizes,
+                            "qubits": int(circuit.num_qubits),
+                            "gates": circuit.gate_counts(),
+                            "cbits": cbit_order,
+                            "rng": resilience.rng_fingerprint(rng)}
+                    ckpt = resilience.Checkpointer(
+                        checkpoint if checkpoint is not None
+                        else resume_from,
+                        "quantum-shots", meta=meta, encode=_encode_block,
+                        decode=_decode_block, every=checkpoint_every,
+                        resume_from=resume_from)
                 rngs = spawn_rngs(rng, len(sizes))
                 tasks = [(self.microarch, circuit, cbit_order, block,
                           block_rng)
                          for block, block_rng in zip(sizes, rngs)]
-                blocks = parallel.ParallelMap(workers=workers).map(
-                    _run_shot_chunk, tasks)
+                blocks = parallel.ParallelMap(
+                    workers=workers, timeout=timeout).map(
+                    _run_shot_chunk, tasks, retry=retry,
+                    validate=_block_is_sane, checkpoint=ckpt)
                 counts = {}
                 chip_time = 0.0
                 for block_counts, block_time in blocks:

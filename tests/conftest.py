@@ -2,7 +2,39 @@
 
 import pytest
 
+from repro.core import resilience
+
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running physics/dynamics tests")
+
+
+@pytest.fixture
+def fault_plan():
+    """Install a resilience FaultPlan for the duration of one test.
+
+    Usage::
+
+        def test_recovery(fault_plan):
+            fault_plan([(0, 1, "raise"), (2, 1, "nan")])
+            ...  # every ParallelMap.map in the test sees the plan
+
+    Accepts a FaultPlan, a list of ``(chunk, attempt, action)`` tuples,
+    or a ``"chunk:attempt:action,..."`` spec string; returns the
+    installed plan.  The previous plan (normally none) is restored on
+    teardown, so faults never leak across tests.
+    """
+    installed = []
+
+    def _install(plan, **kwargs):
+        if isinstance(plan, str):
+            plan = resilience.FaultPlan.from_spec(plan, **kwargs)
+        elif not isinstance(plan, resilience.FaultPlan):
+            plan = resilience.FaultPlan(plan, **kwargs)
+        installed.append(resilience.set_fault_plan(plan))
+        return plan
+
+    yield _install
+    while installed:
+        resilience.set_fault_plan(installed.pop())

@@ -217,6 +217,55 @@ class TestWorkersFlag:
         assert any(event["name"] == "parallel.map" for event in events)
 
 
+class TestResilienceFlags:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        formula = planted_ksat(15, 55, rng=0)
+        return save_dimacs(formula, str(tmp_path / "i.cnf"))
+
+    def test_distance_checkpoint_written_and_resumable(self, tmp_path):
+        import json
+
+        ckpt = str(tmp_path / "distance.json")
+        code, text = run_cli(["distance", "120", "40", "10", "200",
+                              "--checkpoint", ckpt])
+        assert code == 0
+        document = json.load(open(ckpt))
+        assert document["kind"] == "oscillator-distance"
+        assert document["chunks"]
+        # a resumed run reads the finished chunks and reports the same
+        code, resumed = run_cli(["distance", "120", "40", "10", "200",
+                                 "--resume", ckpt])
+        assert code == 0
+        assert resumed == text
+
+    def test_solve_retries_with_workers(self, instance_path):
+        code, text = run_cli(["solve", instance_path, "--workers", "2",
+                              "--retries", "3"])
+        assert code == 0
+        assert "s SATISFIABLE" in text
+
+    def test_solve_retries_alone_uses_portfolio(self, instance_path):
+        # a resilience flag without --workers still routes through the
+        # retry-capable portfolio path
+        code, text = run_cli(["solve", instance_path, "--retries", "2"])
+        assert code == 0
+        assert "s SATISFIABLE" in text
+        assert "restarts" in text
+
+    def test_factor_checkpoint_written(self, tmp_path):
+        import json
+
+        ckpt = str(tmp_path / "factor.json")
+        # seed 1's first base is coprime to 15, so order finding (the
+        # checkpointed path) actually runs instead of a gcd shortcut
+        code, text = run_cli(["factor", "15", "--seed", "1",
+                              "--checkpoint", ckpt, "--retries", "2"])
+        assert code == 0
+        assert "15 = " in text
+        assert json.load(open(ckpt))["kind"] == "shor-order"
+
+
 class TestReproduce:
     def test_points_at_benchmarks(self):
         code, text = run_cli(["reproduce"])

@@ -1,5 +1,7 @@
 """Unit and property tests for repro.core.integrators."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -93,8 +95,20 @@ class TestIntegrateFixed:
         def blow_up(t, y):
             return y ** 2
 
+        # The error path must be warning-clean: a diverging trajectory
+        # reports IntegrationError only, not an overflow RuntimeWarning
+        # from evaluating the RHS on an already-exploded state.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(IntegrationError):
+                integrate_fixed(blow_up, [10.0], (0.0, 10.0), 0.5)
+
+    def test_non_finite_initial_state_raises_before_rhs(self):
+        def must_not_be_called(t, y):
+            raise AssertionError("rhs evaluated on a non-finite state")
+
         with pytest.raises(IntegrationError):
-            integrate_fixed(blow_up, [10.0], (0.0, 10.0), 0.5)
+            integrate_fixed(must_not_be_called, [np.nan], (0.0, 1.0), 0.1)
 
 
 class TestIntegrateAdaptive:
@@ -128,6 +142,16 @@ class TestIntegrateAdaptive:
         assert traj.final_state[0] == pytest.approx(1.0, abs=1e-5)
         assert traj.final_state[1] == pytest.approx(0.0, abs=1e-5)
 
+    def test_divergence_error_path_is_warning_clean(self):
+        def blow_up(t, y):
+            return y ** 2
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(IntegrationError):
+                integrate_adaptive(blow_up, [10.0], (0.0, 10.0),
+                                   max_steps=10_000)
+
 
 class TestIntegrateClipped:
     def test_clipping_enforced_every_step(self):
@@ -151,6 +175,13 @@ class TestIntegrateClipped:
         traj = integrate_clipped(lambda t, y: -y, [1.0], (0.0, 100.0), 0.01,
                                  stop_condition=lambda t, y: y[0] < 0.5)
         assert traj.terminated_early
+
+    def test_unclipped_divergence_is_warning_clean(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(IntegrationError):
+                integrate_clipped(lambda t, y: y ** 2, [10.0],
+                                  (0.0, 10.0), 0.5)
 
 
 @settings(max_examples=25, deadline=None)

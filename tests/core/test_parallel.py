@@ -14,6 +14,7 @@ Three layers:
 
 import os
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -27,6 +28,7 @@ from repro.core.parallel import (
     ParallelMap,
     TaskFailure,
     WORKERS_ENV,
+    _reset_timeout_warning,
     chunk_list,
     chunk_sizes,
     default_chunk_size,
@@ -63,6 +65,15 @@ def _sleep_on_zero(x):
     if x == 0:
         time.sleep(30.0)
     return x
+
+
+def _return_zero(_x):
+    return 0
+
+
+def _return_falsy(x):
+    # legitimate falsy results of several shapes
+    return [0, 0.0, [], "", {}][x % 5]
 
 
 # -- chunking --------------------------------------------------------------
@@ -136,7 +147,28 @@ class TestParallelMap:
         assert isinstance(failure, TaskFailure)
         assert failure.reason == "error"
         assert "three is right out" in failure.message
-        assert not failure  # falsy: filterable
+        # filtering is by type, not truthiness (see the next test)
+        survivors = [r for r in results if not isinstance(r, TaskFailure)]
+        assert survivors == [1, 2, 4]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_legitimate_falsy_results_survive_filtering(self, workers):
+        # Regression: TaskFailure used to be falsy, so the documented
+        # ``[r for r in results if r]`` idiom silently dropped real
+        # falsy results (0, 0.0, [], ...).  Filtering is by isinstance.
+        results = ParallelMap(workers=workers).map(
+            _return_zero, [1, 2, 3], on_error="return")
+        assert results == [0, 0, 0]
+        survivors = [r for r in results if not isinstance(r, TaskFailure)]
+        assert survivors == [0, 0, 0]
+        shapes = ParallelMap(workers=workers).map(
+            _return_falsy, list(range(5)), on_error="return")
+        assert shapes == [0, 0.0, [], "", {}]
+        assert len([r for r in shapes
+                    if not isinstance(r, TaskFailure)]) == 5
+
+    def test_task_failure_is_truthy(self):
+        assert bool(TaskFailure(0, "error", "boom"))
 
     def test_raising_task_raises_by_default(self):
         with pytest.raises(ParallelError, match="three is right out"):
@@ -180,6 +212,54 @@ class TestParallelMap:
 
     def test_parallel_map_convenience(self):
         assert parallel_map(_square, [2, 3], workers=2) == [4, 9]
+
+
+class TestSerialTimeoutWarning:
+    """A timeout the serial path cannot enforce is flagged, not ignored."""
+
+    def test_serial_timeout_warns_once(self):
+        _reset_timeout_warning()
+        with pytest.warns(RuntimeWarning, match="not enforceable"):
+            ParallelMap(workers=1, timeout=5.0).map(_square, [1, 2])
+        # once per process: a second serial map stays quiet
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ParallelMap(workers=1, timeout=5.0).map(
+                _square, [3]) == [9]
+
+    def test_serial_timeout_counted_and_evented(self):
+        _reset_timeout_warning()
+        registry = telemetry.MetricsRegistry()
+        sink = registry.add_sink(telemetry.ListSink())
+        with telemetry.use_registry(registry):
+            with pytest.warns(RuntimeWarning):
+                ParallelMap(workers=1, timeout=2.5).map(_square, [1])
+        assert registry.counter("parallel.timeout_unenforced").value == 1
+        events = [event for event in sink.events
+                  if event.get("name") == "parallel.timeout_unenforced"]
+        assert len(events) == 1
+        assert events[0]["attrs"]["timeout"] == 2.5
+
+    def test_no_start_method_also_warns(self):
+        _reset_timeout_warning()
+        engine = ParallelMap(workers=4, timeout=1.0,
+                             start_method="no-such-method")
+        with pytest.warns(RuntimeWarning, match="not enforceable"):
+            assert engine.map(_square, [2, 3]) == [4, 9]
+
+    def test_process_path_does_not_warn(self):
+        _reset_timeout_warning()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = ParallelMap(workers=2, timeout=20.0).map(
+                _square, [1, 2])
+        assert results == [1, 4]
+
+    def test_serial_without_timeout_does_not_warn(self):
+        _reset_timeout_warning()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ParallelMap(workers=1).map(_square, [2]) == [4]
 
 
 class TestEngineTelemetry:

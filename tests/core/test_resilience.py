@@ -1,0 +1,478 @@
+"""Recovery suite for ``repro.core.resilience`` + the retry engine.
+
+Four layers:
+
+* policy/plan mechanics -- RetryPolicy classification and deterministic
+  backoff, FaultPlan parsing (programmatic, env var, pytest fixture),
+  NaN corruption;
+* engine recovery -- injected raise/nan/kill/hang faults are retried to
+  success (bit-identical with a fault-free run) or give up cleanly;
+* checkpoint/resume -- round trip, mismatch refusal, rolling restart,
+  resumed chunks are skipped (never re-executed);
+* acceptance -- ``solve_ensemble`` survives a kill+hang+nan fault plan
+  bit-identically, and a killed-then-resumed checkpointed run equals
+  the uninterrupted one.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import telemetry
+from repro.core.exceptions import (
+    InjectedFault,
+    ParallelError,
+    ResilienceError,
+)
+from repro.core.parallel import ParallelMap, TaskFailure
+from repro.core.resilience import (
+    FAULTS_ENV,
+    Checkpointer,
+    FaultPlan,
+    RetryPolicy,
+    active_fault_plan,
+    coordinate_rng,
+    nan_corrupt,
+    resolve_retry,
+    rng_fingerprint,
+    use_faults,
+)
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.ensemble import solve_ensemble
+
+
+# -- module-level task functions (worker entry points must pickle) ---------
+
+def _square(x):
+    return x * x
+
+
+def _draw_block(payload):
+    """Chunk payload carrying its own RNG stream, like real call sites."""
+    index, rng = payload
+    return rng.normal(size=4) + index
+
+
+def _all_finite(value):
+    return bool(np.isfinite(np.asarray(value)).all())
+
+
+def _rng_tasks(count=4, seed=1000):
+    return [(index, np.random.default_rng(seed + index))
+            for index in range(count)]
+
+
+# -- RetryPolicy -----------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_defaults_retry_every_reason(self):
+        policy = RetryPolicy()
+        for reason in ("error", "timeout", "crashed", "invalid"):
+            assert policy.retries(reason)
+
+    def test_retry_on_subset(self):
+        policy = RetryPolicy(retry_on=("timeout", "crashed"))
+        assert policy.retries("timeout")
+        assert not policy.retries("error")
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown retry_on"):
+            RetryPolicy(retry_on=("error", "meltdown"))
+
+    def test_delay_is_deterministic_per_coordinate(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5, seed=3)
+        assert policy.delay(2, 1) == policy.delay(2, 1)
+        # different coordinates draw different jitter
+        assert policy.delay(2, 1) != policy.delay(3, 1)
+
+    def test_delay_grows_then_clamps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=4.0,
+                             backoff_max=0.5, jitter=0.0)
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.4)
+        assert policy.delay(0, 3) == 0.5  # clamped
+
+    def test_zero_base_disables_sleeping(self):
+        assert RetryPolicy(backoff_base=0.0).delay(0, 5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_coordinate_rng_pure_function_of_coordinates(self):
+        a = coordinate_rng(7, 2, 1).random()
+        b = coordinate_rng(7, 2, 1).random()
+        c = coordinate_rng(7, 2, 2).random()
+        assert a == b
+        assert a != c
+
+
+class TestResolveRetry:
+    def test_none_and_one_mean_no_retries(self):
+        assert resolve_retry(None) is None
+        assert resolve_retry(1) is None
+
+    def test_int_becomes_max_attempts(self):
+        policy = resolve_retry(4)
+        assert isinstance(policy, RetryPolicy)
+        assert policy.max_attempts == 4
+
+    def test_policy_passes_through(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert resolve_retry(policy) is policy
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ResilienceError):
+            resolve_retry(0)
+        with pytest.raises(ResilienceError):
+            resolve_retry(True)
+        with pytest.raises(ResilienceError):
+            resolve_retry("twice")
+
+
+# -- FaultPlan -------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_spec_round_trips(self):
+        plan = FaultPlan.from_spec("0:1:raise, 2:1:kill ,1:2:nan")
+        assert plan.spec() == "0:1:raise,1:2:nan,2:1:kill"
+        assert len(plan) == 3
+        assert plan.action_for(2, 1) == "kill"
+        assert plan.action_for(2, 2) is None
+        assert FaultPlan.from_spec(plan.spec()).faults() == plan.faults()
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError, match="unknown fault action"):
+            FaultPlan([(0, 1, "explode")])
+        with pytest.raises(ResilienceError, match="coordinates"):
+            FaultPlan([(-1, 1, "raise")])
+        with pytest.raises(ResilienceError, match="coordinates"):
+            FaultPlan([(0, 0, "raise")])
+        with pytest.raises(ResilienceError, match="duplicate"):
+            FaultPlan([(0, 1, "raise"), (0, 1, "nan")])
+        with pytest.raises(ResilienceError, match="bad fault spec"):
+            FaultPlan.from_spec("0:1")
+        with pytest.raises(ResilienceError, match="integers"):
+            FaultPlan.from_spec("a:b:raise")
+
+    def test_env_var_enables_plan(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "1:1:raise")
+        plan = active_fault_plan()
+        assert plan is not None
+        assert plan.action_for(1, 1) == "raise"
+
+    def test_programmatic_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "1:1:raise")
+        with use_faults("0:2:nan") as plan:
+            assert active_fault_plan() is plan
+        assert active_fault_plan().action_for(1, 1) == "raise"
+
+    def test_no_plan_by_default(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert active_fault_plan() is None
+
+    def test_fixture_installs_and_clears(self, fault_plan):
+        installed = fault_plan([(0, 1, "raise")])
+        assert active_fault_plan() is installed
+        # teardown restores the previous (empty) plan -- checked
+        # implicitly by test_no_plan_by_default running independently
+
+
+class TestNanCorrupt:
+    def test_array_keeps_shape(self):
+        poisoned = nan_corrupt(np.ones((2, 3)))
+        assert poisoned.shape == (2, 3)
+        assert np.isnan(poisoned).all()
+
+    def test_containers_recurse(self):
+        poisoned = nan_corrupt({"a": [1.0, 2.0], "b": (3.0,)})
+        assert np.isnan(poisoned["a"]).all()
+        assert np.isnan(poisoned["b"][0])
+
+    def test_scalars_become_nan(self):
+        assert np.isnan(nan_corrupt(5))
+
+
+# -- engine recovery under injected faults ---------------------------------
+
+_FAST = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+
+class TestEngineRecovery:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_raise_fault_retried_bit_identically(self, workers):
+        baseline = ParallelMap(workers=workers).map(
+            _draw_block, _rng_tasks())
+        with use_faults("0:1:raise,2:1:raise,2:2:raise"):
+            registry = telemetry.MetricsRegistry()
+            with telemetry.use_registry(registry):
+                recovered = ParallelMap(workers=workers).map(
+                    _draw_block, _rng_tasks(), retry=_FAST)
+        for expected, actual in zip(baseline, recovered):
+            assert np.array_equal(expected, actual)
+        assert registry.counter("parallel.retries").value == 3
+        assert registry.counter("parallel.giveups").value == 0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_exhausted_budget_gives_up(self, workers):
+        with use_faults("1:1:raise,1:2:raise,1:3:raise"):
+            registry = telemetry.MetricsRegistry()
+            with telemetry.use_registry(registry):
+                results = ParallelMap(workers=workers).map(
+                    _square, [1, 2, 3], retry=_FAST, on_error="return")
+        assert results[0] == 1 and results[2] == 9
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].reason == "error"
+        assert registry.counter("parallel.retries").value == 2
+        assert registry.counter("parallel.giveups").value == 1
+
+    def test_exhausted_budget_raises_by_default(self):
+        with use_faults("0:1:raise,0:2:raise,0:3:raise"):
+            with pytest.raises(ParallelError, match="task 0 error"):
+                ParallelMap(workers=1).map(_square, [1, 2], retry=_FAST)
+
+    def test_non_retryable_reason_fails_immediately(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0,
+                             retry_on=("timeout",))
+        with use_faults("0:1:raise"):
+            results = ParallelMap(workers=1).map(
+                _square, [1, 2], retry=policy, on_error="return")
+        assert isinstance(results[0], TaskFailure)
+        assert "injected" in results[0].message
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_nan_fault_caught_by_validate_and_retried(self, workers):
+        baseline = ParallelMap(workers=workers).map(
+            _draw_block, _rng_tasks())
+        with use_faults("1:1:nan"):
+            recovered = ParallelMap(workers=workers).map(
+                _draw_block, _rng_tasks(), retry=_FAST,
+                validate=_all_finite)
+        for expected, actual in zip(baseline, recovered):
+            assert np.array_equal(expected, actual)
+
+    def test_nan_fault_without_retry_is_invalid_failure(self):
+        with use_faults("1:1:nan"):
+            results = ParallelMap(workers=1).map(
+                _draw_block, _rng_tasks(), validate=_all_finite,
+                on_error="return")
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].reason == "invalid"
+
+    def test_serial_kill_degrades_to_raise_and_recovers(self):
+        # no worker process to kill inline: the fault must surface as a
+        # retryable failure, never os._exit the host
+        with use_faults("0:1:kill,1:1:hang"):
+            results = ParallelMap(workers=1).map(
+                _square, [2, 3], retry=_FAST)
+        assert results == [4, 9]
+
+    def test_serial_kill_without_retry_reports_injected_fault(self):
+        with use_faults("0:1:kill"):
+            results = ParallelMap(workers=1).map(
+                _square, [2], on_error="return")
+        assert isinstance(results[0], TaskFailure)
+        assert InjectedFault.__name__ in results[0].message
+
+    def test_process_kill_detected_as_crash_and_retried(self):
+        with use_faults("1:1:kill"):
+            registry = telemetry.MetricsRegistry()
+            with telemetry.use_registry(registry):
+                results = ParallelMap(workers=2).map(
+                    _square, [1, 2, 3], retry=_FAST)
+        assert results == [1, 4, 9]
+        assert registry.counter("parallel.retries").value == 1
+
+    def test_process_hang_times_out_and_is_retried(self):
+        with use_faults(FaultPlan([(0, 1, "hang")], hang_seconds=60.0)):
+            results = ParallelMap(workers=2, timeout=1.5).map(
+                _square, [1, 2], retry=_FAST)
+        assert results == [1, 4]
+
+
+@settings(max_examples=15, deadline=None)
+@given(faults=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=1, max_value=2),
+              st.sampled_from(["raise", "nan"])),
+    unique_by=lambda fault: (fault[0], fault[1]), max_size=6))
+def test_property_retryable_faults_within_budget_are_invisible(faults):
+    """Any retryable fault plan within the retry budget leaves the map's
+    results bit-identical to a fault-free serial run."""
+    baseline = ParallelMap(workers=1).map(_draw_block, _rng_tasks())
+    with use_faults(FaultPlan(faults)):
+        recovered = ParallelMap(workers=1).map(
+            _draw_block, _rng_tasks(), retry=_FAST, validate=_all_finite)
+    for expected, actual in zip(baseline, recovered):
+        assert np.array_equal(expected, actual)
+
+
+# -- fingerprints ----------------------------------------------------------
+
+class TestRngFingerprint:
+    def test_none_and_seed(self):
+        assert rng_fingerprint(None) is None
+        assert rng_fingerprint(7) == ["seed", 7]
+
+    def test_generator_captures_spawn_state(self):
+        fresh = rng_fingerprint(np.random.default_rng(5))
+        assert fresh == rng_fingerprint(np.random.default_rng(5))
+        spawned = np.random.default_rng(5)
+        spawned.spawn(1)
+        assert rng_fingerprint(spawned) != fresh
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            rng_fingerprint("seed")
+
+
+# -- checkpoint / resume ---------------------------------------------------
+
+class TestCheckpointer:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        writer = Checkpointer(path, "unit-test", meta={"n": 3})
+        writer.record(0, [1.0, 2.0])
+        writer.record(2, [3.0])
+        writer.flush()
+        reader = Checkpointer(path, "unit-test", meta={"n": 3})
+        assert reader.completed() == {0: [1.0, 2.0], 2: [3.0]}
+        assert len(reader) == 2
+
+    def test_encode_decode_hooks(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        writer = Checkpointer(path, "unit-test",
+                              encode=lambda a: [float(x) for x in a],
+                              decode=np.asarray)
+        writer.record(1, np.array([4.0, 5.0]))
+        writer.flush()
+        reader = Checkpointer(path, "unit-test",
+                              encode=lambda a: [float(x) for x in a],
+                              decode=np.asarray)
+        assert np.array_equal(reader.completed()[1], [4.0, 5.0])
+
+    def test_every_batches_flushes(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        writer = Checkpointer(path, "unit-test", every=3)
+        writer.record(0, 1)
+        writer.record(1, 2)
+        assert not os.path.exists(path)
+        writer.record(2, 3)
+        assert os.path.exists(path)
+
+    def test_meta_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        writer = Checkpointer(path, "unit-test", meta={"seed": 1})
+        writer.record(0, 1)
+        writer.flush()
+        with pytest.raises(ResilienceError, match="refusing to resume"):
+            Checkpointer(path, "unit-test", meta={"seed": 2})
+        with pytest.raises(ResilienceError, match="refusing to resume"):
+            Checkpointer(path, "other-kind", meta={"seed": 1})
+
+    def test_restart_on_mismatch_starts_empty(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        writer = Checkpointer(path, "unit-test", meta={"base": 2})
+        writer.record(0, 1)
+        writer.flush()
+        rolling = Checkpointer(path, "unit-test", meta={"base": 7},
+                               restart_on_mismatch=True)
+        assert rolling.completed() == {}
+
+    def test_missing_resume_source_rejected(self, tmp_path):
+        with pytest.raises(ResilienceError, match="does not exist"):
+            Checkpointer(str(tmp_path / "out.json"), "unit-test",
+                         resume_from=str(tmp_path / "nope.json"))
+
+    def test_corrupt_and_foreign_files_rejected(self, tmp_path):
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        with pytest.raises(ResilienceError, match="cannot read"):
+            Checkpointer(str(garbled), "unit-test")
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ResilienceError, match="format"):
+            Checkpointer(str(foreign), "unit-test")
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            Checkpointer(str(tmp_path / "c.json"), "unit-test", every=0)
+
+    def test_telemetry_counters(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            writer = Checkpointer(path, "unit-test")
+            writer.record(0, 1)
+            writer.record(1, 2)
+        assert registry.counter("resilience.checkpoints").value == 2
+        assert registry.counter("resilience.checkpoint_bytes").value > 0
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            Checkpointer(path, "unit-test")
+        assert registry.counter("resilience.chunks_restored").value == 2
+
+    def test_map_skips_checkpointed_chunks(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        seeded = Checkpointer(path, "unit-test")
+        seeded.record(1, "canned")  # deliberately not _square(2)
+        results = ParallelMap(workers=1).map(
+            _square, [1, 2, 3], checkpoint=seeded)
+        # the recorded value fills the slot without re-execution
+        assert results == [1, "canned", 9]
+
+
+# -- acceptance: solve_ensemble under faults and across a kill --------------
+
+class TestEnsembleResilience:
+    FORMULA_ARGS = dict(num_variables=15, num_clauses=55, rng=1)
+    RUN_ARGS = dict(batch=6, max_steps=15_000, chunk_size=2, rng=2)
+
+    def test_kill_hang_nan_plan_is_bit_identical_to_fault_free(self):
+        """The issue's acceptance scenario: one worker killed, one hung,
+        one NaN-corrupted -- the ensemble still completes bit-identical
+        to a fault-free serial run."""
+        formula = planted_ksat(**self.FORMULA_ARGS)
+        clean = solve_ensemble(formula, workers=1, **self.RUN_ARGS)
+        plan = FaultPlan([(0, 1, "kill"), (1, 1, "hang"), (2, 1, "nan")],
+                         hang_seconds=600.0)
+        with use_faults(plan):
+            recovered = solve_ensemble(formula, workers=2, timeout=10.0,
+                                       retry=_FAST, **self.RUN_ARGS)
+        assert np.array_equal(clean.solve_steps, recovered.solve_steps)
+        assert recovered.max_steps == clean.max_steps
+
+    def test_killed_then_resumed_equals_uninterrupted(self, tmp_path):
+        formula = planted_ksat(**self.FORMULA_ARGS)
+        uninterrupted = solve_ensemble(formula, workers=1, **self.RUN_ARGS)
+        path = str(tmp_path / "ensemble.json")
+        # first run: chunk 2 fails on every attempt -> the run dies with
+        # a partial checkpoint on disk
+        with use_faults("2:1:raise,2:2:raise,2:3:raise"):
+            with pytest.raises(ParallelError):
+                solve_ensemble(formula, workers=1, retry=_FAST,
+                               checkpoint=path, **self.RUN_ARGS)
+        document = json.load(open(path))
+        assert sorted(document["chunks"]) == ["0", "1"]
+        # second run: resume fills chunks 0-1 from disk, computes only 2
+        resumed = solve_ensemble(formula, workers=1, checkpoint=path,
+                                 **self.RUN_ARGS)
+        assert np.array_equal(uninterrupted.solve_steps,
+                              resumed.solve_steps)
+
+    def test_resume_refuses_mismatched_workload(self, tmp_path):
+        formula = planted_ksat(**self.FORMULA_ARGS)
+        path = str(tmp_path / "ensemble.json")
+        solve_ensemble(formula, workers=1, checkpoint=path, **self.RUN_ARGS)
+        wrong_seed = dict(self.RUN_ARGS, rng=3)
+        with pytest.raises(ResilienceError, match="refusing to resume"):
+            solve_ensemble(formula, workers=1, resume_from=path,
+                           **wrong_seed)

@@ -17,6 +17,9 @@ processes.  This walks ``src/repro`` ASTs and flags
 * ``from sys import stdout`` (and ``stderr``) aliases,
 * ``os.write(1, ...)`` / ``os.write(2, ...)`` -- the raw-fd escape
   hatch available inside a forked worker,
+* ``os._exit(...)`` -- kills the process with no cleanup and no
+  traceback; only the fault-injection harness
+  (``core/resilience.py``'s ``kill`` faults) may use it,
 
 outside the allowlist.  Docstrings and comments are naturally exempt
 (they never parse as calls).  Run directly or via ``make lint``::
@@ -39,6 +42,13 @@ ALLOWLIST = frozenset({
     "cli.py",  # the CLI is *the* place stdout decisions are made
 })
 
+#: Paths (relative to src/repro) allowed to call ``os._exit``: the
+#: fault-injection harness deliberately kills worker processes to
+#: exercise crash detection.
+EXIT_ALLOWLIST = frozenset({
+    os.path.join("core", "resilience.py"),
+})
+
 
 def _is_fd_write(node):
     """True for ``os.write(1, ...)`` / ``os.write(2, ...)`` calls."""
@@ -51,7 +61,15 @@ def _is_fd_write(node):
             and node.args[0].value in (1, 2))
 
 
-def _violations_in(tree):
+def _is_hard_exit(node):
+    """True for ``os._exit(...)`` calls."""
+    return (isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+            and node.func.attr == "_exit")
+
+
+def _violations_in(tree, allow_exit=False):
     """Yield (lineno, message) for each stdout use in one module AST."""
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
@@ -61,6 +79,8 @@ def _violations_in(tree):
             elif _is_fd_write(node):
                 yield (node.lineno,
                        "os.write(%d, ...) call" % node.args[0].value)
+            elif _is_hard_exit(node) and not allow_exit:
+                yield node.lineno, "os._exit() call"
         elif (isinstance(node, ast.Attribute)
                 and isinstance(node.value, ast.Name)
                 and node.value.id == "sys"
@@ -87,9 +107,12 @@ def lint(library_root=LIBRARY_ROOT, out=sys.stderr):
                 continue
             with open(path) as handle:
                 tree = ast.parse(handle.read(), filename=relative)
-            for lineno, message in _violations_in(tree):
+            allow_exit = relative in EXIT_ALLOWLIST
+            for lineno, message in _violations_in(tree,
+                                                  allow_exit=allow_exit):
                 out.write("%s:%d: %s (library modules must not write "
-                          "to stdout; see docs/observability.md)\n"
+                          "to stdout or hard-exit; see "
+                          "docs/observability.md)\n"
                           % (os.path.join("src", "repro", relative),
                              lineno, message))
                 count += 1
