@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test test-parallel test-resilience reproduce lint check clean
+.PHONY: test bench examples fast-test test-parallel test-resilience test-goldens reproduce lint check clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -30,6 +30,13 @@ test-resilience:
 TaskFailure; r = ParallelMap().map(abs, [-1, -2], on_error='return'); \
 assert isinstance(r[0], TaskFailure) and r[1] == 2, r; \
 print('REPRO_FAULTS env injection: ok')"
+
+# Golden-claims tier: the paper's headline numbers (FIG4, FIG5, POWER,
+# DMM-SAT) pinned with explicit tolerances on small seeded configs.
+# Fast enough (< 1 min) to run on every change; see tests/goldens/.
+test-goldens:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/goldens -q
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tools examples

@@ -1,0 +1,104 @@
+"""Warm-cache speedup on a repeated DMM ensemble kernel.
+
+The result cache's contract (docs/caching.md) has two halves: a warm
+run must be *much* faster than a cold one (the second dispatch of a
+repeated kernel is a table lookup, not a re-simulation), and caching
+must be *invisible* in the results (cache-off, cold, and warm runs are
+bit-identical).  This benchmark holds both on a real kernel: a seeded
+:func:`~repro.memcomputing.ensemble.solve_ensemble` over a planted
+3-SAT formula, content-addressed by formula, physics parameters, and
+RNG seed.
+
+Three timings of the *same workload*:
+
+* ``off``       -- ``cache=False``: the plain kernel, no caching;
+* ``cold``      -- first cached run: misses, computes, stores;
+* ``warm disk`` -- the memory tier is dropped first, so the hit is
+  served from the on-disk entry (a fresh process's experience);
+* ``warm mem``  -- repeat within the process: served from the LRU tier.
+
+The acceptance bar: both warm variants at least ``SPEEDUP_FLOOR``x
+faster than cold, with every run's solve-step array byte-identical.
+"""
+
+import time
+
+from conftest import emit_table
+
+from repro.core.cache import ResultCache
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.ensemble import solve_ensemble
+
+NUM_VARIABLES = 40
+NUM_CLAUSES = 168
+FORMULA_SEED = 3
+BATCH = 24
+MAX_STEPS = 200_000
+SEED = 7
+#: Minimum cold-time / warm-time ratio the cache must deliver.
+SPEEDUP_FLOOR = 5.0
+
+
+def _timed_solve(formula, cache):
+    start = time.perf_counter()
+    result = solve_ensemble(formula, batch=BATCH, max_steps=MAX_STEPS,
+                            rng=SEED, cache=cache)
+    return result, time.perf_counter() - start
+
+
+def run_cache_comparison(cache_dir):
+    """Measure off/cold/warm timings; returns the measurement dict."""
+    formula = planted_ksat(NUM_VARIABLES, NUM_CLAUSES, rng=FORMULA_SEED)
+    cache = ResultCache(cache_dir=cache_dir)
+
+    off, off_time = _timed_solve(formula, cache=False)
+    cold, cold_time = _timed_solve(formula, cache=cache)
+    assert cache.stores == 1 and cache.hits == 0
+    cache.clear_memory()
+    warm_disk, disk_time = _timed_solve(formula, cache=cache)
+    warm_mem, mem_time = _timed_solve(formula, cache=cache)
+    assert cache.hits == 2
+
+    baseline = off.solve_steps.tobytes()
+    for result in (cold, warm_disk, warm_mem):
+        assert result.solve_steps.tobytes() == baseline
+        assert result.solve_steps.dtype == off.solve_steps.dtype
+    return {
+        "times": {"off": off_time, "cold": cold_time,
+                  "warm disk": disk_time, "warm mem": mem_time},
+        "disk_speedup": cold_time / disk_time,
+        "mem_speedup": cold_time / mem_time,
+    }
+
+
+def test_warm_cache_speedup(benchmark, tmp_path):
+    measurement = benchmark.pedantic(
+        run_cache_comparison, args=(str(tmp_path / "cache"),),
+        rounds=1, iterations=1)
+    times = measurement["times"]
+    rows = [
+        ("cache off", times["off"] * 1e3, "-"),
+        ("cold (miss + store)", times["cold"] * 1e3, "1.0x"),
+        ("warm from disk", times["warm disk"] * 1e3,
+         "%.0fx" % measurement["disk_speedup"]),
+        ("warm from memory", times["warm mem"] * 1e3,
+         "%.0fx" % measurement["mem_speedup"]),
+    ]
+    emit_table(
+        "cache_warm",
+        "Warm-cache speedup on solve_ensemble (N=%d, batch=%d, seed=%d)"
+        % (NUM_VARIABLES, BATCH, SEED),
+        ["variant", "time [ms]", "speedup vs cold"],
+        rows,
+        notes=["Same formula, physics, and seed in every variant; "
+               "solve-step arrays are asserted byte-identical, so the "
+               "speedup is pure result reuse.",
+               "Contract (docs/caching.md): a warm run is at least "
+               "%.0fx faster than cold." % SPEEDUP_FLOOR],
+    )
+    assert measurement["disk_speedup"] >= SPEEDUP_FLOOR, (
+        "warm-from-disk speedup %.1fx below the %.0fx floor"
+        % (measurement["disk_speedup"], SPEEDUP_FLOOR))
+    assert measurement["mem_speedup"] >= SPEEDUP_FLOOR, (
+        "warm-from-memory speedup %.1fx below the %.0fx floor"
+        % (measurement["mem_speedup"], SPEEDUP_FLOOR))

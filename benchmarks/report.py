@@ -30,7 +30,8 @@ ORDER = [
     ("Extensions",
      ["oscillator_applications", "quantum_noise", "ablation_dmm_memory",
       "ablation_topology", "cross_paradigm_ising", "ilp", "inmemory",
-      "telemetry_overhead", "parallel_scaling", "retry_overhead"]),
+      "telemetry_overhead", "parallel_scaling", "retry_overhead",
+      "cache_warm"]),
 ]
 
 

@@ -14,10 +14,12 @@ file, ``--metrics`` prints the metrics summary table after the run (see
 ``docs/observability.md``) -- the shared ``--workers N`` flag, which
 fans the command's hot loop out over the parallel execution engine
 (DMM restart portfolio, Shor order-finding attempts, distance pair
-scoring; see ``docs/parallelism.md``), and the shared resilience flags
+scoring; see ``docs/parallelism.md``), the shared resilience flags
 ``--retries N`` / ``--timeout S`` / ``--checkpoint PATH`` / ``--resume
 PATH`` (per-chunk retry budget, wall-clock budget, and JSON
-checkpoint/resume; see ``docs/resilience.md``).
+checkpoint/resume; see ``docs/resilience.md``), and the shared caching
+flags ``--cache-dir PATH`` / ``--no-cache`` (content-addressed result
+reuse across runs; see ``docs/caching.md``).
 """
 
 import argparse
@@ -60,6 +62,35 @@ def _add_resilience_flags(subparser):
     subparser.add_argument("--resume", metavar="PATH", default=None,
                            help="resume from this checkpoint file (must "
                                 "exist; implies --checkpoint PATH)")
+
+
+def _add_cache_flags(subparser):
+    subparser.add_argument("--cache-dir", metavar="PATH", default=None,
+                           help="content-addressed result cache "
+                                "directory; repeated workloads replay "
+                                "stored results bit-identically (see "
+                                "docs/caching.md)")
+    subparser.add_argument("--no-cache", action="store_true",
+                           help="disable result caching for this run "
+                                "(overrides --cache-dir and the "
+                                "REPRO_CACHE_DIR environment variable)")
+
+
+def _cache_arg(args):
+    """The caching flags as the kernels' ``cache=`` argument.
+
+    ``--no-cache`` wins (``False`` disables caching outright, including
+    the ``REPRO_CACHE_DIR`` environment default); ``--cache-dir``
+    selects a directory; otherwise ``None`` defers to the environment.
+    """
+    if getattr(args, "no_cache", False):
+        return False
+    return getattr(args, "cache_dir", None)
+
+
+def _wants_cache(args):
+    """True when --cache-dir was given explicitly."""
+    return getattr(args, "cache_dir", None) is not None
 
 
 def _resilience_kwargs(args):
@@ -136,6 +167,7 @@ def _build_parser():
     _add_observability_flags(solve)
     _add_parallel_flags(solve)
     _add_resilience_flags(solve)
+    _add_cache_flags(solve)
 
     factor = commands.add_parser("factor",
                                  help="factor a composite integer")
@@ -146,6 +178,7 @@ def _build_parser():
     _add_observability_flags(factor)
     _add_parallel_flags(factor)
     _add_resilience_flags(factor)
+    _add_cache_flags(factor)
 
     distance = commands.add_parser(
         "distance",
@@ -161,6 +194,7 @@ def _build_parser():
     _add_observability_flags(distance)
     _add_parallel_flags(distance)
     _add_resilience_flags(distance)
+    _add_cache_flags(distance)
 
     commands.add_parser("reproduce",
                         help="how to regenerate the paper's results")
@@ -196,12 +230,13 @@ def _run_solve(args, out):
     if args.solver == "dmm":
         from .memcomputing.solver import DmmSolver, solve_portfolio
 
-        if workers > 1 or _wants_resilience(args):
+        if workers > 1 or _wants_resilience(args) or _wants_cache(args):
             portfolio = solve_portfolio(formula,
                                         attempts=max(workers, 2),
                                         workers=workers,
                                         max_steps=args.max_steps,
                                         rng=args.seed,
+                                        cache=_cache_arg(args),
                                         **_resilience_kwargs(args))
             result = portfolio.best
             if result is None:
@@ -255,7 +290,8 @@ def _run_factor(args, out):
                              workers=getattr(args, "workers", None),
                              timeout=getattr(args, "timeout", None),
                              retry=getattr(args, "retries", None),
-                             checkpoint=checkpoint)
+                             checkpoint=checkpoint,
+                             cache=_cache_arg(args))
         if not result.succeeded:
             out.write("no factors found (try another seed)\n")
             return 1
@@ -301,7 +337,7 @@ def _run_distance(args, out):
                         pairs=len(pairs)) as eval_span:
         measures = unit.measure_pairs(
             pairs, workers=getattr(args, "workers", None),
-            **_resilience_kwargs(args))
+            cache=_cache_arg(args), **_resilience_kwargs(args))
         eval_span.set_attr("pairs", len(pairs))
     for (a, b), measure in zip(pairs, measures):
         out.write("distance(%g, %g) = %.6f   (mode=%s, |delta|=%g)\n"

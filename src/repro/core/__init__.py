@@ -4,7 +4,8 @@ The three computing models reproduced from the paper sit on this common
 layer.  Nothing here knows about qubits, oscillators, or SOLGs.
 """
 
-from . import parallel, resilience, telemetry, tracing
+from . import cache, parallel, resilience, telemetry, tracing
+from .cache import CacheSpec, ResultCache, use_cache
 from .cnf import Clause, CnfFormula, parse_dimacs
 from .parallel import ParallelMap, TaskFailure, parallel_map
 from .resilience import Checkpointer, FaultPlan, RetryPolicy, use_faults
@@ -25,6 +26,10 @@ from .sat_instances import (
 )
 
 __all__ = [
+    "cache",
+    "CacheSpec",
+    "ResultCache",
+    "use_cache",
     "parallel",
     "resilience",
     "telemetry",

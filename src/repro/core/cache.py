@@ -1,0 +1,498 @@
+"""Content-addressed result cache for repeated kernels.
+
+The ROADMAP's north star is a system that serves *repeated* heavy
+traffic "as fast as the hardware allows"; the accelerator literature the
+paper builds on (Britt & Humble's HPC quantum-accelerator stack,
+heterogeneous-datacenter runtimes) puts the answer in the runtime layer:
+when the same kernel is dispatched twice, the second dispatch should be
+a table lookup, not a re-simulation.  This module is that layer for the
+library's expensive kernels -- statevector shot loops, oscillator ODE
+sweeps, DMM ensembles:
+
+* :func:`fingerprint` / :func:`cache_key` -- the *content address*: a
+  workload is identified by the same fingerprint the
+  :class:`~repro.core.resilience.Checkpointer` already computes (kind,
+  physics parameters, RNG spawn state) plus the library code version,
+  canonically JSON-serialized and hashed.  Two runs share a cache entry
+  exactly when that fingerprint says they would produce bit-identical
+  results.
+* :class:`ResultCache` -- an in-process LRU front (recently used
+  entries answered from memory) over an atomic on-disk store (one
+  JSON or NPZ file per entry, written via rename, so concurrent runs
+  never observe a torn entry).  Every stored entry carries its full
+  fingerprint document; a lookup whose key matches but whose
+  fingerprint does not (tampering, hash collision, stale directory)
+  refuses reuse with a :class:`~repro.core.exceptions.CacheError`
+  naming the offending path and both fingerprints.
+* :class:`CacheSpec` -- the call-site bundle (cache, kind, meta,
+  encode/decode) that :meth:`repro.core.parallel.ParallelMap.map`
+  consumes for chunk-level caching: a cached chunk skips dispatch
+  entirely and its stored result fills the output slot bit-identically.
+
+Cache invisibility
+------------------
+Caching must never change *what* a call returns -- only how fast.  The
+contract (held by ``tests/core/test_cache.py``'s hypothesis suite):
+
+* cache-on and cache-off runs of the same workload are bit-identical,
+* a cold run (misses, then stores) and a warm run (hits) are
+  bit-identical,
+* cache keys depend only on the workload fingerprint -- never on the
+  worker count -- so a run at ``workers=4`` hits the entries a
+  ``workers=1`` run stored.
+
+Two rules keep the contract honest.  First, workloads whose RNG
+argument cannot be fingerprinted deterministically (``rng=None`` means
+fresh OS entropy) are *never* cached -- :func:`spec_for` returns None
+for them.  Second, kernel-level (whole-call) caching only engages for
+integer-seed RNG arguments (:func:`cacheable_seed`): skipping execution
+would leave a caller-supplied generator un-advanced, visibly changing
+downstream draws.  Chunk-level caching has no such restriction, because
+the per-chunk generators are spawned (advancing the parent identically)
+whether or not the chunks then execute.
+
+Failures are never cached: a chunk that raised, timed out, or failed
+validation re-executes on the next run, it is not replayed.
+
+Telemetry: ``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
+``cache.bytes`` (bytes written to disk) / ``cache.evictions`` (LRU
+drops from the memory tier).  Enable a cache process-wide with the
+``REPRO_CACHE_DIR`` environment variable, scoped with
+:func:`use_cache`, or per call with the ``cache=`` keyword the kernel
+entry points accept; the CLI exposes ``--cache-dir`` / ``--no-cache``.
+See ``docs/caching.md``.
+"""
+
+import collections
+import contextlib
+import copy
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from . import telemetry
+from .exceptions import CacheError
+from .resilience import jsonable
+
+#: Format marker stored in (and required of) every cache entry.
+CACHE_FORMAT = "repro-cache-v1"
+
+#: Environment variable enabling a process-wide cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default capacity of the in-process LRU front (entries, not bytes).
+DEFAULT_MAX_MEMORY_ENTRIES = 256
+
+
+def code_version():
+    """The library version stamped into every fingerprint.
+
+    A cache entry written by one version of the kernels must not be
+    served to another -- a bugfix in an integrator legitimately changes
+    results -- so the version participates in the content address.
+    """
+    from repro import __version__
+
+    return __version__
+
+
+def digest(value):
+    """Short stable hash of any JSON-able description.
+
+    Used to keep bulky workload descriptions (a CNF formula's clause
+    list, an image's pixels, a long pair list) out of the fingerprint
+    *document* while still letting them decide the content address.
+    """
+    payload = json.dumps(jsonable(value), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def array_fingerprint(array):
+    """Content hash of a numpy array (dtype, shape, and bytes)."""
+    array = np.ascontiguousarray(array)
+    hasher = hashlib.sha256()
+    hasher.update(str(array.dtype).encode("utf-8"))
+    hasher.update(repr(array.shape).encode("utf-8"))
+    hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def formula_fingerprint(formula):
+    """Content hash of a CNF formula (clauses are canonically ordered).
+
+    :class:`~repro.core.cnf.Clause` already sorts its literals, so the
+    digest is independent of construction order.
+    """
+    return digest([int(formula.num_variables),
+                   [[list(clause.literals), clause.weight]
+                    for clause in formula.clauses]])
+
+
+def fingerprint(kind, meta):
+    """The canonical workload-fingerprint document for ``(kind, meta)``.
+
+    The same shape the :class:`~repro.core.resilience.Checkpointer`
+    records (kind + JSON-able meta), extended with the library code
+    version.  Hash it with :func:`cache_key` to get the content address.
+    """
+    return {"format": CACHE_FORMAT,
+            "kind": str(kind),
+            "meta": jsonable(meta if meta is not None else {}),
+            "code": code_version()}
+
+
+def cache_key(doc, index=None):
+    """Content address of one entry: SHA-256 over the canonical document.
+
+    ``index`` distinguishes the chunks of one workload (chunk-level
+    caching); ``None`` addresses the whole-kernel result.
+    """
+    payload = json.dumps([doc, None if index is None else int(index)],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cacheable_seed(seed_or_rng):
+    """True when kernel-level (whole-call) caching is safe for this RNG.
+
+    Only integer seeds qualify: serving a cached whole-kernel result
+    skips execution, and with a caller-supplied
+    :class:`numpy.random.Generator` that skip would leave the
+    generator's state un-advanced -- visibly different from the uncached
+    run.  ``None`` (fresh entropy) is never reproducible.  Chunk-level
+    caching is exempt from this restriction (the per-chunk spawn happens
+    either way).
+    """
+    return isinstance(seed_or_rng, (int, np.integer)) \
+        and not isinstance(seed_or_rng, bool)
+
+
+class ResultCache:
+    """LRU-fronted, content-addressed result store.
+
+    Parameters
+    ----------
+    cache_dir : str or None
+        Directory for the persistent tier (created on first store).
+        ``None`` keeps the cache memory-only -- still useful for
+        repeated kernels inside one process.
+    max_memory_entries : int
+        LRU capacity of the memory tier; the oldest entry is evicted
+        (``cache.evictions``) when a store would exceed it.  The disk
+        tier is unbounded.
+
+    Notes
+    -----
+    Values are deep-copied on their way in and out of the memory tier,
+    so a caller mutating a returned result cannot corrupt the cache.
+    Disk entries are one file per key -- ``<key>.json`` for JSON-able
+    (possibly ``encode``-d) values, ``<key>.npz`` for raw numpy arrays
+    -- always written to a scratch name and renamed, so a concurrent
+    reader sees either the complete entry or none.
+    """
+
+    def __init__(self, cache_dir=None, max_memory_entries=None):
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        if max_memory_entries is None:
+            max_memory_entries = DEFAULT_MAX_MEMORY_ENTRIES
+        if int(max_memory_entries) < 0:
+            raise CacheError("max_memory_entries must be >= 0, got %r"
+                             % (max_memory_entries,))
+        self.max_memory_entries = int(max_memory_entries)
+        self._memory = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- keying helpers ---------------------------------------------------
+
+    def spec(self, kind, meta, encode=None, decode=None):
+        """A :class:`CacheSpec` binding this cache to one workload."""
+        return CacheSpec(self, kind, meta, encode=encode, decode=decode)
+
+    def _paths(self, key):
+        if self.cache_dir is None:
+            return None, None
+        return (os.path.join(self.cache_dir, key + ".json"),
+                os.path.join(self.cache_dir, key + ".npz"))
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, key, doc, decode=None):
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        ``doc`` is the expected fingerprint document for ``key``; a disk
+        entry whose stored fingerprint disagrees raises
+        :class:`CacheError` naming the path and both fingerprints
+        instead of silently serving a wrong result.
+        """
+        registry = telemetry.get_registry()
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            if registry.enabled:
+                registry.counter("cache.hits").inc()
+            return True, copy.deepcopy(self._memory[key])
+        value, found = self._disk_lookup(key, doc, decode)
+        if found:
+            self._remember(key, value)
+            self.hits += 1
+            if registry.enabled:
+                registry.counter("cache.hits").inc()
+            return True, copy.deepcopy(value)
+        self.misses += 1
+        if registry.enabled:
+            registry.counter("cache.misses").inc()
+        return False, None
+
+    def _disk_lookup(self, key, doc, decode):
+        json_path, npz_path = self._paths(key)
+        if json_path is not None and os.path.exists(json_path):
+            try:
+                with open(json_path) as handle:
+                    document = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise CacheError("cannot read cache entry %r: %s"
+                                 % (json_path, error))
+            self._check_fingerprint(json_path, document.get("fingerprint"),
+                                    doc)
+            value = document.get("value")
+            if decode is not None:
+                value = decode(value)
+            return value, True
+        if npz_path is not None and os.path.exists(npz_path):
+            try:
+                with np.load(npz_path, allow_pickle=False) as data:
+                    stored = json.loads(str(data["fingerprint"]))
+                    value = np.array(data["value"])
+            except (OSError, ValueError, KeyError) as error:
+                raise CacheError("cannot read cache entry %r: %s"
+                                 % (npz_path, error))
+            self._check_fingerprint(npz_path, stored, doc)
+            return value, True
+        return None, False
+
+    @staticmethod
+    def _check_fingerprint(path, stored, expected):
+        if jsonable(stored) != jsonable(expected):
+            raise CacheError(
+                "cache entry %r does not match this workload; refusing "
+                "reuse: entry fingerprint %r != expected fingerprint %r "
+                "(delete the file or point --cache-dir elsewhere)"
+                % (path, stored, expected))
+
+    # -- store ------------------------------------------------------------
+
+    def store(self, key, doc, value, encode=None):
+        """Record ``value`` under ``key`` in both tiers.
+
+        Raw numpy arrays (with no ``encode``) persist as ``.npz``;
+        everything else is ``encode``-d (default identity) into the JSON
+        entry alongside its fingerprint document.
+        """
+        registry = telemetry.get_registry()
+        self._remember(key, copy.deepcopy(value))
+        self.stores += 1
+        if registry.enabled:
+            registry.counter("cache.stores").inc()
+        json_path, npz_path = self._paths(key)
+        if json_path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        if encode is None and isinstance(value, np.ndarray):
+            scratch = npz_path + ".tmp"
+            with open(scratch, "wb") as handle:
+                np.savez(handle, value=value,
+                         fingerprint=np.asarray(json.dumps(jsonable(doc))))
+            os.replace(scratch, npz_path)
+            written = os.path.getsize(npz_path)
+        else:
+            encoded = value if encode is None else encode(value)
+            document = {"format": CACHE_FORMAT, "key": key,
+                        "fingerprint": jsonable(doc), "value": encoded}
+            try:
+                payload = json.dumps(document)
+            except (TypeError, ValueError) as error:
+                raise CacheError(
+                    "cache value for kind %r is not JSON-able (%s); pass "
+                    "an encode hook" % (doc.get("kind"), error))
+            scratch = json_path + ".tmp"
+            with open(scratch, "w") as handle:
+                handle.write(payload)
+                handle.write("\n")
+            os.replace(scratch, json_path)
+            written = len(payload) + 1
+        if registry.enabled:
+            registry.counter("cache.bytes").inc(written)
+
+    def _remember(self, key, value):
+        if self.max_memory_entries == 0:
+            return
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+            registry = telemetry.get_registry()
+            if registry.enabled:
+                registry.counter("cache.evictions").inc()
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear_memory(self):
+        """Drop the LRU tier (disk entries survive)."""
+        self._memory.clear()
+
+    def __len__(self):
+        return len(self._memory)
+
+    def __repr__(self):
+        return ("ResultCache(dir=%r, memory=%d/%d, hits=%d, misses=%d)"
+                % (self.cache_dir, len(self._memory),
+                   self.max_memory_entries, self.hits, self.misses))
+
+
+class CacheSpec:
+    """One workload's binding of cache + fingerprint + codec.
+
+    The object call sites hand to
+    :meth:`repro.core.parallel.ParallelMap.map` (chunk-level) or use
+    directly (kernel-level).  ``encode``/``decode`` translate one value
+    to/from its JSON form, mirroring the
+    :class:`~repro.core.resilience.Checkpointer` codec convention.
+    """
+
+    __slots__ = ("cache", "kind", "doc", "encode", "decode")
+
+    def __init__(self, cache, kind, meta, encode=None, decode=None):
+        self.cache = cache
+        self.kind = str(kind)
+        self.doc = fingerprint(kind, meta)
+        self.encode = encode
+        self.decode = decode
+
+    def key(self, index=None):
+        """Content address of the whole kernel (or of chunk ``index``)."""
+        return cache_key(self.doc, index)
+
+    def lookup(self, index=None):
+        """``(hit, value)`` for the whole kernel or one chunk."""
+        return self.cache.lookup(self.key(index), self.doc,
+                                 decode=self.decode)
+
+    def store(self, value, index=None):
+        """Record a freshly computed result."""
+        self.cache.store(self.key(index), self.doc, value,
+                         encode=self.encode)
+
+    def __repr__(self):
+        return "CacheSpec(kind=%s, cache=%r)" % (self.kind, self.cache)
+
+
+# -- active cache plumbing -------------------------------------------------
+
+_active_cache = None
+_dir_caches = {}
+
+
+def set_result_cache(cache):
+    """Install ``cache`` process-wide (None clears); returns the previous.
+
+    The programmatic override wins over the ``REPRO_CACHE_DIR``
+    environment variable.
+    """
+    global _active_cache
+    previous = _active_cache
+    _active_cache = cache
+    return previous
+
+
+def cache_for_dir(cache_dir):
+    """The shared :class:`ResultCache` for a directory.
+
+    Memoized per absolute path so repeated kernels in one process share
+    the memory tier instead of re-reading disk entries.
+    """
+    path = os.path.abspath(str(cache_dir))
+    if path not in _dir_caches:
+        _dir_caches[path] = ResultCache(cache_dir=path)
+    return _dir_caches[path]
+
+
+def active_cache():
+    """The cache kernels should consult right now, or None.
+
+    Checks the programmatic override first, then ``REPRO_CACHE_DIR``.
+    """
+    if _active_cache is not None:
+        return _active_cache
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return cache_for_dir(env)
+    return None
+
+
+@contextlib.contextmanager
+def use_cache(cache):
+    """Scoped caching: install ``cache``, restore the previous one after.
+
+    Accepts a :class:`ResultCache` or a directory path.
+    """
+    if isinstance(cache, (str, os.PathLike)):
+        cache = cache_for_dir(cache)
+    previous = set_result_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_result_cache(previous)
+
+
+def resolve_cache(cache):
+    """Coerce a kernel's ``cache`` argument into a ResultCache or None.
+
+    ``None`` consults the active cache (:func:`active_cache`) so library
+    call sites stay uncached unless a caller, the CLI's ``--cache-dir``,
+    or the environment opts in; ``False`` disables caching outright
+    (the CLI's ``--no-cache``, which must win over the environment); a
+    string or path selects the shared per-directory cache; an existing
+    :class:`ResultCache` passes through.
+    """
+    if cache is None:
+        return active_cache()
+    if cache is False:
+        return None
+    if isinstance(cache, (str, os.PathLike)):
+        return cache_for_dir(cache)
+    if isinstance(cache, ResultCache):
+        return cache
+    raise CacheError(
+        "cache must be None, False, a directory path, or a ResultCache; "
+        "got %r" % (cache,))
+
+
+def _meta_is_deterministic(meta):
+    """False when meta carries an un-fingerprintable RNG.
+
+    ``rng_fingerprint(None)`` is None -- fresh OS entropy.  A workload
+    seeded that way can never be replayed, so it must never share a
+    cache entry with anything.
+    """
+    return not (isinstance(meta, dict) and "rng" in meta
+                and meta["rng"] is None)
+
+
+def spec_for(cache, kind, meta, encode=None, decode=None):
+    """A :class:`CacheSpec` for this workload, or None when caching is off.
+
+    Resolves ``cache`` (:func:`resolve_cache`) and refuses to build a
+    spec for non-deterministic workloads (an ``rng`` meta entry whose
+    fingerprint is None).
+    """
+    cache = resolve_cache(cache)
+    if cache is None or not _meta_is_deterministic(meta):
+        return None
+    return cache.spec(kind, meta, encode=encode, decode=decode)

@@ -40,6 +40,10 @@ class ResilienceError(CoreError):
     checkpoint, malformed fault spec)."""
 
 
+class CacheError(CoreError):
+    """Result-cache misuse or a corrupted/mismatched cache entry."""
+
+
 class InjectedFault(CoreError):
     """A deliberately injected failure from a resilience ``FaultPlan``.
 

@@ -14,8 +14,10 @@ the host-side scheduler for those bags:
   payloads on a bounded set of worker processes, with ordered result
   collection, per-task timeouts, crash recovery (a dead worker marks
   its chunk failed and the run continues), per-chunk retries
-  (:class:`~repro.core.resilience.RetryPolicy`), result validation, and
-  checkpoint/resume (:class:`~repro.core.resilience.Checkpointer`),
+  (:class:`~repro.core.resilience.RetryPolicy`), result validation,
+  checkpoint/resume (:class:`~repro.core.resilience.Checkpointer`), and
+  content-addressed chunk reuse (:class:`~repro.core.cache.CacheSpec` --
+  a cached chunk skips dispatch and replays bit-identically),
 * :class:`TaskFailure` -- the ordered-result placeholder for a chunk
   that raised, timed out, failed validation, or whose worker died.
 
@@ -292,7 +294,7 @@ class ParallelMap:
         self.start_method = start_method
 
     def map(self, fn, tasks, on_error="raise", retry=None, validate=None,
-            checkpoint=None):
+            checkpoint=None, cache=None):
         """Run ``fn`` over ``tasks``; return results in task order.
 
         Parameters
@@ -321,6 +323,16 @@ class ParallelMap:
             chunks already completed in a resumed checkpoint are
             skipped -- their recorded results fill the output slots
             without re-execution.
+        cache : CacheSpec, optional
+            Content-addressed chunk reuse
+            (:class:`~repro.core.cache.CacheSpec`).  Before dispatch,
+            each still-pending chunk index is looked up under the
+            workload fingerprint: hits fill their output slots (and the
+            checkpoint, when one is active) without executing; every
+            freshly computed, validated chunk value is stored for the
+            next run.  Failures are never cached.  The checkpoint is
+            consulted first -- a resumed run trusts its own recorded
+            results over the shared cache.
         """
         if on_error not in ("raise", "return"):
             raise ParallelError(
@@ -337,6 +349,15 @@ class ParallelMap:
             for index, value in checkpoint.completed().items():
                 if 0 <= index < total:
                     outcomes[index] = value
+        if cache is not None:
+            for index in range(total):
+                if index in outcomes:
+                    continue
+                hit, value = cache.lookup(index)
+                if hit:
+                    outcomes[index] = value
+                    if checkpoint is not None:
+                        checkpoint.record(index, value)
         pending = [(index, task) for index, task in enumerate(tasks)
                    if index not in outcomes]
         workers = min(self.workers, total)
@@ -386,6 +407,8 @@ class ParallelMap:
                         outcomes[index] = value
                         if checkpoint is not None:
                             checkpoint.record(index, value)
+                        if cache is not None:
+                            cache.store(value, index)
                 if retry_pairs:
                     delay = max(retry.delay(index, attempt)
                                 for index, _task in retry_pairs)

@@ -499,17 +499,21 @@ class Checkpointer:
             raise ResilienceError(
                 "checkpoint %r has format %r, expected %r"
                 % (source, document.get("format"), CHECKPOINT_FORMAT))
-        mismatch = None
-        if document.get("kind") != self.kind:
-            mismatch = "kind %r != %r" % (document.get("kind"), self.kind)
-        elif jsonable(document.get("meta", {})) != self.meta:
-            mismatch = "meta %r != %r" % (document.get("meta"), self.meta)
-        if mismatch is not None:
+        file_fingerprint = {"kind": document.get("kind"),
+                            "meta": jsonable(document.get("meta", {}))}
+        run_fingerprint = {"kind": self.kind, "meta": self.meta}
+        if file_fingerprint != run_fingerprint:
             if self.restart_on_mismatch:
                 return
+            mismatch = "kind %r != %r" \
+                % (file_fingerprint["kind"], self.kind) \
+                if file_fingerprint["kind"] != self.kind \
+                else "meta %r != %r" % (file_fingerprint["meta"], self.meta)
             raise ResilienceError(
                 "checkpoint %r does not match this run (%s); refusing "
-                "to resume" % (source, mismatch))
+                "to resume: checkpoint fingerprint %r != this run's "
+                "fingerprint %r" % (source, mismatch, file_fingerprint,
+                                    run_fingerprint))
         chunks = document.get("chunks", {})
         self._completed = {int(index): self._decode(value)
                            for index, value in chunks.items()}

@@ -15,6 +15,7 @@ trajectory-for-trajectory by the test suite.
 
 import numpy as np
 
+from ..core import cache as result_cache
 from ..core import parallel, resilience
 from ..core.exceptions import MemcomputingError
 from ..core.rngs import make_rng, spawn_rngs
@@ -222,10 +223,29 @@ def _decode_steps(values):
     return np.asarray(values, dtype=float)
 
 
+def _ensemble_meta(formula, batch, dt, max_steps, check_every, params,
+                   x_l_max, rng, sizes=None):
+    """Workload fingerprint meta shared by the checkpoint and the cache.
+
+    The cache additionally hashes the formula *content* (a checkpoint
+    file is private to one run; a cache directory is shared across
+    runs, so the key must distinguish different formulas with identical
+    solver settings).
+    """
+    meta = {"batch": int(batch), "dt": dt, "max_steps": int(max_steps),
+            "check_every": int(check_every), "params": params,
+            "x_l_max": x_l_max, "rng": resilience.rng_fingerprint(rng),
+            "formula": result_cache.formula_fingerprint(formula)}
+    if sizes is not None:
+        meta["sizes"] = sizes
+    return meta
+
+
 def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
                    check_every=25, params=None, x_l_max=None, rng=None,
                    workers=None, chunk_size=None, timeout=None, retry=None,
-                   checkpoint=None, resume_from=None, checkpoint_every=1):
+                   checkpoint=None, resume_from=None, checkpoint_every=1,
+                   cache=None):
     """Run ``batch`` trajectories; returns an :class:`EnsembleResult`.
 
     Solved trajectories are frozen (their state stops advancing) so the
@@ -264,34 +284,56 @@ def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
         ``checkpoint`` when that file exists.
     checkpoint_every : int
         Flush the checkpoint after this many newly finished blocks.
+    cache : None, False, str, or ResultCache
+        Content-addressed result reuse (:mod:`repro.core.cache`).
+        ``None`` consults the active cache (``REPRO_CACHE_DIR`` or
+        :func:`repro.core.cache.use_cache`); ``False`` disables.  The
+        serial fast path caches the whole solve-step array (integer
+        seeds only); the chunked path caches per trajectory block.
+        Workloads with ``rng=None`` (fresh entropy) are never cached.
     """
     workers = parallel.resolve_workers(workers)
     resilient = (timeout is not None or retry is not None
                  or checkpoint is not None or resume_from is not None)
     if workers == 1 and chunk_size is None and not resilient:
+        spec = None
+        if result_cache.cacheable_seed(rng):
+            spec = result_cache.spec_for(
+                cache, "dmm-ensemble",
+                _ensemble_meta(formula, batch, dt, max_steps, check_every,
+                               params, x_l_max, rng))
+        if spec is not None:
+            hit, solve_steps = spec.lookup()
+            if hit:
+                return EnsembleResult(solve_steps, max_steps)
         solve_steps = _integrate_batch(formula, batch, dt, max_steps,
                                        check_every, params, x_l_max,
                                        make_rng(rng))
+        if spec is not None:
+            spec.store(np.asarray(solve_steps, dtype=float))
         return EnsembleResult(solve_steps, max_steps)
     if batch < 1:
         raise MemcomputingError("batch must be positive")
     sizes = parallel.chunk_sizes(batch, chunk_size)
+    # Fingerprint the RNG argument before spawn_rngs advances it.
+    meta = _ensemble_meta(formula, batch, dt, max_steps, check_every,
+                          params, x_l_max, rng, sizes=sizes)
     ckpt = None
     if checkpoint is not None or resume_from is not None:
-        # Fingerprint the RNG argument before spawn_rngs advances it.
-        meta = {"batch": int(batch), "dt": dt, "max_steps": int(max_steps),
-                "check_every": int(check_every), "sizes": sizes,
-                "params": params, "x_l_max": x_l_max,
-                "rng": resilience.rng_fingerprint(rng)}
+        ckpt_meta = {key: value for key, value in meta.items()
+                     if key != "formula"}
         ckpt = resilience.Checkpointer(
             checkpoint if checkpoint is not None else resume_from,
-            "dmm-ensemble", meta=meta, encode=_encode_steps,
+            "dmm-ensemble", meta=ckpt_meta, encode=_encode_steps,
             decode=_decode_steps, every=checkpoint_every,
             resume_from=resume_from)
+    spec = result_cache.spec_for(cache, "dmm-ensemble-chunk", meta,
+                                 encode=_encode_steps,
+                                 decode=_decode_steps)
     rngs = spawn_rngs(rng, len(sizes))
     tasks = [(formula, size, dt, max_steps, check_every, params, x_l_max,
               chunk_rng) for size, chunk_rng in zip(sizes, rngs)]
     chunks = parallel.ParallelMap(workers=workers, timeout=timeout).map(
         _integrate_chunk, tasks, retry=retry, validate=_chunk_no_nan,
-        checkpoint=ckpt)
+        checkpoint=ckpt, cache=spec)
     return EnsembleResult(np.concatenate(chunks), max_steps)

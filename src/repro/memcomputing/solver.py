@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from ..core import cache as result_cache
 from ..core import parallel, resilience, telemetry
 from ..core.exceptions import DmmConvergenceError
 from ..core.rngs import make_rng, spawn_rngs
@@ -273,7 +274,8 @@ def _decode_member(doc):
 
 def solve_portfolio(formula, attempts=4, rng=None, workers=None,
                     timeout=None, retry=None, checkpoint=None,
-                    resume_from=None, checkpoint_every=1, **solver_kwargs):
+                    resume_from=None, checkpoint_every=1, cache=None,
+                    **solver_kwargs):
     """Race ``attempts`` independent restarts; returns a portfolio result.
 
     The parallel analogue of :class:`DmmSolver`'s ``restart_after``
@@ -291,29 +293,37 @@ def solve_portfolio(formula, attempts=4, rng=None, workers=None,
     failed member with its original stream before giving up;
     ``checkpoint``/``resume_from`` (paths) persist finished members to a
     JSON checkpoint so a killed portfolio resumes instead of restarting;
+    ``cache`` (None / False / path / :class:`~repro.core.cache.ResultCache`)
+    reuses per-member results content-addressed by formula, settings, and
+    RNG fingerprint (:mod:`repro.core.cache`; seeded runs only);
     ``solver_kwargs`` are forwarded to every member's
     :class:`DmmSolver`.
     """
     if attempts < 1:
         raise ValueError("attempts must be positive, got %r" % attempts)
+    # Fingerprint the RNG argument before spawn_rngs advances it.
+    meta = {"attempts": int(attempts),
+            "solver_kwargs": resilience.jsonable(solver_kwargs),
+            "rng": resilience.rng_fingerprint(rng)}
     ckpt = None
     if checkpoint is not None or resume_from is not None:
-        # Fingerprint the RNG argument before spawn_rngs advances it.
-        meta = {"attempts": int(attempts),
-                "solver_kwargs": resilience.jsonable(solver_kwargs),
-                "rng": resilience.rng_fingerprint(rng)}
         ckpt = resilience.Checkpointer(
             checkpoint if checkpoint is not None else resume_from,
             "dmm-portfolio", meta=meta, encode=_encode_member,
             decode=_decode_member, every=checkpoint_every,
             resume_from=resume_from)
+    cache_meta = dict(meta,
+                      formula=result_cache.formula_fingerprint(formula))
+    spec = result_cache.spec_for(cache, "dmm-portfolio", cache_meta,
+                                 encode=_encode_member,
+                                 decode=_decode_member)
     rngs = spawn_rngs(rng, attempts)
     tasks = [(formula, solver_kwargs, member_rng) for member_rng in rngs]
     engine = parallel.ParallelMap(workers=workers, timeout=timeout)
     with telemetry.span("dmm.portfolio.solve", attempts=attempts):
         results = engine.map(_portfolio_attempt, tasks, on_error="return",
                              retry=retry, validate=_member_is_result,
-                             checkpoint=ckpt)
+                             checkpoint=ckpt, cache=spec)
     registry = telemetry.get_registry()
     if registry.enabled:
         registry.counter("dmm.portfolio.solves").inc()

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from ..core import cache as result_cache
 from ..core import parallel, resilience, telemetry
 from ..core.exceptions import OscillatorError
 from .locking import DEFAULT_C_C, simulate_calibrated_pair
@@ -166,7 +167,7 @@ class OscillatorDistanceUnit:
 
     def measure_pairs(self, pairs, workers=None, chunk_size=None,
                       timeout=None, retry=None, checkpoint=None,
-                      resume_from=None, checkpoint_every=1):
+                      resume_from=None, checkpoint_every=1, cache=None):
         """Measures for a sequence of ``(a, b)`` intensity pairs, in order.
 
         The image-scale fan-out path: pairs are split into blocks
@@ -179,27 +180,49 @@ class OscillatorDistanceUnit:
         this unit.  ``timeout``/``retry`` bound and re-dispatch failed
         blocks; ``checkpoint``/``resume_from`` (paths) persist finished
         blocks so an interrupted image sweep resumes where it stopped.
+        ``cache`` (None / False / path /
+        :class:`~repro.core.cache.ResultCache`) reuses measures
+        content-addressed by the pair values and the unit's calibration
+        (the primitive has no RNG, so every workload is cacheable):
+        whole-call on the serial path, per block on the chunked path.
         """
         pairs = [(float(a), float(b)) for a, b in pairs]
         workers = parallel.resolve_workers(workers)
         resilient = (timeout is not None or retry is not None
                      or checkpoint is not None or resume_from is not None)
-        if workers == 1 and chunk_size is None and not resilient:
-            return [self.measure(a, b) for a, b in pairs]
-        chunks = parallel.chunk_list(pairs, chunk_size)
         config = self.config()
+        cache_meta = {"pairs": result_cache.digest(pairs),
+                      "count": len(pairs),
+                      "config": resilience.jsonable(config)}
+        if workers == 1 and chunk_size is None and not resilient:
+            spec = result_cache.spec_for(
+                cache, "oscillator-distance", cache_meta,
+                encode=_encode_measures)
+            if spec is not None:
+                hit, measures = spec.lookup()
+                if hit:
+                    return measures
+            measures = [self.measure(a, b) for a, b in pairs]
+            if spec is not None:
+                spec.store(measures)
+            return measures
+        chunks = parallel.chunk_list(pairs, chunk_size)
+        sizes = [len(chunk) for chunk in chunks]
         ckpt = None
         if checkpoint is not None or resume_from is not None:
-            meta = {"pairs": len(pairs),
-                    "sizes": [len(chunk) for chunk in chunks],
+            meta = {"pairs": len(pairs), "sizes": sizes,
                     "config": resilience.jsonable(config)}
             ckpt = resilience.Checkpointer(
                 checkpoint if checkpoint is not None else resume_from,
                 "oscillator-distance", meta=meta, encode=_encode_measures,
                 every=checkpoint_every, resume_from=resume_from)
+        spec = result_cache.spec_for(
+            cache, "oscillator-distance-chunk",
+            dict(cache_meta, sizes=sizes), encode=_encode_measures)
         blocks = parallel.ParallelMap(workers=workers, timeout=timeout).map(
             _measure_pairs_chunk, [(config, chunk) for chunk in chunks],
-            retry=retry, validate=_block_is_finite, checkpoint=ckpt)
+            retry=retry, validate=_block_is_finite, checkpoint=ckpt,
+            cache=spec)
         return [measure for block in blocks for measure in block]
 
     def measure_threshold(self, intensity_threshold):

@@ -24,8 +24,21 @@ throughput models can charge for them.
 import numpy as np
 
 from ...core import parallel, telemetry
+from ...core import cache as result_cache
+from ...core.resilience import jsonable
 from ..distance import OscillatorDistanceUnit
 from .bresenham import circle_intensities, interior_pixels
+
+
+def _encode_block(value):
+    corners, comparisons, pixels = value
+    return {"corners": [[int(row), int(col)] for row, col in corners],
+            "comparisons": int(comparisons), "pixels": int(pixels)}
+
+
+def _decode_block(doc):
+    return ([(int(row), int(col)) for row, col in doc["corners"]],
+            int(doc["comparisons"]), int(doc["pixels"]))
 
 
 def _detect_chunk(payload):
@@ -121,8 +134,17 @@ class OscillatorFastDetector:
                 return True
         return False
 
+    def _cache_meta(self, image, sizes=None):
+        """Cache fingerprint: detector knobs + image content hash."""
+        meta = {"threshold": self.threshold, "n": self.n,
+                "config": jsonable(self.distance_unit.config()),
+                "image": result_cache.array_fingerprint(np.asarray(image))}
+        if sizes is not None:
+            meta["sizes"] = sizes
+        return meta
+
     def detect(self, image, workers=None, chunk_size=None, timeout=None,
-               retry=None):
+               retry=None, cache=None):
         """All corners of ``image``; records primitive-invocation stats.
 
         ``workers``/``chunk_size`` split the interior pixels into blocks
@@ -130,7 +152,11 @@ class OscillatorFastDetector:
         the corner list is identical for every worker count); worker
         telemetry merges into the active registry at join.
         ``timeout``/``retry`` bound each block and re-dispatch failed
-        ones before giving up.
+        ones before giving up.  ``cache`` (None / False / path /
+        :class:`~repro.core.cache.ResultCache`) reuses detections
+        content-addressed by the image pixels and the detector's knobs
+        (deterministic workload, always cacheable); ``last_stats`` and
+        the ``oscillator.fast.*`` counters replay on a hit.
         """
         self._comparisons = 0
         corners = []
@@ -139,20 +165,37 @@ class OscillatorFastDetector:
         resilient = timeout is not None or retry is not None
         with telemetry.span("oscillator.fast.detect") as detect_span:
             if workers == 1 and chunk_size is None and not resilient:
-                for row, col in interior_pixels(image):
-                    pixels += 1
-                    if self.is_corner(image, row, col):
-                        corners.append((row, col))
+                spec = result_cache.spec_for(
+                    cache, "oscillator-fast", self._cache_meta(image),
+                    encode=_encode_block, decode=_decode_block)
+                hit = False
+                if spec is not None:
+                    hit, value = spec.lookup()
+                    if hit:
+                        corners, self._comparisons, pixels = value
+                if not hit:
+                    for row, col in interior_pixels(image):
+                        pixels += 1
+                        if self.is_corner(image, row, col):
+                            corners.append((row, col))
+                    if spec is not None:
+                        spec.store((corners, self._comparisons, pixels))
             else:
+                meta_image = image
                 image = np.asarray(image, dtype=float)
                 chunks = parallel.chunk_list(list(interior_pixels(image)),
                                              chunk_size)
+                spec = result_cache.spec_for(
+                    cache, "oscillator-fast-chunk",
+                    self._cache_meta(meta_image,
+                                     sizes=[len(c) for c in chunks]),
+                    encode=_encode_block, decode=_decode_block)
                 unit_config = self.distance_unit.config()
                 tasks = [(self.threshold, self.n, unit_config, image,
                           chunk) for chunk in chunks]
                 blocks = parallel.ParallelMap(
                     workers=workers, timeout=timeout).map(
-                    _detect_chunk, tasks, retry=retry)
+                    _detect_chunk, tasks, retry=retry, cache=spec)
                 for block_corners, comparisons, block_pixels in blocks:
                     corners.extend(block_corners)
                     self._comparisons += comparisons

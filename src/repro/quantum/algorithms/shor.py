@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from ...core import cache as result_cache
 from ...core import parallel, resilience, telemetry
 from ...core.exceptions import QuantumError
 from ...core.rngs import make_rng, spawn_rngs
@@ -143,7 +144,7 @@ def _decode_reading(doc):
 
 def find_order(a, modulus, rng=None, max_attempts=10, runner=None,
                workers=None, timeout=None, retry=None, checkpoint=None,
-               resume_from=None, checkpoint_every=1):
+               resume_from=None, checkpoint_every=1, cache=None):
     """Quantum order finding with classical post-processing.
 
     ``runner(circuit) -> int`` executes the circuit and returns the
@@ -161,29 +162,36 @@ def find_order(a, modulus, rng=None, max_attempts=10, runner=None,
     checkpoint is *rolling*: its metadata pins ``(a, modulus, RNG
     state)``, and a run for a different base simply restarts the file
     -- which lets :func:`shor_factor` thread one checkpoint path
-    through every base it tries.
+    through every base it tries.  ``cache`` (None / False / path /
+    :class:`~repro.core.cache.ResultCache`) reuses per-attempt phase
+    readings on the parallel branch, content-addressed by ``(a,
+    modulus, max_attempts, RNG fingerprint)``; the serial branch shares
+    one mutable generator across attempts and is never cached.
     """
     workers = parallel.resolve_workers(workers)
     resilient = (timeout is not None or retry is not None
                  or checkpoint is not None or resume_from is not None)
     if runner is None and (workers > 1 or resilient):
+        # Fingerprint the RNG before spawn_rngs advances it.
+        meta = {"a": int(a), "modulus": int(modulus),
+                "max_attempts": int(max_attempts),
+                "rng": resilience.rng_fingerprint(rng)}
         ckpt = None
         if checkpoint is not None or resume_from is not None:
-            # Fingerprint the RNG before spawn_rngs advances it.
-            meta = {"a": int(a), "modulus": int(modulus),
-                    "max_attempts": int(max_attempts),
-                    "rng": resilience.rng_fingerprint(rng)}
             ckpt = resilience.Checkpointer(
                 checkpoint if checkpoint is not None else resume_from,
                 "shor-order", meta=meta, encode=_encode_reading,
                 decode=_decode_reading, every=checkpoint_every,
                 resume_from=resume_from, restart_on_mismatch=True)
+        spec = result_cache.spec_for(cache, "shor-order", meta,
+                                     encode=_encode_reading,
+                                     decode=_decode_reading)
         rngs = spawn_rngs(rng, max_attempts)
         tasks = [(a, modulus, attempt_rng) for attempt_rng in rngs]
         readings = parallel.ParallelMap(workers=workers,
                                         timeout=timeout).map(
             _order_attempt, tasks, retry=retry, validate=_reading_is_sane,
-            checkpoint=ckpt)
+            checkpoint=ckpt, cache=spec)
         for measured, t in readings:
             r = _order_from_measurement(a, modulus, measured, t)
             if r is not None:
@@ -247,6 +255,22 @@ class ShorResult:
             self.n, self.factors, self.method)
 
 
+def _encode_shor_result(result):
+    return {"n": int(result.n),
+            "factors": None if result.factors is None
+            else [int(factor) for factor in result.factors],
+            "method": str(result.method),
+            "attempts": int(result.attempts),
+            "orders_found": [[int(a), int(r)]
+                             for a, r in result.orders_found]}
+
+
+def _decode_shor_result(doc):
+    factors = None if doc["factors"] is None else tuple(doc["factors"])
+    return ShorResult(doc["n"], factors, doc["method"], doc["attempts"],
+                      [tuple(pair) for pair in doc["orders_found"]])
+
+
 def _perfect_power(n):
     """Return (base, exponent) when n = base**exponent with exponent > 1."""
     for exponent in range(2, n.bit_length() + 1):
@@ -259,7 +283,7 @@ def _perfect_power(n):
 
 def shor_factor(n, rng=None, max_base_attempts=20, workers=None,
                 timeout=None, retry=None, checkpoint=None,
-                checkpoint_every=1):
+                checkpoint_every=1, cache=None):
     """Factor ``n`` via Shor's algorithm; returns a :class:`ShorResult`.
 
     Classical shortcuts handle even numbers and perfect powers; otherwise
@@ -269,7 +293,11 @@ def shor_factor(n, rng=None, max_base_attempts=20, workers=None,
     :func:`find_order` (deterministic given the seed); the checkpoint
     path is shared by every base as a rolling file -- re-running after a
     kill with the same seed resumes the interrupted base's remaining
-    attempts.
+    attempts.  ``cache`` (None / False / path /
+    :class:`~repro.core.cache.ResultCache`) forwards to
+    :func:`find_order` and additionally caches the whole
+    :class:`ShorResult` for integer seeds, so a warm repeat of a seeded
+    factorization skips every circuit execution.
     """
     if n < 4:
         raise QuantumError("n must be a composite >= 4")
@@ -279,16 +307,45 @@ def shor_factor(n, rng=None, max_base_attempts=20, workers=None,
         with telemetry.span("quantum.shor.factor", n=n) as factor_span:
             result = _shor_factor(n, rng, max_base_attempts, workers,
                                   timeout, retry, checkpoint,
-                                  checkpoint_every)
+                                  checkpoint_every, cache)
             factor_span.set_attr("method", result.method)
             factor_span.set_attr("succeeded", result.succeeded)
         return result
     return _shor_factor(n, rng, max_base_attempts, workers, timeout, retry,
-                        checkpoint, checkpoint_every)
+                        checkpoint, checkpoint_every, cache)
 
 
 def _shor_factor(n, rng, max_base_attempts, workers=None, timeout=None,
-                 retry=None, checkpoint=None, checkpoint_every=1):
+                 retry=None, checkpoint=None, checkpoint_every=1,
+                 cache=None):
+    spec = None
+    if result_cache.cacheable_seed(rng):
+        # find_order picks its serial or parallel branch from the
+        # worker/resilience arguments, and the two branches draw
+        # different streams -- the branch is part of the fingerprint.
+        resilient = (timeout is not None or retry is not None
+                     or checkpoint is not None)
+        meta = {"n": int(n), "max_base_attempts": int(max_base_attempts),
+                "parallel": parallel.resolve_workers(workers) > 1
+                or resilient,
+                "rng": resilience.rng_fingerprint(rng)}
+        spec = result_cache.spec_for(cache, "shor-factor", meta,
+                                     encode=_encode_shor_result,
+                                     decode=_decode_shor_result)
+    if spec is not None:
+        hit, cached = spec.lookup()
+        if hit:
+            return cached
+    result = _shor_factor_compute(n, rng, max_base_attempts, workers,
+                                  timeout, retry, checkpoint,
+                                  checkpoint_every, cache)
+    if spec is not None:
+        spec.store(result)
+    return result
+
+
+def _shor_factor_compute(n, rng, max_base_attempts, workers, timeout,
+                         retry, checkpoint, checkpoint_every, cache):
     if n % 2 == 0:
         return ShorResult(n, (2, n // 2), "classical-shortcut", 0, [])
     power = _perfect_power(n)
@@ -305,7 +362,7 @@ def _shor_factor(n, rng, max_base_attempts, workers=None, timeout=None,
                               "classical-shortcut", attempt, orders)
         r = find_order(a, n, rng=rng, workers=workers, timeout=timeout,
                        retry=retry, checkpoint=checkpoint,
-                       checkpoint_every=checkpoint_every)
+                       checkpoint_every=checkpoint_every, cache=cache)
         if r is None:
             continue
         orders.append((a, r))

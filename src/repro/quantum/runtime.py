@@ -9,10 +9,40 @@ and account accumulated chip time.
 import math
 import time
 
+from ..core import cache as result_cache
 from ..core import parallel, resilience, telemetry
 from ..core.exceptions import QuantumError
 from ..core.rngs import make_rng, spawn_rngs
 from .microarch import MicroArchitecture, assemble
+
+
+def circuit_fingerprint(circuit):
+    """Content description of a circuit for cache keying.
+
+    Stronger than ``gate_counts()`` (enough for a per-run checkpoint
+    file, too weak for a shared cache directory): every op contributes
+    its name, qubits, parameters, and -- for explicit-matrix or
+    permutation ops -- a hash of the actual array contents.
+    """
+    ops = []
+    for op in circuit.ops:
+        if hasattr(op, "cbit"):                  # MeasureOp
+            ops.append(["measure", int(op.qubit), str(op.cbit)])
+        else:
+            ops.append([
+                str(op.name), list(op.qubits), list(op.params),
+                None if op.matrix is None
+                else result_cache.array_fingerprint(op.matrix),
+                None if op.permutation is None
+                else result_cache.array_fingerprint(op.permutation)])
+    return result_cache.digest([int(circuit.num_qubits), ops])
+
+
+def _microarch_meta(microarch):
+    """The micro-architecture knobs that decide shot results/timing."""
+    return {"num_qubits": int(microarch.num_qubits),
+            "durations_ns": dict(microarch.durations_ns),
+            "coherence_ns": float(microarch.coherence_ns)}
 
 
 def _run_shot_chunk(payload):
@@ -109,6 +139,17 @@ class QuantumRuntime:
     def __init__(self, microarch=None):
         self.microarch = microarch
 
+    def _cache_meta(self, circuit, shots, cbit_order, rng, sizes=None):
+        """Cache fingerprint meta for one shot workload."""
+        meta = {"shots": int(shots),
+                "circuit": circuit_fingerprint(circuit),
+                "cbits": list(cbit_order),
+                "microarch": _microarch_meta(self.microarch),
+                "rng": resilience.rng_fingerprint(rng)}
+        if sizes is not None:
+            meta["sizes"] = sizes
+        return meta
+
     def _ensure_microarch(self, circuit):
         if self.microarch is None:
             self.microarch = MicroArchitecture(circuit.num_qubits)
@@ -120,7 +161,7 @@ class QuantumRuntime:
 
     def run(self, circuit, shots=1024, rng=None, workers=None,
             chunk_size=None, timeout=None, retry=None, checkpoint=None,
-            resume_from=None, checkpoint_every=1):
+            resume_from=None, checkpoint_every=1, cache=None):
         """Execute ``circuit`` for ``shots`` repetitions.
 
         The circuit must contain at least one measurement (otherwise shots
@@ -140,6 +181,14 @@ class QuantumRuntime:
         ``checkpoint``/``resume_from`` (paths) persist finished block
         histograms so an interrupted sweep resumes with its remaining
         blocks only (``checkpoint_every`` controls the flush cadence).
+
+        ``cache`` (None / False / path /
+        :class:`~repro.core.cache.ResultCache`) reuses shot histograms
+        content-addressed by the full circuit (op list including matrix
+        and permutation contents), micro-architecture knobs, shot count,
+        and RNG fingerprint: the serial fast path caches the whole
+        histogram (integer seeds only), the chunked path caches per shot
+        block.  ``rng=None`` (fresh entropy) is never cached.
         """
         if shots < 1:
             raise QuantumError("shots must be positive")
@@ -155,15 +204,29 @@ class QuantumRuntime:
                             qubits=circuit.num_qubits) as run_span:
             start = time.perf_counter()
             if workers == 1 and chunk_size is None and not resilient:
-                rng = make_rng(rng)
-                program = assemble(circuit)
-                counts = {}
-                chip_time = 0.0
-                for _ in range(shots):
-                    result = self.microarch.execute(program, rng=rng)
-                    value = result.bits_as_int(cbit_order)
-                    counts[value] = counts.get(value, 0) + 1
-                    chip_time += result.elapsed_ns
+                spec = None
+                if result_cache.cacheable_seed(rng):
+                    spec = result_cache.spec_for(
+                        cache, "quantum-shots",
+                        self._cache_meta(circuit, shots, cbit_order, rng),
+                        encode=_encode_block, decode=_decode_block)
+                counts = chip_time = None
+                if spec is not None:
+                    hit, value = spec.lookup()
+                    if hit:
+                        counts, chip_time = value
+                if counts is None:
+                    rng = make_rng(rng)
+                    program = assemble(circuit)
+                    counts = {}
+                    chip_time = 0.0
+                    for _ in range(shots):
+                        result = self.microarch.execute(program, rng=rng)
+                        value = result.bits_as_int(cbit_order)
+                        counts[value] = counts.get(value, 0) + 1
+                        chip_time += result.elapsed_ns
+                    if spec is not None:
+                        spec.store((counts, chip_time))
             else:
                 sizes = parallel.chunk_sizes(shots, chunk_size)
                 ckpt = None
@@ -180,6 +243,11 @@ class QuantumRuntime:
                         "quantum-shots", meta=meta, encode=_encode_block,
                         decode=_decode_block, every=checkpoint_every,
                         resume_from=resume_from)
+                spec = result_cache.spec_for(
+                    cache, "quantum-shots-chunk",
+                    self._cache_meta(circuit, shots, cbit_order, rng,
+                                     sizes=sizes),
+                    encode=_encode_block, decode=_decode_block)
                 rngs = spawn_rngs(rng, len(sizes))
                 tasks = [(self.microarch, circuit, cbit_order, block,
                           block_rng)
@@ -187,7 +255,7 @@ class QuantumRuntime:
                 blocks = parallel.ParallelMap(
                     workers=workers, timeout=timeout).map(
                     _run_shot_chunk, tasks, retry=retry,
-                    validate=_block_is_sane, checkpoint=ckpt)
+                    validate=_block_is_sane, checkpoint=ckpt, cache=spec)
                 counts = {}
                 chip_time = 0.0
                 for block_counts, block_time in blocks:

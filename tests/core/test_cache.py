@@ -1,0 +1,484 @@
+"""The content-addressed result cache and its invisibility contract.
+
+Three layers of coverage:
+
+* unit tests for :mod:`repro.core.cache` itself -- keying, the LRU
+  memory tier, the atomic disk tier, fingerprint-mismatch refusal,
+  telemetry counters, and the active-cache plumbing;
+* hypothesis property tests for the *cache-invisibility contract*:
+  over random workloads (and under injected faults), cache-on vs
+  cache-off runs and cold vs warm runs are bit-identical, telemetry
+  keeps its result shape, and cache keys never depend on the worker
+  count;
+* interplay tests with the resilience layer: the checkpoint is
+  consulted before the cache, failed chunks are never cached, and a
+  resumed run re-executes exactly the chunks its checkpoint is missing.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cache as result_cache
+from repro.core import telemetry
+from repro.core.cache import (
+    CACHE_DIR_ENV,
+    CacheSpec,
+    ResultCache,
+    array_fingerprint,
+    cache_key,
+    cacheable_seed,
+    fingerprint,
+    formula_fingerprint,
+    spec_for,
+    use_cache,
+)
+from repro.core.exceptions import CacheError
+from repro.core.parallel import ParallelMap
+from repro.core.resilience import Checkpointer
+from repro.core.sat_instances import planted_ksat
+
+
+def _square(x):
+    return x * x
+
+
+def _rng_sum(payload):
+    size, rng = payload
+    return [float(v) for v in rng.normal(size=size)]
+
+
+class TestKeying:
+    def test_key_is_stable_and_content_addressed(self):
+        doc = fingerprint("demo", {"a": 1, "rng": ["seed", 3]})
+        assert cache_key(doc) == cache_key(doc)
+        assert cache_key(doc, 0) != cache_key(doc, 1) != cache_key(doc)
+        other = fingerprint("demo", {"a": 2, "rng": ["seed", 3]})
+        assert cache_key(other) != cache_key(doc)
+
+    def test_key_ignores_meta_ordering(self):
+        a = fingerprint("demo", {"x": 1, "y": 2})
+        b = fingerprint("demo", {"y": 2, "x": 1})
+        assert cache_key(a) == cache_key(b)
+
+    def test_code_version_participates(self):
+        doc = fingerprint("demo", {})
+        assert doc["code"] == result_cache.code_version()
+
+    def test_array_fingerprint_sees_dtype_shape_and_bytes(self):
+        base = np.arange(6.0)
+        assert array_fingerprint(base) == array_fingerprint(base.copy())
+        assert array_fingerprint(base) != array_fingerprint(
+            base.reshape(2, 3))
+        assert array_fingerprint(base) != array_fingerprint(
+            base.astype(np.float32))
+        changed = base.copy()
+        changed[3] = -1.0
+        assert array_fingerprint(base) != array_fingerprint(changed)
+
+    def test_formula_fingerprint_tracks_content(self):
+        f1 = planted_ksat(10, 40, rng=0)
+        f2 = planted_ksat(10, 40, rng=0)
+        f3 = planted_ksat(10, 40, rng=1)
+        assert formula_fingerprint(f1) == formula_fingerprint(f2)
+        assert formula_fingerprint(f1) != formula_fingerprint(f3)
+
+    def test_cacheable_seed(self):
+        assert cacheable_seed(7)
+        assert cacheable_seed(np.int64(7))
+        assert not cacheable_seed(True)
+        assert not cacheable_seed(None)
+        assert not cacheable_seed(np.random.default_rng(7))
+
+
+class TestResultCache:
+    def test_memory_roundtrip_and_counters(self):
+        cache = ResultCache()
+        spec = cache.spec("demo", {"n": 1})
+        hit, value = spec.lookup()
+        assert not hit and value is None
+        spec.store({"answer": [1, 2]})
+        hit, value = spec.lookup()
+        assert hit and value == {"answer": [1, 2]}
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_returned_values_are_isolated_copies(self):
+        cache = ResultCache()
+        spec = cache.spec("demo", {"n": 1})
+        stored = [1, 2, 3]
+        spec.store(stored)
+        stored.append(4)                      # caller mutates after store
+        _hit, first = spec.lookup()
+        first.append(99)                      # caller mutates the hit
+        _hit, second = spec.lookup()
+        assert second == [1, 2, 3]
+
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(max_memory_entries=2)
+        spec = cache.spec("demo", {})
+        spec.store("a", index=0)
+        spec.store("b", index=1)
+        assert spec.lookup(0) == (True, "a")  # 0 becomes most recent
+        spec.store("c", index=2)              # evicts 1
+        assert cache.evictions == 1
+        assert spec.lookup(1) == (False, None)
+        assert spec.lookup(0) == (True, "a")
+        assert spec.lookup(2) == (True, "c")
+
+    def test_disk_json_roundtrip_survives_memory_loss(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {"n": 2})
+        spec.store([1.5, 2.5], index=3)
+        cache.clear_memory()
+        assert spec.lookup(3) == (True, [1.5, 2.5])
+        # and a brand-new cache object (fresh process) also sees it
+        again = ResultCache(cache_dir=str(tmp_path))
+        assert again.spec("demo", {"n": 2}).lookup(3) == (True, [1.5, 2.5])
+
+    def test_disk_npz_roundtrip_for_raw_arrays(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {"n": 3})
+        value = np.linspace(0.0, 1.0, 7)
+        spec.store(value)
+        cache.clear_memory()
+        hit, loaded = spec.lookup()
+        assert hit and isinstance(loaded, np.ndarray)
+        assert np.array_equal(loaded, value)
+        assert any(name.endswith(".npz") for name in os.listdir(tmp_path))
+
+    def test_no_scratch_files_left_behind(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {})
+        spec.store([1], index=0)
+        spec.store(np.arange(3.0), index=1)
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(".tmp")]
+
+    def test_codec_hooks_apply(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {"n": 4},
+                          encode=lambda v: {"x": list(v)},
+                          decode=lambda d: tuple(d["x"]))
+        spec.store((1, 2))
+        cache.clear_memory()
+        assert spec.lookup() == (True, (1, 2))
+
+    def test_unencodable_value_is_a_clear_error(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {"n": 5})
+        with pytest.raises(CacheError, match="encode hook"):
+            spec.store(object())
+
+    def test_mismatched_fingerprint_refuses_with_path_and_both(
+            self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {"seed": 1})
+        spec.store([1, 2], index=0)
+        cache.clear_memory()
+        # forge a different workload onto the same key (tampering /
+        # collision stand-in)
+        path = os.path.join(str(tmp_path), spec.key(0) + ".json")
+        document = json.load(open(path))
+        document["fingerprint"]["meta"]["seed"] = 2
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CacheError) as excinfo:
+            spec.lookup(0)
+        message = str(excinfo.value)
+        assert path in message
+        assert "'seed': 1" in message and "'seed': 2" in message
+        assert "refusing" in message
+
+    def test_corrupt_entry_is_a_clear_error(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {"n": 6})
+        spec.store([1], index=0)
+        cache.clear_memory()
+        path = os.path.join(str(tmp_path), spec.key(0) + ".json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(CacheError, match="cannot read"):
+            spec.lookup(0)
+
+    def test_telemetry_counters(self, tmp_path):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            cache = ResultCache(cache_dir=str(tmp_path),
+                                max_memory_entries=1)
+            spec = cache.spec("demo", {})
+            spec.lookup(0)
+            spec.store([1], index=0)
+            spec.store([2], index=1)          # evicts entry 0
+            spec.lookup(1)
+        snapshot = registry.snapshot()
+        assert snapshot["cache.misses"]["value"] == 1
+        assert snapshot["cache.hits"]["value"] == 1
+        assert snapshot["cache.stores"]["value"] == 2
+        assert snapshot["cache.evictions"]["value"] == 1
+        assert snapshot["cache.bytes"]["value"] > 0
+
+    def test_disabled_registry_records_nothing(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {})
+        spec.store([1], index=0)
+        assert spec.lookup(0)[0]
+        assert telemetry.get_registry().snapshot() == {}
+
+
+class TestActiveCachePlumbing:
+    def test_resolve_cache_forms(self, tmp_path):
+        assert result_cache.resolve_cache(False) is None
+        cache = ResultCache()
+        assert result_cache.resolve_cache(cache) is cache
+        by_path = result_cache.resolve_cache(str(tmp_path))
+        assert isinstance(by_path, ResultCache)
+        # memoized per directory: repeated kernels share the memory tier
+        assert result_cache.resolve_cache(str(tmp_path)) is by_path
+        with pytest.raises(CacheError, match="cache must be"):
+            result_cache.resolve_cache(123)
+
+    def test_use_cache_scopes_and_restores(self):
+        cache = ResultCache()
+        assert result_cache.active_cache() is None
+        with use_cache(cache) as active:
+            assert active is cache
+            assert result_cache.active_cache() is cache
+            assert result_cache.resolve_cache(None) is cache
+        assert result_cache.active_cache() is None
+
+    def test_env_var_enables_a_directory_cache(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        active = result_cache.active_cache()
+        assert isinstance(active, ResultCache)
+        assert active.cache_dir == os.path.abspath(str(tmp_path))
+        # programmatic override wins over the environment
+        override = ResultCache()
+        with use_cache(override):
+            assert result_cache.active_cache() is override
+
+    def test_spec_for_refuses_nondeterministic_workloads(self):
+        cache = ResultCache()
+        assert spec_for(cache, "demo", {"rng": None}) is None
+        assert isinstance(spec_for(cache, "demo", {"rng": ["seed", 1]}),
+                          CacheSpec)
+        assert isinstance(spec_for(cache, "demo", {"no_rng_key": 1}),
+                          CacheSpec)
+        assert spec_for(False, "demo", {"rng": ["seed", 1]}) is None
+        assert spec_for(None, "demo", {"rng": ["seed", 1]}) is None
+
+
+class TestParallelMapIntegration:
+    def _spec(self, cache, total):
+        return cache.spec("square", {"total": total, "rng": ["seed", 0]})
+
+    def test_warm_map_skips_dispatch(self):
+        cache = ResultCache()
+        registry = telemetry.MetricsRegistry()
+        tasks = list(range(6))
+        spec = self._spec(cache, len(tasks))
+        cold = ParallelMap(workers=1).map(_square, tasks, cache=spec)
+        with telemetry.use_registry(registry):
+            warm = ParallelMap(workers=1).map(_square, tasks, cache=spec)
+        assert warm == cold == [x * x for x in tasks]
+        snapshot = registry.snapshot()
+        assert snapshot["cache.hits"]["value"] == len(tasks)
+        # cached chunks never execute: no parallel.tasks recorded
+        assert "parallel.tasks" not in snapshot
+
+    def test_cache_entries_cross_worker_counts(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        tasks = list(range(8))
+        spec = self._spec(cache, len(tasks))
+        serial = ParallelMap(workers=1).map(_square, tasks, cache=spec)
+        assert cache.misses == len(tasks)
+        fanned = ParallelMap(workers=4).map(_square, tasks, cache=spec)
+        assert fanned == serial
+        assert cache.misses == len(tasks)     # warm run: all hits
+
+    def test_failures_are_never_cached(self, fault_plan):
+        fault_plan([(1, 1, "raise")])
+        cache = ResultCache()
+        tasks = list(range(4))
+        spec = self._spec(cache, len(tasks))
+        results = ParallelMap(workers=1).map(_square, tasks,
+                                             on_error="return",
+                                             cache=spec)
+        from repro.core.parallel import TaskFailure
+        assert isinstance(results[1], TaskFailure)
+        assert cache.stores == len(tasks) - 1
+        assert spec.lookup(1) == (False, None)
+        # with the fault gone, the failed chunk recomputes and the rest
+        # replay from the cache
+        from repro.core import resilience
+        resilience.set_fault_plan(None)
+        clean = ParallelMap(workers=1).map(_square, tasks, cache=spec)
+        assert clean == [x * x for x in tasks]
+        assert cache.stores == len(tasks)
+
+    def test_checkpoint_wins_over_cache_and_hits_backfill_it(
+            self, tmp_path):
+        cache = ResultCache()
+        tasks = list(range(4))
+        spec = self._spec(cache, len(tasks))
+        ParallelMap(workers=1).map(_square, tasks, cache=spec)
+        path = str(tmp_path / "ckpt.json")
+        ckpt = Checkpointer(path, "square", meta={"total": len(tasks)})
+        results = ParallelMap(workers=1).map(_square, tasks, cache=spec,
+                                             checkpoint=ckpt)
+        assert results == [x * x for x in tasks]
+        # cache hits were recorded into the checkpoint
+        document = json.load(open(path))
+        assert len(document["chunks"]) == len(tasks)
+        # a poisoned checkpoint value wins over the cache: resumed
+        # values are trusted, the cache is only consulted for gaps
+        document["chunks"]["2"] = 999
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        resumed = Checkpointer(path, "square", meta={"total": len(tasks)})
+        results = ParallelMap(workers=1).map(_square, tasks, cache=spec,
+                                             checkpoint=resumed)
+        assert results[2] == 999
+
+
+# -- hypothesis: the cache-invisibility contract ---------------------------
+
+workloads = st.fixed_dictionaries({
+    "total": st.integers(min_value=1, max_value=12),
+    "size": st.integers(min_value=1, max_value=5),
+    "seed": st.integers(min_value=0, max_value=2**31 - 1),
+})
+
+
+def _run_workload(workload, cache, workers=1):
+    """One deterministic rng-consuming fan-out, optionally cached."""
+    from repro.core.rngs import spawn_rngs
+
+    spec = None
+    if cache is not None:
+        spec = cache.spec("hypothesis-demo",
+                          {"total": workload["total"],
+                           "size": workload["size"],
+                           "rng": ["seed", workload["seed"]]})
+    rngs = spawn_rngs(workload["seed"], workload["total"])
+    tasks = [(workload["size"], rng) for rng in rngs]
+    return ParallelMap(workers=workers).map(_rng_sum, tasks, cache=spec)
+
+
+class TestCacheInvisibilityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(workload=workloads)
+    def test_cache_on_equals_cache_off_and_cold_equals_warm(
+            self, workload):
+        cache = ResultCache()
+        plain = _run_workload(workload, cache=None)
+        cold = _run_workload(workload, cache=cache)
+        warm = _run_workload(workload, cache=cache)
+        assert cold == plain          # caching never changes results
+        assert warm == plain          # replayed results are bit-identical
+        assert cache.hits == workload["total"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads)
+    def test_telemetry_result_shape_is_identical(self, workload):
+        def shape(cache):
+            registry = telemetry.MetricsRegistry()
+            with telemetry.use_registry(registry):
+                results = _run_workload(workload, cache=cache)
+            snapshot = registry.snapshot()
+            return ([type(value).__name__ for value in results],
+                    [len(value) for value in results],
+                    sorted(key for key in snapshot
+                           if not key.startswith("cache.")))
+        assert shape(None) == shape(ResultCache())
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads)
+    def test_cache_keys_are_stable_across_worker_counts(self, workload):
+        cache = ResultCache()
+        serial = _run_workload(workload, cache=cache, workers=1)
+        misses = cache.misses
+        fanned = _run_workload(workload, cache=cache, workers=3)
+        assert fanned == serial
+        assert cache.misses == misses  # the fan-out run hit every entry
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads,
+           fault_chunk=st.integers(min_value=0, max_value=11))
+    def test_faulted_chunks_recompute_never_replay_garbage(
+            self, workload, fault_chunk):
+        from repro.core import resilience
+
+        fault_chunk %= workload["total"]
+        cache = ResultCache()
+        plain = _run_workload(workload, cache=None)
+        plan = resilience.FaultPlan([(fault_chunk, 1, "raise")])
+        previous = resilience.set_fault_plan(plan)
+        try:
+            faulted = _run_workload(workload, cache=cache)
+        except Exception:
+            faulted = None
+        finally:
+            resilience.set_fault_plan(previous)
+        assert faulted is None        # on_error="raise" surfaced the fault
+        assert cache.stores == workload["total"] - 1
+        # the failed chunk was not cached; a clean retry recomputes it
+        # and every result matches the fault-free run bit for bit
+        clean = _run_workload(workload, cache=cache)
+        assert clean == plain
+
+
+class TestKernelCacheRefusals:
+    """Kernels must refuse to cache what cannot be replayed."""
+
+    def test_fresh_entropy_runs_are_never_cached(self):
+        from repro.memcomputing.ensemble import solve_ensemble
+
+        cache = ResultCache()
+        formula = planted_ksat(8, 33, rng=0)
+        solve_ensemble(formula, batch=4, max_steps=500, rng=None,
+                       cache=cache)
+        assert cache.stores == 0 and cache.hits == 0
+
+    def test_generator_rng_disables_kernel_level_caching_only(self):
+        from repro.memcomputing.ensemble import solve_ensemble
+
+        cache = ResultCache()
+        formula = planted_ksat(8, 33, rng=0)
+        # serial fast path with a Generator: not cached (the caller's
+        # generator must advance exactly as in an uncached run)
+        rng = np.random.default_rng(5)
+        solve_ensemble(formula, batch=4, max_steps=500, rng=rng,
+                       workers=1, cache=cache)
+        assert cache.stores == 0
+        # chunked path with a Generator: chunk-level caching is safe
+        # because spawn_rngs advances the parent either way
+        first = solve_ensemble(formula, batch=4, max_steps=500,
+                               rng=np.random.default_rng(5),
+                               chunk_size=2, cache=cache)
+        assert cache.stores > 0
+        second = solve_ensemble(formula, batch=4, max_steps=500,
+                                rng=np.random.default_rng(5),
+                                chunk_size=2, cache=cache)
+        assert cache.hits > 0
+        assert np.array_equal(first.solve_steps, second.solve_steps)
+
+    def test_generator_state_advances_identically_on_hits(self):
+        from repro.memcomputing.ensemble import solve_ensemble
+
+        cache = ResultCache()
+        formula = planted_ksat(8, 33, rng=0)
+
+        def run(with_cache):
+            rng = np.random.default_rng(9)
+            solve_ensemble(formula, batch=4, max_steps=500, rng=rng,
+                           chunk_size=2,
+                           cache=cache if with_cache else False)
+            return float(rng.normal())   # state probe after the call
+
+        cold, warm, off = run(True), run(True), run(False)
+        assert cold == warm == off

@@ -266,6 +266,161 @@ class TestResilienceFlags:
         assert json.load(open(ckpt))["kind"] == "shor-order"
 
 
+class TestCacheFlags:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        formula = planted_ksat(15, 55, rng=0)
+        return save_dimacs(formula, str(tmp_path / "i.cnf"))
+
+    def _cache_files(self, cache_dir):
+        import os
+
+        if not os.path.isdir(cache_dir):
+            return []
+        return sorted(os.listdir(cache_dir))
+
+    def test_solve_cache_dir_warm_run_identical(self, instance_path,
+                                                tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, cold = run_cli(["solve", instance_path,
+                              "--cache-dir", cache_dir])
+        assert code == 0
+        assert "s SATISFIABLE" in cold
+        assert self._cache_files(cache_dir)
+        code, warm = run_cli(["solve", instance_path,
+                              "--cache-dir", cache_dir])
+        assert code == 0
+        assert warm == cold
+
+    def test_solve_cache_dir_with_retries_and_workers(self, instance_path,
+                                                      tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, cold = run_cli(["solve", instance_path, "--retries", "2",
+                              "--cache-dir", cache_dir])
+        assert code == 0
+        # cache keys never depend on the worker count: a fanned-out warm
+        # run replays the entries the serial cold run stored
+        code, warm = run_cli(["solve", instance_path, "--workers", "2",
+                              "--retries", "2", "--cache-dir", cache_dir])
+        assert code == 0
+        assert warm == cold
+
+    def test_no_cache_wins_over_cache_dir(self, instance_path, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, text = run_cli(["solve", instance_path,
+                              "--cache-dir", cache_dir, "--no-cache"])
+        assert code == 0
+        assert "s SATISFIABLE" in text
+        assert not self._cache_files(cache_dir)
+
+    def test_factor_cache_dir_warm_run_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["factor", "15", "--seed", "1", "--retries", "2",
+                "--cache-dir", cache_dir]
+        code, cold = run_cli(argv)
+        assert code == 0
+        assert "15 = " in cold
+        assert self._cache_files(cache_dir)
+        code, warm = run_cli(argv)
+        assert code == 0
+        assert warm == cold
+
+    def test_distance_cache_dir_with_checkpoint_resume(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        ckpt = str(tmp_path / "distance.json")
+        code, cold = run_cli(["distance", "120", "40", "10", "200",
+                              "--checkpoint", ckpt,
+                              "--cache-dir", cache_dir])
+        assert code == 0
+        # --resume + --cache-dir: the checkpoint fills the finished
+        # chunks, the cache covers any gaps; output is unchanged
+        code, resumed = run_cli(["distance", "120", "40", "10", "200",
+                                 "--resume", ckpt,
+                                 "--cache-dir", cache_dir])
+        assert code == 0
+        assert resumed == cold
+        # and a plain warm run (no checkpoint at all) also matches
+        code, warm = run_cli(["distance", "120", "40", "10", "200",
+                              "--cache-dir", cache_dir])
+        assert code == 0
+        assert warm == cold
+
+    def test_failed_chunks_are_not_cached(self, tmp_path, fault_plan):
+        from repro.core.exceptions import ParallelError
+        from repro.core import resilience
+
+        cache_dir = str(tmp_path / "cache")
+        baseline_code, baseline = run_cli(["distance", "120", "40",
+                                           "10", "200"])
+        assert baseline_code == 0
+        # chunk 0 fails both attempts: the run errors out, and the
+        # failed chunk must not leave a cache entry behind
+        fault_plan([(0, 1, "raise"), (0, 2, "raise")])
+        with pytest.raises(ParallelError):
+            run_cli(["distance", "120", "40", "10", "200",
+                     "--retries", "1", "--cache-dir", cache_dir])
+        after_failure = self._cache_files(cache_dir)
+        # with the fault cleared, the missing chunk recomputes and the
+        # output matches the fault-free baseline exactly
+        resilience.set_fault_plan(None)
+        code, text = run_cli(["distance", "120", "40", "10", "200",
+                              "--retries", "1", "--cache-dir", cache_dir])
+        assert code == 0
+        assert text == baseline
+        assert len(self._cache_files(cache_dir)) > len(after_failure)
+
+    def test_retried_fault_is_transparent_to_the_cache(self, tmp_path,
+                                                       fault_plan):
+        cache_dir = str(tmp_path / "cache")
+        baseline_code, baseline = run_cli(["distance", "120", "40",
+                                           "10", "200"])
+        assert baseline_code == 0
+        # a retried fault succeeds on attempt 2; the cached value is the
+        # good retry result, bit-identical to a fault-free run
+        fault_plan([(0, 1, "raise")])
+        code, faulted = run_cli(["distance", "120", "40", "10", "200",
+                                 "--retries", "2",
+                                 "--cache-dir", cache_dir])
+        assert code == 0
+        assert faulted == baseline
+        code, warm = run_cli(["distance", "120", "40", "10", "200",
+                              "--retries", "2", "--cache-dir", cache_dir])
+        assert code == 0
+        assert warm == baseline
+
+    def test_mismatched_entry_refuses_reuse_naming_the_path(self,
+                                                            tmp_path):
+        import json
+        import os
+
+        from repro.core.exceptions import CacheError
+
+        cache_dir = str(tmp_path / "cache")
+        code, _text = run_cli(["distance", "120", "40", "10", "200",
+                               "--cache-dir", cache_dir])
+        assert code == 0
+        # forge a different workload fingerprint into every entry
+        for name in self._cache_files(cache_dir):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(cache_dir, name)
+            document = json.load(open(path))
+            document["fingerprint"]["meta"]["forged"] = True
+            with open(path, "w") as handle:
+                json.dump(document, handle)
+        # drop the in-process memory tier so the next run reads disk,
+        # as a fresh process would
+        from repro.core import cache as result_cache
+
+        result_cache.cache_for_dir(cache_dir).clear_memory()
+        with pytest.raises(CacheError) as excinfo:
+            run_cli(["distance", "120", "40", "10", "200",
+                     "--cache-dir", cache_dir])
+        message = str(excinfo.value)
+        assert cache_dir in message
+        assert "refusing" in message and "forged" in message
+
+
 class TestReproduce:
     def test_points_at_benchmarks(self):
         code, text = run_cli(["reproduce"])

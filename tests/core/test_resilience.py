@@ -378,6 +378,26 @@ class TestCheckpointer:
         with pytest.raises(ResilienceError, match="refusing to resume"):
             Checkpointer(path, "other-kind", meta={"seed": 1})
 
+    def test_mismatch_error_names_path_and_both_fingerprints(
+            self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        writer = Checkpointer(path, "unit-test", meta={"seed": 1})
+        writer.record(0, 1)
+        writer.flush()
+        with pytest.raises(ResilienceError) as excinfo:
+            Checkpointer(path, "unit-test", meta={"seed": 2})
+        message = str(excinfo.value)
+        assert path in message
+        # the message carries the full fingerprint of both sides, so a
+        # user can see exactly which field diverged
+        assert "'seed': 1" in message and "'seed': 2" in message
+        assert "'kind': 'unit-test'" in message
+        with pytest.raises(ResilienceError) as excinfo:
+            Checkpointer(path, "other-kind", meta={"seed": 1})
+        message = str(excinfo.value)
+        assert path in message
+        assert "'unit-test'" in message and "'other-kind'" in message
+
     def test_restart_on_mismatch_starts_empty(self, tmp_path):
         path = str(tmp_path / "ckpt.json")
         writer = Checkpointer(path, "unit-test", meta={"base": 2})

@@ -1,0 +1,68 @@
+"""Golden-claims tier: the paper's headline numbers as fast regressions.
+
+``EXPERIMENTS.md`` records what the full benchmark suite measures for
+every figure and in-text claim of *Rebooting Our Computing Models*.
+This package pins the headline subset of those numbers -- the ones a
+refactor is most likely to silently move -- as plain pytest tests with
+explicit tolerances, cheap enough to run on every change
+(``make test-goldens``, well under a minute):
+
+* FIG4 -- the XOR readout measure is minimal at dVgs = 0 and rises
+  monotonically,
+* FIG5 -- the fitted l_k exponent family is strictly monotone in
+  coupling strength (k = 1.00 -> 1.87 -> 2.30),
+* POWER -- the oscillator corner block beats 32 nm CMOS by ~3.17x
+  (0.936 mW vs 2.971 mW),
+* DMM-SAT -- the DMM's fitted work exponent (1.06) stays below
+  WalkSAT's (1.68) on the same planted instances.
+
+Every expected value below was produced by the corresponding benchmark
+(``benchmarks/bench_*.py``) at the recorded config; the tolerances say
+how far a measured value may drift before the claim itself is in
+doubt.  The physics and the seeded solvers are deterministic, so drift
+means a code change -- these are regression tripwires, not statistical
+tests.
+"""
+
+#: FIG4 (bench_fig4_readout): measure = 1 - Avg(XOR) per dVgs, at the
+#: reduced cycles=60 config this tier runs (the cycles=120 benchmark
+#: values are 0.002 / 0.090 / 0.191 / 0.286 / 0.395 -- same shape).
+FIG4_CYCLES = 60
+FIG4_DELTAS = (0.0, 0.02, 0.04, 0.06, 0.08)
+FIG4_MEASURES = (0.003, 0.088, 0.192, 0.285, 0.384)
+FIG4_ABS_TOL = 0.02
+#: The minimum-at-zero claim: measure(0) must stay below this.
+FIG4_ZERO_CEILING = 0.05
+
+#: FIG5 (bench_fig5_norms): fitted k per coupling resistance, weak to
+#: strong coupling.  EXPERIMENTS.md: "k = 1.00 -> 1.87 -> 2.30".
+FIG5_CYCLES = 140
+FIG5_SWEEP_R_C = (60e3, 22e3, 15e3)
+FIG5_EXPONENTS = (1.00, 1.87, 2.30)
+FIG5_ABS_TOL = 0.15
+#: Qualitative band edges from the paper (sub- vs super-parabolic).
+FIG5_WEAK_BELOW = 1.6
+FIG5_STRONG_ABOVE = 2.0
+
+#: POWER (bench_power_comparison): block watts and the headline ratio.
+#: EXPERIMENTS.md: "0.936 mW vs 2.971 mW, ratio 3.17x".
+POWER_OSCILLATOR_W = 0.936e-3
+POWER_CMOS_W = 2.971e-3
+POWER_RATIO = 3.17
+POWER_REL_TOL = 0.05
+#: The claim band the benchmark itself enforces for the ratio.
+POWER_RATIO_BAND = (2.0, 4.5)
+
+#: DMM-SAT (bench_dmm_sat): fitted work exponents on planted 3-SAT at
+#: clause ratio 4.2.  EXPERIMENTS.md: "DMM work exponent 1.06 vs
+#: WalkSAT 1.68 (median steps 50->550 vs flips 67->2458)".
+DMM_SAT_SIZES = (50, 100, 200, 400)
+DMM_SAT_CLAUSE_RATIO = 4.2
+DMM_SAT_SEEDS = (0, 1, 2)
+DMM_SAT_MAX_WORK = 2_000_000
+DMM_SAT_DMM_EXPONENT = 1.06
+DMM_SAT_WALKSAT_EXPONENT = 1.68
+DMM_SAT_ABS_TOL = 0.15
+DMM_SAT_MEDIAN_STEPS = {50: 50.0, 400: 550.0}
+DMM_SAT_MEDIAN_FLIPS = {50: 67.0, 400: 2458.0}
+DMM_SAT_MEDIAN_REL_TOL = 0.10

@@ -1,0 +1,148 @@
+"""The golden-claims suite: headline paper numbers as regressions.
+
+See :mod:`tests.goldens` for the provenance of every expected value and
+the meaning of each tolerance.  Each test states its claim twice: the
+*shape* assertion is the paper's qualitative claim (what EXPERIMENTS.md
+calls the reproduction target) and must never be loosened; the *pin*
+assertion holds the measured number inside its recorded tolerance so an
+accidental physics or solver change is caught even while the shape
+still holds.
+"""
+
+import numpy as np
+import pytest
+
+from tests import goldens
+
+
+class TestFig4Readout:
+    """FIG4: XOR readout measure -- minimum at zero, monotone rise."""
+
+    @pytest.fixture(scope="class")
+    def measures(self):
+        from repro.oscillators.locking import simulate_calibrated_pair
+        from repro.oscillators.readout import XorReadout
+
+        readout = XorReadout()
+        values = []
+        for delta in goldens.FIG4_DELTAS:
+            times, v_1, v_2 = simulate_calibrated_pair(
+                1.8, 1.8 + delta, r_c=35e3, cycles=goldens.FIG4_CYCLES)
+            values.append(readout.measure(times, v_1, v_2))
+        return values
+
+    def test_minimum_at_zero(self, measures):
+        assert measures[0] < goldens.FIG4_ZERO_CEILING
+
+    def test_monotone_rise(self, measures):
+        assert all(later > earlier for earlier, later
+                   in zip(measures, measures[1:]))
+
+    def test_pinned_values(self, measures):
+        for measured, expected in zip(measures, goldens.FIG4_MEASURES):
+            assert measured == pytest.approx(
+                expected, abs=goldens.FIG4_ABS_TOL)
+
+
+class TestFig5NormFamily:
+    """FIG5: the l_k exponent family is monotone in coupling strength."""
+
+    @pytest.fixture(scope="class")
+    def exponents(self):
+        from repro.oscillators.norms import effective_norm_exponent
+
+        return [effective_norm_exponent(r_c, cycles=goldens.FIG5_CYCLES)[0]
+                for r_c in goldens.FIG5_SWEEP_R_C]
+
+    def test_monotone_in_coupling_strength(self, exponents):
+        assert exponents[0] < exponents[1] < exponents[2]
+
+    def test_band_edges(self, exponents):
+        assert exponents[0] < goldens.FIG5_WEAK_BELOW
+        assert exponents[-1] > goldens.FIG5_STRONG_ABOVE
+
+    def test_pinned_values(self, exponents):
+        for measured, expected in zip(exponents, goldens.FIG5_EXPONENTS):
+            assert measured == pytest.approx(
+                expected, abs=goldens.FIG5_ABS_TOL)
+
+
+class TestPowerComparison:
+    """POWER: oscillator corner block vs 32 nm CMOS, ratio ~3.17x."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.oscillators.power import power_comparison
+
+        return power_comparison()
+
+    def test_oscillator_wins_inside_the_band(self, result):
+        assert result["oscillator_w"] < result["cmos_w"]
+        low, high = goldens.POWER_RATIO_BAND
+        assert low < result["ratio"] < high
+
+    def test_pinned_values(self, result):
+        assert result["oscillator_w"] == pytest.approx(
+            goldens.POWER_OSCILLATOR_W, rel=goldens.POWER_REL_TOL)
+        assert result["cmos_w"] == pytest.approx(
+            goldens.POWER_CMOS_W, rel=goldens.POWER_REL_TOL)
+        assert result["ratio"] == pytest.approx(
+            goldens.POWER_RATIO, rel=goldens.POWER_REL_TOL)
+
+
+class TestDmmSatScaling:
+    """DMM-SAT: the DMM work exponent stays below WalkSAT's."""
+
+    @pytest.fixture(scope="class")
+    def medians(self):
+        from repro.core.sat_instances import planted_ksat
+        from repro.memcomputing.baselines import WalkSatSolver
+        from repro.memcomputing.solver import DmmSolver
+
+        steps, flips = {}, {}
+        for n in goldens.DMM_SAT_SIZES:
+            per_seed_steps, per_seed_flips = [], []
+            for seed in goldens.DMM_SAT_SEEDS:
+                formula = planted_ksat(
+                    n, int(goldens.DMM_SAT_CLAUSE_RATIO * n),
+                    rng=1000 * n + seed)
+                dmm = DmmSolver(
+                    max_steps=goldens.DMM_SAT_MAX_WORK).solve(
+                    formula, rng=seed)
+                assert dmm.satisfied
+                per_seed_steps.append(dmm.steps)
+                walksat = WalkSatSolver(
+                    max_flips=goldens.DMM_SAT_MAX_WORK,
+                    max_tries=3).solve(formula, rng=seed)
+                assert walksat.satisfied
+                per_seed_flips.append(walksat.flips)
+            steps[n] = float(np.median(per_seed_steps))
+            flips[n] = float(np.median(per_seed_flips))
+        return steps, flips
+
+    @staticmethod
+    def _fit_exponent(work_by_size):
+        sizes = sorted(work_by_size)
+        slope, _ = np.polyfit(np.log(np.asarray(sizes, dtype=float)),
+                              np.log([work_by_size[n] for n in sizes]), 1)
+        return float(slope)
+
+    def test_exponent_ordering(self, medians):
+        steps, flips = medians
+        assert self._fit_exponent(steps) < self._fit_exponent(flips)
+
+    def test_pinned_exponents(self, medians):
+        steps, flips = medians
+        assert self._fit_exponent(steps) == pytest.approx(
+            goldens.DMM_SAT_DMM_EXPONENT, abs=goldens.DMM_SAT_ABS_TOL)
+        assert self._fit_exponent(flips) == pytest.approx(
+            goldens.DMM_SAT_WALKSAT_EXPONENT, abs=goldens.DMM_SAT_ABS_TOL)
+
+    def test_pinned_endpoint_medians(self, medians):
+        steps, flips = medians
+        for size, expected in goldens.DMM_SAT_MEDIAN_STEPS.items():
+            assert steps[size] == pytest.approx(
+                expected, rel=goldens.DMM_SAT_MEDIAN_REL_TOL)
+        for size, expected in goldens.DMM_SAT_MEDIAN_FLIPS.items():
+            assert flips[size] == pytest.approx(
+                expected, rel=goldens.DMM_SAT_MEDIAN_REL_TOL)
