@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test test-parallel test-resilience test-goldens reproduce lint check clean
+.PHONY: test bench examples fast-test test-parallel test-resilience test-goldens reproduce lint check clean perf-history perf-check profile-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -58,6 +58,23 @@ examples:
 
 reproduce: bench
 	@echo "tables written to benchmarks/results/; see EXPERIMENTS.md"
+
+# Perf-regression harness (docs/observability.md): fold the latest
+# benchmark JSONs into results/history.jsonl, then diff the newest
+# record against the committed baseline.  Run after `make bench`.
+perf-history:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) benchmarks/history.py
+
+perf-check: perf-history
+	$(PYTHON) tools/check_perf.py
+
+# Attribution profiler smoke run: table on stdout, Chrome trace on disk.
+profile-demo:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m repro profile --out repro-profile-trace.json \
+		factor 15 --seed 1
+	@echo "open repro-profile-trace.json at https://ui.perfetto.dev"
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks

@@ -79,19 +79,32 @@ def test_parallel_scaling_dmm_ensemble(benchmark):
     cores = os.cpu_count() or 1
     rows = [(workers, times[workers], "%.2fx" % speedups[workers])
             for workers in sweep]
+    notes = [
+        "identical solve_steps arrays at every worker count "
+        "(bit-exact determinism contract)",
+        "host: %d CPU core(s); the >= %.0fx @ 4 workers bar is "
+        "asserted only with >= %d cores"
+        % (cores, SPEEDUP_FLOOR, ASSERT_MIN_CORES),
+    ]
+    if cores < ASSERT_MIN_CORES:
+        notes.append(
+            "HOST TOO SMALL for the scaling claim: %d core(s) < %d -- "
+            "multi-worker rows pay process spawn/IPC cost without real "
+            "parallelism, so speedups at/below 1x are expected here and "
+            "do not indicate a regression." % (cores, ASSERT_MIN_CORES))
+    max_workers = sweep[-1]
     emit_table(
         "parallel_scaling",
         "DMM ensemble scaling (%d trajectories, N=%d, chunk_size=%d, "
         "min of %d)" % (BATCH, NUM_VARIABLES, CHUNK_SIZE, REPEATS),
         ["workers", "time [s]", "speedup"],
         rows,
-        notes=[
-            "identical solve_steps arrays at every worker count "
-            "(bit-exact determinism contract)",
-            "host: %d CPU core(s); the >= %.0fx @ 4 workers bar is "
-            "asserted only with >= %d cores"
-            % (cores, SPEEDUP_FLOOR, ASSERT_MIN_CORES),
-        ])
+        notes=notes,
+        metrics={
+            "serial_s": times[sweep[0]],
+            "max_workers": max_workers,
+            "speedup_at_max_workers": speedups[max_workers],
+        })
     assert measurement["solved_fraction"] == 1.0
     assert speedups[sweep[0]] == 1.0
     if cores >= ASSERT_MIN_CORES and 4 in speedups:

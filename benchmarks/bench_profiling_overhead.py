@@ -1,0 +1,159 @@
+"""Profiling overhead on the DMM hot loop: disabled and attributed.
+
+The performance-attribution profiler (``repro.core.profiling``, see
+docs/observability.md) rides on the telemetry substrate: throughput
+instruments are ordinary counters/histograms and the attribution tree
+is folded from span events a :class:`ProfileSink` buffers.  Its
+contract therefore has two halves:
+
+* **disabled** -- with the NULL registry active (the library default)
+  every ``record_throughput`` call site and span is a no-op; the
+  instrumented solver must stay within 5% of a hand-inlined loop with
+  zero telemetry/profiling code (same bar as
+  ``bench_telemetry_overhead.py``, re-checked here because this PR adds
+  call sites to the paradigm kernels);
+* **profiled** -- a live registry with a :class:`ProfileSink` attached
+  (the ``repro profile`` configuration) may do real work, but buffering
+  span events must not blow the run up: budgeted at 30% on this
+  workload, far above the measured cost, to catch accidental per-step
+  allocations rather than timer jitter.
+
+Identical seeds force identical trajectories (asserted on the step
+count), so timing deltas are pure instrumentation cost.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit_table
+
+from repro.core import profiling, telemetry
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.dynamics import DmmSystem
+from repro.memcomputing.solver import DmmSolver
+
+NUM_VARIABLES = 50
+NUM_CLAUSES = 210  # ratio 4.2
+INSTANCE_SEED = 5
+SOLVE_SEED = 9
+MAX_STEPS = 120_000
+CHECK_EVERY = 25
+DT = 0.08
+REPEATS = 5
+DISABLED_BUDGET = 0.05
+PROFILED_BUDGET = 0.30
+
+
+def _reference_solve(formula, rng_seed):
+    """Hand-inlined solver loop with zero telemetry/profiling code."""
+    system = DmmSystem(formula)
+    lower = system.lower_bounds()
+    upper = system.upper_bounds()
+    rng = np.random.default_rng(rng_seed)
+
+    start = time.perf_counter()
+    state = system.initial_state(rng)
+    steps = 0
+    sim_time = 0.0
+    satisfied = False
+    while steps < MAX_STEPS:
+        derivative = system.rhs(sim_time, state)
+        state = state + DT * derivative
+        np.clip(state, lower, upper, out=state)
+        steps += 1
+        sim_time += DT
+        if steps % CHECK_EVERY == 0 and system.unsatisfied_count(state) == 0:
+            satisfied = True
+            break
+    return steps, satisfied, time.perf_counter() - start
+
+
+def _instrumented_solve(formula, rng_seed):
+    """One ``DmmSolver.solve`` under the *currently active* registry."""
+    solver = DmmSolver(dt=DT, max_steps=MAX_STEPS, check_every=CHECK_EVERY)
+    start = time.perf_counter()
+    result = solver.solve(formula, rng=np.random.default_rng(rng_seed))
+    return result.steps, result.satisfied, time.perf_counter() - start
+
+
+def run_overhead():
+    """Interleaved min-of-N timings; returns the measurement dict."""
+    formula = planted_ksat(NUM_VARIABLES, NUM_CLAUSES, rng=INSTANCE_SEED)
+    times = {"reference": [], "disabled": [], "profiled": []}
+    steps_seen = set()
+    span_events = 0
+    for _ in range(REPEATS):
+        steps, satisfied, elapsed = _reference_solve(formula, SOLVE_SEED)
+        assert satisfied
+        steps_seen.add(steps)
+        times["reference"].append(elapsed)
+
+        with telemetry.use_registry(telemetry.NULL_REGISTRY):
+            steps, satisfied, elapsed = _instrumented_solve(formula,
+                                                            SOLVE_SEED)
+        assert satisfied
+        steps_seen.add(steps)
+        times["disabled"].append(elapsed)
+
+        registry = telemetry.MetricsRegistry()
+        sink = registry.add_sink(profiling.ProfileSink())
+        with telemetry.use_registry(registry):
+            steps, satisfied, elapsed = _instrumented_solve(formula,
+                                                            SOLVE_SEED)
+        assert satisfied
+        assert sink.profile().total_seconds > 0.0
+        span_events = len(sink.events)
+        steps_seen.add(steps)
+        times["profiled"].append(elapsed)
+    assert len(steps_seen) == 1, steps_seen
+    best = {variant: min(samples) for variant, samples in times.items()}
+    return {
+        "steps": steps_seen.pop(),
+        "span_events": span_events,
+        "best": best,
+        "disabled_overhead": best["disabled"] / best["reference"] - 1.0,
+        "profiled_overhead": best["profiled"] / best["reference"] - 1.0,
+    }
+
+
+def test_profiling_overhead(benchmark):
+    measurement = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    best = measurement["best"]
+    disabled_overhead = measurement["disabled_overhead"]
+    profiled_overhead = measurement["profiled_overhead"]
+    rows = [
+        ("reference (no instrumentation)", best["reference"] * 1e3, "-"),
+        ("instrumented, NULL registry", best["disabled"] * 1e3,
+         "%+.2f%%" % (100.0 * disabled_overhead)),
+        ("live registry + ProfileSink", best["profiled"] * 1e3,
+         "%+.2f%%" % (100.0 * profiled_overhead)),
+    ]
+    emit_table(
+        "profiling_overhead",
+        "Profiler overhead on the DMM forward-Euler loop "
+        "(N=%d, %d steps, min of %d)"
+        % (NUM_VARIABLES, measurement["steps"], REPEATS),
+        ["variant", "time [ms]", "vs reference"],
+        rows,
+        notes=["Same instance and seed in every variant (trajectories "
+               "asserted identical via the step count).",
+               "Contract (docs/observability.md): throughput call sites "
+               "and spans cost < %.0f%% with the NULL registry; full "
+               "attribution (ProfileSink buffering %d span events) "
+               "< %.0f%% on this workload."
+               % (100 * DISABLED_BUDGET, measurement["span_events"],
+                  100 * PROFILED_BUDGET)],
+        metrics={
+            "reference_s": best["reference"],
+            "disabled_s": best["disabled"],
+            "profiled_s": best["profiled"],
+            "disabled_overhead": disabled_overhead,
+            "profiled_overhead": profiled_overhead,
+        },
+    )
+    assert disabled_overhead < DISABLED_BUDGET, (
+        "disabled-path profiling overhead %.2f%% exceeds %.0f%% budget"
+        % (100 * disabled_overhead, 100 * DISABLED_BUDGET))
+    assert profiled_overhead < PROFILED_BUDGET, (
+        "attributed-path profiling overhead %.2f%% exceeds %.0f%% budget"
+        % (100 * profiled_overhead, 100 * PROFILED_BUDGET))

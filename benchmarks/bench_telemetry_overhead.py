@@ -42,6 +42,12 @@ DT = 0.08
 #: Interleaved repetitions per variant; min-of-N de-noises the ratio.
 REPEATS = 5
 OVERHEAD_BUDGET = 0.05
+#: Enabled-path budget: a live registry (counters + histograms + spans
+#: firing every ``CHECK_EVERY`` steps, no sinks) may cost real work, but
+#: it must stay far from "don't run instrumented in production"
+#: territory.  Generous on purpose -- this guards against an accidental
+#: hot-loop allocation, not against timer jitter.
+ENABLED_OVERHEAD_BUDGET = 0.25
 
 
 def _reference_solve(formula, rng_seed):
@@ -144,8 +150,20 @@ def test_telemetry_disabled_overhead(benchmark):
                "step count); timing deltas are pure instrumentation "
                "cost.",
                "Contract (docs/observability.md): the disabled path "
-               "stays below %.0f%% overhead." % (100 * OVERHEAD_BUDGET)],
+               "stays below %.0f%% overhead; the enabled path (live "
+               "registry, no sinks) below %.0f%%."
+               % (100 * OVERHEAD_BUDGET, 100 * ENABLED_OVERHEAD_BUDGET)],
+        metrics={
+            "reference_s": best["reference"],
+            "disabled_s": best["disabled"],
+            "enabled_s": best["enabled"],
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+        },
     )
     assert disabled_overhead < OVERHEAD_BUDGET, (
         "disabled-path telemetry overhead %.2f%% exceeds %.0f%% budget"
         % (100 * disabled_overhead, 100 * OVERHEAD_BUDGET))
+    assert enabled_overhead < ENABLED_OVERHEAD_BUDGET, (
+        "enabled-path telemetry overhead %.2f%% exceeds %.0f%% budget"
+        % (100 * enabled_overhead, 100 * ENABLED_OVERHEAD_BUDGET))

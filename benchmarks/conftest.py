@@ -21,6 +21,7 @@ import os
 import pytest
 
 from repro.core import telemetry
+from repro.core.provenance import host_provenance
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -54,11 +55,16 @@ def bench_workers(maximum=4):
     return counts
 
 
-def emit_table(name, title, headers, rows, notes=()):
+def emit_table(name, title, headers, rows, notes=(), metrics=None):
     """Render an aligned text table; print it and save it to results/.
 
     Also writes ``results/<name>.json`` with the same payload plus the
-    active telemetry registry's snapshot.  Returns the rendered string.
+    active telemetry registry's snapshot.  ``metrics`` is an optional
+    flat dict of comparable scalars (timings, ratios, throughputs) that
+    ``benchmarks/history.py`` collects into ``results/history.jsonl``
+    and ``tools/check_perf.py`` diffs against the committed baseline --
+    pass the numbers a regression should be caught on.  Returns the
+    rendered string.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
@@ -77,12 +83,17 @@ def emit_table(name, title, headers, rows, notes=()):
     print("\n" + text)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
         handle.write(text)
-    emit_json(name, title, headers, rows, notes)
+    emit_json(name, title, headers, rows, notes, metrics=metrics)
     return text
 
 
-def emit_json(name, title, headers, rows, notes=()):
-    """Write the machine-readable companion document for one experiment."""
+def emit_json(name, title, headers, rows, notes=(), metrics=None):
+    """Write the machine-readable companion document for one experiment.
+
+    Every document records the host/git provenance
+    (:func:`repro.core.provenance.host_provenance`), so perf numbers
+    from different machines are never silently compared.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {
         "name": name,
@@ -90,6 +101,9 @@ def emit_json(name, title, headers, rows, notes=()):
         "headers": list(headers),
         "rows": [list(row) for row in rows],
         "notes": list(notes),
+        "metrics": {key: float(value)
+                    for key, value in (metrics or {}).items()},
+        "provenance": host_provenance(),
         "telemetry": telemetry.get_registry().snapshot(),
     }
     path = os.path.join(RESULTS_DIR, name + ".json")

@@ -1,0 +1,147 @@
+"""Append-only benchmark history: one structured record per suite run.
+
+``conftest.emit_table`` gives every experiment a ``results/<name>.json``
+companion whose ``metrics`` field carries the scalars a regression
+should be caught on (timings, overhead ratios, throughputs).  This
+module folds those companions into a single flat record --
+``"<experiment>.<metric>": value`` -- stamps it with the host/git
+provenance of the run, and appends it to ``results/history.jsonl``::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/history.py
+
+``tools/check_perf.py`` diffs the latest record against the committed
+``benchmarks/baseline.json``; the JSONL file itself is the longitudinal
+log a perf dashboard can plot without scraping tables.  Records are
+plain one-line JSON documents so the file is greppable and merges as
+text.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.provenance import host_provenance
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+HISTORY_NAME = "history.jsonl"
+SCHEMA_VERSION = 1
+
+
+def collect_metrics(results_dir=RESULTS_DIR):
+    """Flat ``{"<experiment>.<metric>": float}`` dict from results/*.json.
+
+    Experiments without a ``metrics`` field (or with an empty one)
+    contribute nothing; ``report.json`` is skipped.  Metric values that
+    fail float conversion are dropped rather than poisoning the record.
+    """
+    metrics = {}
+    if not os.path.isdir(results_dir):
+        return metrics
+    for filename in sorted(os.listdir(results_dir)):
+        if not filename.endswith(".json") or filename == "report.json":
+            continue
+        path = os.path.join(results_dir, filename)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        name = payload.get("name", filename[:-5])
+        for key, value in (payload.get("metrics") or {}).items():
+            try:
+                metrics["%s.%s" % (name, key)] = float(value)
+            except (TypeError, ValueError):
+                continue
+    return metrics
+
+
+def build_record(results_dir=RESULTS_DIR, timestamp=None):
+    """One history record for the current state of ``results_dir``.
+
+    Returns ``None`` when no experiment contributed any metric (e.g. a
+    partial run of table-only benchmarks) so callers never append empty
+    records.
+    """
+    metrics = collect_metrics(results_dir)
+    if not metrics:
+        return None
+    experiments = sorted({key.split(".", 1)[0] for key in metrics})
+    return {
+        "schema": SCHEMA_VERSION,
+        "timestamp": float(time.time() if timestamp is None else timestamp),
+        "provenance": host_provenance(),
+        "experiments": experiments,
+        "metrics": metrics,
+    }
+
+
+def append_record(record, results_dir=RESULTS_DIR, path=None):
+    """Append one record to the history file; returns the file path."""
+    if path is None:
+        os.makedirs(results_dir, exist_ok=True)
+        path = os.path.join(results_dir, HISTORY_NAME)
+    with open(path, "a") as handle:
+        json.dump(record, handle, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_history(path):
+    """All records from a history file, oldest first.
+
+    Unparseable lines are skipped (a truncated final line from a killed
+    run must not invalidate the rest of the log).
+    """
+    records = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def latest_record(path):
+    """The most recent record, or None when the file is empty/missing."""
+    records = load_history(path)
+    return records[-1] if records else None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="append the current benchmark metrics to the "
+                    "history log")
+    parser.add_argument("--results-dir", default=RESULTS_DIR,
+                        help="directory of per-experiment JSON documents")
+    parser.add_argument("--output", default=None,
+                        help="history file (default: "
+                             "<results-dir>/%s)" % HISTORY_NAME)
+    args = parser.parse_args(argv)
+    record = build_record(args.results_dir)
+    if record is None:
+        print("no metrics found under %s -- run the benchmark suite "
+              "first" % args.results_dir)
+        return 1
+    path = args.output
+    if path is None:
+        path = os.path.join(args.results_dir, HISTORY_NAME)
+    append_record(record, path=path)
+    print("appended %d metrics from %d experiments to %s"
+          % (len(record["metrics"]), len(record["experiments"]), path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

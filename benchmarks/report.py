@@ -30,8 +30,8 @@ ORDER = [
     ("Extensions",
      ["oscillator_applications", "quantum_noise", "ablation_dmm_memory",
       "ablation_topology", "cross_paradigm_ising", "ilp", "inmemory",
-      "telemetry_overhead", "parallel_scaling", "retry_overhead",
-      "cache_warm"]),
+      "telemetry_overhead", "profiling_overhead", "kernel_throughput",
+      "parallel_scaling", "retry_overhead", "cache_warm"]),
 ]
 
 

@@ -6,6 +6,9 @@ Small utilities a downstream user reaches for first:
 * ``solve``      -- solve a DIMACS CNF file (DMM, WalkSAT, or DPLL).
 * ``factor``     -- factor a composite (Shor or memcomputing).
 * ``distance``   -- oscillator distance-primitive evaluations.
+* ``profile``    -- run one of the above under the performance
+  profiler: self/cumulative attribution table plus a Chrome trace
+  (open in Perfetto; see ``docs/observability.md``).
 * ``reproduce``  -- how to regenerate every paper figure/claim.
 
 ``solve``, ``factor``, and ``distance`` accept the shared observability
@@ -196,6 +199,31 @@ def _build_parser():
     _add_resilience_flags(distance)
     _add_cache_flags(distance)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run a repro command under the performance profiler",
+        description="Wrap another repro command (solve, factor, "
+                    "distance) in the performance-attribution profiler: "
+                    "prints the self-time vs. cumulative-time table and "
+                    "writes a Chrome trace loadable in Perfetto "
+                    "(https://ui.perfetto.dev) or chrome://tracing.")
+    profile.add_argument("--out", metavar="PATH",
+                         default="repro-profile-trace.json",
+                         help="Chrome trace output file (default: "
+                              "%(default)s)")
+    profile.add_argument("--sort", choices=("self", "cum"),
+                         default="self",
+                         help="attribution table order: 'self' ranks "
+                              "hot spots flat by self time, 'cum' keeps "
+                              "tree order (default: %(default)s)")
+    profile.add_argument("--top", type=int, default=30, metavar="N",
+                         help="rows in the attribution table (default: "
+                              "%(default)s)")
+    profile.add_argument("rest", nargs=argparse.REMAINDER,
+                         metavar="COMMAND ...",
+                         help="the repro command to profile, with its "
+                              "own arguments (e.g. 'factor 15 --seed 1')")
+
     commands.add_parser("reproduce",
                         help="how to regenerate the paper's results")
     return parser
@@ -346,6 +374,69 @@ def _run_distance(args, out):
     return 0
 
 
+#: Commands `repro profile` may wrap: the ones with real kernels behind
+#: them (profiling `info` or `reproduce` would trace nothing).
+_PROFILABLE = ("solve", "factor", "distance")
+
+
+def _run_profile(args, out):
+    """Run a wrapped command under the profiler; emit table + trace."""
+    from .core import profiling, telemetry
+    from .core.tracing import JsonlSink, write_chrome_trace
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest or rest[0] not in _PROFILABLE:
+        out.write("error: profile needs a command to wrap: "
+                  "repro profile [--out PATH] {%s} ...\n"
+                  % ",".join(_PROFILABLE))
+        return 2
+    if args.top is not None and args.top < 1:
+        out.write("error: --top must be >= 1\n")
+        return 2
+    inner = _build_parser().parse_args(rest)
+    # fail fast on an unwritable trace path, before any compute
+    try:
+        open(args.out, "w").close()
+    except OSError as error:
+        raise SystemExit("repro: cannot write trace file %r: %s"
+                         % (args.out, error))
+    registry = telemetry.MetricsRegistry()
+    sink = registry.add_sink(profiling.ProfileSink())
+    jsonl = None
+    if getattr(inner, "trace", None):
+        try:
+            open(inner.trace, "w").close()
+        except OSError as error:
+            raise SystemExit("repro: cannot write trace file %r: %s"
+                             % (inner.trace, error))
+        jsonl = registry.add_sink(JsonlSink(inner.trace))
+    handlers = {"solve": _run_solve, "factor": _run_factor,
+                "distance": _run_distance}
+    try:
+        with telemetry.use_registry(registry):
+            code = handlers[inner.command](inner, out)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    events = write_chrome_trace(sink.events, args.out)
+    profile = sink.profile()
+    out.write("\n" + profile.render(sort=args.sort, limit=args.top,
+                                    title="performance profile: %s"
+                                    % " ".join(rest)) + "\n")
+    out.write("\nchrome trace: %d events -> %s "
+              "(open at https://ui.perfetto.dev or chrome://tracing)\n"
+              % (events, args.out))
+    if jsonl is not None:
+        out.write("trace: %d events -> %s\n"
+                  % (jsonl.events_written, jsonl.path))
+    if getattr(inner, "metrics", False):
+        out.write("\n" + telemetry.render_summary(registry.snapshot())
+                  + "\n")
+    return code
+
+
 def _run_reproduce(_args, out):
     out.write("regenerate every figure and in-text claim of the paper:\n\n")
     out.write("  pytest benchmarks/ --benchmark-only\n\n")
@@ -365,6 +456,7 @@ def main(argv=None, out=None):
         "solve": _run_solve,
         "factor": _run_factor,
         "distance": _run_distance,
+        "profile": _run_profile,
         "reproduce": _run_reproduce,
     }
     if args.command is None:

@@ -4,10 +4,20 @@ The three computing models reproduced from the paper sit on this common
 layer.  Nothing here knows about qubits, oscillators, or SOLGs.
 """
 
-from . import cache, parallel, resilience, telemetry, tracing
+from . import (
+    cache,
+    parallel,
+    profiling,
+    provenance,
+    resilience,
+    telemetry,
+    tracing,
+)
 from .cache import CacheSpec, ResultCache, use_cache
 from .cnf import Clause, CnfFormula, parse_dimacs
 from .parallel import ParallelMap, TaskFailure, parallel_map
+from .profiling import Profile, ProfileSink, record_throughput
+from .provenance import host_provenance
 from .resilience import Checkpointer, FaultPlan, RetryPolicy, use_faults
 from .integrators import (
     Trajectory,
@@ -31,6 +41,12 @@ __all__ = [
     "ResultCache",
     "use_cache",
     "parallel",
+    "profiling",
+    "provenance",
+    "Profile",
+    "ProfileSink",
+    "record_throughput",
+    "host_provenance",
     "resilience",
     "telemetry",
     "tracing",

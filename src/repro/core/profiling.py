@@ -1,0 +1,326 @@
+"""Performance attribution: self vs. cumulative time and throughput.
+
+The telemetry spans (:mod:`repro.core.tracing`) answer "how long did
+this region take"; this module answers the question a perf hunt actually
+asks: **where does the time go?**  It builds an *attribution tree* from a
+stream of span events:
+
+* every distinct call path (the stack of span names) becomes one node,
+* a node's **cumulative time** is the wall time spent inside any span on
+  that path,
+* its **self time** is the cumulative time minus the time attributed to
+  its direct children -- the part this region spent doing its *own*
+  work.
+
+Self time is the attribution invariant: summed over the whole tree it
+equals the total traced time, so a region cannot hide behind its callees
+and a sort by self time ranks the real hot spots.
+
+Spans merged back from parallel workers (tagged ``"worker": <chunk>`` by
+:class:`repro.core.parallel.ParallelMap`) form their own stacks: each
+worker's events are reconstructed as an independent stream and the
+resulting paths aggregate with the parent's by name, so eight chunks of
+``dmm.solver.solve`` land in one node with ``count=8``.
+
+Three entry points:
+
+* :class:`ProfileSink` -- a trace sink that buffers events and builds
+  the :class:`Profile` on demand (what ``repro profile`` attaches),
+* :func:`Profile.from_events` -- build from any event list (e.g. a
+  JSONL trace read back with :func:`repro.core.tracing.read_jsonl`),
+* :func:`record_throughput` -- the per-kernel throughput instruments
+  (gates/s, trajectory-steps/s, pairs/s, VMM ops/s) the paradigm
+  packages feed; a histogram of units/second plus a units counter, so
+  ROADMAP perf work is pinned by rates, not anecdotes.
+
+Everything here follows the telemetry overhead contract: with the NULL
+registry active, :func:`record_throughput` is a truthiness test and an
+early return (``benchmarks/bench_profiling_overhead.py`` holds it below
+the same 5% budget as the rest of the instrumentation).
+"""
+
+from . import telemetry
+from .tracing import TraceSink
+
+
+def record_throughput(name, units, seconds):
+    """Observe one kernel execution's rate on the active registry.
+
+    Records ``units / seconds`` into the histogram ``<name>_per_s`` and
+    adds ``units`` to the counter ``<name>_units``.  Returns the rate,
+    or ``None`` when telemetry is disabled or the measurement is
+    degenerate (non-positive units or duration) -- so call sites can
+    fire unconditionally without guarding.
+    """
+    registry = telemetry.get_registry()
+    if not registry.enabled:
+        return None
+    units = float(units)
+    seconds = float(seconds)
+    if units <= 0.0 or seconds <= 0.0:
+        return None
+    rate = units / seconds
+    registry.histogram(name + "_per_s").observe(rate)
+    registry.counter(name + "_units").inc(units)
+    return rate
+
+
+class ProfileNode:
+    """Aggregated statistics for one call path in the attribution tree.
+
+    Attributes
+    ----------
+    path : tuple of str
+        Span names from root to this node.
+    count : int
+        Completed span instances on this path.
+    cum_s : float
+        Total wall time inside spans on this path (cumulative).
+    self_s : float
+        Cumulative time minus direct children's cumulative time.
+    min_s, max_s : float
+        Fastest / slowest single instance.
+    errors : int
+        Instances that closed with ``status="error"``.
+    """
+
+    __slots__ = ("path", "count", "cum_s", "self_s", "min_s", "max_s",
+                 "errors")
+
+    def __init__(self, path):
+        self.path = tuple(path)
+        self.count = 0
+        self.cum_s = 0.0
+        self.self_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+        self.errors = 0
+
+    @property
+    def name(self):
+        return self.path[-1]
+
+    @property
+    def depth(self):
+        return len(self.path) - 1
+
+    @property
+    def mean_s(self):
+        return self.cum_s / self.count if self.count else 0.0
+
+    def snapshot(self):
+        """JSON-friendly dict (used by the machine-readable exports)."""
+        return {
+            "path": list(self.path),
+            "count": self.count,
+            "cum_s": self.cum_s,
+            "self_s": self.self_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s if self.count else None,
+            "errors": self.errors,
+        }
+
+    def __repr__(self):
+        return "ProfileNode(%s, count=%d, self=%s, cum=%s)" % (
+            "/".join(self.path), self.count,
+            telemetry.fmt_seconds(self.self_s),
+            telemetry.fmt_seconds(self.cum_s))
+
+
+def _instance_forest(events):
+    """Rebuild one stream's span instances from its close-ordered events.
+
+    Span events are emitted at *close* time carrying their stack depth,
+    and a child always closes before its parent, so the stream can be
+    folded bottom-up: completed subtrees accumulate per depth until the
+    span one level up closes and adopts them.  Returns the list of root
+    instances ``(name, duration_s, status, children)``; spans whose
+    parent never closed (a crashed run's truncated trace) are promoted
+    to roots rather than dropped.
+    """
+    pending = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        depth = max(0, int(event.get("depth") or 0))
+        children = pending.pop(depth + 1, [])
+        node = (str(event.get("name", "?")),
+                max(0.0, float(event.get("duration_s") or 0.0)),
+                event.get("status", "ok"), children)
+        pending.setdefault(depth, []).append(node)
+    roots = []
+    for depth in sorted(pending):
+        roots.extend(pending[depth])
+    return roots
+
+
+class Profile:
+    """The attribution tree: call paths aggregated over span instances."""
+
+    def __init__(self):
+        self._nodes = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events):
+        """Build a profile from telemetry span events.
+
+        Events tagged with a ``"worker"`` key (spans merged back from
+        parallel workers) are reconstructed as separate streams -- each
+        worker has its own stack -- and aggregated into the same tree by
+        path.
+        """
+        streams = {}
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            streams.setdefault(event.get("worker"), []).append(event)
+        profile = cls()
+        for key in sorted(streams, key=lambda k: (k is not None, str(k))):
+            profile._fold(_instance_forest(streams[key]), ())
+        return profile
+
+    def _fold(self, instances, prefix):
+        for name, duration, status, children in instances:
+            path = prefix + (name,)
+            node = self._nodes.get(path)
+            if node is None:
+                node = self._nodes[path] = ProfileNode(path)
+            node.count += 1
+            node.cum_s += duration
+            child_time = sum(child[1] for child in children)
+            node.self_s += max(0.0, duration - child_time)
+            node.min_s = min(node.min_s, duration)
+            node.max_s = max(node.max_s, duration)
+            if status == "error":
+                node.errors += 1
+            self._fold(children, path)
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def __contains__(self, path):
+        return tuple(path) in self._nodes
+
+    def node(self, path):
+        """The node at ``path`` (a tuple/list of span names), or None."""
+        return self._nodes.get(tuple(path))
+
+    @property
+    def nodes(self):
+        """Every node, root-first (depth, then path)."""
+        return sorted(self._nodes.values(),
+                      key=lambda n: (n.depth, n.path))
+
+    @property
+    def roots(self):
+        return [node for node in self.nodes if node.depth == 0]
+
+    @property
+    def total_seconds(self):
+        """Total traced time (sum of root cumulative times)."""
+        return sum(node.cum_s for node in self.roots)
+
+    def hotspots(self, limit=None):
+        """Nodes ranked by self time, hottest first."""
+        ranked = sorted(self._nodes.values(),
+                        key=lambda n: (-n.self_s, n.path))
+        return ranked[:limit] if limit else ranked
+
+    def snapshot(self):
+        """JSON-friendly list of node dicts, root-first."""
+        return [node.snapshot() for node in self.nodes]
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, sort="self", limit=None, title="performance profile"):
+        """The attribution table as text (the ``repro profile`` output).
+
+        ``sort="self"`` ranks by self time (hot-spot view, flat);
+        ``sort="cum"`` keeps tree order with indentation (attribution
+        view).  Returns the string; callers decide where it goes.
+        """
+        if sort not in ("self", "cum"):
+            raise ValueError("sort must be 'self' or 'cum', got %r" % sort)
+        total = self.total_seconds or 1.0
+        if sort == "self":
+            nodes = self.hotspots(limit)
+            labels = ["/".join(node.path) for node in nodes]
+        else:
+            nodes = self._tree_order()
+            if limit:
+                nodes = nodes[:limit]
+            labels = ["  " * node.depth + node.name for node in nodes]
+        headers = ("span", "count", "self", "self%", "cum", "cum%",
+                   "mean", "errors")
+        rows = []
+        for node, label in zip(nodes, labels):
+            rows.append((
+                label,
+                telemetry.fmt_quantity(node.count),
+                telemetry.fmt_seconds(node.self_s),
+                "%.1f%%" % (100.0 * node.self_s / total),
+                telemetry.fmt_seconds(node.cum_s),
+                "%.1f%%" % (100.0 * node.cum_s / total),
+                telemetry.fmt_seconds(node.mean_s),
+                telemetry.fmt_quantity(node.errors),
+            ))
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+                  if rows else len(headers[i]) for i in range(len(headers))]
+        lines = [title, "=" * len(title),
+                 "total traced time: %s across %d span path(s)"
+                 % (telemetry.fmt_seconds(self.total_seconds),
+                    len(self._nodes)),
+                 ""]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if not rows:
+            lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    def _tree_order(self):
+        """Nodes in depth-first order, siblings by descending cum time."""
+        children = {}
+        for node in self._nodes.values():
+            children.setdefault(node.path[:-1], []).append(node)
+        for siblings in children.values():
+            siblings.sort(key=lambda n: (-n.cum_s, n.path))
+        ordered = []
+
+        def _walk(path):
+            for node in children.get(path, ()):
+                ordered.append(node)
+                _walk(node.path)
+
+        _walk(())
+        return ordered
+
+    def __repr__(self):
+        return "Profile(paths=%d, total=%s)" % (
+            len(self._nodes), telemetry.fmt_seconds(self.total_seconds))
+
+
+class ProfileSink(TraceSink):
+    """Trace sink buffering events for attribution and trace export.
+
+    Attach to a registry alongside (or instead of) a
+    :class:`~repro.core.tracing.JsonlSink`; call :meth:`profile` for the
+    attribution tree, or hand :attr:`events` to
+    :func:`repro.core.tracing.write_chrome_trace` for a Perfetto-loadable
+    trace.  ``repro profile`` does both.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def profile(self):
+        """The attribution tree over everything buffered so far."""
+        return Profile.from_events(self.events)

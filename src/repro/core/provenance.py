@@ -1,0 +1,88 @@
+"""Host and source provenance for benchmark records.
+
+A benchmark number without its context is not comparable: the 0.54x
+"speedup" recorded by an early ``parallel_scaling`` run only makes sense
+next to the fact that the host had a single CPU core.  This module
+collects the small, dependency-free set of facts that decide whether two
+perf records can be compared at all:
+
+* host -- platform triple, machine, CPU count, Python version,
+* source -- the library version and (best-effort) the git commit of the
+  working tree.
+
+Everything degrades gracefully: a missing git binary, a non-repository
+checkout, or a sandboxed environment yields ``None`` fields, never an
+exception.  The dict is JSON-serializable by construction; it is embedded
+in every ``benchmarks/results/*.json`` companion (``conftest.emit_json``)
+and every ``benchmarks/results/history.jsonl`` record
+(``benchmarks/history.py``), which is what ``tools/check_perf.py`` reads
+when deciding whether a baseline diff is meaningful.
+"""
+
+import os
+import platform
+import subprocess
+
+
+def git_revision(cwd=None):
+    """The working tree's commit SHA (short) and dirty flag, best-effort.
+
+    Returns ``(sha, dirty)``; ``(None, None)`` when git or the repository
+    is unavailable.  Never raises.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=cwd,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout
+        dirty = bool(status.strip())
+    except (OSError, subprocess.SubprocessError):
+        dirty = None
+    return sha, dirty
+
+
+def host_provenance(cwd=None):
+    """JSON-ready dict describing this host and source tree.
+
+    ``cwd`` anchors the git lookup (default: this file's repository).
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        from repro import __version__ as version
+    except Exception:  # pragma: no cover - broken install
+        version = None
+    sha, dirty = git_revision(cwd=cwd)
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "repro_version": version,
+        "git_sha": sha,
+        "git_dirty": dirty,
+    }
+
+
+def comparable(a, b, keys=("machine", "cpu_count", "implementation")):
+    """True when two provenance dicts plausibly allow a perf comparison.
+
+    Deliberately loose: same machine architecture, CPU count, and Python
+    implementation.  Python *versions* and commits legitimately differ
+    between the runs being compared (that is the point of a perf diff).
+    Missing fields (``None``) on either side are treated as unknown and
+    do not veto the comparison.
+    """
+    for key in keys:
+        left, right = a.get(key), b.get(key)
+        if left is not None and right is not None and left != right:
+            return False
+    return True

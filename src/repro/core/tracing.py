@@ -269,3 +269,130 @@ class ConsoleSink(TraceSink):
                 "%s=%s" % (key, telemetry.fmt_quantity(attrs[key]))
                 for key in sorted(attrs))
         self.stream.write(line + "\n")
+
+
+# -- Chrome trace-event export ---------------------------------------------
+
+#: pid used for every exported event (one logical process per trace).
+CHROME_PID = 1
+
+#: tid of the main (untagged) span stream; worker chunk ``i`` maps to
+#: ``CHROME_MAIN_TID + 1 + i`` so each chunk gets its own track.
+CHROME_MAIN_TID = 1
+
+
+def _chrome_tid(event):
+    worker = event.get("worker")
+    if worker is None:
+        return CHROME_MAIN_TID
+    try:
+        return CHROME_MAIN_TID + 1 + int(worker)
+    except (TypeError, ValueError):
+        return CHROME_MAIN_TID + 1
+
+
+def chrome_trace_events(events):
+    """Convert telemetry events to Chrome trace-event dicts.
+
+    Spans become complete (``"ph": "X"``) events -- start timestamp and
+    duration in microseconds -- and point events become instants
+    (``"ph": "i"``).  Spans merged back from parallel workers (tagged
+    ``"worker": <chunk>``) land on their own thread track, so a
+    ``--workers 4`` run shows its chunks as parallel lanes.  Events are
+    returned sorted by timestamp (ties: longer span first, so a parent
+    precedes the children it encloses), preceded by thread-name metadata
+    events -- exactly the list Perfetto / ``chrome://tracing`` expects
+    under ``traceEvents``.
+    """
+    out = []
+    tids = set()
+    for event in events:
+        if not isinstance(event, dict) or "ts" not in event:
+            continue
+        tid = _chrome_tid(event)
+        args = dict(event.get("attrs") or {})
+        ts_us = float(event.get("ts") or 0.0) * 1e6
+        if event.get("type") == "span":
+            if event.get("status", "ok") != "ok":
+                args.setdefault("status", event["status"])
+            out.append({
+                "name": str(event.get("name", "?")),
+                "cat": "span",
+                "ph": "X",
+                "ts": ts_us,
+                "dur": max(0.0, float(event.get("duration_s") or 0.0)) * 1e6,
+                "pid": CHROME_PID,
+                "tid": tid,
+                "args": args,
+            })
+        elif event.get("type") == "event":
+            out.append({
+                "name": str(event.get("name", "?")),
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": ts_us,
+                "pid": CHROME_PID,
+                "tid": tid,
+                "args": args,
+            })
+        else:
+            continue
+        tids.add(tid)
+    out.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    metadata = []
+    for tid in sorted(tids):
+        name = "main" if tid == CHROME_MAIN_TID \
+            else "worker-%d" % (tid - CHROME_MAIN_TID - 1)
+        metadata.append({"name": "thread_name", "ph": "M",
+                         "pid": CHROME_PID, "tid": tid,
+                         "args": {"name": name}})
+    return metadata + out
+
+
+def write_chrome_trace(events, path):
+    """Write telemetry events as a Chrome JSON trace; returns the count.
+
+    The file is the object form of the trace-event format
+    (``{"traceEvents": [...]}``), loadable by Perfetto
+    (https://ui.perfetto.dev) and ``chrome://tracing``.  Metadata events
+    are not counted in the return value.
+    """
+    converted = chrome_trace_events(events)
+    document = {"traceEvents": converted, "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(document, handle, default=str, separators=(",", ":"))
+        handle.write("\n")
+    return sum(1 for event in converted if event.get("ph") != "M")
+
+
+def read_chrome_trace(path):
+    """Load a Chrome trace file back; returns the ``traceEvents`` list."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if isinstance(document, list):  # bare-array form
+        return document
+    return document.get("traceEvents", [])
+
+
+class ChromeTraceSink(TraceSink):
+    """Buffers events and writes a Chrome JSON trace on close.
+
+    Unlike :class:`JsonlSink` (streaming, crash-safe), the Chrome format
+    is one JSON document, so the file materializes at :meth:`close` --
+    use the sink as a context manager or close it explicitly.  The CLI's
+    ``repro profile --out trace.json`` drives one of these.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self.events = []
+        self.events_written = 0
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        if self.events or not self.events_written:
+            self.events_written = write_chrome_trace(self.events, self.path)
+            self.events = []

@@ -15,9 +15,11 @@ quantitative: bytes moved per multiply for a load-store architecture vs
 the crossbar.
 """
 
+import time
+
 import numpy as np
 
-from ..core import telemetry
+from ..core import profiling, telemetry
 from ..core.rngs import make_rng
 from .crossbar import Crossbar
 from .memristor import Memristor, MemristorError
@@ -92,10 +94,12 @@ class AnalogVmm:
         if vector.shape != (self.weights.shape[0],):
             raise MemristorError("input length mismatch")
         registry = telemetry.get_registry()
-        if registry.enabled:
+        enabled = registry.enabled
+        if enabled:
             n_in, n_out = self.weights.shape
             registry.counter("inmemory.vmm.multiplies").inc()
             registry.counter("inmemory.vmm.macs").inc(n_in * n_out)
+            start = time.perf_counter()
         v_scale = float(np.max(np.abs(vector))) or 1.0
         voltages = vector / v_scale * v_read
         currents = self.crossbar.analog_read(voltages,
@@ -103,7 +107,12 @@ class AnalogVmm:
                                              rng=rng)
         differential = currents[0::2] - currents[1::2]
         span = self.g_max - self.g_min
-        return differential * (v_scale / v_read) * (self.scale / span)
+        result = differential * (v_scale / v_read) * (self.scale / span)
+        if enabled:
+            # crossbar throughput: multiply-accumulates per wall second
+            profiling.record_throughput("inmemory.vmm.ops", n_in * n_out,
+                                        time.perf_counter() - start)
+        return result
 
     def relative_error(self, vector, **kwargs):
         """||analog - exact|| / ||exact|| for one input vector."""

@@ -13,10 +13,12 @@ The batched right-hand side evaluates the same Eqs. 1-2 vector field as
 trajectory-for-trajectory by the test suite.
 """
 
+import time
+
 import numpy as np
 
 from ..core import cache as result_cache
-from ..core import parallel, resilience
+from ..core import parallel, profiling, resilience
 from ..core.exceptions import MemcomputingError
 from ..core.rngs import make_rng, spawn_rngs
 from .dynamics import DmmSystem
@@ -59,6 +61,18 @@ class EnsembleResult:
     def solved_fraction(self):
         """Fraction of trajectories that reached a solution."""
         return float(np.mean(~self.unsolved_mask))
+
+    @property
+    def total_trajectory_steps(self):
+        """Integration steps summed over the ensemble.
+
+        Unsolved trajectories contribute the full ``max_steps`` budget
+        (their sentinel is ``inf``, which is bookkeeping, not work).
+        This is the unit count behind the ``dmm.ensemble.traj_steps``
+        throughput instrument.
+        """
+        return float(np.where(np.isfinite(self.solve_steps),
+                              self.solve_steps, self.max_steps).sum())
 
     def quantile(self, q):
         """TTS quantile in steps; ``inf`` when too few runs solved.
@@ -306,12 +320,17 @@ def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
             hit, solve_steps = spec.lookup()
             if hit:
                 return EnsembleResult(solve_steps, max_steps)
+        start = time.perf_counter()
         solve_steps = _integrate_batch(formula, batch, dt, max_steps,
                                        check_every, params, x_l_max,
                                        make_rng(rng))
+        result = EnsembleResult(solve_steps, max_steps)
+        profiling.record_throughput("dmm.ensemble.traj_steps",
+                                    result.total_trajectory_steps,
+                                    time.perf_counter() - start)
         if spec is not None:
             spec.store(np.asarray(solve_steps, dtype=float))
-        return EnsembleResult(solve_steps, max_steps)
+        return result
     if batch < 1:
         raise MemcomputingError("batch must be positive")
     sizes = parallel.chunk_sizes(batch, chunk_size)
@@ -333,7 +352,12 @@ def solve_ensemble(formula, batch=32, dt=0.08, max_steps=100_000,
     rngs = spawn_rngs(rng, len(sizes))
     tasks = [(formula, size, dt, max_steps, check_every, params, x_l_max,
               chunk_rng) for size, chunk_rng in zip(sizes, rngs)]
+    start = time.perf_counter()
     chunks = parallel.ParallelMap(workers=workers, timeout=timeout).map(
         _integrate_chunk, tasks, retry=retry, validate=_chunk_no_nan,
         checkpoint=ckpt, cache=spec)
-    return EnsembleResult(np.concatenate(chunks), max_steps)
+    result = EnsembleResult(np.concatenate(chunks), max_steps)
+    profiling.record_throughput("dmm.ensemble.traj_steps",
+                                result.total_trajectory_steps,
+                                time.perf_counter() - start)
+    return result

@@ -18,7 +18,7 @@ import time
 import numpy as np
 
 from ..core import cache as result_cache
-from ..core import parallel, resilience, telemetry
+from ..core import parallel, profiling, resilience, telemetry
 from ..core.exceptions import DmmConvergenceError
 from ..core.rngs import make_rng, spawn_rngs
 from .dynamics import DmmSystem
@@ -187,6 +187,8 @@ class DmmSolver:
                 instanton_events)
             registry.gauge("dmm.solver.sim_time").set(sim_time)
             registry.histogram("dmm.solver.steps_per_solve").observe(steps)
+            profiling.record_throughput("dmm.solver.steps", steps,
+                                        wall_time)
         return DmmResult(satisfied, system.assignment_from_state(state),
                          steps, sim_time, wall_time, restarts, unsat_trace)
 

@@ -27,7 +27,7 @@ import time
 import numpy as np
 
 from ..core import cache as result_cache
-from ..core import parallel, resilience, telemetry
+from ..core import parallel, profiling, resilience, telemetry
 from ..core.exceptions import OscillatorError
 from .locking import DEFAULT_C_C, simulate_calibrated_pair
 from .norms import xor_measure_curve
@@ -202,7 +202,11 @@ class OscillatorDistanceUnit:
                 hit, measures = spec.lookup()
                 if hit:
                     return measures
+            start = time.perf_counter()
             measures = [self.measure(a, b) for a, b in pairs]
+            profiling.record_throughput("oscillator.distance.pairs",
+                                        len(pairs),
+                                        time.perf_counter() - start)
             if spec is not None:
                 spec.store(measures)
             return measures
@@ -219,10 +223,14 @@ class OscillatorDistanceUnit:
         spec = result_cache.spec_for(
             cache, "oscillator-distance-chunk",
             dict(cache_meta, sizes=sizes), encode=_encode_measures)
+        start = time.perf_counter()
         blocks = parallel.ParallelMap(workers=workers, timeout=timeout).map(
             _measure_pairs_chunk, [(config, chunk) for chunk in chunks],
             retry=retry, validate=_block_is_finite, checkpoint=ckpt,
             cache=spec)
+        profiling.record_throughput("oscillator.distance.pairs",
+                                    len(pairs),
+                                    time.perf_counter() - start)
         return [measure for block in blocks for measure in block]
 
     def measure_threshold(self, intensity_threshold):

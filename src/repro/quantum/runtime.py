@@ -10,7 +10,7 @@ import math
 import time
 
 from ..core import cache as result_cache
-from ..core import parallel, resilience, telemetry
+from ..core import parallel, profiling, resilience, telemetry
 from ..core.exceptions import QuantumError
 from ..core.rngs import make_rng, spawn_rngs
 from .microarch import MicroArchitecture, assemble
@@ -269,9 +269,14 @@ class QuantumRuntime:
             registry.counter("quantum.runtime.shots").inc(shots)
             registry.counter("quantum.runtime.chip_time_ns").inc(chip_time)
             # gates executed on-chip, by mnemonic, over all shots
-            for name, count in circuit.gate_counts().items():
+            gate_counts = circuit.gate_counts()
+            for name, count in gate_counts.items():
                 registry.counter("quantum.runtime.gates.%s" % name).inc(
                     count * shots)
             registry.histogram("quantum.runtime.shot_time_ns").observe(
                 chip_time / shots)
+            # statevector throughput: gates applied per host wall second
+            profiling.record_throughput(
+                "quantum.runtime.gates",
+                sum(gate_counts.values()) * shots, wall_time)
         return ShotResult(counts, cbit_order, shots, chip_time, wall_time)

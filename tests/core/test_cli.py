@@ -426,3 +426,120 @@ class TestReproduce:
         code, text = run_cli(["reproduce"])
         assert code == 0
         assert "pytest benchmarks/" in text
+
+
+class TestProfile:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        formula = planted_ksat(15, 55, rng=0)
+        return save_dimacs(formula, str(tmp_path / "i.cnf"))
+
+    def trace_path(self, tmp_path):
+        return str(tmp_path / "trace.json")
+
+    def test_profile_factor_writes_loadable_trace(self, tmp_path):
+        # the acceptance workload: repro profile factor ... must produce
+        # a Perfetto-loadable trace plus the attribution table
+        from repro.core.tracing import read_chrome_trace
+
+        out = self.trace_path(tmp_path)
+        code, text = run_cli(["profile", "--out", out, "factor", "15",
+                              "--seed", "1"])
+        assert code == 0
+        assert "performance profile: factor 15 --seed 1" in text
+        assert "chrome trace:" in text and "perfetto" in text.lower()
+        events = read_chrome_trace(out)
+        assert events, "trace file has no events"
+        assert {e["ph"] for e in events} <= {"X", "i", "M"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert all("pid" in e and "tid" in e for e in spans)
+        timestamps = [e["ts"] for e in events if e["ph"] != "M"]
+        assert timestamps == sorted(timestamps)
+
+    def test_profile_solve_reports_self_and_cum(self, instance_path,
+                                                tmp_path):
+        out = self.trace_path(tmp_path)
+        code, text = run_cli(["profile", "--out", out, "solve",
+                              instance_path])
+        assert code == 0
+        assert "self%" in text and "cum%" in text
+        assert "dmm." in text
+
+    def test_profile_cum_sort_and_top(self, instance_path, tmp_path):
+        out = self.trace_path(tmp_path)
+        code, text = run_cli(["profile", "--out", out, "--sort", "cum",
+                              "--top", "1", "solve", instance_path])
+        assert code == 0
+        # exactly one data row: header, separator, one span line
+        table = text.split("total traced time")[1]
+        rows = [line for line in table.splitlines()
+                if line and "%" in line and "self%" not in line]
+        assert len(rows) == 1
+
+    def test_profile_workers_show_parallel_lanes(self, instance_path,
+                                                 tmp_path):
+        from repro.core.tracing import CHROME_MAIN_TID, read_chrome_trace
+
+        out = self.trace_path(tmp_path)
+        code, _text = run_cli(["profile", "--out", out, "solve",
+                               instance_path, "--workers", "2"])
+        assert code == 0
+        tids = {e["tid"] for e in read_chrome_trace(out)
+                if e["ph"] == "X"}
+        assert CHROME_MAIN_TID in tids
+        assert len(tids) > 1  # worker spans landed on their own lanes
+
+    def test_profile_without_command_errors(self, tmp_path):
+        code, text = run_cli(["profile", "--out",
+                              self.trace_path(tmp_path)])
+        assert code == 2
+        assert "profile needs a command" in text
+
+    def test_profile_rejects_unwrappable_command(self, tmp_path):
+        code, text = run_cli(["profile", "--out",
+                              self.trace_path(tmp_path), "info"])
+        assert code == 2
+
+    def test_profile_rejects_bad_top(self, instance_path, tmp_path):
+        code, text = run_cli(["profile", "--out",
+                              self.trace_path(tmp_path), "--top", "0",
+                              "solve", instance_path])
+        assert code == 2
+        assert "--top" in text
+
+    def test_profile_unwritable_out_fails_fast(self, instance_path,
+                                               tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(["profile", "--out",
+                     str(tmp_path / "no" / "dir" / "t.json"), "solve",
+                     instance_path])
+
+    def test_profile_with_inner_trace_writes_both(self, instance_path,
+                                                  tmp_path):
+        import os
+
+        from repro.core.tracing import read_jsonl
+
+        out = self.trace_path(tmp_path)
+        jsonl = str(tmp_path / "events.jsonl")
+        code, text = run_cli(["profile", "--out", out, "solve",
+                              instance_path, "--trace", jsonl])
+        assert code == 0
+        assert os.path.exists(out) and os.path.exists(jsonl)
+        assert any(e.get("type") == "span" for e in read_jsonl(jsonl))
+
+    def test_profile_with_metrics_prints_summary(self, instance_path,
+                                                 tmp_path):
+        code, text = run_cli(["profile", "--out",
+                              self.trace_path(tmp_path), "solve",
+                              instance_path, "--metrics"])
+        assert code == 0
+        assert "dmm.solver.steps_per_s" in text
+
+    def test_telemetry_restored_after_profile(self, instance_path,
+                                              tmp_path):
+        from repro.core import telemetry
+
+        run_cli(["profile", "--out", self.trace_path(tmp_path), "solve",
+                 instance_path])
+        assert telemetry.get_registry() is telemetry.NULL_REGISTRY

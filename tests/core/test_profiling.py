@@ -1,0 +1,194 @@
+"""Tests for the performance-attribution profiler (repro.core.profiling)."""
+
+import pytest
+
+from repro.core import profiling, telemetry
+from repro.core.profiling import Profile, ProfileSink, record_throughput
+
+
+def span_event(name, duration_s, depth=0, status="ok", worker=None,
+               ts=0.0):
+    """A close-ordered span event as the telemetry layer emits them."""
+    event = {"type": "span", "name": name, "ts": ts,
+             "duration_s": duration_s, "depth": depth, "status": status}
+    if worker is not None:
+        event["worker"] = worker
+    return event
+
+
+class TestRecordThroughput:
+    def test_disabled_registry_is_noop(self):
+        with telemetry.use_registry(telemetry.NULL_REGISTRY):
+            assert record_throughput("k.gates", 100, 0.5) is None
+
+    def test_enabled_registry_records_rate_and_units(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            rate = record_throughput("k.gates", 100, 0.5)
+        assert rate == pytest.approx(200.0)
+        histogram = registry.histogram("k.gates_per_s")
+        assert histogram.count == 1
+        assert histogram.mean == pytest.approx(200.0)
+        assert registry.counter("k.gates_units").value == pytest.approx(100)
+
+    @pytest.mark.parametrize("units,seconds", [(0, 1.0), (10, 0.0),
+                                               (-5, 1.0), (10, -1.0)])
+    def test_degenerate_measurements_dropped(self, units, seconds):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            assert record_throughput("k.x", units, seconds) is None
+        assert registry.histogram("k.x_per_s").count == 0
+
+
+class TestAttribution:
+    def events(self):
+        # close order: children before parent.  A(10s) calls B twice
+        # (1s + 2s) and C once (4s); A's own work is 3s.
+        return [
+            span_event("B", 1.0, depth=1),
+            span_event("B", 2.0, depth=1),
+            span_event("C", 4.0, depth=1),
+            span_event("A", 10.0, depth=0),
+        ]
+
+    def test_self_vs_cumulative(self):
+        profile = Profile.from_events(self.events())
+        a = profile.node(("A",))
+        assert a.cum_s == pytest.approx(10.0)
+        assert a.self_s == pytest.approx(3.0)
+        assert a.count == 1
+        b = profile.node(("A", "B"))
+        assert b.count == 2
+        assert b.cum_s == pytest.approx(3.0)
+        assert b.self_s == pytest.approx(3.0)  # leaf: self == cum
+        assert b.min_s == pytest.approx(1.0)
+        assert b.max_s == pytest.approx(2.0)
+        assert b.mean_s == pytest.approx(1.5)
+
+    def test_self_time_invariant_sums_to_total(self):
+        profile = Profile.from_events(self.events())
+        assert profile.total_seconds == pytest.approx(10.0)
+        assert sum(node.self_s for node in profile.nodes) \
+            == pytest.approx(profile.total_seconds)
+
+    def test_hotspots_ranked_by_self_time(self):
+        profile = Profile.from_events(self.events())
+        ranked = [node.path for node in profile.hotspots()]
+        assert ranked == [("A", "C"), ("A",), ("A", "B")]
+        assert [n.path for n in profile.hotspots(limit=1)] == [("A", "C")]
+
+    def test_error_status_counted(self):
+        events = [span_event("A", 1.0, status="error")]
+        profile = Profile.from_events(events)
+        assert profile.node(("A",)).errors == 1
+
+    def test_orphaned_child_promoted_to_root(self):
+        # truncated trace: the depth-1 span closed, its parent never did
+        profile = Profile.from_events([span_event("B", 2.0, depth=1)])
+        assert profile.node(("B",)).cum_s == pytest.approx(2.0)
+        assert profile.total_seconds == pytest.approx(2.0)
+
+    def test_self_time_clamped_when_children_overlap(self):
+        # pathological trace (clock skew): children sum past the parent
+        events = [
+            span_event("B", 8.0, depth=1),
+            span_event("C", 7.0, depth=1),
+            span_event("A", 10.0, depth=0),
+        ]
+        profile = Profile.from_events(events)
+        assert profile.node(("A",)).self_s == 0.0
+
+    def test_non_span_events_ignored(self):
+        events = [{"type": "event", "name": "marker", "ts": 0.0},
+                  span_event("A", 1.0)]
+        profile = Profile.from_events(events)
+        assert len(profile) == 1
+
+
+class TestWorkerStreams:
+    def test_worker_tagged_spans_form_independent_stacks(self):
+        # two workers each ran one "task" span at depth 0 of their own
+        # stream; the main stream ran the parallel.map parent.  The
+        # worker spans must NOT be nested under the main stack.
+        events = [
+            span_event("task", 2.0, depth=0, worker=0),
+            span_event("task", 3.0, depth=0, worker=1),
+            span_event("map", 6.0, depth=0),
+        ]
+        profile = Profile.from_events(events)
+        task = profile.node(("task",))
+        assert task.count == 2
+        assert task.cum_s == pytest.approx(5.0)
+        assert profile.node(("map",)).cum_s == pytest.approx(6.0)
+        assert {node.path for node in profile.roots} \
+            == {("task",), ("map",)}
+
+    def test_worker_nesting_preserved_within_stream(self):
+        events = [
+            span_event("inner", 1.0, depth=1, worker=3),
+            span_event("outer", 2.0, depth=0, worker=3),
+        ]
+        profile = Profile.from_events(events)
+        assert profile.node(("outer", "inner")).cum_s == pytest.approx(1.0)
+        assert profile.node(("outer",)).self_s == pytest.approx(1.0)
+
+
+class TestProfileSinkIntegration:
+    def test_live_spans_build_attribution_tree(self):
+        registry = telemetry.MetricsRegistry()
+        sink = registry.add_sink(ProfileSink())
+        with telemetry.use_registry(registry):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+        profile = sink.profile()
+        assert ("outer",) in profile
+        assert ("outer", "inner") in profile
+        outer = profile.node(("outer",))
+        inner = profile.node(("outer", "inner"))
+        assert outer.cum_s >= inner.cum_s
+        assert outer.self_s == pytest.approx(outer.cum_s - inner.cum_s)
+
+    def test_exception_marks_error(self):
+        registry = telemetry.MetricsRegistry()
+        sink = registry.add_sink(ProfileSink())
+        with telemetry.use_registry(registry):
+            with pytest.raises(ValueError):
+                with telemetry.span("work"):
+                    raise ValueError("boom")
+        assert sink.profile().node(("work",)).errors == 1
+
+
+class TestRender:
+    def test_render_contains_totals_and_paths(self):
+        profile = Profile.from_events([
+            span_event("child", 1.0, depth=1),
+            span_event("root", 4.0, depth=0),
+        ])
+        text = profile.render(title="test profile")
+        assert "test profile" in text
+        assert "self%" in text and "cum%" in text
+        assert "root/child" in text  # flat hot-spot labels
+
+    def test_render_cum_mode_indents_tree(self):
+        profile = Profile.from_events([
+            span_event("child", 1.0, depth=1),
+            span_event("root", 4.0, depth=0),
+        ])
+        text = profile.render(sort="cum")
+        assert "\nroot " in text or "\nroot" in text
+        assert "  child" in text  # indented under its parent
+
+    def test_render_rejects_unknown_sort(self):
+        with pytest.raises(ValueError):
+            Profile.from_events([]).render(sort="alphabetical")
+
+    def test_empty_profile_renders_placeholder(self):
+        assert "(no spans recorded)" in Profile.from_events([]).render()
+
+    def test_snapshot_is_json_friendly(self):
+        profile = Profile.from_events([span_event("A", 1.0)])
+        snapshot = profile.snapshot()
+        assert snapshot == [{"path": ["A"], "count": 1, "cum_s": 1.0,
+                             "self_s": 1.0, "min_s": 1.0, "max_s": 1.0,
+                             "errors": 0}]

@@ -153,3 +153,24 @@ def test_property_ensemble_median_comparable_to_single_solver(seed):
                               rng=seed)
     assert single.satisfied
     assert ensemble.solved_fraction == 1.0
+
+
+class TestTrajectoryStepAccounting:
+    def test_total_counts_solved_and_budgeted_steps(self):
+        result = EnsembleResult(
+            solve_steps=np.array([100.0, np.inf, 250.0]), max_steps=500)
+        # the unsolved trajectory burned its whole max_steps budget
+        assert result.total_trajectory_steps == 100.0 + 500.0 + 250.0
+
+    def test_ensemble_records_throughput_instrument(self):
+        from repro.core import telemetry
+
+        formula = planted_ksat(12, 50, rng=0)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            result = solve_ensemble(formula, batch=4, max_steps=20_000,
+                                    rng=1)
+        histogram = registry.histogram("dmm.ensemble.traj_steps_per_s")
+        assert histogram.count == 1
+        units = registry.counter("dmm.ensemble.traj_steps_units").value
+        assert units == pytest.approx(result.total_trajectory_steps)

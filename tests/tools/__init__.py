@@ -1,0 +1,1 @@
+"""Tests for the repo tooling under tools/."""

@@ -1,0 +1,194 @@
+"""Tests for the perf-regression harness (benchmarks/history.py +
+tools/check_perf.py).
+
+The acceptance contract: an unchanged run passes clean, and an injected
+2x slowdown on any baselined timing is flagged with a non-zero exit.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+import check_perf  # noqa: E402
+import history  # noqa: E402
+
+
+def write_experiment(results_dir, name, metrics):
+    """A minimal results/<name>.json as conftest.emit_json writes it."""
+    os.makedirs(results_dir, exist_ok=True)
+    payload = {"name": name, "title": name, "headers": [], "rows": [],
+               "notes": [], "metrics": metrics,
+               "provenance": {"machine": "x86_64", "cpu_count": 4,
+                              "implementation": "CPython"},
+               "telemetry": {}}
+    path = os.path.join(results_dir, name + ".json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+class TestHistory:
+    def test_collect_metrics_namespaces_by_experiment(self, tmp_path):
+        results = str(tmp_path / "results")
+        write_experiment(results, "alpha", {"solve_s": 1.5})
+        write_experiment(results, "beta", {"rate": 100.0})
+        metrics = history.collect_metrics(results)
+        assert metrics == {"alpha.solve_s": 1.5, "beta.rate": 100.0}
+
+    def test_report_json_and_metricless_experiments_skipped(self, tmp_path):
+        results = str(tmp_path / "results")
+        write_experiment(results, "alpha", {})
+        with open(os.path.join(results, "report.json"), "w") as handle:
+            json.dump({"experiments": []}, handle)
+        assert history.collect_metrics(results) == {}
+        assert history.build_record(results) is None
+
+    def test_record_carries_provenance_and_appends(self, tmp_path):
+        results = str(tmp_path / "results")
+        write_experiment(results, "alpha", {"solve_s": 1.5})
+        record = history.build_record(results, timestamp=123.0)
+        assert record["timestamp"] == 123.0
+        assert record["experiments"] == ["alpha"]
+        assert record["provenance"]["cpu_count"] >= 1
+        path = str(tmp_path / "history.jsonl")
+        history.append_record(record, path=path)
+        history.append_record(record, path=path)
+        assert len(history.load_history(path)) == 2
+        assert history.latest_record(path)["metrics"] \
+            == {"alpha.solve_s": 1.5}
+
+    def test_truncated_line_does_not_poison_log(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"metrics": {"a.x": 1.0}}) + "\n")
+            handle.write('{"metrics": {"a.x"')  # killed mid-write
+        assert history.latest_record(path)["metrics"] == {"a.x": 1.0}
+
+    def test_missing_history_file(self, tmp_path):
+        assert history.latest_record(str(tmp_path / "nope.jsonl")) is None
+
+
+class TestCompareMetric:
+    def test_relative_lower_direction(self):
+        entry = {"value": 1.0, "tolerance": 0.5, "direction": "lower"}
+        assert check_perf.compare_metric(entry, 1.4)[0] == "ok"
+        assert check_perf.compare_metric(entry, 1.6)[0] == "regression"
+
+    def test_relative_higher_direction(self):
+        entry = {"value": 100.0, "tolerance": 0.5, "direction": "higher"}
+        assert check_perf.compare_metric(entry, 60.0)[0] == "ok"
+        assert check_perf.compare_metric(entry, 40.0)[0] == "regression"
+
+    def test_negative_baseline_band_opens_upward(self):
+        # overhead ratios can be slightly negative on a noisy host; the
+        # tolerance band must still allow movement toward zero
+        entry = {"value": -0.04, "tolerance": 0.5, "direction": "lower"}
+        assert check_perf.compare_metric(entry, -0.03)[0] == "ok"
+
+    def test_absolute_bounds(self):
+        assert check_perf.compare_metric({"max": 0.05}, 0.04)[0] == "ok"
+        assert check_perf.compare_metric({"max": 0.05}, 0.06)[0] \
+            == "regression"
+        assert check_perf.compare_metric({"min": 2.0}, 2.5)[0] == "ok"
+        assert check_perf.compare_metric({"min": 2.0}, 1.5)[0] \
+            == "regression"
+
+
+class TestCheckPerfEndToEnd:
+    @pytest.fixture()
+    def harness(self, tmp_path):
+        """Results dir + history + baseline wired through temp paths."""
+        results = str(tmp_path / "results")
+        write_experiment(results, "solver", {"solve_s": 1.0,
+                                             "rate": 500.0})
+        history_path = str(tmp_path / "history.jsonl")
+        baseline_path = str(tmp_path / "baseline.json")
+        record = history.build_record(results, timestamp=1.0)
+        history.append_record(record, path=history_path)
+        return {"results": results, "history": history_path,
+                "baseline": baseline_path}
+
+    def args(self, harness):
+        return ["--history", harness["history"],
+                "--baseline", harness["baseline"]]
+
+    def test_unchanged_run_passes(self, harness, capsys):
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        assert check_perf.main(self.args(harness)) == 0
+        assert "perf check clean" in capsys.readouterr().out
+
+    def test_injected_2x_slowdown_flagged(self, harness, capsys):
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        write_experiment(harness["results"], "solver",
+                         {"solve_s": 2.0, "rate": 500.0})  # 2x slower
+        record = history.build_record(harness["results"], timestamp=2.0)
+        history.append_record(record, path=harness["history"])
+        assert check_perf.main(self.args(harness)) == 1
+        out = capsys.readouterr().out
+        assert "::warning::perf regression: solver.solve_s" in out
+        assert "REG" in out
+
+    def test_rate_collapse_flagged(self, harness, capsys):
+        # *_rate entries are baselined direction="higher"
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        write_experiment(harness["results"], "solver",
+                         {"solve_s": 1.0, "rate": 100.0})  # 5x slower
+        record = history.build_record(harness["results"], timestamp=2.0)
+        history.append_record(record, path=harness["history"])
+        assert check_perf.main(self.args(harness)) == 1
+        assert "solver.rate" in capsys.readouterr().out
+
+    def test_missing_metric_warns_without_failing(self, harness, capsys):
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        write_experiment(harness["results"], "solver", {"solve_s": 1.0})
+        record = history.build_record(harness["results"], timestamp=2.0)
+        history.append_record(record, path=harness["history"])
+        assert check_perf.main(self.args(harness)) == 0
+        assert "missing from latest run" in capsys.readouterr().out
+
+    def test_new_metric_reported_as_unbaselined(self, harness, capsys):
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        write_experiment(harness["results"], "solver",
+                         {"solve_s": 1.0, "rate": 500.0, "extra_s": 9.0})
+        record = history.build_record(harness["results"], timestamp=2.0)
+        history.append_record(record, path=harness["history"])
+        assert check_perf.main(self.args(harness)) == 0
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_no_history_is_setup_error(self, tmp_path):
+        code = check_perf.main(["--history",
+                                str(tmp_path / "none.jsonl"),
+                                "--baseline",
+                                str(tmp_path / "baseline.json")])
+        assert code == 2
+
+    def test_no_baseline_is_setup_error(self, harness):
+        assert check_perf.main(self.args(harness)) == 2
+
+    def test_refresh_keeps_hand_tuned_budgets(self, harness):
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        with open(harness["baseline"]) as handle:
+            baseline = json.load(handle)
+        baseline["metrics"]["solver.solve_s"] = {"max": 3.0}
+        baseline["metrics"]["solver.rate"]["tolerance"] = 0.9
+        with open(harness["baseline"], "w") as handle:
+            json.dump(baseline, handle)
+        assert check_perf.main(self.args(harness)
+                               + ["--write-baseline"]) == 0
+        with open(harness["baseline"]) as handle:
+            refreshed = json.load(handle)
+        assert refreshed["metrics"]["solver.solve_s"] == {"max": 3.0}
+        assert refreshed["metrics"]["solver.rate"]["tolerance"] == 0.9

@@ -1,0 +1,237 @@
+"""Diff the latest benchmark run against the committed perf baseline.
+
+Usage (after the benchmark suite and ``benchmarks/history.py``)::
+
+    python tools/check_perf.py                 # compare, exit 1 on regression
+    python tools/check_perf.py --write-baseline  # refresh baseline.json
+
+``benchmarks/baseline.json`` pins expected values for the metrics each
+benchmark publishes through ``emit_table(..., metrics=...)``.  Every
+entry is one of::
+
+    {"value": 0.012, "tolerance": 0.5, "direction": "lower"}
+    {"max": 0.05}          # absolute ceiling (ratios, error rates)
+    {"min": 2.0}           # absolute floor (speedups, throughputs)
+
+``direction`` says which way is *better*: ``"lower"`` (timings -- a
+regression is the measurement rising above ``value * (1 + tolerance)``)
+or ``"higher"`` (throughputs -- a regression is falling below
+``value * (1 - tolerance)``).  Tolerances are deliberately loose: this
+gate exists to catch 2x cliffs introduced by a code change, not 5%
+jitter on shared CI hosts.  Baseline metrics missing from the latest
+run, and a host that differs materially from the one that produced the
+baseline, are reported as warnings rather than failures.
+
+In CI the check runs as a *soft* gate (``continue-on-error``): a red
+outcome annotates the build via ``::warning::`` lines without failing
+it, because wall-clock numbers from shared runners are advice, not
+verdicts.  Exit status: 0 clean, 1 regression, 2 usage/setup error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+from repro.core import provenance  # noqa: E402
+import history  # noqa: E402
+
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+DEFAULT_TOLERANCE = 0.5
+
+
+def load_baseline(path=BASELINE_PATH):
+    """The committed baseline document ``{"metrics": {...}, ...}``."""
+    with open(path) as handle:
+        baseline = json.load(handle)
+    if not isinstance(baseline, dict) or "metrics" not in baseline:
+        raise ValueError("baseline %s has no 'metrics' section" % path)
+    return baseline
+
+
+def compare_metric(entry, measured):
+    """Verdict for one metric: ``(status, detail)``.
+
+    ``status`` is ``"ok"`` or ``"regression"``; ``detail`` is a short
+    human explanation of the bound that was checked.
+    """
+    if "max" in entry:
+        bound = float(entry["max"])
+        status = "ok" if measured <= bound else "regression"
+        return status, "%.4g <= max %.4g" % (measured, bound)
+    if "min" in entry:
+        bound = float(entry["min"])
+        status = "ok" if measured >= bound else "regression"
+        return status, "%.4g >= min %.4g" % (measured, bound)
+    value = float(entry["value"])
+    tolerance = float(entry.get("tolerance", DEFAULT_TOLERANCE))
+    direction = entry.get("direction", "lower")
+    # the tolerance band scales with |value| so it opens the same way
+    # for negative baselines (overhead ratios can dip below zero on a
+    # noisy host); ratio-like metrics near zero belong in absolute
+    # max/min entries instead.
+    band = tolerance * abs(value)
+    if direction == "higher":
+        bound = value - band
+        status = "ok" if measured >= bound else "regression"
+        return status, ("%.4g >= %.4g (baseline %.4g -%d%%)"
+                        % (measured, bound, value, round(tolerance * 100)))
+    bound = value + band
+    status = "ok" if measured <= bound else "regression"
+    return status, ("%.4g <= %.4g (baseline %.4g +%d%%)"
+                    % (measured, bound, value, round(tolerance * 100)))
+
+
+def compare(baseline, record):
+    """Compare a history record against the baseline.
+
+    Returns ``{"results": [(name, status, detail), ...],
+    "regressions": [...], "missing": [...], "unbaselined": [...]}``
+    where ``missing`` are baseline metrics absent from the record and
+    ``unbaselined`` are record metrics with no baseline entry.
+    """
+    measured = record.get("metrics", {})
+    results, regressions, missing = [], [], []
+    for name in sorted(baseline["metrics"]):
+        entry = baseline["metrics"][name]
+        if name not in measured:
+            missing.append(name)
+            continue
+        status, detail = compare_metric(entry, float(measured[name]))
+        results.append((name, status, detail))
+        if status == "regression":
+            regressions.append(name)
+    unbaselined = sorted(set(measured) - set(baseline["metrics"]))
+    return {"results": results, "regressions": regressions,
+            "missing": missing, "unbaselined": unbaselined}
+
+
+def write_baseline(record, path=BASELINE_PATH,
+                   tolerance=DEFAULT_TOLERANCE, previous=None):
+    """Write a fresh baseline from a history record.
+
+    Metrics default to ``{"value": v, "tolerance": t, "direction":
+    "lower"}``, except names ending in ``_rate``/``_per_s`` or
+    containing ``speedup`` (throughputs: higher is better) and names
+    ending in ``_overhead`` (ratio budgets near zero, where a relative
+    band is meaningless: pinned as an absolute ceiling one default-band
+    above the measurement).  Entries already present in ``previous``
+    keep their configured tolerance/direction/absolute bounds (only
+    ``value`` is refreshed), so hand-tuned budgets survive a refresh.
+    """
+    kept = (previous or {}).get("metrics", {})
+    metrics = {}
+    for name, value in sorted(record.get("metrics", {}).items()):
+        old = kept.get(name)
+        if old is not None and ("max" in old or "min" in old):
+            metrics[name] = dict(old)
+        elif old is not None:
+            metrics[name] = dict(old, value=value)
+        elif name.endswith(("_rate", ".rate", "_per_s")) \
+                or "speedup" in name:
+            metrics[name] = {"value": value, "tolerance": tolerance,
+                             "direction": "higher"}
+        elif name.endswith("_overhead"):
+            metrics[name] = {"max": max(value, 0.0) + tolerance * 0.1}
+        else:
+            metrics[name] = {"value": value, "tolerance": tolerance,
+                             "direction": "lower"}
+    document = {
+        "schema": 1,
+        "provenance": record.get("provenance", {}),
+        "metrics": metrics,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _warn(message):
+    """GitHub Actions annotation plus a plain line for local runs."""
+    print("::warning::%s" % message)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare the latest benchmark run against the "
+                    "committed baseline")
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--history", default=None,
+                        help="history file (default: "
+                             "benchmarks/results/history.jsonl)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="refresh the baseline from the latest run "
+                             "instead of comparing")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="default relative tolerance for new "
+                             "baseline entries")
+    args = parser.parse_args(argv)
+    history_path = args.history
+    if history_path is None:
+        history_path = os.path.join(history.RESULTS_DIR,
+                                    history.HISTORY_NAME)
+    record = history.latest_record(history_path)
+    if record is None:
+        print("no history at %s -- run the benchmark suite, then "
+              "`python benchmarks/history.py`" % history_path)
+        return 2
+
+    if args.write_baseline:
+        previous = None
+        try:
+            previous = load_baseline(args.baseline)
+        except (OSError, ValueError):
+            pass
+        path = write_baseline(record, args.baseline,
+                              tolerance=args.tolerance, previous=previous)
+        print("baseline written: %s (%d metrics)"
+              % (path, len(record.get("metrics", {}))))
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except OSError:
+        print("no baseline at %s -- create one with --write-baseline"
+              % args.baseline)
+        return 2
+
+    outcome = compare(baseline, record)
+    width = max((len(name) for name, _s, _d in outcome["results"]),
+                default=10)
+    for name, status, detail in outcome["results"]:
+        marker = "ok " if status == "ok" else "REG"
+        print("%s  %s  %s" % (marker, name.ljust(width), detail))
+    for name in outcome["missing"]:
+        _warn("perf baseline metric '%s' missing from latest run" % name)
+    if outcome["unbaselined"]:
+        print("%d metric(s) not in baseline (refresh with "
+              "--write-baseline): %s"
+              % (len(outcome["unbaselined"]),
+                 ", ".join(outcome["unbaselined"][:8])
+                 + ("..." if len(outcome["unbaselined"]) > 8 else "")))
+    base_prov = baseline.get("provenance", {})
+    run_prov = record.get("provenance", {})
+    if base_prov and not provenance.comparable(base_prov, run_prov):
+        _warn("perf hosts differ (baseline %s/%s cpus vs run %s/%s "
+              "cpus); wall-clock comparison is indicative only"
+              % (base_prov.get("machine"), base_prov.get("cpu_count"),
+                 run_prov.get("machine"), run_prov.get("cpu_count")))
+    if outcome["regressions"]:
+        for name in outcome["regressions"]:
+            _warn("perf regression: %s" % name)
+        print("%d perf regression(s) against %s"
+              % (len(outcome["regressions"]), args.baseline))
+        return 1
+    print("perf check clean: %d metric(s) within budget"
+          % len(outcome["results"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
