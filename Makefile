@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test test-parallel test-resilience test-goldens reproduce lint check clean perf-history perf-check profile-demo
+.PHONY: test bench examples fast-test test-parallel test-resilience test-goldens test-equivalence reproduce lint check clean perf-history perf-check profile-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -37,6 +37,15 @@ print('REPRO_FAULTS env injection: ok')"
 test-goldens:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 		$(PYTHON) -m pytest tests/goldens -q
+
+# Differential-equivalence tier: the batched fast paths (statevector
+# shots, DMM ensemble RHS, oscillator sweeps, tiled VMM) held
+# bit-identical (np.array_equal, never allclose) to the retained scalar
+# reference paths, across dtypes, batch sizes, and worker counts.  See
+# tests/equivalence/ and docs/parallelism.md.
+test-equivalence:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/equivalence -q
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks tools examples

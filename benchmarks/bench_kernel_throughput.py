@@ -9,10 +9,12 @@ paradigm's innermost batch:
   statevector shot loop (:meth:`QuantumRuntime.run`);
 * ``dmm.solver.steps``             -- forward-Euler steps / s in
   :meth:`DmmSolver.solve`;
+* ``dmm.ensemble.traj_steps``      -- vectorized trajectory-steps / s in
+  :func:`solve_ensemble` (the batched RHS across the whole ensemble);
 * ``oscillator.distance.pairs``    -- pixel-pair comparisons / s in
   :meth:`OscillatorDistanceUnit.measure_pairs`;
 * ``inmemory.vmm.ops``             -- multiply-accumulates / s in
-  :meth:`AnalogVmm.multiply`.
+  :meth:`AnalogVmm.multiply_batch`.
 
 This benchmark drives each kernel on a fixed workload under a live
 registry and reports the rates the instruments observed (the
@@ -32,6 +34,7 @@ from repro.core import telemetry
 from repro.core.rngs import make_rng
 from repro.core.sat_instances import planted_ksat
 from repro.inmemory.vmm import AnalogVmm
+from repro.memcomputing.ensemble import solve_ensemble
 from repro.memcomputing.solver import DmmSolver
 from repro.oscillators.distance import OscillatorDistanceUnit
 from repro.quantum.circuit import QuantumCircuit
@@ -41,9 +44,11 @@ GHZ_QUBITS = 10
 SHOTS = 200
 SAT_VARIABLES = 50
 SAT_CLAUSES = 210
+ENSEMBLE_BATCH = 32
+ENSEMBLE_MAX_STEPS = 60_000
 PAIR_COUNT = 20_000
 VMM_SIZE = 48
-VMM_MULTIPLIES = 50
+VMM_BATCH = 50
 
 
 def _rate(registry, name):
@@ -71,6 +76,14 @@ def _run_dmm(registry):
     return _rate(registry, "dmm.solver.steps")
 
 
+def _run_dmm_ensemble(registry):
+    formula = planted_ksat(SAT_VARIABLES, SAT_CLAUSES, rng=5)
+    result = solve_ensemble(formula, batch=ENSEMBLE_BATCH,
+                            max_steps=ENSEMBLE_MAX_STEPS, rng=9)
+    assert result.solved_fraction == 1.0
+    return _rate(registry, "dmm.ensemble.traj_steps")
+
+
 def _run_oscillator(registry):
     rng = make_rng(3)
     pairs = rng.uniform(0.0, 255.0, size=(PAIR_COUNT, 2))
@@ -83,8 +96,8 @@ def _run_oscillator(registry):
 def _run_vmm(registry):
     rng = make_rng(1)
     vmm = AnalogVmm(rng.standard_normal((VMM_SIZE, VMM_SIZE)), rng=rng)
-    for _ in range(VMM_MULTIPLIES):
-        vmm.multiply(rng.standard_normal(VMM_SIZE))
+    vectors = rng.standard_normal((VMM_BATCH, VMM_SIZE))
+    vmm.multiply_batch(vectors)
     return _rate(registry, "inmemory.vmm.ops")
 
 
@@ -92,10 +105,12 @@ KERNELS = [
     ("quantum", "gates/s", "GHZ-%d, %d shots" % (GHZ_QUBITS, SHOTS),
      _run_quantum),
     ("dmm", "steps/s", "3-SAT N=%d" % SAT_VARIABLES, _run_dmm),
+    ("dmm_ensemble", "traj steps/s", "3-SAT N=%d, batch=%d"
+     % (SAT_VARIABLES, ENSEMBLE_BATCH), _run_dmm_ensemble),
     ("oscillator", "pairs/s", "%d pixel pairs" % PAIR_COUNT,
      _run_oscillator),
-    ("inmemory", "MACs/s", "%dx%d crossbar, %d multiplies"
-     % (VMM_SIZE, VMM_SIZE, VMM_MULTIPLIES), _run_vmm),
+    ("inmemory", "MACs/s", "%dx%d crossbar, batch of %d"
+     % (VMM_SIZE, VMM_SIZE, VMM_BATCH), _run_vmm),
 ]
 
 

@@ -9,15 +9,19 @@ canonical fan-out workload -- a ``solve_ensemble`` batch of
 ``BATCH`` >= 64 independent DMM trajectories on one planted 3-SAT
 instance.
 
-For each worker count in the sweep (1, 2, 4 by default; see
-``conftest.bench_workers``) the same ensemble is solved with the same
-seed and a pinned ``chunk_size``, timed as min-of-``REPEATS``.  The
-identity check is exact (``np.array_equal`` on the time-to-solution
-arrays); the speedup assertion (>= ``SPEEDUP_FLOOR`` at 4 workers) is
-enforced only when the host actually has >= 4 CPUs -- on smaller
-machines the measured ratios are still reported, with the host core
-count in the table notes, but cannot meaningfully pass a wall-clock
-bar.
+For each worker count in the sweep (1, 2, 4 by default plus an
+``"auto"`` row; see ``conftest.bench_workers``) the same ensemble is
+solved with the same seed and a pinned ``chunk_size``, timed as
+min-of-``REPEATS``.  The identity check is exact (``np.array_equal``
+on the time-to-solution arrays), *including* the auto row -- auto mode
+may pick any width but must never change results.  The speedup
+assertion (>= ``SPEEDUP_FLOOR`` at 4 workers) is enforced only when
+the host actually has >= 4 CPUs -- on smaller machines the measured
+ratios are still reported, with the host core count in the table
+notes, but cannot meaningfully pass a wall-clock bar.  The 2-worker
+and auto ratios are emitted as ``speedup_at_2`` / ``speedup_at_auto``
+metrics so ``tools/check_perf.py`` can pin "multi-worker dispatch is
+never materially slower than serial" as a regression floor.
 """
 
 import os
@@ -43,7 +47,7 @@ ASSERT_MIN_CORES = 4
 
 def run_scaling_study():
     formula = planted_ksat(NUM_VARIABLES, NUM_CLAUSES, rng=INSTANCE_SEED)
-    sweep = bench_workers()
+    sweep = bench_workers() + ["auto"]
     times = {}
     steps = {}
     for workers in sweep:
@@ -60,8 +64,8 @@ def run_scaling_study():
     baseline = steps[sweep[0]]
     for workers in sweep:
         assert np.array_equal(baseline, steps[workers]), (
-            "worker count changed the ensemble results (workers=%d)"
-            % workers)
+            "worker count changed the ensemble results (workers=%r)"
+            % (workers,))
     return {
         "sweep": sweep,
         "times": times,
@@ -80,8 +84,11 @@ def test_parallel_scaling_dmm_ensemble(benchmark):
     rows = [(workers, times[workers], "%.2fx" % speedups[workers])
             for workers in sweep]
     notes = [
-        "identical solve_steps arrays at every worker count "
-        "(bit-exact determinism contract)",
+        "identical solve_steps arrays at every worker count, "
+        "including 'auto' (bit-exact determinism contract)",
+        "'auto' lets the engine pick the width: serial when the "
+        "workload or host is too small to win, else min(cores, chunks) "
+        "from the persistent pool",
         "host: %d CPU core(s); the >= %.0fx @ 4 workers bar is "
         "asserted only with >= %d cores"
         % (cores, SPEEDUP_FLOOR, ASSERT_MIN_CORES),
@@ -92,7 +99,15 @@ def test_parallel_scaling_dmm_ensemble(benchmark):
             "multi-worker rows pay process spawn/IPC cost without real "
             "parallelism, so speedups at/below 1x are expected here and "
             "do not indicate a regression." % (cores, ASSERT_MIN_CORES))
-    max_workers = sweep[-1]
+    max_workers = max(w for w in sweep if isinstance(w, int))
+    metrics = {
+        "serial_s": times[sweep[0]],
+        "max_workers": max_workers,
+        "speedup_at_max_workers": speedups[max_workers],
+        "speedup_at_auto": speedups["auto"],
+    }
+    if 2 in speedups:
+        metrics["speedup_at_2"] = speedups[2]
     emit_table(
         "parallel_scaling",
         "DMM ensemble scaling (%d trajectories, N=%d, chunk_size=%d, "
@@ -100,11 +115,7 @@ def test_parallel_scaling_dmm_ensemble(benchmark):
         ["workers", "time [s]", "speedup"],
         rows,
         notes=notes,
-        metrics={
-            "serial_s": times[sweep[0]],
-            "max_workers": max_workers,
-            "speedup_at_max_workers": speedups[max_workers],
-        })
+        metrics=metrics)
     assert measurement["solved_fraction"] == 1.0
     assert speedups[sweep[0]] == 1.0
     if cores >= ASSERT_MIN_CORES and 4 in speedups:

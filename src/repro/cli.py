@@ -39,13 +39,21 @@ def _add_observability_flags(subparser):
                                 "the run")
 
 
+def _workers_flag(text):
+    """Parse ``--workers``: a positive integer or the string ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    return int(text)
+
+
 def _add_parallel_flags(subparser):
-    subparser.add_argument("--workers", type=int, default=None,
+    subparser.add_argument("--workers", type=_workers_flag, default=None,
                            metavar="N",
                            help="worker processes for the command's "
-                                "fan-out path (default: REPRO_WORKERS "
-                                "env or 1 == serial; see "
-                                "docs/parallelism.md)")
+                                "fan-out path: a count, or 'auto' to "
+                                "size the pool from the machine's cores "
+                                "(default: REPRO_WORKERS env or 1 == "
+                                "serial; see docs/parallelism.md)")
 
 
 def _add_resilience_flags(subparser):
@@ -252,15 +260,22 @@ def _run_solve(args, out):
     formula = load_dimacs(args.path)
     out.write("instance: %d variables, %d clauses\n"
               % (formula.num_variables, formula.num_clauses))
-    from .core.parallel import resolve_workers
+    from .core.parallel import DEFAULT_CHUNKS, resolve_workers, wants_fanout
 
     workers = resolve_workers(getattr(args, "workers", None))
     if args.solver == "dmm":
         from .memcomputing.solver import DmmSolver, solve_portfolio
 
-        if workers > 1 or _wants_resilience(args) or _wants_cache(args):
+        if wants_fanout(workers) or _wants_resilience(args) \
+                or _wants_cache(args):
+            # The attempt count shapes the portfolio workload (and so
+            # its result): it must come from the request, never from the
+            # machine, so "auto" pins the engine's default fan-out width
+            # rather than the local core count.
+            attempts = DEFAULT_CHUNKS if isinstance(workers, str) \
+                else max(workers, 2)
             portfolio = solve_portfolio(formula,
-                                        attempts=max(workers, 2),
+                                        attempts=attempts,
                                         workers=workers,
                                         max_steps=args.max_steps,
                                         rng=args.seed,

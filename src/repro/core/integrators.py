@@ -277,6 +277,34 @@ def integrate_adaptive(rhs, y0, t_span, rtol=1e-6, atol=1e-9, dt0=None,
                       terminated_early=terminated)
 
 
+def euler_clip_advance(rhs_batch, states, dt, num_steps, lower=None,
+                       upper=None):
+    """Advance a ``(B, dim)`` state stack by forward-Euler-with-clipping.
+
+    The batched core of :func:`integrate_clipped`: every row takes the
+    same ``y <- clip(y + dt * rhs(y))`` update, ``num_steps`` times.
+    ``rhs_batch`` maps a ``(B, dim)`` stack to its ``(B, dim)`` vector
+    field; ``lower``/``upper`` broadcast against the stack.  All
+    operations are row-elementwise, so advancing a sub-stack of
+    trajectories is bit-identical to advancing them inside a larger
+    stack -- which is what lets callers compact away finished rows
+    (:func:`repro.memcomputing.ensemble.solve_ensemble`) without
+    perturbing the survivors.  No finiteness check is performed here;
+    batched callers validate whole blocks instead.
+    """
+    if num_steps < 0:
+        raise ValueError("num_steps must be non-negative, got %r"
+                         % num_steps)
+    states = np.array(states, dtype=float)
+    for _ in range(num_steps):
+        with np.errstate(over="ignore", invalid="ignore"):
+            states = states + dt * np.asarray(rhs_batch(states),
+                                              dtype=float)
+        if lower is not None or upper is not None:
+            np.clip(states, lower, upper, out=states)
+    return states
+
+
 def integrate_clipped(rhs, y0, t_span, dt, lower=None, upper=None,
                       record_every=1, stop_condition=None,
                       max_steps=50_000_000):

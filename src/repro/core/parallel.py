@@ -18,8 +18,28 @@ the host-side scheduler for those bags:
   checkpoint/resume (:class:`~repro.core.resilience.Checkpointer`), and
   content-addressed chunk reuse (:class:`~repro.core.cache.CacheSpec` --
   a cached chunk skips dispatch and replays bit-identically),
+* :class:`WorkerPool` -- the persistent worker processes behind
+  :class:`ParallelMap`: spawned once per (start method), reused across
+  consecutive ``map()`` calls so the fork/import cost is amortized over
+  a whole sweep instead of paid per call, grown on demand, respawned
+  individually after a crash or timeout kill, and shut down at
+  interpreter exit,
 * :class:`TaskFailure` -- the ordered-result placeholder for a chunk
   that raised, timed out, failed validation, or whose worker died.
+
+Large ndarrays inside chunk payloads ride in POSIX shared memory
+(:mod:`repro.core.shm`) instead of pickling through the dispatch queue;
+the worker copies the array out of the segment, so the semantics are
+exactly those of pickling at a fraction of the cost.
+
+``workers="auto"`` (accepted everywhere a worker count is: the
+``workers=`` arguments, ``REPRO_WORKERS``, the CLI's ``--workers``)
+sizes the pool from :func:`os.cpu_count` and stays serial when the
+machine has one core or the workload is a single chunk.  Auto mode
+always routes through the *chunked* code path, so its results are
+bit-identical to any explicit ``--workers N`` run of the same chunked
+workload -- the machine decides only where chunks run, never what they
+compute.
 
 Seeding contract
 ----------------
@@ -63,6 +83,7 @@ inline call); the engine says so once per process with a
 instead of silently ignoring the budget.
 """
 
+import atexit
 import copy
 import multiprocessing
 import os
@@ -70,7 +91,7 @@ import queue as queue_module
 import time
 import warnings
 
-from . import resilience, telemetry
+from . import resilience, shm, telemetry
 from .exceptions import ParallelError
 from .tracing import ListSink
 
@@ -83,31 +104,61 @@ DEFAULT_CHUNKS = 8
 #: Environment variable consulted when ``workers=None``.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: The ``workers`` sentinel for machine-sized pools.
+AUTO = "auto"
+
+#: Auto mode refuses to fan a workload of fewer chunks than this out to
+#: processes -- a single chunk gains nothing from a pool.
+AUTO_MIN_CHUNKS = 2
+
 #: Grace period (seconds) for a result to drain out of a worker that
 #: already exited; after this the chunk is declared crashed.
 _DRAIN_GRACE_S = 0.5
 
 
+def _cpu_count():
+    """Visible CPU count (module-level so tests can patch it)."""
+    return os.cpu_count() or 1
+
+
 def resolve_workers(workers=None):
-    """Coerce a ``workers`` argument into a positive int.
+    """Coerce a ``workers`` argument into a positive int or ``"auto"``.
 
     ``None`` consults the ``REPRO_WORKERS`` environment variable and
     falls back to 1 (serial) -- so library call sites stay serial unless
     a caller, the CLI's ``--workers``, or the environment opts in.
+    ``"auto"`` passes through as-is: the pool size is picked per
+    workload (see :data:`AUTO` and :meth:`ParallelMap.map`).
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
         if not raw:
             return 1
+        workers = raw
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == AUTO:
+            return AUTO
         try:
-            workers = int(raw)
+            workers = int(text)
         except ValueError:
             raise ParallelError(
-                "%s must be an integer, got %r" % (WORKERS_ENV, raw))
+                "workers must be an integer or 'auto', got %r" % workers)
     workers = int(workers)
     if workers < 1:
         raise ParallelError("workers must be >= 1, got %d" % workers)
     return workers
+
+
+def wants_fanout(workers):
+    """True when this ``workers`` request should take a fan-out branch.
+
+    ``"auto"`` always fans out through the chunked path (its results
+    must not depend on the machine's core count; the pool may still
+    execute serially), explicit counts fan out above 1.
+    """
+    workers = resolve_workers(workers)
+    return workers == AUTO or workers > 1
 
 
 def default_chunk_size(total):
@@ -231,33 +282,283 @@ def _warn_timeout_unenforced(timeout, registry):
             RuntimeWarning, stacklevel=3)
 
 
-def _worker_main(fn, task, index, attempt, plan, out_queue, instrument):
-    """Subprocess entry point: run one chunk, ship result + telemetry.
+def _pool_worker_main(in_queue, out_queue):
+    """Persistent worker loop: run dispatched chunks until told to stop.
 
-    Always replaces the inherited registry: a forked child must never
-    write into the parent's sinks (a JSONL sink would interleave), so it
-    records into a fresh registry (with a buffering sink) when telemetry
-    is on, or into the null registry when it is off.
+    Each message is one chunk job; ``None`` is the shutdown sentinel.
+    For every chunk the worker replaces the inherited registry: a forked
+    child must never write into the parent's sinks (a JSONL sink would
+    interleave), so it records into a fresh registry (with a buffering
+    sink) when telemetry is on, or into the null registry when it is
+    off.  Results carry the dispatching job id so the parent can discard
+    stale messages from a round it already abandoned.
     """
-    start = time.perf_counter()
-    sink = None
-    try:
-        if instrument:
-            registry = telemetry.MetricsRegistry()
-            sink = registry.add_sink(ListSink())
-        else:
-            registry = telemetry.NULL_REGISTRY
-        with telemetry.use_registry(registry):
-            value = resilience.run_task(fn, task, index, attempt, plan)
-        elapsed = time.perf_counter() - start
-        payload = (registry.snapshot(), sink.events) if instrument else None
-        out_queue.put((index, "ok", value, payload, elapsed))
-    except BaseException as error:  # noqa: BLE001 -- report, don't die silent
-        elapsed = time.perf_counter() - start
-        message = "%s: %s" % (type(error).__name__, error)
-        payload = (registry.snapshot(), sink.events) if sink is not None \
-            else None
-        out_queue.put((index, "error", message, payload, elapsed))
+    while True:
+        message = in_queue.get()
+        if message is None:
+            return
+        job, fn, task, index, attempt, plan, instrument = message
+        start = time.perf_counter()
+        sink = None
+        try:
+            task = shm.resolve_payload(task)
+            if instrument:
+                registry = telemetry.MetricsRegistry()
+                sink = registry.add_sink(ListSink())
+            else:
+                registry = telemetry.NULL_REGISTRY
+            with telemetry.use_registry(registry):
+                value = resilience.run_task(fn, task, index, attempt, plan)
+            elapsed = time.perf_counter() - start
+            payload = (registry.snapshot(), sink.events) if instrument \
+                else None
+            out_queue.put((job, index, "ok", value, payload, elapsed))
+        except BaseException as error:  # noqa: BLE001 -- report, not die
+            elapsed = time.perf_counter() - start
+            detail = "%s: %s" % (type(error).__name__, error)
+            payload = (registry.snapshot(), sink.events) if sink is not None \
+                else None
+            out_queue.put((job, index, "error", detail, payload, elapsed))
+
+
+class _PoolWorker:
+    """One pool slot: a process, its private dispatch queue, task state."""
+
+    __slots__ = ("process", "in_queue", "busy_index", "deadline",
+                 "segments")
+
+    def __init__(self, process, in_queue):
+        self.process = process
+        self.in_queue = in_queue
+        self.busy_index = None
+        self.deadline = None
+        self.segments = []
+
+    @property
+    def idle(self):
+        return self.busy_index is None
+
+    def release(self):
+        """Drop shared-memory segments of the finished/abandoned chunk."""
+        shm.release_segments(self.segments)
+        self.busy_index = None
+        self.deadline = None
+
+
+class WorkerPool:
+    """Persistent worker processes shared by consecutive ``map()`` calls.
+
+    One pool exists per multiprocessing start method
+    (:func:`_get_pool`); it grows to the largest worker count any map
+    has asked for and never shrinks -- idle workers block on their
+    dispatch queues and cost nothing.  A worker that dies (crash, kill
+    fault) or is terminated (timeout/hang recovery) is respawned in
+    place, so one bad chunk never degrades the pool for the rest of a
+    sweep.  Because every chunk payload carries everything the chunk
+    needs (function, data, its own spawned RNG), *which* worker slot
+    runs it can never change the result.
+
+    Telemetry: ``parallel.pool.spawns`` counts worker processes started
+    (first use and growth), ``parallel.pool.reuses`` counts rounds
+    served by already-running workers, ``parallel.pool.restarts``
+    counts in-place respawns after a kill or crash.
+    """
+
+    def __init__(self, context):
+        self.context = context
+        self.out_queue = context.Queue()
+        self.workers = []
+        self._job_counter = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_slot(self):
+        in_queue = self.context.Queue()
+        process = self.context.Process(
+            target=_pool_worker_main, args=(in_queue, self.out_queue),
+            daemon=True)
+        process.start()
+        telemetry.get_registry().counter("parallel.pool.spawns").inc()
+        return _PoolWorker(process, in_queue)
+
+    def ensure_workers(self, count):
+        """Grow to ``count`` live workers; respawn any that died idle."""
+        for slot, worker in enumerate(self.workers):
+            if not worker.process.is_alive():
+                worker.release()
+                self.workers[slot] = self._spawn_slot()
+        while len(self.workers) < count:
+            self.workers.append(self._spawn_slot())
+
+    def _restart_slot(self, slot, registry):
+        worker = self.workers[slot]
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=1.0)
+        worker.release()
+        self.workers[slot] = self._spawn_slot()
+        if registry.enabled:
+            registry.counter("parallel.pool.restarts").inc()
+
+    def shutdown(self):
+        """Stop every worker; the pool cannot be used afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.in_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.release()
+            worker.in_queue.close()
+        self.workers = []
+        self.out_queue.close()
+
+    @property
+    def closed(self):
+        return self._closed
+
+    # -- one retry round ---------------------------------------------------
+
+    def run_round(self, fn, pairs, workers, timeout, registry, attempt,
+                  plan):
+        """Execute one round of pending chunks on up to ``workers`` slots.
+
+        Returns ``{index: value-or-TaskFailure}``; timeout and crash
+        handling matches the old process-per-chunk scheduler, except
+        that the affected slot is respawned instead of abandoned.
+        """
+        self.ensure_workers(workers)
+        instrument = registry.enabled
+        self._job_counter += 1
+        job = self._job_counter
+        pending = list(pairs)
+        draining = {}    # index -> drain deadline
+        outcomes = {}    # index -> ("ok"|"error", ...) | TaskFailure
+        total = len(pending)
+        active = self.workers[:workers]
+
+        try:
+            while len(outcomes) < total:
+                for worker in active:
+                    if worker.idle and pending:
+                        index, task = pending.pop(0)
+                        payload = shm.share_payload(task, worker.segments)
+                        worker.in_queue.put(
+                            (job, fn, payload, index, attempt, plan,
+                             instrument))
+                        worker.busy_index = index
+                        worker.deadline = None if timeout is None \
+                            else time.monotonic() + timeout
+
+                self._drain(job, outcomes)
+                now = time.monotonic()
+
+                for slot, worker in enumerate(active):
+                    if worker.idle:
+                        continue
+                    index = worker.busy_index
+                    if index in outcomes:
+                        worker.release()
+                    elif worker.deadline is not None \
+                            and now > worker.deadline:
+                        outcomes[index] = TaskFailure(
+                            index, "timeout",
+                            "exceeded %.3gs" % timeout)
+                        self._restart_slot(slot, registry)
+                        active[slot] = self.workers[slot]
+                    elif not worker.process.is_alive():
+                        # Exited without a visible result: give the
+                        # queue feeder a moment before declaring a
+                        # crash, then respawn the slot either way.
+                        draining[index] = (now + _DRAIN_GRACE_S,
+                                           worker.process.exitcode)
+                        self._restart_slot(slot, registry)
+                        active[slot] = self.workers[slot]
+
+                for index in list(draining):
+                    drain_deadline, exitcode = draining[index]
+                    if index in outcomes:
+                        del draining[index]
+                    elif time.monotonic() > drain_deadline:
+                        outcomes[index] = TaskFailure(
+                            index, "crashed",
+                            "worker exited with code %r without a result"
+                            % exitcode)
+                        del draining[index]
+
+        finally:
+            for worker in active:
+                if not worker.idle:
+                    # Abandoned mid-round (exception in the parent):
+                    # the slot's task is unrecoverable, reset it.
+                    slot = self.workers.index(worker)
+                    self._restart_slot(slot, registry)
+        return outcomes
+
+    def _drain(self, job, outcomes):
+        """Pull worker messages: block briefly for one, then sweep the rest.
+
+        Only the first ``get`` waits (so the parent parks until a result
+        or the liveness-check interval elapses); everything already
+        queued behind it is taken without blocking.  Returning the
+        moment the queue is dry keeps freed workers idle for
+        microseconds, not a full poll interval -- the difference between
+        pool dispatch amortizing and losing to serial on small chunks.
+        """
+        block = True
+        while True:
+            try:
+                if block:
+                    message = self.out_queue.get(timeout=0.02)
+                else:
+                    message = self.out_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            block = False
+            msg_job, index, status, value, payload, elapsed = message
+            if msg_job != job or index in outcomes:
+                continue    # stale: a round we already gave up on
+            if status == "ok":
+                outcomes[index] = ("ok", value, payload, elapsed)
+            else:
+                outcomes[index] = ("error",
+                                   TaskFailure(index, "error", value),
+                                   payload, elapsed)
+
+
+#: Live pools, one per multiprocessing start method.
+_POOLS = {}
+
+
+def _get_pool(context, registry):
+    """The persistent pool for ``context``'s start method (created once)."""
+    key = context.get_start_method()
+    pool = _POOLS.get(key)
+    if pool is not None and not pool.closed:
+        if registry.enabled:
+            registry.counter("parallel.pool.reuses").inc()
+        return pool
+    pool = WorkerPool(context)
+    _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools():
+    """Stop every persistent pool (atexit hook; callable from tests)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
 
 
 class ParallelMap:
@@ -265,9 +566,13 @@ class ParallelMap:
 
     Parameters
     ----------
-    workers : int or None
+    workers : int, ``"auto"``, or None
         Maximum concurrent worker processes.  ``None`` consults
-        ``REPRO_WORKERS`` (default 1 == serial inline execution).
+        ``REPRO_WORKERS`` (default 1 == serial inline execution);
+        ``"auto"`` sizes the pool from the machine's core count per
+        ``map()`` call and stays serial for one-chunk workloads or
+        single-core hosts (the choice is recorded in the
+        ``parallel.auto.*`` counters and never changes results).
     timeout : float or None
         Per-task wall-clock budget in seconds.  A worker past its
         deadline is terminated and its chunk marked failed
@@ -360,7 +665,10 @@ class ParallelMap:
                         checkpoint.record(index, value)
         pending = [(index, task) for index, task in enumerate(tasks)
                    if index not in outcomes]
-        workers = min(self.workers, total)
+        if self.workers == AUTO:
+            workers = self._auto_workers(total, registry)
+        else:
+            workers = min(self.workers, total)
         with telemetry.span("parallel.map", tasks=total,
                             workers=workers) as map_span:
             # The context is chosen once per map and reused for every
@@ -378,7 +686,7 @@ class ParallelMap:
                     round_values = self._run_serial(
                         fn, pending, registry, attempt, plan, copy_tasks)
                 else:
-                    round_values = self._run_processes(
+                    round_values = self._run_pool(
                         fn, pending, workers, context, registry, attempt,
                         plan)
                 retry_pairs = []
@@ -464,93 +772,38 @@ class ParallelMap:
             values[index] = value
         return values
 
-    # -- process pool -----------------------------------------------------
-
-    def _run_processes(self, fn, pairs, workers, context, registry,
-                       attempt, plan):
-        """Bounded process-per-chunk scheduler with timeout + crash care."""
-        instrument = registry.enabled
-        out_queue = context.Queue()
-        pending = list(pairs)
-        live = {}        # index -> (process, deadline or None)
-        draining = {}    # index -> (process, drain deadline)
-        outcomes = {}    # index -> ("ok", value, payload, elapsed) | failure
-        total = len(pending)
-
-        try:
-            while len(outcomes) < total:
-                while pending and len(live) < workers:
-                    index, task = pending.pop(0)
-                    process = context.Process(
-                        target=_worker_main,
-                        args=(fn, task, index, attempt, plan, out_queue,
-                              instrument),
-                        daemon=True)
-                    process.start()
-                    deadline = None if self.timeout is None \
-                        else time.monotonic() + self.timeout
-                    live[index] = (process, deadline)
-
-                self._drain(out_queue, outcomes)
-                now = time.monotonic()
-
-                for index in list(live):
-                    process, deadline = live[index]
-                    if index in outcomes:
-                        process.join(timeout=1.0)
-                        del live[index]
-                    elif deadline is not None and now > deadline:
-                        process.terminate()
-                        process.join(timeout=1.0)
-                        outcomes[index] = TaskFailure(
-                            index, "timeout",
-                            "exceeded %.3gs" % self.timeout)
-                        del live[index]
-                    elif not process.is_alive():
-                        # Exited without a visible result: give the queue
-                        # feeder a moment before declaring a crash.
-                        draining[index] = (process,
-                                           now + _DRAIN_GRACE_S)
-                        del live[index]
-
-                for index in list(draining):
-                    process, drain_deadline = draining[index]
-                    if index in outcomes:
-                        del draining[index]
-                    elif time.monotonic() > drain_deadline:
-                        outcomes[index] = TaskFailure(
-                            index, "crashed",
-                            "worker exited with code %r without a result"
-                            % process.exitcode)
-                        del draining[index]
-
-                if len(outcomes) < total:
-                    time.sleep(0.005)
-        finally:
-            for process, _deadline in list(live.values()) \
-                    + list(draining.values()):
-                if process.is_alive():
-                    process.terminate()
-                process.join(timeout=1.0)
-            out_queue.close()
-
-        return self._collect(outcomes, registry, instrument)
+    # -- auto sizing -------------------------------------------------------
 
     @staticmethod
-    def _drain(out_queue, outcomes):
-        """Pull every currently available worker message off the queue."""
-        while True:
-            try:
-                message = out_queue.get(timeout=0.02)
-            except queue_module.Empty:
-                return
-            index, status, value, payload, elapsed = message
-            if status == "ok":
-                outcomes[index] = ("ok", value, payload, elapsed)
-            else:
-                outcomes[index] = ("error",
-                                   TaskFailure(index, "error", value),
-                                   payload, elapsed)
+    def _auto_workers(total, registry):
+        """Pool size for ``workers="auto"``: cores, capped by chunks.
+
+        Stays serial (returns 1) on single-core machines and for
+        workloads below :data:`AUTO_MIN_CHUNKS` chunks, where process
+        dispatch can only add overhead.  The decision never feeds back
+        into chunking or seeding, so any choice yields bit-identical
+        results; ``parallel.auto.serial`` / ``parallel.auto.parallel``
+        record which way it went.
+        """
+        cpus = _cpu_count()
+        workers = min(cpus, total)
+        if cpus < 2 or total < AUTO_MIN_CHUNKS:
+            workers = 1
+        if registry.enabled:
+            registry.counter(
+                "parallel.auto.serial" if workers == 1
+                else "parallel.auto.parallel").inc()
+        return workers
+
+    # -- persistent worker pool -------------------------------------------
+
+    def _run_pool(self, fn, pairs, workers, context, registry, attempt,
+                  plan):
+        """One retry round on the persistent pool for this start method."""
+        pool = _get_pool(context, registry)
+        outcomes = pool.run_round(fn, pairs, workers, self.timeout,
+                                  registry, attempt, plan)
+        return self._collect(outcomes, registry, registry.enabled)
 
     @staticmethod
     def _collect(outcomes, registry, instrument):

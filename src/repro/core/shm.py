@@ -1,0 +1,127 @@
+"""Shared-memory transport for large ndarray chunk payloads.
+
+Dispatching a chunk to a worker process normally pickles the whole
+payload through a pipe: for the fan-out paths that ship big arrays (an
+oscillator pair block, a DMM state block) that is two full copies plus
+queue framing per chunk.  This module parks such arrays in POSIX shared
+memory instead and ships a tiny picklable :class:`SharedArrayHandle`;
+the worker maps the segment and copies the data out locally.
+
+The transport is deliberately *copy-on-receive*: :meth:`asarray`
+returns a private writable copy, exactly what pickling would have
+produced, so worker code may mutate its array without corrupting the
+parent's payload (the retry contract -- a re-dispatched chunk replays
+its original payload -- survives unchanged).  The win over pickling is
+that the parent's only cost is one memcpy into the segment, the pipe
+carries ~100 bytes, and the worker's copy runs at memory bandwidth.
+
+Lifetime: the parent owns every segment it creates
+(:func:`share_payload` collects them) and must close+unlink each one
+once the chunk's outcome is recorded (:func:`release_segments`); the
+engine does this per chunk, with a final sweep when the round ends.
+"""
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover -- stdlib module, but stay gated
+    _shared_memory = None
+
+#: Arrays at or above this many bytes ride in shared memory; smaller
+#: ones pickle through the queue as before (the segment setup would
+#: cost more than it saves).
+SHARE_THRESHOLD_BYTES = 64 * 1024
+
+
+def available():
+    """True when the platform offers POSIX shared memory."""
+    return _shared_memory is not None
+
+
+class SharedArrayHandle:
+    """Picklable stand-in for an ndarray parked in a shared segment."""
+
+    __slots__ = ("name", "shape", "dtype_str")
+
+    def __init__(self, name, shape, dtype_str):
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype_str = dtype_str
+
+    def asarray(self):
+        """Materialize a private copy of the array in this process."""
+        segment = _shared_memory.SharedMemory(name=self.name)
+        try:
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype_str),
+                              buffer=segment.buf)
+            return view.copy()
+        finally:
+            del view
+            segment.close()
+
+    def __repr__(self):
+        return "SharedArrayHandle(%r, shape=%s, dtype=%s)" % (
+            self.name, self.shape, self.dtype_str)
+
+
+def _share_array(array, segments):
+    segment = _shared_memory.SharedMemory(create=True, size=array.nbytes)
+    segments.append(segment)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    del view
+    return SharedArrayHandle(segment.name, array.shape, array.dtype.str)
+
+
+def _eligible(value, threshold):
+    return (isinstance(value, np.ndarray)
+            and value.nbytes >= threshold
+            and value.dtype.hasobject is False)
+
+
+def share_payload(task, segments, threshold=SHARE_THRESHOLD_BYTES):
+    """Replace large ndarrays inside ``task`` with shared-memory handles.
+
+    Walks plain containers (tuples, lists, dicts) one level at a time;
+    arbitrary objects pass through untouched (their internals keep
+    pickling as before).  Created segments are appended to ``segments``
+    for the caller to release.  Returns the (possibly rebuilt) payload.
+    """
+    if _shared_memory is None:
+        return task
+    if _eligible(task, threshold):
+        return _share_array(task, segments)
+    if isinstance(task, tuple):
+        return tuple(share_payload(item, segments, threshold)
+                     for item in task)
+    if isinstance(task, list):
+        return [share_payload(item, segments, threshold) for item in task]
+    if isinstance(task, dict):
+        return {key: share_payload(value, segments, threshold)
+                for key, value in task.items()}
+    return task
+
+
+def resolve_payload(task):
+    """Worker-side inverse of :func:`share_payload`."""
+    if isinstance(task, SharedArrayHandle):
+        return task.asarray()
+    if isinstance(task, tuple):
+        return tuple(resolve_payload(item) for item in task)
+    if isinstance(task, list):
+        return [resolve_payload(item) for item in task]
+    if isinstance(task, dict):
+        return {key: resolve_payload(value) for key, value in task.items()}
+    return task
+
+
+def release_segments(segments):
+    """Close and unlink every segment; tolerates repeated calls."""
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass

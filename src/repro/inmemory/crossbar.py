@@ -39,6 +39,16 @@ class Crossbar:
         factory = device_factory or Memristor
         self.cells = [[factory() for _ in range(self.cols)]
                       for _ in range(self.rows)]
+        # Conductance-matrix cache: rebuilding G from the Python cell
+        # objects costs O(rows*cols) interpreter work per analog read
+        # and used to dominate the VMM hot path.  Every cell notifies
+        # the array on any state change, so the cache can never serve a
+        # stale matrix -- even when callers program devices directly
+        # through :meth:`cell`.
+        self._g_cache = None
+        for row in self.cells:
+            for device in row:
+                device._on_change = self.invalidate_conductances
         # Per-array instruments, bound once (no-op singletons when
         # telemetry is disabled): read/write/MAC accounting is the
         # observable the data-movement argument is made with.
@@ -113,10 +123,20 @@ class Crossbar:
 
     # -- analog read --------------------------------------------------------------
 
+    def invalidate_conductances(self):
+        """Drop the cached G matrix (cells call this on state changes)."""
+        self._g_cache = None
+
+    def _conductances(self):
+        """The cached G matrix (shared array -- do not mutate)."""
+        if self._g_cache is None:
+            self._g_cache = np.array(
+                [[cell.conductance for cell in row] for row in self.cells])
+        return self._g_cache
+
     def conductance_matrix(self):
         """The G matrix (rows x cols) of present conductances."""
-        return np.array([[cell.conductance for cell in row]
-                         for row in self.cells])
+        return self._conductances().copy()
 
     def analog_read(self, row_voltages, noise_sigma=0.0, rng=None):
         """Bitline currents for a wordline voltage vector.
@@ -130,12 +150,42 @@ class Crossbar:
             raise MemristorError("need one voltage per row")
         self._analog_read_counter.inc()
         self._mac_counter.inc(self.rows * self.cols)
-        currents = voltages @ self.conductance_matrix()
+        currents = voltages @ self._conductances()
         if noise_sigma > 0.0:
             rng = make_rng(rng)
             scale = np.abs(currents) + 1e-12
             currents = currents + rng.normal(0.0, noise_sigma,
                                              size=currents.shape) * scale
+        return currents
+
+    def analog_read_batch(self, voltage_matrix, noise_sigma=0.0, rng=None):
+        """Bitline currents for a stack of wordline voltage vectors.
+
+        ``voltage_matrix`` has shape ``(batch, rows)``; returns
+        ``(batch, cols)`` currents.  Row ``b`` of the result is
+        bit-identical to ``analog_read(voltage_matrix[b], ...)`` with
+        the same generator: each row runs the same matrix-vector product
+        (and, with noise, draws its noise vector in the same per-read
+        order), so batching is purely an amortization of the Python and
+        cache-lookup overhead -- the differential equivalence tier holds
+        it to that.
+        """
+        voltages = np.asarray(voltage_matrix, dtype=float)
+        if voltages.ndim != 2 or voltages.shape[1] != self.rows:
+            raise MemristorError("need shape (batch, rows) voltages")
+        batch = voltages.shape[0]
+        self._analog_read_counter.inc(batch)
+        self._mac_counter.inc(batch * self.rows * self.cols)
+        conductances = self._conductances()
+        currents = np.empty((batch, self.cols))
+        for index in range(batch):
+            currents[index] = voltages[index] @ conductances
+        if noise_sigma > 0.0:
+            rng = make_rng(rng)
+            for index in range(batch):
+                scale = np.abs(currents[index]) + 1e-12
+                currents[index] = currents[index] + rng.normal(
+                    0.0, noise_sigma, size=self.cols) * scale
         return currents
 
     def __repr__(self):

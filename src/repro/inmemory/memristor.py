@@ -53,6 +53,15 @@ class Memristor:
         self.v_reset = float(v_reset)
         self.state = state
         self._analog_conductance = None
+        #: Optional zero-argument observer invoked after every state
+        #: change (set by :class:`~repro.inmemory.crossbar.Crossbar` so
+        #: its cached conductance matrix invalidates itself no matter
+        #: which path mutated the cell).
+        self._on_change = None
+
+    def _notify(self):
+        if self._on_change is not None:
+            self._on_change()
 
     # -- digital behaviour ---------------------------------------------------
 
@@ -77,9 +86,11 @@ class Memristor:
         if voltage >= self.v_set:
             self.state = LRS
             self._analog_conductance = None
+            self._notify()
         elif voltage <= -self.v_reset:
             self.state = HRS
             self._analog_conductance = None
+            self._notify()
         return self.state
 
     def read_bit(self):
@@ -112,6 +123,7 @@ class Memristor:
             clipped = min(max(clipped, g_min), g_max)
         self._analog_conductance = clipped
         self.state = LRS if clipped > (g_min + g_max) / 2.0 else HRS
+        self._notify()
         return clipped
 
     def __repr__(self):

@@ -195,8 +195,13 @@ class DmmSystem:
         contribution = (clause_gain_g * grad + clause_gain_r * rigid) \
             * self._slot_mask
 
-        dv = np.zeros(self.num_variables)
-        np.add.at(dv, self.var_index.ravel(), contribution.ravel())
+        # np.bincount accumulates its weights in input order, exactly
+        # like the np.add.at scatter it replaces (bit-identical sums),
+        # but runs as a single C loop instead of a buffered ufunc --
+        # this scatter was the RHS hot spot.
+        dv = np.bincount(self.var_index.ravel(),
+                         weights=contribution.ravel(),
+                         minlength=self.num_variables)
 
         dx_s = p["beta"] * (x_s + p["epsilon"]) * (big_c - p["gamma"])
         dx_l = p["alpha"] * (big_c - p["delta"])

@@ -107,8 +107,7 @@ def degree_of_match(template, candidate, distance_unit=None):
         raise OscillatorError("empty pattern")
     unit = distance_unit or OscillatorDistanceUnit()
     telemetry.counter("oscillator.coprocessor.matches").inc()
-    measures = [unit.measure(a, b)
-                for a, b in zip(template.ravel(), candidate.ravel())]
+    measures = unit.measure_batch(template.ravel(), candidate.ravel())
     return 1.0 - float(np.mean(measures))
 
 

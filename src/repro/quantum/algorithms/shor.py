@@ -171,7 +171,7 @@ def find_order(a, modulus, rng=None, max_attempts=10, runner=None,
     workers = parallel.resolve_workers(workers)
     resilient = (timeout is not None or retry is not None
                  or checkpoint is not None or resume_from is not None)
-    if runner is None and (workers > 1 or resilient):
+    if runner is None and (parallel.wants_fanout(workers) or resilient):
         # Fingerprint the RNG before spawn_rngs advances it.
         meta = {"a": int(a), "modulus": int(modulus),
                 "max_attempts": int(max_attempts),
@@ -326,8 +326,7 @@ def _shor_factor(n, rng, max_base_attempts, workers=None, timeout=None,
         resilient = (timeout is not None or retry is not None
                      or checkpoint is not None)
         meta = {"n": int(n), "max_base_attempts": int(max_base_attempts),
-                "parallel": parallel.resolve_workers(workers) > 1
-                or resilient,
+                "parallel": parallel.wants_fanout(workers) or resilient,
                 "rng": resilience.rng_fingerprint(rng)}
         spec = result_cache.spec_for(cache, "shor-factor", meta,
                                      encode=_encode_shor_result,

@@ -17,9 +17,11 @@ micro-architecture, modelled after QuMA-style control processors:
 """
 
 
+import numpy as np
+
 from ..core.exceptions import MicroArchError
 from .circuit import GateOp, MeasureOp
-from .state import StateVector
+from .state import BatchedStateVector, StateVector
 
 #: Default gate durations in nanoseconds, loosely following published
 #: superconducting-qubit numbers (single-qubit ~20 ns, two-qubit ~40 ns,
@@ -199,6 +201,179 @@ class MicroArchitecture:
             elapsed_ns=elapsed,
             coherence_exceeded=elapsed > self.coherence_ns,
         )
+
+    # -- batched shot execution ---------------------------------------------
+
+    #: Upper bound on live prefix-tree amplitudes (complex numbers) before
+    #: execute_shots abandons memoization for the plain per-shot sweep.
+    PREFIX_TREE_BUDGET = 2 ** 22
+
+    def _decompose_straight_line(self, program):
+        """Split a straight-line program into measure-delimited segments.
+
+        Returns ``(segments, measures, executed, elapsed)`` where
+        ``segments[i]`` is the list of :class:`GateOp` between measure
+        ``i-1`` and measure ``i`` (``segments[0]`` is the prologue, the
+        last segment the tail before halt), and ``executed`` / ``elapsed``
+        are the dynamic instruction count and modelled time -- identical
+        for every shot of a straight-line program.  Returns ``None`` when
+        the program branches (or never halts), in which case callers fall
+        back to the scalar interpreter.
+        """
+        segments = [[]]
+        measures = []
+        executed = 0
+        elapsed = 0.0
+        for instruction in program:
+            executed += 1
+            elapsed += self._duration(instruction)
+            if instruction.kind == "halt":
+                return segments, measures, executed, elapsed
+            if instruction.kind == "gate":
+                segments[-1].append(instruction.op)
+            elif instruction.kind == "measure":
+                measures.append(instruction.op)
+                segments.append([])
+            else:
+                return None
+        return None
+
+    @staticmethod
+    def _segment_plan(ops, fuse):
+        """Lower a gate segment to ``(kind, payload, qubits)`` steps.
+
+        With ``fuse`` set, runs of consecutive single-qubit matrix gates
+        on the same qubit collapse into one product matrix, so the
+        statevector sweep pays one 2x2 application per run instead of one
+        per gate.
+        """
+        plan = []
+        for op in ops:
+            if op.permutation is not None:
+                plan.append(("perm", op.permutation, op.qubits))
+                continue
+            matrix = op.resolved_matrix()
+            if fuse and plan and plan[-1][0] == "gate" \
+                    and len(op.qubits) == 1 and plan[-1][2] == op.qubits:
+                plan[-1] = ("gate", matrix @ plan[-1][1], op.qubits)
+            else:
+                plan.append(("gate", matrix, op.qubits))
+        return plan
+
+    @staticmethod
+    def _apply_plan(state, plan):
+        """Run one segment plan against a (batched or scalar) statevector."""
+        for kind, payload, qubits in plan:
+            if kind == "perm":
+                state.apply_permutation(payload, qubits)
+            else:
+                state.apply_gate(payload, qubits)
+        return state
+
+    def _run_plans_per_shot(self, plans, measures, uniforms, executed,
+                            elapsed):
+        """Reference sweep: one scalar statevector per shot, no memoization.
+
+        Consumes the pre-drawn ``uniforms`` exactly like the prefix tree,
+        so switching between the two paths cannot change any outcome.
+        """
+        results = []
+        for draws in uniforms:
+            state = self._apply_plan(StateVector(self.num_qubits), plans[0])
+            cbits = {}
+            for index, measure in enumerate(measures):
+                p1 = state.probability_of(measure.qubit, 1)
+                outcome = 1 if draws[index] < p1 else 0
+                state.collapse(measure.qubit, outcome)
+                cbits[measure.cbit] = outcome
+                self._apply_plan(state, plans[index + 1])
+            results.append(ExecutionResult(
+                classical_bits=cbits,
+                state=state,
+                instructions_executed=executed,
+                elapsed_ns=elapsed,
+                coherence_exceeded=elapsed > self.coherence_ns,
+            ))
+        return results
+
+    def execute_shots(self, program, shots, rng=None,
+                      max_instructions=1_000_000, fuse=True):
+        """Run ``program`` for ``shots`` repetitions, sharing gate work.
+
+        Bit-identical to ``[self.execute(program, rng=rng) for _ in
+        range(shots)]`` up to single-qubit fusion (disable with
+        ``fuse=False`` for exact parity): the uniform deviates are drawn
+        in the same shot-major order the scalar loop consumes them, and
+        every amplitude update is either the scalar operation itself or a
+        batched GEMM whose per-member columns match it bitwise.
+
+        The win comes from memoizing on measurement prefixes: shots that
+        have produced the same outcomes so far share one statevector, so
+        each gate segment is applied once per *distinct* history (batched
+        across histories) instead of once per shot.  Programs with
+        branches fall back to the scalar interpreter; prefix trees wider
+        than :data:`PREFIX_TREE_BUDGET` amplitudes fall back to an
+        unmemoized per-shot sweep that consumes the identical random
+        stream.
+        """
+        from ..core.rngs import make_rng
+
+        rng = make_rng(rng)
+        shots = int(shots)
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        decomposition = self._decompose_straight_line(program)
+        if decomposition is None or len(program) - 1 > max_instructions:
+            return [self.execute(program, rng=rng,
+                                 max_instructions=max_instructions)
+                    for _ in range(shots)]
+        segments, measures, executed, elapsed = decomposition
+        plans = [self._segment_plan(ops, fuse) for ops in segments]
+        # One uniform per (shot, measure), drawn shot-major: exactly the
+        # values (and final generator state) of the scalar loop's
+        # per-measure rng.random() calls.
+        uniforms = rng.random((shots, len(measures)))
+        if shots == 0:
+            return []
+
+        dim = 2 ** self.num_qubits
+        states = self._apply_plan(
+            BatchedStateVector(self.num_qubits, batch=1), plans[0])
+        node_of_shot = np.zeros(shots, dtype=np.int64)
+        outcomes = np.zeros((shots, len(measures)), dtype=np.int64)
+        for index, measure in enumerate(measures):
+            p1 = states.probability_of(measure.qubit, 1)
+            shot_outcomes = (uniforms[:, index]
+                             < p1[node_of_shot]).astype(np.int64)
+            outcomes[:, index] = shot_outcomes
+            # Children = distinct (parent node, outcome) pairs still
+            # reachable by some shot; dead branches are dropped, which is
+            # what keeps the tree narrow for concentrated distributions.
+            child_keys = node_of_shot * 2 + shot_outcomes
+            unique_keys, node_of_shot = np.unique(child_keys,
+                                                  return_inverse=True)
+            if len(unique_keys) * dim > self.PREFIX_TREE_BUDGET:
+                return self._run_plans_per_shot(plans, measures, uniforms,
+                                                executed, elapsed)
+            states = BatchedStateVector(
+                self.num_qubits,
+                amplitudes=states.amplitudes[unique_keys // 2])
+            states.collapse(measure.qubit, unique_keys % 2)
+            self._apply_plan(states, plans[index + 1])
+
+        results = []
+        for shot in range(shots):
+            cbits = {}
+            for index, measure in enumerate(measures):
+                cbits[measure.cbit] = int(outcomes[shot, index])
+            results.append(ExecutionResult(
+                classical_bits=cbits,
+                state=states.member(node_of_shot[shot]),
+                instructions_executed=executed,
+                elapsed_ns=elapsed,
+                coherence_exceeded=elapsed > self.coherence_ns,
+            ))
+        return results
 
     def execute_circuit(self, circuit, rng=None):
         """Assemble and execute a circuit in one call."""

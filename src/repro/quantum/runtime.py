@@ -56,8 +56,10 @@ def _run_shot_chunk(payload):
     program = assemble(circuit)
     counts = {}
     chip_time = 0.0
-    for _ in range(shots):
-        result = microarch.execute(program, rng=rng)
+    # Batched prefix-tree execution; the results come back in shot order,
+    # so the histogram's insertion order (which breaks most_common ties)
+    # and the iterated chip-time float sum match the old per-shot loop.
+    for result in microarch.execute_shots(program, shots, rng=rng):
         value = result.bits_as_int(cbit_order)
         counts[value] = counts.get(value, 0) + 1
         chip_time += result.elapsed_ns
@@ -220,8 +222,8 @@ class QuantumRuntime:
                     program = assemble(circuit)
                     counts = {}
                     chip_time = 0.0
-                    for _ in range(shots):
-                        result = self.microarch.execute(program, rng=rng)
+                    for result in self.microarch.execute_shots(
+                            program, shots, rng=rng):
                         value = result.bits_as_int(cbit_order)
                         counts[value] = counts.get(value, 0) + 1
                         chip_time += result.elapsed_ns

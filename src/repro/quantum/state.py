@@ -138,6 +138,26 @@ class StateVector:
         mask = ((indices >> qubit) & 1) == int(value)
         return float(np.sum(probs[mask]))
 
+    def collapse(self, qubit, outcome):
+        """Project ``qubit`` onto ``outcome`` and renormalize, in place.
+
+        The deterministic half of :meth:`measure` (no randomness): used
+        directly by the shot-batching prefix tree in
+        :meth:`repro.quantum.microarch.MicroArchitecture.execute_shots`,
+        which draws outcomes itself and must collapse with the exact
+        operation sequence :meth:`measure` uses.
+        """
+        self._check_qubits([qubit])
+        outcome = int(outcome)
+        indices = np.arange(len(self.amplitudes))
+        keep = ((indices >> qubit) & 1) == outcome
+        self.amplitudes[~keep] = 0.0
+        norm = np.linalg.norm(self.amplitudes)
+        if norm == 0.0:
+            raise QuantumError("measurement collapsed to the zero vector")
+        self.amplitudes /= norm
+        return self
+
     def measure(self, qubit, rng=None):
         """Projectively measure one qubit; collapses the state in place.
 
@@ -146,13 +166,7 @@ class StateVector:
         rng = make_rng(rng)
         p1 = self.probability_of(qubit, 1)
         outcome = 1 if rng.random() < p1 else 0
-        indices = np.arange(len(self.amplitudes))
-        keep = ((indices >> qubit) & 1) == outcome
-        self.amplitudes[~keep] = 0.0
-        norm = np.linalg.norm(self.amplitudes)
-        if norm == 0.0:
-            raise QuantumError("measurement collapsed to the zero vector")
-        self.amplitudes /= norm
+        self.collapse(qubit, outcome)
         return outcome
 
     def measure_all(self, rng=None):
@@ -207,3 +221,188 @@ class StateVector:
 
     def __repr__(self):
         return "StateVector(num_qubits=%d)" % self.num_qubits
+
+
+class BatchedStateVector:
+    """A stack of ``B`` independent n-qubit states with batched gates.
+
+    Amplitudes live in a ``(B, 2**n)`` array; gate application reshapes
+    the stack so one matrix product covers every member.  The per-member
+    results are bit-identical to :class:`StateVector` -- a GEMM computes
+    each output column independently of how many columns sit beside it,
+    so batching members as extra columns cannot perturb any of them (the
+    equivalence tier asserts this with ``np.array_equal``).  Measurement
+    statistics (:meth:`probability_of`, :meth:`collapse`) intentionally
+    run per member through the same reductions the scalar class uses:
+    vectorizing a masked sum across the batch would change the summation
+    tree and break bit-identity for a step that is cheap anyway.
+
+    Parameters
+    ----------
+    num_qubits : int
+    batch : int
+        Number of members; every member starts in ``|0...0>`` unless
+        ``amplitudes`` (shape ``(batch, 2**num_qubits)``) is given.
+    """
+
+    def __init__(self, num_qubits, batch=None, amplitudes=None):
+        if num_qubits < 1:
+            raise QuantumError("need at least one qubit")
+        if num_qubits > 26:
+            raise QuantumError(
+                "refusing to allocate a %d-qubit dense state" % num_qubits
+            )
+        self.num_qubits = int(num_qubits)
+        dim = 2 ** self.num_qubits
+        if amplitudes is None:
+            if batch is None or batch < 1:
+                raise QuantumError("batch must be a positive int")
+            self.amplitudes = np.zeros((int(batch), dim), dtype=complex)
+            self.amplitudes[:, 0] = 1.0
+        else:
+            self.amplitudes = np.asarray(amplitudes, dtype=complex)
+            if self.amplitudes.ndim != 2 \
+                    or self.amplitudes.shape[1] != dim:
+                raise QuantumError(
+                    "amplitudes must have shape (batch, 2**%d)"
+                    % self.num_qubits)
+            if batch is not None \
+                    and self.amplitudes.shape[0] != int(batch):
+                raise QuantumError("batch/amplitudes shape mismatch")
+
+    @classmethod
+    def from_states(cls, states):
+        """Stack scalar :class:`StateVector` members (copies)."""
+        states = list(states)
+        if not states:
+            raise QuantumError("need at least one member state")
+        n = states[0].num_qubits
+        if any(state.num_qubits != n for state in states):
+            raise QuantumError("member qubit counts differ")
+        return cls(n, amplitudes=np.stack(
+            [state.amplitudes for state in states]))
+
+    @property
+    def batch(self):
+        """Number of stacked member states."""
+        return self.amplitudes.shape[0]
+
+    def member(self, index):
+        """Member ``index`` as an independent scalar :class:`StateVector`."""
+        return StateVector(self.num_qubits,
+                           self.amplitudes[index].copy())
+
+    def copy(self):
+        """Deep copy of the stack."""
+        return BatchedStateVector(self.num_qubits,
+                                  amplitudes=self.amplitudes.copy())
+
+    def _check_qubits(self, qubits):
+        seen = set()
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise QubitIndexError(
+                    "qubit %d out of range for %d-qubit state"
+                    % (q, self.num_qubits)
+                )
+            if q in seen:
+                raise QubitIndexError("duplicate qubit %d in gate operands" % q)
+            seen.add(q)
+
+    def apply_gate(self, matrix, qubits):
+        """Apply one ``2^k x 2^k`` unitary to every member in place.
+
+        Same tensor manipulation as :meth:`StateVector.apply_gate`, with
+        the batch axis folded into the GEMM's column dimension: member
+        ``b`` occupies its own column block, so its product is the same
+        matrix-times-columns computation the scalar path runs.
+        """
+        qubits = list(qubits)
+        self._check_qubits(qubits)
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2 ** k, 2 ** k):
+            raise QuantumError(
+                "matrix shape %s does not act on %d qubits"
+                % (matrix.shape, k)
+            )
+        n = self.num_qubits
+        batch = self.amplitudes.shape[0]
+        # Axis 0 is the batch; per-member tensor axis 1+j indexes qubit
+        # n-1-j, mirroring the scalar layout.
+        tensor = self.amplitudes.reshape([batch] + [2] * n)
+        axes = [n - q for q in qubits]
+        order = list(reversed(axes))
+        # Gate axes to the front (ahead of the batch axis) so the fold
+        # is (2**k, batch * rest): each member contributes a contiguous
+        # block of columns.
+        tensor = np.moveaxis(tensor, order, range(k))
+        tensor = tensor.reshape(2 ** k, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape([2] * k + [batch] + [2] * (n - k))
+        tensor = np.moveaxis(tensor, range(k), order)
+        self.amplitudes = np.ascontiguousarray(tensor).reshape(batch, -1)
+        return self
+
+    def apply_permutation(self, mapping, qubits):
+        """Apply a classical subspace permutation to every member."""
+        qubits = list(qubits)
+        self._check_qubits(qubits)
+        k = len(qubits)
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape != (2 ** k,):
+            raise QuantumError("mapping must have length 2^%d" % k)
+        if sorted(mapping.tolist()) != list(range(2 ** k)):
+            raise QuantumError("mapping is not a permutation")
+        n = self.num_qubits
+        indices = np.arange(2 ** n)
+        local = np.zeros_like(indices)
+        for pos, q in enumerate(qubits):
+            local |= ((indices >> q) & 1) << pos
+        permuted_local = mapping[local]
+        new_indices = indices.copy()
+        for pos, q in enumerate(qubits):
+            bit = (permuted_local >> pos) & 1
+            new_indices = (new_indices & ~(1 << q)) | (bit << q)
+        new_amplitudes = np.zeros_like(self.amplitudes)
+        new_amplitudes[:, new_indices] = self.amplitudes
+        self.amplitudes = new_amplitudes
+        return self
+
+    def probability_of(self, qubit, value):
+        """Per-member marginal probabilities, shape ``(B,)``.
+
+        Computed member-at-a-time with the scalar reduction (see the
+        class docstring for why).
+        """
+        self._check_qubits([qubit])
+        dim = self.amplitudes.shape[1]
+        indices = np.arange(dim)
+        mask = ((indices >> qubit) & 1) == int(value)
+        out = np.empty(self.batch)
+        for index in range(self.batch):
+            probs = np.abs(self.amplitudes[index]) ** 2
+            out[index] = float(np.sum(probs[mask]))
+        return out
+
+    def collapse(self, qubit, outcomes):
+        """Project ``qubit`` of member ``b`` onto ``outcomes[b]``, in place."""
+        self._check_qubits([qubit])
+        outcomes = np.asarray(outcomes)
+        if outcomes.shape != (self.batch,):
+            raise QuantumError("need one outcome per member")
+        indices = np.arange(self.amplitudes.shape[1])
+        qubit_bit = (indices >> qubit) & 1
+        for index in range(self.batch):
+            row = self.amplitudes[index]
+            row[qubit_bit != int(outcomes[index])] = 0.0
+            norm = np.linalg.norm(row)
+            if norm == 0.0:
+                raise QuantumError(
+                    "measurement collapsed to the zero vector")
+            row /= norm
+        return self
+
+    def __repr__(self):
+        return ("BatchedStateVector(num_qubits=%d, batch=%d)"
+                % (self.num_qubits, self.batch))

@@ -21,9 +21,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import parallel as parallel_module
 from repro.core import telemetry
 from repro.core.exceptions import ParallelError
 from repro.core.parallel import (
+    AUTO,
     DEFAULT_CHUNKS,
     ParallelMap,
     TaskFailure,
@@ -34,6 +36,8 @@ from repro.core.parallel import (
     default_chunk_size,
     parallel_map,
     resolve_workers,
+    shutdown_pools,
+    wants_fanout,
 )
 
 
@@ -299,6 +303,168 @@ class TestEngineTelemetry:
         results = ParallelMap(workers=2).map(_square, [1, 2, 3])
         assert results == [1, 4, 9]
         assert telemetry.get_registry().snapshot() == {}
+
+
+# -- persistent worker-pool lifecycle --------------------------------------
+
+def _pool():
+    """The single live pool (tests run one start method at a time)."""
+    pools = [pool for pool in parallel_module._POOLS.values()
+             if not pool.closed]
+    assert len(pools) == 1
+    return pools[0]
+
+
+class TestWorkerPoolLifecycle:
+    """Spawn-once/reuse-forever pool semantics, observed via telemetry."""
+
+    def setup_method(self):
+        shutdown_pools()
+
+    def teardown_method(self):
+        shutdown_pools()
+
+    def test_pool_reused_across_consecutive_maps(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            engine = ParallelMap(workers=2)
+            assert engine.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            assert engine.map(_square, [5, 6, 7, 8]) == [25, 36, 49, 64]
+        # two workers spawned for the first map, zero for the second
+        assert registry.counter("parallel.pool.spawns").value == 2
+        assert registry.counter("parallel.pool.reuses").value == 1
+        assert registry.counter("parallel.pool.restarts").value == 0
+
+    def test_pool_shared_across_engine_instances(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            assert ParallelMap(workers=2).map(_square, [1, 2]) == [1, 4]
+            assert ParallelMap(workers=2).map(_square, [3, 4]) == [9, 16]
+        assert registry.counter("parallel.pool.spawns").value == 2
+        assert registry.counter("parallel.pool.reuses").value == 1
+
+    def test_pool_grows_on_demand_and_never_shrinks(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            ParallelMap(workers=2).map(_square, [1, 2, 3])
+            ParallelMap(workers=3).map(_square, [1, 2, 3])
+            ParallelMap(workers=2).map(_square, [1, 2, 3])
+        assert registry.counter("parallel.pool.spawns").value == 3
+        assert len(_pool().workers) == 3
+
+    def test_shutdown_stops_workers_and_next_map_respawns(self):
+        ParallelMap(workers=2).map(_square, [1, 2])
+        pool = _pool()
+        processes = [worker.process for worker in pool.workers]
+        shutdown_pools()
+        assert pool.closed
+        assert parallel_module._POOLS == {}
+        assert all(not process.is_alive() for process in processes)
+        # the next map builds a fresh pool transparently
+        assert ParallelMap(workers=2).map(_square, [3, 4]) == [9, 16]
+        assert not _pool().closed
+
+    def test_dead_idle_worker_respawned_on_next_map(self):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            assert ParallelMap(workers=2).map(_square, [1, 2]) == [1, 4]
+            victim = _pool().workers[0].process
+            victim.terminate()
+            victim.join(timeout=5.0)
+            assert ParallelMap(workers=2).map(_square, [3, 4]) == [9, 16]
+        # 2 initial spawns + 1 replacement for the killed idle slot
+        assert registry.counter("parallel.pool.spawns").value == 3
+
+    def test_kill_fault_restarts_slot_and_retry_recovers(self, fault_plan):
+        fault_plan([(1, 1, "kill")])
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = ParallelMap(workers=2).map(
+                _square, [1, 2, 3, 4], retry=2)
+        # bit-identical to a fault-free run, on a healed pool
+        assert results == [1, 4, 9, 16]
+        assert registry.counter("parallel.pool.restarts").value >= 1
+        assert registry.counter("parallel.retries").value == 1
+        assert len(_pool().workers) == 2
+        assert all(worker.process.is_alive()
+                   for worker in _pool().workers)
+
+    def test_hang_fault_timeout_restarts_slot_and_retry_recovers(
+            self, fault_plan):
+        fault_plan([(0, 1, "hang")])
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = ParallelMap(workers=2, timeout=1.0).map(
+                _square, [1, 2, 3], retry=2)
+        assert results == [1, 4, 9]
+        assert registry.counter("parallel.pool.restarts").value >= 1
+        assert all(worker.process.is_alive()
+                   for worker in _pool().workers)
+
+
+class TestAutoWorkers:
+    """``workers="auto"``: machine-sized placement, invariant results."""
+
+    def setup_method(self):
+        shutdown_pools()
+
+    def teardown_method(self):
+        shutdown_pools()
+
+    def test_resolve_passes_auto_through(self, monkeypatch):
+        assert resolve_workers("auto") == AUTO
+        assert resolve_workers(" AUTO ") == AUTO
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert resolve_workers(None) == AUTO
+
+    def test_wants_fanout(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert wants_fanout("auto")
+        assert wants_fanout(2)
+        assert not wants_fanout(1)
+        assert not wants_fanout(None)
+
+    def test_small_workload_chooses_serial(self, monkeypatch):
+        # one chunk gains nothing from a pool, even on a big machine
+        monkeypatch.setattr(parallel_module, "_cpu_count", lambda: 8)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            assert ParallelMap(workers=AUTO).map(_square, [3]) == [9]
+        assert registry.counter("parallel.auto.serial").value == 1
+        assert registry.counter("parallel.auto.parallel").value == 0
+        assert registry.counter("parallel.pool.spawns").value == 0
+
+    def test_single_core_host_chooses_serial(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_cpu_count", lambda: 1)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = ParallelMap(workers=AUTO).map(_square, [1, 2, 3, 4])
+        assert results == [1, 4, 9, 16]
+        assert registry.counter("parallel.auto.serial").value == 1
+        assert registry.counter("parallel.pool.spawns").value == 0
+
+    def test_multicore_host_fans_out_capped_by_chunks(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_cpu_count", lambda: 4)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = ParallelMap(workers=AUTO).map(_square, [1, 2, 3])
+        assert results == [1, 4, 9]
+        assert registry.counter("parallel.auto.parallel").value == 1
+        # pool sized min(cores, chunks) == 3
+        assert registry.counter("parallel.pool.spawns").value == 3
+
+    def test_auto_matches_explicit_worker_counts(self, monkeypatch):
+        # placement is the machine's only degree of freedom: the same
+        # chunked workload returns the same values under auto and under
+        # any explicit count
+        expected = [x * x for x in range(8)]
+        for cpus in (1, 4):
+            monkeypatch.setattr(parallel_module, "_cpu_count",
+                                lambda cpus=cpus: cpus)
+            assert ParallelMap(workers=AUTO).map(
+                _square, list(range(8))) == expected
+        assert ParallelMap(workers=2).map(
+            _square, list(range(8))) == expected
 
 
 # -- property-based guarantees ---------------------------------------------

@@ -16,6 +16,59 @@ def span_event(name, duration_s, depth=0, status="ok", worker=None,
     return event
 
 
+class TestThroughputUnitAccounting:
+    """The kernel instruments see exact unit totals under batching.
+
+    Vectorizing a kernel must never change what one "unit" means:
+    ``<name>_units`` counts gates / pairs / MACs, not batches.
+    """
+
+    def test_quantum_gate_units_exact_under_batched_shots(self):
+        from repro.quantum.circuit import QuantumCircuit
+        from repro.quantum.runtime import QuantumRuntime
+
+        circuit = QuantumCircuit(2).h(0).cnot(0, 1).t(1).measure_all()
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            QuantumRuntime().run(circuit, shots=50, rng=1)
+        # 3 gate ops x 50 shots, regardless of prefix-tree sharing
+        assert registry.counter(
+            "quantum.runtime.gates_units").value == 150
+        assert registry.histogram(
+            "quantum.runtime.gates_per_s").count == 1
+
+    def test_oscillator_pair_units_exact_under_batched_sweep(self):
+        from repro.oscillators.distance import OscillatorDistanceUnit
+
+        pairs = [(float(a), float(255 - a)) for a in range(0, 250, 10)]
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            unit = OscillatorDistanceUnit()
+            unit.measure_pairs(pairs)
+        # one unit per pair, one eval per element -- not per batch
+        assert registry.counter(
+            "oscillator.distance.pairs_units").value == len(pairs)
+        assert registry.counter(
+            "oscillator.distance.evals").value == len(pairs)
+
+    def test_vmm_mac_units_exact_under_batched_multiply(self):
+        import numpy as np
+
+        from repro.inmemory.vmm import AnalogVmm
+
+        weights = np.linspace(-1.0, 1.0, 12).reshape(4, 3)
+        vectors = np.linspace(-2.0, 2.0, 20).reshape(5, 4)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            vmm = AnalogVmm(weights, rng=0)
+            vmm.multiply_batch(vectors)
+        # batch x n_in x n_out multiply-accumulates
+        assert registry.counter(
+            "inmemory.vmm.ops_units").value == 5 * 4 * 3
+        assert registry.counter("inmemory.vmm.macs").value == 5 * 4 * 3
+        assert registry.counter("inmemory.vmm.multiplies").value == 5
+
+
 class TestRecordThroughput:
     def test_disabled_registry_is_noop(self):
         with telemetry.use_registry(telemetry.NULL_REGISTRY):

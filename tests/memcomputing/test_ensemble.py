@@ -174,3 +174,23 @@ class TestTrajectoryStepAccounting:
         assert histogram.count == 1
         units = registry.counter("dmm.ensemble.traj_steps_units").value
         assert units == pytest.approx(result.total_trajectory_steps)
+
+    def test_chunked_path_units_exact_and_worker_invariant(self):
+        # batched + chunked execution must not change the unit count:
+        # the instrument sees exactly total_trajectory_steps, and that
+        # total is itself identical for every worker count
+        from repro.core import telemetry
+
+        formula = planted_ksat(12, 50, rng=0)
+        totals = []
+        for workers in (1, 2):
+            registry = telemetry.MetricsRegistry()
+            with telemetry.use_registry(registry):
+                result = solve_ensemble(formula, batch=6,
+                                        max_steps=20_000, rng=1,
+                                        workers=workers, chunk_size=2)
+            units = registry.counter(
+                "dmm.ensemble.traj_steps_units").value
+            assert units == result.total_trajectory_steps
+            totals.append(result.total_trajectory_steps)
+        assert totals[0] == totals[1]
