@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples fast-test test-parallel test-resilience test-goldens test-equivalence reproduce lint check clean perf-history perf-check profile-demo
+.PHONY: test bench examples fast-test test-parallel test-resilience test-serve test-goldens test-equivalence reproduce lint check clean perf-history perf-check profile-demo
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -30,6 +30,13 @@ test-resilience:
 TaskFailure; r = ParallelMap().map(abs, [-1, -2], on_error='return'); \
 assert isinstance(r[0], TaskFailure) and r[1] == 2, r; \
 print('REPRO_FAULTS env injection: ok')"
+
+# Serving tier: the asyncio job service (admission, coalescing,
+# batching, HTTP endpoints) plus its fault-injection survival tests.
+# See src/repro/serve/ and docs/serving.md.
+test-serve:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+		$(PYTHON) -m pytest tests/serve -q
 
 # Golden-claims tier: the paper's headline numbers (FIG4, FIG5, POWER,
 # DMM-SAT) pinned with explicit tolerances on small seeded configs.

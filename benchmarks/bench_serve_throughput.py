@@ -1,0 +1,113 @@
+"""Throughput and coalescing efficiency of the ``repro serve`` service.
+
+The serving layer's pitch (``docs/serving.md``) is that N callers cost
+far fewer than N kernel executions: identical in-flight requests
+coalesce onto one computation, repeated requests replay from the
+content-addressed result store, and compatible small distance requests
+merge into one vectorized call.  This benchmark drives the
+:class:`~repro.serve.service.JobService` directly (no sockets -- the
+HTTP layer is a thin frame parser; what scales or regresses is the
+dispatch machinery) with a deterministic duplicate-heavy workload:
+``UNIQUE`` distinct distance requests, each submitted ``COPIES`` times,
+all landed before the dispatchers run.
+
+Emitted metrics:
+
+* ``requests_per_s`` -- end-to-end service throughput over the whole
+  burst (submission through last completion);
+* ``coalesce_ratio`` -- fraction of requests that did *not* need their
+  own kernel execution (coalesced followers + result-store hits +
+  batched ride-alongs over total requests).  The workload makes the
+  floor exact: with every duplicate coalescing or replaying, at least
+  ``(COPIES-1)/COPIES`` of all requests are saved, so the committed
+  baseline pins ``{"min": 0.6}`` under ``COPIES = 3``.
+"""
+
+import asyncio
+import time
+
+from conftest import emit_table
+
+from repro.serve import JobService, ServeConfig
+
+UNIQUE = 40
+COPIES = 3
+PAIRS_PER_REQUEST = 4
+
+
+def _request_params(index):
+    base = float(index)
+    return {"pairs": [[base + offset, base + offset + 1.0]
+                      for offset in range(PAIRS_PER_REQUEST)]}
+
+
+async def _drive_burst():
+    service = JobService(ServeConfig(
+        workers=1, queue_depth=UNIQUE * COPIES + 1, tenant_quota=None,
+        job_concurrency=2))
+    await service.start()
+    try:
+        start = time.perf_counter()
+        jobs = [service.submit("distance", _request_params(index))
+                for _ in range(COPIES) for index in range(UNIQUE)]
+        await asyncio.gather(*(job.future for job in jobs))
+        elapsed = time.perf_counter() - start
+        assert all(job.state == "done" for job in jobs)
+        # Every copy of a request must agree with the original.
+        by_key = {}
+        for job in jobs:
+            expected = by_key.setdefault(job.key,
+                                         job.result["measures"])
+            assert job.result["measures"] == expected
+        return {"elapsed": elapsed, "stats": service.stats()}
+    finally:
+        await service.close()
+
+
+def run_serve_burst():
+    return asyncio.run(_drive_burst())
+
+
+def test_serve_throughput(benchmark):
+    measurement = benchmark.pedantic(run_serve_burst, rounds=1,
+                                     iterations=1)
+    stats = measurement["stats"]
+    total = UNIQUE * COPIES
+    saved = (stats["coalesced"] + stats["cache_hits"]
+             + stats["batched"])
+    coalesce_ratio = saved / total
+    requests_per_s = total / measurement["elapsed"]
+    rows = [
+        ("requests", total),
+        ("unique workloads", UNIQUE),
+        ("kernel executions", stats["executions"]),
+        ("coalesced followers", stats["coalesced"]),
+        ("result-store hits", stats["cache_hits"]),
+        ("batched ride-alongs", stats["batched"]),
+        ("elapsed [s]", "%.3f" % measurement["elapsed"]),
+        ("requests/s", "%.1f" % requests_per_s),
+        ("coalesce ratio", "%.3f" % coalesce_ratio),
+    ]
+    notes = [
+        "%d unique distance requests x %d copies each, submitted in "
+        "one burst before dispatch begins" % (UNIQUE, COPIES),
+        "coalesce ratio = (coalesced + store hits + batched) / "
+        "requests; the duplicate-heavy workload guarantees >= %.2f"
+        % ((COPIES - 1) / COPIES),
+        "service driven in-process (no sockets): the metric isolates "
+        "dispatch/coalescing machinery from TCP framing",
+    ]
+    emit_table(
+        "serve_throughput",
+        "repro serve burst throughput (%d requests, %d unique)"
+        % (total, UNIQUE),
+        ["quantity", "value"],
+        rows,
+        notes=notes,
+        metrics={"requests_per_s": requests_per_s,
+                 "coalesce_ratio": coalesce_ratio,
+                 "executions": stats["executions"]})
+    # Duplicates never execute: every copy beyond the first coalesces
+    # (in flight) or replays from the result store (finished).
+    assert stats["executions"] <= UNIQUE
+    assert coalesce_ratio >= (COPIES - 1) / COPIES

@@ -31,7 +31,8 @@ ORDER = [
      ["oscillator_applications", "quantum_noise", "ablation_dmm_memory",
       "ablation_topology", "cross_paradigm_ising", "ilp", "inmemory",
       "telemetry_overhead", "profiling_overhead", "kernel_throughput",
-      "parallel_scaling", "retry_overhead", "cache_warm"]),
+      "parallel_scaling", "retry_overhead", "cache_warm",
+      "serve_throughput"]),
 ]
 
 

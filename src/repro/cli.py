@@ -9,6 +9,9 @@ Small utilities a downstream user reaches for first:
 * ``profile``    -- run one of the above under the performance
   profiler: self/cumulative attribution table plus a Chrome trace
   (open in Perfetto; see ``docs/observability.md``).
+* ``serve``      -- long-running asyncio HTTP job service over the
+  kernels: priority admission, request coalescing, and the result
+  cache as a multi-tenant store (see ``docs/serving.md``).
 * ``reproduce``  -- how to regenerate every paper figure/claim.
 
 ``solve``, ``factor``, and ``distance`` accept the shared observability
@@ -232,6 +235,48 @@ def _build_parser():
                          help="the repro command to profile, with its "
                               "own arguments (e.g. 'factor 15 --seed 1')")
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the asyncio job service over the paradigm kernels",
+        description="Serve solve/factor/distance/detect jobs over HTTP "
+                    "on the shared persistent worker pool, with "
+                    "priority admission control, request coalescing, "
+                    "and the content-addressed result cache as the "
+                    "multi-tenant result store (see docs/serving.md).")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks a free one (default: "
+                            "%(default)s)")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                       help="queued jobs beyond this are rejected with "
+                            "429 (default: %(default)s)")
+    serve.add_argument("--tenant-quota", type=int, default=16,
+                       metavar="N",
+                       help="max jobs one tenant may hold queued or "
+                            "running; 0 disables quotas (default: "
+                            "%(default)s)")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="attempts per failed kernel chunk -- the "
+                            "default 2 retries a crashed worker once "
+                            "(default: %(default)s)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-chunk wall-clock budget for every job "
+                            "(enforced through the pool even at "
+                            "--workers 1)")
+    serve.add_argument("--batch-pairs", type=int, default=4096,
+                       metavar="N",
+                       help="pair budget when merging compatible queued "
+                            "distance jobs into one vectorized call "
+                            "(default: %(default)s)")
+    serve.add_argument("--job-concurrency", type=int, default=2,
+                       metavar="N",
+                       help="jobs dispatched concurrently (default: "
+                            "%(default)s)")
+    _add_observability_flags(serve)
+    _add_parallel_flags(serve)
+    _add_cache_flags(serve)
+
     commands.add_parser("reproduce",
                         help="how to regenerate the paper's results")
     return parser
@@ -452,6 +497,37 @@ def _run_profile(args, out):
     return code
 
 
+def _run_serve(args, out):
+    import asyncio
+
+    from .serve import JobService, ServeApp, ServeConfig
+
+    config = ServeConfig(
+        workers=args.workers, timeout=args.timeout, retries=args.retries,
+        cache=_cache_arg(args), queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota if args.tenant_quota > 0 else None,
+        batch_pairs=args.batch_pairs,
+        job_concurrency=args.job_concurrency)
+
+    async def _serve():
+        app = ServeApp(JobService(config), host=args.host, port=args.port)
+        await app.start()
+        out.write("repro serve listening on http://%s:%d\n"
+                  % (args.host, app.port))
+        out.write("POST /v1/jobs; GET /v1/jobs/<id>, /v1/healthz, "
+                  "/v1/metrics, /v1/stats; Ctrl-C stops\n")
+        try:
+            await app.serve_forever()
+        finally:
+            await app.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        out.write("repro serve stopped\n")
+    return 0
+
+
 def _run_reproduce(_args, out):
     out.write("regenerate every figure and in-text claim of the paper:\n\n")
     out.write("  pytest benchmarks/ --benchmark-only\n\n")
@@ -472,6 +548,7 @@ def main(argv=None, out=None):
         "factor": _run_factor,
         "distance": _run_distance,
         "profile": _run_profile,
+        "serve": _run_serve,
         "reproduce": _run_reproduce,
     }
     if args.command is None:

@@ -56,11 +56,16 @@ validation re-executes on the next run, it is not replayed.
 
 Telemetry: ``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
 ``cache.bytes`` (bytes written to disk) / ``cache.evictions`` (LRU
-drops from the memory tier).  Enable a cache process-wide with the
-``REPRO_CACHE_DIR`` environment variable, scoped with
+drops from the memory tier) / ``cache.disk_evictions`` (LRU drops from
+the disk tier when a byte budget is set).  Enable a cache process-wide
+with the ``REPRO_CACHE_DIR`` environment variable, scoped with
 :func:`use_cache`, or per call with the ``cache=`` keyword the kernel
-entry points accept; the CLI exposes ``--cache-dir`` / ``--no-cache``.
-See ``docs/caching.md``.
+entry points accept; the CLI exposes ``--cache-dir`` / ``--no-cache`` /
+``--cache-disk-bytes``.  The disk tier is unbounded by default (CLI
+compatibility); give it a byte budget with ``max_disk_bytes=`` or the
+``REPRO_CACHE_DISK_BYTES`` environment variable and the
+least-recently-used entries are evicted once a store exceeds it.  See
+``docs/caching.md``.
 """
 
 import collections
@@ -81,6 +86,10 @@ CACHE_FORMAT = "repro-cache-v1"
 
 #: Environment variable enabling a process-wide cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable giving the disk tier a byte budget (integer
+#: bytes; unset or empty means unbounded).
+CACHE_DISK_BYTES_ENV = "REPRO_CACHE_DISK_BYTES"
 
 #: Default capacity of the in-process LRU front (entries, not bytes).
 DEFAULT_MAX_MEMORY_ENTRIES = 256
@@ -181,8 +190,13 @@ class ResultCache:
         repeated kernels inside one process.
     max_memory_entries : int
         LRU capacity of the memory tier; the oldest entry is evicted
-        (``cache.evictions``) when a store would exceed it.  The disk
-        tier is unbounded.
+        (``cache.evictions``) when a store would exceed it.
+    max_disk_bytes : int or None
+        Byte budget for the disk tier; ``None`` (the default, also the
+        CLI's) leaves it unbounded.  When a store pushes the tier past
+        the budget, least-recently-used entry files (disk hits refresh
+        their mtime) are deleted until it fits again
+        (``cache.disk_evictions``).
 
     Notes
     -----
@@ -194,7 +208,8 @@ class ResultCache:
     reader sees either the complete entry or none.
     """
 
-    def __init__(self, cache_dir=None, max_memory_entries=None):
+    def __init__(self, cache_dir=None, max_memory_entries=None,
+                 max_disk_bytes=None):
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         if max_memory_entries is None:
             max_memory_entries = DEFAULT_MAX_MEMORY_ENTRIES
@@ -202,11 +217,18 @@ class ResultCache:
             raise CacheError("max_memory_entries must be >= 0, got %r"
                              % (max_memory_entries,))
         self.max_memory_entries = int(max_memory_entries)
+        if max_disk_bytes is not None and int(max_disk_bytes) < 0:
+            raise CacheError("max_disk_bytes must be >= 0 or None, got %r"
+                             % (max_disk_bytes,))
+        self.max_disk_bytes = None if max_disk_bytes is None \
+            else int(max_disk_bytes)
+        self._disk_used = None  # lazy incremental usage estimate
         self._memory = collections.OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.disk_evictions = 0
 
     # -- keying helpers ---------------------------------------------------
 
@@ -260,6 +282,7 @@ class ResultCache:
                                  % (json_path, error))
             self._check_fingerprint(json_path, document.get("fingerprint"),
                                     doc)
+            self._touch(json_path)
             value = document.get("value")
             if decode is not None:
                 value = decode(value)
@@ -273,8 +296,17 @@ class ResultCache:
                 raise CacheError("cannot read cache entry %r: %s"
                                  % (npz_path, error))
             self._check_fingerprint(npz_path, stored, doc)
+            self._touch(npz_path)
             return value, True
         return None, False
+
+    @staticmethod
+    def _touch(path):
+        """Refresh an entry's mtime so disk-budget eviction is an LRU."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover -- concurrently evicted
+            pass
 
     @staticmethod
     def _check_fingerprint(path, stored, expected):
@@ -303,13 +335,17 @@ class ResultCache:
         if json_path is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
+        # Scratch names carry the writer's pid: two processes storing
+        # the same key concurrently must not share a scratch file, or
+        # the slower one's rename races the faster one's commit.
         if encode is None and isinstance(value, np.ndarray):
-            scratch = npz_path + ".tmp"
+            scratch = "%s.%d.tmp" % (npz_path, os.getpid())
             with open(scratch, "wb") as handle:
                 np.savez(handle, value=value,
                          fingerprint=np.asarray(json.dumps(jsonable(doc))))
             os.replace(scratch, npz_path)
             written = os.path.getsize(npz_path)
+            stored_path = npz_path
         else:
             encoded = value if encode is None else encode(value)
             document = {"format": CACHE_FORMAT, "key": key,
@@ -320,14 +356,73 @@ class ResultCache:
                 raise CacheError(
                     "cache value for kind %r is not JSON-able (%s); pass "
                     "an encode hook" % (doc.get("kind"), error))
-            scratch = json_path + ".tmp"
+            scratch = "%s.%d.tmp" % (json_path, os.getpid())
             with open(scratch, "w") as handle:
                 handle.write(payload)
                 handle.write("\n")
             os.replace(scratch, json_path)
             written = len(payload) + 1
+            stored_path = json_path
         if registry.enabled:
             registry.counter("cache.bytes").inc(written)
+        self._enforce_disk_budget(written, stored_path)
+
+    def _disk_entries(self):
+        """``(path, mtime, size)`` for every committed entry file."""
+        entries = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:  # pragma: no cover -- directory vanished
+            return entries
+        for name in names:
+            if not name.endswith((".json", ".npz")):
+                continue  # scratch files commit or vanish on their own
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover -- concurrent eviction
+                continue
+            entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    def _enforce_disk_budget(self, written, keep):
+        """LRU-evict disk entry files once the byte budget is exceeded.
+
+        Keeps an incremental usage estimate so the common under-budget
+        store costs no directory scan; once the estimate crosses the
+        budget the directory is rescanned (concurrent writers drift the
+        estimate) and oldest-mtime entries are deleted until the tier
+        fits.  The entry just written (``keep``) is never evicted, so a
+        single entry larger than the whole budget still serves until
+        the next store displaces it.
+        """
+        if self.max_disk_bytes is None or self.cache_dir is None:
+            return
+        if self._disk_used is None:
+            self._disk_used = sum(size for _path, _mtime, size
+                                  in self._disk_entries())
+        else:
+            self._disk_used += written
+        if self._disk_used <= self.max_disk_bytes:
+            return
+        registry = telemetry.get_registry()
+        entries = self._disk_entries()
+        used = sum(size for _path, _mtime, size in entries)
+        for path, _mtime, size in sorted(
+                entries, key=lambda entry: (entry[1], entry[0])):
+            if used <= self.max_disk_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover -- concurrent eviction
+                continue
+            used -= size
+            self.disk_evictions += 1
+            if registry.enabled:
+                registry.counter("cache.disk_evictions").inc()
+        self._disk_used = used
 
     def _remember(self, key, value):
         if self.max_memory_entries == 0:
@@ -411,15 +506,33 @@ def set_result_cache(cache):
     return previous
 
 
-def cache_for_dir(cache_dir):
+def _env_disk_budget():
+    """The ``REPRO_CACHE_DISK_BYTES`` budget, or None when unset."""
+    raw = os.environ.get(CACHE_DISK_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise CacheError("%s must be an integer byte count, got %r"
+                         % (CACHE_DISK_BYTES_ENV, raw))
+
+
+def cache_for_dir(cache_dir, max_disk_bytes=None):
     """The shared :class:`ResultCache` for a directory.
 
     Memoized per absolute path so repeated kernels in one process share
-    the memory tier instead of re-reading disk entries.
+    the memory tier instead of re-reading disk entries.  The disk byte
+    budget comes from ``max_disk_bytes`` or, when that is None, the
+    ``REPRO_CACHE_DISK_BYTES`` environment variable; it only applies
+    when this call creates the cache (the first caller wins).
     """
     path = os.path.abspath(str(cache_dir))
     if path not in _dir_caches:
-        _dir_caches[path] = ResultCache(cache_dir=path)
+        if max_disk_bytes is None:
+            max_disk_bytes = _env_disk_budget()
+        _dir_caches[path] = ResultCache(cache_dir=path,
+                                        max_disk_bytes=max_disk_bytes)
     return _dir_caches[path]
 
 

@@ -99,3 +99,19 @@ class SolgError(MemcomputingError):
 
 class DmmConvergenceError(MemcomputingError):
     """The DMM dynamics failed to reach a solution within the budget."""
+
+
+class ServeError(ReproError):
+    """Errors from the ``repro serve`` job service."""
+
+
+class JobValidationError(ServeError):
+    """A submitted job's kind or parameters are malformed (HTTP 400)."""
+
+
+class QueueFullError(ServeError):
+    """Admission refused: the service queue is at capacity (HTTP 429)."""
+
+
+class QuotaError(ServeError):
+    """Admission refused: the tenant is at its concurrency quota (429)."""

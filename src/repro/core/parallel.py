@@ -76,11 +76,24 @@ Serial fallback
 ``workers=1`` (the default, also reachable through the ``REPRO_WORKERS``
 environment variable), a single-task map, or a platform without a usable
 multiprocessing start method all run the same chunk functions inline in
-the parent process -- same results, no subprocesses, no pickling.  The
-per-task ``timeout`` cannot be enforced there (nothing can preempt the
-inline call); the engine says so once per process with a
-``RuntimeWarning`` plus a ``parallel.timeout_unenforced`` counter/event
-instead of silently ignoring the budget.
+the parent process -- same results, no subprocesses, no pickling.  One
+exception: a ``timeout=`` forces the pool path even at ``workers=1``,
+because only a subprocess can be killed past its deadline -- a wedged
+inline call would hang the caller (fatal for a long-running service).
+Only a platform with *no* usable start method still runs timed maps
+inline; the engine says so once per process with a ``RuntimeWarning``
+plus a ``parallel.timeout_unenforced`` counter/event instead of
+silently ignoring the budget.
+
+Thread safety
+-------------
+A :class:`WorkerPool` serializes its rounds with a lock, so concurrent
+``map()`` calls from multiple threads (the ``repro serve`` dispatcher)
+queue up instead of interleaving dispatches and stealing each other's
+results.  ``shutdown()`` during an active round aborts that round
+cleanly: pending chunks come back as ``TaskFailure(reason="crashed")``,
+in-flight shared-memory segments are released, and no workers are
+respawned into the closed pool.
 """
 
 import atexit
@@ -88,6 +101,7 @@ import copy
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 import warnings
 
@@ -276,9 +290,9 @@ def _warn_timeout_unenforced(timeout, registry):
     if not _timeout_warning_emitted:
         _timeout_warning_emitted = True
         warnings.warn(
-            "ParallelMap(timeout=%g) is not enforceable on the serial "
-            "path (workers=1 or no multiprocessing start method); the "
-            "task(s) will run to completion" % timeout,
+            "ParallelMap(timeout=%g) is not enforceable without a usable "
+            "multiprocessing start method; the task(s) will run inline "
+            "to completion" % timeout,
             RuntimeWarning, stacklevel=3)
 
 
@@ -370,6 +384,12 @@ class WorkerPool:
         self.workers = []
         self._job_counter = 0
         self._closed = False
+        self._closing = False
+        # Serializes rounds: concurrent map() threads take turns on the
+        # pool instead of dispatching into the same slots and draining
+        # each other's results (which deadlocked and leaked the loser's
+        # in-flight shared-memory segments).
+        self._round_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -402,28 +422,40 @@ class WorkerPool:
             registry.counter("parallel.pool.restarts").inc()
 
     def shutdown(self):
-        """Stop every worker; the pool cannot be used afterwards."""
+        """Stop every worker; the pool cannot be used afterwards.
+
+        Safe to call while another thread is mid-round: the flag makes
+        the active round abort cleanly (its remaining chunks come back
+        as ``TaskFailure(reason="crashed")`` and its segments are
+        released), then the teardown below runs once the round lock is
+        free -- workers are never respawned into a closed pool and the
+        queues are only closed with no round in flight.
+        """
         if self._closed:
             return
-        self._closed = True
-        for worker in self.workers:
-            try:
-                worker.in_queue.put(None)
-            except (OSError, ValueError):  # pragma: no cover
-                pass
-        for worker in self.workers:
-            worker.process.join(timeout=1.0)
-            if worker.process.is_alive():
-                worker.process.terminate()
+        self._closing = True
+        with self._round_lock:
+            if self._closed:  # pragma: no cover -- lost the close race
+                return
+            self._closed = True
+            for worker in self.workers:
+                try:
+                    worker.in_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+            for worker in self.workers:
                 worker.process.join(timeout=1.0)
-            worker.release()
-            worker.in_queue.close()
-        self.workers = []
-        self.out_queue.close()
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+                worker.release()
+                worker.in_queue.close()
+            self.workers = []
+            self.out_queue.close()
 
     @property
     def closed(self):
-        return self._closed
+        return self._closed or self._closing
 
     # -- one retry round ---------------------------------------------------
 
@@ -434,7 +466,32 @@ class WorkerPool:
         Returns ``{index: value-or-TaskFailure}``; timeout and crash
         handling matches the old process-per-chunk scheduler, except
         that the affected slot is respawned instead of abandoned.
+
+        Rounds are serialized by the pool's lock: a second thread's
+        round waits for the first to finish instead of the two stealing
+        each other's dispatch slots and results.
         """
+        with self._round_lock:
+            if self._closed or self._closing:
+                raise ParallelError("worker pool is shut down")
+            return self._run_round_locked(fn, pairs, workers, timeout,
+                                          registry, attempt, plan)
+
+    def _abort_round(self, active, pending, outcomes):
+        """Shutdown arrived mid-round: fail what's left, reclaim segments."""
+        message = "worker pool shut down mid-round"
+        for worker in active:
+            if not worker.idle:
+                outcomes.setdefault(
+                    worker.busy_index,
+                    TaskFailure(worker.busy_index, "crashed", message))
+                worker.release()
+        for index, _task in pending:
+            outcomes.setdefault(index,
+                                TaskFailure(index, "crashed", message))
+
+    def _run_round_locked(self, fn, pairs, workers, timeout, registry,
+                          attempt, plan):
         self.ensure_workers(workers)
         instrument = registry.enabled
         self._job_counter += 1
@@ -447,6 +504,9 @@ class WorkerPool:
 
         try:
             while len(outcomes) < total:
+                if self._closing:
+                    self._abort_round(active, pending, outcomes)
+                    break
                 for worker in active:
                     if worker.idle and pending:
                         index, task = pending.pop(0)
@@ -497,6 +557,11 @@ class WorkerPool:
         finally:
             for worker in active:
                 if not worker.idle:
+                    if self._closing:
+                        # Shutdown in progress: reclaim segments only;
+                        # never respawn into a closing pool.
+                        worker.release()
+                        continue
                     # Abandoned mid-round (exception in the parent):
                     # the slot's task is unrecoverable, reset it.
                     slot = self.workers.index(worker)
@@ -536,19 +601,26 @@ class WorkerPool:
 
 #: Live pools, one per multiprocessing start method.
 _POOLS = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def _get_pool(context, registry):
-    """The persistent pool for ``context``'s start method (created once)."""
+    """The persistent pool for ``context``'s start method (created once).
+
+    Creation is locked so concurrent first maps from multiple threads
+    share one pool instead of racing two into existence (the loser's
+    workers would leak).
+    """
     key = context.get_start_method()
-    pool = _POOLS.get(key)
-    if pool is not None and not pool.closed:
-        if registry.enabled:
-            registry.counter("parallel.pool.reuses").inc()
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and not pool.closed:
+            if registry.enabled:
+                registry.counter("parallel.pool.reuses").inc()
+            return pool
+        pool = WorkerPool(context)
+        _POOLS[key] = pool
         return pool
-    pool = WorkerPool(context)
-    _POOLS[key] = pool
-    return pool
 
 
 def shutdown_pools():
@@ -576,9 +648,12 @@ class ParallelMap:
     timeout : float or None
         Per-task wall-clock budget in seconds.  A worker past its
         deadline is terminated and its chunk marked failed
-        (``reason="timeout"``).  Not enforceable on the serial path --
-        the engine warns once (``parallel.timeout_unenforced``) instead
-        of silently dropping the budget.
+        (``reason="timeout"``).  Setting a timeout routes the map
+        through the worker pool even at ``workers=1`` so the budget is
+        always enforced; only a platform with no usable multiprocessing
+        start method still runs inline, and there the engine warns once
+        (``parallel.timeout_unenforced``) instead of silently dropping
+        the budget.
     start_method : str or None
         Force a multiprocessing start method (mostly for tests); the
         default prefers ``fork`` and degrades to serial when the
@@ -674,9 +749,13 @@ class ParallelMap:
             # The context is chosen once per map and reused for every
             # retry round: a round that shrinks to one pending chunk
             # must NOT fall back to serial, or the timeout (and with it
-            # hang recovery) would silently stop being enforced.
-            context = _pick_context(self.start_method) if workers > 1 \
-                else None
+            # hang recovery) would silently stop being enforced.  For
+            # the same reason a timed map routes through the pool even
+            # at workers=1 -- only a subprocess can be killed past its
+            # deadline; a wedged inline call would hang the caller.
+            fanout = workers > 1 \
+                or (self.timeout is not None and bool(pending))
+            context = _pick_context(self.start_method) if fanout else None
             if context is None and self.timeout is not None and pending:
                 _warn_timeout_unenforced(self.timeout, registry)
             copy_tasks = retry is not None or plan is not None

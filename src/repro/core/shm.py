@@ -21,12 +21,33 @@ once the chunk's outcome is recorded (:func:`release_segments`); the
 engine does this per chunk, with a final sweep when the round ends.
 """
 
+import threading
+
 import numpy as np
 
 try:
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover -- stdlib module, but stay gated
     _shared_memory = None
+
+# Accounting of segments this process created but has not yet released.
+# A long-running service must converge back to zero after every round
+# (including kill/timeout/crash recovery); the leak regression tests in
+# ``tests/core/test_parallel.py`` and ``tests/serve`` hold it to that.
+_TRACK_LOCK = threading.Lock()
+_ACTIVE_SEGMENTS = set()
+
+
+def active_segment_count():
+    """Number of shared segments created here and not yet released."""
+    with _TRACK_LOCK:
+        return len(_ACTIVE_SEGMENTS)
+
+
+def active_segment_names():
+    """Names of the currently unreleased segments (diagnostics/tests)."""
+    with _TRACK_LOCK:
+        return sorted(_ACTIVE_SEGMENTS)
 
 #: Arrays at or above this many bytes ride in shared memory; smaller
 #: ones pickle through the queue as before (the segment setup would
@@ -68,6 +89,8 @@ class SharedArrayHandle:
 def _share_array(array, segments):
     segment = _shared_memory.SharedMemory(create=True, size=array.nbytes)
     segments.append(segment)
+    with _TRACK_LOCK:
+        _ACTIVE_SEGMENTS.add(segment.name)
     view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
     view[...] = array
     del view
@@ -120,6 +143,8 @@ def release_segments(segments):
     """Close and unlink every segment; tolerates repeated calls."""
     while segments:
         segment = segments.pop()
+        with _TRACK_LOCK:
+            _ACTIVE_SEGMENTS.discard(segment.name)
         try:
             segment.close()
             segment.unlink()

@@ -1,0 +1,271 @@
+"""Stdlib-asyncio HTTP front end for the ``repro serve`` job service.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` --
+no web framework, because the repo's only runtime dependency is numpy.
+It speaks just enough HTTP for job submission and polling:
+
+* ``POST /v1/jobs`` -- submit ``{"kind", "params", "tenant"?,
+  "priority"?, "wait"?}``.  Returns 202 with the job document, or 200
+  with the finished document when ``wait`` (seconds) is given and the
+  job completes in time.  400 on validation errors, 429 (with
+  ``Retry-After``) on backpressure.
+* ``GET /v1/jobs/<id>`` -- job status; ``?wait=SECONDS`` long-polls
+  until completion or the deadline.  404 for unknown ids.
+* ``GET /v1/healthz`` -- liveness.
+* ``GET /v1/metrics`` -- the telemetry registry snapshot.
+* ``GET /v1/stats`` -- service counters (requests, coalesced, ...).
+
+Connections are keep-alive; bodies are JSON and capped at
+``MAX_BODY_BYTES`` (413 beyond it).  All handling runs on the service's
+single event loop -- kernels run in the service's thread pool, so slow
+jobs never block new connections.
+"""
+
+import asyncio
+import json
+
+from ..core.exceptions import (
+    JobValidationError,
+    QueueFullError,
+    QuotaError,
+    ReproError,
+)
+from .service import JobService
+
+#: Request-body cap; large enough for MAX_IMAGE_PIXELS / MAX_PAIRS
+#: payloads with JSON overhead, small enough to bound per-request RAM.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Upper bound on ``wait`` long-polls so one client cannot pin a
+#: connection (and its job-table entry) forever.
+MAX_WAIT_SECONDS = 300.0
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            408: "Request Timeout", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+class _HttpError(Exception):
+    """Routed straight to an error response; never escapes the app."""
+
+    def __init__(self, status, message, retry_after=None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServeApp:
+    """Bind a :class:`~repro.serve.service.JobService` to a TCP port."""
+
+    def __init__(self, service=None, host="127.0.0.1", port=8080):
+        self.service = service if service is not None else JobService()
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        """Start the service and begin accepting connections.
+
+        With ``port=0`` the kernel picks a free port; read the bound
+        one back from :attr:`port` (how the tests avoid collisions).
+        """
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as error:
+                    # Parse errors lose request framing; answer and
+                    # drop the connection rather than guess at resync.
+                    await self._respond(writer, error.status,
+                                        {"error": error.message})
+                    break
+                if request is None:
+                    break
+                method, path, body = request
+                try:
+                    status, payload = await self._route(method, path, body)
+                    await self._respond(writer, status, payload)
+                except _HttpError as error:
+                    extra = {}
+                    if error.retry_after is not None:
+                        extra["Retry-After"] = str(error.retry_after)
+                    await self._respond(writer, error.status,
+                                        {"error": error.message}, extra)
+                except Exception as error:  # noqa: BLE001 -- keep serving
+                    await self._respond(
+                        writer, 500,
+                        {"error": "%s: %s" % (type(error).__name__, error)})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels live keep-alive handlers; ending
+            # the task quietly avoids asyncio's "exception in callback"
+            # log for a connection that is being torn down anyway.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader):
+        """One parsed request ``(method, path, body)``; None on EOF."""
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "request headers too large") from None
+        head, *header_lines = header_blob.decode(
+            "latin-1").split("\r\n")
+        parts = head.split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, path, _version = parts
+        content_length = 0
+        for line in header_lines:
+            if line.lower().startswith("content-length:"):
+                try:
+                    content_length = int(line.split(":", 1)[1].strip())
+                except ValueError:
+                    raise _HttpError(400,
+                                     "malformed Content-Length") from None
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body exceeds %d bytes"
+                             % MAX_BODY_BYTES)
+        body = b""
+        if content_length:
+            body = await reader.readexactly(content_length)
+        return method, path, body
+
+    async def _respond(self, writer, status, payload, extra_headers=None):
+        body = json.dumps(payload).encode()
+        headers = ["HTTP/1.1 %d %s" % (status,
+                                       _REASONS.get(status, "Unknown")),
+                   "Content-Type: application/json",
+                   "Content-Length: %d" % len(body),
+                   "Connection: keep-alive"]
+        for name, value in (extra_headers or {}).items():
+            headers.append("%s: %s" % (name, value))
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(self, method, path, body):
+        path, _, query = path.partition("?")
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise _HttpError(405, "use POST to submit jobs")
+            return await self._submit(body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, "use GET to poll jobs")
+            return await self._poll(path[len("/v1/jobs/"):], query)
+        if method != "GET":
+            raise _HttpError(405, "unsupported method %s" % method)
+        if path == "/v1/healthz":
+            return 200, {"status": "ok"}
+        if path == "/v1/metrics":
+            from ..core import telemetry
+            return 200, telemetry.get_registry().snapshot()
+        if path == "/v1/stats":
+            return 200, self.service.stats()
+        raise _HttpError(404, "unknown path %r" % path)
+
+    async def _submit(self, body):
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, "request body is not valid JSON: %s"
+                             % error) from None
+        if not isinstance(request, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        wait = self._wait_value(request.get("wait"))
+        try:
+            job = self.service.submit(
+                request.get("kind"), request.get("params", {}),
+                tenant=request.get("tenant", "anon"),
+                priority=request.get("priority"))
+        except JobValidationError as error:
+            raise _HttpError(400, str(error)) from None
+        except (QueueFullError, QuotaError) as error:
+            raise _HttpError(429, str(error), retry_after=1) from None
+        if wait:
+            await self._await_job(job, wait)
+        return (200 if job.finished else 202), job.describe()
+
+    async def _poll(self, job_id, query):
+        job = self.service.table.get(job_id)
+        if job is None:
+            raise _HttpError(404, "unknown job %r" % job_id)
+        wait = None
+        for param in query.split("&"):
+            name, _, value = param.partition("=")
+            if name == "wait":
+                wait = self._wait_value(value)
+        if wait and not job.finished:
+            await self._await_job(job, wait)
+        return 200, job.describe()
+
+    @staticmethod
+    def _wait_value(raw):
+        if raw in (None, "", False):
+            return None
+        try:
+            wait = float(raw)
+        except (TypeError, ValueError):
+            raise _HttpError(400, "'wait' must be a number of seconds"
+                             ) from None
+        if wait <= 0:
+            return None
+        return min(wait, MAX_WAIT_SECONDS)
+
+    @staticmethod
+    async def _await_job(job, wait):
+        # shield(): a long-poll timeout must not cancel the job future
+        # other waiters (and the dispatcher) still rely on.
+        try:
+            await asyncio.wait_for(asyncio.shield(job.future), wait)
+        except asyncio.TimeoutError:
+            pass
+
+
+async def run_app(config=None, host="127.0.0.1", port=8080,
+                  on_start=None):
+    """Run a service until cancelled (the CLI entry point's core)."""
+    app = ServeApp(JobService(config), host=host, port=port)
+    await app.start()
+    if on_start is not None:
+        on_start(app)
+    try:
+        await app.serve_forever()
+    except asyncio.CancelledError:
+        raise
+    finally:
+        await app.close()
+
+
+__all__ = ["ServeApp", "run_app", "MAX_BODY_BYTES", "MAX_WAIT_SECONDS"]

@@ -1,0 +1,85 @@
+"""Request coalescing and small-request batching for ``repro serve``.
+
+Two complementary mechanisms keep N callers from costing N kernel
+executions:
+
+* :class:`Coalescer` -- *identical* requests share one execution.  The
+  workload fingerprint from :mod:`repro.core.cache` (kind + canonical
+  parameters + code version) keys every in-flight primary job; a new
+  submission with the same key joins the primary as a *follower*
+  instead of queueing, and receives a copy of the primary's result the
+  moment it lands (``serve.coalesced`` counts followers).  Combined
+  with the result store, N identical requests -- concurrent or
+  sequential -- perform exactly one kernel execution.
+
+* :class:`DistanceBatcher` -- *compatible* (not identical) small
+  distance requests are merged at dispatch time.  When the dispatcher
+  pops a distance job it drains other queued distance jobs with the
+  same ``mode`` (same unit calibration) until ``max_pairs`` pairs are
+  gathered, and the whole batch runs as one vectorized
+  ``measure_batch`` call.  The PR 7 equivalence tier guarantees the
+  batched measures are bit-identical to scalar evaluation, so batching
+  is invisible in the results (``serve.batched`` counts jobs that rode
+  along; the ``serve.batch_pairs`` histogram records batch sizes).
+  There is no artificial delay: a lone distance job dispatches
+  immediately, batches only form from work that is already queued.
+"""
+
+
+class Coalescer:
+    """In-flight primary jobs keyed by workload fingerprint."""
+
+    def __init__(self):
+        self._inflight = {}
+
+    def primary_for(self, key):
+        """The in-flight primary for ``key``, or None."""
+        return self._inflight.get(key)
+
+    def register(self, key, job):
+        """Make ``job`` the in-flight primary for ``key``."""
+        self._inflight[key] = job
+
+    def resolve(self, key):
+        """The computation for ``key`` finished; stop attracting joins."""
+        self._inflight.pop(key, None)
+
+    def __len__(self):
+        return len(self._inflight)
+
+
+class DistanceBatcher:
+    """Dispatch-time merge of compatible queued distance jobs."""
+
+    def __init__(self, max_pairs=4096):
+        if int(max_pairs) < 1:
+            raise ValueError("max_pairs must be >= 1, got %r" % max_pairs)
+        self.max_pairs = int(max_pairs)
+
+    def gather(self, lead, queue):
+        """``[lead, ...compatible queued distance jobs]`` within budget.
+
+        Compatibility: same kind (``distance``) and same ``mode`` --
+        the unit calibration decides the response curve, so only
+        same-mode measures may share one vectorized call.  The combined
+        batch never exceeds ``max_pairs`` pairs (jobs are taken in
+        priority order until the budget is spent).
+        """
+        if lead.kind != "distance":
+            return [lead]
+        budget = self.max_pairs - len(lead.params["pairs"])
+        if budget <= 0:
+            return [lead]
+        state = {"budget": budget}
+        mode = lead.params["mode"]
+
+        def fits(job):
+            if job.kind != "distance" or job.params["mode"] != mode:
+                return False
+            cost = len(job.params["pairs"])
+            if cost > state["budget"]:
+                return False
+            state["budget"] -= cost
+            return True
+
+        return [lead] + queue.take_matching(fits, limit=queue.depth)

@@ -1,0 +1,123 @@
+"""Job records and the in-memory job table for ``repro serve``.
+
+A job is one accepted request: it gets a stable id, a lifecycle state
+(``queued -> running -> done | failed``), and an :class:`asyncio.Future`
+that resolves when the job finishes (the HTTP layer's long-poll and the
+dispatcher's bookkeeping both await it).  Jobs that join an identical
+in-flight computation (request coalescing, see
+:mod:`repro.serve.coalesce`) carry ``coalesced_with`` naming the
+primary job whose single execution produced their result.
+
+The :class:`JobTable` keeps every live job plus a bounded tail of
+finished ones (``retention``), so status polling works for a while
+after completion without the table growing forever under sustained
+traffic.
+"""
+
+import collections
+import time
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Finished jobs kept around for status polling, oldest dropped first.
+DEFAULT_RETENTION = 1024
+
+
+class Job:
+    """One accepted request and its lifecycle state."""
+
+    __slots__ = ("id", "kind", "params", "tenant", "priority", "key",
+                 "doc", "state", "result", "error", "cached",
+                 "coalesced_with", "followers", "submitted_at",
+                 "started_at", "finished_at", "future")
+
+    def __init__(self, job_id, kind, params, tenant, priority, key, doc):
+        self.id = job_id
+        self.kind = kind
+        self.params = params
+        self.tenant = tenant
+        self.priority = priority
+        self.key = key          # workload fingerprint (cache key)
+        self.doc = doc          # fingerprint document behind the key
+        self.state = QUEUED
+        self.result = None
+        self.error = None
+        self.cached = False
+        self.coalesced_with = None
+        self.followers = []
+        self.submitted_at = time.monotonic()
+        self.started_at = None
+        self.finished_at = None
+        self.future = None      # created by the service's event loop
+
+    @property
+    def finished(self):
+        return self.state in (DONE, FAILED)
+
+    def describe(self):
+        """JSON-able status document (the GET /v1/jobs/<id> body)."""
+        doc = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "cached": self.cached,
+            "coalesced_with": self.coalesced_with,
+        }
+        if self.state == DONE:
+            doc["result"] = self.result
+        if self.state == FAILED:
+            doc["error"] = self.error
+        return doc
+
+    def __repr__(self):
+        return "Job(id=%s, kind=%s, state=%s, tenant=%s)" % (
+            self.id, self.kind, self.state, self.tenant)
+
+
+class JobTable:
+    """All live jobs plus a bounded tail of finished ones."""
+
+    def __init__(self, retention=DEFAULT_RETENTION):
+        if int(retention) < 0:
+            raise ValueError("retention must be >= 0, got %r" % retention)
+        self.retention = int(retention)
+        self._jobs = collections.OrderedDict()
+        self._counter = 0
+
+    def create(self, kind, params, tenant, priority, key, doc):
+        """A fresh :class:`Job` registered under a new id."""
+        self._counter += 1
+        job = Job("job-%06d" % self._counter, kind, params, tenant,
+                  priority, key, doc)
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id):
+        return self._jobs.get(job_id)
+
+    def drop(self, job_id):
+        """Remove a job that was never admitted (rejected at submit)."""
+        self._jobs.pop(job_id, None)
+
+    def prune(self):
+        """Drop the oldest finished jobs beyond the retention cap."""
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.finished]
+        excess = len(finished) - self.retention
+        for job_id in finished[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    def stats(self):
+        """Job counts by lifecycle state."""
+        counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def __len__(self):
+        return len(self._jobs)

@@ -16,7 +16,9 @@ Three layers of coverage:
 """
 
 import json
+import multiprocessing
 import os
+import time
 
 import numpy as np
 import pytest
@@ -45,6 +47,14 @@ from repro.core.sat_instances import planted_ksat
 
 def _square(x):
     return x * x
+
+
+def _hammer_store(cache_dir):
+    """Child-process body for the same-key concurrent-store race test."""
+    cache = ResultCache(cache_dir=cache_dir, max_memory_entries=0)
+    spec = cache.spec("race", {"n": 7})
+    for _ in range(50):
+        spec.store([1.5, 2.5, 3.5], index=0)
 
 
 def _rng_sum(payload):
@@ -227,6 +237,118 @@ class TestResultCache:
         spec.store([1], index=0)
         assert spec.lookup(0)[0]
         assert telemetry.get_registry().snapshot() == {}
+
+
+class TestDiskBudget:
+    """The disk tier's byte budget: LRU eviction, counters, env knob."""
+
+    @staticmethod
+    def _entry_files(tmp_path):
+        return sorted(name for name in os.listdir(tmp_path)
+                      if name.endswith((".json", ".npz")))
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        spec = cache.spec("demo", {})
+        for index in range(20):
+            spec.store([index] * 50, index=index)
+        assert cache.disk_evictions == 0
+        assert len(self._entry_files(tmp_path)) == 20
+
+    @staticmethod
+    def _entry_size(tmp_path):
+        """On-disk size of one entry (all test entries are same-sized)."""
+        probe_dir = str(tmp_path / "probe")
+        probe = ResultCache(cache_dir=probe_dir)
+        probe.spec("demo", {}).store([0.0] * 55, index=0)
+        (name,) = os.listdir(probe_dir)
+        return os.path.getsize(os.path.join(probe_dir, name))
+
+    def test_budget_evicts_oldest_first(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir=cache_dir,
+                            max_disk_bytes=int(size * 2.5))
+        spec = cache.spec("demo", {})
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            for index in range(4):
+                spec.store([float(index)] * 55, index=index)
+                time.sleep(0.02)    # distinct mtimes => deterministic LRU
+        assert cache.disk_evictions == 2
+        snapshot = registry.snapshot()
+        assert snapshot["cache.disk_evictions"]["value"] == 2
+        cache.clear_memory()
+        # the two newest survive, the two oldest are gone
+        assert spec.lookup(3) == (True, [3.0] * 55)
+        assert spec.lookup(2) == (True, [2.0] * 55)
+        assert spec.lookup(1) == (False, None)
+        assert spec.lookup(0) == (False, None)
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir=cache_dir,
+                            max_disk_bytes=int(size * 2.5))
+        spec = cache.spec("demo", {})
+        spec.store([0.0] * 55, index=0)
+        time.sleep(0.02)
+        spec.store([1.0] * 55, index=1)
+        time.sleep(0.02)
+        cache.clear_memory()
+        assert spec.lookup(0)[0]    # disk hit refreshes entry 0's mtime
+        time.sleep(0.02)
+        spec.store([2.0] * 55, index=2)   # over budget: evicts entry 1
+        cache.clear_memory()
+        assert spec.lookup(0) == (True, [0.0] * 55)
+        assert spec.lookup(1) == (False, None)
+        assert spec.lookup(2) == (True, [2.0] * 55)
+
+    def test_oversized_entry_survives_until_displaced(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path), max_disk_bytes=10)
+        spec = cache.spec("demo", {})
+        spec.store([1.0] * 50, index=0)    # larger than the whole budget
+        assert len(self._entry_files(tmp_path)) == 1
+        time.sleep(0.02)
+        spec.store([2.0] * 50, index=1)    # displaces the previous one
+        assert len(self._entry_files(tmp_path)) == 1
+        cache.clear_memory()
+        assert spec.lookup(1) == (True, [2.0] * 50)
+
+    def test_env_budget_applies_to_dir_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(result_cache.CACHE_DISK_BYTES_ENV, "4096")
+        cache = result_cache.cache_for_dir(str(tmp_path / "budgeted"))
+        assert cache.max_disk_bytes == 4096
+        monkeypatch.setenv(result_cache.CACHE_DISK_BYTES_ENV, "not-bytes")
+        with pytest.raises(CacheError, match="integer byte count"):
+            result_cache.cache_for_dir(str(tmp_path / "other"))
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(CacheError, match="max_disk_bytes"):
+            ResultCache(cache_dir=str(tmp_path), max_disk_bytes=-1)
+
+
+class TestConcurrentStores:
+    def test_same_key_store_race_yields_one_valid_entry(self, tmp_path):
+        # Multiple processes storing the same content-addressed key at
+        # once: every writer must succeed, exactly one committed entry
+        # remains, and it passes the fingerprint check.
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(target=_hammer_store, args=(str(tmp_path),))
+            for _ in range(3)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60.0)
+        assert all(process.exitcode == 0 for process in processes)
+        names = os.listdir(tmp_path)
+        assert not [name for name in names if name.endswith(".tmp")]
+        assert len([name for name in names if name.endswith(".json")]) == 1
+        cache = ResultCache(cache_dir=str(tmp_path))
+        assert cache.spec("race", {"n": 7}).lookup(0) \
+            == (True, [1.5, 2.5, 3.5])
 
 
 class TestActiveCachePlumbing:

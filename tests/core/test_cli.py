@@ -217,6 +217,36 @@ class TestWorkersFlag:
         assert any(event["name"] == "parallel.map" for event in events)
 
 
+class TestServeCommand:
+    def test_parser_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8080)
+        assert args.queue_depth == 64
+        assert args.tenant_quota == 16
+        assert args.retries == 2
+        assert args.timeout is None
+        assert args.batch_pairs == 4096
+        assert args.job_concurrency == 2
+        assert args.workers is None and args.cache_dir is None
+
+    def test_parser_accepts_overrides(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-depth", "8",
+             "--tenant-quota", "0", "--workers", "auto",
+             "--timeout", "2.5", "--no-cache"])
+        assert args.port == 0
+        assert args.queue_depth == 8
+        assert args.tenant_quota == 0
+        assert args.workers == "auto"
+        assert args.timeout == 2.5
+        assert args.no_cache
+
+
 class TestResilienceFlags:
     @pytest.fixture()
     def instance_path(self, tmp_path):

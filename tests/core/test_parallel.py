@@ -13,6 +13,7 @@ Three layers:
 """
 
 import os
+import threading
 import time
 import warnings
 
@@ -22,7 +23,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import parallel as parallel_module
-from repro.core import telemetry
+from repro.core import shm, telemetry
 from repro.core.exceptions import ParallelError
 from repro.core.parallel import (
     AUTO,
@@ -73,6 +74,10 @@ def _sleep_on_zero(x):
 
 def _return_zero(_x):
     return 0
+
+
+def _sum_array(task):
+    return float(task.sum())
 
 
 def _return_falsy(x):
@@ -218,38 +223,58 @@ class TestParallelMap:
         assert parallel_map(_square, [2, 3], workers=2) == [4, 9]
 
 
-class TestSerialTimeoutWarning:
-    """A timeout the serial path cannot enforce is flagged, not ignored."""
+class TestTimeoutEnforcement:
+    """``timeout=`` is enforced through the pool even at ``workers=1``;
+    only a platform without a start method still warns instead."""
 
-    def test_serial_timeout_warns_once(self):
+    def teardown_method(self):
+        shutdown_pools()
+
+    def test_workers_one_timeout_routes_through_pool_and_kills(self):
         _reset_timeout_warning()
-        with pytest.warns(RuntimeWarning, match="not enforceable"):
-            ParallelMap(workers=1, timeout=5.0).map(_square, [1, 2])
-        # once per process: a second serial map stays quiet
+        start = time.monotonic()
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert ParallelMap(workers=1, timeout=5.0).map(
-                _square, [3]) == [9]
+            results = ParallelMap(workers=1, timeout=1.0).map(
+                _sleep_on_zero, [0, 1, 2], on_error="return")
+        elapsed = time.monotonic() - start
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].reason == "timeout"
+        assert results[1] == 1 and results[2] == 2
+        assert elapsed < 15.0  # never waits out the 30s sleep
 
-    def test_serial_timeout_counted_and_evented(self):
+    def test_workers_one_without_timeout_stays_serial(self):
+        shutdown_pools()
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            assert ParallelMap(workers=1).map(_square, [1, 2]) == [1, 4]
+        assert registry.counter("parallel.pool.spawns").value == 0
+
+    def test_no_start_method_warns_once(self):
+        _reset_timeout_warning()
+        engine = ParallelMap(workers=4, timeout=5.0,
+                             start_method="no-such-method")
+        with pytest.warns(RuntimeWarning, match="not enforceable"):
+            assert engine.map(_square, [2, 3]) == [4, 9]
+        # once per process: a second unenforceable map stays quiet
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert engine.map(_square, [3]) == [9]
+
+    def test_no_start_method_counted_and_evented(self):
         _reset_timeout_warning()
         registry = telemetry.MetricsRegistry()
         sink = registry.add_sink(telemetry.ListSink())
+        engine = ParallelMap(workers=1, timeout=2.5,
+                             start_method="no-such-method")
         with telemetry.use_registry(registry):
             with pytest.warns(RuntimeWarning):
-                ParallelMap(workers=1, timeout=2.5).map(_square, [1])
+                engine.map(_square, [1])
         assert registry.counter("parallel.timeout_unenforced").value == 1
         events = [event for event in sink.events
                   if event.get("name") == "parallel.timeout_unenforced"]
         assert len(events) == 1
         assert events[0]["attrs"]["timeout"] == 2.5
-
-    def test_no_start_method_also_warns(self):
-        _reset_timeout_warning()
-        engine = ParallelMap(workers=4, timeout=1.0,
-                             start_method="no-such-method")
-        with pytest.warns(RuntimeWarning, match="not enforceable"):
-            assert engine.map(_square, [2, 3]) == [4, 9]
 
     def test_process_path_does_not_warn(self):
         _reset_timeout_warning()
@@ -400,6 +425,67 @@ class TestWorkerPoolLifecycle:
         assert registry.counter("parallel.pool.restarts").value >= 1
         assert all(worker.process.is_alive()
                    for worker in _pool().workers)
+
+    def test_killed_worker_mid_map_leaks_no_segments(self, fault_plan):
+        # Payload arrays above the shm threshold ride in shared memory;
+        # a kill fault mid-chunk must not leave its segments behind.
+        fault_plan([(1, 1, "kill")])
+        tasks = [np.full((130, 128), float(i)) for i in range(4)]
+        assert tasks[0].nbytes >= shm.SHARE_THRESHOLD_BYTES
+        results = ParallelMap(workers=2).map(_sum_array, tasks, retry=2)
+        assert results == [float(i) * 130 * 128 for i in range(4)]
+        assert shm.active_segment_count() == 0
+
+    def test_timed_out_worker_leaks_no_segments(self, fault_plan):
+        fault_plan([(0, 1, "hang")])
+        tasks = [np.full((130, 128), float(i)) for i in range(3)]
+        results = ParallelMap(workers=2, timeout=1.0).map(
+            _sum_array, tasks, retry=2)
+        assert results == [float(i) * 130 * 128 for i in range(3)]
+        assert shm.active_segment_count() == 0
+
+    def test_concurrent_maps_from_threads_share_pool(self):
+        # Two threads mapping at once must take turns on the pool, not
+        # interleave dispatches and steal each other's results.
+        results = {}
+
+        def run(name, values):
+            results[name] = ParallelMap(workers=2).map(_square, values)
+
+        threads = [
+            threading.Thread(target=run, args=("a", [1, 2, 3, 4])),
+            threading.Thread(target=run, args=("b", [5, 6, 7, 8])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert results["a"] == [1, 4, 9, 16]
+        assert results["b"] == [25, 36, 49, 64]
+        assert shm.active_segment_count() == 0
+
+    def test_shutdown_mid_round_aborts_cleanly(self):
+        # shutdown() while a round is running must fail the round's
+        # remaining chunks instead of crashing on a closed queue or
+        # respawning workers into the closed pool.
+        engine = ParallelMap(workers=2)
+        assert engine.map(_square, [1, 2]) == [1, 4]
+        pool = _pool()
+
+        closer = threading.Thread(
+            target=lambda: (time.sleep(0.5), shutdown_pools()))
+        closer.start()
+        results = engine.map(_sleep_on_zero, [0, 1], on_error="return")
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].reason == "crashed"
+        assert pool.closed
+        assert pool.workers == []
+        assert shm.active_segment_count() == 0
+        # the next map transparently builds a fresh pool
+        assert engine.map(_square, [3, 4]) == [9, 16]
 
 
 class TestAutoWorkers:
