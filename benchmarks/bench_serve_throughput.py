@@ -20,7 +20,14 @@ Emitted metrics:
   batched ride-alongs over total requests).  The workload makes the
   floor exact: with every duplicate coalescing or replaying, at least
   ``(COPIES-1)/COPIES`` of all requests are saved, so the committed
-  baseline pins ``{"min": 0.6}`` under ``COPIES = 3``.
+  baseline pins ``{"min": 0.6}`` under ``COPIES = 3``;
+* ``serve_p50_ms`` / ``serve_p95_ms`` / ``serve_p99_ms`` -- streaming
+  quantiles of the per-job submit-to-settle latency, read from the
+  ``serve.latency_seconds`` histogram the service records (the burst
+  runs under a live registry).  ``serve_p95_ms`` carries an absolute
+  ``{"max"}`` pin in the committed baseline: tail latency of the
+  serving stack is a budget, not a trend, so breaching it is a hard
+  CI failure (see ``tools/check_perf.py``).
 """
 
 import asyncio
@@ -28,6 +35,7 @@ import time
 
 from conftest import emit_table
 
+from repro.core import telemetry
 from repro.serve import JobService, ServeConfig
 
 UNIQUE = 40
@@ -59,13 +67,20 @@ async def _drive_burst():
             expected = by_key.setdefault(job.key,
                                          job.result["measures"])
             assert job.result["measures"] == expected
-        return {"elapsed": elapsed, "stats": service.stats()}
+        latency = telemetry.get_registry().snapshot().get(
+            "serve.latency_seconds", {})
+        return {"elapsed": elapsed, "stats": service.stats(),
+                "latency": latency}
     finally:
         await service.close()
 
 
 def run_serve_burst():
-    return asyncio.run(_drive_burst())
+    # A live registry so the service records serve.latency_seconds --
+    # the burst is the one place the suite measures serving tail
+    # latency.
+    with telemetry.use_registry(telemetry.MetricsRegistry()):
+        return asyncio.run(_drive_burst())
 
 
 def test_serve_throughput(benchmark):
@@ -77,6 +92,11 @@ def test_serve_throughput(benchmark):
              + stats["batched"])
     coalesce_ratio = saved / total
     requests_per_s = total / measurement["elapsed"]
+    latency = measurement["latency"]
+    quantiles_ms = {
+        name: (latency.get(name) or 0.0) * 1000.0
+        for name in ("p50", "p95", "p99")
+    }
     rows = [
         ("requests", total),
         ("unique workloads", UNIQUE),
@@ -87,6 +107,9 @@ def test_serve_throughput(benchmark):
         ("elapsed [s]", "%.3f" % measurement["elapsed"]),
         ("requests/s", "%.1f" % requests_per_s),
         ("coalesce ratio", "%.3f" % coalesce_ratio),
+        ("latency p50 [ms]", "%.2f" % quantiles_ms["p50"]),
+        ("latency p95 [ms]", "%.2f" % quantiles_ms["p95"]),
+        ("latency p99 [ms]", "%.2f" % quantiles_ms["p99"]),
     ]
     notes = [
         "%d unique distance requests x %d copies each, submitted in "
@@ -106,7 +129,10 @@ def test_serve_throughput(benchmark):
         notes=notes,
         metrics={"requests_per_s": requests_per_s,
                  "coalesce_ratio": coalesce_ratio,
-                 "executions": stats["executions"]})
+                 "executions": stats["executions"],
+                 "serve_p50_ms": quantiles_ms["p50"],
+                 "serve_p95_ms": quantiles_ms["p95"],
+                 "serve_p99_ms": quantiles_ms["p99"]})
     # Duplicates never execute: every copy beyond the first coalesces
     # (in flight) or replays from the result store (finished).
     assert stats["executions"] <= UNIQUE

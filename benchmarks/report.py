@@ -36,6 +36,36 @@ ORDER = [
 ]
 
 
+def _serving_latency_lines(results_dir):
+    """A p50/p95/p99 serving-latency table, when the serve benchmark
+    ran (the quantiles come from the ``serve.latency_seconds``
+    streaming histogram; ``serve_p95_ms`` is the hard-pinned budget in
+    ``baseline.json``).
+    """
+    path = os.path.join(results_dir, "serve_throughput.json")
+    if not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        metrics = json.load(handle).get("metrics", {})
+    quantiles = [(label, metrics.get("serve_%s_ms" % label))
+                 for label in ("p50", "p95", "p99")]
+    if any(value is None for _label, value in quantiles):
+        return []
+    return [
+        "## Serving latency",
+        "",
+        "| quantile | submit-to-settle [ms] |",
+        "|----------|----------------------:|",
+    ] + ["| %s | %.2f |" % (label, value)
+         for label, value in quantiles] + [
+        "",
+        "Streaming quantiles of `serve.latency_seconds` over the "
+        "`serve_throughput` burst; `serve_p95_ms` is a hard `max` "
+        "budget in `baseline.json` (see `docs/observability.md`).",
+        "",
+    ]
+
+
 def build_report(results_dir=RESULTS_DIR):
     """Return the REPORT.md text; raises FileNotFoundError when empty."""
     if not os.path.isdir(results_dir):
@@ -56,6 +86,7 @@ def build_report(results_dir=RESULTS_DIR):
         "and `DESIGN.md` for the experiment index.",
         "",
     ]
+    lines.extend(_serving_latency_lines(results_dir))
     covered = set()
     for section, names in ORDER:
         present = [name for name in names if name in available]

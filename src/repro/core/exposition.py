@@ -1,0 +1,121 @@
+"""Prometheus text exposition of a telemetry registry snapshot.
+
+One function, :func:`render_prometheus`, turns the JSON-friendly
+snapshot produced by :meth:`MetricsRegistry.snapshot` into the
+Prometheus text format (version 0.0.4): counters gain the conventional
+``_total`` suffix, gauges expose their level, and histograms are
+rendered as *summaries* -- ``quantile="0.5|0.95|0.99"`` series from the
+streaming log-bucket quantiles plus ``_sum``/``_count`` -- because the
+library's histograms accumulate mergeable moments and bucket counts,
+not Prometheus-style cumulative le-buckets.
+
+Labeled series (``base{key=value}`` names, see
+:mod:`repro.core.telemetry`) decode back into real Prometheus labels;
+metric and label names are sanitized to the exposition grammar
+(``docs/observability.md`` documents the mapping).  The output is
+validated in CI against the vendored checker in ``tools/prom_lint.py``.
+"""
+
+import math
+
+from . import telemetry
+
+
+def prometheus_name(name):
+    """Map a dotted metric name onto the Prometheus name grammar."""
+    out = []
+    for index, ch in enumerate(name):
+        if ch.isalnum() and (index or not ch.isdigit()) or ch == "_":
+            out.append(ch)
+        elif ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    return "".join(out) or "_"
+
+
+def escape_label_value(value):
+    """Escape a label value per the text-format rules."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value):
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_body(labels, extra=None):
+    pairs = [(key, value) for key, value in sorted(labels.items())]
+    if extra:
+        pairs += list(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (prometheus_name(key), escape_label_value(value))
+        for key, value in pairs)
+
+
+def render_prometheus(snapshot):
+    """The snapshot as Prometheus text exposition (one string).
+
+    Families are emitted in sorted base-name order, each with one
+    ``# HELP``/``# TYPE`` pair followed by its samples (the unlabeled
+    series first, then labeled series in sorted name order).
+    """
+    families = {}  # prometheus family name -> (kind, [(labels, entry)])
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        base, labels = telemetry.parse_metric(name)
+        kind = entry.get("kind")
+        family = prometheus_name(base)
+        if kind == "counter":
+            family += "_total"
+        known = families.setdefault(family, (kind, []))
+        if known[0] != kind:
+            # A dotted name and a labeled name collapsing onto the same
+            # exposition family with different kinds: skip the clash
+            # rather than emit an invalid exposition.
+            continue
+        known[1].append((labels, entry))
+    lines = []
+    for family in sorted(families):
+        kind, series = families[family]
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "summary"}.get(kind)
+        if prom_type is None:
+            continue
+        lines.append("# HELP %s repro %s" % (family, kind))
+        lines.append("# TYPE %s %s" % (family, prom_type))
+        for labels, entry in series:
+            if kind in ("counter", "gauge"):
+                lines.append("%s%s %s" % (family, _label_body(labels),
+                                          _format_value(entry.get("value"))))
+                continue
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                                  ("0.99", "p99")):
+                value = entry.get(key)
+                if value is None and entry.get("count"):
+                    value = telemetry.histogram_quantile(entry,
+                                                         float(quantile))
+                if value is not None:
+                    lines.append("%s%s %s" % (
+                        family,
+                        _label_body(labels, [("quantile", quantile)]),
+                        _format_value(value)))
+            lines.append("%s_sum%s %s" % (family, _label_body(labels),
+                                          _format_value(entry.get("total"))))
+            lines.append("%s_count%s %s" % (
+                family, _label_body(labels),
+                _format_value(entry.get("count", 0))))
+    return "\n".join(lines) + "\n" if lines else ""

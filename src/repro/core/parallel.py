@@ -105,7 +105,7 @@ import threading
 import time
 import warnings
 
-from . import resilience, shm, telemetry
+from . import resilience, shm, telemetry, tracing
 from .exceptions import ParallelError
 from .tracing import ListSink
 
@@ -311,7 +311,7 @@ def _pool_worker_main(in_queue, out_queue):
         message = in_queue.get()
         if message is None:
             return
-        job, fn, task, index, attempt, plan, instrument = message
+        job, fn, task, index, attempt, plan, instrument, trace = message
         start = time.perf_counter()
         sink = None
         try:
@@ -321,8 +321,16 @@ def _pool_worker_main(in_queue, out_queue):
                 sink = registry.add_sink(ListSink())
             else:
                 registry = telemetry.NULL_REGISTRY
-            with telemetry.use_registry(registry):
-                value = resilience.run_task(fn, task, index, attempt, plan)
+            with telemetry.use_registry(registry), tracing.use_trace(trace):
+                # A chunk span only when a request trace is flowing
+                # through: plain parallel runs keep their event stream
+                # (and merged snapshot) exactly as before.
+                chunk_span = telemetry.span(
+                    "parallel.chunk", index=index, attempt=attempt) \
+                    if trace is not None else tracing.NULL_SPAN
+                with chunk_span:
+                    value = resilience.run_task(fn, task, index, attempt,
+                                                plan)
             elapsed = time.perf_counter() - start
             payload = (registry.snapshot(), sink.events) if instrument \
                 else None
@@ -420,6 +428,10 @@ class WorkerPool:
         self.workers[slot] = self._spawn_slot()
         if registry.enabled:
             registry.counter("parallel.pool.restarts").inc()
+            # Named in tracing.DEFAULT_FLIGHT_TRIGGERS: a FlightRecorder
+            # sink dumps its ring when this passes through.
+            registry.emit(tracing.point_event("parallel.pool.restart",
+                                              {"slot": slot}))
 
     def shutdown(self):
         """Stop every worker; the pool cannot be used afterwards.
@@ -494,6 +506,7 @@ class WorkerPool:
                           attempt, plan):
         self.ensure_workers(workers)
         instrument = registry.enabled
+        trace = tracing.current_trace_id()
         self._job_counter += 1
         job = self._job_counter
         pending = list(pairs)
@@ -513,7 +526,7 @@ class WorkerPool:
                         payload = shm.share_payload(task, worker.segments)
                         worker.in_queue.put(
                             (job, fn, payload, index, attempt, plan,
-                             instrument))
+                             instrument, trace))
                         worker.busy_index = index
                         worker.deadline = None if timeout is None \
                             else time.monotonic() + timeout

@@ -163,17 +163,20 @@ class Profile:
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_events(cls, events):
+    def from_events(cls, events, trace=None):
         """Build a profile from telemetry span events.
 
         Events tagged with a ``"worker"`` key (spans merged back from
         parallel workers) are reconstructed as separate streams -- each
         worker has its own stack -- and aggregated into the same tree by
-        path.
+        path.  Pass ``trace`` to restrict the profile to one request's
+        events (those carrying that ``"trace"`` id).
         """
         streams = {}
         for event in events:
             if not isinstance(event, dict):
+                continue
+            if trace is not None and event.get("trace") != trace:
                 continue
             streams.setdefault(event.get("worker"), []).append(event)
         profile = cls()

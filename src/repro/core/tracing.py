@@ -21,18 +21,72 @@ Three sinks cover the observability edges:
 When telemetry is disabled (the default), :func:`span` returns a shared
 no-op context manager, so an instrumented region pays two attribute
 lookups and no clock read.
+
+Spans and events additionally carry a **trace id** when one is active:
+:func:`new_trace_id` mints one, :func:`use_trace` installs it on the
+current context (a :class:`contextvars.ContextVar`, so concurrent
+asyncio tasks keep distinct traces), and every span/event produced
+under it records ``"trace"``.  The serving stack mints one id per HTTP
+request and ships it across executor threads and worker processes, so
+a single Chrome-trace export shows the request's whole life.
 """
 
+import collections
+import contextlib
+import contextvars
 import json
+import os
 import threading
 import time
 
 from . import telemetry
 
+# -- trace context ---------------------------------------------------------
+
+_trace_var = contextvars.ContextVar("repro_trace_id", default=None)
+
+
+def new_trace_id():
+    """A fresh 16-hex-char trace id (cryptographically random)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id():
+    """The trace id active on this context, or None.
+
+    The innermost open span's trace wins (a span inherits and pins the
+    id that was active when it opened); otherwise the ambient value
+    installed by :func:`use_trace`.
+    """
+    for open_span in reversed(_stack()):
+        if open_span.trace is not None:
+            return open_span.trace
+    return _trace_var.get()
+
+
+@contextlib.contextmanager
+def use_trace(trace_id):
+    """Scoped activation: install ``trace_id``, restore the old one after.
+
+    Passing None is allowed and simply clears the ambient id for the
+    scope, so callers can forward a maybe-absent id unconditionally.
+    """
+    token = _trace_var.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _trace_var.reset(token)
+
 
 def point_event(name, attrs=None, clock=time.time):
-    """Event dict for an instantaneous occurrence (no duration)."""
+    """Event dict for an instantaneous occurrence (no duration).
+
+    Tagged with the active trace id, when there is one.
+    """
     event = {"type": "event", "name": name, "ts": clock()}
+    trace = current_trace_id()
+    if trace is not None:
+        event["trace"] = trace
     if attrs:
         event["attrs"] = dict(attrs)
     return event
@@ -80,7 +134,7 @@ class Span:
     """
 
     __slots__ = ("registry", "name", "attrs", "depth", "parent", "status",
-                 "start_ts", "_start_perf", "duration_s")
+                 "start_ts", "_start_perf", "duration_s", "trace")
 
     def __init__(self, registry, name, attrs=None):
         self.registry = registry
@@ -92,6 +146,7 @@ class Span:
         self.start_ts = None
         self._start_perf = None
         self.duration_s = None
+        self.trace = None
 
     def __bool__(self):
         return True
@@ -104,6 +159,8 @@ class Span:
         stack = _stack()
         self.depth = len(stack)
         self.parent = stack[-1].name if stack else None
+        if self.trace is None:
+            self.trace = current_trace_id()
         stack.append(self)
         self.start_ts = time.time()
         self._start_perf = time.perf_counter()
@@ -135,6 +192,8 @@ class Span:
             "parent": self.parent,
             "status": self.status,
         }
+        if self.trace is not None:
+            event["trace"] = self.trace
         if self.attrs:
             event["attrs"] = self.attrs
         return event
@@ -311,6 +370,8 @@ def chrome_trace_events(events):
             continue
         tid = _chrome_tid(event)
         args = dict(event.get("attrs") or {})
+        if event.get("trace") is not None:
+            args.setdefault("trace", event["trace"])
         ts_us = float(event.get("ts") or 0.0) * 1e6
         if event.get("type") == "span":
             if event.get("status", "ok") != "ok":
@@ -396,3 +457,71 @@ class ChromeTraceSink(TraceSink):
         if self.events or not self.events_written:
             self.events_written = write_chrome_trace(self.events, self.path)
             self.events = []
+
+
+# -- flight recorder -------------------------------------------------------
+
+#: Event names that make a :class:`FlightRecorder` dump automatically;
+#: a pool-worker restart is the one in-library crash signal.
+DEFAULT_FLIGHT_TRIGGERS = ("parallel.pool.restart",)
+
+
+class FlightRecorder(TraceSink):
+    """Bounded ring of recent trace events, dumped to disk on failure.
+
+    Attach to a registry like any sink; it retains the last
+    ``capacity`` events in memory and writes them all out as one JSONL
+    file (newest last, preceded by a ``{"type": "flight", ...}`` header
+    line) when :meth:`dump` is called -- either explicitly (the job
+    service dumps when a job fails) or automatically when an event
+    named in ``triggers`` passes through (a killed worker's restart).
+    Only the most recent ``keep`` dump files are retained.
+    """
+
+    def __init__(self, directory, capacity=256,
+                 triggers=DEFAULT_FLIGHT_TRIGGERS, keep=8, clock=time.time):
+        self.directory = directory
+        self.capacity = capacity
+        self.triggers = frozenset(triggers)
+        self.keep = keep
+        self._clock = clock
+        self._ring = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dump_paths = []
+        self.dumps_written = 0
+
+    def emit(self, event):
+        with self._lock:
+            self._ring.append(event)
+        if event.get("name") in self.triggers:
+            self.dump(str(event.get("name")))
+
+    def dump(self, reason):
+        """Write the ring to a new JSONL file; returns its path."""
+        safe = "".join(ch if (ch.isalnum() or ch in "._-") else "-"
+                       for ch in str(reason))[:80] or "dump"
+        with self._lock:
+            events = list(self._ring)
+            sequence = self.dumps_written
+            self.dumps_written += 1
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory,
+                            "flight-%04d-%s.jsonl" % (sequence, safe))
+        with open(path, "w") as handle:
+            header = {"type": "flight", "reason": str(reason),
+                      "ts": self._clock(), "events": len(events)}
+            handle.write(json.dumps(header, default=str,
+                                    separators=(",", ":")) + "\n")
+            for event in events:
+                handle.write(json.dumps(event, default=str,
+                                        separators=(",", ":")) + "\n")
+        with self._lock:
+            self._dump_paths.append(path)
+            stale = self._dump_paths[:-self.keep] if self.keep else []
+            self._dump_paths = self._dump_paths[len(stale):]
+        for old in stale:
+            try:
+                os.remove(old)
+            except OSError:
+                pass
+        return path

@@ -12,18 +12,29 @@ It speaks just enough HTTP for job submission and polling:
 * ``GET /v1/jobs/<id>`` -- job status; ``?wait=SECONDS`` long-polls
   until completion or the deadline.  404 for unknown ids.
 * ``GET /v1/healthz`` -- liveness.
-* ``GET /v1/metrics`` -- the telemetry registry snapshot.
+* ``GET /v1/metrics`` -- the telemetry registry snapshot;
+  ``?format=prometheus`` renders the text exposition instead
+  (:mod:`repro.core.exposition`).
+* ``GET /v1/slo`` -- burn-rate report of the configured SLO spec.
 * ``GET /v1/stats`` -- service counters (requests, coalesced, ...).
 
-Connections are keep-alive; bodies are JSON and capped at
+Connections are keep-alive; bodies are JSON (string payloads render as
+``text/plain`` -- the Prometheus exposition) and capped at
 ``MAX_BODY_BYTES`` (413 beyond it).  All handling runs on the service's
 single event loop -- kernels run in the service's thread pool, so slow
 jobs never block new connections.
+
+Every request is minted a ``trace_id`` before routing; it flows through
+``submit()`` into the job, the dispatcher, and the worker pool, and the
+request's handling itself is recorded as a ``serve.http`` span under
+the same id (see ``docs/observability.md``).
 """
 
 import asyncio
 import json
+import time
 
+from ..core import exposition, telemetry, tracing
 from ..core.exceptions import (
     JobValidationError,
     QueueFullError,
@@ -103,19 +114,29 @@ class ServeApp:
                 if request is None:
                     break
                 method, path, body = request
+                trace_id = tracing.new_trace_id()
+                start_ts = time.time()
+                start_perf = time.perf_counter()
+                status = None
                 try:
-                    status, payload = await self._route(method, path, body)
+                    status, payload = await self._route(method, path, body,
+                                                        trace_id)
                     await self._respond(writer, status, payload)
                 except _HttpError as error:
+                    status = error.status
                     extra = {}
                     if error.retry_after is not None:
                         extra["Retry-After"] = str(error.retry_after)
                     await self._respond(writer, error.status,
                                         {"error": error.message}, extra)
                 except Exception as error:  # noqa: BLE001 -- keep serving
+                    status = 500
                     await self._respond(
                         writer, 500,
                         {"error": "%s: %s" % (type(error).__name__, error)})
+                finally:
+                    self._emit_http_span(trace_id, method, path, status,
+                                         start_ts, start_perf)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -160,11 +181,44 @@ class ServeApp:
             body = await reader.readexactly(content_length)
         return method, path, body
 
+    def _emit_http_span(self, trace_id, method, path, status, start_ts,
+                        start_perf):
+        """Span event for one request's HTTP handling, under its trace.
+
+        Built by hand rather than with a stack span: request handling
+        straddles ``await``s, so concurrent connections' spans would
+        corrupt a real per-thread span stack.
+        """
+        registry = telemetry.get_registry()
+        if not registry.enabled:
+            return
+        duration = time.perf_counter() - start_perf
+        registry.histogram("serve.http.seconds").observe(duration)
+        registry.emit({
+            "type": "span",
+            "name": "serve.http",
+            "ts": start_ts,
+            "duration_s": duration,
+            "depth": 0,
+            "parent": None,
+            "status": "ok" if status is not None and status < 500
+            else "error",
+            "trace": trace_id,
+            "attrs": {"method": method, "path": path, "status": status},
+        })
+
     async def _respond(self, writer, status, payload, extra_headers=None):
-        body = json.dumps(payload).encode()
+        # A pre-rendered string (the Prometheus exposition) ships as
+        # text/plain; everything else is a JSON document.
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         headers = ["HTTP/1.1 %d %s" % (status,
                                        _REASONS.get(status, "Unknown")),
-                   "Content-Type: application/json",
+                   "Content-Type: %s" % content_type,
                    "Content-Length: %d" % len(body),
                    "Connection: keep-alive"]
         for name, value in (extra_headers or {}).items():
@@ -174,12 +228,12 @@ class ServeApp:
 
     # -- routing -----------------------------------------------------------
 
-    async def _route(self, method, path, body):
+    async def _route(self, method, path, body, trace_id):
         path, _, query = path.partition("?")
         if path == "/v1/jobs":
             if method != "POST":
                 raise _HttpError(405, "use POST to submit jobs")
-            return await self._submit(body)
+            return await self._submit(body, trace_id)
         if path.startswith("/v1/jobs/"):
             if method != "GET":
                 raise _HttpError(405, "use GET to poll jobs")
@@ -189,13 +243,25 @@ class ServeApp:
         if path == "/v1/healthz":
             return 200, {"status": "ok"}
         if path == "/v1/metrics":
-            from ..core import telemetry
-            return 200, telemetry.get_registry().snapshot()
+            fmt = "json"
+            for param in query.split("&"):
+                name, _, value = param.partition("=")
+                if name == "format" and value:
+                    fmt = value
+            snapshot = telemetry.get_registry().snapshot()
+            if fmt == "prometheus":
+                return 200, exposition.render_prometheus(snapshot)
+            if fmt != "json":
+                raise _HttpError(400, "unknown metrics format %r "
+                                 "(expected 'json' or 'prometheus')" % fmt)
+            return 200, snapshot
+        if path == "/v1/slo":
+            return 200, self.service.slo_report()
         if path == "/v1/stats":
             return 200, self.service.stats()
         raise _HttpError(404, "unknown path %r" % path)
 
-    async def _submit(self, body):
+    async def _submit(self, body, trace_id):
         try:
             request = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -208,7 +274,8 @@ class ServeApp:
             job = self.service.submit(
                 request.get("kind"), request.get("params", {}),
                 tenant=request.get("tenant", "anon"),
-                priority=request.get("priority"))
+                priority=request.get("priority"),
+                trace_id=trace_id)
         except JobValidationError as error:
             raise _HttpError(400, str(error)) from None
         except (QueueFullError, QuotaError) as error:

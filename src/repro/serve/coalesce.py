@@ -40,6 +40,17 @@ class Coalescer:
         """Make ``job`` the in-flight primary for ``key``."""
         self._inflight[key] = job
 
+    def join(self, primary, follower):
+        """Attach ``follower`` to ``primary``'s in-flight execution.
+
+        The follower records both which primary it joined and that
+        primary's trace id, so a request that never executed still
+        points at the trace that did the work.
+        """
+        follower.coalesced_with = primary.id
+        follower.joined_trace = primary.trace_id
+        primary.followers.append(follower)
+
     def resolve(self, key):
         """The computation for ``key`` finished; stop attracting joins."""
         self._inflight.pop(key, None)

@@ -32,9 +32,11 @@ class Job:
     __slots__ = ("id", "kind", "params", "tenant", "priority", "key",
                  "doc", "state", "result", "error", "cached",
                  "coalesced_with", "followers", "submitted_at",
-                 "started_at", "finished_at", "future")
+                 "started_at", "finished_at", "future", "trace_id",
+                 "joined_trace")
 
-    def __init__(self, job_id, kind, params, tenant, priority, key, doc):
+    def __init__(self, job_id, kind, params, tenant, priority, key, doc,
+                 trace_id=None):
         self.id = job_id
         self.kind = kind
         self.params = params
@@ -52,6 +54,12 @@ class Job:
         self.started_at = None
         self.finished_at = None
         self.future = None      # created by the service's event loop
+        self.trace_id = trace_id
+        # Trace of the execution this job's result actually came from:
+        # set for coalesced followers (the primary's trace) and for
+        # batch riders (the batch lead's trace); None when this job's
+        # own trace did the work.
+        self.joined_trace = None
 
     @property
     def finished(self):
@@ -67,7 +75,10 @@ class Job:
             "priority": self.priority,
             "cached": self.cached,
             "coalesced_with": self.coalesced_with,
+            "trace_id": self.trace_id,
         }
+        if self.joined_trace is not None:
+            doc["joined_trace"] = self.joined_trace
         if self.state == DONE:
             doc["result"] = self.result
         if self.state == FAILED:
@@ -89,11 +100,12 @@ class JobTable:
         self._jobs = collections.OrderedDict()
         self._counter = 0
 
-    def create(self, kind, params, tenant, priority, key, doc):
+    def create(self, kind, params, tenant, priority, key, doc,
+               trace_id=None):
         """A fresh :class:`Job` registered under a new id."""
         self._counter += 1
         job = Job("job-%06d" % self._counter, kind, params, tenant,
-                  priority, key, doc)
+                  priority, key, doc, trace_id=trace_id)
         self._jobs[job.id] = job
         return job
 

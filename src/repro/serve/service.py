@@ -39,9 +39,10 @@ import time
 import numpy as np
 
 from ..core import cache as result_cache
-from ..core import telemetry
+from ..core import telemetry, tracing
 from ..core.exceptions import JobValidationError, ReproError
 from ..core.parallel import resolve_workers
+from . import slo as slo_module
 from . import jobs as jobs_module
 from .admission import (
     DEFAULT_MAX_DEPTH,
@@ -64,6 +65,10 @@ MAX_ATTEMPTS = 64
 MAX_STEPS = 5_000_000
 
 KINDS = ("solve", "factor", "distance", "detect")
+
+#: Distinct tenants tracked individually in /v1/stats before new ones
+#: fold into the "other" bucket (mirrors telemetry.MAX_LABEL_SETS).
+MAX_STAT_TENANTS = 64
 
 
 class ServeConfig:
@@ -100,13 +105,24 @@ class ServeConfig:
         ahead of the pool, not parallelism inside it.
     retention : int
         Finished jobs kept for status polling.
+    slo : None, path, or SloSpec
+        Declarative latency/error objectives (:mod:`repro.serve.slo`);
+        a path is loaded eagerly so a bad spec fails at startup, not at
+        the first ``GET /v1/slo``.
+    flight_dir : None or path
+        Directory for flight-recorder dumps: a bounded ring of recent
+        trace events written out when a job fails or a pool worker is
+        restarted (:class:`repro.core.tracing.FlightRecorder`).
+    flight_events : int
+        Ring capacity for the flight recorder.
     """
 
     def __init__(self, workers=None, timeout=None, retries=2, cache=None,
                  queue_depth=DEFAULT_MAX_DEPTH,
                  tenant_quota=DEFAULT_TENANT_QUOTA,
                  batch_pairs=4096, job_concurrency=2,
-                 retention=jobs_module.DEFAULT_RETENTION):
+                 retention=jobs_module.DEFAULT_RETENTION,
+                 slo=None, flight_dir=None, flight_events=256):
         self.workers = resolve_workers(workers)
         self.timeout = timeout
         self.retries = int(retries)
@@ -116,6 +132,11 @@ class ServeConfig:
         self.batch_pairs = int(batch_pairs)
         self.job_concurrency = max(1, int(job_concurrency))
         self.retention = int(retention)
+        if isinstance(slo, (str, bytes)):
+            slo = slo_module.load_slo(slo)
+        self.slo = slo
+        self.flight_dir = flight_dir
+        self.flight_events = int(flight_events)
 
 
 # -- request validation -----------------------------------------------------
@@ -307,6 +328,17 @@ _RUNNERS = {"solve": _run_solve, "factor": _run_factor,
             "detect": _run_detect, "distance": _run_distance_single}
 
 
+def _run_traced(trace_id, fn, *args):
+    """Run ``fn`` on an executor thread under the request's trace id.
+
+    ``run_in_executor`` does not copy the submitting task's context, so
+    the id is re-installed explicitly; every span the kernel (and the
+    worker pool beneath it) opens then carries the request's trace.
+    """
+    with tracing.use_trace(trace_id):
+        return fn(*args)
+
+
 class JobService:
     """The transport-independent core of ``repro serve``."""
 
@@ -332,9 +364,15 @@ class JobService:
         self.executions = 0
         self.completed = 0
         self.failed = 0
+        # Per-tenant mirrors for /v1/stats, bounded like the label
+        # cardinality cap: past MAX_STAT_TENANTS distinct tenants, new
+        # ones fold into the "other" bucket.
+        self.tenant_stats = {}
         self._dispatchers = []
         self._executor = None
         self._own_registry = None
+        self._flight = None
+        self._closing = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -348,6 +386,14 @@ class JobService:
             # when the embedding process left telemetry off.
             self._own_registry = telemetry.MetricsRegistry()
             telemetry.set_registry(self._own_registry)
+        registry = telemetry.get_registry()
+        if self.config.flight_dir and registry.enabled \
+                and hasattr(registry, "add_sink"):
+            self._flight = tracing.FlightRecorder(
+                self.config.flight_dir,
+                capacity=self.config.flight_events)
+            registry.add_sink(self._flight)
+        self._closing = False
         loop = asyncio.get_running_loop()
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=self.config.job_concurrency,
@@ -357,6 +403,7 @@ class JobService:
 
     async def close(self):
         """Stop dispatching; running kernels finish, queued jobs fail."""
+        self._closing = True
         for task in self._dispatchers:
             task.cancel()
         await asyncio.gather(*self._dispatchers, return_exceptions=True)
@@ -367,6 +414,11 @@ class JobService:
         while self.queue.depth:
             job = self.queue.take_matching(lambda _job: True, 1)[0]
             self._fail(job, ReproError("service shut down"))
+        if self._flight is not None:
+            registry = telemetry.get_registry()
+            if hasattr(registry, "remove_sink"):
+                registry.remove_sink(self._flight)
+            self._flight = None
         if self._own_registry is not None \
                 and telemetry.get_registry() is self._own_registry:
             telemetry.set_registry(None)
@@ -374,13 +426,17 @@ class JobService:
 
     # -- submission (event-loop side) --------------------------------------
 
-    def submit(self, kind, params, tenant="anon", priority=None):
+    def submit(self, kind, params, tenant="anon", priority=None,
+               trace_id=None):
         """Accept one request; returns its :class:`Job`.
 
         Raises :class:`~repro.core.exceptions.JobValidationError` (bad
         request), :class:`~repro.core.exceptions.QueueFullError`, or
         :class:`~repro.core.exceptions.QuotaError` (backpressure).
-        Must be called on the service's event loop.
+        Must be called on the service's event loop.  ``trace_id`` is
+        the request's end-to-end trace identity (the HTTP layer mints
+        one per request); when absent the service mints its own, so
+        every job always has one.
         """
         if priority is None:
             priority = DEFAULT_PRIORITY
@@ -393,44 +449,70 @@ class JobService:
             raise JobValidationError(
                 "'tenant' must be a non-empty string of <= 64 characters")
         params = validate_request(kind, params)
+        if trace_id is None:
+            trace_id = tracing.new_trace_id()
         registry = telemetry.get_registry()
+        labels = {"tenant": tenant, "kind": kind}
         self.requests += 1
+        self._tenant_bucket(tenant)["requests"] += 1
         if registry.enabled:
             registry.counter("serve.requests").inc()
             registry.counter("serve.requests.%s" % kind).inc()
+            registry.counter("serve.requests", labels=labels).inc()
         doc = result_cache.fingerprint("serve.%s" % kind,
                                        _fingerprint_meta(kind, params))
         key = result_cache.cache_key(doc)
-        job = self.table.create(kind, params, tenant, priority, key, doc)
+        job = self.table.create(kind, params, tenant, priority, key, doc,
+                                trace_id=trace_id)
         job.future = asyncio.get_event_loop().create_future()
 
-        primary = self.coalescer.primary_for(key)
-        if primary is not None and not primary.finished:
-            job.coalesced_with = primary.id
-            primary.followers.append(job)
-            self.coalesced += 1
-            if registry.enabled:
-                registry.counter("serve.coalesced").inc()
-            return job
-
-        if self.cache is not None:
-            hit, value = self.cache.lookup(key, doc)
-            if hit:
-                job.cached = True
-                self.cache_hits += 1
+        # submit() is synchronous on the event loop, so a real stack
+        # span is safe here (it cannot interleave with another task's).
+        with tracing.use_trace(trace_id), \
+                telemetry.span("serve.admission", job=job.id, kind=kind,
+                               tenant=tenant) as admission:
+            primary = self.coalescer.primary_for(key)
+            if primary is not None and not primary.finished:
+                self.coalescer.join(primary, job)
+                self.coalesced += 1
+                self._tenant_bucket(tenant)["coalesced"] += 1
                 if registry.enabled:
-                    registry.counter("serve.cache_hits").inc()
-                self._settle(job, DONE, result=value)
-                self.table.prune()
+                    registry.counter("serve.coalesced").inc()
+                    registry.counter("serve.coalesced", labels=labels).inc()
+                    telemetry.event("serve.coalesce", job=job.id,
+                                    primary=primary.id,
+                                    primary_trace=primary.trace_id)
+                if admission:
+                    admission.set_attr("outcome", "coalesced")
                 return job
 
-        try:
-            self.queue.push(job)
-        except ReproError:
-            self.table.drop(job.id)
-            raise
-        self.coalescer.register(key, job)
-        return job
+            if self.cache is not None:
+                hit, value = self.cache.lookup(key, doc)
+                if hit:
+                    job.cached = True
+                    self.cache_hits += 1
+                    self._tenant_bucket(tenant)["cache_hits"] += 1
+                    if registry.enabled:
+                        registry.counter("serve.cache_hits").inc()
+                        registry.counter("serve.cache_hits",
+                                         labels=labels).inc()
+                    self._settle(job, DONE, result=value)
+                    self.table.prune()
+                    if admission:
+                        admission.set_attr("outcome", "cache_hit")
+                    return job
+
+            try:
+                self.queue.push(job)
+            except ReproError:
+                self.table.drop(job.id)
+                if admission:
+                    admission.set_attr("outcome", "rejected")
+                raise
+            self.coalescer.register(key, job)
+            if admission:
+                admission.set_attr("outcome", "queued")
+            return job
 
     # -- dispatch (event-loop + thread-pool side) --------------------------
 
@@ -446,33 +528,78 @@ class JobService:
                     registry.counter("serve.batched").inc(len(batch) - 1)
                     registry.histogram("serve.batch_pairs").observe(
                         sum(len(job.params["pairs"]) for job in batch))
+                for rider in batch[1:]:
+                    # The lead's trace is the one that executes; riders
+                    # keep their own id but record whose ride they took.
+                    rider.joined_trace = lead.trace_id
+                    self._tenant_bucket(rider.tenant)["batched"] += 1
+                    if registry.enabled:
+                        registry.counter(
+                            "serve.batched",
+                            labels={"tenant": rider.tenant,
+                                    "kind": rider.kind}).inc()
             for job in batch:
                 job.state = RUNNING
                 job.started_at = time.monotonic()
             self.executions += 1
+            self._tenant_bucket(lead.tenant)["executions"] += 1
             if registry.enabled:
                 registry.counter("serve.executions").inc()
+                registry.counter("serve.executions",
+                                 labels={"tenant": lead.tenant,
+                                         "kind": lead.kind}).inc()
+            dispatch_start = (time.time(), time.perf_counter())
+            status = "ok"
             try:
                 if len(batch) > 1:
                     results = await loop.run_in_executor(
-                        self._executor, _run_distance_batch,
-                        lead.params["mode"],
+                        self._executor, _run_traced, lead.trace_id,
+                        _run_distance_batch, lead.params["mode"],
                         [job.params["pairs"] for job in batch])
                 else:
                     results = [await loop.run_in_executor(
-                        self._executor, _RUNNERS[lead.kind], lead.params,
-                        self.config)]
+                        self._executor, _run_traced, lead.trace_id,
+                        _RUNNERS[lead.kind], lead.params, self.config)]
             except asyncio.CancelledError:
                 for job in batch:
                     self._fail(job, ReproError("service shut down"))
                 raise
             except Exception as error:  # noqa: BLE001 -- jobs absorb it
+                status = "error"
                 for job in batch:
                     self._fail(job, error)
             else:
                 for job, result in zip(batch, results):
                     self._finish(job, result)
+            if registry.enabled:
+                self._emit_dispatch_span(registry, lead, batch, status,
+                                         dispatch_start)
             self.table.prune()
+
+    def _emit_dispatch_span(self, registry, lead, batch, status, start):
+        """Span event for one dispatch, under the lead job's trace.
+
+        Built by hand rather than with a stack span: the dispatch
+        straddles an ``await``, so other tasks' spans could interleave
+        with a real per-thread span stack.
+        """
+        start_ts, start_perf = start
+        duration = time.perf_counter() - start_perf
+        registry.histogram("serve.dispatch.seconds").observe(duration)
+        event = {
+            "type": "span",
+            "name": "serve.dispatch",
+            "ts": start_ts,
+            "duration_s": duration,
+            "depth": 0,
+            "parent": None,
+            "status": status,
+            "attrs": {"job": lead.id, "kind": lead.kind,
+                      "jobs": len(batch)},
+        }
+        if lead.trace_id is not None:
+            event["trace"] = lead.trace_id
+        registry.emit(event)
 
     # -- completion --------------------------------------------------------
 
@@ -492,6 +619,8 @@ class JobService:
             self._settle(follower, FAILED, error=detail)
         self.coalescer.resolve(job.key)
         self.queue.release(job.tenant)
+        if self._flight is not None and not self._closing:
+            self._flight.dump("job-failed-%s" % job.id)
 
     def _settle(self, job, state, result=None, error=None):
         registry = telemetry.get_registry()
@@ -499,23 +628,47 @@ class JobService:
         job.result = result
         job.error = error
         job.finished_at = time.monotonic()
+        outcome = "ok" if state == DONE else "error"
         if state == DONE:
             self.completed += 1
+            self._tenant_bucket(job.tenant)["completed"] += 1
             if registry.enabled:
                 registry.counter("serve.completed").inc()
         else:
             self.failed += 1
+            self._tenant_bucket(job.tenant)["failed"] += 1
             if registry.enabled:
                 registry.counter("serve.failures").inc()
         if registry.enabled:
+            registry.counter("serve.outcomes",
+                             labels={"tenant": job.tenant,
+                                     "kind": job.kind,
+                                     "outcome": outcome}).inc()
             latency = job.finished_at - job.submitted_at
             registry.histogram("serve.latency_seconds").observe(latency)
             registry.histogram(
                 "serve.latency.%s" % job.kind).observe(latency)
+            registry.histogram("serve.latency_seconds",
+                               labels={"tenant": job.tenant,
+                                       "kind": job.kind}).observe(latency)
         if job.future is not None and not job.future.done():
             job.future.set_result(job)
 
     # -- introspection -----------------------------------------------------
+
+    def _tenant_bucket(self, tenant):
+        """The per-tenant stats dict, folding past the cardinality cap."""
+        bucket = self.tenant_stats.get(tenant)
+        if bucket is None:
+            if len(self.tenant_stats) >= MAX_STAT_TENANTS \
+                    and tenant != "other":
+                return self._tenant_bucket("other")
+            bucket = self.tenant_stats[tenant] = {
+                "requests": 0, "coalesced": 0, "cache_hits": 0,
+                "batched": 0, "executions": 0, "completed": 0,
+                "failed": 0,
+            }
+        return bucket
 
     def stats(self):
         """JSON-able service statistics (the /v1/stats body)."""
@@ -533,4 +686,20 @@ class JobService:
             "coalesce_ratio": (self.coalesced + self.cache_hits
                                + self.batched) / max(1, self.requests),
             "requests_per_execution": self.requests / executed,
+            "tenants": {tenant: dict(bucket)
+                        for tenant, bucket
+                        in sorted(self.tenant_stats.items())},
         }
+
+    def slo_report(self):
+        """Burn-rate report of the configured SLO spec (the /v1/slo body).
+
+        Without a spec the report is trivially ok, with a note saying
+        how to load one.
+        """
+        if self.config.slo is None:
+            return {"ok": True, "objectives": [],
+                    "counts": {"total": 0, "breached": 0},
+                    "note": "no SLO spec loaded; start with --slo PATH"}
+        snapshot = telemetry.get_registry().snapshot()
+        return slo_module.evaluate(self.config.slo, snapshot)

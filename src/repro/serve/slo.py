@@ -1,0 +1,239 @@
+"""Declarative SLOs evaluated against a telemetry snapshot.
+
+A spec is a list of objectives, each naming an optional ``kind`` /
+``tenant`` filter plus a latency target (milliseconds at a quantile)
+and/or an error-rate budget::
+
+    [[objective]]
+    name = "distance-p95"
+    kind = "distance"       # omit or "*" to match every kind
+    tenant = "*"            # omit or "*" to match every tenant
+    latency_ms = 250.0
+    quantile = 0.95         # default
+    error_rate = 0.01       # optional error budget
+
+JSON carries the same shape under an ``"objectives"`` key.  TOML specs
+need :mod:`tomllib` (Python 3.11+); on older interpreters use JSON --
+:func:`load_slo` raises :class:`SloError` with that advice.
+
+Evaluation reads the labeled serving metrics
+(``serve.latency_seconds{kind=...,tenant=...}`` histograms and the
+``serve.outcomes{...}`` counters): matching series are merged with the
+exact histogram-entry algebra, the requested quantile comes from the
+streaming log buckets, and each objective reports a **burn rate** --
+observed value divided by objective -- so 1.0 is the breach line.
+Burn rates here are cumulative over the snapshot's lifetime, not
+windowed; restart the registry (or serve process) to reset the clock.
+"""
+
+import json
+
+from ..core import telemetry
+from ..core.exceptions import SloError
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover -- Python < 3.11
+    tomllib = None
+
+_WILDCARD = (None, "", "*")
+
+#: Quantile keys the streaming histograms precompute.
+_QUANTILES = {0.5: "p50", 0.95: "p95", 0.99: "p99"}
+
+
+class Objective:
+    """One SLO: filters plus a latency and/or error-rate target."""
+
+    __slots__ = ("name", "kind", "tenant", "latency_ms", "quantile",
+                 "error_rate")
+
+    def __init__(self, name, kind=None, tenant=None, latency_ms=None,
+                 quantile=0.95, error_rate=None):
+        self.name = str(name)
+        self.kind = None if kind in _WILDCARD else str(kind)
+        self.tenant = None if tenant in _WILDCARD else str(tenant)
+        self.latency_ms = None if latency_ms is None else float(latency_ms)
+        self.quantile = float(quantile)
+        self.error_rate = None if error_rate is None else float(error_rate)
+        if self.latency_ms is None and self.error_rate is None:
+            raise SloError(
+                "objective %r needs latency_ms and/or error_rate"
+                % self.name)
+        if self.latency_ms is not None and self.latency_ms <= 0:
+            raise SloError("objective %r: latency_ms must be positive"
+                           % self.name)
+        if not 0.0 < self.quantile < 1.0:
+            raise SloError("objective %r: quantile must be in (0, 1)"
+                           % self.name)
+        if self.error_rate is not None and not 0.0 < self.error_rate <= 1.0:
+            raise SloError("objective %r: error_rate must be in (0, 1]"
+                           % self.name)
+
+    @classmethod
+    def from_dict(cls, doc):
+        if not isinstance(doc, dict):
+            raise SloError("objective must be a table/object, got %r"
+                           % (doc,))
+        unknown = set(doc) - {"name", "kind", "tenant", "latency_ms",
+                              "quantile", "error_rate"}
+        if unknown:
+            raise SloError("objective has unknown fields: %s"
+                           % ", ".join(sorted(unknown)))
+        if "name" not in doc:
+            raise SloError("objective is missing its name")
+        return cls(**doc)
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "kind": self.kind or "*",
+            "tenant": self.tenant or "*",
+            "latency_ms": self.latency_ms,
+            "quantile": self.quantile,
+            "error_rate": self.error_rate,
+        }
+
+
+class SloSpec:
+    """A parsed spec: an ordered list of :class:`Objective`."""
+
+    def __init__(self, objectives):
+        self.objectives = list(objectives)
+        if not self.objectives:
+            raise SloError("SLO spec declares no objectives")
+
+    @classmethod
+    def from_dict(cls, doc):
+        if not isinstance(doc, dict):
+            raise SloError("SLO spec must be a table/object, got %r"
+                           % (doc,))
+        raw = doc.get("objectives", doc.get("objective"))
+        if not isinstance(raw, list):
+            raise SloError(
+                'SLO spec needs an "objectives" (JSON) or "[[objective]]" '
+                "(TOML) list")
+        return cls(Objective.from_dict(entry) for entry in raw)
+
+
+def load_slo(path):
+    """Parse a TOML or JSON SLO spec file into an :class:`SloSpec`."""
+    if str(path).endswith(".toml"):
+        if tomllib is None:
+            raise SloError(
+                "TOML SLO specs need Python 3.11+ (tomllib); "
+                "use a JSON spec instead: %s" % path)
+        with open(path, "rb") as handle:
+            try:
+                doc = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as error:
+                raise SloError("invalid TOML in %s: %s" % (path, error))
+    else:
+        with open(path) as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise SloError("invalid JSON in %s: %s" % (path, error))
+    return SloSpec.from_dict(doc)
+
+
+def _matches(objective, labels):
+    if objective.kind is not None and labels.get("kind") != objective.kind:
+        return False
+    if objective.tenant is not None \
+            and labels.get("tenant") != objective.tenant:
+        return False
+    return True
+
+
+def _merged_latency(objective, snapshot):
+    """Exact merge of every labeled latency series the objective covers."""
+    merged = None
+    for name, entry in snapshot.items():
+        base, labels = telemetry.parse_metric(name)
+        if base != "serve.latency_seconds" or not labels:
+            continue
+        if entry.get("kind") != "histogram" or not _matches(objective,
+                                                            labels):
+            continue
+        merged = entry if merged is None \
+            else telemetry.merge_histogram_entries(merged, entry)
+    if merged is None and objective.kind is None \
+            and objective.tenant is None:
+        entry = snapshot.get("serve.latency_seconds")
+        if entry is not None and entry.get("kind") == "histogram":
+            merged = entry
+    return merged
+
+
+def _outcome_counts(objective, snapshot):
+    total = errors = 0
+    for name, entry in snapshot.items():
+        base, labels = telemetry.parse_metric(name)
+        if base != "serve.outcomes" or entry.get("kind") != "counter":
+            continue
+        if not _matches(objective, labels):
+            continue
+        value = int(entry.get("value", 0))
+        total += value
+        if labels.get("outcome") == "error":
+            errors += value
+    return total, errors
+
+
+def evaluate(spec, snapshot):
+    """Burn-rate report of ``spec`` against a registry snapshot dict.
+
+    Returns ``{"ok": bool, "objectives": [...], "counts": {...}}``;
+    each objective entry carries the observed latency quantile and/or
+    error rate, the target, and ``burn_rate`` (observed / objective,
+    so values above 1.0 are breaches).  Objectives with no matching
+    traffic evaluate as ok with null observations.
+    """
+    results = []
+    for objective in spec.objectives:
+        result = objective.describe()
+        result["ok"] = True
+        if objective.latency_ms is not None:
+            entry = _merged_latency(objective, snapshot)
+            observed_ms = None
+            if entry is not None and entry.get("count"):
+                key = _QUANTILES.get(objective.quantile)
+                observed = entry.get(key) if key else None
+                if observed is None:
+                    observed = telemetry.histogram_quantile(
+                        entry, objective.quantile)
+                observed_ms = None if observed is None \
+                    else observed * 1000.0
+            burn = None if observed_ms is None \
+                else observed_ms / objective.latency_ms
+            ok = burn is None or burn <= 1.0
+            result["latency"] = {
+                "observed_ms": observed_ms,
+                "objective_ms": objective.latency_ms,
+                "quantile": objective.quantile,
+                "burn_rate": burn,
+                "ok": ok,
+            }
+            result["ok"] = result["ok"] and ok
+        if objective.error_rate is not None:
+            total, errors = _outcome_counts(objective, snapshot)
+            rate = errors / total if total else None
+            burn = None if rate is None else rate / objective.error_rate
+            ok = burn is None or burn <= 1.0
+            result["errors"] = {
+                "observed_rate": rate,
+                "objective_rate": objective.error_rate,
+                "total": total,
+                "errors": errors,
+                "burn_rate": burn,
+                "ok": ok,
+            }
+            result["ok"] = result["ok"] and ok
+        results.append(result)
+    breached = sum(1 for result in results if not result["ok"])
+    return {
+        "ok": breached == 0,
+        "objectives": results,
+        "counts": {"total": len(results), "breached": breached},
+    }

@@ -1,0 +1,226 @@
+"""Tests for the declarative SLO layer: spec parsing (TOML and JSON),
+burn-rate evaluation against registry snapshots, and the ``repro slo
+check`` CLI's exit-code contract (0 healthy, 1 breach, 2 usage).
+"""
+
+import io
+import json
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import telemetry
+from repro.core.exceptions import SloError
+from repro.serve.slo import Objective, SloSpec, evaluate, load_slo
+
+_HAS_TOMLLIB = sys.version_info >= (3, 11)
+
+
+def _snapshot(latencies=(), outcomes=(), tenant="acme",
+              kind="distance"):
+    registry = telemetry.MetricsRegistry()
+    hist = registry.histogram("serve.latency_seconds",
+                              labels={"tenant": tenant, "kind": kind})
+    for value in latencies:
+        hist.observe(value)
+        registry.histogram("serve.latency_seconds").observe(value)
+    for outcome, count in outcomes:
+        registry.counter("serve.outcomes",
+                         labels={"tenant": tenant, "kind": kind,
+                                 "outcome": outcome}).inc(count)
+    return registry.snapshot()
+
+
+class TestSpecParsing:
+    def test_json_spec(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": [
+            {"name": "lat", "kind": "distance", "latency_ms": 50.0,
+             "quantile": 0.95},
+            {"name": "err", "error_rate": 0.01},
+        ]}))
+        spec = load_slo(str(path))
+        assert [obj.name for obj in spec.objectives] == ["lat", "err"]
+        assert spec.objectives[0].latency_ms == 50.0
+        assert spec.objectives[1].error_rate == 0.01
+
+    @pytest.mark.skipif(not _HAS_TOMLLIB,
+                        reason="tomllib needs Python 3.11+")
+    def test_toml_spec(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            '[[objective]]\n'
+            'name = "lat"\n'
+            'kind = "distance"\n'
+            'latency_ms = 50.0\n'
+            'quantile = 0.95\n'
+            '\n'
+            '[[objective]]\n'
+            'name = "err"\n'
+            'tenant = "acme"\n'
+            'error_rate = 0.01\n')
+        spec = load_slo(str(path))
+        assert len(spec.objectives) == 2
+        assert spec.objectives[1].tenant == "acme"
+
+    def test_invalid_json_raises_slo_error(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{nope")
+        with pytest.raises(SloError):
+            load_slo(str(path))
+
+    def test_objective_needs_a_target(self):
+        with pytest.raises(SloError):
+            Objective(name="empty")
+
+    def test_objective_rejects_unknown_fields(self):
+        with pytest.raises(SloError):
+            Objective.from_dict({"name": "x", "latency_ms": 5.0,
+                                 "burgers": 2})
+
+    def test_objective_validates_ranges(self):
+        with pytest.raises(SloError):
+            Objective(name="x", latency_ms=-1.0)
+        with pytest.raises(SloError):
+            Objective(name="x", latency_ms=5.0, quantile=1.5)
+        with pytest.raises(SloError):
+            Objective(name="x", error_rate=0.0)
+
+    def test_spec_needs_objectives(self):
+        with pytest.raises(SloError):
+            SloSpec.from_dict({"objectives": []})
+        with pytest.raises(SloError):
+            SloSpec.from_dict({"wrong_key": []})
+
+
+class TestEvaluate:
+    def _spec(self, **kwargs):
+        return SloSpec([Objective(name="obj", **kwargs)])
+
+    def test_healthy_latency(self):
+        snapshot = _snapshot(latencies=[0.001, 0.002, 0.003])
+        report = evaluate(self._spec(kind="distance", latency_ms=100.0,
+                                     quantile=0.95), snapshot)
+        assert report["ok"] is True
+        latency = report["objectives"][0]["latency"]
+        assert latency["observed_ms"] < 10.0
+        assert latency["burn_rate"] < 1.0
+
+    def test_breached_latency(self):
+        snapshot = _snapshot(latencies=[0.5, 0.6, 0.7])
+        report = evaluate(self._spec(kind="distance", latency_ms=10.0,
+                                     quantile=0.95), snapshot)
+        assert report["ok"] is False
+        assert report["counts"]["breached"] == 1
+        assert report["objectives"][0]["latency"]["burn_rate"] > 1.0
+
+    def test_error_rate_breach(self):
+        snapshot = _snapshot(outcomes=[("ok", 90), ("error", 10)])
+        report = evaluate(self._spec(error_rate=0.01), snapshot)
+        assert report["ok"] is False
+        errors = report["objectives"][0]["errors"]
+        assert errors["observed_rate"] == pytest.approx(0.1)
+        assert errors["burn_rate"] == pytest.approx(10.0)
+
+    def test_error_rate_healthy(self):
+        snapshot = _snapshot(outcomes=[("ok", 999), ("error", 1)])
+        report = evaluate(self._spec(error_rate=0.01), snapshot)
+        assert report["ok"] is True
+
+    def test_tenant_filter_scopes_the_merge(self):
+        registry = telemetry.MetricsRegistry()
+        for tenant, value in (("fast", 0.001), ("slow", 5.0)):
+            registry.histogram(
+                "serve.latency_seconds",
+                labels={"tenant": tenant,
+                        "kind": "distance"}).observe(value)
+        snapshot = registry.snapshot()
+        fast = evaluate(self._spec(tenant="fast", latency_ms=100.0),
+                        snapshot)
+        slow = evaluate(self._spec(tenant="slow", latency_ms=100.0),
+                        snapshot)
+        assert fast["ok"] is True
+        assert slow["ok"] is False
+
+    def test_no_matching_traffic_is_ok_with_null_observation(self):
+        report = evaluate(self._spec(kind="solve", latency_ms=10.0),
+                          _snapshot(latencies=[9.0]))
+        assert report["ok"] is True
+        assert report["objectives"][0]["latency"]["observed_ms"] is None
+
+    def test_unlabeled_fallback_only_without_filters(self):
+        registry = telemetry.MetricsRegistry()
+        registry.histogram("serve.latency_seconds").observe(5.0)
+        snapshot = registry.snapshot()
+        unfiltered = evaluate(self._spec(latency_ms=10.0), snapshot)
+        assert unfiltered["objectives"][0]["latency"]["observed_ms"] \
+            is not None
+        filtered = evaluate(self._spec(kind="distance",
+                                       latency_ms=10.0), snapshot)
+        assert filtered["objectives"][0]["latency"]["observed_ms"] is None
+
+
+class TestSloCheckCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def _spec_path(self, tmp_path, latency_ms):
+        return self._write(tmp_path, "spec.json", {"objectives": [
+            {"name": "lat", "kind": "distance",
+             "latency_ms": latency_ms, "quantile": 0.95}]})
+
+    def test_exit_zero_when_healthy(self, tmp_path):
+        snapshot = self._write(tmp_path, "snap.json",
+                               _snapshot(latencies=[0.001, 0.002]))
+        out = io.StringIO()
+        code = cli_main(["slo", "check", snapshot,
+                         "--spec", self._spec_path(tmp_path, 1000.0)],
+                        out=out)
+        assert code == 0
+        assert "ok" in out.getvalue()
+
+    def test_exit_one_on_breach(self, tmp_path):
+        snapshot = self._write(tmp_path, "snap.json",
+                               _snapshot(latencies=[0.5, 0.6]))
+        out = io.StringIO()
+        code = cli_main(["slo", "check", snapshot,
+                         "--spec", self._spec_path(tmp_path, 1.0)],
+                        out=out)
+        assert code == 1
+        assert "BREACH" in out.getvalue()
+
+    def test_exit_two_on_missing_snapshot(self, tmp_path):
+        out = io.StringIO()
+        code = cli_main(["slo", "check", str(tmp_path / "nope.json"),
+                         "--spec", self._spec_path(tmp_path, 1.0)],
+                        out=out)
+        assert code == 2
+
+    def test_exit_two_on_bad_spec(self, tmp_path):
+        snapshot = self._write(tmp_path, "snap.json", _snapshot())
+        bad_spec = self._write(tmp_path, "bad.json", {"objectives": []})
+        out = io.StringIO()
+        assert cli_main(["slo", "check", snapshot,
+                         "--spec", bad_spec], out=out) == 2
+
+    def test_exit_two_on_non_snapshot_json(self, tmp_path):
+        not_snapshot = self._write(tmp_path, "x.json",
+                                   {"hello": "world"})
+        out = io.StringIO()
+        code = cli_main(["slo", "check", not_snapshot,
+                         "--spec", self._spec_path(tmp_path, 1.0)],
+                        out=out)
+        assert code == 2
+        assert "not a metrics snapshot" in out.getvalue()
+
+    def test_benchmark_results_file_accepted(self, tmp_path):
+        wrapped = self._write(tmp_path, "bench.json", {
+            "name": "serve_throughput",
+            "telemetry": _snapshot(latencies=[0.001])})
+        out = io.StringIO()
+        assert cli_main(["slo", "check", wrapped,
+                         "--spec", self._spec_path(tmp_path, 1000.0)],
+                        out=out) == 0

@@ -1,0 +1,147 @@
+"""Contract tests between the vendored Prometheus text-format checker
+(``tools/prom_lint.py``) and the exposition renderer
+(``repro.core.exposition``): what the serving stack emits must parse
+clean, and the checker must actually catch the format mistakes it
+claims to.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import prom_lint  # noqa: E402
+
+from repro.core import exposition, telemetry  # noqa: E402
+
+
+def _rendered_snapshot():
+    registry = telemetry.MetricsRegistry()
+    registry.counter("serve.requests").inc(6)
+    registry.counter("serve.requests",
+                     labels={"tenant": "acme", "kind": "solve"}).inc(2)
+    registry.gauge("serve.queue_depth").set(3)
+    hist = registry.histogram("serve.latency_seconds",
+                              labels={"tenant": "acme",
+                                      "kind": "distance"})
+    for value in (0.01, 0.02, 0.05):
+        hist.observe(value)
+    registry.histogram("serve.latency_seconds").observe(0.01)
+    return exposition.render_prometheus(registry.snapshot())
+
+
+class TestContract:
+    def test_rendered_exposition_is_clean(self):
+        text = _rendered_snapshot()
+        assert prom_lint.check_exposition(text) == []
+
+    def test_counter_gets_total_suffix(self):
+        text = _rendered_snapshot()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 6" in text
+        assert 'serve_requests_total{kind="solve",tenant="acme"} 2' \
+            in text
+
+    def test_histogram_renders_as_summary_with_quantiles(self):
+        text = _rendered_snapshot()
+        assert "# TYPE serve_latency_seconds summary" in text
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert ('serve_latency_seconds{kind="distance",'
+                    'tenant="acme",quantile="%s"}' % quantile) in text
+        assert 'serve_latency_seconds_count{kind="distance",' \
+               'tenant="acme"} 3' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert exposition.render_prometheus({}) == ""
+        assert prom_lint.check_exposition("") == []
+
+    def test_special_values(self):
+        registry = telemetry.MetricsRegistry()
+        registry.gauge("g").set(float("inf"))
+        text = exposition.render_prometheus(registry.snapshot())
+        assert "g +Inf" in text
+        assert prom_lint.check_exposition(text) == []
+
+
+class TestCheckerCatches:
+    def test_unquoted_label_value(self):
+        bad = "# TYPE m counter\nm{tenant=acme} 1\n"
+        assert prom_lint.check_exposition(bad)
+
+    def test_duplicate_label_names(self):
+        bad = 'm{a="1",a="2"} 1\n'
+        errors = prom_lint.check_exposition(bad)
+        assert any("duplicate label" in error for error in errors)
+
+    def test_bad_metric_name(self):
+        assert prom_lint.check_exposition("9metric 1\n")
+
+    def test_bad_value(self):
+        assert prom_lint.check_exposition("m one\n")
+
+    def test_missing_final_newline(self):
+        errors = prom_lint.check_exposition("m 1")
+        assert any("newline" in error for error in errors)
+
+    def test_unknown_type(self):
+        errors = prom_lint.check_exposition("# TYPE m sandwich\nm 1\n")
+        assert any("unknown TYPE" in error for error in errors)
+
+    def test_duplicate_type_declaration(self):
+        bad = "# TYPE m counter\n# TYPE m counter\nm 1\n"
+        errors = prom_lint.check_exposition(bad)
+        assert any("duplicate TYPE" in error for error in errors)
+
+    def test_type_after_samples(self):
+        bad = "m 1\n# TYPE m counter\n"
+        errors = prom_lint.check_exposition(bad)
+        assert any("after its samples" in error for error in errors)
+
+    def test_non_contiguous_family(self):
+        bad = "a 1\nb 2\na{x=\"1\"} 3\n"
+        errors = prom_lint.check_exposition(bad)
+        assert any("not contiguous" in error for error in errors)
+
+    def test_duplicate_sample(self):
+        bad = 'm{a="1"} 1\nm{a="1"} 2\n'
+        errors = prom_lint.check_exposition(bad)
+        assert any("duplicate sample" in error for error in errors)
+
+    def test_quantile_label_needs_summary(self):
+        bad = '# TYPE m counter\nm{quantile="0.5"} 1\n'
+        errors = prom_lint.check_exposition(bad)
+        assert any("quantile" in error for error in errors)
+
+    def test_summary_suffixes_allowed(self):
+        good = ("# TYPE s summary\n"
+                's{quantile="0.5"} 1\n'
+                "s_sum 2\n"
+                "s_count 3\n")
+        assert prom_lint.check_exposition(good) == []
+
+    def test_unterminated_quote(self):
+        errors = prom_lint.check_exposition('m{a="1} 1\n')
+        assert errors
+
+    def test_escaped_quotes_in_label_values(self):
+        good = 'm{a="say \\"hi\\" now"} 1\n'
+        assert prom_lint.check_exposition(good) == []
+
+    def test_whitespace_flagged(self):
+        errors = prom_lint.check_exposition("m 1 \n")
+        assert any("whitespace" in error for error in errors)
+
+
+class TestCli:
+    def test_main_clean_and_dirty(self, tmp_path, capsys):
+        clean = tmp_path / "clean.txt"
+        clean.write_text(_rendered_snapshot())
+        assert prom_lint.main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.txt"
+        dirty.write_text("m{tenant=acme} 1\n")
+        assert prom_lint.main([str(dirty)]) == 1
+        assert prom_lint.main([]) == 2
+        assert prom_lint.main([str(tmp_path / "missing.txt")]) == 2
+        capsys.readouterr()

@@ -22,10 +22,15 @@ jitter on shared CI hosts.  Baseline metrics missing from the latest
 run, and a host that differs materially from the one that produced the
 baseline, are reported as warnings rather than failures.
 
-In CI the check runs as a *soft* gate (``continue-on-error``): a red
-outcome annotates the build via ``::warning::`` lines without failing
-it, because wall-clock numbers from shared runners are advice, not
-verdicts.  Exit status: 0 clean, 1 regression, 2 usage/setup error.
+The two entry shapes gate differently.  Absolute ``max``/``min`` pins
+are *hard*: they encode semantic budgets (an error-rate ceiling, a
+telemetry-overhead cap, a serve-latency SLO headroom) that hold on any
+host, so a breach fails the build (exit 1).  Relative
+``value``/``tolerance`` bands are *soft*: wall-clock numbers from
+shared runners are advice, not verdicts, so a band regression only
+annotates the build via ``::warning::`` lines and still exits 0.
+Exit status: 0 clean (possibly with soft warnings), 1 hard breach,
+2 usage/setup error.
 """
 
 import argparse
@@ -96,6 +101,7 @@ def compare(baseline, record):
     """
     measured = record.get("metrics", {})
     results, regressions, missing = [], [], []
+    hard, soft = [], []
     for name in sorted(baseline["metrics"]):
         entry = baseline["metrics"][name]
         if name not in measured:
@@ -105,8 +111,13 @@ def compare(baseline, record):
         results.append((name, status, detail))
         if status == "regression":
             regressions.append(name)
+            if "max" in entry or "min" in entry:
+                hard.append(name)
+            else:
+                soft.append(name)
     unbaselined = sorted(set(measured) - set(baseline["metrics"]))
     return {"results": results, "regressions": regressions,
+            "hard": hard, "soft": soft,
             "missing": missing, "unbaselined": unbaselined}
 
 
@@ -222,12 +233,19 @@ def main(argv=None):
               "cpus); wall-clock comparison is indicative only"
               % (base_prov.get("machine"), base_prov.get("cpu_count"),
                  run_prov.get("machine"), run_prov.get("cpu_count")))
-    if outcome["regressions"]:
-        for name in outcome["regressions"]:
-            _warn("perf regression: %s" % name)
-        print("%d perf regression(s) against %s"
-              % (len(outcome["regressions"]), args.baseline))
+    for name in outcome["soft"]:
+        _warn("perf regression (soft, tolerance band): %s" % name)
+    if outcome["hard"]:
+        for name in outcome["hard"]:
+            print("::error::perf budget breached: %s" % name)
+        print("%d hard perf breach(es) against %s (absolute max/min "
+              "pins)" % (len(outcome["hard"]), args.baseline))
         return 1
+    if outcome["soft"]:
+        print("%d soft perf regression(s) against %s (warnings only; "
+              "wall-clock bands from shared runners are advisory)"
+              % (len(outcome["soft"]), args.baseline))
+        return 0
     print("perf check clean: %d metric(s) within budget"
           % len(outcome["results"]))
     return 0

@@ -21,8 +21,12 @@ processes.  This walks ``src/repro`` ASTs and flags
   traceback; only the fault-injection harness
   (``core/resilience.py``'s ``kill`` faults) may use it,
 
-outside the allowlist.  Docstrings and comments are naturally exempt
-(they never parse as calls).  Run directly or via ``make lint``::
+outside the allowlist.  The serving stack (``repro.serve``, including
+the SLO evaluator and the Prometheus exposition path) is *strict*: the
+allowlist cannot exempt it, because everything a server says belongs in
+an HTTP response body, never on the process streams.  Docstrings and
+comments are naturally exempt (they never parse as calls).  Run
+directly or via ``make lint``::
 
     python tools/lint_no_stdout.py
 """
@@ -41,6 +45,15 @@ LIBRARY_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 ALLOWLIST = frozenset({
     "cli.py",  # the CLI is *the* place stdout decisions are made
 })
+
+#: Path prefixes (relative to src/repro) where the allowlist does NOT
+#: apply: the serving stack answers over HTTP response bodies, and its
+#: process stdout may be piped or captured by a supervisor -- a stray
+#: print would interleave with nothing useful and could corrupt
+#: log-shipping.  Exposition and SLO reports go through the response
+#: writer, never the process streams.  Adding a serve path to
+#: ALLOWLIST has no effect; these are linted unconditionally.
+STRICT_PREFIXES = ("serve" + os.sep,)
 
 #: Paths (relative to src/repro) allowed to call ``os._exit``: the
 #: fault-injection harness deliberately kills worker processes to
@@ -103,7 +116,8 @@ def lint(library_root=LIBRARY_ROOT, out=sys.stderr):
                 continue
             path = os.path.join(dirpath, filename)
             relative = os.path.relpath(path, library_root)
-            if relative in ALLOWLIST:
+            strict = relative.startswith(STRICT_PREFIXES)
+            if relative in ALLOWLIST and not strict:
                 continue
             with open(path) as handle:
                 tree = ast.parse(handle.read(), filename=relative)

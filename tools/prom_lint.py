@@ -1,0 +1,223 @@
+"""Minimal vendored checker for the Prometheus text exposition format.
+
+CI needs to prove that ``GET /v1/metrics?format=prometheus`` emits
+something a real scraper would ingest, but the container has no
+``prometheus_client`` to parse with -- so this vendors the few rules of
+the text format (version 0.0.4) the exposition can actually get wrong:
+
+* sample lines are ``name[{labels}] value [timestamp]`` with the
+  metric-name grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and the label-name
+  grammar ``[a-zA-Z_][a-zA-Z0-9_]*``;
+* label values are double-quoted with ``\\``, ``\\"`` and ``\\n``
+  escapes; no duplicate label names in one sample;
+* values are floats, ``NaN`` or ``+Inf``/``-Inf``;
+* ``# TYPE`` names one of the known types, appears at most once per
+  family, and precedes every sample of that family; all samples of a
+  family are contiguous;
+* summary/histogram samples may extend their family name only with the
+  blessed suffixes (``_sum``/``_count``; ``_bucket`` for histograms),
+  and ``quantile``/``le`` labels appear only where the type allows;
+* no duplicate sample (same name and label set), and the exposition
+  ends with a newline.
+
+``check_exposition(text)`` returns a list of ``"line N: message"``
+strings (empty == clean).  Run as a script it reads a file (or stdin
+with ``-``) and exits 1 on errors -- the contract test in
+``tests/tools/test_prom_lint.py`` keeps this checker and the renderer
+in ``repro.core.exposition`` honest against each other.
+"""
+
+import re
+import sys
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_VALUE = (r"(?:[+-]?Inf|NaN|[+-]?(?:[0-9]+\.?[0-9]*|\.[0-9]+)"
+          r"(?:[eE][+-]?[0-9]+)?)")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>%s)(?P<labels>\{.*\})?"
+    r" (?P<value>%s)(?: (?P<timestamp>[+-]?[0-9]+))?$"
+    % (_METRIC_NAME, _VALUE))
+
+_LABEL_RE = re.compile(
+    r'^(?P<name>%s)="(?P<value>(?:[^"\\]|\\.)*)"$' % _LABEL_NAME)
+
+_NAME_RE = re.compile("^%s$" % _METRIC_NAME)
+
+_TYPES = frozenset({"counter", "gauge", "summary", "histogram",
+                    "untyped"})
+
+#: Suffixes a sample may append to its declared family name.
+_SUFFIXES = {
+    "summary": ("", "_sum", "_count"),
+    "histogram": ("", "_bucket", "_sum", "_count"),
+}
+
+
+def _split_labels(body):
+    """The ``key="value"`` items of one ``{...}`` body, or None on a
+    structurally broken body (unterminated quote).
+    """
+    inner = body[1:-1]
+    if inner.endswith(","):  # a single trailing comma is legal
+        inner = inner[:-1]
+    if not inner:
+        return []
+    items, current, in_quotes, escaped = [], [], False, False
+    for ch in inner:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\" and in_quotes:
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if in_quotes or escaped:
+        return None
+    items.append("".join(current))
+    return items
+
+
+def _family_of(name, types):
+    """The declared family a sample name belongs to, or None.
+
+    Longest match wins so ``x_sum`` prefers a declared family
+    ``x_sum`` over family ``x`` with suffix ``_sum``.
+    """
+    for candidate in sorted(types, key=len, reverse=True):
+        kind = types[candidate]
+        for suffix in _SUFFIXES.get(kind, ("",)):
+            if name == candidate + suffix:
+                return candidate
+    return None
+
+
+def check_exposition(text):
+    """Lint one exposition body; returns ``["line N: msg", ...]``."""
+    errors = []
+    types = {}            # family -> declared type
+    families_done = set()  # families whose sample block has ended
+    current_family = None
+    seen_samples = set()
+
+    def error(lineno, message):
+        errors.append("line %d: %s" % (lineno, message))
+
+    lines = text.split("\n")
+    if text and not text.endswith("\n"):
+        error(len(lines), "exposition must end with a newline")
+    else:
+        lines = lines[:-1] if text else []
+
+    for lineno, line in enumerate(lines, 1):
+        if line == "":
+            continue
+        if line != line.strip() or "\t" in line:
+            error(lineno, "leading/trailing whitespace or tabs")
+            line = line.strip()
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                error(lineno, "%s with a missing or invalid metric name"
+                      % parts[1])
+                continue
+            name = parts[2]
+            if parts[1] == "HELP":
+                continue
+            kind = parts[3] if len(parts) == 4 else ""
+            if kind not in _TYPES:
+                error(lineno, "unknown TYPE %r for %s" % (kind, name))
+                continue
+            if name in types:
+                error(lineno, "duplicate TYPE for family %s" % name)
+                continue
+            if name in families_done or name == current_family:
+                error(lineno, "TYPE for %s after its samples" % name)
+            types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            error(lineno, "unparseable sample line: %r" % line)
+            continue
+        name = match.group("name")
+        family = _family_of(name, types) or name
+        kind = types.get(family, "untyped")
+        if family != current_family:
+            if family in families_done:
+                error(lineno, "samples of family %s are not contiguous"
+                      % family)
+            if current_family is not None:
+                families_done.add(current_family)
+            current_family = family
+        label_names = []
+        body = match.group("labels")
+        if body is not None:
+            items = _split_labels(body)
+            if items is None:
+                error(lineno, "unterminated quote in label body")
+                continue
+            for item in items:
+                pair = _LABEL_RE.match(item)
+                if pair is None:
+                    error(lineno, "malformed label %r" % item)
+                    continue
+                label_names.append(pair.group("name"))
+            duplicates = {label for label in label_names
+                          if label_names.count(label) > 1}
+            if duplicates:
+                error(lineno, "duplicate label name(s): %s"
+                      % ", ".join(sorted(duplicates)))
+        if "quantile" in label_names \
+                and not (kind == "summary" and name == family):
+            error(lineno, "'quantile' label outside a summary")
+        if "le" in label_names \
+                and not (kind == "histogram"
+                         and name == family + "_bucket"):
+            error(lineno, "'le' label outside histogram buckets")
+        key = (name, tuple(sorted(
+            item for item in (_split_labels(body) or [])))
+            if body is not None else ())
+        if key in seen_samples:
+            error(lineno, "duplicate sample %s" % name)
+        seen_samples.add(key)
+    return errors
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        sys.stderr.write("usage: python tools/prom_lint.py "
+                         "EXPOSITION_FILE (or - for stdin)\n")
+        return 2
+    if argv[0] == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(argv[0]) as handle:
+                text = handle.read()
+        except OSError as err:
+            sys.stderr.write("prom_lint: %s\n" % err)
+            return 2
+    errors = check_exposition(text)
+    for message in errors:
+        sys.stderr.write("prom_lint: %s\n" % message)
+    if errors:
+        sys.stderr.write("prom_lint: %d error(s)\n" % len(errors))
+        return 1
+    sys.stderr.write("prom_lint: clean\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
