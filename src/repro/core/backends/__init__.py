@@ -1,0 +1,193 @@
+"""Pluggable execution backends for :class:`ParallelMap`.
+
+``backend="serial" | "pool" | "remote"`` (or an
+:class:`~repro.core.backends.base.ExecutionBackend` instance) selects
+*where* chunks run; everything that decides *what* they compute --
+chunking, per-chunk RNG spawning, cache keys, checkpoint fingerprints,
+the exact-moment telemetry merge -- lives in the scheduler and is
+backend-independent by construction (``tests/backends/`` proves the
+results bit-identical).
+
+Selection precedence for ``backend=None`` (the default everywhere):
+
+1. the innermost :func:`use_backend` scope (the CLI's ``--backend`` /
+   ``--hosts`` flags and ``repro serve`` install one),
+2. the ``REPRO_BACKEND`` / ``REPRO_HOSTS`` environment variables,
+3. the legacy automatic choice: serial unless the map fans out, then
+   the persistent local pool.
+
+Remote backends are cached per host set so consecutive maps (and the
+serve dispatcher) reuse warm TCP connections;
+:func:`shutdown_backends` -- called from
+:func:`repro.core.parallel.shutdown_pools` and at interpreter exit --
+closes them.
+"""
+
+import atexit
+import os
+import threading
+
+from ..exceptions import ParallelError
+from .base import ExecutionBackend
+from .serial import SerialBackend
+from .pool import PoolBackend
+from .remote import HostSpec, RemoteBackend, parse_hosts
+
+__all__ = [
+    "BACKEND_ENV", "HOSTS_ENV", "BACKEND_NAMES",
+    "ExecutionBackend", "SerialBackend", "PoolBackend", "RemoteBackend",
+    "HostSpec", "parse_hosts", "resolve_backend", "use_backend",
+    "active_backend_spec", "shutdown_backends",
+]
+
+#: Environment variables consulted when no ``use_backend`` scope is
+#: active and no explicit ``backend=`` was given.
+BACKEND_ENV = "REPRO_BACKEND"
+HOSTS_ENV = "REPRO_HOSTS"
+
+#: The selectable backend names.
+BACKEND_NAMES = ("serial", "pool", "remote")
+
+_SERIAL = SerialBackend()
+
+#: Ambient backend override stack (module-global on purpose: the serve
+#: dispatcher's worker threads must see the scope the CLI installed).
+_OVERRIDES = []
+_OVERRIDES_LOCK = threading.Lock()
+
+#: Warm remote backends, keyed by their host-spec strings.
+_REMOTES = {}
+_REMOTES_LOCK = threading.Lock()
+
+
+class _BackendScope:
+    """Context manager pushed by :func:`use_backend`."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, backend, hosts):
+        self.entry = (backend, hosts)
+
+    def __enter__(self):
+        with _OVERRIDES_LOCK:
+            _OVERRIDES.append(self.entry)
+        return self.entry
+
+    def __exit__(self, *exc):
+        with _OVERRIDES_LOCK:
+            if self.entry in _OVERRIDES:
+                _OVERRIDES.remove(self.entry)
+        return False
+
+
+def use_backend(backend, hosts=None):
+    """Scope an ambient backend choice (CLI flags, serve config).
+
+    Inside the scope, every ``ParallelMap(backend=None)`` -- i.e. every
+    kernel call site that never heard of backends -- routes its chunks
+    through ``backend``.  Explicit ``backend=`` arguments still win.
+    ``backend=None`` makes the scope a no-op passthrough.
+    """
+    if backend is not None and not isinstance(backend, (str,
+                                                        ExecutionBackend)):
+        raise ParallelError("backend must be one of %s or an "
+                            "ExecutionBackend, got %r"
+                            % (", ".join(BACKEND_NAMES), backend))
+    if isinstance(backend, str):
+        name = backend.strip().lower()
+        if name not in BACKEND_NAMES:
+            raise ParallelError("unknown backend %r (expected one of %s)"
+                                % (backend, ", ".join(BACKEND_NAMES)))
+        backend = name
+    return _BackendScope(backend, hosts)
+
+
+def active_backend_spec():
+    """The ambient ``(backend, hosts)`` pair, or ``(None, None)``.
+
+    The innermost non-``None`` :func:`use_backend` scope wins; with no
+    scope active, ``REPRO_BACKEND`` / ``REPRO_HOSTS`` apply.
+    """
+    with _OVERRIDES_LOCK:
+        for backend, hosts in reversed(_OVERRIDES):
+            if backend is not None:
+                return backend, hosts
+    raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if raw:
+        if raw not in BACKEND_NAMES:
+            raise ParallelError(
+                "%s must be one of %s, got %r"
+                % (BACKEND_ENV, ", ".join(BACKEND_NAMES), raw))
+        return raw, os.environ.get(HOSTS_ENV) or None
+    return None, None
+
+
+def get_remote_backend(hosts):
+    """The warm :class:`RemoteBackend` for this host set (created once)."""
+    specs = parse_hosts(hosts)
+    key = tuple(sorted("%s:%d:%s" % (s.host, s.port, s.capacity)
+                       for s in specs))
+    with _REMOTES_LOCK:
+        backend = _REMOTES.get(key)
+        if backend is None:
+            backend = RemoteBackend(specs)
+            _REMOTES[key] = backend
+        return backend
+
+
+def resolve_backend(spec=None, hosts=None, start_method=None,
+                    fanout=True):
+    """The :class:`ExecutionBackend` a map round should run on.
+
+    ``spec`` is an explicit ``backend=`` argument (name, instance, or
+    ``None``); ``None`` consults the ambient scope / environment and
+    finally the legacy automatic choice, where ``fanout`` (the
+    scheduler's workers/timeout decision) picks between serial and the
+    local pool exactly as before backends existed.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name = spec
+    if name is None:
+        name, ambient_hosts = active_backend_spec()
+        if isinstance(name, ExecutionBackend):
+            return name
+        if hosts is None:
+            hosts = ambient_hosts
+        if name is None:
+            if not fanout:
+                return _SERIAL
+            context = PoolBackend(start_method).context()
+            return PoolBackend(start_method) if context is not None \
+                else _SERIAL
+    name = str(name).strip().lower()
+    if name == "serial":
+        return _SERIAL
+    if name == "pool":
+        backend = PoolBackend(start_method)
+        # A platform without a usable start method degrades to serial,
+        # same as the legacy scheduler.
+        return backend if backend.context() is not None else _SERIAL
+    if name == "remote":
+        if hosts is None:
+            hosts = os.environ.get(HOSTS_ENV) or None
+        if not hosts:
+            raise ParallelError(
+                "backend='remote' needs hosts: pass hosts=/--hosts or "
+                "set %s (comma-separated host:port[:capacity])"
+                % HOSTS_ENV)
+        return get_remote_backend(hosts)
+    raise ParallelError("unknown backend %r (expected one of %s)"
+                        % (spec, ", ".join(BACKEND_NAMES)))
+
+
+def shutdown_backends():
+    """Close every warm remote backend (atexit; callable from tests)."""
+    with _REMOTES_LOCK:
+        remotes = list(_REMOTES.values())
+        _REMOTES.clear()
+    for backend in remotes:
+        backend.close()
+
+
+atexit.register(shutdown_backends)

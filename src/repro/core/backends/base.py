@@ -1,0 +1,65 @@
+"""The execution-backend interface behind :class:`ParallelMap`.
+
+The paper's host-plus-accelerators picture (Fig. 1) assumes work can be
+dispatched to *wherever* the right executor lives.  This package makes
+"where chunks run" a swappable interface: the scheduler in
+:mod:`repro.core.parallel` decides *what* runs (chunking, per-chunk RNG
+spawning, retries, caching, checkpoints -- all backend-independent by
+construction), and an :class:`ExecutionBackend` decides *where*.
+
+Three implementations ship:
+
+* :class:`~repro.core.backends.serial.SerialBackend` -- inline in the
+  calling process (no subprocesses, no pickling),
+* :class:`~repro.core.backends.pool.PoolBackend` -- the persistent
+  local :class:`~repro.core.parallel.WorkerPool` (behavior-preserving
+  wrapper over the pre-backend scheduler),
+* :class:`~repro.core.backends.remote.RemoteBackend` -- pickled chunk
+  payloads over a length-prefixed TCP protocol to one or more
+  ``repro worker-host`` agent processes.
+
+Because every backend executes the same chunk payloads through
+:func:`repro.core.resilience.run_task` and merges worker telemetry
+through the same exact-moment join, results -- values, final RNG
+states, cache keys, checkpoint fingerprints, merged snapshots -- are
+bit-identical across backends.  ``tests/backends/`` holds the library
+to that.
+"""
+
+
+class ExecutionBackend:
+    """Where one retry round of pending chunks executes.
+
+    Subclasses implement :meth:`run_round`; the scheduler in
+    :class:`~repro.core.parallel.ParallelMap` owns everything else
+    (chunking, retry/backoff, validation, checkpoint/cache bookkeeping)
+    so a backend can never change *what* a chunk computes -- only where.
+    """
+
+    #: Short name used for ``backend=`` selection and telemetry labels.
+    name = "?"
+
+    def run_round(self, fn, pairs, workers, timeout, registry, attempt,
+                  plan, copy_tasks=False):
+        """Execute one round of ``(index, task)`` pairs.
+
+        Returns ``{index: value-or-TaskFailure}`` with worker telemetry
+        already merged into ``registry`` in chunk order (the
+        exact-moment join from
+        :meth:`~repro.core.parallel.ParallelMap._collect`).
+
+        Parameters mirror the scheduler's round state: ``workers`` caps
+        concurrency, ``timeout`` is the per-chunk wall-clock budget
+        (``None`` = unbounded), ``attempt`` is the engine retry round
+        (feeds fault-plan coordinates, never results), ``plan`` is the
+        active :class:`~repro.core.resilience.FaultPlan`, and
+        ``copy_tasks`` asks in-process backends to deep-copy payloads
+        per attempt (process-isolated backends get that for free).
+        """
+        raise NotImplementedError
+
+    def close(self):
+        """Release backend resources (sockets, processes).  Idempotent."""
+
+    def __repr__(self):
+        return "%s(name=%r)" % (type(self).__name__, self.name)

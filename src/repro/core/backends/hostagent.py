@@ -1,0 +1,312 @@
+"""The ``repro worker-host`` agent: executes remote chunks over TCP.
+
+One agent process serves one host.  It listens on a TCP port, accepts
+connections from :class:`~repro.core.backends.remote.RemoteBackend`
+clients, and runs each dispatched chunk through the *same* execution
+path as a local pool worker -- :func:`repro.core.resilience.run_task`
+under a fresh per-chunk telemetry registry -- then ships the result
+back in the pool's wire shape, so the client merges remote telemetry
+through the exact same join as local telemetry.
+
+Concurrency model
+-----------------
+Each chunk runs on its own daemon thread, up to the agent's advertised
+capacity (client-side backpressure enforces the cap; a semaphore here
+backstops it).  Telemetry-instrumented or traced chunks additionally
+serialize on one execution lock: the per-chunk registry swap is
+process-global, and two instrumented chunks interleaving would
+cross-record.  Heartbeats (``ping``/``pong``) are answered directly on
+the connection's reader thread, so a host stays visibly *alive* even
+while a chunk is slow -- slowness is the client's per-chunk timeout's
+job, not the heartbeat's.
+
+Fault semantics
+---------------
+A ``kill`` fault in the dispatched :class:`FaultPlan` calls
+``os._exit`` inside :func:`run_task` and therefore takes down the whole
+agent process -- exactly the "host killed mid-chunk" failure the remote
+backend's reroute logic (and ``tests/backends/test_remote_faults.py``)
+exercises.  A ``hang`` fault wedges one executor thread (and the
+execution lock, when instrumented); the client's timeout reroutes the
+chunk and drops the connection.
+"""
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+from .. import resilience, telemetry, tracing
+from ..tracing import ListSink
+from . import wire
+
+#: Default concurrent chunk capacity an agent advertises.
+DEFAULT_CAPACITY = 2
+
+
+class _Connection:
+    """One accepted client connection: socket, stream, write lock."""
+
+    __slots__ = ("sock", "stream", "lock", "peer")
+
+    def __init__(self, sock, peer):
+        self.sock = sock
+        self.stream = sock.makefile("rb")
+        self.lock = threading.Lock()
+        self.peer = peer
+
+    def send(self, message):
+        with self.lock:
+            wire.send_frame(self.sock, message)
+
+    def close(self):
+        for closer in (self.stream.close, self.sock.close):
+            try:
+                closer()
+            except OSError:  # pragma: no cover -- already torn down
+                pass
+
+
+class WorkerHostAgent:
+    """A TCP agent executing chunk payloads for remote clients.
+
+    Parameters
+    ----------
+    host, port : bind address; ``port=0`` picks a free port (read the
+        bound address back from :attr:`address` after :meth:`start`).
+    capacity : int or None
+        Concurrent chunk budget advertised to clients; defaults to the
+        visible CPU count (min :data:`DEFAULT_CAPACITY`).
+    name : str or None
+        Stable identity reported in ``welcome`` (defaults to
+        ``host:port``); clients use it for per-host telemetry labels.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, capacity=None, name=None):
+        self.host = host
+        self.port = int(port)
+        if capacity is None:
+            capacity = max(DEFAULT_CAPACITY, os.cpu_count() or 1)
+        self.capacity = max(1, int(capacity))
+        self.name = name
+        self._listener = None
+        self._threads = []
+        self._connections = set()
+        self._conn_lock = threading.Lock()
+        self._slots = threading.Semaphore(self.capacity)
+        self._exec_lock = threading.Lock()
+        self._shutdown = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        return (self.host, self.port)
+
+    def start(self):
+        """Bind, listen, and start accepting; returns ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        if self.name is None:
+            self.name = "%s:%d" % (self.host, self.port)
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="repro-hostagent-accept",
+                                  daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self.address
+
+    def serve_forever(self):
+        """Block until :meth:`close` (or the process) ends the agent."""
+        self._shutdown.wait()
+
+    def close(self):
+        """Stop accepting, drop live connections, wake serve_forever."""
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self):
+        while not self._shutdown.is_set():
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = _Connection(sock, peer)
+            with self._conn_lock:
+                self._connections.add(connection)
+            reader = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                name="repro-hostagent-conn", daemon=True)
+            reader.start()
+
+    def _serve_connection(self, connection):
+        try:
+            while not self._shutdown.is_set():
+                message = wire.read_frame(connection.stream)
+                if message is None:
+                    return
+                kind = message[0]
+                if kind == "hello":
+                    connection.send(("welcome", {
+                        "host": self.name,
+                        "capacity": self.capacity,
+                        "version": wire.VERSION,
+                        "pid": os.getpid(),
+                    }))
+                elif kind == "chunk":
+                    runner = threading.Thread(
+                        target=self._run_chunk,
+                        args=(connection, message),
+                        name="repro-hostagent-chunk", daemon=True)
+                    runner.start()
+                elif kind == "ping":
+                    connection.send(("pong", message[1]))
+                elif kind == "bye":
+                    return
+        except Exception:  # noqa: BLE001 -- peer gone or stream corrupt
+            return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(connection)
+            connection.close()
+
+    # -- chunk execution ---------------------------------------------------
+
+    def _run_chunk(self, connection, message):
+        _kind, job, index, attempt, fn, task, plan_spec, instrument, \
+            trace = message
+        plan = None
+        if plan_spec is not None:
+            spec, hang_seconds, exit_code = plan_spec
+            plan = resilience.FaultPlan.from_spec(
+                spec, hang_seconds=hang_seconds, exit_code=exit_code)
+        start = time.perf_counter()
+        sink = None
+        registry = telemetry.NULL_REGISTRY
+        with self._slots:
+            try:
+                if instrument:
+                    registry = telemetry.MetricsRegistry()
+                    sink = registry.add_sink(ListSink())
+                serialize = instrument or trace is not None
+                exec_lock = self._exec_lock if serialize else _NULL_LOCK
+                with exec_lock:
+                    with telemetry.use_registry(registry), \
+                            tracing.use_trace(trace):
+                        chunk_span = telemetry.span(
+                            "parallel.chunk", index=index,
+                            attempt=attempt) if trace is not None \
+                            else tracing.NULL_SPAN
+                        with chunk_span:
+                            value = resilience.run_task(fn, task, index,
+                                                        attempt, plan)
+                elapsed = time.perf_counter() - start
+                payload = (registry.snapshot(), sink.events) if instrument \
+                    else None
+                reply = (job, index, "ok", value, payload, elapsed)
+            except BaseException as error:  # noqa: BLE001 -- report
+                elapsed = time.perf_counter() - start
+                detail = "%s: %s" % (type(error).__name__, error)
+                payload = (registry.snapshot(), sink.events) \
+                    if sink is not None else None
+                reply = (job, index, "error", detail, payload, elapsed)
+        try:
+            connection.send(("result",) + reply)
+        except OSError:  # pragma: no cover -- client already gone
+            pass
+
+
+class _NullLock:
+    """No-op context manager standing in for the execution lock."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_LOCK = _NullLock()
+
+
+# -- local agent processes (tests, benchmarks, CI loopback) ---------------
+
+class LocalAgentHandle:
+    """A worker-host agent running in a child process on this machine."""
+
+    __slots__ = ("process", "host", "port", "capacity")
+
+    def __init__(self, process, host, port, capacity):
+        self.process = process
+        self.host = host
+        self.port = int(port)
+        self.capacity = int(capacity)
+
+    @property
+    def spec(self):
+        """The ``--hosts`` entry for this agent (``host:port:capacity``)."""
+        return "%s:%d:%d" % (self.host, self.port, self.capacity)
+
+    def alive(self):
+        return self.process.is_alive()
+
+    def terminate(self, timeout=2.0):
+        """Stop the agent process (idempotent)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover -- stubborn child
+            self.process.kill()
+            self.process.join(timeout=timeout)
+
+
+def _agent_process_main(ready, capacity, name):
+    agent = WorkerHostAgent(port=0, capacity=capacity, name=name)
+    host, port = agent.start()
+    ready.send((host, port))
+    ready.close()
+    agent.serve_forever()
+
+
+def spawn_local_agent(capacity=DEFAULT_CAPACITY, name=None):
+    """Start a loopback worker-host agent in a child process.
+
+    Returns a :class:`LocalAgentHandle`; the caller owns termination.
+    Used by ``tests/backends/``, the CI loopback job, and
+    ``benchmarks/bench_parallel_scaling.py`` -- anywhere a real remote
+    host would be overkill but a real process boundary (separate pid,
+    real sockets, genuinely killable) is the point.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    ready, child_ready = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_agent_process_main, args=(child_ready, capacity, name),
+        daemon=True)
+    process.start()
+    child_ready.close()
+    if not ready.poll(10.0):  # pragma: no cover -- spawn wedged
+        process.terminate()
+        raise RuntimeError("worker-host agent did not come up within 10s")
+    host, port = ready.recv()
+    ready.close()
+    return LocalAgentHandle(process, host, port, capacity)

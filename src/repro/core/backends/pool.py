@@ -1,0 +1,45 @@
+"""Local process-pool execution backend (the persistent WorkerPool)."""
+
+from .base import ExecutionBackend
+
+
+class PoolBackend(ExecutionBackend):
+    """One retry round on the persistent local worker pool.
+
+    A behavior-preserving wrapper: dispatch, shared-memory payload
+    transport, timeout kills, crash respawns, and the exact-moment
+    telemetry merge are all the pre-backend
+    :class:`~repro.core.parallel.WorkerPool` code, reached through the
+    same :func:`~repro.core.parallel._get_pool` registry (one pool per
+    multiprocessing start method, shared across maps and backends).
+
+    ``close()`` is a no-op on purpose: pools are shared process-wide,
+    so tearing one down belongs to
+    :func:`repro.core.parallel.shutdown_pools`, not to a per-map
+    backend handle.
+    """
+
+    name = "pool"
+
+    def __init__(self, start_method=None):
+        self.start_method = start_method
+
+    def context(self):
+        """The multiprocessing context, or None on a pool-less platform."""
+        from .. import parallel
+        return parallel._pick_context(self.start_method)
+
+    def run_round(self, fn, pairs, workers, timeout, registry, attempt,
+                  plan, copy_tasks=False):
+        from .. import parallel
+        context = self.context()
+        if context is None:  # pragma: no cover -- platform-dependent
+            # No usable start method: degrade to inline execution the
+            # same way the scheduler's legacy path did.
+            return parallel.ParallelMap._run_serial(
+                fn, pairs, registry, attempt, plan, copy_tasks)
+        pool = parallel._get_pool(context, registry)
+        outcomes = pool.run_round(fn, pairs, workers, timeout, registry,
+                                  attempt, plan)
+        return parallel.ParallelMap._collect(outcomes, registry,
+                                             registry.enabled)

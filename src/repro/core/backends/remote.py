@@ -1,0 +1,498 @@
+"""Remote execution backend: chunks over TCP to worker-host agents.
+
+:class:`RemoteBackend` ships pickled chunk payloads to one or more
+``repro worker-host`` agents (:mod:`.hostagent`) over the
+length-prefixed protocol in :mod:`.wire`, with:
+
+* **per-host capacity** -- each host advertises (or the ``--hosts``
+  spec pins) how many chunks it runs concurrently,
+* **round-robin + backpressure scheduling** -- pending chunks go to the
+  next live host with a free slot, capped globally by the map's
+  ``workers``,
+* **retry/reroute** -- a host that drops its connection, misses
+  heartbeats, or blows the per-chunk timeout is taken out of rotation
+  and its in-flight chunks are re-dispatched to surviving hosts
+  (``backend.reroutes``); only when the reroute budget or the host set
+  is exhausted does a chunk come back as a :class:`TaskFailure` for the
+  engine's normal retry policy,
+* **heartbeat-based health** -- links with in-flight chunks are pinged
+  when quiet; a host that answers nothing within the grace window is
+  declared dead.
+
+Determinism: a reroute re-dispatches the chunk's *original* payload, so
+the value a chunk eventually produces is independent of which host ran
+it -- the same argument that makes pool slot assignment invisible.  The
+only observable difference is the fault-plan coordinate: each remote
+*dispatch* of a chunk bumps the attempt used for fault lookup, so an
+injected one-shot fault fires once on the first host instead of
+re-firing (and e.g. re-killing) on every host the chunk lands on.
+
+Shared memory never crosses this backend: payloads are pickled straight
+onto the wire (resolving any shm handles first), so a remote round can
+never leak local segments -- ``tests/backends/test_remote_faults.py``
+asserts ``shm.active_segment_count() == 0`` after every fault.
+
+Telemetry: ``remote.bytes_out`` / ``remote.bytes_in`` (total and
+per-``host`` label), ``remote.chunks{host=...}``,
+``remote.connect_failures``, plus the scheduler's ``backend.chunks`` /
+``backend.reroutes``.
+
+Like the local pool, rounds are serialized with a lock so concurrent
+``map()`` threads (the serve dispatcher) take turns instead of
+interleaving dispatches on the same sockets.
+"""
+
+import select
+import socket
+import threading
+import time
+
+from .. import shm, tracing
+from ..exceptions import ParallelError
+from .base import ExecutionBackend
+from . import wire
+
+#: Seconds between heartbeat pings to a host with in-flight chunks.
+HEARTBEAT_S = 2.0
+
+#: A busy host that has answered nothing within this window is dead.
+HEARTBEAT_GRACE_S = 15.0
+
+#: Receive-loop poll interval (matches the local pool's drain cadence).
+_POLL_S = 0.02
+
+#: Consecutive all-hosts-unreachable reconnect sweeps before a round
+#: gives up and fails its remaining chunks.
+_RECONNECT_SWEEPS = 3
+
+_RECV_BYTES = 1 << 16
+
+
+class HostSpec:
+    """One ``--hosts`` entry: ``host:port`` or ``host:port:capacity``."""
+
+    __slots__ = ("host", "port", "capacity")
+
+    def __init__(self, host, port, capacity=None):
+        self.host = str(host)
+        self.port = int(port)
+        if not 0 < self.port < 65536:
+            raise ParallelError("host port must be in 1..65535, got %d"
+                                % self.port)
+        self.capacity = None if capacity is None else int(capacity)
+        if self.capacity is not None and self.capacity < 1:
+            raise ParallelError("host capacity must be >= 1, got %d"
+                                % self.capacity)
+
+    @classmethod
+    def parse(cls, text):
+        parts = str(text).strip().split(":")
+        if len(parts) not in (2, 3) or not parts[0]:
+            raise ParallelError(
+                "host spec must be 'host:port' or 'host:port:capacity', "
+                "got %r" % text)
+        try:
+            port = int(parts[1])
+            capacity = int(parts[2]) if len(parts) == 3 else None
+        except ValueError:
+            raise ParallelError(
+                "host spec must be 'host:port' or 'host:port:capacity', "
+                "got %r" % text)
+        return cls(parts[0], port, capacity)
+
+    @property
+    def label(self):
+        """Telemetry label value for this host."""
+        return "%s:%d" % (self.host, self.port)
+
+    def __repr__(self):
+        return "HostSpec(%r)" % (
+            self.label if self.capacity is None
+            else "%s:%d" % (self.label, self.capacity))
+
+
+def parse_hosts(hosts):
+    """Normalize a hosts argument into a list of :class:`HostSpec`.
+
+    Accepts a comma-separated string (the CLI / env form), an iterable
+    of strings, or an iterable of ready :class:`HostSpec` objects.
+    """
+    if hosts is None:
+        return []
+    if isinstance(hosts, str):
+        hosts = [part for part in hosts.split(",") if part.strip()]
+    specs = []
+    for entry in hosts:
+        specs.append(entry if isinstance(entry, HostSpec)
+                     else HostSpec.parse(entry))
+    if not specs:
+        raise ParallelError("remote backend needs at least one host "
+                            "('host:port' or 'host:port:capacity')")
+    return specs
+
+
+class _HostLink:
+    """A live connection to one worker host."""
+
+    __slots__ = ("spec", "sock", "decoder", "capacity", "inflight",
+                 "last_seen", "ping_sent")
+
+    def __init__(self, spec, sock, capacity):
+        self.spec = spec
+        self.sock = sock
+        self.decoder = wire.FrameDecoder()
+        self.capacity = capacity
+        self.inflight = {}   # index -> (dispatch_attempt, deadline)
+        self.last_seen = time.monotonic()
+        self.ping_sent = None
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class RemoteBackend(ExecutionBackend):
+    """Execute chunk rounds on remote ``repro worker-host`` agents."""
+
+    name = "remote"
+
+    def __init__(self, hosts, connect_timeout=5.0,
+                 heartbeat_s=HEARTBEAT_S,
+                 heartbeat_grace_s=HEARTBEAT_GRACE_S,
+                 max_reroutes=None):
+        self.specs = parse_hosts(hosts)
+        self.connect_timeout = float(connect_timeout)
+        self.heartbeat_s = float(heartbeat_s)
+        self.heartbeat_grace_s = float(heartbeat_grace_s)
+        # Reroute budget per chunk *per round*: enough to try every
+        # other host once before handing the failure to the engine.
+        self.max_reroutes = max(1, len(self.specs) - 1) \
+            if max_reroutes is None else int(max_reroutes)
+        self._links = {}            # spec -> _HostLink
+        self._job = 0
+        self._rotation = 0
+        self._ever_connected = False
+        self._round_lock = threading.Lock()
+        # Per-round state (valid only while _round_lock is held).
+        self._queue = []            # [(index, dispatch_attempt)]
+        self._raw = {}              # index -> pool-wire outcome
+        self._reroutes = {}         # index -> reroute count
+
+    # -- connection management ---------------------------------------------
+
+    def _connect(self, spec, registry):
+        sock = socket.create_connection((spec.host, spec.port),
+                                        timeout=self.connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        decoder = wire.FrameDecoder()
+        try:
+            sock.settimeout(self.connect_timeout)
+            sent = wire.send_frame(sock, ("hello",
+                                          {"version": wire.VERSION}))
+            # Read the handshake through the link's own frame decoder
+            # so any bytes the host sends right behind ``welcome`` stay
+            # buffered for the round loop instead of being lost.
+            welcome = None
+            while welcome is None:
+                data = sock.recv(_RECV_BYTES)
+                if not data:
+                    raise ParallelError(
+                        "host %s closed during handshake" % spec.label)
+                messages = decoder.feed(data)
+                if messages:
+                    welcome = messages[0]
+            if welcome[0] != "welcome":
+                raise ParallelError("host %s did not answer hello"
+                                    % spec.label)
+            info = welcome[1]
+            if info.get("version") != wire.VERSION:
+                raise ParallelError(
+                    "host %s speaks protocol %r, this client speaks %r"
+                    % (spec.label, info.get("version"), wire.VERSION))
+        except BaseException:
+            sock.close()
+            raise
+        advertised = int(info.get("capacity") or 1)
+        capacity = advertised if spec.capacity is None \
+            else min(spec.capacity, advertised)
+        link = _HostLink(spec, sock, max(1, capacity))
+        link.decoder = decoder
+        if registry.enabled:
+            self._count_bytes(registry, spec, sent, 0)
+        return link
+
+    def _ensure_links(self, registry):
+        """Connect any spec without a live link; return live links."""
+        for spec in self.specs:
+            if spec in self._links:
+                continue
+            try:
+                self._links[spec] = self._connect(spec, registry)
+                self._ever_connected = True
+            except (OSError, ParallelError):
+                if registry.enabled:
+                    registry.counter("remote.connect_failures").inc()
+                    registry.counter(
+                        "remote.connect_failures",
+                        labels={"host": spec.label}).inc()
+        return list(self._links.values())
+
+    def close(self):
+        """Close every host connection (reconnects on next use)."""
+        for link in list(self._links.values()):
+            try:
+                wire.send_frame(link.sock, ("bye",))
+            except OSError:
+                pass
+            link.close()
+        self._links.clear()
+
+    # -- telemetry helpers --------------------------------------------------
+
+    @staticmethod
+    def _count_bytes(registry, spec, out_bytes, in_bytes):
+        if out_bytes:
+            registry.counter("remote.bytes_out").inc(out_bytes)
+            registry.counter("remote.bytes_out",
+                             labels={"host": spec.label}).inc(out_bytes)
+        if in_bytes:
+            registry.counter("remote.bytes_in").inc(in_bytes)
+            registry.counter("remote.bytes_in",
+                             labels={"host": spec.label}).inc(in_bytes)
+
+    # -- one retry round ----------------------------------------------------
+
+    def run_round(self, fn, pairs, workers, timeout, registry, attempt,
+                  plan, copy_tasks=False):
+        with self._round_lock:
+            return self._run_round_locked(fn, pairs, workers, timeout,
+                                          registry, attempt, plan)
+
+    def _run_round_locked(self, fn, pairs, workers, timeout, registry,
+                          attempt, plan):
+        from .. import parallel
+        instrument = registry.enabled
+        trace = tracing.current_trace_id()
+        # Fault plans cross the wire as plain data (spec string plus
+        # its knobs), never as pickled instances.
+        plan_spec = None if plan is None \
+            else (plan.spec(), plan.hang_seconds, plan.exit_code)
+        self._job += 1
+        job = self._job
+        tasks = {index: task for index, task in pairs}
+        # Queue entries are (index, dispatch_attempt); a reroute
+        # re-enqueues the same index with a bumped attempt so one-shot
+        # fault-plan coordinates fire once per chunk, not once per host
+        # the chunk lands on.
+        self._queue = [(index, attempt) for index, _task in pairs]
+        self._raw = {}
+        self._reroutes = {index: 0 for index in tasks}
+        total = len(tasks)
+        dead_sweeps = 0
+
+        links = self._ensure_links(registry)
+        if not links and not self._ever_connected:
+            raise ParallelError(
+                "remote backend: no reachable worker host among %s"
+                % ", ".join(spec.label for spec in self.specs))
+
+        while len(self._raw) < total:
+            links = list(self._links.values())
+            if not links:
+                links = self._ensure_links(registry)
+                if not links:
+                    dead_sweeps += 1
+                    if dead_sweeps >= _RECONNECT_SWEEPS:
+                        self._fail_remaining("no reachable remote host")
+                        break
+                    time.sleep(0.2)
+                    continue
+            dead_sweeps = 0
+            self._dispatch(links, workers, job, fn, tasks, plan_spec,
+                           instrument, trace, timeout, registry)
+            self._poll(job, registry)
+            now = time.monotonic()
+            self._check_timeouts(now, timeout, registry)
+            self._heartbeat(now, registry)
+
+        raw, self._raw = self._raw, {}
+        self._queue = []
+        self._reroutes = {}
+        return parallel.ParallelMap._collect(raw, registry, instrument)
+
+    # -- round internals ----------------------------------------------------
+
+    def _dispatch(self, links, workers, job, fn, tasks, plan_spec,
+                  instrument, trace, timeout, registry):
+        inflight_total = sum(len(link.inflight) for link in links
+                             if link.spec in self._links)
+        progress = True
+        while self._queue and progress and inflight_total < workers:
+            progress = False
+            live = [link for link in links if link.spec in self._links]
+            if not live:
+                return
+            start = self._rotation % len(live)
+            for link in live[start:] + live[:start]:
+                if not self._queue or inflight_total >= workers:
+                    break
+                if len(link.inflight) >= link.capacity:
+                    continue
+                index, dispatch_attempt = self._queue.pop(0)
+                message = ("chunk", job, index, dispatch_attempt, fn,
+                           shm.resolve_payload(tasks[index]), plan_spec,
+                           instrument, trace)
+                try:
+                    sent = wire.send_frame(link.sock, message)
+                except OSError:
+                    self._queue.insert(0, (index, dispatch_attempt))
+                    self._lose_link(link, registry,
+                                    "connection lost on dispatch")
+                    break
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
+                link.inflight[index] = (dispatch_attempt, deadline)
+                inflight_total += 1
+                progress = True
+                self._rotation += 1
+                if registry.enabled:
+                    self._count_bytes(registry, link.spec, sent, 0)
+                    registry.counter(
+                        "remote.chunks",
+                        labels={"host": link.spec.label}).inc()
+
+    def _poll(self, job, registry):
+        sockets = {link.sock: link for link in self._links.values()}
+        if not sockets:
+            return
+        try:
+            readable, _w, _x = select.select(list(sockets), [], [],
+                                             _POLL_S)
+        except (OSError, ValueError):  # pragma: no cover -- torn down
+            readable = list(sockets)
+        for sock in readable:
+            link = sockets[sock]
+            if link.spec not in self._links:
+                continue  # lost earlier in this sweep
+            try:
+                data = sock.recv(_RECV_BYTES)
+            except OSError:
+                data = b""
+            if not data:
+                self._lose_link(link, registry,
+                                "connection closed by host")
+                continue
+            if registry.enabled:
+                self._count_bytes(registry, link.spec, 0, len(data))
+            try:
+                messages = link.decoder.feed(data)
+            except ParallelError:
+                self._lose_link(link, registry,
+                                "corrupt frame from host")
+                continue
+            for message in messages:
+                self._handle(link, message, job)
+
+    def _handle(self, link, message, job):
+        kind = message[0]
+        link.last_seen = time.monotonic()
+        if kind == "pong":
+            link.ping_sent = None
+            return
+        if kind != "result":
+            return
+        _kind, msg_job, index, status, value, payload, elapsed = message
+        if msg_job != job or index not in link.inflight:
+            return  # stale: a round or dispatch we already gave up on
+        del link.inflight[index]
+        if index in self._raw:  # pragma: no cover -- defensive
+            return
+        if status == "ok":
+            self._raw[index] = ("ok", value, payload, elapsed)
+        else:
+            from .. import parallel
+            self._raw[index] = (
+                "error", parallel.TaskFailure(index, "error", value),
+                payload, elapsed)
+
+    def _lose_link(self, link, registry, why, expired=None,
+                   expired_reason="timeout"):
+        """Drop a host; reroute its in-flight chunks or fail them.
+
+        ``expired`` names the chunk whose own deadline caused the drop
+        (it fails with ``expired_reason`` when its reroute budget is
+        spent); every other in-flight chunk is collateral and fails as
+        ``crashed`` at budget exhaustion.
+        """
+        from .. import parallel
+        inflight = dict(link.inflight)
+        link.inflight.clear()
+        self._links.pop(link.spec, None)
+        link.close()
+        if registry.enabled and inflight:
+            registry.emit(tracing.point_event(
+                "backend.host_lost",
+                {"host": link.spec.label, "why": why,
+                 "inflight": sorted(inflight)}))
+        for index in sorted(inflight):
+            if index in self._raw:
+                continue
+            dispatch_attempt, _deadline = inflight[index]
+            if self._reroutes.get(index, 0) < self.max_reroutes:
+                self._reroutes[index] = self._reroutes.get(index, 0) + 1
+                self._queue.append((index, dispatch_attempt + 1))
+                if registry.enabled:
+                    registry.counter("backend.reroutes").inc()
+                    registry.counter(
+                        "backend.reroutes",
+                        labels={"backend": self.name}).inc()
+            else:
+                reason = expired_reason if index == expired else "crashed"
+                self._raw[index] = parallel.TaskFailure(
+                    index, reason,
+                    "remote host %s: %s" % (link.spec.label, why))
+
+    def _check_timeouts(self, now, timeout, registry):
+        if timeout is None:
+            return
+        for link in list(self._links.values()):
+            expired = None
+            for index, (_attempt, deadline) in link.inflight.items():
+                if deadline is not None and now > deadline:
+                    expired = index
+                    break
+            if expired is not None:
+                self._lose_link(
+                    link, registry,
+                    "chunk %d exceeded %.3gs" % (expired, timeout),
+                    expired=expired, expired_reason="timeout")
+
+    def _heartbeat(self, now, registry):
+        for link in list(self._links.values()):
+            if not link.inflight:
+                continue
+            if now - link.last_seen > self.heartbeat_grace_s:
+                self._lose_link(link, registry,
+                                "missed heartbeats for %.3gs"
+                                % (now - link.last_seen))
+                continue
+            if link.ping_sent is None \
+                    and now - link.last_seen > self.heartbeat_s:
+                try:
+                    sent = wire.send_frame(link.sock, ("ping", now))
+                    link.ping_sent = now
+                    if registry.enabled:
+                        self._count_bytes(registry, link.spec, sent, 0)
+                except OSError:
+                    self._lose_link(link, registry,
+                                    "connection lost on heartbeat")
+
+    def _fail_remaining(self, why):
+        from .. import parallel
+        for index, _attempt in self._queue:
+            if index not in self._raw:
+                self._raw[index] = parallel.TaskFailure(index, "crashed",
+                                                        why)
+        self._queue = []

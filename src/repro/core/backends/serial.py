@@ -1,0 +1,26 @@
+"""In-process execution backend: chunks run inline, no subprocesses."""
+
+from .base import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every chunk inline in the calling process.
+
+    Same chunk functions, same ordered results, no pickling -- the
+    behavior-preserving wrapper over the scheduler's serial path
+    (:meth:`~repro.core.parallel.ParallelMap._run_serial`), including
+    the per-attempt payload deep copy that keeps retries bit-identical
+    when fault injection or retry policies are active.
+
+    A ``timeout=`` cannot be enforced inline (only a subprocess can be
+    killed past its deadline); the scheduler warns once per process via
+    ``parallel.timeout_unenforced`` when a timed map lands here.
+    """
+
+    name = "serial"
+
+    def run_round(self, fn, pairs, workers, timeout, registry, attempt,
+                  plan, copy_tasks=False):
+        from .. import parallel
+        return parallel.ParallelMap._run_serial(
+            fn, pairs, registry, attempt, plan, copy_tasks)

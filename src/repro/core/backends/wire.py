@@ -1,0 +1,113 @@
+"""Length-prefixed TCP framing for the remote execution backend.
+
+One frame is ``MAGIC (4 bytes) + big-endian uint64 length + pickled
+payload``.  The payload is a plain tuple whose first element names the
+message type; both directions use the same framing:
+
+client -> host agent
+    ``("hello", info)``, ``("chunk", job, index, attempt, fn, task,
+    plan_spec, instrument, trace)``, ``("ping", token)``, ``("bye",)``
+
+host agent -> client
+    ``("welcome", info)``, ``("result", job, index, status, value,
+    payload, elapsed)`` -- the exact wire shape of the local
+    :class:`~repro.core.parallel.WorkerPool`, so both backends merge
+    results through the same code -- and ``("pong", token)``.
+
+Fault plans cross the wire as their :meth:`FaultPlan.spec` dict (plain
+data), never as pickled class instances, so a version-skewed host
+rejects cleanly instead of unpickling garbage.  ``fn`` is pickled by
+reference (module + qualname), which is why worker hosts must import
+the same code tree -- see ``docs/backends.md``.
+
+Stdlib only: :mod:`socket`, :mod:`struct`, :mod:`pickle`.
+"""
+
+import pickle
+import struct
+
+from ..exceptions import ParallelError
+
+#: Frame magic: "repro wire protocol, version 1".
+MAGIC = b"RWP1"
+
+#: Protocol version carried in hello/welcome for skew detection.
+VERSION = 1
+
+_HEADER = struct.Struct(">4sQ")
+
+#: Refuse frames beyond this size (corrupt header / hostile peer).
+MAX_FRAME_BYTES = 1 << 31
+
+
+def encode_frame(message):
+    """One wire frame for ``message`` (header + pickled payload)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MAGIC, len(payload)) + payload
+
+
+def send_frame(sock, message):
+    """Send one frame on a connected socket; returns bytes written."""
+    frame = encode_frame(message)
+    sock.sendall(frame)
+    return len(frame)
+
+
+class FrameDecoder:
+    """Incremental frame parser for a non-blocking receive loop.
+
+    Feed raw socket bytes in; complete messages come out, partial
+    frames stay buffered until their remainder arrives.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data):
+        """Absorb ``data``; return the list of completed messages."""
+        self._buffer.extend(data)
+        messages = []
+        while len(self._buffer) >= _HEADER.size:
+            magic, length = _HEADER.unpack_from(self._buffer)
+            if magic != MAGIC:
+                raise ParallelError(
+                    "bad frame magic %r (peer is not a repro worker host "
+                    "or the stream is corrupt)" % bytes(magic))
+            if length > MAX_FRAME_BYTES:
+                raise ParallelError(
+                    "frame length %d exceeds limit %d" % (length,
+                                                          MAX_FRAME_BYTES))
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            messages.append(pickle.loads(payload))
+        return messages
+
+
+def read_frame(stream):
+    """Blocking read of one frame from a file-like byte stream.
+
+    Returns the decoded message, or ``None`` on clean EOF at a frame
+    boundary.  EOF inside a frame raises (the peer died mid-message).
+    """
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise ParallelError("connection closed inside a frame header")
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ParallelError(
+            "bad frame magic %r (peer is not a repro worker host or the "
+            "stream is corrupt)" % magic)
+    if length > MAX_FRAME_BYTES:
+        raise ParallelError(
+            "frame length %d exceeds limit %d" % (length, MAX_FRAME_BYTES))
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise ParallelError("connection closed inside a frame payload")
+    return pickle.loads(payload)

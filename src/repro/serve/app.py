@@ -75,6 +75,7 @@ class ServeApp:
         self.host = host
         self.port = port
         self._server = None
+        self._writers = set()
 
     async def start(self):
         """Start the service and begin accepting connections.
@@ -87,12 +88,34 @@ class ServeApp:
             self._handle_connection, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def close(self):
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def close(self, grace=1.0):
+        """Stop accepting, shut the service down, reap connections.
+
+        Ordered so an in-flight long-poll resolves instead of
+        deadlocking: the listener closes first (no new work), then the
+        service -- failing queued jobs resolves their futures, which is
+        what answers pending long-polls -- and only then are connection
+        handlers waited for.  The wait is bounded by ``grace`` because
+        idle keep-alive clients hold their connections open
+        indefinitely (and Python 3.12's ``Server.wait_closed`` waits
+        for every handler); past the grace they are disconnected.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
         await self.service.close()
+        if server is not None:
+            try:
+                await asyncio.wait_for(server.wait_closed(), grace)
+            except asyncio.TimeoutError:
+                pass
+        # Handlers woken by the futures the service just resolved need
+        # a scheduling turn to write their responses (wait_closed does
+        # not provide one before Python 3.12).
+        await asyncio.sleep(0)
+        await asyncio.sleep(0)
+        for writer in list(self._writers):
+            writer.close()
 
     async def serve_forever(self):
         async with self._server:
@@ -101,6 +124,7 @@ class ServeApp:
     # -- connection handling -----------------------------------------------
 
     async def _handle_connection(self, reader, writer):
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -145,6 +169,7 @@ class ServeApp:
             # log for a connection that is being torn down anyway.
             pass
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from ..core import backends as backends_module
 from ..core import cache as result_cache
 from ..core import telemetry, tracing
 from ..core.exceptions import JobValidationError, ReproError
@@ -115,6 +116,18 @@ class ServeConfig:
         restarted (:class:`repro.core.tracing.FlightRecorder`).
     flight_events : int
         Ring capacity for the flight recorder.
+    backend : None, backend name, or ExecutionBackend
+        Chunk execution backend for every kernel the service runs
+        (``"serial"``, ``"pool"``, ``"remote"``, or an
+        :class:`~repro.core.backends.ExecutionBackend` instance; see
+        ``docs/backends.md``).  ``None`` keeps the library's automatic
+        choice -- the shared persistent pool when fanning out.  The
+        service installs this as an ambient
+        :func:`~repro.core.backends.use_backend` scope for its whole
+        lifetime, so all dispatcher threads inherit it.
+    hosts : None, str, or iterable
+        Worker hosts (``"host:port[:capacity]"`` entries, comma string
+        or list) for ``backend="remote"``.
     """
 
     def __init__(self, workers=None, timeout=None, retries=2, cache=None,
@@ -122,7 +135,8 @@ class ServeConfig:
                  tenant_quota=DEFAULT_TENANT_QUOTA,
                  batch_pairs=4096, job_concurrency=2,
                  retention=jobs_module.DEFAULT_RETENTION,
-                 slo=None, flight_dir=None, flight_events=256):
+                 slo=None, flight_dir=None, flight_events=256,
+                 backend=None, hosts=None):
         self.workers = resolve_workers(workers)
         self.timeout = timeout
         self.retries = int(retries)
@@ -137,6 +151,19 @@ class ServeConfig:
         self.slo = slo
         self.flight_dir = flight_dir
         self.flight_events = int(flight_events)
+        if backend is not None and not isinstance(
+                backend, (str, backends_module.ExecutionBackend)):
+            raise ReproError(
+                "backend must be one of %s or an ExecutionBackend, got %r"
+                % (", ".join(backends_module.BACKEND_NAMES), backend))
+        if isinstance(backend, str) \
+                and backend.strip().lower() \
+                not in backends_module.BACKEND_NAMES:
+            raise ReproError(
+                "unknown backend %r (expected one of %s)"
+                % (backend, ", ".join(backends_module.BACKEND_NAMES)))
+        self.backend = backend
+        self.hosts = hosts
 
 
 # -- request validation -----------------------------------------------------
@@ -372,6 +399,14 @@ class JobService:
         self._executor = None
         self._own_registry = None
         self._flight = None
+        self._backend_scope = None
+        # History backing windowed SLO burn rates (only kept when some
+        # objective actually declares a window).
+        self._slo_window = None
+        if self.config.slo is not None and any(
+                objective.window_s is not None
+                for objective in self.config.slo.objectives):
+            self._slo_window = slo_module.SnapshotWindow()
         self._closing = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -393,6 +428,15 @@ class JobService:
                 self.config.flight_dir,
                 capacity=self.config.flight_events)
             registry.add_sink(self._flight)
+        if (self.config.backend is not None
+                or self.config.hosts is not None) \
+                and self._backend_scope is None:
+            # Ambient for the service's lifetime: dispatcher threads
+            # run kernels off the event loop, and the override stack
+            # is cross-thread, so every kernel inherits the choice.
+            self._backend_scope = backends_module.use_backend(
+                self.config.backend, hosts=self.config.hosts)
+            self._backend_scope.__enter__()
         self._closing = False
         loop = asyncio.get_running_loop()
         self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -419,6 +463,9 @@ class JobService:
             if hasattr(registry, "remove_sink"):
                 registry.remove_sink(self._flight)
             self._flight = None
+        if self._backend_scope is not None:
+            self._backend_scope.__exit__(None, None, None)
+            self._backend_scope = None
         if self._own_registry is not None \
                 and telemetry.get_registry() is self._own_registry:
             telemetry.set_registry(None)
@@ -702,4 +749,10 @@ class JobService:
                     "counts": {"total": 0, "breached": 0},
                     "note": "no SLO spec loaded; start with --slo PATH"}
         snapshot = telemetry.get_registry().snapshot()
-        return slo_module.evaluate(self.config.slo, snapshot)
+        report = slo_module.evaluate(self.config.slo, snapshot,
+                                     window=self._slo_window)
+        if self._slo_window is not None:
+            # Recorded after evaluating: this poll's snapshot becomes a
+            # candidate baseline for future windows, not its own.
+            self._slo_window.record(snapshot)
+        return report

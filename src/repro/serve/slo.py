@@ -22,11 +22,21 @@ Evaluation reads the labeled serving metrics
 exact histogram-entry algebra, the requested quantile comes from the
 streaming log buckets, and each objective reports a **burn rate** --
 observed value divided by objective -- so 1.0 is the breach line.
-Burn rates here are cumulative over the snapshot's lifetime, not
-windowed; restart the registry (or serve process) to reset the clock.
+
+By default burn rates are cumulative over the snapshot's lifetime.
+Give an objective ``window_s = 300.0`` and it instead burns over a
+sliding window: the evaluator keeps a ring of timestamped snapshots
+(:class:`SnapshotWindow`), subtracts the newest snapshot at least
+``window_s`` old from the current one (counters and histogram buckets
+subtract exactly, so the delta is itself a valid snapshot), and rates
+the delta.  Until a full window of history exists the report says so
+(``mode="partial"`` with the actual ``span_s``, or ``"lifetime"``
+before the first recorded sample) rather than silently rating the
+wrong period.
 """
 
 import json
+import time
 
 from ..core import telemetry
 from ..core.exceptions import SloError
@@ -46,16 +56,17 @@ class Objective:
     """One SLO: filters plus a latency and/or error-rate target."""
 
     __slots__ = ("name", "kind", "tenant", "latency_ms", "quantile",
-                 "error_rate")
+                 "error_rate", "window_s")
 
     def __init__(self, name, kind=None, tenant=None, latency_ms=None,
-                 quantile=0.95, error_rate=None):
+                 quantile=0.95, error_rate=None, window_s=None):
         self.name = str(name)
         self.kind = None if kind in _WILDCARD else str(kind)
         self.tenant = None if tenant in _WILDCARD else str(tenant)
         self.latency_ms = None if latency_ms is None else float(latency_ms)
         self.quantile = float(quantile)
         self.error_rate = None if error_rate is None else float(error_rate)
+        self.window_s = None if window_s is None else float(window_s)
         if self.latency_ms is None and self.error_rate is None:
             raise SloError(
                 "objective %r needs latency_ms and/or error_rate"
@@ -69,6 +80,9 @@ class Objective:
         if self.error_rate is not None and not 0.0 < self.error_rate <= 1.0:
             raise SloError("objective %r: error_rate must be in (0, 1]"
                            % self.name)
+        if self.window_s is not None and self.window_s <= 0:
+            raise SloError("objective %r: window_s must be positive"
+                           % self.name)
 
     @classmethod
     def from_dict(cls, doc):
@@ -76,7 +90,7 @@ class Objective:
             raise SloError("objective must be a table/object, got %r"
                            % (doc,))
         unknown = set(doc) - {"name", "kind", "tenant", "latency_ms",
-                              "quantile", "error_rate"}
+                              "quantile", "error_rate", "window_s"}
         if unknown:
             raise SloError("objective has unknown fields: %s"
                            % ", ".join(sorted(unknown)))
@@ -92,6 +106,7 @@ class Objective:
             "latency_ms": self.latency_ms,
             "quantile": self.quantile,
             "error_rate": self.error_rate,
+            "window_s": self.window_s,
         }
 
 
@@ -135,6 +150,129 @@ def load_slo(path):
             except json.JSONDecodeError as error:
                 raise SloError("invalid JSON in %s: %s" % (path, error))
     return SloSpec.from_dict(doc)
+
+
+# -- sliding windows -------------------------------------------------------
+
+class SnapshotWindow:
+    """A bounded ring of timestamped registry snapshots.
+
+    :meth:`record` each evaluation's snapshot; :meth:`baseline` hands
+    back the newest sample at least ``window_s`` old, so
+    ``subtract_snapshots(current, baseline)`` isolates roughly the last
+    ``window_s`` seconds of traffic.  Counters and histogram buckets
+    are monotone, which is what makes the subtraction exact; the
+    reported span is the baseline's actual age, never a pretense that a
+    partial history covers the full window.
+    """
+
+    def __init__(self, max_samples=256):
+        self.max_samples = max(2, int(max_samples))
+        self._samples = []  # (timestamp, snapshot), oldest first
+
+    def __len__(self):
+        return len(self._samples)
+
+    def record(self, snapshot, now=None):
+        """Append one snapshot (``now`` overrides the clock in tests)."""
+        now = time.time() if now is None else float(now)
+        self._samples.append((now, snapshot))
+        if len(self._samples) > self.max_samples:
+            del self._samples[:len(self._samples) - self.max_samples]
+
+    def baseline(self, window_s, now=None):
+        """``(snapshot, span_s, mode)`` for a ``window_s`` burn window.
+
+        ``mode`` is ``"windowed"`` (a sample at least ``window_s`` old
+        exists -- the newest such sample is the baseline),
+        ``"partial"`` (history is younger than the window, so the
+        oldest sample stands in and ``span_s`` reports the shortfall),
+        or ``"lifetime"`` (no history yet; snapshot is ``None``).
+        """
+        now = time.time() if now is None else float(now)
+        chosen = None
+        for timestamp, snapshot in self._samples:
+            if now - timestamp >= window_s:
+                chosen = (timestamp, snapshot)  # newest qualifying wins
+            else:
+                break
+        if chosen is not None:
+            return chosen[1], now - chosen[0], "windowed"
+        if self._samples:
+            timestamp, snapshot = self._samples[0]
+            return snapshot, max(0.0, now - timestamp), "partial"
+        return None, None, "lifetime"
+
+
+def _subtract_histogram(current, baseline):
+    """``current - baseline`` for histogram snapshot entries.
+
+    Bucket counts, totals, and zero counts subtract exactly (clamped at
+    zero against registry resets); the delta's quantiles are recomputed
+    from its own buckets.  ``min``/``max`` carry over from ``current``
+    -- the window's true extremes are not recoverable from deltas --
+    which only widens :func:`~repro.core.telemetry.histogram_quantile`'s
+    clamp range, never the ranks.
+    """
+    count = max(0, int(current.get("count", 0))
+                - int(baseline.get("count", 0)))
+    total = max(0.0, float(current.get("total", 0.0))
+                - float(baseline.get("total", 0.0)))
+    sum_sq = max(0.0, float(current.get("sum_sq", 0.0))
+                 - float(baseline.get("sum_sq", 0.0)))
+    zeros = max(0, int(current.get("zeros") or 0)
+                - int(baseline.get("zeros") or 0))
+    delta = {
+        "kind": "histogram",
+        "count": count,
+        "total": total,
+        "sum_sq": sum_sq,
+        "min": current.get("min"),
+        "max": current.get("max"),
+        "mean": total / count if count else None,
+        "std": None,
+        "zeros": zeros,
+    }
+    for key in ("buckets", "neg_buckets"):
+        buckets = {}
+        base = baseline.get(key) or {}
+        for index, n in (current.get(key) or {}).items():
+            left = int(n) - int(base.get(index, 0))
+            if left > 0:
+                buckets[index] = left
+        delta[key] = buckets
+    for key, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+        delta[key] = telemetry.histogram_quantile(delta, q)
+    return delta
+
+
+def subtract_snapshots(current, baseline):
+    """The snapshot of everything that happened after ``baseline``.
+
+    Counters subtract (clamped at zero), gauges are levels so the
+    current value stands, histograms go through
+    :func:`_subtract_histogram`.  Metrics first seen after the baseline
+    pass through unchanged; metrics that only exist in the baseline are
+    dropped (snapshots grow monotonically, so that means a registry
+    swap -- the delta would be meaningless).
+    """
+    delta = {}
+    for name, entry in current.items():
+        base = baseline.get(name)
+        kind = entry.get("kind")
+        if base is None or base.get("kind") != kind:
+            delta[name] = entry
+        elif kind == "counter":
+            delta[name] = {
+                "kind": "counter",
+                "value": max(0, entry.get("value", 0)
+                             - base.get("value", 0)),
+            }
+        elif kind == "histogram":
+            delta[name] = _subtract_histogram(entry, base)
+        else:
+            delta[name] = entry
+    return delta
 
 
 def _matches(objective, labels):
@@ -181,7 +319,7 @@ def _outcome_counts(objective, snapshot):
     return total, errors
 
 
-def evaluate(spec, snapshot):
+def evaluate(spec, snapshot, window=None, now=None):
     """Burn-rate report of ``spec`` against a registry snapshot dict.
 
     Returns ``{"ok": bool, "objectives": [...], "counts": {...}}``;
@@ -189,13 +327,46 @@ def evaluate(spec, snapshot):
     error rate, the target, and ``burn_rate`` (observed / objective,
     so values above 1.0 are breaches).  Objectives with no matching
     traffic evaluate as ok with null observations.
+
+    Objectives declaring ``window_s`` are rated against
+    ``subtract_snapshots(snapshot, window.baseline(...))`` when a
+    :class:`SnapshotWindow` is passed; their report entry gains a
+    ``"window"`` block with the requested ``window_s``, the actual
+    ``span_s`` covered, and the ``mode`` (``windowed`` / ``partial`` /
+    ``lifetime``).  The caller records ``snapshot`` into the window
+    *after* evaluating, so consecutive polls build up the history.
+    ``now`` overrides the clock (tests drive synthetic timelines).
     """
+    deltas = {}  # window_s -> (scoped snapshot, window report block)
+
+    def _scoped(objective):
+        if objective.window_s is None:
+            return snapshot, None
+        cached = deltas.get(objective.window_s)
+        if cached is not None:
+            return cached
+        info = {"window_s": objective.window_s, "span_s": None,
+                "mode": "lifetime"}
+        scoped = snapshot
+        if window is not None:
+            baseline, span, mode = window.baseline(objective.window_s,
+                                                   now=now)
+            if baseline is not None:
+                scoped = subtract_snapshots(snapshot, baseline)
+                info = {"window_s": objective.window_s,
+                        "span_s": span, "mode": mode}
+        deltas[objective.window_s] = (scoped, info)
+        return scoped, info
+
     results = []
     for objective in spec.objectives:
+        scoped, window_info = _scoped(objective)
         result = objective.describe()
+        if window_info is not None:
+            result["window"] = window_info
         result["ok"] = True
         if objective.latency_ms is not None:
-            entry = _merged_latency(objective, snapshot)
+            entry = _merged_latency(objective, scoped)
             observed_ms = None
             if entry is not None and entry.get("count"):
                 key = _QUANTILES.get(objective.quantile)
@@ -217,7 +388,7 @@ def evaluate(spec, snapshot):
             }
             result["ok"] = result["ok"] and ok
         if objective.error_rate is not None:
-            total, errors = _outcome_counts(objective, snapshot)
+            total, errors = _outcome_counts(objective, scoped)
             rate = errors / total if total else None
             burn = None if rate is None else rate / objective.error_rate
             ok = burn is None or burn <= 1.0

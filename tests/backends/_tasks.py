@@ -1,0 +1,49 @@
+"""Module-level task functions for the backend differential tier.
+
+Worker entry points must pickle by reference, so everything the
+serial/pool/remote comparisons map over lives here (the remote host
+agent imports this module by name when unpickling a chunk).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import telemetry
+
+
+def square(x):
+    return x * x
+
+
+def square_instrumented(x):
+    telemetry.counter("test.backends.calls").inc()
+    telemetry.counter("test.backends.calls",
+                      labels={"kind": "square"}).inc()
+    telemetry.histogram("test.backends.values").observe(float(x))
+    return x * x
+
+
+def rng_draw(task):
+    """Draw from a per-chunk spawned generator; return the draws plus
+    the generator's final state (the cross-backend determinism
+    contract covers both)."""
+    rng, count = task
+    values = rng.integers(0, 1 << 30, size=count)
+    return values, rng.bit_generator.state
+
+
+def sum_array(task):
+    return float(task.sum())
+
+
+def sleep_then_square(task):
+    delay, x = task
+    if delay:
+        time.sleep(delay)
+    return x * x
+
+
+def checksum_array(task):
+    """Bit-stable reduction over a float array (no reordering)."""
+    return float(np.float64(0.0) + task.sum(dtype=np.float64))

@@ -1,0 +1,54 @@
+"""Fixtures for the backend differential tier: loopback worker-host
+agents (real child processes, real TCP) plus teardown hygiene so dead
+links, warm remote backends, and pool workers never leak across tests.
+"""
+
+import pytest
+
+from repro.core import backends
+from repro.core import parallel as parallel_module
+from repro.core import shm
+from repro.core.backends.hostagent import spawn_local_agent
+
+
+def _spawn(count, capacity):
+    # Fork after shutting the persistent pool down so agent children
+    # never inherit pool pipes/queues.
+    parallel_module.shutdown_pools()
+    return [spawn_local_agent(capacity=capacity) for _ in range(count)]
+
+
+def _reap(handles):
+    for handle in handles:
+        handle.terminate()
+    # Warm RemoteBackends are cached per host set; these ports are gone
+    # for good, so drop the links rather than letting a later test's
+    # atexit pass deal with them.
+    backends.shutdown_backends()
+
+
+@pytest.fixture(scope="module")
+def loopback_hosts():
+    """Two healthy loopback agents, shared across a module's tests.
+
+    Only for tests that leave the agents alive -- fault tests that kill
+    agents use the function-scoped :func:`agents` fixture instead.
+    """
+    handles = _spawn(2, capacity=4)
+    yield ",".join(handle.spec for handle in handles)
+    _reap(handles)
+
+
+@pytest.fixture
+def agents():
+    """Two fresh loopback agents per test (safe to kill)."""
+    handles = _spawn(2, capacity=4)
+    yield handles
+    _reap(handles)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    yield
+    assert shm.active_segment_count() == 0, \
+        "test leaked shared-memory segments"

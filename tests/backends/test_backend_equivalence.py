@@ -1,0 +1,174 @@
+"""The differential tier: serial, pool, and loopback-remote backends
+must be *bit-identical* -- results (``np.array_equal``, never
+``allclose``), spawned-RNG final states, merged telemetry snapshots,
+cache keys, and checkpoints that resume across backends.
+
+The chunking/RNG/cache/checkpoint machinery lives in the scheduler,
+above the backend seam, so any divergence here means a backend leaked
+into the determinism contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cache as cache_module
+from repro.core import resilience, telemetry
+from repro.core.backends import use_backend
+from repro.core.exceptions import ParallelError
+from repro.core.parallel import ParallelMap
+from repro.core.rngs import spawn_rngs
+from repro.core.sat_instances import planted_ksat
+from repro.memcomputing.ensemble import solve_ensemble
+
+from . import _tasks
+
+BACKENDS = ("serial", "pool", "remote")
+
+
+def _map_on(backend, hosts, fn, tasks, **kwargs):
+    engine = ParallelMap(workers=kwargs.pop("workers", 2),
+                         backend=backend,
+                         hosts=hosts if backend == "remote" else None,
+                         **kwargs)
+    return engine.map(fn, tasks)
+
+
+class TestResultEquivalence:
+    def test_squares_identical_across_backends(self, loopback_hosts):
+        tasks = list(range(23))
+        baseline = _map_on("serial", None, _tasks.square, tasks)
+        for backend in ("pool", "remote"):
+            assert _map_on(backend, loopback_hosts, _tasks.square,
+                           tasks) == baseline
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=st.lists(st.integers(-10**6, 10**6), min_size=1,
+                           max_size=40),
+           workers=st.integers(1, 4))
+    def test_property_serial_equals_pool(self, values, workers):
+        serial = _map_on("serial", None, _tasks.square, values,
+                         workers=workers)
+        pooled = _map_on("pool", None, _tasks.square, values,
+                         workers=workers)
+        assert serial == pooled
+
+    def test_array_tasks_bit_identical(self, loopback_hosts):
+        rng = np.random.default_rng(7)
+        tasks = [rng.normal(size=64) for _ in range(9)]
+        baseline = _map_on("serial", None, _tasks.checksum_array, tasks)
+        for backend in ("pool", "remote"):
+            got = _map_on(backend, loopback_hosts,
+                          _tasks.checksum_array, tasks)
+            assert got == baseline  # exact float equality, no approx
+
+    def test_spawned_rng_draws_and_final_state_identical(
+            self, loopback_hosts):
+        def run(backend):
+            tasks = list(zip(spawn_rngs(1234, 8), [16] * 8))
+            return _map_on(backend, loopback_hosts, _tasks.rng_draw,
+                           tasks)
+
+        baseline = run("serial")
+        for backend in ("pool", "remote"):
+            got = run(backend)
+            for (values, state), (base_values, base_state) in zip(
+                    got, baseline):
+                assert np.array_equal(values, base_values)
+                assert state == base_state
+
+
+class TestTelemetryEquivalence:
+    def _snapshot(self, backend, hosts):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            _map_on(backend, hosts, _tasks.square_instrumented,
+                    list(range(12)))
+        snapshot = registry.snapshot()
+        return {name: entry for name, entry in snapshot.items()
+                if name.startswith("test.backends.")
+                or name == "parallel.tasks"}
+
+    def test_merged_snapshots_identical(self, loopback_hosts):
+        baseline = self._snapshot("serial", None)
+        assert baseline  # the instrumented task actually recorded
+        for backend in ("pool", "remote"):
+            assert self._snapshot(backend, loopback_hosts) == baseline
+
+    def test_backend_chunks_counter_labeled_per_backend(
+            self, loopback_hosts):
+        for backend in BACKENDS:
+            registry = telemetry.MetricsRegistry()
+            with telemetry.use_registry(registry):
+                _map_on(backend, loopback_hosts, _tasks.square,
+                        list(range(10)))
+            counter = registry.counter("backend.chunks",
+                                       labels={"backend": backend})
+            assert counter.value == 10
+
+
+class TestCacheEquivalence:
+    RUN_ARGS = dict(batch=6, max_steps=12_000, chunk_size=2, rng=2)
+    FORMULA_ARGS = dict(num_variables=15, num_clauses=55, rng=1)
+
+    def test_cache_keys_shared_across_backends(self, tmp_path,
+                                               loopback_hosts):
+        formula = planted_ksat(**self.FORMULA_ARGS)
+        store = cache_module.ResultCache(cache_dir=str(tmp_path))
+        with use_backend("serial"):
+            cold = solve_ensemble(formula, workers=2, cache=store,
+                                  **self.RUN_ARGS)
+        stored = store.stores
+        assert stored > 0
+        entries_after_cold = sorted(path for path, _mtime, _size
+                                    in store._disk_entries())
+        with use_backend("remote", hosts=loopback_hosts):
+            warm = solve_ensemble(formula, workers=2, cache=store,
+                                  **self.RUN_ARGS)
+        assert np.array_equal(cold.solve_steps, warm.solve_steps)
+        # Every chunk the remote run needed hit the serial run's
+        # entries: same fingerprints, nothing new stored.
+        assert store.hits >= stored
+        assert store.stores == stored
+        assert sorted(path for path, _mtime, _size
+                      in store._disk_entries()) == entries_after_cold
+
+
+class TestCheckpointEquivalence:
+    RUN_ARGS = dict(batch=6, max_steps=12_000, chunk_size=2, rng=2)
+    FORMULA_ARGS = dict(num_variables=15, num_clauses=55, rng=1)
+
+    def test_pool_checkpoint_resumes_on_remote(self, tmp_path,
+                                               loopback_hosts):
+        formula = planted_ksat(**self.FORMULA_ARGS)
+        with use_backend("serial"):
+            uninterrupted = solve_ensemble(formula, workers=1,
+                                           **self.RUN_ARGS)
+        path = str(tmp_path / "ensemble.json")
+        # Pool run dies on chunk 2 (every attempt), checkpoint partial;
+        # the plan is uninstalled before the resume, which must run
+        # fault-free.
+        plan = resilience.FaultPlan.from_spec(
+            "2:1:raise,2:2:raise,2:3:raise")
+        previous = resilience.set_fault_plan(plan)
+        try:
+            with use_backend("pool"):
+                with pytest.raises(ParallelError):
+                    solve_ensemble(
+                        formula, workers=2,
+                        retry=resilience.RetryPolicy(max_attempts=3,
+                                                     backoff_base=0.0),
+                        checkpoint=path, **self.RUN_ARGS)
+        finally:
+            resilience.set_fault_plan(previous)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            with use_backend("remote", hosts=loopback_hosts):
+                resumed = solve_ensemble(formula, workers=2,
+                                         checkpoint=path,
+                                         **self.RUN_ARGS)
+        assert np.array_equal(uninterrupted.solve_steps,
+                              resumed.solve_steps)
+        restored = registry.counter("resilience.chunks_restored").value
+        assert restored > 0  # the pool run's chunks fed the remote run

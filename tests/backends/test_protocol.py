@@ -1,0 +1,121 @@
+"""The remote wire protocol in isolation: framing round-trips under
+arbitrary fragmentation, corrupt-stream rejection, and host-spec
+parsing.  No sockets -- the decoder is a pure byte-stream machine.
+"""
+
+import io
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import wire
+from repro.core.backends.remote import HostSpec, parse_hosts
+from repro.core.exceptions import ParallelError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = ("chunk", "job-1", 3, 1, None, [1, 2, 3], None,
+                   False, None)
+        decoder = wire.FrameDecoder()
+        assert decoder.feed(wire.encode_frame(message)) == [message]
+
+    def test_multiple_frames_in_one_feed(self):
+        messages = [("ping", n) for n in range(5)]
+        blob = b"".join(wire.encode_frame(m) for m in messages)
+        assert wire.FrameDecoder().feed(blob) == messages
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.lists(st.integers(-2**40, 2**40), max_size=50),
+           cut=st.data())
+    def test_any_fragmentation_reassembles(self, payload, cut):
+        message = ("result", "job", 0, "ok", payload, None, 0.0)
+        blob = wire.encode_frame(message)
+        decoder = wire.FrameDecoder()
+        seen = []
+        position = 0
+        while position < len(blob):
+            step = cut.draw(st.integers(1, len(blob) - position))
+            seen.extend(decoder.feed(blob[position:position + step]))
+            position += step
+        assert seen == [message]
+
+    def test_read_frame_stream(self):
+        messages = [("hello", {"version": wire.VERSION}), ("bye",)]
+        stream = io.BytesIO(b"".join(wire.encode_frame(m)
+                                     for m in messages))
+        assert wire.read_frame(stream) == messages[0]
+        assert wire.read_frame(stream) == messages[1]
+        assert wire.read_frame(stream) is None  # clean EOF
+
+    def test_read_frame_truncated_mid_frame_raises(self):
+        blob = wire.encode_frame(("ping", 1))
+        stream = io.BytesIO(blob[:-3])
+        with pytest.raises(ParallelError):
+            wire.read_frame(stream)
+
+    def test_bad_magic_rejected(self):
+        blob = wire.encode_frame(("ping", 1))
+        corrupt = b"XXXX" + blob[4:]
+        with pytest.raises(ParallelError, match="magic"):
+            wire.FrameDecoder().feed(corrupt)
+
+    def test_oversized_frame_rejected(self):
+        header = wire.MAGIC + (wire.MAX_FRAME_BYTES + 1).to_bytes(8, "big")
+        with pytest.raises(ParallelError):
+            wire.FrameDecoder().feed(header)
+
+    def test_frames_carry_pickled_numpy_payloads(self):
+        import numpy as np
+
+        array = np.arange(12.0).reshape(3, 4)
+        message = ("result", "job", 1, "ok", array, None, 0.01)
+        (decoded,) = wire.FrameDecoder().feed(wire.encode_frame(message))
+        assert np.array_equal(decoded[4], array)
+        assert decoded[4].dtype == array.dtype
+
+    def test_encode_uses_highest_pickle_protocol(self):
+        blob = wire.encode_frame(("ping", 0))
+        # Strip the header; the body must be a current-protocol pickle.
+        body = blob[12:]
+        assert pickle.loads(body) == ("ping", 0)
+
+
+class TestHostSpecs:
+    def test_parse_host_port(self):
+        spec = HostSpec.parse("127.0.0.1:9000")
+        assert (spec.host, spec.port) == ("127.0.0.1", 9000)
+
+    def test_parse_with_capacity(self):
+        spec = HostSpec.parse("worker-3:9000:8")
+        assert (spec.host, spec.port, spec.capacity) == ("worker-3",
+                                                         9000, 8)
+
+    def test_label_is_host_port(self):
+        assert HostSpec.parse("h:1234:2").label == "h:1234"
+
+    @pytest.mark.parametrize("bad", ["", "nohost", "h:notaport",
+                                     "h:0", "h:70000", "h:80:0",
+                                     "h:80:-1"])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ParallelError):
+            HostSpec.parse(bad)
+
+    def test_parse_hosts_comma_string(self):
+        specs = parse_hosts("a:1000, b:2000:4")
+        assert [(s.host, s.port) for s in specs] == [("a", 1000),
+                                                     ("b", 2000)]
+
+    def test_parse_hosts_iterable_and_passthrough(self):
+        one = HostSpec.parse("a:1000")
+        specs = parse_hosts([one, "b:2000"])
+        assert specs[0] is one
+        assert specs[1].port == 2000
+
+    def test_parse_hosts_empty_rejected(self):
+        with pytest.raises(ParallelError):
+            parse_hosts("")
+        with pytest.raises(ParallelError):
+            parse_hosts([])

@@ -1,0 +1,132 @@
+"""Remote-backend fault injection: hosts killed mid-chunk, hung hosts
+exceeding the per-chunk timeout, connections dropped mid-run, and
+whole-fleet loss.  Every recovery must be *bit-exact* against a serial
+baseline, visibly counted (``backend.reroutes``), and leak-free (the
+package's autouse fixture asserts zero live shared-memory segments
+after every test).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import telemetry
+from repro.core.exceptions import ParallelError
+from repro.core.parallel import ParallelMap, TaskFailure
+
+from . import _tasks
+
+
+def _hosts(handles):
+    return ",".join(handle.spec for handle in handles)
+
+
+def _remote_map(handles, fn, tasks, on_error="raise", **kwargs):
+    kwargs.setdefault("workers", 4)
+    return ParallelMap(backend="remote", hosts=_hosts(handles),
+                       **kwargs).map(fn, tasks, on_error=on_error)
+
+
+def _dead_count(handles, expected, deadline_s=5.0):
+    """Wait briefly for agent processes to be reaped, return the count."""
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        dead = sum(1 for handle in handles if not handle.alive())
+        if dead >= expected:
+            return dead
+    return sum(1 for handle in handles if not handle.alive())
+
+
+class TestKilledHost:
+    def test_kill_fault_reroutes_and_completes_bit_exact(
+            self, agents, fault_plan):
+        tasks = list(range(12))
+        baseline = ParallelMap(workers=1).map(_tasks.square, tasks)
+        # Chunk 1, first attempt: os._exit inside run_task takes the
+        # whole agent process down -- "host killed mid-chunk".
+        fault_plan([(1, 1, "kill")])
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = _remote_map(agents, _tasks.square, tasks)
+        assert results == baseline
+        assert registry.counter("backend.reroutes").value > 0
+        assert registry.counter(
+            "backend.reroutes", labels={"backend": "remote"}).value > 0
+        assert _dead_count(agents, expected=1) == 1
+
+    def test_host_killed_externally_mid_run_reroutes(self, agents):
+        # Even indexes sleep long enough to be inflight when the first
+        # agent is killed out from under the client.
+        tasks = [(0.3 if index % 2 == 0 else 0.0, index)
+                 for index in range(10)]
+        expected = [index * index for _delay, index in tasks]
+        killer = threading.Timer(0.15, agents[0].process.kill)
+        registry = telemetry.MetricsRegistry()
+        killer.start()
+        try:
+            with telemetry.use_registry(registry):
+                results = _remote_map(agents, _tasks.sleep_then_square,
+                                      tasks)
+        finally:
+            killer.cancel()
+        assert results == expected
+        assert registry.counter("backend.reroutes").value > 0
+
+
+class TestHungHost:
+    def test_hang_exceeding_timeout_reroutes_bit_exact(
+            self, agents, fault_plan):
+        tasks = list(range(8))
+        baseline = ParallelMap(workers=1).map(_tasks.square, tasks)
+        fault_plan([(0, 1, "hang")], hang_seconds=120.0)
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = _remote_map(agents, _tasks.square, tasks,
+                                  timeout=1.5)
+        assert results == baseline
+        assert registry.counter("backend.reroutes").value > 0
+        # A hang wedges one executor thread, not the agent: both hosts
+        # are still alive (the kill is the client's link drop).
+        assert all(handle.alive() for handle in agents)
+
+
+class TestFleetLoss:
+    def test_all_hosts_dead_fails_chunks_without_hanging(self, agents):
+        tasks = [(0.5, index) for index in range(8)]
+        for handle in agents:
+            threading.Timer(0.1, handle.process.kill).start()
+        start = time.monotonic()
+        results = _remote_map(agents, _tasks.sleep_then_square, tasks,
+                              on_error="return")
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0
+        assert any(isinstance(value, TaskFailure) for value in results)
+
+    def test_unreachable_host_raises_when_never_connected(self):
+        with pytest.raises(ParallelError):
+            ParallelMap(workers=2, backend="remote",
+                        hosts="127.0.0.1:9:1").map(_tasks.square, [1, 2])
+
+    def test_partial_connectivity_uses_the_reachable_host(self, agents):
+        agents[1].terminate()
+        tasks = list(range(10))
+        baseline = [value * value for value in tasks]
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            results = _remote_map(agents, _tasks.square, tasks)
+        assert results == baseline
+        assert registry.counter("remote.connect_failures").value > 0
+
+
+class TestTransferTelemetry:
+    def test_bytes_counters_with_host_labels(self, agents):
+        registry = telemetry.MetricsRegistry()
+        with telemetry.use_registry(registry):
+            _remote_map(agents, _tasks.square, list(range(6)))
+        snapshot = registry.snapshot()
+        assert registry.counter("remote.bytes_out").value > 0
+        assert registry.counter("remote.bytes_in").value > 0
+        for name in ("remote.bytes_out", "remote.bytes_in"):
+            assert any(key.startswith(name + "{host=")
+                       for key in snapshot), name

@@ -1,0 +1,114 @@
+"""Backend selection precedence: explicit argument > ambient
+``use_backend`` scope > ``REPRO_BACKEND``/``REPRO_HOSTS`` environment >
+the legacy automatic serial-vs-pool choice.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import backends
+from repro.core.backends import (
+    PoolBackend,
+    SerialBackend,
+    resolve_backend,
+    use_backend,
+)
+from repro.core.exceptions import ParallelError
+from repro.core.parallel import ParallelMap
+
+
+class TestResolvePrecedence:
+    def test_explicit_instance_wins(self):
+        mine = SerialBackend()
+        with use_backend("pool"):
+            assert resolve_backend(mine) is mine
+
+    def test_explicit_name_beats_scope(self):
+        with use_backend("pool"):
+            assert resolve_backend("serial").name == "serial"
+
+    def test_scope_beats_automatic(self):
+        with use_backend("serial"):
+            assert resolve_backend(fanout=True).name == "serial"
+
+    def test_innermost_scope_wins(self):
+        with use_backend("pool"):
+            with use_backend("serial"):
+                assert resolve_backend(fanout=True).name == "serial"
+            assert resolve_backend(fanout=True).name == "pool"
+
+    def test_none_scope_is_passthrough(self):
+        with use_backend(None):
+            assert resolve_backend(fanout=False).name == "serial"
+            assert resolve_backend(fanout=True).name == "pool"
+
+    def test_scope_is_visible_across_threads(self):
+        # The serve dispatcher runs kernels on executor threads; the
+        # override stack is deliberately process-global.
+        seen = []
+        with use_backend("serial"):
+            thread = threading.Thread(
+                target=lambda: seen.append(
+                    resolve_backend(fanout=True).name))
+            thread.start()
+            thread.join()
+        assert seen == ["serial"]
+
+    def test_env_beats_automatic(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "serial")
+        assert resolve_backend(fanout=True).name == "serial"
+
+    def test_scope_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "serial")
+        with use_backend("pool"):
+            assert resolve_backend(fanout=True).name == "pool"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "quantum-teleport")
+        with pytest.raises(ParallelError):
+            resolve_backend(fanout=True)
+
+    def test_automatic_without_fanout_is_serial(self):
+        assert resolve_backend(fanout=False).name == "serial"
+
+    def test_remote_without_hosts_raises(self):
+        with pytest.raises(ParallelError, match="hosts"):
+            resolve_backend("remote")
+
+    def test_remote_hosts_from_env(self, monkeypatch):
+        monkeypatch.setenv(backends.HOSTS_ENV, "127.0.0.1:19999:1")
+        backend = resolve_backend("remote")
+        assert backend.name == "remote"
+        backends.shutdown_backends()
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ParallelError):
+            resolve_backend("carrier-pigeon")
+        with pytest.raises(ParallelError):
+            use_backend("carrier-pigeon")
+
+    def test_pool_backend_reports_pool_name(self):
+        assert PoolBackend().name == "pool"
+
+
+class TestParallelMapWiring:
+    def test_map_validates_backend_argument(self):
+        with pytest.raises(ParallelError):
+            ParallelMap(backend="warp-drive")
+        with pytest.raises(ParallelError):
+            ParallelMap(backend=42)
+
+    def test_map_accepts_backend_instance(self):
+        results = ParallelMap(workers=2,
+                              backend=SerialBackend()).map(
+            _double, [1, 2, 3])
+        assert results == [2, 4, 6]
+
+    def test_remote_map_without_hosts_raises(self):
+        with pytest.raises(ParallelError, match="hosts"):
+            ParallelMap(workers=2, backend="remote").map(_double, [1])
+
+
+def _double(x):
+    return 2 * x

@@ -221,3 +221,62 @@ class TestErrors:
                 assert "queue is full" in doc["error"]
 
         asyncio.run(body())
+
+
+class TestShutdown:
+    def test_long_poll_resolves_during_shutdown(self):
+        """A client parked on ``?wait=`` when the app closes gets an
+        answer -- the failed-by-shutdown job document -- rather than a
+        dropped connection, and ``close()`` itself returns instead of
+        deadlocking on the handler it would otherwise wait for.
+        """
+        async def body():
+            app = ServeApp(JobService(ServeConfig(workers=1)), port=0)
+            await app.start()
+            service = app.service
+            # Park the dispatchers so the job stays queued; its future
+            # then only resolves through the shutdown path.
+            for task in service._dispatchers:
+                task.cancel()
+            await asyncio.gather(*service._dispatchers,
+                                 return_exceptions=True)
+            service._dispatchers = []
+            status, _, doc = await _request(
+                app.port, "POST", "/v1/jobs",
+                {"kind": "factor", "params": {"n": 21}})
+            assert status == 202 and doc["state"] == "queued"
+            conn = await asyncio.open_connection("127.0.0.1", app.port)
+            try:
+                poll = asyncio.create_task(_request(
+                    app.port, "GET", "/v1/jobs/%s?wait=30" % doc["id"],
+                    reuse=conn))
+                await asyncio.sleep(0.1)
+                assert not poll.done()  # genuinely parked on the future
+                await asyncio.wait_for(app.close(), 10.0)
+                status, _, final = await asyncio.wait_for(poll, 5.0)
+            finally:
+                conn[1].close()
+            assert status == 200
+            assert final["state"] == "failed"
+            assert "shut down" in final["error"]
+
+        asyncio.run(body())
+
+    def test_close_reaps_idle_keep_alive_connections(self):
+        """An idle keep-alive client must not wedge ``close()``."""
+        async def body():
+            app = ServeApp(JobService(ServeConfig(workers=1)), port=0)
+            await app.start()
+            conn = await asyncio.open_connection("127.0.0.1", app.port)
+            try:
+                status, _, doc = await _request(app.port, "GET",
+                                                "/v1/healthz", reuse=conn)
+                assert status == 200 and doc["status"] == "ok"
+                # The client now just sits on the open connection.
+                await asyncio.wait_for(app.close(grace=0.2), 10.0)
+                # The server side hung up on it.
+                assert await conn[0].read(1) == b""
+            finally:
+                conn[1].close()
+
+        asyncio.run(body())

@@ -21,7 +21,7 @@ from repro.core.exceptions import (
 )
 from repro.oscillators.distance import OscillatorDistanceUnit
 from repro.serve import JobService, ServeConfig, validate_request
-from repro.serve.jobs import DONE, FAILED
+from repro.serve.jobs import DONE, FAILED, JobTable
 
 
 def run_service_test(body, **config_kwargs):
@@ -250,6 +250,67 @@ class TestAdmission:
             assert len(service.table) == 2
 
         run_service_test(body, retention=2)
+
+
+class TestJobTablePruning:
+    """The retention contract at the table level: only *finished* jobs
+    count against the cap, the oldest finished go first, and pruned ids
+    stop resolving while live ones keep working.
+    """
+
+    def _table(self, retention, finished=0, live=0):
+        table = JobTable(retention=retention)
+        jobs = [table.create("factor", {"n": 15}, "t", 5,
+                             "key-%d" % index, {})
+                for index in range(finished + live)]
+        for job in jobs[:finished]:
+            job.state = DONE
+        return table, jobs
+
+    def test_prune_drops_oldest_finished_first(self):
+        table, jobs = self._table(retention=2, finished=5)
+        table.prune()
+        assert len(table) == 2
+        assert [table.get(job.id) for job in jobs[:3]] == [None] * 3
+        assert table.get(jobs[3].id) is jobs[3]
+        assert table.get(jobs[4].id) is jobs[4]
+
+    def test_unfinished_jobs_never_pruned(self):
+        table, jobs = self._table(retention=0, finished=3, live=4)
+        table.prune()
+        # Every queued job survives a zero-retention prune; every
+        # finished one goes.
+        assert len(table) == 4
+        for job in jobs[3:]:
+            assert table.get(job.id) is job
+
+    def test_prune_under_cap_is_a_no_op(self):
+        table, jobs = self._table(retention=10, finished=3)
+        table.prune()
+        assert len(table) == 3
+
+    def test_prune_is_idempotent(self):
+        table, _jobs = self._table(retention=1, finished=4)
+        table.prune()
+        table.prune()
+        assert len(table) == 1
+
+    def test_late_finishers_outlive_earlier_ones(self):
+        # Retention orders by creation, but only finished jobs are
+        # candidates: an old job that finishes *after* younger ones
+        # is still pruned first (creation order, not finish order).
+        table, jobs = self._table(retention=1, live=3)
+        jobs[2].state = DONE
+        table.prune()
+        assert len(table) == 3  # one finished, cap is one
+        jobs[0].state = FAILED
+        table.prune()
+        assert table.get(jobs[0].id) is None
+        assert table.get(jobs[2].id) is jobs[2]
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            JobTable(retention=-1)
 
 
 class TestStats:

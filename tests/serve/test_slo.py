@@ -12,7 +12,14 @@ import pytest
 from repro.cli import main as cli_main
 from repro.core import telemetry
 from repro.core.exceptions import SloError
-from repro.serve.slo import Objective, SloSpec, evaluate, load_slo
+from repro.serve.slo import (
+    Objective,
+    SloSpec,
+    SnapshotWindow,
+    evaluate,
+    load_slo,
+    subtract_snapshots,
+)
 
 _HAS_TOMLLIB = sys.version_info >= (3, 11)
 
@@ -159,6 +166,134 @@ class TestEvaluate:
         filtered = evaluate(self._spec(kind="distance",
                                        latency_ms=10.0), snapshot)
         assert filtered["objectives"][0]["latency"]["observed_ms"] is None
+
+
+class TestWindowedEvaluate:
+    """``window_s`` burn rates: the delta-snapshot algebra plus the
+    window-edge contract (lifetime -> partial -> windowed, and old
+    traffic aging out of the window).  All timelines are synthetic --
+    ``now=`` drives the clock, nothing sleeps.
+    """
+
+    def _spec(self, **kwargs):
+        kwargs.setdefault("window_s", 300.0)
+        return SloSpec([Objective(name="win", **kwargs)])
+
+    def test_window_s_parses_and_describes(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": [
+            {"name": "w", "latency_ms": 50.0, "window_s": 60.0}]}))
+        spec = load_slo(str(path))
+        assert spec.objectives[0].window_s == 60.0
+        assert spec.objectives[0].describe()["window_s"] == 60.0
+
+    def test_window_s_must_be_positive(self):
+        with pytest.raises(SloError):
+            Objective(name="w", latency_ms=5.0, window_s=0.0)
+        with pytest.raises(SloError):
+            Objective(name="w", latency_ms=5.0, window_s=-1.0)
+
+    def test_no_history_reports_lifetime_mode(self):
+        snapshot = _snapshot(outcomes=[("ok", 9), ("error", 1)])
+        report = evaluate(self._spec(error_rate=0.5), snapshot,
+                          window=SnapshotWindow(), now=100.0)
+        window = report["objectives"][0]["window"]
+        assert window["mode"] == "lifetime"
+        assert window["span_s"] is None
+        # Lifetime numbers still rate: 1/10 <= 0.5.
+        assert report["ok"] is True
+
+    def test_partial_window_reports_actual_span(self):
+        window = SnapshotWindow()
+        window.record(_snapshot(outcomes=[("ok", 10)]), now=0.0)
+        snapshot = _snapshot(outcomes=[("ok", 15)])
+        report = evaluate(self._spec(error_rate=0.5), snapshot,
+                          window=window, now=100.0)
+        info = report["objectives"][0]["window"]
+        assert info["mode"] == "partial"
+        assert info["span_s"] == pytest.approx(100.0)
+        # The delta against the oldest sample still applies.
+        assert report["objectives"][0]["errors"]["total"] == 5
+
+    def test_old_errors_age_out_of_the_window(self):
+        # 10 errors before the baseline, clean traffic after: lifetime
+        # view breaches, windowed view is healthy.
+        window = SnapshotWindow()
+        dirty = _snapshot(outcomes=[("ok", 0), ("error", 10)])
+        window.record(dirty, now=0.0)
+        current = _snapshot(outcomes=[("ok", 100), ("error", 10)])
+        lifetime = evaluate(SloSpec([Objective(name="life",
+                                               error_rate=0.05)]),
+                            current)
+        assert lifetime["ok"] is False
+        windowed = evaluate(self._spec(error_rate=0.05), current,
+                            window=window, now=400.0)
+        assert windowed["objectives"][0]["window"]["mode"] == "windowed"
+        assert windowed["objectives"][0]["errors"]["errors"] == 0
+        assert windowed["ok"] is True
+
+    def test_newest_qualifying_sample_is_the_baseline(self):
+        window = SnapshotWindow()
+        window.record(_snapshot(outcomes=[("ok", 10)]), now=0.0)
+        window.record(_snapshot(outcomes=[("ok", 30)]), now=100.0)
+        window.record(_snapshot(outcomes=[("ok", 60)]), now=350.0)
+        snapshot = _snapshot(outcomes=[("ok", 100)])
+        report = evaluate(self._spec(error_rate=0.5), snapshot,
+                          window=window, now=400.0)
+        info = report["objectives"][0]["window"]
+        # now=400, window=300: t=100 qualifies (age 300), t=350 does
+        # not (age 50); the t=100 sample is the tightest baseline.
+        assert info["mode"] == "windowed"
+        assert info["span_s"] == pytest.approx(300.0)
+        assert report["objectives"][0]["errors"]["total"] == 70
+
+    def test_windowed_latency_quantile_recomputed_from_delta(self):
+        window = SnapshotWindow()
+        window.record(_snapshot(latencies=[0.001] * 98), now=0.0)
+        current = _snapshot(latencies=[0.001] * 98 + [0.5] * 2)
+        spec = self._spec(kind="distance", latency_ms=100.0,
+                          quantile=0.95)
+        lifetime = evaluate(spec, current)
+        windowed = evaluate(spec, current, window=window, now=400.0)
+        # Lifetime p95 sits in the fast mass (98 of 100 samples);
+        # the window contains only the 2 slow ones.
+        assert lifetime["objectives"][0]["latency"]["observed_ms"] < 100.0
+        assert windowed["objectives"][0]["latency"]["observed_ms"] > 100.0
+        assert windowed["ok"] is False
+
+    def test_unwindowed_objective_has_no_window_block(self):
+        snapshot = _snapshot(outcomes=[("ok", 10)])
+        spec = SloSpec([Objective(name="plain", error_rate=0.5)])
+        report = evaluate(spec, snapshot, window=SnapshotWindow(),
+                          now=10.0)
+        assert "window" not in report["objectives"][0]
+
+    def test_ring_is_bounded(self):
+        window = SnapshotWindow(max_samples=4)
+        for tick in range(10):
+            window.record({"n": {"kind": "counter", "value": tick}},
+                          now=float(tick))
+        assert len(window) == 4
+        baseline, span, mode = window.baseline(2.0, now=10.0)
+        assert mode == "windowed"
+        assert baseline["n"]["value"] == 8  # newest sample >= 2s old
+
+    def test_subtract_clamps_registry_resets(self):
+        # A restarted registry makes current < baseline; deltas clamp
+        # at zero instead of going negative.
+        baseline = _snapshot(outcomes=[("ok", 50), ("error", 5)])
+        current = _snapshot(outcomes=[("ok", 10), ("error", 1)])
+        delta = subtract_snapshots(current, baseline)
+        for entry in delta.values():
+            if entry.get("kind") == "counter":
+                assert entry["value"] >= 0
+
+    def test_subtract_passes_through_new_metrics(self):
+        baseline = _snapshot(outcomes=[("ok", 5)])
+        current = dict(_snapshot(outcomes=[("ok", 9)]))
+        current["fresh.counter"] = {"kind": "counter", "value": 3}
+        delta = subtract_snapshots(current, baseline)
+        assert delta["fresh.counter"]["value"] == 3
 
 
 class TestSloCheckCli:
